@@ -1,0 +1,1 @@
+bench/bench_runner.ml: Analyze Bechamel Benchmark Float Hashtbl List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Array Bench_runner List Printf Stdlib Tlp_core Tlp_des Tlp_graph Tlp_util

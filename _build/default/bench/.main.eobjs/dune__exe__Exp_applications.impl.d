@@ -1,0 +1,1 @@
+bench/exp_applications.ml: Array Format List Printf Stdlib Tlp_archsim Tlp_baselines Tlp_core Tlp_des Tlp_graph Tlp_realtime Tlp_util

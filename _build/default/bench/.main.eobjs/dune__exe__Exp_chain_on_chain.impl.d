@@ -1,0 +1,1 @@
+bench/exp_chain_on_chain.ml: Bench_runner List Printf Tlp_baselines Tlp_graph Tlp_util

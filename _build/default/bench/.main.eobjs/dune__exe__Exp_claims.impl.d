@@ -1,0 +1,1 @@
+bench/exp_claims.ml: List Printf Stdlib Tlp_core Tlp_graph Tlp_util

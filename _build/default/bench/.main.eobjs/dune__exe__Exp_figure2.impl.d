@@ -1,0 +1,1 @@
+bench/exp_figure2.ml: Filename List Printf Stdlib Sys Tlp_core Tlp_graph Tlp_util

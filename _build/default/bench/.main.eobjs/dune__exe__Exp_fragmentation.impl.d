@@ -1,0 +1,1 @@
+bench/exp_fragmentation.ml: List Printf Stdlib Tlp_core Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+bench/exp_timing.ml: Bench_runner List Printf Tlp_core Tlp_graph Tlp_util

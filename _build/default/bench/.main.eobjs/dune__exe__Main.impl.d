@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_applications Exp_chain_on_chain Exp_claims Exp_figure2 Exp_fragmentation Exp_theorem1 Exp_timing List Printf String Sys

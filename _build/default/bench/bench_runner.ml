@@ -1,0 +1,41 @@
+(* Thin wrapper around Bechamel: run a list of named thunks and return
+   nanoseconds-per-run estimates. *)
+
+open Bechamel
+
+let run ?(quota = 0.5) named_thunks =
+  let tests =
+    List.map
+      (fun (name, f) -> Test.make ~name (Staged.stage f))
+      named_thunks
+  in
+  let grouped = Test.make_grouped ~name:"" ~fmt:"%s%s" tests in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None
+      ~stabilize:true ()
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  List.map
+    (fun (name, _) ->
+      let est =
+        match Hashtbl.find_opt analyzed name with
+        | Some o -> (
+            match Analyze.OLS.estimates o with
+            | Some [ ns ] -> ns
+            | Some _ | None -> Float.nan)
+        | None -> Float.nan
+      in
+      (name, est))
+    named_thunks
+
+let pp_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns

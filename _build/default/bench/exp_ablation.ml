@@ -1,0 +1,219 @@
+(* E10 — ablations on the paper's design choices:
+
+   (a) the TEMP_S structure vs the paper's own naive O(np) evaluation of
+       the same prime-subpath recurrence (§2.3's stepping stone);
+   (b) the greedy prune post-pass vs the optimal Algorithm 2.2 refinement
+       of the bottleneck cut;
+   (c) conservative distributed simulation: how the §3 partition affects
+       null-message overhead (the protocol cost invisible to static cut
+       counting). *)
+
+module Chain_gen = Tlp_graph.Chain_gen
+module Tree_gen = Tlp_graph.Tree_gen
+module Weights = Tlp_graph.Weights
+module Hitting = Tlp_core.Bandwidth_hitting
+module Naive = Tlp_core.Bandwidth_primes_naive
+module Bottleneck = Tlp_core.Bottleneck
+module Pipeline = Tlp_core.Tree_pipeline
+module Circuit = Tlp_des.Circuit
+module Cons = Tlp_des.Conservative_sim
+module Supergraph = Tlp_core.Supergraph
+module Graph = Tlp_graph.Graph
+module Rng = Tlp_util.Rng
+module Texttab = Tlp_util.Texttab
+
+let ok = function Ok _ -> () | Error _ -> assert false
+
+let search_ablation () =
+  (* The paper's future-work idea (§2.3.2): replace the binary search
+     over TEMP_S with a skew-aware search.  We measure actual probe
+     counts for both strategies. *)
+  let n = 50000 in
+  let rng = Rng.create 23 in
+  let chain = Chain_gen.figure2 rng ~n ~max_weight:100 in
+  let tab =
+    Texttab.create
+      ~title:
+        (Printf.sprintf
+           "E10d: TEMP_S probe counts — binary vs galloping (paper's \
+            future work), n = %s"
+           (Texttab.fmt_int n))
+      [ "K/maxw"; "binary probes"; "galloping probes"; "ratio" ]
+  in
+  List.iter
+    (fun factor ->
+      let k = factor * 100 in
+      let steps search =
+        match Hitting.solve ~search chain ~k with
+        | Ok { Hitting.stats; _ } -> stats.Hitting.search_steps
+        | Error _ -> 0
+      in
+      let b = steps Hitting.Binary in
+      let g = steps Hitting.Galloping in
+      Texttab.add_row tab
+        [
+          string_of_int factor;
+          Texttab.fmt_int b;
+          Texttab.fmt_int g;
+          Printf.sprintf "%.2f" (float_of_int g /. Stdlib.max 1.0 (float_of_int b));
+        ])
+    [ 2; 8; 32; 128; 512; 2048 ];
+  Texttab.print tab;
+  print_newline ()
+
+let temps_ablation () =
+  let n = 50000 in
+  let rng = Rng.create 17 in
+  let chain = Chain_gen.figure2 rng ~n ~max_weight:100 in
+  let tab =
+    Texttab.create
+      ~title:
+        (Printf.sprintf
+           "E10a: TEMP_S vs naive recurrence over primes (n = %s)"
+           (Texttab.fmt_int n))
+      [ "K/maxw"; "TEMP_S"; "naive recurrence"; "speedup" ]
+  in
+  List.iter
+    (fun factor ->
+      let k = factor * 100 in
+      let results =
+        Bench_runner.run ~quota:0.4
+          [
+            ("temps", fun () -> ok (Hitting.solve chain ~k));
+            ("naive", fun () -> ok (Naive.solve chain ~k));
+          ]
+      in
+      let f name = List.assoc name results in
+      Texttab.add_row tab
+        [
+          string_of_int factor;
+          Bench_runner.pp_ns (f "temps");
+          Bench_runner.pp_ns (f "naive");
+          Printf.sprintf "%.1fx" (f "naive" /. f "temps");
+        ])
+    [ 2; 8; 32; 128; 512 ];
+  Texttab.print tab;
+  print_newline ()
+
+let prune_ablation () =
+  let d = Weights.Uniform (1, 100) in
+  let tab =
+    Texttab.create
+      ~title:
+        "E10b: refining the bottleneck cut — greedy prune vs Algorithm 2.2 \
+         (n = 20,000, 3 seeds, components after refinement)"
+      [ "K/maxw"; "raw"; "greedy prune"; "Alg 2.2 (optimal)" ]
+  in
+  List.iter
+    (fun factor ->
+      let k = factor * 100 in
+      let raw = ref 0 and pruned = ref 0 and optimal = ref 0 in
+      for seed = 1 to 3 do
+        let rng = Rng.create (seed * 997) in
+        let t =
+          Tree_gen.random_attachment rng ~n:20000 ~weight_dist:d ~delta_dist:d
+        in
+        match (Bottleneck.fast t ~k, Pipeline.partition t ~k) with
+        | Ok { Bottleneck.cut; _ }, Ok r ->
+            raw := !raw + List.length cut + 1;
+            pruned := !pruned + List.length (Bottleneck.prune t ~k cut) + 1;
+            optimal := !optimal + r.Pipeline.n_components
+        | _ -> ()
+      done;
+      Texttab.add_row tab
+        [
+          string_of_int factor;
+          string_of_int (!raw / 3);
+          string_of_int (!pruned / 3);
+          string_of_int (!optimal / 3);
+        ])
+    [ 4; 16; 64 ];
+  Texttab.print tab;
+  print_newline ()
+
+let conservative_ablation () =
+  let rng = Rng.create 501 in
+  let circuit = Circuit.random rng ~inputs:16 ~gates:800 ~locality:24 () in
+  let graph = Circuit.to_graph circuit ~message_weight:(fun _ -> 1) in
+  let n = Circuit.n circuit in
+  let k = Stdlib.max 1 (Graph.total_weight graph / 6) in
+  let sg_assignment =
+    match Supergraph.partition graph ~k with
+    | Ok (a, _, _) -> a
+    | Error _ -> Array.make n 0
+  in
+  let blocks = 1 + Array.fold_left Stdlib.max 0 sg_assignment in
+  let scatter = Array.init n (fun i -> i mod blocks) in
+  let schedule = Cons.random_schedule (Rng.create 3) circuit ~periods:100 in
+  let config = Cons.default_config circuit in
+  let tab =
+    Texttab.create
+      ~title:
+        (Printf.sprintf
+           "E10c: Chandy–Misra–Bryant protocol cost, %d gates, %d LPs, \
+            100 input periods"
+           n blocks)
+      [
+        "mapping"; "channels"; "value msgs"; "null msgs"; "null ratio";
+        "rounds";
+      ]
+  in
+  let row name assignment =
+    let r = Cons.simulate circuit ~assignment ~schedule config in
+    Texttab.add_row tab
+      [
+        name;
+        string_of_int r.Cons.n_channels;
+        Texttab.fmt_int r.Cons.value_messages;
+        Texttab.fmt_int r.Cons.null_messages;
+        Printf.sprintf "%.2f" r.Cons.null_ratio;
+        string_of_int r.Cons.rounds;
+      ]
+  in
+  row "supergraph+bandwidth" sg_assignment;
+  row "round-robin scatter" scatter;
+  Texttab.print tab;
+  print_newline ();
+  (* Optimistic protocol: the partition drives rollback pressure. *)
+  let tw_config =
+    {
+      Tlp_des.Timewarp_sim.delays = config.Cons.delays;
+      input_period = config.Cons.input_period;
+      horizon = config.Cons.horizon;
+      batch = 16;
+      window = 40;
+    }
+  in
+  let tab2 =
+    Texttab.create
+      ~title:"Time Warp on the same workload (batch 16)"
+      [
+        "mapping"; "processed"; "committed"; "rollbacks"; "anti msgs";
+        "efficiency";
+      ]
+  in
+  let row2 name assignment =
+    let r =
+      Tlp_des.Timewarp_sim.simulate circuit ~assignment ~schedule tw_config
+    in
+    Texttab.add_row tab2
+      [
+        name;
+        Texttab.fmt_int r.Tlp_des.Timewarp_sim.processed_events;
+        Texttab.fmt_int r.Tlp_des.Timewarp_sim.committed_events;
+        Texttab.fmt_int r.Tlp_des.Timewarp_sim.rollbacks;
+        Texttab.fmt_int r.Tlp_des.Timewarp_sim.anti_messages;
+        Printf.sprintf "%.2f" r.Tlp_des.Timewarp_sim.efficiency;
+      ]
+  in
+  row2 "supergraph+bandwidth" sg_assignment;
+  row2 "round-robin scatter" scatter;
+  Texttab.print tab2;
+  print_newline ()
+
+let run () =
+  print_endline "=== E10: ablations ===\n";
+  temps_ablation ();
+  search_ablation ();
+  prune_ablation ();
+  conservative_ablation ()

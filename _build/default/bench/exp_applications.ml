@@ -1,0 +1,111 @@
+(* E7a (Figure 3, real-time pipeline) and E7b (distributed logic
+   simulation): end-to-end application experiments on the simulators. *)
+
+module Chain = Tlp_graph.Chain
+module Chain_gen = Tlp_graph.Chain_gen
+module Weights = Tlp_graph.Weights
+module Pipeline = Tlp_realtime.Pipeline
+module Machine = Tlp_archsim.Machine
+module Sim = Tlp_archsim.Pipeline_sim
+module Circuit = Tlp_des.Circuit
+module Event_sim = Tlp_des.Event_sim
+module Supergraph = Tlp_core.Supergraph
+module Graph = Tlp_graph.Graph
+module Greedy = Tlp_baselines.Greedy
+module Kl = Tlp_baselines.Kernighan_lin
+module Rng = Tlp_util.Rng
+module Texttab = Tlp_util.Texttab
+
+let realtime () =
+  print_endline "=== E7a: real-time pipelined task under a deadline (Fig 3) ===\n";
+  let rng = Rng.create 31 in
+  let chain =
+    Chain_gen.random rng ~n:64
+      ~alpha_dist:(Weights.Uniform (5, 20))
+      ~beta_dist:(Weights.Bimodal (2, 40, 0.3))
+  in
+  let deadline = 60 in
+  match Pipeline.plan chain ~deadline with
+  | Error e ->
+      Format.printf "infeasible: %a@." Tlp_core.Infeasible.pp e
+  | Ok plan ->
+      let tab =
+        Texttab.create
+          ~title:
+            (Printf.sprintf
+               "64 subtasks, deadline %d, bimodal message sizes; 300 frames \
+                on a 32-processor bus machine"
+               deadline)
+          [
+            "plan"; "procs"; "total traffic"; "max msg"; "makespan";
+            "throughput"; "net busy";
+          ]
+      in
+      let machine = Machine.make ~processors:32 ~bandwidth:4 () in
+      List.iter
+        (fun (name, (cut, a)) ->
+          let r = Pipeline.simulate chain ~cut ~machine ~jobs:300 in
+          Texttab.add_row tab
+            [
+              name;
+              string_of_int a.Pipeline.n_processors;
+              string_of_int a.Pipeline.total_traffic;
+              string_of_int a.Pipeline.max_traffic;
+              string_of_int r.Sim.makespan;
+              Printf.sprintf "%.4f" r.Sim.throughput;
+              string_of_int r.Sim.network_busy_time;
+            ])
+        [
+          ("bandwidth-optimal", plan.Pipeline.bandwidth_optimal);
+          ("bottleneck-optimal", plan.Pipeline.bottleneck_optimal);
+          ("first-fit", plan.Pipeline.first_fit);
+        ];
+      Texttab.print tab;
+      print_newline ()
+
+let circuit () =
+  print_endline "=== E7b: distributed logic simulation (§3, application 2) ===\n";
+  let rng = Rng.create 1789 in
+  let circuit = Circuit.random rng ~inputs:32 ~gates:2000 ~locality:32 () in
+  let graph = Circuit.to_graph circuit ~message_weight:(fun _ -> 1) in
+  let k = Stdlib.max 1 (Graph.total_weight graph / 8) in
+  match Supergraph.partition graph ~k with
+  | Error e -> Format.printf "infeasible: %a@." Tlp_core.Infeasible.pp e
+  | Ok (sg_assignment, _cut, sg) ->
+      let blocks = 1 + Array.fold_left Stdlib.max 0 sg_assignment in
+      let tab =
+        Texttab.create
+          ~title:
+            (Printf.sprintf
+               "%d-gate circuit, %d blocks (supergraph: %d levels, intra \
+                loss %d), 2000 cycles"
+               (Circuit.n circuit) blocks
+               (Chain.n sg.Supergraph.chain)
+               sg.Supergraph.intra_level_weight)
+          [ "mapping"; "cross msgs"; "total msgs"; "cross %"; "imbalance" ]
+      in
+      let row name assignment =
+        let r =
+          Event_sim.simulate (Rng.create 5) circuit ~assignment ~cycles:2000
+        in
+        Texttab.add_row tab
+          [
+            name;
+            Texttab.fmt_int r.Event_sim.cross_messages;
+            Texttab.fmt_int r.Event_sim.total_messages;
+            Printf.sprintf "%.1f" (100.0 *. r.Event_sim.cross_fraction);
+            Printf.sprintf "%.2f" r.Event_sim.imbalance;
+          ]
+      in
+      row "supergraph+bandwidth" sg_assignment;
+      row "kernighan-lin" (Kl.recursive (Rng.create 9) graph ~blocks);
+      row "simulated annealing"
+        (Tlp_baselines.Annealing.partition (Rng.create 11) graph ~blocks)
+          .Tlp_baselines.Annealing.assignment;
+      row "random" (Greedy.random_assignment (Rng.create 13) graph ~blocks);
+      Texttab.print tab;
+      print_newline ()
+
+let run () =
+  realtime ();
+  circuit ()

@@ -1,0 +1,99 @@
+(* E8 — the related-work complexity ladder (§1): Bokhari-style O(n²m) DP,
+   Hansen–Lih iterative refinement, and Nicol-style O(n log Σw) probing
+   all solve chain-onto-m-processors bottleneck partitioning; we verify
+   identical optima and reproduce the timing ordering. *)
+
+module Chain_gen = Tlp_graph.Chain_gen
+module Coc = Tlp_baselines.Chain_on_chain
+module Hc = Tlp_baselines.Hetero_chain
+module Rng = Tlp_util.Rng
+module Texttab = Tlp_util.Texttab
+
+let run () =
+  print_endline "=== E8: chain onto m processors — baseline ladder ===\n";
+  let m = 8 in
+  let tab =
+    Texttab.create
+      ~title:
+        (Printf.sprintf
+           "minmax chain partitioning, m = %d (ns/run via Bechamel OLS)" m)
+      [ "n"; "bokhari DP"; "hansen-lih"; "nicol probe"; "optimum equal?" ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rng.create 5 in
+      let chain = Chain_gen.figure2 rng ~n ~max_weight:100 in
+      let dp_opt =
+        if n <= 4000 then Some (Coc.bokhari_dp chain ~m).Coc.bottleneck
+        else None
+      in
+      let hl = (Coc.hansen_lih chain ~m).Coc.bottleneck in
+      let probe = (Coc.nicol_probe chain ~m).Coc.bottleneck in
+      let agree =
+        hl = probe && match dp_opt with Some v -> v = hl | None -> true
+      in
+      let tests =
+        [
+          ("hansen-lih", fun () -> ignore (Coc.hansen_lih chain ~m));
+          ("nicol", fun () -> ignore (Coc.nicol_probe chain ~m));
+        ]
+        @ (if n <= 4000 then
+             [ ("bokhari", fun () -> ignore (Coc.bokhari_dp chain ~m)) ]
+           else [])
+      in
+      let results = Bench_runner.run ~quota:0.4 tests in
+      let find name =
+        match List.assoc_opt name results with
+        | Some ns -> Bench_runner.pp_ns ns
+        | None -> "(skipped)"
+      in
+      Texttab.add_row tab
+        [
+          Texttab.fmt_int n;
+          find "bokhari";
+          find "hansen-lih";
+          find "nicol";
+          (if agree then "yes" else "NO");
+        ])
+    [ 500; 2000; 20000; 200000 ];
+  Texttab.print tab;
+  print_newline ();
+  (* Bokhari's general (heterogeneous) form: mixed-speed linear array. *)
+  let speeds = [| 1; 2; 4; 8; 8; 4; 2; 1 |] in
+  let tab2 =
+    Texttab.create
+      ~title:"heterogeneous processors (speeds 1,2,4,8,8,4,2,1)"
+      [ "n"; "dp bottleneck"; "probe bottleneck"; "dp"; "probe" ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rng.create 6 in
+      let chain = Chain_gen.figure2 rng ~n ~max_weight:100 in
+      let dp_b =
+        if n <= 2000 then
+          Some (Hc.dp chain ~speeds).Hc.bottleneck
+        else None
+      in
+      let pr = (Hc.probe chain ~speeds).Hc.bottleneck in
+      let tests =
+        [ ("probe", fun () -> ignore (Hc.probe chain ~speeds)) ]
+        @ (if n <= 2000 then [ ("dp", fun () -> ignore (Hc.dp chain ~speeds)) ]
+           else [])
+      in
+      let results = Bench_runner.run ~quota:0.4 tests in
+      let find name =
+        match List.assoc_opt name results with
+        | Some ns -> Bench_runner.pp_ns ns
+        | None -> "(skipped)"
+      in
+      Texttab.add_row tab2
+        [
+          Texttab.fmt_int n;
+          (match dp_b with Some b -> string_of_int b | None -> "-");
+          string_of_int pr;
+          find "dp";
+          find "probe";
+        ])
+    [ 500; 2000; 50000 ];
+  Texttab.print tab2;
+  print_newline ()

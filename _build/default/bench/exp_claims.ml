@@ -1,0 +1,98 @@
+(* E2 + E3 — the two analytic claims of §2.3.2 / Appendix B:
+
+   E2: for vertex weights uniform on [w1, w2], the average prime-subpath
+   length is bounded by roughly 2K/(w1+w2).
+
+   E3: if W-values arrive in random relative order, the average TEMP_S
+   length is O(log q); we measure the actual mean/max row counts. *)
+
+module Chain = Tlp_graph.Chain
+module Chain_gen = Tlp_graph.Chain_gen
+module Weights = Tlp_graph.Weights
+module Primes = Tlp_core.Prime_subpaths
+module Hitting = Tlp_core.Bandwidth_hitting
+module Rng = Tlp_util.Rng
+module Texttab = Tlp_util.Texttab
+
+let log2 x = log x /. log 2.0
+
+let prime_length () =
+  let n = 50000 in
+  let tab =
+    Texttab.create
+      ~title:
+        (Printf.sprintf
+           "E2: mean prime-subpath length vs the 2K/(w1+w2) prediction \
+            (n = %s, weights uniform [w1, w2])"
+           (Texttab.fmt_int n))
+      [ "w1"; "w2"; "K"; "measured mean len"; "2K/(w1+w2)" ]
+  in
+  List.iter
+    (fun (w1, w2, k) ->
+      let rng = Rng.create 4242 in
+      let chain =
+        Chain_gen.random rng ~n
+          ~alpha_dist:(Weights.Uniform (w1, w2))
+          ~beta_dist:(Weights.Uniform (1, 100))
+      in
+      match Primes.compute chain ~k with
+      | Ok p ->
+          let s = Primes.stats chain p in
+          Texttab.add_row tab
+            [
+              string_of_int w1;
+              string_of_int w2;
+              string_of_int k;
+              Printf.sprintf "%.2f" s.Primes.mean_prime_len;
+              Printf.sprintf "%.2f"
+                (2.0 *. float_of_int k /. float_of_int (w1 + w2));
+            ]
+      | Error _ -> ())
+    [
+      (1, 100, 200);
+      (1, 100, 400);
+      (1, 100, 800);
+      (1, 100, 1600);
+      (50, 100, 400);
+      (50, 100, 1600);
+      (1, 10, 100);
+      (1, 10, 400);
+    ];
+  Texttab.print tab;
+  print_newline ()
+
+let temps_length () =
+  let n = 50000 in
+  let tab =
+    Texttab.create
+      ~title:
+        (Printf.sprintf
+           "E3: TEMP_S queue length vs log2 q (n = %s, weights uniform \
+            [1, 100])"
+           (Texttab.fmt_int n))
+      [ "K"; "q"; "log2 q"; "mean TEMP_S len"; "max TEMP_S len" ]
+  in
+  List.iter
+    (fun factor ->
+      let k = factor * 100 in
+      let rng = Rng.create 1337 in
+      let chain = Chain_gen.figure2 rng ~n ~max_weight:100 in
+      match Hitting.solve chain ~k with
+      | Ok { Hitting.stats; _ } ->
+          Texttab.add_row tab
+            [
+              string_of_int k;
+              Printf.sprintf "%.2f" stats.Hitting.q_mean;
+              Printf.sprintf "%.2f" (log2 (Stdlib.max 1.0 stats.Hitting.q_mean));
+              Printf.sprintf "%.2f" stats.Hitting.temps_mean_len;
+              string_of_int stats.Hitting.temps_max_len;
+            ]
+      | Error _ -> ())
+    [ 2; 4; 8; 16; 32; 64; 128 ];
+  Texttab.print tab;
+  print_newline ()
+
+let run () =
+  print_endline "=== E2/E3: analytic claims of §2.3.2 and Appendix B ===\n";
+  prime_length ();
+  temps_length ()

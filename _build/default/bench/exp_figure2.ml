@@ -1,0 +1,130 @@
+(* E1 — Figure 2: relations between n, p, q, K, p·log q and the maximum
+   vertex weight, on uniform random chains (the paper's simulation
+   setting).  One table per n (the figure's panels); series over
+   K/max-weight.  The shape claims to reproduce:
+
+   - p·log q is far below n·log n for every K, and collapses at both low
+     and high K;
+   - q is bounded by roughly 2K/(w1+w2) when weights are uniform on
+     [w1, w2];
+   - even max_K (p·log q) stays well under n·log n.  *)
+
+module Chain_gen = Tlp_graph.Chain_gen
+module Hitting = Tlp_core.Bandwidth_hitting
+module Rng = Tlp_util.Rng
+module Texttab = Tlp_util.Texttab
+
+let log2 x = log x /. log 2.0
+
+(* Low-K regime plus factors reaching toward the total weight, where p
+   collapses: with weights uniform on [1, maxw] the mean is ~maxw/2, so
+   primes disappear near K ≈ n·maxw/2 (factor ≈ n/2). *)
+let k_factors n =
+  [ 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 64; 96; 128 ]
+  @ (List.filter
+       (fun f -> f > 128)
+       [ n / 32; n / 16; n / 8; n / 4; (3 * n) / 8; n / 2; (9 * n) / 16 ]
+    |> List.sort_uniq compare)
+
+(* When TLP_BENCH_CSV names a directory, every panel is also written as
+   a CSV series for external plotting. *)
+let csv_dir () = Sys.getenv_opt "TLP_BENCH_CSV"
+
+let run_panel ~n ~max_weight ~seeds =
+  let nlogn = float_of_int n *. log2 (float_of_int n) in
+  let tab =
+    Texttab.create
+      ~title:
+        (Printf.sprintf
+           "Figure 2 panel: n = %s, weights uniform [1, %d]  (n log n = %s)"
+           (Texttab.fmt_int n) max_weight
+           (Texttab.fmt_int (int_of_float nlogn)))
+      [ "K/maxw"; "p"; "r"; "q"; "p log q"; "(p log q)/(n log n)" ]
+  in
+  let max_ratio = ref 0.0 in
+  let csv_rows = ref [ [ "k_factor"; "p"; "r"; "q"; "plogq"; "ratio" ] ] in
+  List.iter
+    (fun factor ->
+      let k = factor * max_weight in
+      let stats =
+        List.map
+          (fun seed ->
+            let rng = Rng.create (seed * 7919) in
+            let chain = Chain_gen.figure2 rng ~n ~max_weight in
+            match Hitting.solve chain ~k with
+            | Ok { Hitting.stats; _ } -> stats
+            | Error _ -> assert false (* K >= max weight *))
+          (List.init seeds (fun i -> i + 1))
+      in
+      let avg f =
+        List.fold_left (fun acc s -> acc +. f s) 0.0 stats
+        /. float_of_int seeds
+      in
+      let p = avg (fun s -> float_of_int s.Hitting.p) in
+      let r = avg (fun s -> float_of_int s.Hitting.r) in
+      let q = avg (fun s -> s.Hitting.q_mean) in
+      let plogq = p *. log2 (Stdlib.max 2.0 q) in
+      let ratio = plogq /. nlogn in
+      if ratio > !max_ratio then max_ratio := ratio;
+      csv_rows :=
+        [
+          string_of_int factor;
+          Printf.sprintf "%.1f" p;
+          Printf.sprintf "%.1f" r;
+          Printf.sprintf "%.4f" q;
+          Printf.sprintf "%.1f" plogq;
+          Printf.sprintf "%.6f" ratio;
+        ]
+        :: !csv_rows;
+      Texttab.add_row tab
+        [
+          string_of_int factor;
+          Texttab.fmt_int (int_of_float p);
+          Texttab.fmt_int (int_of_float r);
+          Printf.sprintf "%.2f" q;
+          Texttab.fmt_int (int_of_float plogq);
+          Printf.sprintf "%.4f" ratio;
+        ])
+    (k_factors n);
+  Texttab.print tab;
+  (match csv_dir () with
+  | Some dir ->
+      let path = Filename.concat dir (Printf.sprintf "figure2_n%d.csv" n) in
+      Tlp_util.Csv_out.write path (List.rev !csv_rows);
+      Printf.printf "(series written to %s)\n" path
+  | None -> ());
+  Printf.printf "max over K of (p log q)/(n log n) = %.4f  %s\n\n" !max_ratio
+    (if !max_ratio < 1.0 then "(< 1: paper's claim holds)" else "(!!)")
+
+let run () =
+  print_endline "=== E1: Figure 2 — p, q, p log q vs n and K ===\n";
+  List.iter
+    (fun n -> run_panel ~n ~max_weight:100 ~seeds:3)
+    [ 4096; 16384; 65536 ];
+  (* The paper also varies the maximum vertex weight. *)
+  let tab =
+    Texttab.create
+      ~title:"Figure 2 (d): effect of max vertex weight at n = 16384, K = 1600"
+      [ "max weight"; "p"; "q"; "p log q" ]
+  in
+  List.iter
+    (fun max_weight ->
+      let rng = Rng.create 99 in
+      let chain = Chain_gen.figure2 rng ~n:16384 ~max_weight in
+      match Hitting.solve chain ~k:1600 with
+      | Ok { Hitting.stats; _ } ->
+          let plogq =
+            float_of_int stats.Hitting.p
+            *. log2 (Stdlib.max 2.0 stats.Hitting.q_mean)
+          in
+          Texttab.add_row tab
+            [
+              string_of_int max_weight;
+              Texttab.fmt_int stats.Hitting.p;
+              Printf.sprintf "%.2f" stats.Hitting.q_mean;
+              Texttab.fmt_int (int_of_float plogq);
+            ]
+      | Error _ -> ())
+    [ 25; 50; 100; 200; 400; 800; 1600 ];
+  Texttab.print tab;
+  print_newline ()

@@ -1,0 +1,97 @@
+(* E9 — Theorem 1, exercised constructively: star bandwidth minimization
+   solved exactly through the knapsack reduction, compared against the
+   natural greedy heuristics it proves insufficient. *)
+
+module Tree = Tlp_graph.Tree
+module Tree_gen = Tlp_graph.Tree_gen
+module Star = Tlp_core.Star_bandwidth
+module Rng = Tlp_util.Rng
+module Texttab = Tlp_util.Texttab
+
+(* Greedy heuristic: keep leaves by decreasing profit density until the
+   capacity is exhausted. *)
+let greedy_density t ~k =
+  match Star.center t with
+  | None -> invalid_arg "not a star"
+  | Some c ->
+      let leaves =
+        Tree.neighbors t c
+        |> List.map (fun (v, e) ->
+               (v, e, Tree.weight t v, Tree.delta t e))
+      in
+      let by_density =
+        List.sort
+          (fun (_, _, w1, p1) (_, _, w2, p2) ->
+            compare
+              (float_of_int p2 /. float_of_int (Stdlib.max 1 w2))
+              (float_of_int p1 /. float_of_int (Stdlib.max 1 w1)))
+          leaves
+      in
+      let capacity = k - Tree.weight t c in
+      let _, cut =
+        List.fold_left
+          (fun (used, cut) (_, e, w, _) ->
+            if used + w <= capacity then (used + w, cut)
+            else (used, e :: cut))
+          (0, []) by_density
+      in
+      List.sort compare cut
+
+let run () =
+  print_endline "=== E9: Theorem 1 — star bandwidth via knapsack ===\n";
+  let tab =
+    Texttab.create
+      ~title:
+        "random stars (120 instances per row): exact knapsack optimum vs \
+         profit-density greedy"
+      [
+        "leaves"; "K/total"; "mean opt cut"; "mean greedy cut";
+        "greedy excess"; "greedy optimal in";
+      ]
+  in
+  List.iter
+    (fun (r, k_frac) ->
+      let instances = 120 in
+      let opt_sum = ref 0 and greedy_sum = ref 0 and greedy_hits = ref 0 in
+      for seed = 1 to instances do
+        let rng = Rng.create (seed * 37 + r) in
+        let leaf_weights =
+          List.init r (fun _ -> Tlp_util.Rng.int_in rng 1 50)
+        in
+        let edge_weights =
+          List.init r (fun _ -> Tlp_util.Rng.int_in rng 1 50)
+        in
+        let t =
+          Tree_gen.star ~center_weight:5 ~leaf_weights ~edge_weights
+        in
+        let total = Tree.total_weight t in
+        let k =
+          Stdlib.max
+            (int_of_float (float_of_int total *. k_frac))
+            (Tree.max_weight t)
+        in
+        match Star.solve t ~k with
+        | Ok { Star.weight; _ } ->
+            let g = Tree.cut_weight t (greedy_density t ~k) in
+            opt_sum := !opt_sum + weight;
+            greedy_sum := !greedy_sum + g;
+            if g = weight then incr greedy_hits
+        | Error _ -> ()
+      done;
+      let fi = float_of_int in
+      Texttab.add_row tab
+        [
+          string_of_int r;
+          Printf.sprintf "%.2f" k_frac;
+          Printf.sprintf "%.1f" (fi !opt_sum /. fi instances);
+          Printf.sprintf "%.1f" (fi !greedy_sum /. fi instances);
+          Printf.sprintf "%.1f%%"
+            (100.0 *. (fi !greedy_sum -. fi !opt_sum)
+            /. Stdlib.max 1.0 (fi !opt_sum));
+          Printf.sprintf "%d%%" (100 * !greedy_hits / instances);
+        ])
+    [ (8, 0.5); (8, 0.75); (16, 0.5); (16, 0.75); (32, 0.5); (32, 0.9) ];
+  Texttab.print tab;
+  print_endline
+    "\nThe greedy gap is why bandwidth minimization on stars is NP-complete \
+     (Theorem 1):\nno ordering heuristic replaces the knapsack search.\n"

@@ -1,0 +1,102 @@
+(* E4 + E5 — wall-clock comparisons (Bechamel).
+
+   E4: the paper's O(n + p log q) bandwidth algorithm vs the O(n log n)
+   heap baseline (Nicol & O'Hallaron's complexity class), the O(n)
+   monotone-deque extension, and the naive window scan, across K
+   regimes.  The headline: the hitting algorithm tracks p rather than n,
+   so it wins at low and high K where primes are few or windows tiny.
+
+   E5: tree bottleneck — the paper-faithful O(n²) Algorithm 2.1 vs the
+   DSU-based O(n log n) variant. *)
+
+module Chain_gen = Tlp_graph.Chain_gen
+module Tree_gen = Tlp_graph.Tree_gen
+module Weights = Tlp_graph.Weights
+module Bandwidth = Tlp_core.Bandwidth
+module Hitting = Tlp_core.Bandwidth_hitting
+module Bottleneck = Tlp_core.Bottleneck
+module Rng = Tlp_util.Rng
+module Texttab = Tlp_util.Texttab
+
+let ok = function Ok _ -> () | Error _ -> assert false
+
+let bandwidth () =
+  let n = 50000 in
+  let max_weight = 100 in
+  let rng = Rng.create 7 in
+  let chain = Chain_gen.figure2 rng ~n ~max_weight in
+  let tab =
+    Texttab.create
+      ~title:
+        (Printf.sprintf
+           "E4: bandwidth minimization, n = %s, weights uniform [1, %d] \
+            (ns/run via Bechamel OLS)"
+           (Texttab.fmt_int n) max_weight)
+      [ "K/maxw"; "hitting (paper)"; "heap O(n log n)"; "deque O(n)"; "naive" ]
+  in
+  List.iter
+    (fun factor ->
+      let k = factor * max_weight in
+      let solvers =
+        [
+          ("hitting", fun () -> ok (Hitting.solve chain ~k));
+          ("heap", fun () -> ok (Bandwidth.heap chain ~k));
+          ("deque", fun () -> ok (Bandwidth.deque chain ~k));
+        ]
+        (* The naive scan is O(n · window); keep it off the huge-window
+           regimes where it would dominate the benchmark budget. *)
+        @ (if factor <= 16 then
+             [ ("naive", fun () -> ok (Bandwidth.naive chain ~k)) ]
+           else [])
+      in
+      let results = Bench_runner.run ~quota:0.4 solvers in
+      let find name =
+        match List.assoc_opt name results with
+        | Some ns -> Bench_runner.pp_ns ns
+        | None -> "skipped"
+      in
+      Texttab.add_row tab
+        [
+          string_of_int factor;
+          find "hitting";
+          find "heap";
+          find "deque";
+          find "naive";
+        ])
+    [ 2; 8; 32; 128; 1024; 8192; 20000 ];
+  Texttab.print tab;
+  print_newline ()
+
+let bottleneck () =
+  let d = Weights.Uniform (1, 100) in
+  let tab =
+    Texttab.create
+      ~title:"E5: tree bottleneck minimization — Algorithm 2.1 vs DSU variant"
+      [ "n"; "paper O(n^2)"; "fast (DSU)" ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rng.create 11 in
+      let t = Tree_gen.random_attachment rng ~n ~weight_dist:d ~delta_dist:d in
+      let k = 50 * 8 in
+      let tests =
+        [ ("fast", fun () -> ok (Bottleneck.fast t ~k)) ]
+        @ (if n <= 2000 then
+             [ ("paper", fun () -> ok (Bottleneck.paper t ~k)) ]
+           else [])
+      in
+      let results = Bench_runner.run ~quota:0.4 tests in
+      let find name =
+        match List.assoc_opt name results with
+        | Some ns -> Bench_runner.pp_ns ns
+        | None -> "(skipped)"
+      in
+      Texttab.add_row tab [ Texttab.fmt_int n; find "paper"; find "fast" ])
+    [ 500; 2000; 20000; 100000 ];
+  Texttab.print tab;
+  print_newline ()
+
+let run () =
+  print_endline "=== E4/E5: timing comparisons ===\n";
+  bandwidth ();
+  bottleneck ()

@@ -1,0 +1,522 @@
+(* tlp: command-line interface to the partitioning library.
+
+   Subcommands:
+     generate   make a random chain/tree instance file
+     partition  run a partitioning algorithm on an instance
+     stats      prime-subpath statistics across a K sweep
+     simulate   execute a partitioned chain on a machine model *)
+
+open Cmdliner
+module Chain = Tlp_graph.Chain
+module Tree = Tlp_graph.Tree
+module Weights = Tlp_graph.Weights
+module Io = Tlp_graph.Instance_io
+module Rng = Tlp_util.Rng
+module Texttab = Tlp_util.Texttab
+
+(* ---------- shared arguments ---------- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let k_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "k"; "bound" ] ~docv:"K" ~doc:"Execution-time bound (component capacity).")
+
+let instance_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "instance"; "i" ] ~docv:"FILE" ~doc:"Instance file (see docs).")
+
+let dist_conv =
+  let parse s =
+    match Weights.of_string s with
+    | d -> Ok d
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf d -> Format.pp_print_string ppf (Weights.to_string d))
+
+let fail msg =
+  prerr_endline ("error: " ^ msg);
+  exit 1
+
+let load_instance path =
+  match Io.load path with Ok i -> i | Error msg -> fail msg
+
+let load_chain path =
+  match load_instance path with
+  | Io.Chain_instance c -> c
+  | Io.Tree_instance _ -> fail "expected a chain instance"
+
+(* ---------- generate ---------- *)
+
+let generate kind n alpha_dist beta_dist seed output =
+  let rng = Rng.create seed in
+  let instance =
+    match kind with
+    | `Chain ->
+        Io.Chain_instance
+          (Tlp_graph.Chain_gen.random rng ~n ~alpha_dist ~beta_dist)
+    | `Tree ->
+        Io.Tree_instance
+          (Tlp_graph.Tree_gen.random_attachment rng ~n ~weight_dist:alpha_dist
+             ~delta_dist:beta_dist)
+  in
+  match output with
+  | Some path ->
+      Io.save path instance;
+      Printf.printf "wrote %s\n" path
+  | None -> print_string (Io.to_string instance)
+
+let generate_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("chain", `Chain); ("tree", `Tree) ]) `Chain
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Instance kind: chain or tree.")
+  in
+  let n =
+    Arg.(value & opt int 100 & info [ "n"; "size" ] ~docv:"N" ~doc:"Number of tasks.")
+  in
+  let alpha =
+    Arg.(
+      value
+      & opt dist_conv (Weights.Uniform (1, 100))
+      & info [ "alpha" ] ~docv:"DIST"
+          ~doc:"Vertex weight distribution (const:C, uniform:LO:HI, exp:M, \
+                bimodal:S:L:P).")
+  in
+  let beta =
+    Arg.(
+      value
+      & opt dist_conv (Weights.Uniform (1, 100))
+      & info [ "beta" ] ~docv:"DIST" ~doc:"Edge weight distribution.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a random task-graph instance")
+    Term.(const generate $ kind $ n $ alpha $ beta $ seed_arg $ output)
+
+(* ---------- partition ---------- *)
+
+let assignment_of_chain_cut chain cut =
+  let n = Chain.n chain in
+  let a = Array.make n 0 in
+  List.iteri
+    (fun bi (i, j) ->
+      for v = i to j do
+        a.(v) <- bi
+      done)
+    (Chain.components chain cut);
+  a
+
+let write_dot dot contents =
+  match dot with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc contents);
+      Printf.printf "dot written to %s\n" path
+
+let print_chain_solution name cut weight chain k =
+  Printf.printf "algorithm: %s\n" name;
+  Printf.printf "cut edges: [%s]\n"
+    (String.concat "; " (List.map string_of_int cut));
+  Printf.printf "cut weight: %d\n" weight;
+  Printf.printf "components: %d\n" (List.length cut + 1);
+  Printf.printf "component weights: [%s]\n"
+    (String.concat "; "
+       (List.map string_of_int (Chain.component_weights chain cut)));
+  Printf.printf "feasible: %b\n" (Chain.is_feasible chain ~k cut)
+
+let partition algorithm path k dot =
+  match (load_instance path, algorithm) with
+  | Io.Chain_instance chain, `Bandwidth -> (
+      match Tlp_core.Bandwidth_hitting.solve chain ~k with
+      | Ok { Tlp_core.Bandwidth_hitting.cut; weight; stats } ->
+          print_chain_solution "bandwidth (TEMP_S)" cut weight chain k;
+          write_dot dot
+            (Tlp_graph.Dot.of_chain
+               ~assignment:(assignment_of_chain_cut chain cut) chain);
+          Printf.printf "primes: %d, groups: %d, q: %.2f\n"
+            stats.Tlp_core.Bandwidth_hitting.p stats.Tlp_core.Bandwidth_hitting.r
+            stats.Tlp_core.Bandwidth_hitting.q_mean
+      | Error e -> fail (Tlp_core.Infeasible.to_string e))
+  | Io.Chain_instance chain, `Bottleneck -> (
+      match Tlp_core.Chain_bottleneck.solve chain ~k with
+      | Ok { Tlp_core.Chain_bottleneck.cut; bottleneck } ->
+          print_chain_solution "chain bottleneck" cut
+            (Chain.cut_weight chain cut) chain k;
+          Printf.printf "bottleneck: %d\n" bottleneck;
+          write_dot dot
+            (Tlp_graph.Dot.of_chain
+               ~assignment:(assignment_of_chain_cut chain cut) chain)
+      | Error e -> fail (Tlp_core.Infeasible.to_string e))
+  | Io.Chain_instance chain, (`Procmin | `Pipeline) -> (
+      (* A chain is a tree; run the tree pipeline on it. *)
+      let t = Tree.of_chain chain in
+      match Tlp_core.Tree_pipeline.partition t ~k with
+      | Ok r ->
+          Printf.printf "algorithm: tree pipeline on chain\n";
+          Printf.printf "components: %d (bottleneck %d, bandwidth %d)\n"
+            r.Tlp_core.Tree_pipeline.n_components
+            r.Tlp_core.Tree_pipeline.bottleneck
+            r.Tlp_core.Tree_pipeline.bandwidth
+      | Error e -> fail (Tlp_core.Infeasible.to_string e))
+  | Io.Tree_instance t, `Bottleneck -> (
+      match Tlp_core.Bottleneck.fast t ~k with
+      | Ok { Tlp_core.Bottleneck.cut; bottleneck } ->
+          Printf.printf "algorithm: tree bottleneck (Alg 2.1)\n";
+          Printf.printf "cut edges: [%s]\n"
+            (String.concat "; " (List.map string_of_int cut));
+          Printf.printf "bottleneck: %d\ncomponents: %d\n" bottleneck
+            (List.length cut + 1)
+      | Error e -> fail (Tlp_core.Infeasible.to_string e))
+  | Io.Tree_instance t, `Procmin -> (
+      match Tlp_core.Proc_min.solve t ~k with
+      | Ok { Tlp_core.Proc_min.cut; n_components } ->
+          Printf.printf "algorithm: processor minimization (Alg 2.2)\n";
+          Printf.printf "cut edges: [%s]\n"
+            (String.concat "; " (List.map string_of_int cut));
+          Printf.printf "components: %d\n" n_components;
+          Printf.printf "component weights: [%s]\n"
+            (String.concat "; "
+               (List.map string_of_int (Tree.component_weights t cut)))
+      | Error e -> fail (Tlp_core.Infeasible.to_string e))
+  | Io.Tree_instance t, `Pipeline -> (
+      match Tlp_core.Tree_pipeline.partition t ~k with
+      | Ok r ->
+          Printf.printf "algorithm: full pipeline (bottleneck + proc-min)\n";
+          Printf.printf "cut edges: [%s]\n"
+            (String.concat "; "
+               (List.map string_of_int r.Tlp_core.Tree_pipeline.cut));
+          Printf.printf "bottleneck: %d\nbandwidth: %d\ncomponents: %d (raw %d)\n"
+            r.Tlp_core.Tree_pipeline.bottleneck r.Tlp_core.Tree_pipeline.bandwidth
+            r.Tlp_core.Tree_pipeline.n_components
+            r.Tlp_core.Tree_pipeline.raw_components;
+          write_dot dot
+            (Tlp_graph.Dot.of_tree
+               ~assignment:
+                 (Tlp_core.Tree_pipeline.assignment t
+                    r.Tlp_core.Tree_pipeline.cut)
+               t)
+      | Error e -> fail (Tlp_core.Infeasible.to_string e))
+  | Io.Tree_instance t, `Bandwidth -> (
+      (* NP-complete in general (Theorem 1); exact for stars. *)
+      match Tlp_core.Star_bandwidth.center t with
+      | Some _ -> (
+          match Tlp_core.Star_bandwidth.solve t ~k with
+          | Ok { Tlp_core.Star_bandwidth.cut; weight; _ } ->
+              Printf.printf "algorithm: star bandwidth (knapsack reduction)\n";
+              Printf.printf "cut edges: [%s]\ncut weight: %d\n"
+                (String.concat "; " (List.map string_of_int cut))
+                weight
+          | Error e -> fail (Tlp_core.Infeasible.to_string e))
+      | None ->
+          fail
+            "bandwidth minimization on general trees is NP-complete \
+             (Theorem 1); only stars are solved exactly — use 'pipeline' \
+             for the bottleneck+proc-min composition")
+
+let partition_cmd =
+  let algorithm =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("bandwidth", `Bandwidth);
+               ("bottleneck", `Bottleneck);
+               ("procmin", `Procmin);
+               ("pipeline", `Pipeline);
+             ])
+          `Bandwidth
+      & info [ "algorithm"; "a" ] ~docv:"ALGO"
+          ~doc:"bandwidth | bottleneck | procmin | pipeline.")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Also write a Graphviz rendering colored by component.")
+  in
+  Cmd.v
+    (Cmd.info "partition" ~doc:"Partition an instance under bound K")
+    Term.(const partition $ algorithm $ instance_arg $ k_arg $ dot)
+
+(* ---------- stats ---------- *)
+
+let stats path ks =
+  let chain = load_chain path in
+  let tab =
+    Texttab.create
+      ~title:(Printf.sprintf "prime-subpath statistics, n = %d" (Chain.n chain))
+      [ "K"; "p"; "r"; "q"; "plogq"; "nlogn"; "opt weight" ]
+  in
+  let nlogn =
+    let n = float_of_int (Chain.n chain) in
+    n *. (log n /. log 2.0)
+  in
+  List.iter
+    (fun k ->
+      match Tlp_core.Bandwidth_hitting.solve chain ~k with
+      | Ok { Tlp_core.Bandwidth_hitting.weight; stats = s; _ } ->
+          let plogq =
+            float_of_int s.Tlp_core.Bandwidth_hitting.p
+            *. (log (Stdlib.max 2.0 s.Tlp_core.Bandwidth_hitting.q_mean)
+               /. log 2.0)
+          in
+          Texttab.add_row tab
+            [
+              string_of_int k;
+              string_of_int s.Tlp_core.Bandwidth_hitting.p;
+              string_of_int s.Tlp_core.Bandwidth_hitting.r;
+              Printf.sprintf "%.2f" s.Tlp_core.Bandwidth_hitting.q_mean;
+              Printf.sprintf "%.1f" plogq;
+              Printf.sprintf "%.1f" nlogn;
+              string_of_int weight;
+            ]
+      | Error e ->
+          Texttab.add_row tab
+            [ string_of_int k; "-"; "-"; "-"; "-"; "-";
+              "infeasible: " ^ Tlp_core.Infeasible.to_string e ])
+    ks;
+  Texttab.print tab
+
+let stats_cmd =
+  let ks =
+    Arg.(
+      non_empty
+      & opt (list int) []
+      & info [ "k-values" ] ~docv:"K1,K2,..." ~doc:"Bounds to sweep.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Prime-subpath statistics across a K sweep")
+    Term.(const stats $ instance_arg $ ks)
+
+(* ---------- simulate ---------- *)
+
+let simulate path k processors bandwidth jobs interconnect =
+  let chain = load_chain path in
+  let cut =
+    match Tlp_core.Bandwidth_hitting.solve chain ~k with
+    | Ok { Tlp_core.Bandwidth_hitting.cut; _ } -> cut
+    | Error e -> fail (Tlp_core.Infeasible.to_string e)
+  in
+  let machine =
+    Tlp_archsim.Machine.make ~interconnect ~bandwidth ~processors ()
+  in
+  let r = Tlp_archsim.Pipeline_sim.run ~machine ~chain ~cut ~jobs in
+  Format.printf "%a@." Tlp_archsim.Pipeline_sim.pp_report r
+
+let simulate_cmd =
+  let processors =
+    Arg.(value & opt int 16 & info [ "processors"; "p" ] ~docv:"P" ~doc:"Processor count.")
+  in
+  let bandwidth =
+    Arg.(value & opt int 1 & info [ "bandwidth" ] ~docv:"B" ~doc:"Network bandwidth.")
+  in
+  let jobs =
+    Arg.(value & opt int 100 & info [ "jobs" ] ~docv:"J" ~doc:"Jobs to stream.")
+  in
+  let interconnect =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("bus", Tlp_archsim.Machine.Bus);
+               ("crossbar", Tlp_archsim.Machine.Crossbar);
+               ("multistage", Tlp_archsim.Machine.Multistage 4);
+             ])
+          Tlp_archsim.Machine.Bus
+      & info [ "interconnect" ] ~docv:"IC" ~doc:"bus | crossbar | multistage.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Partition a chain and execute it on a machine model")
+    Term.(
+      const simulate $ instance_arg $ k_arg $ processors $ bandwidth $ jobs
+      $ interconnect)
+
+(* ---------- dual ---------- *)
+
+let dual path budget processors =
+  let chain = load_chain path in
+  (match budget with
+  | Some b ->
+      let { Tlp_core.Chain_dual.k; cut; cut_weight } =
+        Tlp_core.Chain_dual.min_bound_for_budget chain ~budget:b
+      in
+      Printf.printf "budget %d: minimal K = %d (cut [%s], weight %d)\n" b k
+        (String.concat "; " (List.map string_of_int cut))
+        cut_weight
+  | None -> ());
+  match processors with
+  | Some m ->
+      let { Tlp_core.Chain_dual.k; cut; cut_weight } =
+        Tlp_core.Chain_dual.min_bound_for_processors chain ~m
+      in
+      Printf.printf
+        "processors %d: minimal K = %d (cheapest cut [%s], weight %d)\n" m k
+        (String.concat "; " (List.map string_of_int cut))
+        cut_weight
+  | None -> ()
+
+let dual_cmd =
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"B" ~doc:"Fix the communication budget.")
+  in
+  let processors =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "processors"; "m" ] ~docv:"M" ~doc:"Fix the processor count.")
+  in
+  Cmd.v
+    (Cmd.info "dual"
+       ~doc:"Minimize the execution bound K under a fixed budget or \
+             processor count")
+    Term.(const dual $ instance_arg $ budget $ processors)
+
+(* ---------- tree-simulate ---------- *)
+
+let tree_simulate path k processors =
+  match load_instance path with
+  | Io.Chain_instance _ -> fail "expected a tree instance"
+  | Io.Tree_instance t -> (
+      match Tlp_core.Tree_pipeline.partition t ~k with
+      | Error e -> fail (Tlp_core.Infeasible.to_string e)
+      | Ok r ->
+          let machine = Tlp_archsim.Machine.make ~processors () in
+          let report =
+            Tlp_archsim.Tree_sim.run ~machine ~tree:t
+              ~cut:r.Tlp_core.Tree_pipeline.cut ()
+          in
+          Printf.printf "components: %d (bottleneck %d, bandwidth %d)\n"
+            r.Tlp_core.Tree_pipeline.n_components
+            r.Tlp_core.Tree_pipeline.bottleneck
+            r.Tlp_core.Tree_pipeline.bandwidth;
+          Format.printf "%a@." Tlp_archsim.Tree_sim.pp_report report)
+
+let tree_simulate_cmd =
+  let processors =
+    Arg.(
+      value & opt int 64
+      & info [ "processors"; "p" ] ~docv:"P" ~doc:"Processor count.")
+  in
+  Cmd.v
+    (Cmd.info "tree-simulate"
+       ~doc:"Partition a tree with the full pipeline and execute it on \
+             the machine model")
+    Term.(const tree_simulate $ instance_arg $ k_arg $ processors)
+
+(* ---------- verify ---------- *)
+
+let verify rounds seed =
+  (* Differential fuzzing: random instances, every solver against its
+     oracle.  Exits non-zero on the first disagreement. *)
+  let rng = Rng.create seed in
+  let failures = ref 0 in
+  let checked = ref 0 in
+  for _ = 1 to rounds do
+    let n = 1 + Rng.int rng 12 in
+    let alpha = Array.init n (fun _ -> 1 + Rng.int rng 20) in
+    let beta = Array.init (Stdlib.max 0 (n - 1)) (fun _ -> 1 + Rng.int rng 30) in
+    let chain = Chain.make ~alpha ~beta in
+    let total = Chain.total_weight chain in
+    let k = Chain.max_alpha chain + Rng.int rng (Stdlib.max 1 total) in
+    incr checked;
+    let oracle =
+      Option.map snd (Tlp_baselines.Exhaustive.chain_min_bandwidth chain ~k)
+    in
+    let weight_of = function
+      | Ok { Tlp_core.Bandwidth.weight; _ } -> Some weight
+      | Error _ -> None
+    in
+    let candidates =
+      [
+        weight_of (Tlp_core.Bandwidth.deque chain ~k);
+        weight_of (Tlp_core.Bandwidth.heap chain ~k);
+        (match Tlp_core.Bandwidth_hitting.solve chain ~k with
+        | Ok { Tlp_core.Bandwidth_hitting.weight; _ } -> Some weight
+        | Error _ -> None);
+        (match Tlp_core.Bandwidth_primes_naive.solve chain ~k with
+        | Ok { Tlp_core.Bandwidth_primes_naive.weight; _ } -> Some weight
+        | Error _ -> None);
+      ]
+    in
+    if not (List.for_all (( = ) oracle) candidates) then begin
+      incr failures;
+      Printf.eprintf "MISMATCH on chain n=%d k=%d\n" n k
+    end;
+    (* Tree side: bottleneck + proc-min vs exhaustive. *)
+    let weights = Array.init n (fun _ -> 1 + Rng.int rng 20) in
+    let parents =
+      Array.init (n - 1) (fun i -> (Rng.int rng (i + 1), 1 + Rng.int rng 30))
+    in
+    let t = Tree.of_parents ~weights ~parents in
+    let tk =
+      Array.fold_left Stdlib.max 1 weights
+      + Rng.int rng (Stdlib.max 1 (Tree.total_weight t))
+    in
+    (match
+       ( Tlp_core.Bottleneck.fast t ~k:tk,
+         Tlp_baselines.Exhaustive.tree_min_bottleneck t ~k:tk )
+     with
+    | Ok { Tlp_core.Bottleneck.bottleneck; _ }, Some (_, best)
+      when bottleneck = best ->
+        ()
+    | _ ->
+        incr failures;
+        Printf.eprintf "MISMATCH on tree bottleneck n=%d k=%d\n" n tk);
+    match
+      ( Tlp_core.Proc_min.solve t ~k:tk,
+        Tlp_baselines.Exhaustive.tree_min_cardinality t ~k:tk )
+    with
+    | Ok { Tlp_core.Proc_min.cut; _ }, Some (_, best)
+      when List.length cut = best ->
+        ()
+    | _ ->
+        incr failures;
+        Printf.eprintf "MISMATCH on proc-min n=%d k=%d\n" n tk
+  done;
+  Printf.printf "verified %d random instances: %d failures\n" !checked !failures;
+  if !failures > 0 then exit 1
+
+let verify_cmd =
+  let rounds =
+    Arg.(
+      value & opt int 500
+      & info [ "rounds" ] ~docv:"N" ~doc:"Random instances to check.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Differential check of every solver against exhaustive oracles")
+    Term.(const verify $ rounds $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "tlp" ~version:"1.0.0"
+      ~doc:"Partitioning tree and linear task graphs on shared memory \
+            architecture (Ray & Jiang, ICDCS 1994)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; partition_cmd; stats_cmd; simulate_cmd; dual_cmd;
+            tree_simulate_cmd; verify_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/circuit_sim.ml: Array Dump Fmt Format Printf Stdlib Tlp_baselines Tlp_core Tlp_des Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+examples/divide_and_conquer.ml: Format List Printf Tlp_archsim Tlp_core Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+examples/divide_and_conquer.mli:

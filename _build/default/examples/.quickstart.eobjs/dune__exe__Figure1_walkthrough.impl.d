@@ -1,0 +1,1 @@
+examples/figure1_walkthrough.ml: Dump Fmt Format List Tlp_core Tlp_graph

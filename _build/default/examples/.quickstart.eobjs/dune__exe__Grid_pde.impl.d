@@ -1,0 +1,1 @@
+examples/grid_pde.ml: Format List Printf Tlp_archsim Tlp_baselines Tlp_core Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+examples/grid_pde.mli:

@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Array Dump Fmt Format List Printf Tlp_archsim Tlp_baselines Tlp_core Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dump Fmt Format Tlp_core Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+examples/realtime_pipeline.ml: Dump Fmt Format List Printf Tlp_archsim Tlp_core Tlp_graph Tlp_realtime Tlp_util

@@ -1,0 +1,1 @@
+examples/realtime_pipeline.mli:

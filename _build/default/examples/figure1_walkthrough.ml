@@ -1,0 +1,55 @@
+(* A step-by-step trace of Algorithm 2.2 (processor minimization) in the
+   style of the paper's Figure 1 example.
+
+   Run with: dune exec examples/figure1_walkthrough.exe *)
+
+module Tree = Tlp_graph.Tree
+module Proc_min = Tlp_core.Proc_min
+
+let () =
+  (* A two-level tree: root 0 with two internal children, each carrying
+     leaves of mixed weights — the shape Figure 1 uses to demonstrate
+     leaf pruning. *)
+  let tree =
+    Tree.make
+      ~weights:[| 2; 3; 1; 6; 5; 4; 7; 2; 3 |]
+      ~edges:
+        [
+          (0, 1, 1);  (* e0: root - internal A *)
+          (0, 2, 1);  (* e1: root - internal B *)
+          (1, 3, 1);  (* e2: A - leaf 6 *)
+          (1, 4, 1);  (* e3: A - leaf 5 *)
+          (1, 5, 1);  (* e4: A - leaf 4 *)
+          (2, 6, 1);  (* e5: B - leaf 7 *)
+          (2, 7, 1);  (* e6: B - leaf 2 *)
+          (2, 8, 1);  (* e7: B - leaf 3 *)
+        ]
+  in
+  let k = 12 in
+  Format.printf "%a@.K = %d@.@." Tree.pp tree k;
+  Format.printf "Algorithm 2.2 trace (post-order schedule):@.";
+  let step_no = ref 0 in
+  let on_step { Proc_min.vertex; gathered; cut_children; residual } =
+    incr step_no;
+    Format.printf "step %d: process internal node %d, W = %d@." !step_no vertex
+      gathered;
+    if cut_children = [] then
+      Format.printf "         W <= K: prune leaves into %d (weight %d)@."
+        vertex residual
+    else begin
+      List.iter
+        (fun (child, w) ->
+          Format.printf "         W > K: cut heaviest leaf %d (weight %d)@."
+            child w)
+        cut_children;
+      Format.printf "         remaining component weight %d@." residual
+    end
+  in
+  match Proc_min.solve ~on_step tree ~k with
+  | Ok { Proc_min.cut; n_components } ->
+      Format.printf "@.Final cut: edges %a -> %d components of weights %a@."
+        Fmt.(Dump.list int)
+        cut n_components
+        Fmt.(Dump.list int)
+        (Tree.component_weights tree cut)
+  | Error e -> Format.printf "infeasible: %a@." Tlp_core.Infeasible.pp e

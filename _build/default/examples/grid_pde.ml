@@ -1,0 +1,75 @@
+(* The introduction's PDE scenario: an iterative stencil computation over
+   a grid of points, decomposed into strips.  The grid's process graph is
+   linearized into the strip chain via the §3 supergraph construction,
+   partitioned with the bandwidth algorithm, and executed as an iterative
+   pipeline on the machine model.
+
+   Run with: dune exec examples/grid_pde.exe *)
+
+module Graph = Tlp_graph.Graph
+module Graph_gen = Tlp_graph.Graph_gen
+module Chain = Tlp_graph.Chain
+module Weights = Tlp_graph.Weights
+module Supergraph = Tlp_core.Supergraph
+module Hitting = Tlp_core.Bandwidth_hitting
+module Machine = Tlp_archsim.Machine
+module Sim = Tlp_archsim.Pipeline_sim
+module Greedy = Tlp_baselines.Greedy
+module Rng = Tlp_util.Rng
+module Texttab = Tlp_util.Texttab
+
+let () =
+  let rng = Rng.create 314 in
+  (* 40 x 24 grid; per-point work varies (boundary conditions, local
+     refinement), neighbour exchanges carry varying-size halos. *)
+  let rows = 60 and cols = 8 in
+  let grid =
+    Graph_gen.grid rng ~rows ~cols
+      ~weight_dist:(Weights.Bimodal (2, 8, 0.2))
+      ~delta_dist:(Weights.Bimodal (1, 40, 0.1))
+  in
+  Format.printf "Grid: %dx%d points, total work %d, total halo traffic %d@."
+    rows cols (Graph.total_weight grid)
+    (Graph.total_edge_weight grid);
+
+  (* BFS from a corner linearizes the grid into anti-diagonal strips. *)
+  let sg = Supergraph.linearize grid in
+  Format.printf "Linear supergraph: %d strips (intra-strip halos folded: %d)@.@."
+    (Chain.n sg.Supergraph.chain)
+    sg.Supergraph.intra_level_weight;
+
+  let chain = sg.Supergraph.chain in
+  let k = Chain.total_weight chain / 6 in
+  let optimal =
+    match Hitting.solve chain ~k with
+    | Ok { Hitting.cut; _ } -> cut
+    | Error e ->
+        Format.printf "infeasible: %a@." Tlp_core.Infeasible.pp e;
+        exit 1
+  in
+  let naive = Greedy.first_fit chain ~k in
+  let tab =
+    Texttab.create
+      ~title:
+        (Printf.sprintf "K = %d, 100 sweeps on an 8-processor machine" k)
+      [
+        "partition"; "strips cut"; "traffic/sweep"; "makespan"; "throughput";
+      ]
+  in
+  List.iter
+    (fun (name, cut) ->
+      let machine = Machine.make ~processors:8 ~bandwidth:4 () in
+      let r = Sim.run ~machine ~chain ~cut ~jobs:100 in
+      Texttab.add_row tab
+        [
+          name;
+          string_of_int (List.length cut);
+          string_of_int (Chain.cut_weight chain cut);
+          string_of_int r.Sim.makespan;
+          Printf.sprintf "%.4f" r.Sim.throughput;
+        ])
+    [ ("bandwidth-optimal", optimal); ("first-fit", naive) ];
+  Texttab.print tab;
+  Format.printf
+    "@.Strip boundaries chosen by the bandwidth algorithm sit where the@.\
+     halo exchange is cheapest, cutting per-sweep network traffic.@."

@@ -1,0 +1,105 @@
+(* The introduction's image/signal-processing scenario: a pipeline of
+   processing stages fed with a stream of frames, mapped onto a shared
+   memory multiprocessor with different interconnects.
+
+   Run with: dune exec examples/image_pipeline.exe *)
+
+module Chain = Tlp_graph.Chain
+module Chain_gen = Tlp_graph.Chain_gen
+module Hitting = Tlp_core.Bandwidth_hitting
+module Machine = Tlp_archsim.Machine
+module Sim = Tlp_archsim.Pipeline_sim
+module Greedy = Tlp_baselines.Greedy
+module Texttab = Tlp_util.Texttab
+
+let stage_names =
+  [
+    "capture"; "debayer"; "denoise"; "white-balance"; "tone-map"; "sharpen";
+    "edge-detect"; "segment"; "feature-extract"; "classify"; "annotate";
+    "encode";
+  ]
+
+let () =
+  (* Costs in Minstr per frame; messages in KB between stages (full
+     frames early, features later). *)
+  let chain =
+    Chain_gen.pipeline
+      ~stage_costs:[ 4; 10; 22; 6; 9; 14; 18; 25; 12; 16; 3; 20 ]
+      ~message_sizes:[ 64; 64; 64; 64; 64; 32; 16; 8; 4; 2; 2 ]
+  in
+  Format.printf "Image pipeline (%d stages):@." (Chain.n chain);
+  List.iteri
+    (fun i name ->
+      Format.printf "  %-16s cost=%d%s@." name chain.Chain.alpha.(i)
+        (if i < Chain.n_edges chain then
+           Printf.sprintf "  -> %d KB" chain.Chain.beta.(i)
+         else ""))
+    stage_names;
+
+  let k = 42 in
+  let optimal =
+    match Hitting.solve chain ~k with
+    | Ok { Hitting.cut; _ } -> cut
+    | Error _ -> failwith "infeasible"
+  in
+  let naive = Greedy.first_fit chain ~k in
+  Format.printf
+    "@.K = %d: bandwidth-optimal cut %a (traffic %d KB/frame), first-fit %a \
+     (traffic %d KB/frame)@."
+    k
+    Fmt.(Dump.list int)
+    optimal (Chain.cut_weight chain optimal)
+    Fmt.(Dump.list int)
+    naive (Chain.cut_weight chain naive);
+
+  let tab =
+    Texttab.create ~title:"\n500 frames on 6 processors"
+      [ "interconnect"; "partition"; "makespan"; "throughput"; "net busy" ]
+  in
+  List.iter
+    (fun (ic_name, ic) ->
+      List.iter
+        (fun (p_name, cut) ->
+          let machine =
+            Machine.make ~interconnect:ic ~bandwidth:8 ~processors:6 ()
+          in
+          let r = Sim.run ~machine ~chain ~cut ~jobs:500 in
+          Texttab.add_row tab
+            [
+              ic_name;
+              p_name;
+              string_of_int r.Sim.makespan;
+              Printf.sprintf "%.4f" r.Sim.throughput;
+              string_of_int r.Sim.network_busy_time;
+            ])
+        [ ("optimal", optimal); ("first-fit", naive) ])
+    [
+      ("shared bus", Machine.Bus);
+      ("crossbar", Machine.Crossbar);
+      ("multistage(4)", Machine.Multistage 4);
+    ];
+  Texttab.print tab;
+
+  (* A Gantt strip of the optimal partition warming up on the bus. *)
+  let machine = Machine.make ~bandwidth:8 ~processors:6 () in
+  let r = Sim.run ~machine ~chain ~cut:optimal ~jobs:12 in
+  let rows =
+    List.concat
+      [
+        List.mapi
+          (fun s iv ->
+            Tlp_archsim.Gantt.of_busy_until
+              ~label:(Printf.sprintf "stage %d" s)
+              iv)
+          (Array.to_list r.Sim.stage_intervals);
+        List.filteri
+          (fun _ iv -> iv <> [])
+          (Array.to_list r.Sim.channel_intervals)
+        |> List.mapi (fun c iv ->
+               Tlp_archsim.Gantt.of_busy_until
+                 ~label:(Printf.sprintf "bus ch%d" c)
+                 iv);
+      ]
+  in
+  Format.printf "@.Pipeline warm-up, 12 frames (time →):@.%s"
+    (Tlp_archsim.Gantt.render ~width:64 rows)

@@ -1,0 +1,54 @@
+(* Quickstart: partition a linear task graph with the paper's algorithms.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Chain = Tlp_graph.Chain
+module Hitting = Tlp_core.Bandwidth_hitting
+module Chain_bottleneck = Tlp_core.Chain_bottleneck
+
+let () =
+  (* A 10-stage pipeline: stage costs (instructions) and inter-stage
+     message volumes (bits). *)
+  let chain =
+    Chain.of_lists
+      [ 12; 7; 9; 14; 6; 11; 8; 13; 5; 10 ]
+      [ 40; 3; 25; 8; 30; 2; 18; 5; 22 ]
+  in
+  let k = 30 in
+  Format.printf "Task graph: %a@." Chain.pp chain;
+  Format.printf "Execution-time bound K = %d@.@." k;
+
+  (* Bandwidth minimization (§2.3): cheapest total communication. *)
+  (match Hitting.solve chain ~k with
+  | Ok { Hitting.cut; weight; stats } ->
+      Format.printf "Bandwidth-optimal cut: edges %a  (total traffic %d)@."
+        Fmt.(Dump.list int)
+        cut weight;
+      Format.printf "  components: %a@."
+        Fmt.(Dump.list int)
+        (Chain.component_weights chain cut);
+      Format.printf "  primes p=%d, non-redundant edges r=%d, q=%.2f@.@."
+        stats.Hitting.p stats.Hitting.r stats.Hitting.q_mean
+  | Error e -> Format.printf "infeasible: %a@." Tlp_core.Infeasible.pp e);
+
+  (* Bottleneck minimization: smallest worst single message. *)
+  (match Chain_bottleneck.solve chain ~k with
+  | Ok { Chain_bottleneck.cut; bottleneck } ->
+      Format.printf "Bottleneck-optimal cut: edges %a  (max message %d)@."
+        Fmt.(Dump.list int)
+        cut bottleneck
+  | Error e -> Format.printf "infeasible: %a@." Tlp_core.Infeasible.pp e);
+
+  (* Trees work the same way through the §2 pipeline. *)
+  let rng = Tlp_util.Rng.create 42 in
+  let d = Tlp_graph.Weights.Uniform (1, 10) in
+  let tree =
+    Tlp_graph.Tree_gen.random_attachment rng ~n:12 ~weight_dist:d ~delta_dist:d
+  in
+  match Tlp_core.Tree_pipeline.partition tree ~k:20 with
+  | Ok r ->
+      Format.printf
+        "@.Tree partition: %d components (bottleneck %d, bandwidth %d)@."
+        r.Tlp_core.Tree_pipeline.n_components r.Tlp_core.Tree_pipeline.bottleneck
+        r.Tlp_core.Tree_pipeline.bandwidth
+  | Error e -> Format.printf "tree infeasible: %a@." Tlp_core.Infeasible.pp e

@@ -1,0 +1,1 @@
+lib/archsim/gantt.ml: Buffer List Printf Stdlib String

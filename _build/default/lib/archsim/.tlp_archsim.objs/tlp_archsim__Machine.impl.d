@@ -1,0 +1,1 @@
+lib/archsim/machine.ml: Stdlib

@@ -1,0 +1,1 @@
+lib/archsim/machine.mli:

@@ -1,0 +1,1 @@
+lib/archsim/pipeline_sim.ml: Array Format List Machine Queue Stdlib Tlp_graph Tlp_util

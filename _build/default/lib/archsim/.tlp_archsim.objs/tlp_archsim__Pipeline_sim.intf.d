@@ -1,0 +1,1 @@
+lib/archsim/pipeline_sim.mli: Format Machine Tlp_graph

@@ -1,0 +1,1 @@
+lib/archsim/tree_sim.ml: Array Format List Machine Queue Stack Stdlib Tlp_graph Tlp_util

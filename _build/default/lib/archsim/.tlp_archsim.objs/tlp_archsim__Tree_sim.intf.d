@@ -1,0 +1,1 @@
+lib/archsim/tree_sim.mli: Format Machine Tlp_graph

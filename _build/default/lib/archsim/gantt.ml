@@ -1,0 +1,57 @@
+type row = {
+  label : string;
+  busy : (int * int) list;
+}
+
+let of_busy_until ~label busy = { label; busy }
+
+(* UTF-8 shade blocks; we build strings directly since the glyphs are
+   multi-byte. *)
+let shade frac =
+  if frac <= 0.0 then " "
+  else if frac <= 0.25 then "\xe2\x96\x91" (* ░ *)
+  else if frac <= 0.5 then "\xe2\x96\x92" (* ▒ *)
+  else if frac <= 0.75 then "\xe2\x96\x93" (* ▓ *)
+  else "\xe2\x96\x88" (* █ *)
+
+let render ?(width = 72) ?t_end rows =
+  let horizon =
+    match t_end with
+    | Some t -> t
+    | None ->
+        List.fold_left
+          (fun acc { busy; _ } ->
+            List.fold_left (fun acc (_, e) -> Stdlib.max acc e) acc busy)
+          1 rows
+  in
+  let horizon = Stdlib.max horizon 1 in
+  let label_width =
+    List.fold_left (fun acc { label; _ } -> Stdlib.max acc (String.length label)) 0 rows
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun { label; busy } ->
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.make (label_width - String.length label) ' ');
+      Buffer.add_string buf " |";
+      for b = 0 to width - 1 do
+        (* Bucket [b] covers time [lo, hi). *)
+        let lo = b * horizon / width in
+        let hi = Stdlib.max (lo + 1) ((b + 1) * horizon / width) in
+        let covered =
+          List.fold_left
+            (fun acc (s, e) ->
+              acc + Stdlib.max 0 (Stdlib.min e hi - Stdlib.max s lo))
+            0 busy
+        in
+        let frac = float_of_int covered /. float_of_int (hi - lo) in
+        Buffer.add_string buf (shade frac)
+      done;
+      Buffer.add_string buf "|\n")
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "%s  0%s%d\n"
+       (String.make label_width ' ')
+       (String.make (Stdlib.max 1 (width - String.length (string_of_int horizon))) ' ')
+       horizon);
+  Buffer.contents buf

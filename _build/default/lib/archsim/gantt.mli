@@ -1,0 +1,19 @@
+(** Plain-text Gantt rendering of simulator activity, for the examples
+    and for eyeballing schedules.
+
+    Rows are resources (processors, channels); each row is a fixed-width
+    strip of time buckets whose glyph encodes how busy the bucket was. *)
+
+type row = {
+  label : string;
+  busy : (int * int) list;  (** [start, end) busy intervals *)
+}
+
+val render : ?width:int -> ?t_end:int -> row list -> string
+(** [render rows] draws one line per row, time scaled into [width]
+    buckets (default 72).  [t_end] defaults to the largest interval
+    end.  Glyphs: space = idle, [░▒▓█] = quarter-steps of bucket
+    occupancy. *)
+
+val of_busy_until : label:string -> (int * int) list -> row
+(** Identity helper matching the simulators' interval logs. *)

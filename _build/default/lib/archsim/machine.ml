@@ -1,0 +1,45 @@
+type interconnect =
+  | Bus
+  | Crossbar
+  | Multistage of int
+
+type t = {
+  processors : int;
+  speed : int;
+  bandwidth : int;
+  interconnect : interconnect;
+}
+
+let make ?(interconnect = Bus) ?(speed = 1) ?(bandwidth = 1) ~processors () =
+  if processors < 1 then invalid_arg "Machine.make: processors must be >= 1";
+  if speed < 1 then invalid_arg "Machine.make: speed must be >= 1";
+  if bandwidth < 1 then invalid_arg "Machine.make: bandwidth must be >= 1";
+  (match interconnect with
+  | Multistage links when links < 1 ->
+      invalid_arg "Machine.make: multistage needs >= 1 channel"
+  | Bus | Crossbar | Multistage _ -> ());
+  { processors; speed; bandwidth; interconnect }
+
+let ceil_div a b = (a + b - 1) / b
+
+let compute_time t work =
+  if work < 0 then invalid_arg "Machine.compute_time: negative work";
+  ceil_div work t.speed
+
+let transfer_time t bits =
+  if bits < 0 then invalid_arg "Machine.transfer_time: negative size";
+  ceil_div bits t.bandwidth
+
+let channel_of t ~src ~dst =
+  match t.interconnect with
+  | Bus -> 0
+  | Crossbar ->
+      let a = Stdlib.min src dst and b = Stdlib.max src dst in
+      (a * t.processors) + b
+  | Multistage links -> ((src * 31) + dst) mod links
+
+let n_channels t =
+  match t.interconnect with
+  | Bus -> 1
+  | Crossbar -> t.processors * t.processors
+  | Multistage links -> links

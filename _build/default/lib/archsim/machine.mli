@@ -1,0 +1,50 @@
+(** Shared-memory multiprocessor model.
+
+    The paper's target architecture: homogeneous processors behind an
+    interconnect with symmetric, uniform latency (bus, crossbar or
+    multistage network), so that mapping components to processors is
+    trivial and only {e how much} traffic crosses the network matters.
+    The interconnect choice decides how transfers contend:
+
+    - {b Bus}: one shared resource; all transfers serialize.
+    - {b Crossbar}: a transfer occupies only its source-destination pair;
+      disjoint pairs proceed in parallel.
+    - {b Multistage}: approximated as [links] parallel channels
+      (transfers hash onto channels and serialize per channel) — the
+      blocking behaviour of an Omega-style network without modeling the
+      exact switch pattern. *)
+
+type interconnect =
+  | Bus
+  | Crossbar
+  | Multistage of int  (** number of parallel channels, >= 1 *)
+
+type t = {
+  processors : int;       (** available processors, >= 1 *)
+  speed : int;            (** instructions per time unit, >= 1 *)
+  bandwidth : int;        (** bits per time unit per channel, >= 1 *)
+  interconnect : interconnect;
+}
+
+val make :
+  ?interconnect:interconnect ->
+  ?speed:int ->
+  ?bandwidth:int ->
+  processors:int ->
+  unit ->
+  t
+(** Defaults: [Bus], speed 1, bandwidth 1. *)
+
+val compute_time : t -> int -> int
+(** [compute_time m work] = ceiling of work / speed. *)
+
+val transfer_time : t -> int -> int
+(** [transfer_time m bits] = ceiling of bits / bandwidth (uncontended). *)
+
+val channel_of : t -> src:int -> dst:int -> int
+(** The contention channel a src→dst transfer occupies: 0 for a bus, a
+    pair-id for a crossbar, a hash for a multistage network. *)
+
+val n_channels : t -> int
+(** Number of distinct contention channels (sizes the simulator's
+    resource table). *)

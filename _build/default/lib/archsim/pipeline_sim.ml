@@ -1,0 +1,159 @@
+module Chain = Tlp_graph.Chain
+module Minheap = Tlp_util.Minheap
+
+type report = {
+  n_stages : int;
+  makespan : int;
+  throughput : float;
+  avg_latency : float;
+  stage_busy : float array;
+  network_busy_time : int;
+  max_channel_busy : int;
+  traffic_per_job : int;
+  stage_intervals : (int * int) list array;
+  channel_intervals : (int * int) list array;
+}
+
+type event_kind =
+  | Input of int * int          (* job arrives at stage *)
+  | Compute_done of int * int   (* job finished computing at stage *)
+  | Transfer_done of int * int  (* job's output of stage crossed the net *)
+
+type event = { time : int; seq : int; kind : event_kind }
+
+let run_stream ~interarrival ~machine ~chain ~cut ~jobs =
+  if jobs < 1 then invalid_arg "Pipeline_sim.run: jobs must be >= 1";
+  if interarrival < 0 then
+    invalid_arg "Pipeline_sim.run: negative interarrival";
+  if not (Chain.is_valid_cut chain cut) then
+    invalid_arg "Pipeline_sim.run: invalid cut";
+  let components = Chain.components chain cut in
+  let n_stages = List.length components in
+  if n_stages > machine.Machine.processors then
+    invalid_arg "Pipeline_sim.run: more components than processors";
+  let compute_time =
+    components
+    |> List.map (fun (i, j) ->
+           Machine.compute_time machine (Chain.segment_weight chain i j))
+    |> Array.of_list
+  in
+  let transfer_size = Array.of_list (List.map (fun e -> chain.Chain.beta.(e)) cut) in
+  let transfer_time =
+    Array.map (Machine.transfer_time machine) transfer_size
+  in
+  (* Stage s runs on processor s; its outbound transfers use a fixed
+     contention channel. *)
+  let out_channel =
+    Array.init (Stdlib.max 0 (n_stages - 1)) (fun s ->
+        Machine.channel_of machine ~src:s ~dst:(s + 1))
+  in
+  let n_channels = Machine.n_channels machine in
+  let heap =
+    Minheap.create ~cmp:(fun a b ->
+        let c = compare a.time b.time in
+        if c <> 0 then c else compare a.seq b.seq)
+  in
+  let seq = ref 0 in
+  let push time kind =
+    Minheap.push heap { time; seq = !seq; kind };
+    incr seq
+  in
+  (* Stage state *)
+  let stage_busy_until = Array.make n_stages (-1) in
+  let stage_busy_total = Array.make n_stages 0 in
+  let inputs = Array.init n_stages (fun _ -> Queue.create ()) in
+  (* Channel state *)
+  let chan_busy = Array.make n_channels false in
+  let chan_queue : (int * int) Queue.t array =
+    Array.init n_channels (fun _ -> Queue.create ())
+  in
+  let chan_busy_total = Array.make n_channels 0 in
+  let stage_intervals = Array.make n_stages [] in
+  let channel_intervals = Array.make n_channels [] in
+  let completions = Array.make jobs 0 in
+  let try_start s t =
+    if stage_busy_until.(s) < t && not (Queue.is_empty inputs.(s)) then begin
+      let j = Queue.pop inputs.(s) in
+      let finish = t + compute_time.(s) in
+      stage_busy_until.(s) <- finish - 1;
+      stage_busy_total.(s) <- stage_busy_total.(s) + compute_time.(s);
+      stage_intervals.(s) <- (t, finish) :: stage_intervals.(s);
+      push finish (Compute_done (j, s))
+    end
+  in
+  let start_transfer j s t =
+    let ch = out_channel.(s) in
+    chan_busy.(ch) <- true;
+    chan_busy_total.(ch) <- chan_busy_total.(ch) + transfer_time.(s);
+    channel_intervals.(ch) <- (t, t + transfer_time.(s)) :: channel_intervals.(ch);
+    push (t + transfer_time.(s)) (Transfer_done (j, s))
+  in
+  for j = 0 to jobs - 1 do
+    push (j * interarrival) (Input (j, 0))
+  done;
+  let last_time = ref 0 in
+  let rec loop () =
+    match Minheap.pop heap with
+    | None -> ()
+    | Some { time = t; kind; _ } ->
+        last_time := Stdlib.max !last_time t;
+        (match kind with
+        | Input (j, s) ->
+            Queue.push j inputs.(s);
+            try_start s t
+        | Compute_done (j, s) ->
+            if s = n_stages - 1 then completions.(j) <- t
+            else begin
+              let ch = out_channel.(s) in
+              if chan_busy.(ch) then Queue.push (j, s) chan_queue.(ch)
+              else start_transfer j s t
+            end;
+            try_start s t
+        | Transfer_done (j, s) ->
+            push t (Input (j, s + 1));
+            let ch = out_channel.(s) in
+            if Queue.is_empty chan_queue.(ch) then chan_busy.(ch) <- false
+            else begin
+              let j', s' = Queue.pop chan_queue.(ch) in
+              start_transfer j' s' t
+            end);
+        loop ()
+  in
+  loop ();
+  let makespan = Array.fold_left Stdlib.max 0 completions in
+  let network_busy_time = Array.fold_left ( + ) 0 chan_busy_total in
+  let max_channel_busy = Array.fold_left Stdlib.max 0 chan_busy_total in
+  {
+    n_stages;
+    makespan;
+    throughput =
+      (if makespan = 0 then float_of_int jobs
+       else float_of_int jobs /. float_of_int makespan);
+    avg_latency =
+      (let total = ref 0.0 in
+       Array.iteri
+         (fun j t -> total := !total +. float_of_int (t - (j * interarrival)))
+         completions;
+       !total /. float_of_int jobs);
+    stage_busy =
+      Array.map
+        (fun b ->
+          if makespan = 0 then 0.0 else float_of_int b /. float_of_int makespan)
+        stage_busy_total;
+    network_busy_time;
+    max_channel_busy;
+    traffic_per_job = Array.fold_left ( + ) 0 transfer_size;
+    stage_intervals = Array.map List.rev stage_intervals;
+    channel_intervals = Array.map List.rev channel_intervals;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>stages=%d makespan=%d throughput=%.4f avg_latency=%.1f@,\
+     network_busy=%d max_channel_busy=%d traffic/job=%d@]"
+    r.n_stages r.makespan r.throughput r.avg_latency r.network_busy_time
+    r.max_channel_busy r.traffic_per_job
+
+
+let run ~machine ~chain ~cut ~jobs =
+  run_stream ~interarrival:0 ~machine ~chain ~cut ~jobs

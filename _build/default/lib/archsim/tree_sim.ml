@@ -1,0 +1,182 @@
+module Tree = Tlp_graph.Tree
+module Minheap = Tlp_util.Minheap
+
+type report = {
+  makespan : int;
+  critical_path : int;
+  processor_busy : int array;
+  utilization : float;
+  network_busy_time : int;
+  traffic : int;
+}
+
+type event_kind =
+  | Task_done of int
+  | Transfer_done of int  (* child task whose result crossed the net *)
+
+type event = { time : int; seq : int; kind : event_kind }
+
+let run ~machine ~tree ~cut ?(root = 0) () =
+  if not (Tree.is_valid_cut tree cut) then
+    invalid_arg "Tree_sim.run: invalid cut";
+  let n = Tree.n tree in
+  if root < 0 || root >= n then invalid_arg "Tree_sim.run: bad root";
+  let comps = Tree.components tree cut in
+  let n_procs = List.length comps in
+  if n_procs > machine.Machine.processors then
+    invalid_arg "Tree_sim.run: more components than processors";
+  let proc_of = Array.make n 0 in
+  List.iteri (fun p vs -> List.iter (fun v -> proc_of.(v) <- p) vs) comps;
+  (* Rooted structure. *)
+  let parent = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let pending = Array.make n 0 in
+  let order = Array.make n root in
+  let visited = Array.make n false in
+  let stack = Stack.create () in
+  Stack.push root stack;
+  visited.(root) <- true;
+  let idx = ref 0 in
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
+    order.(!idx) <- v;
+    incr idx;
+    List.iter
+      (fun (u, e) ->
+        if not visited.(u) then begin
+          visited.(u) <- true;
+          parent.(u) <- v;
+          parent_edge.(u) <- e;
+          pending.(v) <- pending.(v) + 1;
+          Stack.push u stack
+        end)
+      (Tree.neighbors tree v)
+  done;
+  (* Communication-free critical path. *)
+  let cp = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let v = order.(i) in
+    let best_child =
+      List.fold_left
+        (fun acc (u, _) -> if parent.(u) = v then Stdlib.max acc cp.(u) else acc)
+        0 (Tree.neighbors tree v)
+    in
+    cp.(v) <- Machine.compute_time machine (Tree.weight tree v) + best_child
+  done;
+  (* Event-driven execution. *)
+  let heap =
+    Minheap.create ~cmp:(fun a b ->
+        let c = compare a.time b.time in
+        if c <> 0 then c else compare a.seq b.seq)
+  in
+  let seq = ref 0 in
+  let push time kind =
+    Minheap.push heap { time; seq = !seq; kind };
+    incr seq
+  in
+  (* Per-processor ready queues ordered by task id. *)
+  let ready = Array.init n_procs (fun _ -> Minheap.create ~cmp:compare) in
+  let proc_free_at = Array.make n_procs 0 in
+  let proc_busy = Array.make n_procs 0 in
+  let proc_idle = Array.make n_procs true in
+  let arrival = Array.make n 0 in
+  let finish = Array.make n 0 in
+  let n_channels = Machine.n_channels machine in
+  let chan_busy = Array.make n_channels false in
+  let chan_queue : (int * int) Queue.t array =
+    (* (child task, transfer time) *)
+    Array.init n_channels (fun _ -> Queue.create ())
+  in
+  let network_busy = ref 0 in
+  let try_start p t =
+    if proc_idle.(p) && not (Minheap.is_empty ready.(p)) then begin
+      let v = Minheap.pop_exn ready.(p) in
+      let start = Stdlib.max t proc_free_at.(p) in
+      let ct = Machine.compute_time machine (Tree.weight tree v) in
+      proc_idle.(p) <- false;
+      proc_free_at.(p) <- start + ct;
+      proc_busy.(p) <- proc_busy.(p) + ct;
+      push (start + ct) (Task_done v)
+    end
+  in
+  let make_ready v t =
+    let p = proc_of.(v) in
+    Minheap.push ready.(p) v;
+    try_start p t
+  in
+  (* Leaves (no children) are ready immediately. *)
+  for v = 0 to n - 1 do
+    if pending.(v) = 0 then make_ready v 0
+  done;
+  let deliver v t =
+    (* v's result is now at its parent. *)
+    let u = parent.(v) in
+    arrival.(u) <- Stdlib.max arrival.(u) t;
+    pending.(u) <- pending.(u) - 1;
+    if pending.(u) = 0 then make_ready u arrival.(u)
+  in
+  let start_transfer child tt t =
+    let p = proc_of.(child) and q = proc_of.(parent.(child)) in
+    let ch = Machine.channel_of machine ~src:p ~dst:q in
+    chan_busy.(ch) <- true;
+    network_busy := !network_busy + tt;
+    push (t + tt) (Transfer_done child)
+  in
+  let makespan = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Minheap.pop heap with
+    | None -> continue := false
+    | Some { time = t; kind; _ } ->
+        makespan := Stdlib.max !makespan t;
+        (match kind with
+        | Task_done v ->
+            finish.(v) <- t;
+            let p = proc_of.(v) in
+            proc_idle.(p) <- true;
+            if v <> root then begin
+              let u = parent.(v) in
+              if proc_of.(u) = p then deliver v t
+              else begin
+                let tt =
+                  Machine.transfer_time machine
+                    (Tree.delta tree parent_edge.(v))
+                in
+                let ch =
+                  Machine.channel_of machine ~src:p ~dst:(proc_of.(u))
+                in
+                if chan_busy.(ch) then Queue.push (v, tt) chan_queue.(ch)
+                else start_transfer v tt t
+              end
+            end;
+            try_start p t
+        | Transfer_done v ->
+            deliver v t;
+            let p = proc_of.(v) and q = proc_of.(parent.(v)) in
+            let ch = Machine.channel_of machine ~src:p ~dst:q in
+            if Queue.is_empty chan_queue.(ch) then chan_busy.(ch) <- false
+            else begin
+              let v', tt' = Queue.pop chan_queue.(ch) in
+              start_transfer v' tt' t
+            end)
+  done;
+  let used = Array.length proc_busy in
+  {
+    makespan = !makespan;
+    critical_path = cp.(root);
+    processor_busy = proc_busy;
+    utilization =
+      (if !makespan = 0 then 1.0
+       else
+         Array.fold_left ( +. ) 0.0
+           (Array.map (fun b -> float_of_int b /. float_of_int !makespan) proc_busy)
+         /. float_of_int used);
+    network_busy_time = !network_busy;
+    traffic = Tree.cut_weight tree cut;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>makespan=%d critical_path=%d utilization=%.2f network_busy=%d \
+     traffic=%d@]"
+    r.makespan r.critical_path r.utilization r.network_busy_time r.traffic

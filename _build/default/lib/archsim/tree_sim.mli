@@ -1,0 +1,35 @@
+(** Execution of a partitioned tree task graph on the machine model.
+
+    Divide-and-conquer semantics: a task can start once every child task
+    has finished and its result has arrived (free within a processor,
+    a contended transfer across the interconnect).  Components of the
+    partition map one-to-one onto processors (§3's trivial shared-memory
+    mapping); each processor serializes its ready tasks, lowest task id
+    first.
+
+    The simulation prices the same quantities the tree algorithms
+    optimize: the per-component weights bound processor busy time, and
+    the cut weight is the total network demand of the reduction. *)
+
+type report = {
+  makespan : int;
+  critical_path : int;
+      (** communication-free lower bound: the weighted height of the
+          task tree at machine speed *)
+  processor_busy : int array;   (** busy time per used processor *)
+  utilization : float;          (** mean busy fraction over used processors *)
+  network_busy_time : int;
+  traffic : int;                (** = cut weight of the partition *)
+}
+
+val run :
+  machine:Machine.t ->
+  tree:Tlp_graph.Tree.t ->
+  cut:Tlp_graph.Tree.cut ->
+  ?root:int ->
+  unit ->
+  report
+(** Raises [Invalid_argument] if the machine has fewer processors than
+    the partition has components. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/baselines/annealing.ml: Array List Stdlib Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+lib/baselines/annealing.mli: Tlp_graph Tlp_util

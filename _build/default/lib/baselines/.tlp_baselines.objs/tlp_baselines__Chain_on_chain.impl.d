@@ -1,0 +1,1 @@
+lib/baselines/chain_on_chain.ml: Array List Stdlib Tlp_graph

@@ -1,0 +1,1 @@
+lib/baselines/chain_on_chain.mli: Tlp_graph

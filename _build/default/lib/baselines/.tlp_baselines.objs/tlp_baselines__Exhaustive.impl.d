@@ -1,0 +1,1 @@
+lib/baselines/exhaustive.ml: Fun List Seq Tlp_graph

@@ -1,0 +1,1 @@
+lib/baselines/fiduccia_mattheyses.ml: Array Fun List Stdlib Tlp_graph Tlp_util

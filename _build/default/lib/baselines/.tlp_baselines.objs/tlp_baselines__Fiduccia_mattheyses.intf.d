@@ -1,0 +1,1 @@
+lib/baselines/fiduccia_mattheyses.mli: Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+lib/baselines/greedy.ml: Array List Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+lib/baselines/greedy.mli: Tlp_graph Tlp_util

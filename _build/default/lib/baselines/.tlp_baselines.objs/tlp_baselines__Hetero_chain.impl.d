@@ -1,0 +1,1 @@
+lib/baselines/hetero_chain.ml: Array List Option Stdlib Tlp_graph

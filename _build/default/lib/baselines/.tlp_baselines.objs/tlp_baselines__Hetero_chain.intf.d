@@ -1,0 +1,1 @@
+lib/baselines/hetero_chain.mli: Tlp_graph

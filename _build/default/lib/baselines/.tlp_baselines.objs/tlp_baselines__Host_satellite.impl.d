@@ -1,0 +1,1 @@
+lib/baselines/host_satellite.ml: Array Fun List Stack Stdlib Tlp_graph

@@ -1,0 +1,1 @@
+lib/baselines/host_satellite.mli: Tlp_core Tlp_graph

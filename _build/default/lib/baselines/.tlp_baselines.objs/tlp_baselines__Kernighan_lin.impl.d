@@ -1,0 +1,1 @@
+lib/baselines/kernighan_lin.ml: Array Fun Hashtbl List Option Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+lib/baselines/kernighan_lin.mli: Tlp_graph Tlp_util

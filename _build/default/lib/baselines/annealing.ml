@@ -1,0 +1,109 @@
+module Graph = Tlp_graph.Graph
+module Rng = Tlp_util.Rng
+
+type params = {
+  iterations : int;
+  initial_temp : float;
+  cooling : float;
+  balance_weight : float;
+}
+
+let default_params =
+  { iterations = 20_000; initial_temp = 0.0; cooling = 0.9995; balance_weight = 1.0 }
+
+type result = {
+  assignment : int array;
+  cut_weight : int;
+  block_loads : int array;
+  accepted_moves : int;
+}
+
+(* Imbalance penalty: sum of squared deviations from the mean load,
+   scaled so it is comparable to edge weights. *)
+let imbalance_cost ~balance_weight ~mean loads =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun l ->
+      let d = float_of_int l -. mean in
+      acc := !acc +. (d *. d))
+    loads;
+  balance_weight *. !acc /. Stdlib.max 1.0 mean
+
+let partition ?(params = default_params) rng g ~blocks =
+  if blocks < 1 then invalid_arg "Annealing.partition: blocks must be >= 1";
+  let n = Graph.n g in
+  let assignment = Array.init n (fun i -> i * blocks / n) in
+  let loads = Array.make blocks 0 in
+  Array.iteri (fun v b -> loads.(b) <- loads.(b) + Graph.weight g v) assignment;
+  let mean = float_of_int (Graph.total_weight g) /. float_of_int blocks in
+  (* Incremental cut-delta of moving v to block b. *)
+  let cut_delta v b =
+    List.fold_left
+      (fun acc (u, e) ->
+        let _, _, w = Graph.edge g e in
+        let before = if assignment.(u) <> assignment.(v) then w else 0 in
+        let after = if assignment.(u) <> b then w else 0 in
+        acc + after - before)
+      0 (Graph.neighbors g v)
+  in
+  let balance_delta v b =
+    let bw = params.balance_weight in
+    let old_b = assignment.(v) in
+    let w = Graph.weight g v in
+    let before = imbalance_cost ~balance_weight:bw ~mean loads in
+    loads.(old_b) <- loads.(old_b) - w;
+    loads.(b) <- loads.(b) + w;
+    let after = imbalance_cost ~balance_weight:bw ~mean loads in
+    (* caller decides; undo here *)
+    loads.(old_b) <- loads.(old_b) + w;
+    loads.(b) <- loads.(b) - w;
+    after -. before
+  in
+  (* Calibrate the starting temperature from a sample of move costs when
+     the caller did not set one. *)
+  let temp =
+    ref
+      (if params.initial_temp > 0.0 then params.initial_temp
+       else begin
+         let probe = Rng.copy rng in
+         let acc = ref 1.0 and count = ref 1 in
+         for _ = 1 to 50 do
+           let v = Rng.int probe n in
+           let b = Rng.int probe blocks in
+           let d = float_of_int (abs (cut_delta v b)) in
+           if d > 0.0 then begin
+             acc := !acc +. d;
+             incr count
+           end
+         done;
+         2.0 *. !acc /. float_of_int !count
+       end)
+  in
+  let accepted = ref 0 in
+  for _ = 1 to params.iterations do
+    let v = Rng.int rng n in
+    let b = Rng.int rng blocks in
+    if b <> assignment.(v) then begin
+      let delta =
+        float_of_int (cut_delta v b) +. balance_delta v b
+      in
+      let accept =
+        delta <= 0.0
+        || Rng.float rng 1.0 < exp (-.delta /. Stdlib.max 1e-9 !temp)
+      in
+      if accept then begin
+        incr accepted;
+        let w = Graph.weight g v in
+        loads.(assignment.(v)) <- loads.(assignment.(v)) - w;
+        loads.(b) <- loads.(b) + w;
+        assignment.(v) <- b
+      end
+    end;
+    temp := !temp *. params.cooling
+  done;
+  {
+    assignment;
+    cut_weight = Graph.cut_weight_of_assignment g assignment;
+    block_loads = loads;
+    accepted_moves = !accepted;
+  }

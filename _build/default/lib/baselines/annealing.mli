@@ -1,0 +1,32 @@
+(** Simulated-annealing k-way partitioning — the third classical
+    heuristic family of the era (Kirkpatrick et al.), rounding out the
+    KL/FM baselines for the NP-complete general-graph case.
+
+    State: a vertex → block assignment.  Moves reassign one random
+    vertex; the objective is cut weight plus a quadratic imbalance
+    penalty, cooled geometrically.  Deterministic given the generator
+    state. *)
+
+type params = {
+  iterations : int;        (** total proposed moves (default 20_000) *)
+  initial_temp : float;    (** default: mean positive move cost *)
+  cooling : float;         (** geometric factor per iteration, < 1 *)
+  balance_weight : float;  (** imbalance penalty scale (default 1.0) *)
+}
+
+val default_params : params
+
+type result = {
+  assignment : int array;
+  cut_weight : int;
+  block_loads : int array;
+  accepted_moves : int;
+}
+
+val partition :
+  ?params:params ->
+  Tlp_util.Rng.t ->
+  Tlp_graph.Graph.t ->
+  blocks:int ->
+  result
+(** Raises [Invalid_argument] when [blocks < 1]. *)

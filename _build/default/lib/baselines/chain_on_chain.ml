@@ -1,0 +1,150 @@
+module Chain = Tlp_graph.Chain
+
+type solution = { cuts : Chain.cut; bottleneck : int }
+
+let segment_score ?(with_comm = false) c i j =
+  let n = Chain.n c in
+  if i < 0 || j >= n || i > j then
+    invalid_arg "Chain_on_chain.segment_score: bad range";
+  let base = Chain.segment_weight c i j in
+  if not with_comm then base
+  else begin
+    let left = if i > 0 then c.Chain.beta.(i - 1) else 0 in
+    let right = if j < n - 1 then c.Chain.beta.(j) else 0 in
+    base + left + right
+  end
+
+let bokhari_dp ?(with_comm = false) c ~m =
+  if m < 1 then invalid_arg "Chain_on_chain.bokhari_dp: m must be >= 1";
+  let n = Chain.n c in
+  let m = Stdlib.min m n in
+  let prefix = Chain.prefix_sums c in
+  let score i j =
+    (* vertices i..j inclusive *)
+    let base = prefix.(j + 1) - prefix.(i) in
+    if not with_comm then base
+    else begin
+      let left = if i > 0 then c.Chain.beta.(i - 1) else 0 in
+      let right = if j < n - 1 then c.Chain.beta.(j) else 0 in
+      base + left + right
+    end
+  in
+  (* d.(r).(j) = min bottleneck splitting vertices 0..j-1 into exactly r
+     segments; split.(r).(j) records the start of the last segment. *)
+  let d = Array.make_matrix (m + 1) (n + 1) max_int in
+  let split = Array.make_matrix (m + 1) (n + 1) 0 in
+  for j = 1 to n do
+    d.(1).(j) <- score 0 (j - 1)
+  done;
+  for r = 2 to m do
+    for j = r to n do
+      (* Last segment is vertices i..j-1 with i >= r-1. *)
+      for i = r - 1 to j - 1 do
+        if d.(r - 1).(i) < max_int then begin
+          let cand = Stdlib.max d.(r - 1).(i) (score i (j - 1)) in
+          if cand < d.(r).(j) then begin
+            d.(r).(j) <- cand;
+            split.(r).(j) <- i
+          end
+        end
+      done
+    done
+  done;
+  (* With communication terms, fewer segments can be strictly better, so
+     take the best over all r <= m. *)
+  let best_r = ref 1 in
+  for r = 2 to m do
+    if d.(r).(n) < d.(!best_r).(n) then best_r := r
+  done;
+  let cuts = ref [] in
+  let j = ref n and r = ref !best_r in
+  while !r > 1 do
+    let i = split.(!r).(!j) in
+    cuts := (i - 1) :: !cuts;
+    (* boundary before vertex i = edge i-1 *)
+    j := i;
+    decr r
+  done;
+  { cuts = !cuts; bottleneck = d.(!best_r).(n) }
+
+(* Greedy probe for the computation-only score: can the chain be covered
+   by at most m segments each of weight <= b?  Also reports the smallest
+   achievable bottleneck strictly greater than b among the greedy
+   segments' "overflow" candidates, which drives Hansen–Lih style
+   refinement. *)
+let probe c b =
+  let n = Chain.n c in
+  let alpha = c.Chain.alpha in
+  let exception Too_big in
+  try
+    let segments = ref 1 in
+    let acc = ref 0 in
+    let next_candidate = ref max_int in
+    for i = 0 to n - 1 do
+      if alpha.(i) > b then raise Too_big;
+      if !acc + alpha.(i) <= b then acc := !acc + alpha.(i)
+      else begin
+        next_candidate := Stdlib.min !next_candidate (!acc + alpha.(i));
+        incr segments;
+        acc := alpha.(i)
+      end
+    done;
+    (`Segments !segments, !next_candidate)
+  with Too_big -> (`Vertex_too_big, Array.fold_left Stdlib.max 0 alpha)
+
+let reconstruct_greedy c b =
+  (* Greedy maximal segments under bound b; caller guarantees
+     feasibility. *)
+  let n = Chain.n c in
+  let alpha = c.Chain.alpha in
+  let cuts = ref [] in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    if !acc + alpha.(i) <= b then acc := !acc + alpha.(i)
+    else begin
+      cuts := (i - 1) :: !cuts;
+      acc := alpha.(i)
+    end
+  done;
+  List.rev !cuts
+
+let max_segment_weight c cuts =
+  List.fold_left Stdlib.max 0 (Chain.component_weights c cuts)
+
+let nicol_probe ?(with_comm = false) c ~m =
+  if with_comm then
+    invalid_arg "Chain_on_chain.nicol_probe: communication-aware probing \
+                 is not supported; use bokhari_dp";
+  if m < 1 then invalid_arg "Chain_on_chain.nicol_probe: m must be >= 1";
+  let lo = ref (Chain.max_alpha c) and hi = ref (Chain.total_weight c) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    match probe c mid with
+    | `Segments s, _ when s <= m -> hi := mid
+    | _ -> lo := mid + 1
+  done;
+  let cuts = reconstruct_greedy c !lo in
+  { cuts; bottleneck = max_segment_weight c cuts }
+
+let hansen_lih ?(with_comm = false) c ~m =
+  if with_comm then
+    invalid_arg "Chain_on_chain.hansen_lih: communication-aware probing \
+                 is not supported; use bokhari_dp";
+  if m < 1 then invalid_arg "Chain_on_chain.hansen_lih: m must be >= 1";
+  (* Start from the ideal bound and walk the candidate bottlenecks
+     upwards; each failed probe yields the next achievable candidate, so
+     the number of iterations is bounded by the number of distinct
+     segment weights visited. *)
+  let ideal =
+    Stdlib.max (Chain.max_alpha c)
+      ((Chain.total_weight c + m - 1) / m)
+  in
+  let rec refine b =
+    match probe c b with
+    | `Segments s, _ when s <= m -> b
+    | _, next when next > b -> refine next
+    | _ -> refine (b + 1)
+  in
+  let b = refine ideal in
+  let cuts = reconstruct_greedy c b in
+  { cuts; bottleneck = max_segment_weight c cuts }

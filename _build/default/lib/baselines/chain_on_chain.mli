@@ -1,0 +1,39 @@
+(** Chain-onto-m-processors bottleneck partitioning — the related-work
+    problem family of §1 (Bokhari 1988; Nicol & O'Hallaron 1991; Hansen &
+    Lih 1992).
+
+    Split a chain of [n] modules into at most [m] contiguous segments
+    minimizing the {e bottleneck}: the maximum over segments of segment
+    computation weight plus the communication weight of the segment's
+    boundary edges (each processor drives its incident network
+    traffic).  Three solvers reproduce the complexity ladder the paper
+    cites; all return the same optimal bottleneck (property-tested).
+
+    Setting [~with_comm:false] scores a segment by computation only,
+    giving the classical minmax partition used by the probing solver
+    comparisons. *)
+
+type solution = {
+  cuts : Tlp_graph.Chain.cut;  (** at most m-1 edges *)
+  bottleneck : int;
+}
+
+val bokhari_dp :
+  ?with_comm:bool -> Tlp_graph.Chain.t -> m:int -> solution
+(** Layered dynamic program in the style of Bokhari's assignment-graph
+    formulation: O(n² m) time, O(n m) space. *)
+
+val hansen_lih :
+  ?with_comm:bool -> Tlp_graph.Chain.t -> m:int -> solution
+(** Iterative-refinement search in the style of Hansen & Lih: repeatedly
+    probe candidate bottlenecks taken from actual segment scores.
+    O(n · #iterations), typically far fewer than m·n probes. *)
+
+val nicol_probe :
+  ?with_comm:bool -> Tlp_graph.Chain.t -> m:int -> solution
+(** Binary search over candidate bottleneck values with a greedy O(n)
+    feasibility probe, following Nicol & O'Hallaron's probing idea. *)
+
+val segment_score : ?with_comm:bool -> Tlp_graph.Chain.t -> int -> int -> int
+(** [segment_score c i j]: the bottleneck contribution of the segment of
+    vertices [i..j] inclusive. *)

@@ -1,0 +1,48 @@
+module Chain = Tlp_graph.Chain
+module Tree = Tlp_graph.Tree
+
+let max_edges = 20
+
+let subsets m =
+  (* All subsets of edge indices 0..m-1 as sorted lists, by bitmask. *)
+  if m > max_edges then invalid_arg "Exhaustive: too many edges";
+  Seq.init (1 lsl m) (fun mask ->
+      List.filter (fun e -> mask land (1 lsl e) <> 0) (List.init m Fun.id))
+
+let best_by ~feasible ~score m =
+  Seq.fold_left
+    (fun acc cut ->
+      if feasible cut then begin
+        let s = score cut in
+        match acc with
+        | Some (_, best) when best <= s -> acc
+        | _ -> Some (cut, s)
+      end
+      else acc)
+    None (subsets m)
+
+let chain_min_bandwidth c ~k =
+  best_by
+    ~feasible:(Chain.is_feasible c ~k)
+    ~score:(Chain.cut_weight c) (Chain.n_edges c)
+
+let chain_min_bottleneck c ~k =
+  best_by
+    ~feasible:(Chain.is_feasible c ~k)
+    ~score:(Chain.max_cut_edge c) (Chain.n_edges c)
+
+let chain_min_cardinality c ~k =
+  best_by ~feasible:(Chain.is_feasible c ~k) ~score:List.length (Chain.n_edges c)
+
+let tree_min_bandwidth t ~k =
+  best_by
+    ~feasible:(Tree.is_feasible t ~k)
+    ~score:(Tree.cut_weight t) (Tree.n_edges t)
+
+let tree_min_bottleneck t ~k =
+  best_by
+    ~feasible:(Tree.is_feasible t ~k)
+    ~score:(Tree.max_cut_edge t) (Tree.n_edges t)
+
+let tree_min_cardinality t ~k =
+  best_by ~feasible:(Tree.is_feasible t ~k) ~score:List.length (Tree.n_edges t)

@@ -1,0 +1,33 @@
+(** Brute-force exact solvers by cut enumeration.
+
+    Exponential in the edge count — these exist solely as oracles for the
+    property-based tests of every polynomial algorithm in [tlp_core].
+    All functions raise [Invalid_argument] above {!max_edges} edges. *)
+
+val max_edges : int
+(** Hard limit (20) on enumerable edge counts. *)
+
+(** {1 Chains} *)
+
+val chain_min_bandwidth :
+  Tlp_graph.Chain.t -> k:int -> (Tlp_graph.Chain.cut * int) option
+(** Minimum-weight feasible cut and its weight; [None] when infeasible. *)
+
+val chain_min_bottleneck :
+  Tlp_graph.Chain.t -> k:int -> (Tlp_graph.Chain.cut * int) option
+(** Feasible cut minimizing the maximum cut-edge weight. *)
+
+val chain_min_cardinality :
+  Tlp_graph.Chain.t -> k:int -> (Tlp_graph.Chain.cut * int) option
+(** Feasible cut of minimum size; returns the cut and its size. *)
+
+(** {1 Trees} *)
+
+val tree_min_bandwidth :
+  Tlp_graph.Tree.t -> k:int -> (Tlp_graph.Tree.cut * int) option
+
+val tree_min_bottleneck :
+  Tlp_graph.Tree.t -> k:int -> (Tlp_graph.Tree.cut * int) option
+
+val tree_min_cardinality :
+  Tlp_graph.Tree.t -> k:int -> (Tlp_graph.Tree.cut * int) option

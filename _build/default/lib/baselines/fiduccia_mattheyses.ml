@@ -1,0 +1,210 @@
+module Graph = Tlp_graph.Graph
+module Rng = Tlp_util.Rng
+
+type result = {
+  side : bool array;
+  cut_weight : int;
+  passes : int;
+}
+
+(* Gain buckets: a doubly linked list per gain value, offset by the
+   maximum possible gain (sum of incident edge weights). *)
+type buckets = {
+  offset : int;                  (* gain g lives in slot g + offset *)
+  heads : int array;             (* slot -> first vertex or -1 *)
+  next : int array;              (* vertex -> next in its bucket or -1 *)
+  prev : int array;              (* vertex -> previous or -1 *)
+  slot : int array;              (* vertex -> its slot, -1 if absent *)
+  mutable max_slot : int;        (* highest non-empty slot bound *)
+}
+
+let buckets_create n max_gain =
+  {
+    offset = max_gain;
+    heads = Array.make ((2 * max_gain) + 1) (-1);
+    next = Array.make n (-1);
+    prev = Array.make n (-1);
+    slot = Array.make n (-1);
+    max_slot = -1;
+  }
+
+let bucket_insert b v gain =
+  let s = gain + b.offset in
+  b.slot.(v) <- s;
+  b.prev.(v) <- -1;
+  b.next.(v) <- b.heads.(s);
+  if b.heads.(s) >= 0 then b.prev.(b.heads.(s)) <- v;
+  b.heads.(s) <- v;
+  if s > b.max_slot then b.max_slot <- s
+
+let bucket_remove b v =
+  let s = b.slot.(v) in
+  if s >= 0 then begin
+    if b.prev.(v) >= 0 then b.next.(b.prev.(v)) <- b.next.(v)
+    else b.heads.(s) <- b.next.(v);
+    if b.next.(v) >= 0 then b.prev.(b.next.(v)) <- b.prev.(v);
+    b.slot.(v) <- -1
+  end
+
+let bucket_move b v gain =
+  bucket_remove b v;
+  bucket_insert b v gain
+
+(* Highest-gain vertex on the requested side satisfying [ok]; scans
+   slots downward (amortized by max_slot monotonicity within a pass). *)
+let bucket_best b side want ok =
+  let rec scan_slot s =
+    if s < 0 then None
+    else begin
+      let rec scan_v v =
+        if v < 0 then None
+        else if side.(v) = want && ok v then Some v
+        else scan_v b.next.(v)
+      in
+      match scan_v b.heads.(s) with
+      | Some v -> Some (v, s - b.offset)
+      | None -> scan_slot (s - 1)
+    end
+  in
+  scan_slot b.max_slot
+
+let cut_weight_of_side g side =
+  Array.fold_left
+    (fun acc (u, v, w) -> if side.(u) <> side.(v) then acc + w else acc)
+    0 g.Graph.edges
+
+let one_pass g side ~lo ~hi side_weight =
+  let n = Graph.n g in
+  let max_gain =
+    Array.fold_left
+      (fun acc v -> Stdlib.max acc v)
+      1
+      (Array.init n (fun v ->
+           List.fold_left
+             (fun acc (_, e) ->
+               let _, _, w = Graph.edge g e in
+               acc + w)
+             0 (Graph.neighbors g v)))
+  in
+  let b = buckets_create n max_gain in
+  let gain = Array.make n 0 in
+  Array.iter
+    (fun (u, v, w) ->
+      if side.(u) <> side.(v) then begin
+        gain.(u) <- gain.(u) + w;
+        gain.(v) <- gain.(v) + w
+      end
+      else begin
+        gain.(u) <- gain.(u) - w;
+        gain.(v) <- gain.(v) - w
+      end)
+    g.Graph.edges;
+  for v = 0 to n - 1 do
+    bucket_insert b v gain.(v)
+  done;
+  let locked = Array.make n false in
+  let moves = Array.make n (-1) in
+  let gains = Array.make n 0 in
+  let w_a = ref side_weight in
+  (* weight of side [false] *)
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (* A move from the heavier side keeps balance reachable; try both
+       sides, preferring the higher gain among balance-preserving moves. *)
+    let ok_from_a v =
+      (not locked.(v)) && !w_a - Graph.weight g v >= lo
+    in
+    let ok_from_b v =
+      (not locked.(v)) && !w_a + Graph.weight g v <= hi
+    in
+    let cand_a = bucket_best b side false ok_from_a in
+    let cand_b = bucket_best b side true ok_from_b in
+    let chosen =
+      match (cand_a, cand_b) with
+      | Some (v, ga), Some (u, gb) -> if ga >= gb then Some v else Some u
+      | Some (v, _), None | None, Some (v, _) -> Some v
+      | None, None -> None
+    in
+    match chosen with
+    | None -> continue := false
+    | Some v ->
+        bucket_remove b v;
+        locked.(v) <- true;
+        moves.(!steps) <- v;
+        gains.(!steps) <- gain.(v);
+        incr steps;
+        let from_a = not side.(v) in
+        if from_a then w_a := !w_a - Graph.weight g v
+        else w_a := !w_a + Graph.weight g v;
+        side.(v) <- not side.(v);
+        (* Update neighbor gains incrementally. *)
+        List.iter
+          (fun (u, e) ->
+            if not locked.(u) then begin
+              let _, _, w = Graph.edge g e in
+              (* v just changed sides: the edge's status flipped. *)
+              let delta = if side.(u) = side.(v) then -2 * w else 2 * w in
+              gain.(u) <- gain.(u) + delta;
+              bucket_move b u gain.(u)
+            end)
+          (Graph.neighbors g v)
+  done;
+  (* Keep the best prefix of moves; undo the rest. *)
+  let best_k = ref 0 and best_sum = ref 0 and sum = ref 0 in
+  for i = 0 to !steps - 1 do
+    sum := !sum + gains.(i);
+    if !sum > !best_sum then begin
+      best_sum := !sum;
+      best_k := i + 1
+    end
+  done;
+  for i = !steps - 1 downto !best_k do
+    let v = moves.(i) in
+    side.(v) <- not side.(v)
+  done;
+  !best_sum > 0
+
+let refine ?(max_passes = 10) ?(balance_tolerance = 0.1) g side0 =
+  let n = Graph.n g in
+  if Array.length side0 <> n then
+    invalid_arg "Fiduccia_mattheyses.refine: bad side length";
+  let side = Array.copy side0 in
+  let total = Graph.total_weight g in
+  let half = total / 2 in
+  let slack =
+    Stdlib.max
+      (int_of_float (balance_tolerance *. float_of_int total))
+      (Array.fold_left (fun acc v -> Stdlib.max acc v) 0
+         (Array.init n (Graph.weight g)))
+  in
+  let lo = Stdlib.max 0 (half - slack) and hi = Stdlib.min total (half + slack) in
+  let passes = ref 0 in
+  let continue = ref true in
+  while !continue && !passes < max_passes do
+    incr passes;
+    let side_weight =
+      Array.fold_left ( + ) 0
+        (Array.init n (fun v -> if side.(v) then 0 else Graph.weight g v))
+    in
+    continue := one_pass g side ~lo ~hi side_weight
+  done;
+  { side; cut_weight = cut_weight_of_side g side; passes = !passes }
+
+let bisect ?max_passes ?balance_tolerance rng g =
+  let n = Graph.n g in
+  let order = Array.init n Fun.id in
+  Rng.shuffle rng order;
+  let side = Array.make n false in
+  (* Greedy weight-balanced random start. *)
+  let total = Graph.total_weight g in
+  let acc = ref 0 in
+  Array.iter
+    (fun v ->
+      if !acc * 2 < total then begin
+        side.(v) <- false;
+        acc := !acc + Graph.weight g v
+      end
+      else side.(v) <- true)
+    order;
+  refine ?max_passes ?balance_tolerance g side

@@ -1,0 +1,33 @@
+(** Fiduccia–Mattheyses linear-time bisection refinement — reference [6]
+    of the paper, the other classical heuristic for the NP-complete
+    general-graph partitioning problem.
+
+    Unlike Kernighan–Lin's pair swaps, FM moves one vertex at a time
+    using a bucket structure indexed by gain, giving O(edges) per pass.
+    Balance is enforced on total {e vertex weight} with a tolerance
+    ratio. *)
+
+type result = {
+  side : bool array;
+  cut_weight : int;
+  passes : int;
+}
+
+val refine :
+  ?max_passes:int ->
+  ?balance_tolerance:float ->
+  Tlp_graph.Graph.t ->
+  bool array ->
+  result
+(** [refine g side] improves the given bisection in place-copy (the
+    input array is not mutated).  [balance_tolerance] (default 0.1)
+    allows each side's weight to deviate from half by that fraction of
+    the total.  Default at most 10 passes. *)
+
+val bisect :
+  ?max_passes:int ->
+  ?balance_tolerance:float ->
+  Tlp_util.Rng.t ->
+  Tlp_graph.Graph.t ->
+  result
+(** Balanced random start followed by {!refine}. *)

@@ -1,0 +1,40 @@
+module Chain = Tlp_graph.Chain
+module Graph = Tlp_graph.Graph
+module Rng = Tlp_util.Rng
+
+let first_fit c ~k =
+  if Chain.max_alpha c > k then
+    invalid_arg "Greedy.first_fit: a vertex exceeds the bound";
+  let n = Chain.n c in
+  let cuts = ref [] in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    if !acc + c.Chain.alpha.(i) <= k then acc := !acc + c.Chain.alpha.(i)
+    else begin
+      cuts := (i - 1) :: !cuts;
+      acc := c.Chain.alpha.(i)
+    end
+  done;
+  List.rev !cuts
+
+let equal_split c ~m =
+  if m < 1 then invalid_arg "Greedy.equal_split: m must be >= 1";
+  let n = Chain.n c in
+  let target = (Chain.total_weight c + m - 1) / m in
+  let cuts = ref [] in
+  let acc = ref 0 in
+  let blocks = ref 1 in
+  for i = 0 to n - 1 do
+    if (!acc + c.Chain.alpha.(i) <= target || !acc = 0) || !blocks >= m then
+      acc := !acc + c.Chain.alpha.(i)
+    else begin
+      cuts := (i - 1) :: !cuts;
+      incr blocks;
+      acc := c.Chain.alpha.(i)
+    end
+  done;
+  List.rev !cuts
+
+let random_assignment rng g ~blocks =
+  if blocks < 1 then invalid_arg "Greedy.random_assignment: blocks must be >= 1";
+  Array.init (Graph.n g) (fun _ -> Rng.int rng blocks)

@@ -1,0 +1,20 @@
+(** Naive partitioning heuristics used as comparison points in the
+    application experiments (§3): what a system would do without the
+    paper's algorithms. *)
+
+val first_fit : Tlp_graph.Chain.t -> k:int -> Tlp_graph.Chain.cut
+(** Left-to-right first fit: start a new component whenever adding the
+    next vertex would exceed [k].  Always feasible when every vertex
+    weighs [<= k] (raises [Invalid_argument] otherwise); ignores edge
+    weights entirely, so its cut weight is the natural baseline for the
+    bandwidth algorithms. *)
+
+val equal_split : Tlp_graph.Chain.t -> m:int -> Tlp_graph.Chain.cut
+(** Split into at most [m] contiguous blocks of roughly equal
+    computation weight (greedy at boundaries), the "one block per
+    processor" baseline. *)
+
+val random_assignment :
+  Tlp_util.Rng.t -> Tlp_graph.Graph.t -> blocks:int -> int array
+(** Uniform random vertex → block assignment for general graphs (the
+    weakest mapping baseline for the simulation experiments). *)

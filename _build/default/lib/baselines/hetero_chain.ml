@@ -1,0 +1,109 @@
+module Chain = Tlp_graph.Chain
+
+type solution = {
+  cuts : Chain.cut;
+  bottleneck : int;
+  loads : int list;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let validate_speeds speeds =
+  if Array.length speeds = 0 then
+    invalid_arg "Hetero_chain: need at least one processor";
+  Array.iter
+    (fun s -> if s < 1 then invalid_arg "Hetero_chain: speeds must be positive")
+    speeds
+
+(* Build a solution from explicit per-processor segments
+   [(start, end_exclusive)]; empty segments are idle processors. *)
+let solution_of_segments chain speeds segments =
+  let n = Chain.n chain in
+  let loads =
+    Array.to_list
+      (Array.mapi
+         (fun r (i, j) ->
+           if j <= i then 0
+           else ceil_div (Chain.segment_weight chain i (j - 1)) speeds.(r))
+         segments)
+  in
+  let cuts =
+    Array.to_list segments
+    |> List.filter_map (fun (i, j) ->
+           if j > i && j < n then Some (j - 1) else None)
+    |> List.sort_uniq compare
+  in
+  {
+    cuts;
+    bottleneck = List.fold_left Stdlib.max 0 loads;
+    loads;
+  }
+
+let dp chain ~speeds =
+  validate_speeds speeds;
+  let n = Chain.n chain in
+  let m = Array.length speeds in
+  let prefix = Chain.prefix_sums chain in
+  let inf = max_int / 4 in
+  (* d.(r).(j): min bottleneck covering vertices [0, j) with the first r
+     processors (empty segments allowed).  split.(r).(j) = start of the
+     segment given to processor r. *)
+  let d = Array.make_matrix (m + 1) (n + 1) inf in
+  let split = Array.make_matrix (m + 1) (n + 1) 0 in
+  d.(0).(0) <- 0;
+  for r = 1 to m do
+    for j = 0 to n do
+      for i = 0 to j do
+        if d.(r - 1).(i) < inf then begin
+          let seg = prefix.(j) - prefix.(i) in
+          let t = if seg = 0 then 0 else ceil_div seg speeds.(r - 1) in
+          let cand = Stdlib.max d.(r - 1).(i) t in
+          if cand < d.(r).(j) then begin
+            d.(r).(j) <- cand;
+            split.(r).(j) <- i
+          end
+        end
+      done
+    done
+  done;
+  let segments = Array.make m (0, 0) in
+  let j = ref n in
+  for r = m downto 1 do
+    let i = split.(r).(!j) in
+    segments.(r - 1) <- (i, !j);
+    j := i
+  done;
+  solution_of_segments chain speeds segments
+
+(* Feasibility for bound b: pack each processor in order with the
+   longest prefix it can finish within b; exact by the usual exchange
+   argument (capacities depend on position, not content). *)
+let pack chain speeds b =
+  let n = Chain.n chain in
+  let alpha = chain.Chain.alpha in
+  let m = Array.length speeds in
+  let segments = Array.make m (0, 0) in
+  let i = ref 0 in
+  Array.iteri
+    (fun r s ->
+      let capacity = b * s in
+      let acc = ref 0 in
+      let start = !i in
+      while !i < n && !acc + alpha.(!i) <= capacity do
+        acc := !acc + alpha.(!i);
+        incr i
+      done;
+      segments.(r) <- (start, !i))
+    speeds;
+  if !i >= n then Some segments else None
+
+let probe chain ~speeds =
+  validate_speeds speeds;
+  let lo = ref 1 and hi = ref (Chain.total_weight chain) in
+  while !lo < !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    if Option.is_some (pack chain speeds mid) then hi := mid else lo := mid + 1
+  done;
+  match pack chain speeds !lo with
+  | Some segments -> solution_of_segments chain speeds segments
+  | None -> assert false (* hi = total weight is always feasible *)

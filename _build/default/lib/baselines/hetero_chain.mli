@@ -1,0 +1,30 @@
+(** Chain partitioning onto {e heterogeneous} processors — the general
+    form of Bokhari's 1988 problem (§1: "He considered the problem for
+    both homogeneous and non-homogeneous processors").
+
+    The multiprocessor is a linear array of [m] processors with
+    individual speeds; the chain is split into at most [m] contiguous
+    segments assigned to processors {e in order} (segment [i] runs on
+    processor [i]).  Minimize the bottleneck
+
+    [max over segments of ceil(segment weight / speed of its processor)].
+
+    Two exact solvers: a layered dynamic program, and a probing solver
+    that binary-searches the bottleneck and greedily packs each
+    processor to capacity — the heterogeneous analogue of the Nicol
+    probe (greedy packing stays exact because capacities are
+    per-position, not per-content). *)
+
+type solution = {
+  cuts : Tlp_graph.Chain.cut;  (** at most m-1 edges *)
+  bottleneck : int;            (** time units on the critical processor *)
+  loads : int list;            (** per-processor times, in order *)
+}
+
+val dp : Tlp_graph.Chain.t -> speeds:int array -> solution
+(** O(n²·m) dynamic program.  Speeds must be positive; raises
+    [Invalid_argument] otherwise. *)
+
+val probe : Tlp_graph.Chain.t -> speeds:int array -> solution
+(** O((n + m) log Σw) probing solver; same optimum as {!dp}
+    (property-tested). *)

@@ -1,0 +1,153 @@
+module Tree = Tlp_graph.Tree
+
+type solution = {
+  cut : Tree.cut;
+  bottleneck : int;
+  host_component : int list;
+  satellite_loads : int list;
+}
+
+(* Relay model: every cut-edge message passes through the host, so the
+   host pays the whole cut weight; a satellite pays the links incident
+   to its own component. *)
+let score t cut ~host =
+  let comps = Array.of_list (Tree.components t cut) in
+  if host < 0 || host >= Array.length comps then
+    invalid_arg "Host_satellite.score: bad host index";
+  let comp_of = Array.make (Tree.n t) 0 in
+  Array.iteri (fun i vs -> List.iter (fun v -> comp_of.(v) <- i) vs) comps;
+  let inc = Array.make (Array.length comps) 0 in
+  List.iter
+    (fun e ->
+      let u, v = Tree.endpoints t e in
+      let d = Tree.delta t e in
+      inc.(comp_of.(u)) <- inc.(comp_of.(u)) + d;
+      inc.(comp_of.(v)) <- inc.(comp_of.(v)) + d)
+    cut;
+  let weight_of i =
+    List.fold_left (fun acc v -> acc + Tree.weight t v) 0 comps.(i)
+  in
+  let total_cut = Tree.cut_weight t cut in
+  let worst = ref (weight_of host + total_cut) in
+  Array.iteri
+    (fun i _ ->
+      if i <> host then worst := Stdlib.max !worst (weight_of i + inc.(i)))
+    comps;
+  !worst
+
+(* Greedy improvement: repeatedly offload the rooted subtree whose
+   removal most reduces the bottleneck, while satellites remain. *)
+let solve t ~m =
+  if m < 0 then invalid_arg "Host_satellite.solve: negative satellite count";
+  let n = Tree.n t in
+  (* Root at 0; parent/subtree bookkeeping. *)
+  let parent = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let order = Array.make n 0 in
+  let visited = Array.make n false in
+  let stack = Stack.create () in
+  Stack.push 0 stack;
+  visited.(0) <- true;
+  let idx = ref 0 in
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
+    order.(!idx) <- v;
+    incr idx;
+    List.iter
+      (fun (u, e) ->
+        if not visited.(u) then begin
+          visited.(u) <- true;
+          parent.(u) <- v;
+          parent_edge.(u) <- e;
+          Stack.push u stack
+        end)
+      (Tree.neighbors t v)
+  done;
+  let in_host = Array.make n true in
+  let cut = ref [] in
+  let satellites = ref [] in
+  (* satellite loads *)
+  let host_work = ref (Tree.total_weight t) in
+  let host_comm = ref 0 in
+  let bottleneck () =
+    List.fold_left Stdlib.max (!host_work + !host_comm) !satellites
+  in
+  let subtree_weight = Array.make n 0 in
+  (* hanging_comm.(v): cut-edge weight of already-offloaded subtrees
+     hanging directly under host vertex v — if v is later offloaded too,
+     its satellite inherits those links. *)
+  let hanging_comm = Array.make n 0 in
+  let subtree_comm = Array.make n 0 in
+  let recompute_subtrees () =
+    for i = n - 1 downto 0 do
+      let v = order.(i) in
+      if in_host.(v) then begin
+        subtree_weight.(v) <- Tree.weight t v;
+        subtree_comm.(v) <- hanging_comm.(v);
+        List.iter
+          (fun (u, _) ->
+            if parent.(u) = v && in_host.(u) then begin
+              subtree_weight.(v) <- subtree_weight.(v) + subtree_weight.(u);
+              subtree_comm.(v) <- subtree_comm.(v) + subtree_comm.(u)
+            end)
+          (Tree.neighbors t v)
+      end
+    done
+  in
+  let remaining = ref m in
+  let improving = ref true in
+  while !improving && !remaining > 0 do
+    improving := false;
+    recompute_subtrees ();
+    let current = bottleneck () in
+    (* Candidate: offload the host-resident subtree rooted at u (u <> root). *)
+    let best = ref None in
+    for u = 1 to n - 1 do
+      if in_host.(u) && in_host.(parent.(u)) then begin
+        let d = Tree.delta t parent_edge.(u) in
+        let sat_load = subtree_weight.(u) + d + subtree_comm.(u) in
+        let new_host = !host_work - subtree_weight.(u) + !host_comm + d in
+        let cand =
+          List.fold_left Stdlib.max (Stdlib.max sat_load new_host) !satellites
+        in
+        if cand < current then begin
+          match !best with
+          | Some (b, _) when b <= cand -> ()
+          | _ -> best := Some (cand, u)
+        end
+      end
+    done;
+    match !best with
+    | None -> ()
+    | Some (_, u) ->
+        improving := true;
+        decr remaining;
+        let d = Tree.delta t parent_edge.(u) in
+        cut := parent_edge.(u) :: !cut;
+        satellites := (subtree_weight.(u) + d + subtree_comm.(u)) :: !satellites;
+        host_work := !host_work - subtree_weight.(u);
+        host_comm := !host_comm + d;
+        hanging_comm.(parent.(u)) <- hanging_comm.(parent.(u)) + d;
+        (* Mark the whole offloaded subtree as outside the host. *)
+        let mark = Stack.create () in
+        Stack.push u mark;
+        while not (Stack.is_empty mark) do
+          let v = Stack.pop mark in
+          in_host.(v) <- false;
+          List.iter
+            (fun (w, _) ->
+              if parent.(w) = v && in_host.(w) then Stack.push w mark)
+            (Tree.neighbors t v)
+        done
+  done;
+  let cut = List.sort compare !cut in
+  let host_component =
+    List.filter (fun v -> in_host.(v)) (List.init n Fun.id)
+  in
+  Ok
+    {
+      cut;
+      bottleneck = bottleneck ();
+      host_component;
+      satellite_loads = List.sort (fun a b -> compare b a) !satellites;
+    }

@@ -1,0 +1,37 @@
+(** Host–satellite partitioning of tree task graphs — the second target
+    architecture of Bokhari's 1988 paper, cited in §1: one host processor
+    plus [m] identical satellite processors, each satellite talking only
+    to the host.
+
+    A partition offloads vertex-disjoint rooted subtrees to satellites;
+    the host executes the rest and relays all cut-edge traffic.  The
+    bottleneck is
+
+    [max(host work + total cut comm,
+         max over satellites of (satellite work + its link comm))].
+
+    {!solve} is a greedy improvement heuristic in the spirit of the era's
+    host–satellite schedulers: repeatedly offload the subtree that most
+    reduces the current bottleneck while satellites remain, stopping at a
+    local optimum.  The test suite checks feasibility, consistency with
+    {!score}, monotonicity in [m], and that it never loses to keeping
+    everything on the host; the bench reports its gap against brute
+    force on small instances. *)
+
+type solution = {
+  cut : Tlp_graph.Tree.cut;
+  bottleneck : int;
+  host_component : int list;   (** vertices kept on the host *)
+  satellite_loads : int list;  (** work+comm per satellite, descending *)
+}
+
+val solve :
+  Tlp_graph.Tree.t -> m:int -> (solution, Tlp_core.Infeasible.t) result
+(** Always [Ok] (offloading nothing is valid); the [result] type mirrors
+    the other solvers for uniformity.  Raises [Invalid_argument] when
+    [m < 0]. *)
+
+val score : Tlp_graph.Tree.t -> Tlp_graph.Tree.cut -> host:int -> int
+(** Bottleneck of an explicit assignment: component index [host] (in
+    {!Tlp_graph.Tree.components} order) stays on the host, every other
+    component goes to its own satellite. *)

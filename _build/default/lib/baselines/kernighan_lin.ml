@@ -1,0 +1,163 @@
+module Graph = Tlp_graph.Graph
+module Rng = Tlp_util.Rng
+
+type result = {
+  side : bool array;
+  cut_weight : int;
+  passes : int;
+}
+
+let cut_weight_of_side g side =
+  Array.fold_left
+    (fun acc (u, v, w) -> if side.(u) <> side.(v) then acc + w else acc)
+    0 g.Graph.edges
+
+(* D(v) = external cost - internal cost under the current sides. *)
+let compute_d g side =
+  let d = Array.make (Graph.n g) 0 in
+  Array.iter
+    (fun (u, v, w) ->
+      if side.(u) <> side.(v) then begin
+        d.(u) <- d.(u) + w;
+        d.(v) <- d.(v) + w
+      end
+      else begin
+        d.(u) <- d.(u) - w;
+        d.(v) <- d.(v) - w
+      end)
+    g.Graph.edges;
+  d
+
+let one_pass g side =
+  let n = Graph.n g in
+  let d = compute_d g side in
+  let locked = Array.make n false in
+  let w_between u v =
+    Option.value (Graph.edge_between g u v) ~default:0
+  in
+  let swaps = Array.make (n / 2) (0, 0) in
+  let gains = Array.make (n / 2) 0 in
+  let steps = n / 2 in
+  for step = 0 to steps - 1 do
+    (* Best unlocked pair (a on side A, b on side B) by gain. *)
+    let best = ref None in
+    for a = 0 to n - 1 do
+      if (not locked.(a)) && not side.(a) then
+        for b = 0 to n - 1 do
+          if locked.(b) || not side.(b) then ()
+          else begin
+            let g_ab = d.(a) + d.(b) - (2 * w_between a b) in
+            match !best with
+            | Some (bg, _, _) when bg >= g_ab -> ()
+            | _ -> best := Some (g_ab, a, b)
+          end
+        done
+    done;
+    match !best with
+    | None ->
+        (* Odd leftovers: nothing swappable; pad with zero-gain marker. *)
+        swaps.(step) <- (-1, -1);
+        gains.(step) <- 0
+    | Some (gain, a, b) ->
+        swaps.(step) <- (a, b);
+        gains.(step) <- gain;
+        locked.(a) <- true;
+        locked.(b) <- true;
+        (* Update D as if a and b were swapped. *)
+        for x = 0 to n - 1 do
+          if not locked.(x) then begin
+            let wxa = w_between x a and wxb = w_between x b in
+            if side.(x) = side.(a) then
+              d.(x) <- d.(x) + (2 * wxa) - (2 * wxb)
+            else d.(x) <- d.(x) + (2 * wxb) - (2 * wxa)
+          end
+        done
+  done;
+  (* Best prefix of cumulative gains. *)
+  let best_k = ref 0 and best_sum = ref 0 and sum = ref 0 in
+  for i = 0 to steps - 1 do
+    sum := !sum + gains.(i);
+    if !sum > !best_sum then begin
+      best_sum := !sum;
+      best_k := i + 1
+    end
+  done;
+  if !best_sum > 0 then begin
+    for i = 0 to !best_k - 1 do
+      let a, b = swaps.(i) in
+      if a >= 0 then begin
+        side.(a) <- not side.(a);
+        side.(b) <- not side.(b)
+      end
+    done;
+    true
+  end
+  else false
+
+let bisect ?(max_passes = 10) rng g =
+  let n = Graph.n g in
+  let side = Array.make n false in
+  (* Balanced random initialization: shuffle vertex order and assign
+     alternating sides. *)
+  let order = Array.init n Fun.id in
+  Rng.shuffle rng order;
+  Array.iteri (fun pos v -> side.(v) <- pos mod 2 = 0) order;
+  let passes = ref 0 in
+  let continue = ref true in
+  while !continue && !passes < max_passes do
+    incr passes;
+    continue := one_pass g side
+  done;
+  { side; cut_weight = cut_weight_of_side g side; passes = !passes }
+
+let recursive ?max_passes rng g ~blocks =
+  if blocks < 1 then invalid_arg "Kernighan_lin.recursive: blocks must be >= 1";
+  let n = Graph.n g in
+  let assignment = Array.make n 0 in
+  (* Recursively bisect vertex index sets; relabel densely at the end. *)
+  let next_block = ref 0 in
+  let rec go vertices depth =
+    let size = Array.length vertices in
+    if size = 0 then ()
+    else if (1 lsl depth) >= blocks || size = 1 then begin
+      let b = !next_block in
+      incr next_block;
+      Array.iter (fun v -> assignment.(v) <- b) vertices
+    end
+    else begin
+      (* Induced subgraph on [vertices]. *)
+      let index_of = Hashtbl.create size in
+      Array.iteri (fun i v -> Hashtbl.replace index_of v i) vertices;
+      let sub_edges =
+        Array.fold_left
+          (fun acc (u, v, w) ->
+            match (Hashtbl.find_opt index_of u, Hashtbl.find_opt index_of v) with
+            | Some iu, Some iv -> (iu, iv, w) :: acc
+            | _ -> acc)
+          [] g.Graph.edges
+      in
+      let weights = Array.map (Graph.weight g) vertices in
+      if sub_edges = [] && size > 1 then begin
+        (* Disconnected remainder: split by halves. *)
+        let half = size / 2 in
+        go (Array.sub vertices 0 half) (depth + 1);
+        go (Array.sub vertices half (size - half)) (depth + 1)
+      end
+      else begin
+        let sub = Graph.make ~weights ~edges:sub_edges in
+        let { side; _ } = bisect ?max_passes rng sub in
+        let left =
+          Array.of_list
+            (List.filteri (fun i _ -> side.(i)) (Array.to_list vertices))
+        in
+        let right =
+          Array.of_list
+            (List.filteri (fun i _ -> not side.(i)) (Array.to_list vertices))
+        in
+        go left (depth + 1);
+        go right (depth + 1)
+      end
+    end
+  in
+  go (Array.init n Fun.id) 0;
+  assignment

@@ -1,0 +1,24 @@
+(** Kernighan–Lin balanced bisection, the heuristic family the paper
+    cites ([2], [6]) for the NP-complete general-graph case.
+
+    Included as the "what everyone did instead" baseline: for general
+    process graphs it produces a two-block partition minimizing edge cut
+    under a vertex-count balance constraint, improving by greedy pair
+    swaps in passes until no pass helps. *)
+
+type result = {
+  side : bool array;      (** vertex → block *)
+  cut_weight : int;
+  passes : int;
+}
+
+val bisect : ?max_passes:int -> Tlp_util.Rng.t -> Tlp_graph.Graph.t -> result
+(** Random balanced initial split, then Kernighan–Lin passes
+    (default at most 10). *)
+
+val recursive :
+  ?max_passes:int -> Tlp_util.Rng.t -> Tlp_graph.Graph.t -> blocks:int ->
+  int array
+(** Recursive bisection into [blocks] parts (rounded up to a power of
+    two internally, then renumbered densely); the standard way KL-type
+    heuristics were applied to k-way partitioning. *)

@@ -1,0 +1,1 @@
+lib/core/bandwidth.ml: Array Infeasible Tlp_graph Tlp_util

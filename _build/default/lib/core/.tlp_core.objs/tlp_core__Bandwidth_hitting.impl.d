@@ -1,0 +1,1 @@
+lib/core/bandwidth_hitting.ml: Array List Prime_subpaths Stdlib Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+lib/core/bandwidth_hitting.mli: Infeasible Tlp_graph Tlp_util

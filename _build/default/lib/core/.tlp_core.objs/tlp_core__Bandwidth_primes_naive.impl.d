@@ -1,0 +1,1 @@
+lib/core/bandwidth_primes_naive.ml: Array List Prime_subpaths Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+lib/core/bandwidth_primes_naive.mli: Infeasible Tlp_graph Tlp_util

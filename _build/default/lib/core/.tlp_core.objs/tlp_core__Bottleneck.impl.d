@@ -1,0 +1,1 @@
+lib/core/bottleneck.ml: Array Fun Infeasible List Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+lib/core/bottleneck.mli: Infeasible Tlp_graph Tlp_util

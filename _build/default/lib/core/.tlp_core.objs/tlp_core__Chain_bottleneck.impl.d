@@ -1,0 +1,1 @@
+lib/core/chain_bottleneck.ml: Array List Option Prime_subpaths Stdlib Tlp_graph Tlp_util

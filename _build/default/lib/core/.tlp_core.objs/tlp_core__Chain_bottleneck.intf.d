@@ -1,0 +1,1 @@
+lib/core/chain_bottleneck.mli: Infeasible Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+lib/core/chain_dual.ml: Array Bandwidth Stdlib Tlp_graph

@@ -1,0 +1,1 @@
+lib/core/chain_dual.mli: Tlp_graph

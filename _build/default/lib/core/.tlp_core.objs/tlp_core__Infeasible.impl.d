@@ -1,0 +1,1 @@
+lib/core/infeasible.ml: Array Format Printf Tlp_graph

@@ -1,0 +1,1 @@
+lib/core/infeasible.mli: Format Tlp_graph

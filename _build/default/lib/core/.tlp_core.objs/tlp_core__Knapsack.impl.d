@@ -1,0 +1,1 @@
+lib/core/knapsack.ml: Array List Stdlib

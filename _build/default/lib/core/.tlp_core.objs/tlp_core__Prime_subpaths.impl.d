@@ -1,0 +1,1 @@
+lib/core/prime_subpaths.ml: Array Format Fun Infeasible List Stdlib Tlp_graph

@@ -1,0 +1,1 @@
+lib/core/prime_subpaths.mli: Format Infeasible Tlp_graph

@@ -1,0 +1,1 @@
+lib/core/proc_min.ml: Array Infeasible List Stack Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+lib/core/proc_min.mli: Infeasible Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+lib/core/scaled.ml: Array Bandwidth_hitting Chain_bottleneck Float Infeasible List Stdlib Tlp_graph

@@ -1,0 +1,1 @@
+lib/core/scaled.mli: Tlp_graph

@@ -1,0 +1,1 @@
+lib/core/star_bandwidth.ml: Array Hashtbl Infeasible Knapsack List Tlp_graph

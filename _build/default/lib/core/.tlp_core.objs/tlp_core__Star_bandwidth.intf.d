@@ -1,0 +1,1 @@
+lib/core/star_bandwidth.mli: Infeasible Knapsack Tlp_graph

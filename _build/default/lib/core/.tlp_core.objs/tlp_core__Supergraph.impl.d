@@ -1,0 +1,1 @@
+lib/core/supergraph.ml: Array Bandwidth_hitting List Seq Stdlib Tlp_graph

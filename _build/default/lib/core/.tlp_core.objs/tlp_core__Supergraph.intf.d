@@ -1,0 +1,1 @@
+lib/core/supergraph.mli: Infeasible Tlp_graph

@@ -1,0 +1,1 @@
+lib/core/tree_bandwidth.ml: Array Infeasible List Stack Stdlib Tlp_graph

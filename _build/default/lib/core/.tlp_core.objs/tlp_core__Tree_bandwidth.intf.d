@@ -1,0 +1,1 @@
+lib/core/tree_bandwidth.mli: Infeasible Tlp_graph

@@ -1,0 +1,1 @@
+lib/core/tree_pipeline.ml: Array Bottleneck List Proc_min Tlp_graph

@@ -1,0 +1,1 @@
+lib/core/tree_pipeline.mli: Infeasible Tlp_graph Tlp_util

@@ -1,0 +1,139 @@
+module Chain = Tlp_graph.Chain
+module Counters = Tlp_util.Counters
+module Minheap = Tlp_util.Minheap
+
+type solution = { cut : Chain.cut; weight : int }
+
+(* All three solvers share the same DP over "boundary positions"
+   0 .. n, where position i means a component boundary just before vertex
+   i.  Positions 0 and n are free boundaries; an interior position i cuts
+   edge i-1 at cost beta.(i-1).
+
+     d(0) = 0
+     d(i) = cost(i) + min { d(j) | lo(i) <= j <= i-1 }
+
+   with lo(i) the least j such that vertices [j, i) fit within K.  The
+   pre-check [Infeasible.check_chain] guarantees every window is
+   non-empty.  The optimum is d(n); cuts are recovered via parents. *)
+
+let reconstruct chain parent =
+  let n = Chain.n chain in
+  let rec go pos acc =
+    if pos <= 0 then acc
+    else begin
+      let j = parent.(pos) in
+      (* Boundary at j (interior) means edge j-1 is cut. *)
+      let acc = if j > 0 then (j - 1) :: acc else acc in
+      go j acc
+    end
+  in
+  let cut = go n [] in
+  { cut; weight = Chain.cut_weight chain cut }
+
+let window_lows chain ~k =
+  let n = Chain.n chain in
+  let prefix = Chain.prefix_sums chain in
+  let lo = Array.make (n + 1) 0 in
+  let j = ref 0 in
+  for i = 1 to n do
+    while prefix.(i) - prefix.(!j) > k do
+      incr j
+    done;
+    lo.(i) <- !j
+  done;
+  lo
+
+let cost chain i = if i < Chain.n chain then chain.Chain.beta.(i - 1) else 0
+
+let solve_generic chain ~k ~minimum =
+  match Infeasible.check_chain chain ~k with
+  | Error e -> Error e
+  | Ok () ->
+      let n = Chain.n chain in
+      let lo = window_lows chain ~k in
+      let d = Array.make (n + 1) 0 in
+      let parent = Array.make (n + 1) 0 in
+      for i = 1 to n do
+        let best_j = minimum ~i ~lo:lo.(i) ~d in
+        d.(i) <- cost chain i + d.(best_j);
+        parent.(i) <- best_j
+      done;
+      Ok (reconstruct chain parent)
+
+let naive ?(counters = Counters.null) chain ~k =
+  let minimum ~i ~lo ~d =
+    let best = ref lo in
+    for j = lo + 1 to i - 1 do
+      Counters.bump counters "scan_steps";
+      if d.(j) < d.(!best) then best := j
+    done;
+    !best
+  in
+  solve_generic chain ~k ~minimum
+
+let heap ?(counters = Counters.null) chain ~k =
+  match Infeasible.check_chain chain ~k with
+  | Error e -> Error e
+  | Ok () ->
+      let n = Chain.n chain in
+      let lo = window_lows chain ~k in
+      let d = Array.make (n + 1) 0 in
+      let parent = Array.make (n + 1) 0 in
+      let heap = Minheap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+      Minheap.push heap (0, 0);
+      for i = 1 to n do
+        (* Lazy deletion: discard heap entries that fell out of the
+           window.  Positions only ever leave (lo is nondecreasing), so
+           each entry is discarded at most once. *)
+        let rec valid_top () =
+          match Minheap.peek heap with
+          | Some (_, j) when j < lo.(i) ->
+              Counters.bump counters "heap_ops";
+              ignore (Minheap.pop heap);
+              valid_top ()
+          | Some (dj, j) -> (dj, j)
+          | None -> assert false (* window is never empty *)
+        in
+        let _, best_j = valid_top () in
+        d.(i) <- cost chain i + d.(best_j);
+        parent.(i) <- best_j;
+        if i < n then begin
+          Counters.bump counters "heap_ops";
+          Minheap.push heap (d.(i), i)
+        end
+      done;
+      Ok (reconstruct chain parent)
+
+let deque ?(counters = Counters.null) chain ~k =
+  match Infeasible.check_chain chain ~k with
+  | Error e -> Error e
+  | Ok () ->
+      let n = Chain.n chain in
+      let lo = window_lows chain ~k in
+      let d = Array.make (n + 1) 0 in
+      let parent = Array.make (n + 1) 0 in
+      (* Monotone deque of positions with strictly increasing d values;
+         the front is always the window minimum. *)
+      let dq = Array.make (n + 1) 0 in
+      let head = ref 0 and tail = ref 0 in
+      dq.(0) <- 0;
+      tail := 1;
+      for i = 1 to n do
+        while !head < !tail && dq.(!head) < lo.(i) do
+          Counters.bump counters "deque_ops";
+          incr head
+        done;
+        assert (!head < !tail);
+        let best_j = dq.(!head) in
+        d.(i) <- cost chain i + d.(best_j);
+        parent.(i) <- best_j;
+        if i < n then begin
+          while !head < !tail && d.(dq.(!tail - 1)) >= d.(i) do
+            Counters.bump counters "deque_ops";
+            decr tail
+          done;
+          dq.(!tail) <- i;
+          incr tail
+        end
+      done;
+      Ok (reconstruct chain parent)

@@ -1,0 +1,40 @@
+(** Bandwidth minimization on linear chains by dynamic programming.
+
+    Find a minimum-weight edge cut such that every component of the chain
+    weighs at most [K] (§2.3).  These are the reference solvers:
+
+    - {!naive} scans the whole feasible window for each position —
+      [O(n·w)] where [w] is the window width (the paper's "naive"
+      complexity discussion);
+    - {!heap} maintains the window minimum in a lazy-deletion binary
+      heap — [O(n log n)], the complexity class of Nicol & O'Hallaron's
+      algorithm, used as the "best previously known" baseline;
+    - {!deque} maintains the window minimum in a monotone deque — [O(n)],
+      an extension beyond the paper showing the DP view admits linear
+      time as well.
+
+    All three return identical optimal weights (property-tested) and a
+    witness cut. *)
+
+type solution = {
+  cut : Tlp_graph.Chain.cut;
+  weight : int;  (** total beta weight of [cut] *)
+}
+
+val naive :
+  ?counters:Tlp_util.Counters.t ->
+  Tlp_graph.Chain.t ->
+  k:int ->
+  (solution, Infeasible.t) result
+
+val heap :
+  ?counters:Tlp_util.Counters.t ->
+  Tlp_graph.Chain.t ->
+  k:int ->
+  (solution, Infeasible.t) result
+
+val deque :
+  ?counters:Tlp_util.Counters.t ->
+  Tlp_graph.Chain.t ->
+  k:int ->
+  (solution, Infeasible.t) result

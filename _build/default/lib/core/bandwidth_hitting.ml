@@ -1,0 +1,185 @@
+module Chain = Tlp_graph.Chain
+module Counters = Tlp_util.Counters
+
+type stats = {
+  p : int;
+  r : int;
+  q_mean : float;
+  q_max : int;
+  temps_mean_len : float;
+  temps_max_len : int;
+  search_steps : int;
+}
+
+type solution = {
+  cut : Chain.cut;
+  weight : int;
+  stats : stats;
+}
+
+(* One TEMP_S row: primes [l, r] currently share minimum W-value [w],
+   achieved by the partial solution [sol] (edges in reverse order, cost
+   [w]).  Rows are kept with strictly increasing [w] from top to
+   bottom. *)
+type row = {
+  mutable l : int;
+  mutable r : int;
+  mutable w : int;
+  mutable sol : int list;
+}
+
+let empty_stats =
+  {
+    p = 0;
+    r = 0;
+    q_mean = 0.0;
+    q_max = 0;
+    temps_mean_len = 0.0;
+    temps_max_len = 0;
+    search_steps = 0;
+  }
+
+type search = Binary | Galloping
+
+let solve ?(counters = Counters.null) ?(search = Binary) chain ~k =
+  match Prime_subpaths.compute chain ~k with
+  | Error e -> Error e
+  | Ok primes ->
+      let p = Prime_subpaths.count primes in
+      if p = 0 then Ok { cut = []; weight = 0; stats = empty_stats }
+      else begin
+        let groups = Prime_subpaths.groups chain primes in
+        let r = Array.length groups in
+        (* Finalized optima: cost.(i) and sol.(i) describe the minimum
+           hitting set for primes 0..i once prime i has closed. *)
+        let cost = Array.make p 0 in
+        let sol = Array.make p [] in
+        let cost_before i = if i = 0 then 0 else cost.(i - 1) in
+        let sol_before i = if i = 0 then [] else sol.(i - 1) in
+        (* TEMP_S as an array-backed deque of rows; [top..bottom]
+           inclusive are live. *)
+        let rows =
+          Array.init (p + 1) (fun _ -> { l = 0; r = 0; w = 0; sol = [] })
+        in
+        let top = ref 0 and bottom = ref (-1) in
+        let hi = ref (-1) in
+        (* max open prime index *)
+        let search_steps = ref 0 in
+        let len_sum = ref 0 and len_max = ref 0 in
+        let close_primes_below bound =
+          (* Finalize every open prime with index < bound.  They sit at
+             the top of TEMP_S with their minimum W-value in the covering
+             row. *)
+          let continue = ref true in
+          while !continue && !top <= !bottom do
+            let row = rows.(!top) in
+            if row.l < bound then begin
+              cost.(row.l) <- row.w;
+              sol.(row.l) <- row.sol;
+              row.l <- row.l + 1;
+              if row.l > row.r then incr top
+            end
+            else continue := false
+          done
+        in
+        for g = 0 to r - 1 do
+          let { Prime_subpaths.rep; weight = beta_g; c; d } = groups.(g) in
+          close_primes_below c;
+          let w_g = beta_g + cost_before c in
+          let sol_g = rep :: sol_before c in
+          Counters.bump counters "hitting_groups";
+          (* Find the first live row with w >= w_g; all rows from there
+             to the bottom are superseded by w_g. *)
+          let binary_search lo0 hi0 =
+            let lo = ref lo0 and hi_s = ref hi0 in
+            while !lo < !hi_s do
+              incr search_steps;
+              Counters.bump counters "hitting_search_steps";
+              let mid = (!lo + !hi_s) / 2 in
+              if rows.(mid).w >= w_g then hi_s := mid else lo := mid + 1
+            done;
+            !lo
+          in
+          let s =
+            match search with
+            | Binary -> binary_search !top (!bottom + 1)
+            | Galloping ->
+                (* W-values skew upward, so the superseded suffix is
+                   usually short: gallop from the bottom row in doubling
+                   steps until a row survives, then binary-search the
+                   bracketed window. *)
+                if !bottom < !top then !top
+                else begin
+                  incr search_steps;
+                  Counters.bump counters "hitting_search_steps";
+                  if rows.(!bottom).w < w_g then !bottom + 1
+                  else begin
+                    (* hi_known: smallest index verified to satisfy
+                       w >= w_g; probe walks down in doubling steps. *)
+                    let hi_known = ref !bottom in
+                    let step = ref 1 in
+                    let probe = ref (!bottom - 1) in
+                    let stop = ref false in
+                    while (not !stop) && !probe >= !top do
+                      incr search_steps;
+                      Counters.bump counters "hitting_search_steps";
+                      if rows.(!probe).w >= w_g then begin
+                        hi_known := !probe;
+                        step := !step * 2;
+                        probe := !probe - !step
+                      end
+                      else stop := true
+                    done;
+                    (* answer in [probe+1, hi_known]; binary returns
+                       hi_known when the half-open range is empty. *)
+                    binary_search (Stdlib.max !top (!probe + 1)) !hi_known
+                  end
+                end
+          in
+          if s <= !bottom then begin
+            let row = rows.(s) in
+            row.r <- rows.(!bottom).r;
+            row.w <- w_g;
+            row.sol <- sol_g;
+            bottom := s
+          end;
+          if d > !hi then begin
+            (* Primes !hi+1 .. d open with this group; their window so
+               far is only group g, so their minimum W-value is w_g. *)
+            if !bottom >= !top && rows.(!bottom).w = w_g then
+              rows.(!bottom).r <- d
+            else begin
+              incr bottom;
+              let row = rows.(!bottom) in
+              row.l <- !hi + 1;
+              row.r <- d;
+              row.w <- w_g;
+              row.sol <- sol_g
+            end;
+            hi := d
+          end;
+          let len = !bottom - !top + 1 in
+          len_sum := !len_sum + len;
+          len_max := Stdlib.max !len_max len
+        done;
+        close_primes_below p;
+        let cut = List.sort compare sol.(p - 1) in
+        let pstats = Prime_subpaths.stats_of_groups chain primes groups in
+        Ok
+          {
+            cut;
+            weight = cost.(p - 1);
+            stats =
+              {
+                p;
+                r;
+                q_mean = pstats.Prime_subpaths.q_mean;
+                q_max = pstats.Prime_subpaths.q_max;
+                temps_mean_len =
+                  (if r = 0 then 0.0
+                   else float_of_int !len_sum /. float_of_int r);
+                temps_max_len = !len_max;
+                search_steps = !search_steps;
+              };
+          }
+      end

@@ -1,0 +1,49 @@
+(** The paper's improved bandwidth-minimization algorithm
+    (§2.3.1 / Appendix A): O(n + p log q) where [p] is the number of
+    prime subpaths and [q] the average number of primes a non-redundant
+    edge belongs to.
+
+    The problem is cast as a minimum-weight hitting set over the prime
+    subpaths (contiguous edge intervals).  Edges are processed left to
+    right at the granularity of non-redundant groups; the TEMP_S
+    double-ended structure keeps, for every currently open prime, the
+    minimum W-value seen so far, with one row per run of primes sharing
+    the same minimum.  The W column is sorted, so each update is a binary
+    search over at most [q_i] rows plus O(1) amortized row edits. *)
+
+type stats = {
+  p : int;                (** prime subpaths *)
+  r : int;                (** non-redundant edge groups *)
+  q_mean : float;         (** paper's q = (Σ q_i) / r *)
+  q_max : int;
+  temps_mean_len : float; (** mean TEMP_S row count per processed group *)
+  temps_max_len : int;
+  search_steps : int;     (** total binary-search probes *)
+}
+
+type solution = {
+  cut : Tlp_graph.Chain.cut;
+  weight : int;
+  stats : stats;
+}
+
+type search = Binary | Galloping
+(** Row-lookup strategy inside TEMP_S.  [Binary] is the paper's
+    algorithm.  [Galloping] implements the k-ary-search idea the paper
+    leaves as future work (§2.3.2: W-values "have a tendency to grow
+    towards end"): probe from the bottom of the queue in doubling steps,
+    then finish with binary search on the bracketed range — O(log d)
+    where d is the distance of the answer from the bottom, which the
+    skew makes small. *)
+
+val solve :
+  ?counters:Tlp_util.Counters.t ->
+  ?search:search ->
+  Tlp_graph.Chain.t ->
+  k:int ->
+  (solution, Infeasible.t) result
+(** Minimum-weight cut leaving every component [<= k].  [Error] iff some
+    single vertex exceeds [k].  Returns the empty cut when the whole
+    chain fits.  [search] defaults to [Binary]; both strategies return
+    identical solutions (property-tested), differing only in probe
+    counts. *)

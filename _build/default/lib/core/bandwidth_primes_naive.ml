@@ -1,0 +1,39 @@
+module Chain = Tlp_graph.Chain
+module Counters = Tlp_util.Counters
+
+type solution = { cut : Chain.cut; weight : int }
+
+let solve ?(counters = Counters.null) chain ~k =
+  match Prime_subpaths.compute chain ~k with
+  | Error e -> Error e
+  | Ok primes ->
+      let p = Prime_subpaths.count primes in
+      if p = 0 then Ok { cut = []; weight = 0 }
+      else begin
+        let beta = chain.Chain.beta in
+        (* cost.(i) / sol.(i): optimum hitting primes 0..i. *)
+        let cost = Array.make p 0 in
+        let sol = Array.make p [] in
+        let cost_before c = if c = 0 then 0 else cost.(c - 1) in
+        let sol_before c = if c = 0 then [] else sol.(c - 1) in
+        for i = 0 to p - 1 do
+          let { Prime_subpaths.a; b } = primes.Prime_subpaths.primes.(i) in
+          let best = ref max_int in
+          let best_sol = ref [] in
+          for j = a to b do
+            Counters.bump counters "naive_recurrence_scan";
+            (* gamma_j = (first prime containing j) - 1; edges inside a
+               prime are always covered. *)
+            let c = primes.Prime_subpaths.edge_c.(j) in
+            let w = beta.(j) + cost_before c in
+            if w < !best then begin
+              best := w;
+              best_sol := j :: sol_before c
+            end
+          done;
+          cost.(i) <- !best;
+          sol.(i) <- !best_sol
+        done;
+        let cut = List.sort_uniq compare sol.(p - 1) in
+        Ok { cut; weight = cost.(p - 1) }
+      end

@@ -1,0 +1,20 @@
+(** The naive evaluation of the paper's prime-subpath recurrence
+    (§2.3, "Computing the recurrence relation in this naive way will
+    take O(Σ|Pᵢ|) time, which may be as high as O(np)").
+
+    S_i is the minimum hitting set for primes 1..i; for each prime the
+    whole edge window is scanned.  The paper presents this version "for
+    ease of understanding" before introducing TEMP_S; we keep it as the
+    ablation baseline showing what the TEMP_S structure buys. *)
+
+type solution = {
+  cut : Tlp_graph.Chain.cut;
+  weight : int;
+}
+
+val solve :
+  ?counters:Tlp_util.Counters.t ->
+  Tlp_graph.Chain.t ->
+  k:int ->
+  (solution, Infeasible.t) result
+(** Same optimum as {!Bandwidth_hitting.solve} (property-tested). *)

@@ -1,0 +1,111 @@
+module Tree = Tlp_graph.Tree
+module Dsu = Tlp_graph.Dsu
+module Counters = Tlp_util.Counters
+
+type solution = { cut : Tree.cut; bottleneck : int }
+
+(* Edge indices sorted by ascending weight (ties by index, making both
+   variants deterministic and identical). *)
+let sorted_edges t =
+  let order = Array.init (Tree.n_edges t) Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = compare (Tree.delta t a) (Tree.delta t b) in
+      if c <> 0 then c else compare a b)
+    order;
+  order
+
+let prefix_solution t order s =
+  (* Cut the first s edges of the sorted order. *)
+  let cut = List.sort compare (Array.to_list (Array.sub order 0 s)) in
+  let bottleneck = if s = 0 then 0 else Tree.delta t order.(s - 1) in
+  { cut; bottleneck }
+
+let paper ?(counters = Counters.null) t ~k =
+  match Infeasible.check_tree t ~k with
+  | Error e -> Error e
+  | Ok () ->
+      let order = sorted_edges t in
+      let m = Tree.n_edges t in
+      (* Feasibility of cutting the first s edges, checked from scratch
+         each round exactly as Algorithm 2.1 does. *)
+      let feasible s =
+        let removed = Array.make m false in
+        for i = 0 to s - 1 do
+          removed.(order.(i)) <- true
+        done;
+        let dsu = Dsu.create t.Tree.weights in
+        let ok = ref true in
+        for e = 0 to m - 1 do
+          if not removed.(e) then begin
+            Counters.bump counters "bottleneck_union";
+            let u, v = Tree.endpoints t e in
+            ignore (Dsu.union dsu u v);
+            if Dsu.component_weight dsu u > k then ok := false
+          end
+        done;
+        !ok && (m > 0 || Tree.total_weight t <= k)
+      in
+      let rec grow s =
+        if feasible s then Ok (prefix_solution t order s) else grow (s + 1)
+      in
+      grow 0
+
+let fast ?(counters = Counters.null) t ~k =
+  match Infeasible.check_tree t ~k with
+  | Error e -> Error e
+  | Ok () ->
+      let order = sorted_edges t in
+      let m = Tree.n_edges t in
+      let dsu = Dsu.create t.Tree.weights in
+      (* Restore edges heaviest-first.  The first union that would
+         overflow K identifies the minimal feasible prefix: all lighter
+         edges must stay cut. *)
+      let rec restore i =
+        if i < 0 then 0
+        else begin
+          Counters.bump counters "bottleneck_union";
+          let e = order.(i) in
+          let u, v = Tree.endpoints t e in
+          if Dsu.component_weight dsu u + Dsu.component_weight dsu v > k then
+            i + 1
+          else begin
+            ignore (Dsu.union dsu u v);
+            restore (i - 1)
+          end
+        end
+      in
+      let s = restore (m - 1) in
+      Ok (prefix_solution t order s)
+
+let prune t ~k cut =
+  if not (Tree.is_feasible t ~k cut) then
+    invalid_arg "Bottleneck.prune: cut is not feasible";
+  let by_weight_desc =
+    List.sort
+      (fun a b ->
+        let c = compare (Tree.delta t b) (Tree.delta t a) in
+        if c <> 0 then c else compare b a)
+      cut
+  in
+  let dsu = Dsu.create t.Tree.weights in
+  let in_cut = Array.make (Tree.n_edges t) false in
+  List.iter (fun e -> in_cut.(e) <- true) cut;
+  Array.iteri
+    (fun e (u, v, _) -> if not in_cut.(e) then ignore (Dsu.union dsu u v))
+    t.Tree.edges;
+  let keep =
+    List.filter
+      (fun e ->
+        let u, v = Tree.endpoints t e in
+        let merged = Dsu.component_weight dsu u + Dsu.component_weight dsu v in
+        if Dsu.connected dsu u v || merged <= k then begin
+          (* Restoring this edge keeps all components within K: drop it
+             from the cut permanently. *)
+          ignore (Dsu.union dsu u v);
+          false
+        end
+        else true)
+      by_weight_desc
+  in
+  List.sort compare keep

@@ -1,0 +1,38 @@
+(** Bottleneck minimization on tree task graphs (§2.1, Algorithm 2.1).
+
+    Find an edge cut [S] such that every component of [T - S] weighs at
+    most [K] and the maximum edge weight in [S] is minimum.  Key fact
+    (the paper's correctness argument): if edges are sorted ascending,
+    the optimum is achieved by cutting a prefix of the sorted order, so
+    the optimal bottleneck value is the weight of edge [e_s*] for the
+    minimal feasible prefix length [s*]. *)
+
+type solution = {
+  cut : Tlp_graph.Tree.cut;
+  bottleneck : int;  (** max delta over the cut; 0 for the empty cut *)
+}
+
+val paper :
+  ?counters:Tlp_util.Counters.t ->
+  Tlp_graph.Tree.t ->
+  k:int ->
+  (solution, Infeasible.t) result
+(** Algorithm 2.1 verbatim: grow the prefix one edge at a time,
+    re-checking component weights after each addition — O(n²). *)
+
+val fast :
+  ?counters:Tlp_util.Counters.t ->
+  Tlp_graph.Tree.t ->
+  k:int ->
+  (solution, Infeasible.t) result
+(** Improved variant: merge edges back heaviest-first with a weighted
+    union–find and stop at the first overflow — O(n log n) (sorting
+    dominates).  Produces the same prefix cut as {!paper}. *)
+
+val prune : Tlp_graph.Tree.t -> k:int -> Tlp_graph.Tree.cut -> Tlp_graph.Tree.cut
+(** Remove unnecessary edges from a feasible cut: try to restore edges
+    heaviest-first, keeping feasibility.  The result is an
+    inclusion-minimal feasible subset with the same optimal bottleneck
+    (greedy post-pass; Algorithm 2.2 gives the cardinality-optimal
+    refinement).  Raises [Invalid_argument] if the input cut is not
+    feasible. *)

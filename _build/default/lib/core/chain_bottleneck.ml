@@ -1,0 +1,64 @@
+module Chain = Tlp_graph.Chain
+module Counters = Tlp_util.Counters
+
+type solution = { cut : Chain.cut; bottleneck : int }
+
+(* Greedy interval stabbing restricted to edges with beta <= threshold:
+   walk the primes left to right; when the previous stab misses a prime,
+   stab the rightmost allowed edge inside it. *)
+let stab chain primes ~threshold =
+  let n_edges = Chain.n_edges chain in
+  let beta = chain.Chain.beta in
+  (* prev_allowed.(j) = largest j' <= j with beta.(j') <= threshold. *)
+  let prev_allowed = Array.make (Stdlib.max n_edges 1) (-1) in
+  let last = ref (-1) in
+  for j = 0 to n_edges - 1 do
+    if beta.(j) <= threshold then last := j;
+    prev_allowed.(j) <- !last
+  done;
+  let exception Infeasible_threshold in
+  try
+    let stabs = ref [] in
+    let last_stab = ref (-1) in
+    Array.iter
+      (fun { Prime_subpaths.a; b } ->
+        if !last_stab < a then begin
+          let j = if n_edges = 0 then -1 else prev_allowed.(b) in
+          if j < a then raise Infeasible_threshold;
+          stabs := j :: !stabs;
+          last_stab := j
+        end)
+      primes.Prime_subpaths.primes;
+    Some (List.rev !stabs)
+  with Infeasible_threshold -> None
+
+let feasible_with_threshold chain ~k threshold =
+  match Prime_subpaths.compute chain ~k with
+  | Error _ -> false
+  | Ok primes -> Option.is_some (stab chain primes ~threshold)
+
+let solve ?(counters = Counters.null) chain ~k =
+  match Prime_subpaths.compute chain ~k with
+  | Error e -> Error e
+  | Ok primes ->
+      if Prime_subpaths.count primes = 0 then Ok { cut = []; bottleneck = 0 }
+      else begin
+        let distinct =
+          Array.to_list chain.Chain.beta
+          |> List.sort_uniq compare |> Array.of_list
+        in
+        (* Minimal threshold index that admits a stabbing.  The largest
+           threshold always does: every prime has a non-empty edge set. *)
+        let lo = ref 0 and hi = ref (Array.length distinct - 1) in
+        while !lo < !hi do
+          Counters.bump counters "chain_bottleneck_probe";
+          let mid = (!lo + !hi) / 2 in
+          match stab chain primes ~threshold:distinct.(mid) with
+          | Some _ -> hi := mid
+          | None -> lo := mid + 1
+        done;
+        let threshold = distinct.(!lo) in
+        match stab chain primes ~threshold with
+        | Some cut -> Ok { cut; bottleneck = Chain.max_cut_edge chain cut }
+        | None -> assert false
+      end

@@ -1,0 +1,25 @@
+(** Bottleneck minimization specialized to linear chains — the third
+    requirement of the real-time application (§3): minimize the largest
+    single communication weight crossing the cut, subject to every
+    component fitting within [K].
+
+    A chain is a tree, so Algorithm 2.1 applies; this module adds an
+    [O(n log n)] solver that binary-searches the bottleneck threshold and
+    certifies feasibility by greedy stabbing of the prime subpaths, and
+    returns an inclusion-small cut (one edge per stab) rather than
+    Algorithm 2.1's whole prefix. *)
+
+type solution = {
+  cut : Tlp_graph.Chain.cut;
+  bottleneck : int;  (** max beta over the cut; 0 for the empty cut *)
+}
+
+val solve :
+  ?counters:Tlp_util.Counters.t ->
+  Tlp_graph.Chain.t ->
+  k:int ->
+  (solution, Infeasible.t) result
+
+val feasible_with_threshold : Tlp_graph.Chain.t -> k:int -> int -> bool
+(** [feasible_with_threshold c ~k t]: can every prime subpath be hit
+    using only edges of weight [<= t]?  Exposed for property tests. *)

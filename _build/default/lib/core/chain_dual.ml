@@ -1,0 +1,99 @@
+module Chain = Tlp_graph.Chain
+
+type solution = {
+  k : int;
+  cut : Chain.cut;
+  cut_weight : int;
+}
+
+let optimal_weight chain ~k =
+  match Bandwidth.deque chain ~k with
+  | Ok { Bandwidth.weight; _ } -> Some weight
+  | Error _ -> None
+
+let min_bound_for_budget chain ~budget =
+  if budget < 0 then invalid_arg "Chain_dual.min_bound_for_budget: negative budget";
+  (* Optimal cut weight is non-increasing in K (tested property), so the
+     predicate "optimal weight <= budget" is monotone. *)
+  let lo = ref (Chain.max_alpha chain) and hi = ref (Chain.total_weight chain) in
+  while !lo < !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    match optimal_weight chain ~k:mid with
+    | Some w when w <= budget -> hi := mid
+    | Some _ | None -> lo := mid + 1
+  done;
+  match Bandwidth.deque chain ~k:!lo with
+  | Ok { Bandwidth.cut; weight } -> { k = !lo; cut; cut_weight = weight }
+  | Error _ -> assert false (* lo >= max alpha *)
+
+(* Minimum components achievable under bound k: greedy maximal segments
+   (the probing argument of the chain-on-chain solvers). *)
+let min_components chain ~k =
+  let n = Chain.n chain in
+  let alpha = chain.Chain.alpha in
+  let segments = ref 1 in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    if !acc + alpha.(i) <= k then acc := !acc + alpha.(i)
+    else begin
+      incr segments;
+      acc := alpha.(i)
+    end
+  done;
+  !segments
+
+let min_bound_for_processors chain ~m =
+  if m < 1 then invalid_arg "Chain_dual.min_bound_for_processors: m must be >= 1";
+  let lo = ref (Chain.max_alpha chain) and hi = ref (Chain.total_weight chain) in
+  while !lo < !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    if min_components chain ~k:mid <= m then hi := mid else lo := mid + 1
+  done;
+  let k = !lo in
+  (* Among all cuts feasible at this k, pick the cheapest that also
+     respects the component limit.  The bandwidth optimum may use more
+     than m components; constrain by a DP over (position, segments). *)
+  let n = Chain.n chain in
+  let prefix = Chain.prefix_sums chain in
+  let lo_win = Array.make (n + 1) 0 in
+  let j = ref 0 in
+  for i = 1 to n do
+    while prefix.(i) - prefix.(!j) > k do
+      incr j
+    done;
+    lo_win.(i) <- !j
+  done;
+  let inf = max_int / 4 in
+  let m = Stdlib.min m n in
+  (* d.(r).(i): min cut weight covering vertices [0, i) with exactly r
+     segments, boundary at i. *)
+  let d = Array.make_matrix (m + 1) (n + 1) inf in
+  let parent = Array.make_matrix (m + 1) (n + 1) (-1) in
+  d.(0).(0) <- 0;
+  for r = 1 to m do
+    for i = 1 to n do
+      let cost = if i < n then chain.Chain.beta.(i - 1) else 0 in
+      for j = lo_win.(i) to i - 1 do
+        if d.(r - 1).(j) < inf then begin
+          let cand = d.(r - 1).(j) + cost in
+          if cand < d.(r).(i) then begin
+            d.(r).(i) <- cand;
+            parent.(r).(i) <- j
+          end
+        end
+      done
+    done
+  done;
+  let best_r = ref 1 in
+  for r = 2 to m do
+    if d.(r).(n) < d.(!best_r).(n) then best_r := r
+  done;
+  let cut = ref [] in
+  let i = ref n and r = ref !best_r in
+  while !r > 0 && !i > 0 do
+    let j = parent.(!r).(!i) in
+    if j > 0 then cut := (j - 1) :: !cut;
+    i := j;
+    decr r
+  done;
+  { k; cut = !cut; cut_weight = Chain.cut_weight chain !cut }

@@ -1,0 +1,33 @@
+(** Dual formulations of the chain partitioning problem.
+
+    The paper fixes the execution-time bound [K] and optimizes the cut;
+    practitioners often hold the other resource fixed instead.  Both
+    duals reduce to monotone searches over [K] driven by the §2.3
+    solvers, so they inherit their optimality:
+
+    - {!min_bound_for_budget}: the communication budget is fixed (e.g. a
+      bus-bandwidth allowance per job) — find the smallest [K] whose
+      optimal cut weight fits the budget.
+    - {!min_bound_for_processors}: the processor count is fixed — find
+      the smallest [K] achievable with at most [m] components, and the
+      minimum-weight cut realizing it. *)
+
+type solution = {
+  k : int;                     (** the minimized bound *)
+  cut : Tlp_graph.Chain.cut;
+  cut_weight : int;
+}
+
+val min_bound_for_budget :
+  Tlp_graph.Chain.t -> budget:int -> solution
+(** Smallest [K] such that the optimal feasible cut has weight
+    [<= budget].  Always solvable: at [K = total weight] the empty cut
+    costs 0. *)
+
+val min_bound_for_processors :
+  Tlp_graph.Chain.t -> m:int -> solution
+(** Smallest [K] reachable with at most [m] components (the classical
+    minmax value), together with the {e minimum-weight} cut among those
+    achieving it — the natural composition of the related-work problem
+    (§1) with the paper's bandwidth objective.  Raises
+    [Invalid_argument] when [m < 1]. *)

@@ -1,0 +1,20 @@
+type t = { vertex : int; weight : int; bound : int }
+
+let check_weights weights ~k =
+  let n = Array.length weights in
+  let rec go i =
+    if i >= n then Ok ()
+    else if weights.(i) > k then
+      Error { vertex = i; weight = weights.(i); bound = k }
+    else go (i + 1)
+  in
+  go 0
+
+let check_chain (c : Tlp_graph.Chain.t) ~k = check_weights c.Tlp_graph.Chain.alpha ~k
+
+let check_tree (t : Tlp_graph.Tree.t) ~k = check_weights t.Tlp_graph.Tree.weights ~k
+
+let to_string { vertex; weight; bound } =
+  Printf.sprintf "vertex %d has weight %d > bound K=%d" vertex weight bound
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,15 @@
+(** The single infeasibility condition shared by every partitioning
+    problem in the paper: a vertex whose computation weight exceeds the
+    execution-time bound [K] can never be placed in any component of
+    weight [<= K]. *)
+
+type t = { vertex : int; weight : int; bound : int }
+
+val check_weights : int array -> k:int -> (unit, t) result
+(** [Error] naming the first offending vertex, if any. *)
+
+val check_chain : Tlp_graph.Chain.t -> k:int -> (unit, t) result
+val check_tree : Tlp_graph.Tree.t -> k:int -> (unit, t) result
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

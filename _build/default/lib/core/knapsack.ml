@@ -1,0 +1,58 @@
+type instance = {
+  weights : int array;
+  profits : int array;
+  capacity : int;
+}
+
+type solution = {
+  selected : int list;
+  total_weight : int;
+  total_profit : int;
+}
+
+let make ~weights ~profits ~capacity =
+  if Array.length weights <> Array.length profits then
+    invalid_arg "Knapsack.make: weights/profits length mismatch";
+  if capacity < 0 then invalid_arg "Knapsack.make: negative capacity";
+  Array.iter
+    (fun w -> if w < 0 then invalid_arg "Knapsack.make: negative weight")
+    weights;
+  Array.iter
+    (fun p -> if p < 0 then invalid_arg "Knapsack.make: negative profit")
+    profits;
+  { weights = Array.copy weights; profits = Array.copy profits; capacity }
+
+let solve inst =
+  let n = Array.length inst.weights in
+  let cap = inst.capacity in
+  (* best.(i).(c) = max profit using items 0..i-1 within capacity c.  The
+     full table is kept for reconstruction. *)
+  let best = Array.make_matrix (n + 1) (cap + 1) 0 in
+  for i = 1 to n do
+    let w = inst.weights.(i - 1) and p = inst.profits.(i - 1) in
+    for c = 0 to cap do
+      let without = best.(i - 1).(c) in
+      let with_item = if w <= c then best.(i - 1).(c - w) + p else -1 in
+      best.(i).(c) <- Stdlib.max without with_item
+    done
+  done;
+  let selected = ref [] in
+  let c = ref cap in
+  for i = n downto 1 do
+    if best.(i).(!c) <> best.(i - 1).(!c) then begin
+      selected := (i - 1) :: !selected;
+      c := !c - inst.weights.(i - 1)
+    end
+  done;
+  let total_weight =
+    List.fold_left (fun acc i -> acc + inst.weights.(i)) 0 !selected
+  in
+  {
+    selected = !selected;
+    total_weight;
+    total_profit = best.(n).(cap);
+  }
+
+let decision inst ~min_profit =
+  let sol = solve inst in
+  if sol.total_profit >= min_profit then Some sol else None

@@ -1,0 +1,29 @@
+(** 0-1 knapsack, the problem the paper reduces from in Theorem 1.
+
+    Pseudo-polynomial dynamic program with solution reconstruction,
+    serving two purposes: it solves star-graph bandwidth minimization
+    exactly ({!Star_bandwidth}) and it certifies the NP-completeness
+    reduction constructively in the test suite. *)
+
+type instance = {
+  weights : int array;   (** item weights, non-negative *)
+  profits : int array;   (** item profits, non-negative *)
+  capacity : int;        (** non-negative *)
+}
+
+type solution = {
+  selected : int list;   (** chosen item indices, ascending *)
+  total_weight : int;
+  total_profit : int;
+}
+
+val make : weights:int array -> profits:int array -> capacity:int -> instance
+(** Validates shapes and signs.  Raises [Invalid_argument]. *)
+
+val solve : instance -> solution
+(** Maximum-profit subset with total weight [<= capacity].
+    O(items × capacity) time and space. *)
+
+val decision : instance -> min_profit:int -> solution option
+(** The decision form used in Theorem 1: a subset with weight
+    [<= capacity] and profit [>= min_profit], if one exists. *)

@@ -1,0 +1,167 @@
+module Chain = Tlp_graph.Chain
+
+type prime = { a : int; b : int }
+
+type t = {
+  primes : prime array;
+  edge_c : int array;
+  edge_d : int array;
+}
+
+(* Minimal critical segments: for each left vertex l, the least r with
+   weight(l..r) > K.  r(l) is nondecreasing, so a two-pointer sweep is
+   O(n).  Among minimal segments sharing the same right endpoint only the
+   shortest (largest l) is prime. *)
+let compute chain ~k =
+  match Infeasible.check_chain chain ~k with
+  | Error e -> Error e
+  | Ok () ->
+      let n = Chain.n chain in
+      let alpha = chain.Chain.alpha in
+      let primes = ref [] in
+      let n_primes = ref 0 in
+      let r = ref 0 in
+      let sum = ref 0 in
+      (* Invariant: [sum] = weight of vertices [l .. !r - 1]. *)
+      for l = 0 to n - 1 do
+        while !r < n && !sum <= k do
+          sum := !sum + alpha.(!r);
+          incr r
+        done;
+        (* Either !sum > k — the minimal critical segment starting at l is
+           [l, !r-1] — or the suffix from l fits within k and no further
+           critical segment exists. *)
+        if !sum > k then begin
+          let right = !r - 1 in
+          (match !primes with
+          | { b; _ } :: rest when b = right - 1 ->
+              (* Same right endpoint as the previous candidate, which is
+                 therefore dominated (longer): replace it. *)
+              primes := { a = l; b = right - 1 } :: rest
+          | _ ->
+              primes := { a = l; b = right - 1 } :: !primes;
+              incr n_primes);
+          sum := !sum - alpha.(l)
+        end
+        else if !r > l then sum := !sum - alpha.(l)
+      done;
+      let p = !n_primes in
+      let prime_arr = Array.make (Stdlib.max p 1) { a = 0; b = 0 } in
+      List.iteri (fun i pr -> prime_arr.(p - 1 - i) <- pr) !primes;
+      let primes = if p = 0 then [||] else Array.sub prime_arr 0 p in
+      let n_edges = Chain.n_edges chain in
+      (* c_j = first prime with b >= j; d_j = last prime with a <= j.
+         Edge j is covered iff c_j <= d_j. *)
+      let edge_c = Array.make (Stdlib.max n_edges 1) 1 in
+      let edge_d = Array.make (Stdlib.max n_edges 1) 0 in
+      let ci = ref 0 in
+      let di = ref (-1) in
+      for j = 0 to n_edges - 1 do
+        while !ci < p && primes.(!ci).b < j do
+          incr ci
+        done;
+        while !di + 1 < p && primes.(!di + 1).a <= j do
+          incr di
+        done;
+        if !ci < p && !ci <= !di then begin
+          edge_c.(j) <- !ci;
+          edge_d.(j) <- !di
+        end
+        else begin
+          edge_c.(j) <- 1;
+          edge_d.(j) <- 0
+        end
+      done;
+      let edge_c = if n_edges = 0 then [||] else Array.sub edge_c 0 n_edges in
+      let edge_d = if n_edges = 0 then [||] else Array.sub edge_d 0 n_edges in
+      Ok { primes; edge_c; edge_d }
+
+let count t = Array.length t.primes
+
+let covers t j = t.edge_c.(j) <= t.edge_d.(j)
+
+let is_hitting t cut =
+  let hit = Array.make (Array.length t.primes) false in
+  List.iter
+    (fun j ->
+      let c = t.edge_c.(j) and d = t.edge_d.(j) in
+      for i = c to Stdlib.min d (Array.length hit - 1) do
+        hit.(i) <- true
+      done)
+    cut;
+  Array.for_all Fun.id hit
+
+type group = { rep : int; weight : int; c : int; d : int }
+
+let groups chain t =
+  let n_edges = Chain.n_edges chain in
+  let beta = chain.Chain.beta in
+  (* At most min(2p - 1, n_edges) groups. *)
+  let cap = Stdlib.max 1 n_edges in
+  let out = Array.make cap { rep = 0; weight = 0; c = 0; d = 0 } in
+  let count = ref 0 in
+  let cur_valid = ref false in
+  let cur = ref { rep = 0; weight = 0; c = 0; d = 0 } in
+  for j = 0 to n_edges - 1 do
+    let c = t.edge_c.(j) and d = t.edge_d.(j) in
+    if c <= d then begin
+      if !cur_valid && (!cur).c = c && (!cur).d = d then begin
+        if beta.(j) < (!cur).weight then
+          cur := { rep = j; weight = beta.(j); c; d }
+      end
+      else begin
+        if !cur_valid then begin
+          out.(!count) <- !cur;
+          incr count
+        end;
+        cur := { rep = j; weight = beta.(j); c; d };
+        cur_valid := true
+      end
+    end
+    else if !cur_valid then begin
+      out.(!count) <- !cur;
+      incr count;
+      cur_valid := false
+    end
+  done;
+  if !cur_valid then begin
+    out.(!count) <- !cur;
+    incr count
+  end;
+  Array.sub out 0 !count
+
+type stats = {
+  n : int;
+  p : int;
+  r : int;
+  q_mean : float;
+  q_max : int;
+  mean_prime_len : float;
+}
+
+let stats_of_groups chain t gs =
+  let r = Array.length gs in
+  let p = count t in
+  let q_sum = Array.fold_left (fun acc g -> acc + (g.d - g.c + 1)) 0 gs in
+  let q_max = Array.fold_left (fun acc g -> Stdlib.max acc (g.d - g.c + 1)) 0 gs in
+  let len_sum =
+    Array.fold_left (fun acc pr -> acc + (pr.b - pr.a + 1)) 0 t.primes
+  in
+  {
+    n = Chain.n chain;
+    p;
+    r;
+    q_mean = (if r = 0 then 0.0 else float_of_int q_sum /. float_of_int r);
+    q_max;
+    mean_prime_len =
+      (if p = 0 then 0.0 else float_of_int len_sum /. float_of_int p);
+  }
+
+let stats chain t = stats_of_groups chain t (groups chain t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>primes (%d):@," (count t);
+  Array.iteri
+    (fun i { a; b } -> Format.fprintf ppf "  P%d: edges [%d, %d]@," i a b)
+    t.primes;
+  Format.fprintf ppf "@]"

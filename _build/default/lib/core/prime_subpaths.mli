@@ -1,0 +1,73 @@
+(** Critical and prime subpaths of a chain (§2.3 of the paper).
+
+    A {e critical subpath} is a contiguous vertex segment of total weight
+    [> K]; every feasible cut must remove at least one edge strictly
+    inside each critical subpath.  A critical subpath containing no other
+    critical subpath is {e prime}; hitting all prime subpaths suffices.
+
+    We represent a prime subpath by the inclusive range of {e edge}
+    indices that can break it.  With the primes ordered by left endpoint,
+    both endpoints are strictly increasing, so the set of primes
+    containing a given edge is a contiguous index range [\[c, d\]]. *)
+
+type prime = { a : int; b : int }
+(** Edge range [\[a, b\]] (0-based, inclusive) of one prime subpath. *)
+
+type t = private {
+  primes : prime array;        (** ordered by strictly increasing [a] (and [b]) *)
+  edge_c : int array;
+  edge_d : int array;
+      (** for each original edge [j], the prime index range
+          [\[edge_c.(j), edge_d.(j)\]] containing it; an empty range
+          ([c > d]) when [j] lies in no prime *)
+}
+
+val compute : Tlp_graph.Chain.t -> k:int -> (t, Infeasible.t) result
+(** Two-pointer computation, O(n).  [Error] iff some vertex weight
+    exceeds [k] (such a "prime" would have an empty edge set). *)
+
+val count : t -> int
+(** [p], the number of prime subpaths.  [p = 0] iff the whole chain
+    already fits in [K]. *)
+
+val covers : t -> int -> bool
+(** Whether edge [j] lies inside at least one prime subpath. *)
+
+val is_hitting : t -> Tlp_graph.Chain.cut -> bool
+(** Whether the cut contains an edge of every prime subpath — equivalent
+    to feasibility of the cut (Lemma of §2.3), which property tests
+    verify. *)
+
+(** {1 Non-redundant edge reduction}
+
+    Edges lying in exactly the same set of primes form a {e group}; only
+    a cheapest edge per group can appear in an optimal cut.  The groups
+    of a chain, left to right: *)
+
+type group = {
+  rep : int;          (** original index of the cheapest edge in the group *)
+  weight : int;       (** its beta weight *)
+  c : int;            (** first prime containing the group *)
+  d : int;            (** last prime containing the group *)
+}
+
+val groups : Tlp_graph.Chain.t -> t -> group array
+(** Non-redundant edges, O(n).  Edges in no prime are dropped.  Within a
+    group the leftmost minimum-weight edge is the representative. *)
+
+type stats = {
+  n : int;            (** chain vertices *)
+  p : int;            (** prime subpaths *)
+  r : int;            (** non-redundant edges (groups) *)
+  q_mean : float;     (** mean over groups of (d - c + 1) — the paper's q *)
+  q_max : int;
+  mean_prime_len : float;  (** mean prime length in edges (original) *)
+}
+
+val stats : Tlp_graph.Chain.t -> t -> stats
+(** The quantities plotted in Figure 2. *)
+
+val stats_of_groups : Tlp_graph.Chain.t -> t -> group array -> stats
+(** Same, reusing an already-computed {!groups} array. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+module Tree = Tlp_graph.Tree
+module Counters = Tlp_util.Counters
+
+type step = {
+  vertex : int;
+  gathered : int;
+  cut_children : (int * int) list;
+  residual : int;
+}
+
+type solution = { cut : Tree.cut; n_components : int }
+
+let solve ?(counters = Counters.null) ?on_step ?(root = 0) t ~k =
+  match Infeasible.check_tree t ~k with
+  | Error e -> Error e
+  | Ok () ->
+      let n = Tree.n t in
+      if root < 0 || root >= n then invalid_arg "Proc_min.solve: bad root";
+      (* Iterative DFS producing parents and a post-order sequence. *)
+      let parent = Array.make n (-1) in
+      let parent_edge = Array.make n (-1) in
+      let order = Array.make n root in
+      let visited = Array.make n false in
+      let stack = Stack.create () in
+      Stack.push root stack;
+      visited.(root) <- true;
+      let idx = ref 0 in
+      while not (Stack.is_empty stack) do
+        let v = Stack.pop stack in
+        order.(!idx) <- v;
+        incr idx;
+        List.iter
+          (fun (u, e) ->
+            if not visited.(u) then begin
+              visited.(u) <- true;
+              parent.(u) <- v;
+              parent_edge.(u) <- e;
+              Stack.push u stack
+            end)
+          (Tree.neighbors t v)
+      done;
+      (* A reversed preorder where every vertex appears after its parent
+         is a valid bottom-up schedule when traversed backwards. *)
+      let residual = Array.init n (Tree.weight t) in
+      let pending : (int * int * int) list array = Array.make n [] in
+      (* pending.(v): (child, residual, parent edge) of contracted
+         children awaiting absorption at v *)
+      let cut = ref [] in
+      for i = n - 1 downto 0 do
+        let v = order.(i) in
+        Counters.bump counters "proc_min_vertex";
+        let children = pending.(v) in
+        let gathered =
+          List.fold_left (fun acc (_, w, _) -> acc + w) (residual.(v)) children
+        in
+        let kept_weight, cut_here =
+          if gathered <= k then (gathered, [])
+          else begin
+            (* Cut off heaviest children first (paper's step 5): each cut
+               child subtree becomes a final component. *)
+            let desc =
+              List.sort (fun (_, a, _) (_, b, _) -> compare b a) children
+            in
+            (* Remove the heaviest prefix until the remainder fits;
+               per-vertex weights <= k (pre-checked) guarantee the
+               remainder is feasible once all children are gone. *)
+            let rec take w acc = function
+              | [] -> (w, List.rev acc)
+              | (child, cw, e) :: rest ->
+                  if w <= k then (w, List.rev acc)
+                  else take (w - cw) ((child, cw, e) :: acc) rest
+            in
+            take gathered [] desc
+          end
+        in
+        List.iter (fun (_, _, e) -> cut := e :: !cut) cut_here;
+        residual.(v) <- kept_weight;
+        (match on_step with
+        | Some f when children <> [] || gathered > k ->
+            f
+              {
+                vertex = v;
+                gathered;
+                cut_children = List.map (fun (c, w, _) -> (c, w)) cut_here;
+                residual = kept_weight;
+              }
+        | _ -> ());
+        if parent.(v) >= 0 then
+          pending.(parent.(v)) <-
+            (v, residual.(v), parent_edge.(v)) :: pending.(parent.(v))
+      done;
+      let cut = List.sort compare !cut in
+      Ok { cut; n_components = List.length cut + 1 }

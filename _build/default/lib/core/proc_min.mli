@@ -1,0 +1,37 @@
+(** Processor minimization on tree task graphs (§2.2, Algorithm 2.2).
+
+    Find an edge cut of minimum {e cardinality} such that every component
+    of [T - S] weighs at most [K] — minimizing the cardinality minimizes
+    the number of components (= processors), since removing a tree edge
+    creates exactly one extra component.
+
+    The implementation runs Algorithm 2.2 with a post-order schedule:
+    vertices are processed children-first, so every processed vertex is
+    "an internal node adjacent to at most one internal node" (its
+    parent), its pruned leaves being its already-contracted children.
+    When the accumulated weight overflows [K], the heaviest child
+    subtrees are cut off first (the paper's step 5).  This schedule makes
+    the algorithm the classical Kundu–Misra greedy, which is optimal. *)
+
+type step = {
+  vertex : int;                 (** the internal node being processed *)
+  gathered : int;               (** W = own weight + adjacent leaf residuals *)
+  cut_children : (int * int) list;
+      (** (child vertex, residual weight) pairs cut off, heaviest first *)
+  residual : int;               (** weight absorbed into [vertex] *)
+}
+(** One execution step, for the Figure 1 walkthrough. *)
+
+type solution = {
+  cut : Tlp_graph.Tree.cut;
+  n_components : int;  (** |cut| + 1 *)
+}
+
+val solve :
+  ?counters:Tlp_util.Counters.t ->
+  ?on_step:(step -> unit) ->
+  ?root:int ->
+  Tlp_graph.Tree.t ->
+  k:int ->
+  (solution, Infeasible.t) result
+(** Minimum-cardinality feasible cut.  O(n log n). *)

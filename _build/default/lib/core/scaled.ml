@@ -1,0 +1,61 @@
+module Chain = Tlp_graph.Chain
+
+type scaling = { factor : float }
+
+let all_positive a =
+  Array.for_all (fun w -> Float.is_finite w && w > 0.0) a
+
+let scale_chain ?(resolution = 10_000) ~alpha ~beta k =
+  if resolution < 10 then Error "resolution must be at least 10"
+  else if Array.length alpha = 0 then Error "empty chain"
+  else if Array.length beta <> Array.length alpha - 1 then
+    Error "need exactly n-1 edge weights"
+  else if not (all_positive alpha) then
+    Error "vertex weights must be positive and finite"
+  else if not (all_positive beta) then
+    Error "edge weights must be positive and finite"
+  else if not (Float.is_finite k && k > 0.0) then
+    Error "K must be positive and finite"
+  else begin
+    let max_w =
+      Stdlib.max
+        (Array.fold_left Stdlib.max 0.0 alpha)
+        (Stdlib.max (Array.fold_left Stdlib.max 0.0 beta) k)
+    in
+    let factor = float_of_int resolution /. max_w in
+    (* Vertex weights round up and K rounds down: any component feasible
+       on the grid is feasible in float. *)
+    let alpha_i =
+      Array.map (fun w -> Stdlib.max 1 (int_of_float (ceil (w *. factor)))) alpha
+    in
+    let beta_i =
+      Array.map
+        (fun w -> Stdlib.max 1 (int_of_float (Float.round (w *. factor))))
+        beta
+    in
+    let k_i = int_of_float (k *. factor) in
+    Ok (Chain.make ~alpha:alpha_i ~beta:beta_i, k_i, { factor })
+  end
+
+let unscale { factor } w = float_of_int w /. factor
+
+let float_cut_weight beta cut =
+  List.fold_left (fun acc e -> acc +. beta.(e)) 0.0 cut
+
+let bandwidth ?resolution ~alpha ~beta k =
+  match scale_chain ?resolution ~alpha ~beta k with
+  | Error e -> Error e
+  | Ok (chain, k_i, _) -> (
+      match Bandwidth_hitting.solve chain ~k:k_i with
+      | Error e -> Error (Infeasible.to_string e)
+      | Ok { Bandwidth_hitting.cut; _ } ->
+          Ok (cut, float_cut_weight beta cut))
+
+let chain_bottleneck ?resolution ~alpha ~beta k =
+  match scale_chain ?resolution ~alpha ~beta k with
+  | Error e -> Error e
+  | Ok (chain, k_i, _) -> (
+      match Chain_bottleneck.solve chain ~k:k_i with
+      | Error e -> Error (Infeasible.to_string e)
+      | Ok { Chain_bottleneck.cut; _ } ->
+          Ok (cut, List.fold_left (fun acc e -> Stdlib.max acc beta.(e)) 0.0 cut))

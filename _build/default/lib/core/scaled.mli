@@ -1,0 +1,46 @@
+(** Real-valued weights (the paper states weights in ℜ⁺) on top of the
+    integer core.
+
+    The core solvers use exact integer arithmetic so optimality can be
+    property-tested; float instances are handled by scaling onto an
+    integer grid of configurable [resolution] (grid points across the
+    largest weight).  Rounding changes the optimum by at most the sum of
+    per-edge rounding errors — about [n / (2·resolution)] of the largest
+    beta — which callers control via [resolution]. *)
+
+type scaling = private {
+  factor : float;  (** integer units per float unit *)
+}
+
+val scale_chain :
+  ?resolution:int ->
+  alpha:float array ->
+  beta:float array ->
+  float ->
+  (Tlp_graph.Chain.t * int * scaling, string) result
+(** [scale_chain ~alpha ~beta k] builds the integer chain and bound.
+    All weights must be positive and finite; [resolution] (default
+    10_000) is the integer size the largest weight maps to.  Vertex
+    weights round {e up} and [k] rounds {e down}, so feasibility of the
+    scaled instance implies feasibility of the float instance. *)
+
+val unscale : scaling -> int -> float
+(** Map an integer weight (e.g. a cut weight) back to float units. *)
+
+val bandwidth :
+  ?resolution:int ->
+  alpha:float array ->
+  beta:float array ->
+  float ->
+  (Tlp_graph.Chain.cut * float, string) result
+(** Bandwidth minimization on a float chain via {!Bandwidth_hitting};
+    returns the cut and its {e exact} float weight (summed from the
+    original betas, not unscaled). *)
+
+val chain_bottleneck :
+  ?resolution:int ->
+  alpha:float array ->
+  beta:float array ->
+  float ->
+  (Tlp_graph.Chain.cut * float, string) result
+(** Bottleneck minimization on a float chain. *)

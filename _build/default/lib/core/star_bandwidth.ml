@@ -1,0 +1,77 @@
+module Tree = Tlp_graph.Tree
+
+type solution = {
+  cut : Tree.cut;
+  weight : int;
+  kept_leaves : int list;
+}
+
+let center t =
+  let n = Tree.n t in
+  if n = 1 then Some 0
+  else if n = 2 then Some 0
+  else begin
+    let rec find v =
+      if v >= n then None
+      else if Tree.degree t v = n - 1 then Some v
+      else find (v + 1)
+    in
+    find 0
+  end
+
+let leaves_of_star t c =
+  (* (leaf vertex, leaf weight, edge index, edge weight), sorted by leaf. *)
+  Tree.neighbors t c
+  |> List.map (fun (v, e) -> (v, Tree.weight t v, e, Tree.delta t e))
+  |> List.sort compare
+
+let to_knapsack t ~k =
+  match center t with
+  | None -> invalid_arg "Star_bandwidth.to_knapsack: not a star"
+  | Some c ->
+      if Tree.weight t c > k then
+        invalid_arg "Star_bandwidth.to_knapsack: center exceeds bound";
+      let leaves = leaves_of_star t c in
+      let weights = Array.of_list (List.map (fun (_, w, _, _) -> w) leaves) in
+      let profits = Array.of_list (List.map (fun (_, _, _, d) -> d) leaves) in
+      let vertex_of_item =
+        Array.of_list (List.map (fun (v, _, _, _) -> v) leaves)
+      in
+      ( Knapsack.make ~weights ~profits ~capacity:(k - Tree.weight t c),
+        vertex_of_item )
+
+let solve t ~k =
+  match Infeasible.check_tree t ~k with
+  | Error e -> Error e
+  | Ok () -> (
+      match center t with
+      | None -> invalid_arg "Star_bandwidth.solve: not a star"
+      | Some c ->
+          let leaves = leaves_of_star t c in
+          let inst, vertex_of_item = to_knapsack t ~k in
+          let ks = Knapsack.solve inst in
+          let kept = List.map (fun i -> vertex_of_item.(i)) ks.Knapsack.selected in
+          let kept_set = Hashtbl.create 16 in
+          List.iter (fun v -> Hashtbl.replace kept_set v ()) kept;
+          let cut =
+            List.filter_map
+              (fun (v, _, e, _) ->
+                if Hashtbl.mem kept_set v then None else Some e)
+              leaves
+            |> List.sort compare
+          in
+          Ok
+            {
+              cut;
+              weight = Tree.cut_weight t cut;
+              kept_leaves = List.sort compare kept;
+            })
+
+let of_knapsack inst =
+  let r = Array.length inst.Knapsack.weights in
+  let t =
+    Tree.make
+      ~weights:(Array.append [| 0 |] inst.Knapsack.weights)
+      ~edges:(List.init r (fun i -> (0, i + 1, inst.Knapsack.profits.(i))))
+  in
+  (t, inst.Knapsack.capacity)

@@ -1,0 +1,36 @@
+(** Exact bandwidth minimization on star task graphs via the Theorem 1
+    correspondence with 0-1 knapsack.
+
+    Theorem 1 shows the bandwidth-minimization problem is NP-complete
+    already for stars, by reduction from 0-1 knapsack; the reduction read
+    backwards also {e solves} stars exactly in pseudo-polynomial time:
+    keep the subset of leaves of maximum total edge profit whose weights
+    fit in the center's remaining capacity [K - w(center)], and cut the
+    rest. *)
+
+type solution = {
+  cut : Tlp_graph.Tree.cut;
+  weight : int;      (** total delta of cut edges *)
+  kept_leaves : int list;
+}
+
+val center : Tlp_graph.Tree.t -> int option
+(** The unique vertex adjacent to all others, if the tree is a star.
+    For the 2-vertex tree, vertex 0.  [None] when the tree is not a
+    star. *)
+
+val solve : Tlp_graph.Tree.t -> k:int -> (solution, Infeasible.t) result
+(** Minimum-weight feasible cut of a star.  Raises [Invalid_argument] if
+    the tree is not a star. *)
+
+val to_knapsack : Tlp_graph.Tree.t -> k:int -> Knapsack.instance * int array
+(** The forward reduction: the knapsack instance whose optimal solution
+    is the set of kept leaves, together with the map from item index to
+    leaf vertex.  Raises [Invalid_argument] if not a star or if the
+    center alone exceeds [k]. *)
+
+val of_knapsack :
+  Knapsack.instance -> Tlp_graph.Tree.t * int
+(** The reduction of Theorem 1 read forwards: build the star instance
+    [(T, k2)] from a knapsack instance ([w(center) = 0], leaf weights =
+    item weights, edge weights = item profits, [k2 = capacity]). *)

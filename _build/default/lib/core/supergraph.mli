@@ -1,0 +1,38 @@
+(** Linear supergraph approximation of a general process graph (§3).
+
+    For applications whose process graph is not linear, the paper
+    suggests generating a linear {e supergraph} and partitioning that.
+    We realize the construction with BFS levels: super-node [i] lumps all
+    vertices at BFS distance [i] from a source; consecutive super-nodes
+    are joined by an edge whose weight is the total weight of crossing
+    edges.  Undirected BFS guarantees every original edge is either
+    intra-level (it becomes internal communication, free on the shared
+    memory of one processor) or crosses adjacent levels.  Weights are
+    clamped to at least 1 to satisfy the chain's positivity invariant. *)
+
+type t = {
+  chain : Tlp_graph.Chain.t;
+  level_of_vertex : int array;  (** vertex → super-node (chain position) *)
+  intra_level_weight : int;
+      (** total edge weight folded inside super-nodes (an approximation
+          loss measure reported by the experiments) *)
+}
+
+val linearize : ?src:int -> Tlp_graph.Graph.t -> t
+(** BFS starts at [src] (default 0).  A disconnected graph is handled by
+    laying out the remaining components after the first, each levelled
+    from its smallest vertex — no edge joins them, so the connecting
+    chain links carry only the clamp weight 1. *)
+
+val assignment_of_cut : t -> Tlp_graph.Chain.cut -> int array
+(** Map each original vertex to its component index (0-based, left to
+    right) under a cut of the supergraph chain. *)
+
+val partition :
+  ?src:int ->
+  Tlp_graph.Graph.t ->
+  k:int ->
+  (int array * Tlp_graph.Chain.cut * t, Infeasible.t) result
+(** Convenience: linearize, run the paper's bandwidth algorithm on the
+    supergraph with bound [k], and return the vertex → block assignment.
+    Infeasible when one whole BFS level exceeds [k]. *)

@@ -1,0 +1,138 @@
+module Tree = Tlp_graph.Tree
+
+type solution = { cut : Tree.cut; weight : int }
+
+let inf = max_int / 4
+
+(* Stage tables kept for reconstruction: stages.(v) is the list of
+   (child, edge, table-before-merging-child), outermost child first;
+   final.(v) is the table after all merges. *)
+let solve ?(root = 0) t ~k =
+  if k > 100_000 then invalid_arg "Tree_bandwidth.solve: K too large for the DP";
+  match Infeasible.check_tree t ~k with
+  | Error e -> Error e
+  | Ok () ->
+      let n = Tree.n t in
+      if root < 0 || root >= n then invalid_arg "Tree_bandwidth.solve: bad root";
+      (* Parents and an order where children precede parents. *)
+      let parent = Array.make n (-1) in
+      let parent_edge = Array.make n (-1) in
+      let order = Array.make n root in
+      let visited = Array.make n false in
+      let stack = Stack.create () in
+      Stack.push root stack;
+      visited.(root) <- true;
+      let idx = ref 0 in
+      while not (Stack.is_empty stack) do
+        let v = Stack.pop stack in
+        order.(!idx) <- v;
+        incr idx;
+        List.iter
+          (fun (u, e) ->
+            if not visited.(u) then begin
+              visited.(u) <- true;
+              parent.(u) <- v;
+              parent_edge.(u) <- e;
+              Stack.push u stack
+            end)
+          (Tree.neighbors t v)
+      done;
+      let final = Array.make n [||] in
+      let stages : (int * int * int array) list array = Array.make n [] in
+      let table_min tbl = Array.fold_left Stdlib.min inf tbl in
+      (* Bottom-up DP. *)
+      for i = n - 1 downto 0 do
+        let v = order.(i) in
+        let tbl = Array.make (k + 1) inf in
+        tbl.(Tree.weight t v) <- 0;
+        let merged =
+          List.fold_left
+            (fun acc (u, e) ->
+              if u = parent.(v) then acc
+              else begin
+                let child_tbl = final.(u) in
+                stages.(v) <- (u, e, Array.copy acc) :: stages.(v);
+                let best_child = table_min child_tbl in
+                let delta = Tree.delta t e in
+                let next = Array.make (k + 1) inf in
+                for w = 0 to k do
+                  if acc.(w) < inf then begin
+                    (* Cut the edge to u: u's component is finalized. *)
+                    let cut_cost = acc.(w) + delta + best_child in
+                    if cut_cost < next.(w) then next.(w) <- cut_cost;
+                    (* Fuse: component gains w2 from the child. *)
+                    for w2 = 0 to k - w do
+                      if child_tbl.(w2) < inf then begin
+                        let fuse = acc.(w) + child_tbl.(w2) in
+                        if fuse < next.(w + w2) then next.(w + w2) <- fuse
+                      end
+                    done
+                  end
+                done;
+                next
+              end)
+            tbl
+            (Tree.neighbors t v)
+        in
+        final.(v) <- merged
+      done;
+      (* Reconstruction: walk down choosing, for each vertex's target
+         component weight, the decisions that achieve the DP value. *)
+      let cut = ref [] in
+      let argmin tbl =
+        let best = ref 0 in
+        for w = 1 to k do
+          if tbl.(w) < tbl.(!best) then best := w
+        done;
+        !best
+      in
+      let work = Stack.create () in
+      Stack.push (root, argmin final.(root)) work;
+      while not (Stack.is_empty work) do
+        let v, target = Stack.pop work in
+        (* stages.(v) lists children outermost (= last merged) first. *)
+        let w = ref target in
+        List.iter
+          (fun (u, e, before) ->
+            let child_tbl = final.(u) in
+            let best_child = table_min child_tbl in
+            let delta = Tree.delta t e in
+            (* The after-merge value at !w is the min of the cut branch
+               and the best fusing split; replay whichever achieved it. *)
+            let fuse_best = ref inf in
+            for w2 = 0 to !w do
+              if before.(!w - w2) < inf && child_tbl.(w2) < inf then
+                fuse_best :=
+                  Stdlib.min !fuse_best (before.(!w - w2) + child_tbl.(w2))
+            done;
+            if
+              before.(!w) < inf
+              && before.(!w) + delta + best_child <= !fuse_best
+            then begin
+              cut := e :: !cut;
+              Stack.push (u, argmin child_tbl) work
+              (* w unchanged: component keeps weight from earlier stages *)
+            end
+            else begin
+              (* Find the fusing split achieving the optimum. *)
+              let found = ref false in
+              let w2 = ref 0 in
+              let best = ref inf in
+              for cand = 0 to !w do
+                if before.(!w - cand) < inf && child_tbl.(cand) < inf then begin
+                  let v' = before.(!w - cand) + child_tbl.(cand) in
+                  if v' < !best then begin
+                    best := v';
+                    w2 := cand;
+                    found := true
+                  end
+                end
+              done;
+              assert !found;
+              Stack.push (u, !w2) work;
+              w := !w - !w2
+            end)
+          stages.(v)
+      done;
+      let cut = List.sort compare !cut in
+      Ok { cut; weight = table_min final.(root) }

@@ -1,0 +1,27 @@
+(** Exact bandwidth minimization on trees, pseudo-polynomial in [K].
+
+    Theorem 1 shows the problem NP-complete via 0-1 knapsack; like
+    knapsack it admits a pseudo-polynomial dynamic program.  This module
+    generalizes {!Star_bandwidth} from stars to arbitrary trees with a
+    tree-knapsack DP over component weights:
+
+    [f_v(w)] = minimum cut cost inside the subtree of [v] such that the
+    component containing [v] weighs exactly [w <= K].  Merging a child
+    [c] either cuts the connecting edge (adding [delta + min_w f_c(w)])
+    or fuses the two partial components (a convolution).
+
+    Time O(n·K²) and space O(n·K) worst case — intended for moderate
+    [K]; the polynomial algorithms of §2 remain the tool for large
+    instances.  This solver is the oracle that lets the test suite check
+    the §2 algorithms' bandwidth quality on trees beyond the exhaustive
+    enumeration limit. *)
+
+type solution = {
+  cut : Tlp_graph.Tree.cut;
+  weight : int;
+}
+
+val solve :
+  ?root:int -> Tlp_graph.Tree.t -> k:int -> (solution, Infeasible.t) result
+(** Minimum-weight feasible cut.  Raises [Invalid_argument] when
+    [k > 100_000] (DP table budget guard). *)

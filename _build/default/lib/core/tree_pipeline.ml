@@ -1,0 +1,39 @@
+module Tree = Tlp_graph.Tree
+
+type report = {
+  cut : Tree.cut;
+  bottleneck : int;
+  bandwidth : int;
+  n_components : int;
+  raw_components : int;
+  component_weights : int list;
+}
+
+let partition ?counters t ~k =
+  match Bottleneck.fast ?counters t ~k with
+  | Error e -> Error e
+  | Ok { Bottleneck.cut = raw_cut; _ } -> (
+      let contracted, _map = Tree.contract t raw_cut in
+      (* Edge i of the contracted tree is raw_cut edge i (Tree.contract
+         keeps the cut edges in list order). *)
+      let raw_edges = Array.of_list raw_cut in
+      match Proc_min.solve ?counters contracted ~k with
+      | Error e -> Error e
+      | Ok { Proc_min.cut = kept; _ } ->
+          let cut = List.map (fun e -> raw_edges.(e)) kept in
+          let cut = List.sort compare cut in
+          Ok
+            {
+              cut;
+              bottleneck = Tree.max_cut_edge t cut;
+              bandwidth = Tree.cut_weight t cut;
+              n_components = List.length cut + 1;
+              raw_components = List.length raw_cut + 1;
+              component_weights = Tree.component_weights t cut;
+            })
+
+let assignment t cut =
+  let comps = Tree.components t cut in
+  let assign = Array.make (Tree.n t) 0 in
+  List.iteri (fun bi vs -> List.iter (fun v -> assign.(v) <- bi) vs) comps;
+  assign

@@ -1,0 +1,28 @@
+(** The full §2 partitioning pipeline for tree task graphs.
+
+    The paper composes its algorithms: bottleneck minimization first
+    fixes the optimal bottleneck value; its (prefix) cut may fragment the
+    tree excessively, so the components are contracted into super-nodes
+    and Algorithm 2.2 minimizes the number of components among cuts that
+    are subsets of the bottleneck cut. *)
+
+type report = {
+  cut : Tlp_graph.Tree.cut;        (** final cut, original edge indices *)
+  bottleneck : int;                (** optimal bottleneck value *)
+  bandwidth : int;                 (** total delta of the final cut *)
+  n_components : int;
+  raw_components : int;            (** components before proc-min refinement *)
+  component_weights : int list;
+}
+
+val partition :
+  ?counters:Tlp_util.Counters.t ->
+  Tlp_graph.Tree.t ->
+  k:int ->
+  (report, Infeasible.t) result
+(** Bottleneck (fast variant) → contract → Algorithm 2.2 → map back. *)
+
+val assignment : Tlp_graph.Tree.t -> Tlp_graph.Tree.cut -> int array
+(** Vertex → component index (by smallest vertex), i.e. the processor
+    mapping: on a shared memory machine components map to processors
+    directly (§3). *)

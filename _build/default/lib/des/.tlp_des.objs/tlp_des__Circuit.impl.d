@@ -1,0 +1,1 @@
+lib/des/circuit.ml: Array Fun List Stdlib Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+lib/des/circuit.mli: Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+lib/des/circuit_families.ml: Array Circuit List Option

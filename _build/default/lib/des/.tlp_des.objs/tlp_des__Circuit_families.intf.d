@@ -1,0 +1,1 @@
+lib/des/circuit_families.mli: Circuit

@@ -1,0 +1,1 @@
+lib/des/conservative_sim.ml: Array Circuit Hashtbl List Queue Stdlib Tlp_util

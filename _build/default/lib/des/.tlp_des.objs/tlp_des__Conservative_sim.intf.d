@@ -1,0 +1,1 @@
+lib/des/conservative_sim.mli: Circuit Tlp_util

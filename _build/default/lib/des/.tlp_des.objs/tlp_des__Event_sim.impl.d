@@ -1,0 +1,1 @@
+lib/des/event_sim.ml: Array Circuit Format List Stdlib Tlp_util

@@ -1,0 +1,1 @@
+lib/des/event_sim.mli: Circuit Format Tlp_util

@@ -1,0 +1,1 @@
+lib/des/timed_sim.ml: Array Circuit List Stdlib Tlp_util

@@ -1,0 +1,1 @@
+lib/des/timed_sim.mli: Circuit Tlp_util

@@ -1,0 +1,1 @@
+lib/des/timewarp_sim.ml: Array Circuit List Stdlib Tlp_util

@@ -1,0 +1,1 @@
+lib/des/timewarp_sim.mli: Circuit Conservative_sim

@@ -1,0 +1,121 @@
+module Rng = Tlp_util.Rng
+module Graph = Tlp_graph.Graph
+
+type gate_kind = Input | Not | And | Or | Xor
+
+type gate = {
+  kind : gate_kind;
+  fan_in : int list;
+  eval_cost : int;
+}
+
+type t = {
+  gates : gate array;
+  fan_out : int list array;
+}
+
+let arity = function Input -> 0 | Not -> 1 | And | Or | Xor -> 2
+
+let make gates =
+  let n = Array.length gates in
+  if n = 0 then invalid_arg "Circuit.make: empty circuit";
+  Array.iteri
+    (fun i g ->
+      if List.length g.fan_in <> arity g.kind then
+        invalid_arg "Circuit.make: wrong fan-in arity";
+      if g.eval_cost < 1 then invalid_arg "Circuit.make: eval cost must be >= 1";
+      List.iter
+        (fun src ->
+          if src < 0 || src >= i then
+            invalid_arg "Circuit.make: fan-in must reference earlier gates")
+        g.fan_in)
+    gates;
+  let fan_out = Array.make n [] in
+  Array.iteri
+    (fun i g ->
+      List.iter (fun src -> fan_out.(src) <- i :: fan_out.(src)) g.fan_in)
+    gates;
+  Array.iteri (fun i l -> fan_out.(i) <- List.rev l) fan_out;
+  { gates = Array.copy gates; fan_out }
+
+let n c = Array.length c.gates
+
+let n_inputs c =
+  Array.fold_left
+    (fun acc g -> if g.kind = Input then acc + 1 else acc)
+    0 c.gates
+
+let inputs c =
+  List.filter
+    (fun i -> c.gates.(i).kind = Input)
+    (List.init (n c) Fun.id)
+
+let outputs c =
+  List.filter (fun i -> c.fan_out.(i) = []) (List.init (n c) Fun.id)
+
+let eval_gate c values i =
+  let g = c.gates.(i) in
+  match (g.kind, g.fan_in) with
+  | Input, [] -> values.(i)
+  | Not, [ a ] -> not values.(a)
+  | And, [ a; b ] -> values.(a) && values.(b)
+  | Or, [ a; b ] -> values.(a) || values.(b)
+  | Xor, [ a; b ] -> values.(a) <> values.(b)
+  | _ -> assert false (* arity checked in make *)
+
+let evaluate c input_values =
+  if Array.length input_values <> n c then
+    invalid_arg "Circuit.evaluate: value vector length mismatch";
+  let values = Array.copy input_values in
+  for i = 0 to n c - 1 do
+    values.(i) <- eval_gate c values i
+  done;
+  values
+
+let random rng ~inputs ~gates ?(locality = 16) () =
+  if inputs < 1 then invalid_arg "Circuit.random: need at least one input";
+  if gates < 0 then invalid_arg "Circuit.random: negative gate count";
+  if locality < 1 then invalid_arg "Circuit.random: locality must be >= 1";
+  let total = inputs + gates in
+  let arr =
+    Array.init total (fun i ->
+        if i < inputs then { kind = Input; fan_in = []; eval_cost = 1 }
+        else begin
+          let pick () =
+            let lo = Stdlib.max 0 (i - locality) in
+            Rng.int_in rng lo (i - 1)
+          in
+          let kind =
+            match Rng.int rng 4 with
+            | 0 -> Not
+            | 1 -> And
+            | 2 -> Or
+            | _ -> Xor
+          in
+          let fan_in =
+            if kind = Not then [ pick () ] else [ pick (); pick () ]
+          in
+          (* Binary gates may pick the same source twice; allow it for
+             Xor/And/Or semantics but prefer distinct operands. *)
+          let fan_in =
+            match fan_in with
+            | [ a; b ] when a = b && i - Stdlib.max 0 (i - locality) > 1 ->
+                [ a; (if b + 1 <= i - 1 then b + 1 else Stdlib.max 0 (b - 1)) ]
+            | l -> l
+          in
+          { kind; fan_in; eval_cost = 1 + Rng.int rng 4 }
+        end)
+  in
+  make arr
+
+let to_graph c ~message_weight =
+  let weights = Array.map (fun g -> g.eval_cost) c.gates in
+  let edges = ref [] in
+  Array.iteri
+    (fun i g ->
+      List.iter
+        (fun src ->
+          if src <> i then edges := (src, i, message_weight src) :: !edges)
+        g.fan_in)
+    c.gates;
+  Graph.make ~weights ~edges:!edges

@@ -1,0 +1,57 @@
+(** Gate-level logic circuits — the distributed discrete-event simulation
+    application of §3.
+
+    A circuit is a DAG of gates; primary inputs have no fan-in.  Each
+    gate carries an evaluation cost (its computation weight as a
+    simulation process) and each wire a message cost (events crossing
+    it).  {!to_graph} exposes the circuit as the undirected process
+    graph the partitioning algorithms consume. *)
+
+type gate_kind =
+  | Input
+  | Not
+  | And
+  | Or
+  | Xor
+
+type gate = {
+  kind : gate_kind;
+  fan_in : int list;   (** driving gate ids; arity checked per kind *)
+  eval_cost : int;     (** simulation work per evaluation, >= 1 *)
+}
+
+type t = private {
+  gates : gate array;
+  fan_out : int list array;  (** derived: gate -> driven gates *)
+}
+
+val make : gate array -> t
+(** Validates arities ([Input]: 0, [Not]: 1, binary gates: 2), that
+    fan-in references point to earlier gates (topological numbering) and
+    that costs are positive.  Raises [Invalid_argument]. *)
+
+val n : t -> int
+val n_inputs : t -> int
+val inputs : t -> int list
+val outputs : t -> int list
+(** Gates driving nothing. *)
+
+val evaluate : t -> bool array -> bool array
+(** [evaluate c values] recomputes every gate from the given primary
+    input values (positions of non-input gates in [values] are ignored);
+    returns the full value vector. *)
+
+val random :
+  Tlp_util.Rng.t ->
+  inputs:int ->
+  gates:int ->
+  ?locality:int ->
+  unit ->
+  t
+(** Random levelized circuit: gate [i] draws its operands from the
+    preceding [locality] gates (default 16), biasing toward the linear /
+    pipelined structure the paper's application targets. *)
+
+val to_graph : t -> message_weight:(int -> int) -> Tlp_graph.Graph.t
+(** Undirected process graph: vertex weight = eval cost, edge weight =
+    [message_weight src_gate] (e.g. expected event rate of the wire). *)

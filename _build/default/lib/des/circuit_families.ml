@@ -1,0 +1,151 @@
+(* Builders use a tiny netlist DSL: gates are appended to a growing
+   buffer, every constructor returns the new gate's id. *)
+
+type builder = {
+  mutable gates : Circuit.gate list;  (* reversed *)
+  mutable count : int;
+}
+
+let new_builder () = { gates = []; count = 0 }
+
+let add b kind fan_in =
+  let id = b.count in
+  b.gates <- { Circuit.kind; fan_in; eval_cost = 1 } :: b.gates;
+  b.count <- id + 1;
+  id
+
+let input b = add b Circuit.Input []
+let ( ^^ ) b (x, y) = add b Circuit.Xor [ x; y ]
+let ( &&& ) b (x, y) = add b Circuit.And [ x; y ]
+let ( ||| ) b (x, y) = add b Circuit.Or [ x; y ]
+
+let finish b = Circuit.make (Array.of_list (List.rev b.gates))
+
+type adder = {
+  circuit : Circuit.t;
+  a_inputs : int list;
+  b_inputs : int list;
+  sums : int list;
+  carry_out : int;
+}
+
+let ripple_adder ~bits =
+  if bits < 1 then invalid_arg "Circuit_families.ripple_adder: bits >= 1";
+  let b = new_builder () in
+  let a_inputs = List.init bits (fun _ -> input b) in
+  let b_inputs = List.init bits (fun _ -> input b) in
+  (* carry-in 0 is modeled by a slimmer first stage: s0 = a0^b0,
+     c1 = a0&b0. *)
+  let rec stage i carry sums =
+    if i >= bits then (List.rev sums, carry)
+    else begin
+      let ai = List.nth a_inputs i and bi = List.nth b_inputs i in
+      let axb = b ^^ (ai, bi) in
+      match carry with
+      | None ->
+          let c = b &&& (ai, bi) in
+          stage (i + 1) (Some c) (axb :: sums)
+      | Some c ->
+          let s = b ^^ (axb, c) in
+          let t1 = b &&& (ai, bi) in
+          let t2 = b &&& (c, axb) in
+          let c' = b ||| (t1, t2) in
+          stage (i + 1) (Some c') (s :: sums)
+    end
+  in
+  let sums, carry = stage 0 None [] in
+  let carry_out = Option.get carry in
+  { circuit = finish b; a_inputs; b_inputs; sums; carry_out }
+
+type comparator = {
+  circuit : Circuit.t;
+  x_inputs : int list;
+  y_inputs : int list;
+  equal_out : int;
+}
+
+let rec and_tree b = function
+  | [] -> invalid_arg "and_tree: empty"
+  | [ x ] -> x
+  | xs ->
+      let rec pair = function
+        | x :: y :: rest -> (b &&& (x, y)) :: pair rest
+        | [ x ] -> [ x ]
+        | [] -> []
+      in
+      and_tree b (pair xs)
+
+let equality_comparator ~bits =
+  if bits < 1 then invalid_arg "Circuit_families.equality_comparator: bits >= 1";
+  let b = new_builder () in
+  let x_inputs = List.init bits (fun _ -> input b) in
+  let y_inputs = List.init bits (fun _ -> input b) in
+  let eqs =
+    List.map2
+      (fun x y ->
+        let ne = b ^^ (x, y) in
+        add b Circuit.Not [ ne ])
+      x_inputs y_inputs
+  in
+  { circuit = finish b; x_inputs; y_inputs; equal_out = and_tree b eqs }
+
+type parity = {
+  circuit : Circuit.t;
+  inputs : int list;
+  parity_out : int;
+}
+
+let rec xor_tree b = function
+  | [] -> invalid_arg "xor_tree: empty"
+  | [ x ] -> x
+  | xs ->
+      let rec pair = function
+        | x :: y :: rest -> (b ^^ (x, y)) :: pair rest
+        | [ x ] -> [ x ]
+        | [] -> []
+      in
+      xor_tree b (pair xs)
+
+let parity_tree ~bits =
+  if bits < 1 then invalid_arg "Circuit_families.parity_tree: bits >= 1";
+  let b = new_builder () in
+  let inputs = List.init bits (fun _ -> input b) in
+  { circuit = finish b; inputs; parity_out = xor_tree b inputs }
+
+(* ---------- functional evaluation helpers ---------- *)
+
+let with_inputs circuit pairs =
+  let values = Array.make (Circuit.n circuit) false in
+  List.iter (fun (gate, v) -> values.(gate) <- v) pairs;
+  Circuit.evaluate circuit values
+
+let bits_of_int width x = List.init width (fun i -> (x lsr i) land 1 = 1)
+
+let evaluate_adder add a b =
+  let width = List.length add.a_inputs in
+  let assigns =
+    List.combine add.a_inputs (bits_of_int width a)
+    @ List.combine add.b_inputs (bits_of_int width b)
+  in
+  let values = with_inputs add.circuit assigns in
+  let sum =
+    List.fold_left
+      (fun (acc, bit) s ->
+        ((if values.(s) then acc lor (1 lsl bit) else acc), bit + 1))
+      (0, 0) add.sums
+    |> fst
+  in
+  if values.(add.carry_out) then sum lor (1 lsl width) else sum
+
+let evaluate_comparator cmp x y =
+  let width = List.length cmp.x_inputs in
+  let assigns =
+    List.combine cmp.x_inputs (bits_of_int width x)
+    @ List.combine cmp.y_inputs (bits_of_int width y)
+  in
+  (with_inputs cmp.circuit assigns).(cmp.equal_out)
+
+let evaluate_parity p x =
+  let width = List.length p.inputs in
+  let assigns = List.combine p.inputs (bits_of_int width x) in
+  (with_inputs p.circuit assigns).(p.parity_out)

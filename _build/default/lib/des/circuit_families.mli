@@ -1,0 +1,45 @@
+(** Structured circuit generators — realistic workloads for the
+    distributed simulation experiments beyond random netlists.
+
+    Each family returns the circuit together with enough metadata to
+    check functional correctness in the tests (which gates carry the
+    outputs), so the simulators run over hardware that provably computes
+    something. *)
+
+type adder = {
+  circuit : Circuit.t;
+  a_inputs : int list;   (** operand A, least significant first *)
+  b_inputs : int list;
+  sums : int list;       (** sum bits, least significant first *)
+  carry_out : int;
+}
+
+val ripple_adder : bits:int -> adder
+(** Classical ripple-carry adder: per bit, sum = a ⊕ b ⊕ c and
+    c' = (a ∧ b) ∨ (c ∧ (a ⊕ b)).  [bits >= 1]. *)
+
+type comparator = {
+  circuit : Circuit.t;
+  x_inputs : int list;
+  y_inputs : int list;
+  equal_out : int;       (** 1 iff x = y bitwise *)
+}
+
+val equality_comparator : bits:int -> comparator
+(** Tree of XNOR (xor + not) reduced by an AND tree. *)
+
+type parity = {
+  circuit : Circuit.t;
+  inputs : int list;
+  parity_out : int;
+}
+
+val parity_tree : bits:int -> parity
+(** Balanced XOR reduction tree — the divide-and-conquer shape. *)
+
+val evaluate_adder : adder -> int -> int -> int
+(** [evaluate_adder add a b] runs the circuit on the binary encodings
+    and decodes sum + carry as an integer; tests compare with [a + b]. *)
+
+val evaluate_comparator : comparator -> int -> int -> bool
+val evaluate_parity : parity -> int -> bool

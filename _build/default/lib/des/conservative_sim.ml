@@ -1,0 +1,271 @@
+module Minheap = Tlp_util.Minheap
+
+type schedule = bool array array
+
+let random_schedule rng circuit ~periods =
+  let k = Circuit.n_inputs circuit in
+  Array.init periods (fun _ ->
+      Array.init k (fun _ -> Tlp_util.Rng.bool rng))
+
+type config = {
+  delays : int array;
+  input_period : int;
+  horizon : int;
+}
+
+let default_config c =
+  {
+    delays = Array.map (fun g -> 1 + (g.Circuit.eval_cost / 2)) c.Circuit.gates;
+    input_period = 10;
+    horizon = 1000;
+  }
+
+type report = {
+  n_lps : int;
+  n_channels : int;
+  evaluations : int;
+  output_changes : int;
+  value_messages : int;
+  null_messages : int;
+  null_ratio : float;
+  rounds : int;
+  block_work : int array;
+  final_values : bool array;
+}
+
+type kind = Refresh of int (* schedule row *) | Eval of int (* gate *)
+
+type local_event = { time : int; seq : int; kind : kind }
+
+type message = {
+  ts : int;    (* send time; mirror update applies at this time *)
+  src : int;
+  value : bool;
+  dst : int;   (* re-evaluate at ts + delay dst *)
+}
+
+type channel = {
+  queue : message Queue.t;
+  mutable clock : int;  (* no future message on this channel is earlier *)
+}
+
+let simulate circuit ~assignment ~schedule config =
+  let n = Circuit.n circuit in
+  if Array.length assignment <> n then
+    invalid_arg "Conservative_sim.simulate: assignment length mismatch";
+  if Array.length config.delays <> n then
+    invalid_arg "Conservative_sim.simulate: delays length mismatch";
+  Array.iter
+    (fun d ->
+      if d < 1 then invalid_arg "Conservative_sim.simulate: delay must be >= 1")
+    config.delays;
+  let n_inputs = Circuit.n_inputs circuit in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n_inputs then
+        invalid_arg "Conservative_sim.simulate: schedule row arity mismatch")
+    schedule;
+  let n_lps = 1 + Array.fold_left Stdlib.max 0 assignment in
+  let gates = circuit.Circuit.gates in
+  let fan_out = circuit.Circuit.fan_out in
+  let input_ids = Array.of_list (Circuit.inputs circuit) in
+  (* Directed cross-LP channels, one per (src lp, dst lp) pair. *)
+  let channel_tbl : (int * int, channel) Hashtbl.t = Hashtbl.create 16 in
+  let out_channels = Array.make n_lps [] in
+  let in_channels = Array.make n_lps [] in
+  Array.iteri
+    (fun src outs ->
+      List.iter
+        (fun dst ->
+          let p = assignment.(src) and q = assignment.(dst) in
+          if p <> q && not (Hashtbl.mem channel_tbl (p, q)) then begin
+            let ch = { queue = Queue.create (); clock = -1 } in
+            Hashtbl.replace channel_tbl (p, q) ch;
+            out_channels.(p) <- ch :: out_channels.(p);
+            in_channels.(q) <- ch :: in_channels.(q)
+          end)
+        outs)
+    fan_out;
+  let n_channels = Hashtbl.length channel_tbl in
+  (* Lookahead: future cross messages triggered by not-yet-received
+     input occur at >= safe + (min delay of any local non-input gate). *)
+  let lookahead = Array.make n_lps max_int in
+  Array.iteri
+    (fun g gate ->
+      if gate.Circuit.kind <> Circuit.Input then
+        lookahead.(assignment.(g)) <-
+          Stdlib.min lookahead.(assignment.(g)) config.delays.(g))
+    gates;
+  let lookahead = Array.map (fun l -> if l = max_int then 1 else l) lookahead in
+  (* Per-LP mirrors and event heaps. *)
+  let values = Array.init n_lps (fun _ -> Array.make n false) in
+  let cmp a b =
+    let c = compare a.time b.time in
+    if c <> 0 then c else compare a.seq b.seq
+  in
+  let heaps = Array.init n_lps (fun _ -> Minheap.create ~cmp) in
+  let seq = ref 0 in
+  let push_local lp time kind =
+    if time < config.horizon then begin
+      Minheap.push heaps.(lp) { time; seq = !seq; kind };
+      incr seq
+    end
+  in
+  (* Counters. *)
+  let evaluations = ref 0 in
+  let output_changes = ref 0 in
+  let value_messages = ref 0 in
+  let null_messages = ref 0 in
+  let block_work = Array.make n_lps 0 in
+  (* Initialization: apply schedule row 0 and settle combinationally —
+     identical in every LP's mirror, so it is partition independent. *)
+  let init_values = Array.make n false in
+  if Array.length schedule > 0 then
+    Array.iteri (fun i gid -> init_values.(gid) <- schedule.(0).(i)) input_ids;
+  let settled = Circuit.evaluate circuit init_values in
+  Array.iter (fun mirror -> Array.blit settled 0 mirror 0 n) values;
+  (* Refresh events for rows 1.. in the LPs owning inputs. *)
+  Array.iteri
+    (fun row _ ->
+      if row > 0 then begin
+        let t = row * config.input_period in
+        let lp_done = Array.make n_lps false in
+        Array.iter
+          (fun g ->
+            let lp = assignment.(g) in
+            if not lp_done.(lp) then begin
+              lp_done.(lp) <- true;
+              push_local lp t (Refresh row)
+            end)
+          input_ids
+      end)
+    schedule;
+  let notify lp src t =
+    (* src's output changed in lp's mirror at time t. *)
+    List.iter
+      (fun dst ->
+        let q = assignment.(dst) in
+        if q = lp then push_local lp (t + config.delays.(dst)) (Eval dst)
+        else begin
+          let ch = Hashtbl.find channel_tbl (lp, q) in
+          Queue.push { ts = t; src; value = values.(lp).(src); dst } ch.queue;
+          ch.clock <- Stdlib.max ch.clock t;
+          incr value_messages
+        end)
+      fan_out.(src)
+  in
+  let eval_gate lp g =
+    match (gates.(g).Circuit.kind, gates.(g).Circuit.fan_in) with
+    | Circuit.Not, [ a ] -> not values.(lp).(a)
+    | Circuit.And, [ a; b ] -> values.(lp).(a) && values.(lp).(b)
+    | Circuit.Or, [ a; b ] -> values.(lp).(a) || values.(lp).(b)
+    | Circuit.Xor, [ a; b ] -> values.(lp).(a) <> values.(lp).(b)
+    | _ -> assert false
+  in
+  let process_event lp t = function
+    | Refresh row ->
+        Array.iteri
+          (fun i g ->
+            if assignment.(g) = lp then begin
+              let v = schedule.(row).(i) in
+              if v <> values.(lp).(g) then begin
+                values.(lp).(g) <- v;
+                notify lp g t
+              end
+            end)
+          input_ids
+    | Eval g ->
+        incr evaluations;
+        block_work.(lp) <- block_work.(lp) + gates.(g).Circuit.eval_cost;
+        let v = eval_gate lp g in
+        if v <> values.(lp).(g) then begin
+          values.(lp).(g) <- v;
+          incr output_changes;
+          notify lp g t
+        end
+  in
+  let rounds = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    incr rounds;
+    for lp = 0 to n_lps - 1 do
+      let safe =
+        List.fold_left
+          (fun acc ch -> Stdlib.min acc ch.clock)
+          max_int in_channels.(lp)
+      in
+      (* Drain events up to the safe bound in timestamp order, merging
+         incoming messages with local events (messages first on ties so
+         mirror updates precede evaluations). *)
+      let draining = ref true in
+      while !draining do
+        let next_local =
+          match Minheap.peek heaps.(lp) with
+          | Some ev -> ev.time
+          | None -> max_int
+        in
+        let best_ch = ref None in
+        List.iter
+          (fun ch ->
+            match Queue.peek_opt ch.queue with
+            | Some m -> (
+                match !best_ch with
+                | Some (bm, _) when bm.ts <= m.ts -> ()
+                | _ -> best_ch := Some (m, ch))
+            | None -> ())
+          in_channels.(lp);
+        match !best_ch with
+        | Some (m, ch) when m.ts <= safe && m.ts <= next_local ->
+            ignore (Queue.pop ch.queue);
+            values.(lp).(m.src) <- m.value;
+            push_local lp (m.ts + config.delays.(m.dst)) (Eval m.dst);
+            progress := true
+        | _ ->
+            if next_local <= safe && next_local < max_int then begin
+              let ev = Minheap.pop_exn heaps.(lp) in
+              process_event lp ev.time ev.kind;
+              progress := true
+            end
+            else draining := false
+      done;
+      (* Null messages: raise outgoing clocks to the earliest possible
+         future send. *)
+      let next_local =
+        match Minheap.peek heaps.(lp) with
+        | Some ev -> ev.time
+        | None -> max_int
+      in
+      let promise =
+        if safe = max_int then next_local
+        else Stdlib.min next_local (safe + lookahead.(lp))
+      in
+      let promise = if promise = max_int then config.horizon else promise in
+      List.iter
+        (fun ch ->
+          if promise > ch.clock && ch.clock < config.horizon then begin
+            ch.clock <- Stdlib.min promise config.horizon;
+            incr null_messages;
+            progress := true
+          end)
+        out_channels.(lp)
+    done
+  done;
+  let final_values =
+    Array.init n (fun g -> values.(assignment.(g)).(g))
+  in
+  {
+    n_lps;
+    n_channels;
+    evaluations = !evaluations;
+    output_changes = !output_changes;
+    value_messages = !value_messages;
+    null_messages = !null_messages;
+    null_ratio =
+      (let total = !value_messages + !null_messages in
+       if total = 0 then 0.0
+       else float_of_int !null_messages /. float_of_int total);
+    rounds = !rounds;
+    block_work;
+    final_values;
+  }

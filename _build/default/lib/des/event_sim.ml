@@ -1,0 +1,102 @@
+module Rng = Tlp_util.Rng
+
+type report = {
+  cycles : int;
+  evaluations : int;
+  output_changes : int;
+  total_messages : int;
+  cross_messages : int;
+  cross_fraction : float;
+  block_work : int array;
+  imbalance : float;
+}
+
+let simulate rng circuit ~assignment ~cycles =
+  let n = Circuit.n circuit in
+  if Array.length assignment <> n then
+    invalid_arg "Event_sim.simulate: assignment length mismatch";
+  if cycles < 1 then invalid_arg "Event_sim.simulate: cycles must be >= 1";
+  let n_blocks = 1 + Array.fold_left Stdlib.max 0 assignment in
+  let block_work = Array.make n_blocks 0 in
+  let values = Array.make n false in
+  let dirty = Array.make n false in
+  let evaluations = ref 0 in
+  let output_changes = ref 0 in
+  let total_messages = ref 0 in
+  let cross_messages = ref 0 in
+  let gates = circuit.Circuit.gates in
+  (* Cycle 0 initializes every gate (counted as one evaluation wave). *)
+  for cycle = 0 to cycles - 1 do
+    (* New primary input vector; inputs that flip seed the wave. *)
+    Array.iteri
+      (fun i g ->
+        if g.Circuit.kind = Circuit.Input then begin
+          let v = Rng.bool rng in
+          if cycle = 0 || v <> values.(i) then begin
+            values.(i) <- v;
+            dirty.(i) <- true
+          end
+        end)
+      gates;
+    (* Topological order = index order: process each gate whose operand
+       changed. *)
+    for i = 0 to n - 1 do
+      let g = gates.(i) in
+      if g.Circuit.kind <> Circuit.Input then begin
+        let operand_changed = List.exists (fun s -> dirty.(s)) g.Circuit.fan_in in
+        if cycle = 0 || operand_changed then begin
+          incr evaluations;
+          block_work.(assignment.(i)) <-
+            block_work.(assignment.(i)) + g.Circuit.eval_cost;
+          (* Operand messages: each changed operand sent us its new
+             value; charge the wire now (once per receiving gate). *)
+          List.iter
+            (fun s ->
+              if cycle = 0 || dirty.(s) then begin
+                incr total_messages;
+                if assignment.(s) <> assignment.(i) then incr cross_messages
+              end)
+            g.Circuit.fan_in;
+          let v =
+            match (g.Circuit.kind, g.Circuit.fan_in) with
+            | Circuit.Not, [ a ] -> not values.(a)
+            | Circuit.And, [ a; b ] -> values.(a) && values.(b)
+            | Circuit.Or, [ a; b ] -> values.(a) || values.(b)
+            | Circuit.Xor, [ a; b ] -> values.(a) <> values.(b)
+            | _ -> assert false
+          in
+          if cycle = 0 || v <> values.(i) then begin
+            values.(i) <- v;
+            dirty.(i) <- true;
+            incr output_changes
+          end
+        end
+      end
+    done;
+    Array.fill dirty 0 n false
+  done;
+  let max_work = Array.fold_left Stdlib.max 0 block_work in
+  let mean_work =
+    float_of_int (Array.fold_left ( + ) 0 block_work)
+    /. float_of_int n_blocks
+  in
+  {
+    cycles;
+    evaluations = !evaluations;
+    output_changes = !output_changes;
+    total_messages = !total_messages;
+    cross_messages = !cross_messages;
+    cross_fraction =
+      (if !total_messages = 0 then 0.0
+       else float_of_int !cross_messages /. float_of_int !total_messages);
+    block_work;
+    imbalance =
+      (if mean_work = 0.0 then 1.0 else float_of_int max_work /. mean_work);
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>cycles=%d evals=%d changes=%d messages=%d cross=%d (%.1f%%) \
+     imbalance=%.2f@]"
+    r.cycles r.evaluations r.output_changes r.total_messages r.cross_messages
+    (100.0 *. r.cross_fraction) r.imbalance

@@ -1,0 +1,31 @@
+(** Distributed logic-circuit simulation over a partition.
+
+    Cycle-driven with event-driven accounting: each cycle draws fresh
+    primary inputs, gates re-evaluate only when an operand changed, and
+    every output change sends one message per fan-out wire.  Messages
+    whose endpoints live in different partition blocks are the
+    inter-processor traffic the paper's bandwidth algorithm minimizes;
+    per-block evaluation work measures load balance. *)
+
+type report = {
+  cycles : int;
+  evaluations : int;        (** gate evaluations triggered *)
+  output_changes : int;     (** evaluations whose result changed *)
+  total_messages : int;     (** fan-out notifications sent *)
+  cross_messages : int;     (** messages crossing partition blocks *)
+  cross_fraction : float;   (** cross / total, 0 if no messages *)
+  block_work : int array;   (** eval cost per block *)
+  imbalance : float;
+      (** max block work / mean block work; 1.0 is perfect *)
+}
+
+val simulate :
+  Tlp_util.Rng.t ->
+  Circuit.t ->
+  assignment:int array ->
+  cycles:int ->
+  report
+(** Raises [Invalid_argument] on an assignment of the wrong length or
+    [cycles < 1]. *)
+
+val pp_report : Format.formatter -> report -> unit

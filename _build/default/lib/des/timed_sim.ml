@@ -1,0 +1,138 @@
+module Rng = Tlp_util.Rng
+module Minheap = Tlp_util.Minheap
+
+type config = {
+  delays : int array;
+  horizon : int;
+  input_period : int;
+}
+
+let default_config c =
+  {
+    delays =
+      Array.map (fun g -> 1 + (g.Circuit.eval_cost / 2)) c.Circuit.gates;
+    horizon = 1000;
+    input_period = 10;
+  }
+
+type report = {
+  evaluations : int;
+  output_changes : int;
+  messages : int;
+  cross_messages : int;
+  cross_fraction : float;
+  final_time : int;
+  max_queue : int;
+  block_work : int array;
+}
+
+type event = { time : int; seq : int; gate : int }
+
+let simulate rng circuit ~assignment config =
+  let n = Circuit.n circuit in
+  if Array.length assignment <> n then
+    invalid_arg "Timed_sim.simulate: assignment length mismatch";
+  if Array.length config.delays <> n then
+    invalid_arg "Timed_sim.simulate: delays length mismatch";
+  Array.iter
+    (fun d -> if d < 1 then invalid_arg "Timed_sim.simulate: delay must be >= 1")
+    config.delays;
+  if config.horizon < 1 || config.input_period < 1 then
+    invalid_arg "Timed_sim.simulate: horizon and period must be >= 1";
+  let n_blocks = 1 + Array.fold_left Stdlib.max 0 assignment in
+  let block_work = Array.make n_blocks 0 in
+  let values = Array.make n false in
+  let heap =
+    Minheap.create ~cmp:(fun a b ->
+        let c = compare a.time b.time in
+        if c <> 0 then c else compare a.seq b.seq)
+  in
+  let seq = ref 0 in
+  let schedule time gate =
+    if time < config.horizon then begin
+      Minheap.push heap { time; seq = !seq; gate };
+      incr seq
+    end
+  in
+  let evaluations = ref 0 in
+  let output_changes = ref 0 in
+  let messages = ref 0 in
+  let cross_messages = ref 0 in
+  let final_time = ref 0 in
+  let max_queue = ref 0 in
+  let gates = circuit.Circuit.gates in
+  let fan_out = circuit.Circuit.fan_out in
+  let notify_fanout src t =
+    List.iter
+      (fun dst ->
+        incr messages;
+        if assignment.(src) <> assignment.(dst) then incr cross_messages;
+        schedule (t + config.delays.(dst)) dst)
+      fan_out.(src)
+  in
+  (* Time 0: draw initial inputs and settle the whole circuit
+     combinationally (free warm-up, not counted as events) so the event
+     loop starts from a consistent state. *)
+  Array.iteri
+    (fun i g ->
+      if g.Circuit.kind = Circuit.Input then values.(i) <- Rng.bool rng)
+    gates;
+  let settled = Circuit.evaluate circuit values in
+  Array.blit settled 0 values 0 n;
+  (* Pre-schedule one refresh event per input per period; the new value
+     is drawn when the event fires, so gate evaluations in between see
+     the inputs of their own era. *)
+  let t = ref config.input_period in
+  while !t < config.horizon do
+    Array.iteri
+      (fun i g -> if g.Circuit.kind = Circuit.Input then schedule !t i)
+      gates;
+    t := !t + config.input_period
+  done;
+  (* Main event loop. *)
+  let continue = ref true in
+  while !continue do
+    max_queue := Stdlib.max !max_queue (Minheap.size heap);
+    match Minheap.pop heap with
+    | None -> continue := false
+    | Some { time; gate; _ } ->
+        final_time := Stdlib.max !final_time time;
+        let g = gates.(gate) in
+        if g.Circuit.kind = Circuit.Input then begin
+          let v = Rng.bool rng in
+          if v <> values.(gate) then begin
+            values.(gate) <- v;
+            notify_fanout gate time
+          end
+        end
+        else begin
+          incr evaluations;
+          block_work.(assignment.(gate)) <-
+            block_work.(assignment.(gate)) + g.Circuit.eval_cost;
+          let v =
+            match (g.Circuit.kind, g.Circuit.fan_in) with
+            | Circuit.Not, [ a ] -> not values.(a)
+            | Circuit.And, [ a; b ] -> values.(a) && values.(b)
+            | Circuit.Or, [ a; b ] -> values.(a) || values.(b)
+            | Circuit.Xor, [ a; b ] -> values.(a) <> values.(b)
+            | _ -> assert false
+          in
+          if v <> values.(gate) then begin
+            values.(gate) <- v;
+            incr output_changes;
+            notify_fanout gate time
+          end
+        end
+  done;
+  {
+    evaluations = !evaluations;
+    output_changes = !output_changes;
+    messages = !messages;
+    cross_messages = !cross_messages;
+    cross_fraction =
+      (if !messages = 0 then 0.0
+       else float_of_int !cross_messages /. float_of_int !messages);
+    final_time = !final_time;
+    max_queue = !max_queue;
+    block_work;
+  }

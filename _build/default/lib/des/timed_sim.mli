@@ -1,0 +1,38 @@
+(** Event-driven gate-level simulation with per-gate delays.
+
+    Where {!Event_sim} advances the whole circuit one input vector at a
+    time, this engine is a classical timestamped discrete-event
+    simulator: primary inputs toggle on a fixed period, every
+    sensitized gate re-evaluates [delay] time units after an operand
+    change, and transient glitches propagate as real events — the
+    workload profile of the distributed logic simulation application
+    (§3) whose messages the partition must localize. *)
+
+type config = {
+  delays : int array;     (** per-gate propagation delay, >= 1 *)
+  horizon : int;          (** simulate events with time < horizon *)
+  input_period : int;     (** new random primary inputs every period *)
+}
+
+val default_config : Circuit.t -> config
+(** Delay 1 + eval_cost/2 per gate, horizon 1000, period 10. *)
+
+type report = {
+  evaluations : int;       (** gate re-evaluations triggered *)
+  output_changes : int;
+  messages : int;          (** fan-out notifications *)
+  cross_messages : int;    (** crossing the partition *)
+  cross_fraction : float;
+  final_time : int;        (** timestamp of the last processed event *)
+  max_queue : int;         (** peak event-queue population *)
+  block_work : int array;
+}
+
+val simulate :
+  Tlp_util.Rng.t ->
+  Circuit.t ->
+  assignment:int array ->
+  config ->
+  report
+(** Raises [Invalid_argument] on shape mismatches or non-positive
+    configuration values. *)

@@ -1,0 +1,427 @@
+module Minheap = Tlp_util.Minheap
+
+type config = {
+  delays : int array;
+  input_period : int;
+  horizon : int;
+  batch : int;
+  window : int;
+}
+
+let default_config c =
+  {
+    delays = Array.map (fun g -> 1 + (g.Circuit.eval_cost / 2)) c.Circuit.gates;
+    input_period = 10;
+    horizon = 1000;
+    batch = 8;
+    window = 40;
+  }
+
+type report = {
+  n_lps : int;
+  processed_events : int;
+  committed_events : int;
+  rollbacks : int;
+  rolled_back_events : int;
+  anti_messages : int;
+  value_messages : int;
+  efficiency : float;
+  block_work : int array;
+  final_values : bool array;
+  gvt_final : int;
+  fossils_collected : int;
+  max_log_length : int;
+}
+
+type ev_state = Pending | Processed | Cancelled
+
+type kind =
+  | Refresh of int                 (* schedule row *)
+  | Apply of int * bool * int      (* src gate, value, dst gate *)
+  | Eval of int                    (* gate *)
+
+type ev = {
+  ts : int;
+  id : int;
+  kind : kind;
+  mutable state : ev_state;
+}
+
+type msg = {
+  m_ts : int;
+  m_src : int;
+  m_value : bool;
+  m_dst : int;
+  m_to : int;             (* destination LP *)
+  mutable m_ev : ev option;  (* the Apply event it became on delivery *)
+}
+
+type record = {
+  r_ev : ev;
+  undo : (int * bool) list;  (* (gate, previous value), newest first *)
+  spawned : ev list;
+  sent : msg list;
+}
+
+type lp = {
+  values : bool array;
+  pending : ev Minheap.t;
+  mutable log : record list;  (* most recent first; ts non-increasing *)
+  mutable log_length : int;
+  mutable lvt : int;
+}
+
+let event_budget = 100_000_000
+
+let simulate circuit ~assignment ~schedule config =
+  let n = Circuit.n circuit in
+  if Array.length assignment <> n then
+    invalid_arg "Timewarp_sim.simulate: assignment length mismatch";
+  if Array.length config.delays <> n then
+    invalid_arg "Timewarp_sim.simulate: delays length mismatch";
+  if config.batch < 1 then
+    invalid_arg "Timewarp_sim.simulate: batch must be >= 1";
+  let n_inputs = Circuit.n_inputs circuit in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n_inputs then
+        invalid_arg "Timewarp_sim.simulate: schedule row arity mismatch")
+    schedule;
+  let n_lps = 1 + Array.fold_left Stdlib.max 0 assignment in
+  let gates = circuit.Circuit.gates in
+  let fan_out = circuit.Circuit.fan_out in
+  let input_ids = Array.of_list (Circuit.inputs circuit) in
+  let cmp a b =
+    let c = compare a.ts b.ts in
+    if c <> 0 then c else compare a.id b.id
+  in
+  let lps =
+    Array.init n_lps (fun _ ->
+        {
+          values = Array.make n false;
+          pending = Minheap.create ~cmp;
+          log = [];
+          log_length = 0;
+          lvt = -1;
+        })
+  in
+  let next_id = ref 0 in
+  let fresh_ev ts kind =
+    let e = { ts; id = !next_id; kind; state = Pending } in
+    incr next_id;
+    e
+  in
+  (* Counters. *)
+  let processed_events = ref 0 in
+  let rollbacks = ref 0 in
+  let rolled_back_events = ref 0 in
+  let anti_messages = ref 0 in
+  let value_messages = ref 0 in
+  (* Initialization: settle row 0 everywhere. *)
+  let init_values = Array.make n false in
+  if Array.length schedule > 0 then
+    Array.iteri (fun i gid -> init_values.(gid) <- schedule.(0).(i)) input_ids;
+  let settled = Circuit.evaluate circuit init_values in
+  Array.iter (fun lp -> Array.blit settled 0 lp.values 0 n) lps;
+  (* Refresh events for rows 1.. *)
+  Array.iteri
+    (fun row _ ->
+      if row > 0 then begin
+        let t = row * config.input_period in
+        if t < config.horizon then begin
+          let lp_done = Array.make n_lps false in
+          Array.iter
+            (fun g ->
+              let p = assignment.(g) in
+              if not lp_done.(p) then begin
+                lp_done.(p) <- true;
+                Minheap.push lps.(p).pending (fresh_ev t (Refresh row))
+              end)
+            input_ids
+        end
+      end)
+    schedule;
+  (* Undo one log record: restore state (newest-first iteration ends on
+     the oldest value of any gate written twice), cancel spawned local
+     events, chase sent messages with anti-messages, and make the event
+     pending again. *)
+  let rec undo_head lp =
+    match lp.log with
+    | [] -> None
+    | { r_ev; undo; spawned; sent } :: rest ->
+        incr rolled_back_events;
+        lp.log <- rest;
+        lp.log_length <- lp.log_length - 1;
+        List.iter (fun (g, old) -> lp.values.(g) <- old) undo;
+        List.iter (fun e -> if e.state = Pending then e.state <- Cancelled)
+          spawned;
+        List.iter send_anti sent;
+        r_ev.state <- Pending;
+        Minheap.push lp.pending r_ev;
+        Some r_ev
+
+  (* Straggler rollback: undo every event strictly later than t.
+     Equal-timestamp events stay — with unit-plus delays they cannot
+     causally depend on the straggler, mirroring the timed engine's
+     glitch semantics. *)
+  and rollback p t =
+    let lp = lps.(p) in
+    let rolled = ref false in
+    let continue = ref true in
+    while !continue do
+      match lp.log with
+      | { r_ev; _ } :: _ when r_ev.ts > t ->
+          if not !rolled then begin
+            rolled := true;
+            incr rollbacks
+          end;
+          ignore (undo_head lp)
+      | _ -> continue := false
+    done;
+    lp.lvt <- (match lp.log with { r_ev; _ } :: _ -> r_ev.ts | [] -> -1)
+
+  (* Anti-message rollback: undo the receiver's log back through the
+     annihilated Apply event itself (everything processed after it may
+     have read its mirror write).  Re-entrant anti cascades can pop the
+     target from a nested call, so the loop is guarded by the target's
+     state rather than log position. *)
+  and rollback_through_event p target =
+    let lp = lps.(p) in
+    incr rollbacks;
+    while target.state = Processed && lp.log <> [] do
+      ignore (undo_head lp)
+    done;
+    lp.lvt <- (match lp.log with { r_ev; _ } :: _ -> r_ev.ts | [] -> -1)
+
+  and send_anti m =
+    incr anti_messages;
+    match m.m_ev with
+    | None -> ()
+    | Some e -> (
+        match e.state with
+        | Cancelled -> ()
+        | Pending -> e.state <- Cancelled
+        | Processed ->
+            rollback_through_event m.m_to e;
+            if e.state = Pending then e.state <- Cancelled)
+  in
+  let deliver m =
+    let e = fresh_ev m.m_ts (Apply (m.m_src, m.m_value, m.m_dst)) in
+    m.m_ev <- Some e;
+    let lp = lps.(m.m_to) in
+    if m.m_ts < lp.lvt then rollback m.m_to m.m_ts;
+    Minheap.push lp.pending e
+  in
+  (* Effects of one event; returns spawned local events and sent
+     messages for the rollback log. *)
+  let run_effects p t kind =
+    let lp = lps.(p) in
+    let spawned = ref [] in
+    let sent = ref [] in
+    let undo = ref [] in
+    let set g v =
+      undo := (g, lp.values.(g)) :: !undo;
+      lp.values.(g) <- v
+    in
+    let notify src =
+      List.iter
+        (fun dst ->
+          let q = assignment.(dst) in
+          if q = p then begin
+            let t' = t + config.delays.(dst) in
+            if t' < config.horizon then begin
+              let e = fresh_ev t' (Eval dst) in
+              spawned := e :: !spawned;
+              Minheap.push lp.pending e
+            end
+          end
+          else begin
+            let m =
+              {
+                m_ts = t;
+                m_src = src;
+                m_value = lp.values.(src);
+                m_dst = dst;
+                m_to = q;
+                m_ev = None;
+              }
+            in
+            sent := m :: !sent
+          end)
+        fan_out.(src)
+    in
+    (match kind with
+    | Refresh row ->
+        Array.iteri
+          (fun i g ->
+            if assignment.(g) = p then begin
+              let v = schedule.(row).(i) in
+              if v <> lp.values.(g) then begin
+                set g v;
+                notify g
+              end
+            end)
+          input_ids
+    | Apply (src, value, dst) ->
+        set src value;
+        let t' = t + config.delays.(dst) in
+        if t' < config.horizon then begin
+          let e = fresh_ev t' (Eval dst) in
+          spawned := e :: !spawned;
+          Minheap.push lp.pending e
+        end
+    | Eval g ->
+        let v =
+          match (gates.(g).Circuit.kind, gates.(g).Circuit.fan_in) with
+          | Circuit.Not, [ a ] -> not lp.values.(a)
+          | Circuit.And, [ a; b ] -> lp.values.(a) && lp.values.(b)
+          | Circuit.Or, [ a; b ] -> lp.values.(a) || lp.values.(b)
+          | Circuit.Xor, [ a; b ] -> lp.values.(a) <> lp.values.(b)
+          | _ -> assert false
+        in
+        if v <> lp.values.(g) then begin
+          set g v;
+          notify g
+        end);
+    (!spawned, !sent, !undo)
+  in
+  (* Pop the next live event within the fence; cancelled heads are
+     discarded, a live head beyond the fence stays queued. *)
+  let pop_pending lp fence =
+    let rec go () =
+      match Minheap.peek lp.pending with
+      | None -> None
+      | Some e when e.state <> Pending ->
+          ignore (Minheap.pop lp.pending);
+          go ()
+      | Some e when e.ts > fence -> None
+      | Some _ -> Minheap.pop lp.pending
+    in
+    go ()
+  in
+  (* Scheduler: round-robin with bounded batches and a moving time
+     window anchored at the global minimum pending timestamp (the one
+     event that can never be rolled back). *)
+  (* The heap head's timestamp lower-bounds the true minimum pending
+     timestamp even when the head is cancelled, which is safe (the fence
+     only ends up tighter). *)
+  let global_min () =
+    let best = ref max_int in
+    Array.iter
+      (fun lp ->
+        match Minheap.peek lp.pending with
+        | Some e when e.ts < !best -> best := e.ts
+        | _ -> ())
+      lps;
+    !best
+  in
+  let fossils_collected = ref 0 in
+  let committed_by_fossil = ref 0 in
+  let fossil_work = Array.make n_lps 0 in
+  let max_log_length = ref 0 in
+  let gvt = ref 0 in
+  (* Records strictly below GVT can never be rolled back: commit them
+     permanently and reclaim the log (classical fossil collection). *)
+  let fossil_collect () =
+    Array.iteri
+      (fun p lp ->
+        max_log_length := Stdlib.max !max_log_length lp.log_length;
+        let keep, fossils =
+          List.partition (fun { r_ev; _ } -> r_ev.ts >= !gvt) lp.log
+        in
+        if fossils <> [] then begin
+          lp.log <- keep;
+          lp.log_length <- List.length keep;
+          List.iter
+            (fun { r_ev; _ } ->
+              incr fossils_collected;
+              incr committed_by_fossil;
+              match r_ev.kind with
+              | Eval g ->
+                  fossil_work.(p) <-
+                    fossil_work.(p) + gates.(g).Circuit.eval_cost
+              | Apply _ | Refresh _ -> ())
+            fossils
+        end)
+      lps
+  in
+  let round_counter = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    incr round_counter;
+    let fence =
+      let m = global_min () in
+      if m < max_int then gvt := Stdlib.max !gvt m;
+      if !round_counter mod 32 = 0 then fossil_collect ();
+      if m = max_int || config.window = max_int then max_int
+      else m + config.window
+    in
+    for p = 0 to n_lps - 1 do
+      let lp = lps.(p) in
+      let budget = ref config.batch in
+      let continue = ref true in
+      while !continue && !budget > 0 do
+        match pop_pending lp fence with
+        | None -> continue := false
+        | Some e ->
+            progress := true;
+            decr budget;
+            incr processed_events;
+            if !processed_events > event_budget then
+              failwith "Timewarp_sim: event budget exceeded";
+            e.state <- Processed;
+            let spawned, sent, undo = run_effects p e.ts e.kind in
+            lp.log <- { r_ev = e; undo; spawned; sent } :: lp.log;
+            lp.log_length <- lp.log_length + 1;
+            lp.lvt <- e.ts;
+            (* Deliver after logging: a delivery can cascade a rollback
+               back into this very record, in which case the remaining
+               messages must never materialize (their anti-messages were
+               no-ops). *)
+            List.iter
+              (fun m ->
+                if e.state = Processed then begin
+                  incr value_messages;
+                  deliver m
+                end)
+              (List.rev sent)
+      done
+    done
+  done;
+  (* Commit accounting: fossil-collected records plus what remains in
+     the logs at quiescence. *)
+  fossil_collect ();
+  let committed_events = ref !committed_by_fossil in
+  let block_work = Array.copy fossil_work in
+  Array.iteri
+    (fun p lp ->
+      List.iter
+        (fun { r_ev; _ } ->
+          incr committed_events;
+          match r_ev.kind with
+          | Eval g ->
+              block_work.(p) <- block_work.(p) + gates.(g).Circuit.eval_cost
+          | Apply _ | Refresh _ -> ())
+        lp.log)
+    lps;
+  let final_values =
+    Array.init n (fun g -> lps.(assignment.(g)).values.(g))
+  in
+  {
+    n_lps;
+    processed_events = !processed_events;
+    committed_events = !committed_events;
+    rollbacks = !rollbacks;
+    rolled_back_events = !rolled_back_events;
+    anti_messages = !anti_messages;
+    value_messages = !value_messages;
+    efficiency =
+      (if !processed_events = 0 then 1.0
+       else float_of_int !committed_events /. float_of_int !processed_events);
+    block_work;
+    final_values;
+    gvt_final = !gvt;
+    fossils_collected = !fossils_collected;
+    max_log_length = !max_log_length;
+  }

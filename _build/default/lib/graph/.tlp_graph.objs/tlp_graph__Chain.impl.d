@@ -1,0 +1,1 @@
+lib/graph/chain.ml: Array Format List Stdlib

@@ -1,0 +1,1 @@
+lib/graph/chain_gen.ml: Chain Tlp_util Weights

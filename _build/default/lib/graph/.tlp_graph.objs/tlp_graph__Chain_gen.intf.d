@@ -1,0 +1,1 @@
+lib/graph/chain_gen.mli: Chain Tlp_util Weights

@@ -1,0 +1,1 @@
+lib/graph/dot.ml: Array Buffer Chain Graph Printf Tree

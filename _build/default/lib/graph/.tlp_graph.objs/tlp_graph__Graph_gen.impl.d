@@ -1,0 +1,1 @@
+lib/graph/graph_gen.ml: Graph List Tlp_util Weights

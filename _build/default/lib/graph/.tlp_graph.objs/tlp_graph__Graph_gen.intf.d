@@ -1,0 +1,1 @@
+lib/graph/graph_gen.mli: Graph Tlp_util Weights

@@ -1,0 +1,1 @@
+lib/graph/instance_io.ml: Array Buffer Chain In_channel List Out_channel Printf String Tree

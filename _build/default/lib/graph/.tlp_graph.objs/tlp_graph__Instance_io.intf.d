@@ -1,0 +1,1 @@
+lib/graph/instance_io.mli: Chain Tree

@@ -1,0 +1,1 @@
+lib/graph/tree.ml: Array Chain Dsu Format Fun Hashtbl List Option Stdlib

@@ -1,0 +1,1 @@
+lib/graph/tree.mli: Chain Format

@@ -1,0 +1,1 @@
+lib/graph/tree_gen.ml: Array Fun List Tlp_util Tree Weights

@@ -1,0 +1,1 @@
+lib/graph/tree_gen.mli: Tlp_util Tree Weights

@@ -1,0 +1,1 @@
+lib/graph/weights.ml: Array Printf String Tlp_util

@@ -1,0 +1,1 @@
+lib/graph/weights.mli: Tlp_util

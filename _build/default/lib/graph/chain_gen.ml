@@ -1,0 +1,14 @@
+module Rng = Tlp_util.Rng
+
+let random rng ~n ~alpha_dist ~beta_dist =
+  if n < 1 then invalid_arg "Chain_gen.random: n must be >= 1";
+  let alpha = Weights.draw_array rng alpha_dist n in
+  let beta = Weights.draw_array rng beta_dist (n - 1) in
+  Chain.make ~alpha ~beta
+
+let figure2 rng ~n ~max_weight =
+  let d = Weights.Uniform (1, max_weight) in
+  random rng ~n ~alpha_dist:d ~beta_dist:d
+
+let pipeline ~stage_costs ~message_sizes =
+  Chain.of_lists stage_costs message_sizes

@@ -1,0 +1,17 @@
+(** Random linear task graph generators (the Figure 2 workload). *)
+
+val random :
+  Tlp_util.Rng.t ->
+  n:int ->
+  alpha_dist:Weights.dist ->
+  beta_dist:Weights.dist ->
+  Chain.t
+(** A chain of [n] vertices with independently drawn weights. *)
+
+val figure2 : Tlp_util.Rng.t -> n:int -> max_weight:int -> Chain.t
+(** The paper's simulation setting: vertex weights uniform on
+    [\[1, max_weight\]], edge weights uniform on [\[1, max_weight\]]. *)
+
+val pipeline : stage_costs:int list -> message_sizes:int list -> Chain.t
+(** A deterministic pipeline (e.g. the image-processing example):
+    explicit stage computation costs and inter-stage message sizes. *)

@@ -1,0 +1,58 @@
+let palette =
+  [|
+    "#a6cee3"; "#b2df8a"; "#fb9a99"; "#fdbf6f"; "#cab2d6"; "#ffff99";
+    "#1f78b4"; "#33a02c"; "#e31a1c"; "#ff7f00";
+  |]
+
+let color assignment v =
+  match assignment with
+  | None -> ""
+  | Some a ->
+      Printf.sprintf ", style=filled, fillcolor=\"%s\""
+        palette.(a.(v) mod Array.length palette)
+
+let header buf name directed =
+  Buffer.add_string buf
+    (Printf.sprintf "%s \"%s\" {\n" (if directed then "digraph" else "graph") name)
+
+let node buf assignment v weight =
+  Buffer.add_string buf
+    (Printf.sprintf "  n%d [label=\"%d (%d)\"%s];\n" v v weight
+       (color assignment v))
+
+let of_chain ?assignment ?(name = "chain") (c : Chain.t) =
+  let buf = Buffer.create 512 in
+  header buf name false;
+  Buffer.add_string buf "  rankdir=LR;\n";
+  Array.iteri (fun v w -> node buf assignment v w) c.Chain.alpha;
+  Array.iteri
+    (fun e w ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -- n%d [label=\"%d\"];\n" e (e + 1) w))
+    c.Chain.beta;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_tree ?assignment ?(name = "tree") (t : Tree.t) =
+  let buf = Buffer.create 512 in
+  header buf name false;
+  Array.iteri (fun v w -> node buf assignment v w) t.Tree.weights;
+  Array.iter
+    (fun (u, v, d) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -- n%d [label=\"%d\"];\n" u v d))
+    t.Tree.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_graph ?assignment ?(name = "graph") (g : Graph.t) =
+  let buf = Buffer.create 512 in
+  header buf name false;
+  Array.iteri (fun v w -> node buf assignment v w) g.Graph.weights;
+  Array.iter
+    (fun (u, v, d) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -- n%d [label=\"%d\"];\n" u v d))
+    g.Graph.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

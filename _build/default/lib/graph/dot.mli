@@ -1,0 +1,12 @@
+(** Graphviz DOT export for task graphs, optionally colored by a
+    partition assignment — the visual counterpart of the CLI output. *)
+
+val of_chain :
+  ?assignment:int array -> ?name:string -> Chain.t -> string
+(** A left-to-right chain; vertices show weights, edges show betas.
+    With [assignment], components are filled in distinct colors
+    (cycled from a fixed palette). *)
+
+val of_tree : ?assignment:int array -> ?name:string -> Tree.t -> string
+
+val of_graph : ?assignment:int array -> ?name:string -> Graph.t -> string

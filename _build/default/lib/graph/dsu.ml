@@ -1,0 +1,55 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  weight : int array; (* valid at representatives *)
+  size : int array;   (* valid at representatives *)
+  mutable components : int;
+}
+
+let create weights =
+  let n = Array.length weights in
+  {
+    parent = Array.init n Fun.id;
+    rank = Array.make n 0;
+    weight = Array.copy weights;
+    size = Array.make n 1;
+    components = n;
+  }
+
+let create_unweighted n = create (Array.make n 0)
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then false
+  else begin
+    let child, parent =
+      if t.rank.(ra) < t.rank.(rb) then (ra, rb)
+      else if t.rank.(ra) > t.rank.(rb) then (rb, ra)
+      else begin
+        t.rank.(rb) <- t.rank.(rb) + 1;
+        (ra, rb)
+      end
+    in
+    t.parent.(child) <- parent;
+    t.weight.(parent) <- t.weight.(parent) + t.weight.(child);
+    t.size.(parent) <- t.size.(parent) + t.size.(child);
+    t.components <- t.components - 1;
+    true
+  end
+
+let connected t a b = find t a = find t b
+
+let component_weight t x = t.weight.(find t x)
+
+let component_size t x = t.size.(find t x)
+
+let count_components t = t.components

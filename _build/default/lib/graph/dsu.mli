@@ -1,0 +1,33 @@
+(** Disjoint-set union (union–find) with per-component weight totals.
+
+    Used by the improved tree bottleneck algorithm (edges are merged back
+    heaviest-first while watching component weights) and by graph
+    validation. *)
+
+type t
+
+val create : int array -> t
+(** [create weights] makes [Array.length weights] singleton components;
+    component [i] starts with weight [weights.(i)]. *)
+
+val create_unweighted : int -> t
+(** [n] singletons of weight 0 each. *)
+
+val find : t -> int -> int
+(** Representative of the component containing the element (with path
+    compression). *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the two components; returns [false] when they were
+    already the same component. *)
+
+val connected : t -> int -> int -> bool
+
+val component_weight : t -> int -> int
+(** Total weight of the component containing the element. *)
+
+val component_size : t -> int -> int
+(** Number of elements in the component containing the element. *)
+
+val count_components : t -> int
+(** Number of distinct components. *)

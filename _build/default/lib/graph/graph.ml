@@ -1,0 +1,107 @@
+type t = {
+  weights : int array;
+  edges : (int * int * int) array;
+  adj : (int * int) list array;
+}
+
+let make ~weights ~edges =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Graph.make: empty graph";
+  Array.iter
+    (fun w -> if w < 0 then invalid_arg "Graph.make: negative vertex weight")
+    weights;
+  let tbl = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.make: endpoint out of range";
+      if u = v then invalid_arg "Graph.make: self loop";
+      if w < 0 then invalid_arg "Graph.make: negative edge weight";
+      let key = (Stdlib.min u v, Stdlib.max u v) in
+      let prev = Option.value (Hashtbl.find_opt tbl key) ~default:0 in
+      Hashtbl.replace tbl key (prev + w))
+    edges;
+  let edges =
+    Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) tbl []
+    |> List.sort compare |> Array.of_list
+  in
+  let adj = Array.make n [] in
+  Array.iteri
+    (fun i (u, v, _) ->
+      adj.(u) <- (v, i) :: adj.(u);
+      adj.(v) <- (u, i) :: adj.(v))
+    edges;
+  { weights = Array.copy weights; edges; adj }
+
+let n g = Array.length g.weights
+let n_edges g = Array.length g.edges
+let weight g v = g.weights.(v)
+let edge g e = g.edges.(e)
+let neighbors g v = g.adj.(v)
+let degree g v = List.length g.adj.(v)
+let total_weight g = Array.fold_left ( + ) 0 g.weights
+let total_edge_weight g = Array.fold_left (fun acc (_, _, w) -> acc + w) 0 g.edges
+
+let bfs_levels g src =
+  let levels = Array.make (n g) (-1) in
+  let queue = Queue.create () in
+  levels.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun (v, _) ->
+        if levels.(v) < 0 then begin
+          levels.(v) <- levels.(u) + 1;
+          Queue.add v queue
+        end)
+      g.adj.(u)
+  done;
+  levels
+
+let connected_components g =
+  let seen = Array.make (n g) false in
+  let comps = ref [] in
+  for src = 0 to n g - 1 do
+    if not seen.(src) then begin
+      let comp = ref [] in
+      let queue = Queue.create () in
+      seen.(src) <- true;
+      Queue.add src queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        comp := u :: !comp;
+        List.iter
+          (fun (v, _) ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              Queue.add v queue
+            end)
+          g.adj.(u)
+      done;
+      comps := List.sort compare !comp :: !comps
+    end
+  done;
+  List.sort (fun a b -> compare (List.hd a) (List.hd b)) !comps
+
+let is_connected g = List.length (connected_components g) = 1
+
+let edge_between g u v =
+  List.find_map (fun (w, e) -> if w = v then Some e else None) g.adj.(u)
+  |> Option.map (fun e ->
+         let _, _, w = g.edges.(e) in
+         w)
+
+let cut_weight_of_assignment g part =
+  if Array.length part <> n g then
+    invalid_arg "Graph.cut_weight_of_assignment: bad assignment length";
+  Array.fold_left
+    (fun acc (u, v, w) -> if part.(u) <> part.(v) then acc + w else acc)
+    0 g.edges
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," (n g) (n_edges g);
+  Array.iter
+    (fun (u, v, w) -> Format.fprintf ppf "  %d -%d- %d@," u w v)
+    g.edges;
+  Format.fprintf ppf "@]"

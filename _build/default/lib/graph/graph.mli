@@ -1,0 +1,47 @@
+(** General undirected weighted graphs.
+
+    Used for the application substrates: logic-circuit process graphs in
+    [tlp_des], the linear-supergraph approximation of §3, and the
+    Kernighan–Lin heuristic baseline.  Vertices carry computation
+    weights; edges carry communication weights.  Parallel edges are not
+    allowed; self loops are rejected. *)
+
+type t = private {
+  weights : int array;
+  edges : (int * int * int) array;  (** (u, v, weight) with [u < v] *)
+  adj : (int * int) list array;     (** vertex -> (neighbor, edge index) *)
+}
+
+val make : weights:int array -> edges:(int * int * int) list -> t
+(** Normalizes endpoints to [u < v]; merges duplicate edges by summing
+    weights.  Raises [Invalid_argument] on self loops, out-of-range
+    endpoints or negative weights. *)
+
+val n : t -> int
+val n_edges : t -> int
+val weight : t -> int -> int
+val edge : t -> int -> int * int * int
+val neighbors : t -> int -> (int * int) list
+val degree : t -> int -> int
+val total_weight : t -> int
+val total_edge_weight : t -> int
+
+val bfs_levels : t -> int -> int array
+(** [bfs_levels g src] gives each vertex its BFS distance from [src];
+    [-1] for unreachable vertices. *)
+
+val connected_components : t -> int list list
+(** Vertex sets, each sorted, ordered by smallest vertex. *)
+
+val is_connected : t -> bool
+
+val edge_between : t -> int -> int -> int option
+(** Weight of the edge joining two vertices, if any. *)
+
+val cut_weight_of_assignment : t -> int array -> int
+(** [cut_weight_of_assignment g part] sums the weights of edges whose
+    endpoints receive different values in [part] (a vertex → block map).
+    This is the bandwidth of an arbitrary (not necessarily connected)
+    partition, used to score heuristics and application mappings. *)
+
+val pp : Format.formatter -> t -> unit

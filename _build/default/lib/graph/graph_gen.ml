@@ -1,0 +1,47 @@
+module Rng = Tlp_util.Rng
+
+let ring rng ~n ~weight_dist ~delta_dist =
+  if n < 3 then invalid_arg "Graph_gen.ring: n must be >= 3";
+  let weights = Weights.draw_array rng weight_dist n in
+  let edges =
+    List.init n (fun i -> (i, (i + 1) mod n, Weights.draw rng delta_dist))
+  in
+  Graph.make ~weights ~edges
+
+let random_connected rng ~n ~extra_edges ~weight_dist ~delta_dist =
+  if n < 1 then invalid_arg "Graph_gen.random_connected: n must be >= 1";
+  if extra_edges < 0 then invalid_arg "Graph_gen.random_connected: negative extras";
+  let weights = Weights.draw_array rng weight_dist n in
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    edges := (Rng.int rng i, i, Weights.draw rng delta_dist) :: !edges
+  done;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  (* Bounded retries: duplicate picks merge inside Graph.make, so a failed
+     attempt only costs time. *)
+  while !added < extra_edges && !attempts < 20 * (extra_edges + 1) do
+    incr attempts;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then begin
+      edges := (u, v, Weights.draw rng delta_dist) :: !edges;
+      incr added
+    end
+  done;
+  Graph.make ~weights ~edges:!edges
+
+let grid rng ~rows ~cols ~weight_dist ~delta_dist =
+  if rows < 1 || cols < 1 then invalid_arg "Graph_gen.grid: bad dimensions";
+  let n = rows * cols in
+  let weights = Weights.draw_array rng weight_dist n in
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then
+        edges := (id r c, id r (c + 1), Weights.draw rng delta_dist) :: !edges;
+      if r + 1 < rows then
+        edges := (id r c, id (r + 1) c, Weights.draw rng delta_dist) :: !edges
+    done
+  done;
+  Graph.make ~weights ~edges:!edges

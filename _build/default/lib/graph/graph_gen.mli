@@ -1,0 +1,28 @@
+(** General graph generators for the application substrates. *)
+
+val ring :
+  Tlp_util.Rng.t ->
+  n:int ->
+  weight_dist:Weights.dist ->
+  delta_dist:Weights.dist ->
+  Graph.t
+(** A cycle — the "circular type logic circuit" of §3. *)
+
+val random_connected :
+  Tlp_util.Rng.t ->
+  n:int ->
+  extra_edges:int ->
+  weight_dist:Weights.dist ->
+  delta_dist:Weights.dist ->
+  Graph.t
+(** A random spanning tree plus [extra_edges] additional random edges
+    (duplicates merged), guaranteed connected. *)
+
+val grid :
+  Tlp_util.Rng.t ->
+  rows:int ->
+  cols:int ->
+  weight_dist:Weights.dist ->
+  delta_dist:Weights.dist ->
+  Graph.t
+(** 4-neighbour grid — the PDE strip decomposition of the introduction. *)

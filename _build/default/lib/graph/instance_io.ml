@@ -1,0 +1,68 @@
+type instance = Chain_instance of Chain.t | Tree_instance of Tree.t
+
+let significant_lines text =
+  String.split_on_char '\n' text
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+
+let ints_of_line line =
+  String.split_on_char ' ' line
+  |> List.filter (fun s -> s <> "")
+  |> List.map int_of_string
+
+let parse text =
+  try
+    match significant_lines text with
+    | "chain" :: alpha_line :: rest ->
+        let alpha = Array.of_list (ints_of_line alpha_line) in
+        let beta =
+          match rest with
+          | [] -> [||]
+          | [ beta_line ] -> Array.of_list (ints_of_line beta_line)
+          | _ -> failwith "chain: too many lines"
+        in
+        Ok (Chain_instance (Chain.make ~alpha ~beta))
+    | "tree" :: weights_line :: edge_lines ->
+        let weights = Array.of_list (ints_of_line weights_line) in
+        let edges =
+          List.map
+            (fun l ->
+              match ints_of_line l with
+              | [ u; v; d ] -> (u, v, d)
+              | _ -> failwith "tree: edge lines need 'u v delta'")
+            edge_lines
+        in
+        Ok (Tree_instance (Tree.make ~weights ~edges))
+    | header :: _ -> Error (Printf.sprintf "unknown instance kind %S" header)
+    | [] -> Error "empty instance file"
+  with
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let to_string = function
+  | Chain_instance c ->
+      let join a =
+        String.concat " " (List.map string_of_int (Array.to_list a))
+      in
+      Printf.sprintf "chain\n%s\n%s\n" (join c.Chain.alpha) (join c.Chain.beta)
+  | Tree_instance t ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "tree\n";
+      Buffer.add_string buf
+        (String.concat " "
+           (List.map string_of_int (Array.to_list t.Tree.weights)));
+      Buffer.add_char buf '\n';
+      Array.iter
+        (fun (u, v, d) ->
+          Buffer.add_string buf (Printf.sprintf "%d %d %d\n" u v d))
+        t.Tree.edges;
+      Buffer.contents buf
+
+let save path instance =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string instance))

@@ -1,0 +1,28 @@
+(** Plain-text instance files for the CLI and reproducibility scripts.
+
+    Chain format:
+    {v
+    chain
+    <alpha_0> <alpha_1> ... <alpha_{n-1}>
+    <beta_0> ... <beta_{n-2}>
+    v}
+
+    Tree format:
+    {v
+    tree
+    <w_0> ... <w_{n-1}>
+    <u> <v> <delta>     (one line per edge, n-1 lines)
+    v}
+
+    Blank lines and [#]-comments are ignored. *)
+
+type instance = Chain_instance of Chain.t | Tree_instance of Tree.t
+
+val parse : string -> (instance, string) result
+(** Parse from file contents. *)
+
+val load : string -> (instance, string) result
+(** Read and parse a file. *)
+
+val to_string : instance -> string
+val save : string -> instance -> unit

@@ -1,0 +1,161 @@
+type t = {
+  weights : int array;
+  edges : (int * int * int) array;
+  adj : (int * int) list array;
+}
+
+let build_adj n edges =
+  let adj = Array.make n [] in
+  Array.iteri
+    (fun i (u, v, _) ->
+      adj.(u) <- (v, i) :: adj.(u);
+      adj.(v) <- (u, i) :: adj.(v))
+    edges;
+  adj
+
+let make ~weights ~edges =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Tree.make: empty tree";
+  let edges = Array.of_list edges in
+  if Array.length edges <> n - 1 then
+    invalid_arg "Tree.make: a tree on n vertices has exactly n-1 edges";
+  Array.iter
+    (fun w -> if w < 0 then invalid_arg "Tree.make: negative vertex weight")
+    weights;
+  let dsu = Dsu.create_unweighted n in
+  Array.iter
+    (fun (u, v, d) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Tree.make: edge endpoint out of range";
+      if d < 0 then invalid_arg "Tree.make: negative edge weight";
+      if not (Dsu.union dsu u v) then
+        invalid_arg "Tree.make: edges contain a cycle")
+    edges;
+  { weights = Array.copy weights; edges; adj = build_adj n edges }
+
+let of_parents ~weights ~parents =
+  let n = Array.length weights in
+  if Array.length parents <> n - 1 then
+    invalid_arg "Tree.of_parents: need n-1 parent entries";
+  let edges =
+    Array.to_list
+      (Array.mapi
+         (fun i (p, d) ->
+           if p > i then
+             invalid_arg "Tree.of_parents: parent must precede child";
+           (p, i + 1, d))
+         parents)
+  in
+  make ~weights ~edges
+
+let of_chain (c : Chain.t) =
+  let n = Array.length c.Chain.alpha in
+  let edges =
+    List.init (n - 1) (fun i -> (i, i + 1, c.Chain.beta.(i)))
+  in
+  make ~weights:c.Chain.alpha ~edges
+
+let n t = Array.length t.weights
+let n_edges t = Array.length t.edges
+let weight t v = t.weights.(v)
+let delta t e = let _, _, d = t.edges.(e) in d
+let endpoints t e = let u, v, _ = t.edges.(e) in (u, v)
+let degree t v = List.length t.adj.(v)
+let is_leaf t v = degree t v <= 1
+
+let leaves t =
+  List.filter (is_leaf t) (List.init (n t) Fun.id)
+
+let neighbors t v = t.adj.(v)
+
+let total_weight t = Array.fold_left ( + ) 0 t.weights
+let max_weight t = Array.fold_left Stdlib.max t.weights.(0) t.weights
+
+type cut = int list
+
+let is_valid_cut t cut =
+  let m = n_edges t in
+  let rec check prev = function
+    | [] -> true
+    | e :: rest -> e > prev && e < m && check e rest
+  in
+  check (-1) cut
+
+let cut_weight t cut = List.fold_left (fun acc e -> acc + delta t e) 0 cut
+
+let max_cut_edge t cut =
+  List.fold_left (fun acc e -> Stdlib.max acc (delta t e)) 0 cut
+
+(* DSU over the kept edges gives the components of t - cut. *)
+let component_dsu t cut =
+  let removed = Array.make (n_edges t) false in
+  List.iter (fun e -> removed.(e) <- true) cut;
+  let dsu = Dsu.create t.weights in
+  Array.iteri
+    (fun i (u, v, _) -> if not removed.(i) then ignore (Dsu.union dsu u v))
+    t.edges;
+  dsu
+
+let components t cut =
+  let dsu = component_dsu t cut in
+  let buckets = Hashtbl.create 16 in
+  for v = n t - 1 downto 0 do
+    let r = Dsu.find dsu v in
+    let existing = Option.value (Hashtbl.find_opt buckets r) ~default:[] in
+    Hashtbl.replace buckets r (v :: existing)
+  done;
+  Hashtbl.fold (fun _ vs acc -> vs :: acc) buckets []
+  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+
+let component_weights t cut =
+  let sum vs = List.fold_left (fun acc v -> acc + t.weights.(v)) 0 vs in
+  List.map sum (components t cut)
+
+let is_feasible t ~k cut =
+  is_valid_cut t cut
+  && List.for_all (fun w -> w <= k) (component_weights t cut)
+
+let contract t cut =
+  let dsu = component_dsu t cut in
+  (* Number super-nodes by ascending representative. *)
+  let reps = Hashtbl.create 16 in
+  let order = ref [] in
+  for v = n t - 1 downto 0 do
+    let r = Dsu.find dsu v in
+    if not (Hashtbl.mem reps r) then begin
+      Hashtbl.replace reps r 0;
+      order := r :: !order
+    end
+  done;
+  (* !order currently lists representatives by descending first visit;
+     re-scan ascending to get a stable numbering. *)
+  let ids = Hashtbl.create 16 in
+  let counter = ref 0 in
+  for v = 0 to n t - 1 do
+    let r = Dsu.find dsu v in
+    if not (Hashtbl.mem ids r) then begin
+      Hashtbl.replace ids r !counter;
+      incr counter
+    end
+  done;
+  let n_super = !counter in
+  let map = Array.init (n t) (fun v -> Hashtbl.find ids (Dsu.find dsu v)) in
+  let weights = Array.make n_super 0 in
+  Array.iteri (fun v w -> weights.(map.(v)) <- weights.(map.(v)) + w) t.weights;
+  let edges =
+    List.map
+      (fun e ->
+        let u, v, d = t.edges.(e) in
+        (map.(u), map.(v), d))
+      cut
+  in
+  (make ~weights ~edges, map)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>tree n=%d@," (n t);
+  Array.iteri
+    (fun i (u, v, d) ->
+      Format.fprintf ppf "  e%d: %d(%d) -%d- %d(%d)@," i u t.weights.(u) d v
+        t.weights.(v))
+    t.edges;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,73 @@
+(** Weighted tree task graphs.
+
+    Vertices are [0 .. n-1] with non-negative computation weights; the
+    [n-1] edges carry non-negative communication weights.  Trees are the
+    input of the paper's bottleneck-minimization (Alg. 2.1) and
+    processor-minimization (Alg. 2.2) problems.
+
+    A {e cut} is a strictly increasing list of edge indices; removing them
+    splits the tree into [|cut| + 1] connected components. *)
+
+type t = private {
+  weights : int array;              (** vertex weights *)
+  edges : (int * int * int) array;  (** (u, v, delta) *)
+  adj : (int * int) list array;     (** vertex -> (neighbor, edge index) *)
+}
+
+val make : weights:int array -> edges:(int * int * int) list -> t
+(** Validates that the edge list forms a spanning tree over
+    [Array.length weights] vertices and that all weights are
+    non-negative.  Raises [Invalid_argument] otherwise. *)
+
+val of_parents : weights:int array -> parents:(int * int) array -> t
+(** [of_parents ~weights ~parents] builds a rooted tree: vertex 0 is the
+    root and [parents.(i) = (p, delta)] gives the parent and edge weight
+    of vertex [i+1] (so [parents] has length [n-1], and [p <= i] is
+    required to guarantee acyclicity). *)
+
+val of_chain : Chain.t -> t
+(** The chain viewed as a (path) tree; edge [i] keeps index [i]. *)
+
+val n : t -> int
+val n_edges : t -> int
+val weight : t -> int -> int
+val delta : t -> int -> int
+(** Weight of edge [e]. *)
+
+val endpoints : t -> int -> int * int
+val degree : t -> int -> int
+val is_leaf : t -> int -> bool
+(** Degree [<= 1]. *)
+
+val leaves : t -> int list
+val neighbors : t -> int -> (int * int) list
+(** [(neighbor, edge index)] pairs. *)
+
+val total_weight : t -> int
+val max_weight : t -> int
+
+(** {1 Cuts} *)
+
+type cut = int list
+(** Strictly increasing edge indices. *)
+
+val is_valid_cut : t -> cut -> bool
+val cut_weight : t -> cut -> int
+val max_cut_edge : t -> cut -> int
+(** 0 on the empty cut. *)
+
+val components : t -> cut -> int list list
+(** Vertex sets of the connected components of [t - cut]; each component
+    sorted ascending, components ordered by smallest vertex. *)
+
+val component_weights : t -> cut -> int list
+val is_feasible : t -> k:int -> cut -> bool
+(** Valid cut and every component weight [<= k]. *)
+
+val contract : t -> cut -> t * int array
+(** [contract t cut] lumps each component of [t - cut] into a super-node
+    (weight = component total) and keeps one edge per cut edge, yielding
+    the super-node tree of §2.2 together with the vertex → super-node
+    map. *)
+
+val pp : Format.formatter -> t -> unit

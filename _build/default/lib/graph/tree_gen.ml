@@ -1,0 +1,66 @@
+module Rng = Tlp_util.Rng
+
+let random_attachment rng ~n ~weight_dist ~delta_dist =
+  if n < 1 then invalid_arg "Tree_gen.random_attachment: n must be >= 1";
+  let weights = Weights.draw_array rng weight_dist n in
+  let parents =
+    Array.init (n - 1) (fun i ->
+        (Rng.int rng (i + 1), Weights.draw rng delta_dist))
+  in
+  Tree.of_parents ~weights ~parents
+
+let random_binary rng ~n ~weight_dist ~delta_dist =
+  if n < 1 then invalid_arg "Tree_gen.random_binary: n must be >= 1";
+  let weights = Weights.draw_array rng weight_dist n in
+  let child_count = Array.make n 0 in
+  let parents =
+    Array.init (n - 1) (fun i ->
+        (* Candidates: vertices 0..i with < 2 children.  There is always at
+           least one since each attachment adds a fresh vertex with zero
+           children. *)
+        let candidates =
+          List.filter (fun v -> child_count.(v) < 2) (List.init (i + 1) Fun.id)
+        in
+        let p = Rng.choose rng (Array.of_list candidates) in
+        child_count.(p) <- child_count.(p) + 1;
+        (p, Weights.draw rng delta_dist))
+  in
+  Tree.of_parents ~weights ~parents
+
+let star ~center_weight ~leaf_weights ~edge_weights =
+  let r = List.length leaf_weights in
+  if List.length edge_weights <> r then
+    invalid_arg "Tree_gen.star: need one edge weight per leaf";
+  let weights = Array.of_list (center_weight :: leaf_weights) in
+  let edges = List.mapi (fun i d -> (0, i + 1, d)) edge_weights in
+  Tree.make ~weights ~edges
+
+let caterpillar rng ~spine ~legs_per_vertex ~weight_dist ~delta_dist =
+  if spine < 1 then invalid_arg "Tree_gen.caterpillar: spine must be >= 1";
+  if legs_per_vertex < 0 then
+    invalid_arg "Tree_gen.caterpillar: negative leg count";
+  let n = spine * (1 + legs_per_vertex) in
+  let weights = Weights.draw_array rng weight_dist n in
+  let edges = ref [] in
+  (* Vertices 0..spine-1 are the spine; legs follow. *)
+  for i = 1 to spine - 1 do
+    edges := (i - 1, i, Weights.draw rng delta_dist) :: !edges
+  done;
+  for s = 0 to spine - 1 do
+    for l = 0 to legs_per_vertex - 1 do
+      let leaf = spine + (s * legs_per_vertex) + l in
+      edges := (s, leaf, Weights.draw rng delta_dist) :: !edges
+    done
+  done;
+  Tree.make ~weights ~edges:(List.rev !edges)
+
+let complete_binary ~depth ~weight_dist ~delta_dist rng =
+  if depth < 0 then invalid_arg "Tree_gen.complete_binary: negative depth";
+  let n = (1 lsl (depth + 1)) - 1 in
+  let weights = Weights.draw_array rng weight_dist n in
+  let edges =
+    List.init (n - 1) (fun i ->
+        let child = i + 1 in
+        ((child - 1) / 2, child, Weights.draw rng delta_dist))
+  in
+  Tree.make ~weights ~edges

@@ -1,0 +1,40 @@
+(** Random and structured tree generators for the tree-algorithm
+    experiments (divide-and-conquer task graphs of the introduction). *)
+
+val random_attachment :
+  Tlp_util.Rng.t ->
+  n:int ->
+  weight_dist:Weights.dist ->
+  delta_dist:Weights.dist ->
+  Tree.t
+(** Uniform random recursive tree: vertex [i] attaches to a uniformly
+    chosen earlier vertex. *)
+
+val random_binary :
+  Tlp_util.Rng.t ->
+  n:int ->
+  weight_dist:Weights.dist ->
+  delta_dist:Weights.dist ->
+  Tree.t
+(** Random tree with maximum degree 3 (binary divide-and-conquer shape):
+    each new vertex attaches to an earlier vertex that still has fewer
+    than two children. *)
+
+val star :
+  center_weight:int -> leaf_weights:int list -> edge_weights:int list -> Tree.t
+(** The star graph of Theorem 1: vertex 0 is the center. *)
+
+val caterpillar :
+  Tlp_util.Rng.t ->
+  spine:int ->
+  legs_per_vertex:int ->
+  weight_dist:Weights.dist ->
+  delta_dist:Weights.dist ->
+  Tree.t
+(** A spine path with [legs_per_vertex] leaves on each spine vertex —
+    the shape on which Alg. 2.2's leaf pruning does maximal work. *)
+
+val complete_binary :
+  depth:int -> weight_dist:Weights.dist -> delta_dist:Weights.dist ->
+  Tlp_util.Rng.t -> Tree.t
+(** Complete binary tree of the given depth (depth 0 = single vertex). *)

@@ -1,0 +1,54 @@
+module Rng = Tlp_util.Rng
+
+type dist =
+  | Constant of int
+  | Uniform of int * int
+  | Exponential of float
+  | Bimodal of int * int * float
+
+let validate = function
+  | Constant c -> if c < 1 then invalid_arg "Weights: constant must be >= 1"
+  | Uniform (lo, hi) ->
+      if lo < 1 || hi < lo then invalid_arg "Weights: bad uniform range"
+  | Exponential m -> if m <= 0.0 then invalid_arg "Weights: bad exponential mean"
+  | Bimodal (s, l, p) ->
+      if s < 1 || l < s || p < 0.0 || p > 1.0 then
+        invalid_arg "Weights: bad bimodal parameters"
+
+let draw rng dist =
+  validate dist;
+  match dist with
+  | Constant c -> c
+  | Uniform (lo, hi) -> Rng.int_in rng lo hi
+  | Exponential mean -> 1 + int_of_float (Rng.exponential rng mean)
+  | Bimodal (small, large, p_large) ->
+      if Rng.float rng 1.0 < p_large then large else small
+
+let draw_array rng dist n = Array.init n (fun _ -> draw rng dist)
+
+let mean = function
+  | Constant c -> float_of_int c
+  | Uniform (lo, hi) -> float_of_int (lo + hi) /. 2.0
+  | Exponential m -> 1.0 +. m
+  | Bimodal (s, l, p) -> (float_of_int s *. (1.0 -. p)) +. (float_of_int l *. p)
+
+let upper_bound = function
+  | Constant c -> Some c
+  | Uniform (_, hi) -> Some hi
+  | Exponential _ -> None
+  | Bimodal (_, l, _) -> Some l
+
+let to_string = function
+  | Constant c -> Printf.sprintf "const:%d" c
+  | Uniform (lo, hi) -> Printf.sprintf "uniform:%d:%d" lo hi
+  | Exponential m -> Printf.sprintf "exp:%g" m
+  | Bimodal (s, l, p) -> Printf.sprintf "bimodal:%d:%d:%g" s l p
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ "const"; c ] -> Constant (int_of_string c)
+  | [ "uniform"; lo; hi ] -> Uniform (int_of_string lo, int_of_string hi)
+  | [ "exp"; m ] -> Exponential (float_of_string m)
+  | [ "bimodal"; a; b; p ] ->
+      Bimodal (int_of_string a, int_of_string b, float_of_string p)
+  | _ -> invalid_arg ("Weights.of_string: cannot parse " ^ s)

@@ -1,0 +1,30 @@
+(** Weight distributions for synthetic instances.
+
+    The paper's Figure 2 simulations draw module execution weights
+    uniformly; the other distributions exercise the algorithms outside
+    that regime (heavy tails, bimodal "big/small task" mixes). *)
+
+type dist =
+  | Constant of int              (** always this value *)
+  | Uniform of int * int         (** uniform integer in [lo, hi] inclusive *)
+  | Exponential of float         (** 1 + round(Exp(mean)), always positive *)
+  | Bimodal of int * int * float (** small value, large value, P(large) *)
+
+val draw : Tlp_util.Rng.t -> dist -> int
+(** One sample; always [>= 1]. *)
+
+val draw_array : Tlp_util.Rng.t -> dist -> int -> int array
+(** [n] samples. *)
+
+val mean : dist -> float
+(** Expected value of the distribution. *)
+
+val upper_bound : dist -> int option
+(** Largest possible sample, when bounded. *)
+
+val to_string : dist -> string
+
+val of_string : string -> dist
+(** Parses ["const:5"], ["uniform:1:100"], ["exp:20"],
+    ["bimodal:1:50:0.1"].  Raises [Invalid_argument] on anything else
+    (used by the CLI). *)

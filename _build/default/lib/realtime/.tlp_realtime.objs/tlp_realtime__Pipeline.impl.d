@@ -1,0 +1,1 @@
+lib/realtime/pipeline.ml: Format List Stdlib Tlp_archsim Tlp_baselines Tlp_core Tlp_graph

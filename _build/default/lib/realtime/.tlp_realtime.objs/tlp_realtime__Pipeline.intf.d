@@ -1,0 +1,1 @@
+lib/realtime/pipeline.mli: Format Tlp_archsim Tlp_core Tlp_graph

@@ -1,0 +1,56 @@
+module Chain = Tlp_graph.Chain
+module Bandwidth_hitting = Tlp_core.Bandwidth_hitting
+module Chain_bottleneck = Tlp_core.Chain_bottleneck
+module Greedy = Tlp_baselines.Greedy
+
+type analysis = {
+  feasible : bool;
+  n_processors : int;
+  total_traffic : int;
+  max_traffic : int;
+  component_times : int list;
+  slack : int;
+}
+
+type plan = {
+  deadline : int;
+  bandwidth_optimal : Chain.cut * analysis;
+  bottleneck_optimal : Chain.cut * analysis;
+  first_fit : Chain.cut * analysis;
+}
+
+let analyze chain ~deadline cut =
+  let component_times = Chain.component_weights chain cut in
+  let max_time = List.fold_left Stdlib.max 0 component_times in
+  {
+    feasible = Chain.is_valid_cut chain cut && max_time <= deadline;
+    n_processors = List.length cut + 1;
+    total_traffic = Chain.cut_weight chain cut;
+    max_traffic = Chain.max_cut_edge chain cut;
+    component_times;
+    slack = deadline - max_time;
+  }
+
+let plan chain ~deadline =
+  match Bandwidth_hitting.solve chain ~k:deadline with
+  | Error e -> Error e
+  | Ok { Bandwidth_hitting.cut = bw_cut; _ } -> (
+      match Chain_bottleneck.solve chain ~k:deadline with
+      | Error e -> Error e
+      | Ok { Chain_bottleneck.cut = bn_cut; _ } ->
+          let ff_cut = Greedy.first_fit chain ~k:deadline in
+          Ok
+            {
+              deadline;
+              bandwidth_optimal = (bw_cut, analyze chain ~deadline bw_cut);
+              bottleneck_optimal = (bn_cut, analyze chain ~deadline bn_cut);
+              first_fit = (ff_cut, analyze chain ~deadline ff_cut);
+            })
+
+let simulate chain ~cut ~machine ~jobs =
+  Tlp_archsim.Pipeline_sim.run ~machine ~chain ~cut ~jobs
+
+let pp_analysis ppf a =
+  Format.fprintf ppf
+    "@[<v>feasible=%b processors=%d total_traffic=%d max_traffic=%d slack=%d@]"
+    a.feasible a.n_processors a.total_traffic a.max_traffic a.slack

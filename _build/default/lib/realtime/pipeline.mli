@@ -1,0 +1,50 @@
+(** The real-time computing application of §3.
+
+    A task [T] with deadline [k] decomposes into a chain of subtasks with
+    data dependencies; the partition must ensure (1) every component
+    completes within [k], (2) total network cost is minimized, and
+    (3) the largest single network demand is minimized.  Requirement (2)
+    is the bandwidth problem, (3) the chain bottleneck problem; the paper
+    notes both are satisfied by its §2 algorithms, and the resulting
+    components map one-to-one onto shared-memory processors (Figure 3).
+
+    [plan] computes both optimal partitions plus the first-fit baseline,
+    so callers can trade total traffic against peak single-edge traffic;
+    [analyze] prices any candidate partition. *)
+
+type analysis = {
+  feasible : bool;             (** every component within the deadline *)
+  n_processors : int;
+  total_traffic : int;         (** Σ w(dp) over cut dependencies *)
+  max_traffic : int;           (** max single cut dependency *)
+  component_times : int list;
+  slack : int;                 (** deadline - max component time *)
+}
+
+type plan = {
+  deadline : int;
+  bandwidth_optimal : Tlp_graph.Chain.cut * analysis;
+      (** minimizes total traffic (Alg. of §2.3) *)
+  bottleneck_optimal : Tlp_graph.Chain.cut * analysis;
+      (** minimizes the single largest message (§2.1 specialized) *)
+  first_fit : Tlp_graph.Chain.cut * analysis;
+      (** deadline-only baseline ignoring communication *)
+}
+
+val analyze : Tlp_graph.Chain.t -> deadline:int -> Tlp_graph.Chain.cut -> analysis
+
+val plan :
+  Tlp_graph.Chain.t -> deadline:int -> (plan, Tlp_core.Infeasible.t) result
+(** [Error] when some subtask alone exceeds the deadline — the task set
+    cannot be scheduled at all. *)
+
+val simulate :
+  Tlp_graph.Chain.t ->
+  cut:Tlp_graph.Chain.cut ->
+  machine:Tlp_archsim.Machine.t ->
+  jobs:int ->
+  Tlp_archsim.Pipeline_sim.report
+(** Execute the partitioned task stream on a machine model, e.g. to
+    compare the plan variants under bus contention. *)
+
+val pp_analysis : Format.formatter -> analysis -> unit

@@ -1,0 +1,1 @@
+lib/util/csv_out.ml: Buffer Fun List String

@@ -1,0 +1,1 @@
+lib/util/texttab.ml: Array Buffer Float List Printf Stdlib String

@@ -1,0 +1,27 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let find t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t name r;
+      r
+
+let bump t name = incr (find t name)
+
+let add t name k =
+  let r = find t name in
+  r := !r + k
+
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+
+let to_list t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let null = create ()

@@ -1,0 +1,28 @@
+(** Operation counters for empirical complexity measurements.
+
+    The algorithms in [tlp_core] are instrumented through a counter set so
+    experiments can report machine-independent work measures (comparisons,
+    queue operations, DP cell updates) alongside wall-clock time. *)
+
+type t
+
+val create : unit -> t
+
+val bump : t -> string -> unit
+(** Increment counter [name] by one (created at zero on first use). *)
+
+val add : t -> string -> int -> unit
+(** Increment counter [name] by an arbitrary amount. *)
+
+val get : t -> string -> int
+(** Current value; 0 if never bumped. *)
+
+val reset : t -> unit
+(** Zero all counters. *)
+
+val to_list : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val null : t
+(** A shared sink counter set for callers that do not care; it is a real
+    counter set, so it must not be used for measurements. *)

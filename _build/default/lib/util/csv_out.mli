@@ -1,0 +1,14 @@
+(** Minimal CSV writing (RFC-4180 quoting) so experiment series can be
+    exported for external plotting. *)
+
+val escape : string -> string
+(** Quote a field if it contains a comma, quote or newline. *)
+
+val row_to_string : string list -> string
+(** One CSV line, no trailing newline. *)
+
+val write : string -> string list list -> unit
+(** [write path rows] writes all rows to [path], creating or truncating. *)
+
+val append_row : out_channel -> string list -> unit
+(** Write one row followed by a newline. *)

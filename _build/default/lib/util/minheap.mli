@@ -1,0 +1,26 @@
+(** Array-based binary min-heap, polymorphic in the element type.
+
+    Shared by the lazy-deletion sliding-window minimum of the
+    [O(n log n)] bandwidth baseline and the event queue of the
+    discrete-event simulator. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty heap ordered by [cmp] (smallest first). *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit

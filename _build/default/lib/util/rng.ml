@@ -1,0 +1,56 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer: Steele, Lea & Flood, "Fast splittable
+   pseudorandom number generators", OOPSLA 2014. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's native int non-negatively. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random bits into [0,1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  let unit = Int64.to_float bits /. 9007199254740992.0 in
+  unit *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let exponential t mean =
+  let u = Stdlib.max epsilon_float (float t 1.0) in
+  -. mean *. log u

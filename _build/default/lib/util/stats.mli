@@ -1,0 +1,30 @@
+(** Descriptive statistics over float samples, used by the benchmark
+    harness to summarize experimental series. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;     (** 90th percentile, linear interpolation *)
+}
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation; 0 when fewer than two samples. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics.  Raises [Invalid_argument] on an empty array. *)
+
+val summarize : float array -> summary
+(** Full summary.  Raises [Invalid_argument] on an empty array. *)
+
+val of_ints : int array -> float array
+(** Convenience conversion. *)
+
+val pp_summary : Format.formatter -> summary -> unit

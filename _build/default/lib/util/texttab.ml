@@ -1,0 +1,97 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string option;
+  headers : string list;
+  ncols : int;
+  mutable aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title headers =
+  let ncols = List.length headers in
+  if ncols = 0 then invalid_arg "Texttab.create: no columns";
+  let aligns = Array.make ncols Right in
+  aligns.(0) <- Left;
+  { title; headers; ncols; aligns; rows = [] }
+
+let set_align t i a =
+  if i < 0 || i >= t.ncols then invalid_arg "Texttab.set_align: bad column";
+  t.aligns.(i) <- a
+
+let add_row t cells =
+  if List.length cells <> t.ncols then
+    invalid_arg "Texttab.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.make t.ncols 0 in
+  let measure cells =
+    List.iteri
+      (fun i c -> widths.(i) <- Stdlib.max widths.(i) (String.length c))
+      cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Rule -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let pad i c =
+    let w = widths.(i) in
+    let len = String.length c in
+    let fill = String.make (Stdlib.max 0 (w - len)) ' ' in
+    match t.aligns.(i) with Left -> c ^ fill | Right -> fill ^ c
+  in
+  let emit_cells cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad i c))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let emit_rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  emit_rule ();
+  emit_cells t.headers;
+  emit_rule ();
+  List.iter (function Cells c -> emit_cells c | Rule -> emit_rule ()) rows;
+  emit_rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else if Float.abs x >= 100.0 then Printf.sprintf "%.1f" x
+  else if Float.abs x >= 1.0 then Printf.sprintf "%.2f" x
+  else Printf.sprintf "%.4f" x
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints every reproduced paper table/figure as an
+    aligned ASCII table built with this module. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> string list -> t
+(** [create ~title headers] starts a table with one column per header.
+    Columns default to right alignment except the first. *)
+
+val set_align : t -> int -> align -> unit
+(** Override the alignment of column [i]. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Raises [Invalid_argument] if the arity differs from the
+    header. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator row. *)
+
+val render : t -> string
+(** Render to a string, trailing newline included. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val fmt_float : float -> string
+(** Compact float formatting used across reports ("12.3", "0.045"). *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer ("1_234_567" style with commas). *)

@@ -1,0 +1,19 @@
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  let t1 = Unix.gettimeofday () in
+  (x, t1 -. t0)
+
+let time_median ?(repeats = 5) f =
+  if repeats < 1 then invalid_arg "Timer.time_median: repeats < 1";
+  let samples = Array.make repeats 0.0 in
+  let result = ref None in
+  for i = 0 to repeats - 1 do
+    let x, dt = time f in
+    result := Some x;
+    samples.(i) <- dt
+  done;
+  Array.sort compare samples;
+  match !result with
+  | Some x -> (x, samples.(repeats / 2))
+  | None -> assert false

@@ -1,0 +1,8 @@
+(** Wall-clock timing helpers for the non-Bechamel experiment sweeps. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with elapsed seconds. *)
+
+val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
+(** Run [f] [repeats] times (default 5) and report the median elapsed
+    seconds together with the last result. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Format QCheck2 QCheck_alcotest Stdlib Tlp_graph Tlp_util

@@ -1,0 +1,1 @@
+test/test_archsim.ml: Alcotest Array Chain Fun Helpers List QCheck2 Stdlib Tlp_archsim

@@ -1,0 +1,1 @@
+test/test_bandwidth.ml: Alcotest Chain Fun Gen Helpers List Option QCheck2 Tlp_baselines Tlp_core

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Chain Fun Gen Hashtbl Helpers List QCheck2 Rng Stdlib Tlp_baselines Tlp_graph Weights

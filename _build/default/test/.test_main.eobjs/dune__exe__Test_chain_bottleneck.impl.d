@@ -1,0 +1,1 @@
+test/test_chain_bottleneck.ml: Alcotest Array Chain Fun Gen Helpers List QCheck2 Stdlib Tlp_baselines Tlp_core Tree

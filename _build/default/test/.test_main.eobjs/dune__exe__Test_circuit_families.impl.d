@@ -1,0 +1,1 @@
+test/test_circuit_families.ml: Alcotest Array Fun Helpers List Printf QCheck2 Tlp_des

@@ -1,0 +1,1 @@
+test/test_complexity.ml: Alcotest Helpers List Printf Rng Stdlib Tlp_core Tlp_graph Tlp_util

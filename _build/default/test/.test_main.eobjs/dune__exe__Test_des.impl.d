@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Array Helpers QCheck2 Rng Tlp_des Tlp_graph

@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Array Chain Gen Helpers QCheck2 String Tlp_graph Tree

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Chain Fun Gen Helpers List QCheck2 Rng Stdlib Tlp_baselines Tlp_core Tlp_des Tlp_graph Weights

@@ -1,0 +1,1 @@
+test/test_gantt.ml: Alcotest Helpers List QCheck2 String Tlp_archsim

@@ -1,0 +1,1 @@
+test/test_graphlib.ml: Alcotest Array Chain Fun Gen Hashtbl Helpers List QCheck2 Rng Tlp_graph Tree Weights

@@ -1,0 +1,1 @@
+test/test_hetero.ml: Alcotest Array Chain Hashtbl Helpers List QCheck2 Rng Stdlib Tlp_baselines Tlp_graph Weights

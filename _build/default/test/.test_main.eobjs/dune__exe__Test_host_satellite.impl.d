@@ -1,0 +1,1 @@
+test/test_host_satellite.ml: Alcotest Fun Gen Helpers List QCheck2 Tlp_baselines Tree

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Chain Gen Helpers QCheck2 Result Tlp_graph Tree

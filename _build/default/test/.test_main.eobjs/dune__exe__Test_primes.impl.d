@@ -1,0 +1,1 @@
+test/test_primes.ml: Alcotest Array Chain Fun Gen Helpers List QCheck2 Stdlib Tlp_core

@@ -1,0 +1,1 @@
+test/test_realtime.ml: Alcotest Chain Fun Gen Helpers List QCheck2 Tlp_archsim Tlp_core Tlp_realtime

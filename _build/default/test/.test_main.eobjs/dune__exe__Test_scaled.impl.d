@@ -1,0 +1,1 @@
+test/test_scaled.ml: Alcotest Array Chain Float Fun Gen Helpers List QCheck2 Result Stdlib Tlp_core

@@ -1,0 +1,1 @@
+test/test_supergraph.ml: Alcotest Array Chain Helpers List QCheck2 Rng Stdlib Tlp_core Tlp_graph Weights

@@ -1,0 +1,1 @@
+test/test_theorem1.ml: Alcotest Array Helpers List QCheck2 Stdlib Tlp_baselines Tlp_core Tlp_graph Tree

@@ -1,0 +1,1 @@
+test/test_timewarp.ml: Alcotest Array Helpers QCheck2 Rng Tlp_des

@@ -1,0 +1,1 @@
+test/test_tree_algos.ml: Alcotest Array Fun Gen Helpers List Printf QCheck2 Tlp_baselines Tlp_core Tlp_graph Tree

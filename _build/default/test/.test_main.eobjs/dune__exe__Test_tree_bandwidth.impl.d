@@ -1,0 +1,1 @@
+test/test_tree_bandwidth.ml: Alcotest Chain Fun Gen Helpers List QCheck2 Stdlib Tlp_baselines Tlp_core Tlp_graph Tree

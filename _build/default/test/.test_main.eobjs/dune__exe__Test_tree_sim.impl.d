@@ -1,0 +1,1 @@
+test/test_tree_sim.ml: Alcotest Chain Fun Gen Helpers QCheck2 Tlp_archsim Tlp_core Tree

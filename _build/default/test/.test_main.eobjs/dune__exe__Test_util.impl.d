@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Helpers List QCheck2 Rng String Tlp_util

@@ -1,0 +1,49 @@
+(* Shared generators and Alcotest/QCheck glue for the test suites. *)
+
+module Rng = Tlp_util.Rng
+module Chain = Tlp_graph.Chain
+module Tree = Tlp_graph.Tree
+module Weights = Tlp_graph.Weights
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* QCheck2 generator for a small random chain together with a bound K
+   chosen to land in interesting regimes (from "everything fits" to
+   "barely above max vertex weight"). *)
+let small_chain_gen =
+  let open QCheck2.Gen in
+  let* n = int_range 1 12 in
+  let* alpha = array_size (return n) (int_range 1 20) in
+  let* beta = array_size (return (n - 1)) (int_range 1 30) in
+  let total = Array.fold_left ( + ) 0 alpha in
+  let maxa = Array.fold_left Stdlib.max 1 alpha in
+  let* k = int_range maxa (Stdlib.max maxa total) in
+  return (Chain.make ~alpha ~beta, k)
+
+let chain_print (c, k) =
+  Format.asprintf "%a K=%d" Chain.pp c k
+
+(* Random small tree via random attachment, with an interesting K. *)
+let small_tree_gen =
+  let open QCheck2.Gen in
+  let* n = int_range 1 10 in
+  let* weights = array_size (return n) (int_range 1 20) in
+  let* deltas = array_size (return (n - 1)) (int_range 1 30) in
+  let* parents_raw = array_size (return (n - 1)) (int_range 0 1000) in
+  let parents =
+    Array.mapi (fun i p -> (p mod (i + 1), deltas.(i))) parents_raw
+  in
+  let t = Tree.of_parents ~weights ~parents in
+  let total = Array.fold_left ( + ) 0 weights in
+  let maxw = Array.fold_left Stdlib.max 1 weights in
+  let* k = int_range maxw (Stdlib.max maxw total) in
+  return (t, k)
+
+let tree_print (t, k) = Format.asprintf "%a K=%d" Tree.pp t k
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let cut_testable = Alcotest.(list int)

@@ -1,0 +1,142 @@
+(* Machine model and the pipelined execution simulator. *)
+
+open Helpers
+module Machine = Tlp_archsim.Machine
+module Sim = Tlp_archsim.Pipeline_sim
+
+let machine ?interconnect ?speed ?bandwidth processors =
+  Machine.make ?interconnect ?speed ?bandwidth ~processors ()
+
+let test_machine_times () =
+  let m = machine ~speed:4 ~bandwidth:3 2 in
+  check_int "compute exact" 2 (Machine.compute_time m 8);
+  check_int "compute ceil" 3 (Machine.compute_time m 9);
+  check_int "transfer" 2 (Machine.transfer_time m 6);
+  check_int "transfer ceil" 3 (Machine.transfer_time m 7)
+
+let test_machine_channels () =
+  let bus = machine ~interconnect:Machine.Bus 4 in
+  check_int "bus one channel" 1 (Machine.n_channels bus);
+  check_int "bus id" 0 (Machine.channel_of bus ~src:2 ~dst:3);
+  let xbar = machine ~interconnect:Machine.Crossbar 4 in
+  check_bool "crossbar distinct pairs" true
+    (Machine.channel_of xbar ~src:0 ~dst:1
+    <> Machine.channel_of xbar ~src:2 ~dst:3);
+  check_int "crossbar symmetric"
+    (Machine.channel_of xbar ~src:1 ~dst:3)
+    (Machine.channel_of xbar ~src:3 ~dst:1);
+  let ms = machine ~interconnect:(Machine.Multistage 4) 8 in
+  check_int "multistage channels" 4 (Machine.n_channels ms);
+  check_bool "multistage in range" true
+    (let ch = Machine.channel_of ms ~src:5 ~dst:6 in
+     ch >= 0 && ch < 4)
+
+let test_single_stage () =
+  (* One component, no network: makespan = jobs × compute time. *)
+  let c = Chain.of_lists [ 3; 4 ] [ 1 ] in
+  let r = Sim.run ~machine:(machine 1) ~chain:c ~cut:[] ~jobs:5 in
+  check_int "stages" 1 r.Sim.n_stages;
+  check_int "makespan" 35 r.Sim.makespan;
+  check_int "no traffic" 0 r.Sim.traffic_per_job;
+  check_int "no network time" 0 r.Sim.network_busy_time
+
+let test_two_stage_pipeline () =
+  (* Two balanced stages of 5 each, transfer 1, 10 jobs on a bus.
+     Steady state: one job per 5 time units once the pipe fills. *)
+  let c = Chain.of_lists [ 5; 5 ] [ 1 ] in
+  let r = Sim.run ~machine:(machine 2) ~chain:c ~cut:[ 0 ] ~jobs:10 in
+  check_int "stages" 2 r.Sim.n_stages;
+  (* Job j finishes at 5 + j*5 + 1 (transfer) + 5 = 11 + 5j for j from 0:
+     last job (j=9) at 5*10 + 1 + 5 = 56. *)
+  check_int "makespan" 56 r.Sim.makespan;
+  check_int "traffic per job" 1 r.Sim.traffic_per_job;
+  check_int "network time" 10 r.Sim.network_busy_time;
+  check_bool "stage0 saturated" true (r.Sim.stage_busy.(0) > 0.85)
+
+let test_too_few_processors () =
+  let c = Chain.of_lists [ 5; 5 ] [ 1 ] in
+  Alcotest.check_raises "reject"
+    (Invalid_argument "Pipeline_sim.run: more components than processors")
+    (fun () -> ignore (Sim.run ~machine:(machine 1) ~chain:c ~cut:[ 0 ] ~jobs:1))
+
+let sim_gen =
+  let open QCheck2.Gen in
+  let* n = int_range 2 20 in
+  let* alpha = array_size (return n) (int_range 1 10) in
+  let* beta = array_size (return (n - 1)) (int_range 1 10) in
+  let* jobs = int_range 1 20 in
+  let* cut_mask = int_range 0 ((1 lsl (n - 1)) - 1) in
+  let cut =
+    List.filter (fun e -> cut_mask land (1 lsl e) <> 0) (List.init (n - 1) Fun.id)
+  in
+  return (Chain.make ~alpha ~beta, cut, jobs)
+
+let prop_makespan_lower_bound =
+  qcheck ~count:200 "makespan >= jobs × slowest stage time (bus machine)"
+    sim_gen
+    (fun (c, cut, jobs) ->
+      let m = machine 32 in
+      let r = Sim.run ~machine:m ~chain:c ~cut ~jobs in
+      let slowest =
+        List.fold_left Stdlib.max 0 (Chain.component_weights c cut)
+      in
+      r.Sim.makespan >= jobs * Machine.compute_time m slowest
+      && r.Sim.traffic_per_job = Chain.cut_weight c cut)
+
+let prop_interconnects_ordered =
+  qcheck ~count:100 "crossbar is never slower than the shared bus" sim_gen
+    (fun (c, cut, jobs) ->
+      let run ic =
+        (Sim.run ~machine:(machine ~interconnect:ic 32) ~chain:c ~cut ~jobs)
+          .Sim.makespan
+      in
+      run Machine.Crossbar <= run Machine.Bus)
+
+let test_interarrival_stream () =
+  (* Slow arrivals dominate: with interarrival 20 > stage time, the pipe
+     never queues; last job (j=9) arrives at 180 and takes 11 end to
+     end. *)
+  let c = Chain.of_lists [ 5; 5 ] [ 1 ] in
+  let r =
+    Sim.run_stream ~interarrival:20 ~machine:(machine 2) ~chain:c ~cut:[ 0 ]
+      ~jobs:10
+  in
+  check_int "makespan" 191 r.Sim.makespan;
+  Alcotest.(check (float 1e-6)) "per-job latency 11" 11.0 r.Sim.avg_latency
+
+let prop_stream_respects_arrivals =
+  qcheck ~count:100 "no job finishes before its arrival plus its work" sim_gen
+    (fun (c, cut, jobs) ->
+      let m = machine 32 in
+      let stream =
+        Sim.run_stream ~interarrival:7 ~machine:m ~chain:c ~cut ~jobs
+      in
+      (* The last job arrives at (jobs-1)*7 and needs at least the whole
+         chain's work divided across stages — bounded below by the
+         slowest stage. *)
+      let slowest =
+        List.fold_left Stdlib.max 1 (Chain.component_weights c cut)
+      in
+      stream.Sim.makespan >= ((jobs - 1) * 7) + Machine.compute_time m slowest
+      && stream.Sim.avg_latency >= 0.0)
+
+let prop_utilization_bounded =
+  qcheck ~count:100 "stage busy fractions lie in [0, 1]" sim_gen
+    (fun (c, cut, jobs) ->
+      let r = Sim.run ~machine:(machine 32) ~chain:c ~cut ~jobs in
+      Array.for_all (fun u -> u >= 0.0 && u <= 1.0 +. 1e-9) r.Sim.stage_busy)
+
+let suite =
+  [
+    Alcotest.test_case "compute and transfer times" `Quick test_machine_times;
+    Alcotest.test_case "contention channels" `Quick test_machine_channels;
+    Alcotest.test_case "single stage run" `Quick test_single_stage;
+    Alcotest.test_case "two-stage pipeline timing" `Quick test_two_stage_pipeline;
+    Alcotest.test_case "too few processors rejected" `Quick
+      test_too_few_processors;
+    prop_makespan_lower_bound;
+    prop_interconnects_ordered;
+    Alcotest.test_case "arrival-limited stream" `Quick test_interarrival_stream;
+    prop_stream_respects_arrivals;
+    prop_utilization_bounded;
+  ]

@@ -1,0 +1,175 @@
+(* Bandwidth minimization: the paper's TEMP_S algorithm against the three
+   DP solvers and the exhaustive oracle. *)
+
+open Helpers
+module Bandwidth = Tlp_core.Bandwidth
+module Hitting = Tlp_core.Bandwidth_hitting
+module Exhaustive = Tlp_baselines.Exhaustive
+
+let weight_of = function
+  | Ok { Bandwidth.weight; _ } -> Some weight
+  | Error _ -> None
+
+let solvers =
+  [
+    ("naive", fun c ~k -> weight_of (Bandwidth.naive c ~k));
+    ("heap", fun c ~k -> weight_of (Bandwidth.heap c ~k));
+    ("deque", fun c ~k -> weight_of (Bandwidth.deque c ~k));
+    ( "hitting",
+      fun c ~k ->
+        match Hitting.solve c ~k with
+        | Ok { Hitting.weight; _ } -> Some weight
+        | Error _ -> None );
+  ]
+
+let test_simple () =
+  (* [5] -7- [5] -2- [5], K=10: the optimal cut is the cheap middle edge. *)
+  let c = Chain.of_lists [ 5; 5; 5 ] [ 7; 2 ] in
+  match Hitting.solve c ~k:10 with
+  | Ok { Hitting.cut; weight; _ } ->
+      check_int "weight" 2 weight;
+      Alcotest.check cut_testable "cut" [ 1 ] cut
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+
+let test_fits_entirely () =
+  let c = Chain.of_lists [ 3; 4; 5 ] [ 100; 100 ] in
+  match Hitting.solve c ~k:12 with
+  | Ok { Hitting.cut; weight; _ } ->
+      check_int "weight" 0 weight;
+      Alcotest.check cut_testable "cut" [] cut
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+
+let test_infeasible () =
+  let c = Chain.of_lists [ 3; 40; 5 ] [ 1; 1 ] in
+  (match Hitting.solve c ~k:12 with
+  | Error { Tlp_core.Infeasible.vertex; weight; bound } ->
+      check_int "vertex" 1 vertex;
+      check_int "weight" 40 weight;
+      check_int "bound" 12 bound
+  | Ok _ -> Alcotest.fail "expected infeasibility");
+  match Bandwidth.deque c ~k:12 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected infeasibility"
+
+let test_every_edge_cut () =
+  (* K = max vertex weight forces a cut at every edge. *)
+  let c = Chain.of_lists [ 5; 5; 5; 5 ] [ 3; 9; 4 ] in
+  match Hitting.solve c ~k:5 with
+  | Ok { Hitting.cut; weight; _ } ->
+      Alcotest.check cut_testable "cut" [ 0; 1; 2 ] cut;
+      check_int "weight" 16 weight
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+
+let test_single_vertex () =
+  let c = Chain.of_lists [ 7 ] [] in
+  match Hitting.solve c ~k:7 with
+  | Ok { Hitting.weight; _ } -> check_int "weight" 0 weight
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+
+let test_two_vertices_cut () =
+  let c = Chain.of_lists [ 7; 8 ] [ 3 ] in
+  match Hitting.solve c ~k:8 with
+  | Ok { Hitting.cut; weight; _ } ->
+      Alcotest.check cut_testable "cut" [ 0 ] cut;
+      check_int "weight" 3 weight
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+
+(* The known-tricky shape for hitting-set implementations: overlapping
+   primes where the cheapest edge sits in the overlap. *)
+let test_shared_cheap_edge () =
+  let c = Chain.of_lists [ 6; 6; 6; 6 ] [ 10; 1; 10 ] in
+  (* K=12: primes are [v0,v1,v2] (edges 0-1) and [v1,v2,v3] (edges 1-2);
+     edge 1 hits both. *)
+  match Hitting.solve c ~k:12 with
+  | Ok { Hitting.cut; weight; _ } ->
+      Alcotest.check cut_testable "cut" [ 1 ] cut;
+      check_int "weight" 1 weight
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+
+let prop_all_solvers_agree =
+  qcheck ~count:500 "all bandwidth solvers match the exhaustive optimum"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      let oracle = Option.map snd (Exhaustive.chain_min_bandwidth c ~k) in
+      List.for_all (fun (_, solve) -> solve c ~k = oracle) solvers)
+
+let prop_hitting_cut_is_feasible_and_priced =
+  qcheck ~count:500 "hitting cut is feasible and correctly priced"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      match Hitting.solve c ~k with
+      | Error _ -> false (* generator guarantees max alpha <= k *)
+      | Ok { Hitting.cut; weight; _ } ->
+          Chain.is_feasible c ~k cut && Chain.cut_weight c cut = weight)
+
+let prop_reverse_symmetry =
+  qcheck ~count:300 "optimal weight is invariant under chain reversal"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      let w c =
+        match Hitting.solve c ~k with
+        | Ok { Hitting.weight; _ } -> Some weight
+        | Error _ -> None
+      in
+      w c = w (Chain.reverse c))
+
+let prop_monotone_in_k =
+  qcheck ~count:300 "optimal weight is non-increasing in K"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      let w k =
+        match Hitting.solve c ~k with
+        | Ok { Hitting.weight; _ } -> weight
+        | Error _ -> max_int
+      in
+      w (k + 1) <= w k)
+
+let prop_galloping_identical =
+  qcheck ~count:400 "galloping search returns the binary-search solution"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      match
+        ( Hitting.solve ~search:Hitting.Binary c ~k,
+          Hitting.solve ~search:Hitting.Galloping c ~k )
+      with
+      | Ok a, Ok b -> a.Hitting.cut = b.Hitting.cut && a.Hitting.weight = b.Hitting.weight
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let prop_deque_matches_hitting_large =
+  (* Larger random instances (beyond the oracle's reach): the O(n) DP and
+     the paper's algorithm must still agree. *)
+  let gen =
+    let open QCheck2.Gen in
+    let* n = int_range 50 400 in
+    let* maxw = int_range 2 50 in
+    let* alpha = array_size (return n) (int_range 1 maxw) in
+    let* beta = array_size (return (n - 1)) (int_range 1 100) in
+    let* k = int_range maxw (3 * maxw) in
+    return (Chain.make ~alpha ~beta, k)
+  in
+  qcheck ~count:100 "deque DP and hitting agree on large chains" gen
+    (fun (c, k) ->
+      match (Bandwidth.deque c ~k, Tlp_core.Bandwidth_hitting.solve c ~k) with
+      | Ok a, Ok b -> a.Bandwidth.weight = b.Hitting.weight
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "three vertices, cheap middle edge" `Quick test_simple;
+    Alcotest.test_case "whole chain fits: empty cut" `Quick test_fits_entirely;
+    Alcotest.test_case "oversized vertex reported" `Quick test_infeasible;
+    Alcotest.test_case "K = max weight cuts every edge" `Quick
+      test_every_edge_cut;
+    Alcotest.test_case "single vertex" `Quick test_single_vertex;
+    Alcotest.test_case "two vertices, forced cut" `Quick test_two_vertices_cut;
+    Alcotest.test_case "overlapping primes share cheap edge" `Quick
+      test_shared_cheap_edge;
+    prop_all_solvers_agree;
+    prop_hitting_cut_is_feasible_and_priced;
+    prop_reverse_symmetry;
+    prop_monotone_in_k;
+    prop_galloping_identical;
+    prop_deque_matches_hitting_large;
+  ]

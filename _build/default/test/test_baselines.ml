@@ -1,0 +1,203 @@
+(* Baselines: chain-onto-m-processors solvers, greedy heuristics, and
+   Kernighan–Lin. *)
+
+open Helpers
+module Coc = Tlp_baselines.Chain_on_chain
+module Greedy = Tlp_baselines.Greedy
+module Kl = Tlp_baselines.Kernighan_lin
+module Graph = Tlp_graph.Graph
+
+(* Brute-force minmax chain partition into at most m segments. *)
+let brute_minmax c ~m =
+  let n_edges = Chain.n_edges c in
+  let best = ref max_int in
+  for mask = 0 to (1 lsl n_edges) - 1 do
+    let cut =
+      List.filter (fun e -> mask land (1 lsl e) <> 0) (List.init n_edges Fun.id)
+    in
+    if List.length cut <= m - 1 then begin
+      let score =
+        List.fold_left Stdlib.max 0 (Chain.component_weights c cut)
+      in
+      if score < !best then best := score
+    end
+  done;
+  !best
+
+let chain_m_gen =
+  let open QCheck2.Gen in
+  let* n = int_range 1 10 in
+  let* alpha = array_size (return n) (int_range 1 20) in
+  let* beta = array_size (return (n - 1)) (int_range 1 20) in
+  let* m = int_range 1 6 in
+  return (Chain.make ~alpha ~beta, m)
+
+let test_bokhari_known () =
+  let c = Chain.of_lists [ 4; 4; 4; 4 ] [ 1; 1; 1 ] in
+  let { Coc.bottleneck; cuts } = Coc.bokhari_dp c ~m:2 in
+  check_int "bottleneck" 8 bottleneck;
+  Alcotest.check cut_testable "cuts" [ 1 ] cuts
+
+let test_m_one () =
+  let c = Chain.of_lists [ 5; 6 ] [ 3 ] in
+  check_int "single segment" 11 (Coc.bokhari_dp c ~m:1).Coc.bottleneck;
+  check_int "probe single" 11 (Coc.nicol_probe c ~m:1).Coc.bottleneck
+
+let test_m_exceeds_n () =
+  let c = Chain.of_lists [ 5; 6; 7 ] [ 1; 1 ] in
+  check_int "fully split" 7 (Coc.bokhari_dp c ~m:10).Coc.bottleneck;
+  check_int "probe fully split" 7 (Coc.nicol_probe c ~m:10).Coc.bottleneck
+
+let prop_three_solvers_agree =
+  qcheck ~count:400 "Bokhari DP, Nicol probe, Hansen–Lih agree with brute force"
+    chain_m_gen
+    (fun (c, m) ->
+      let expected = brute_minmax c ~m in
+      let dp = (Coc.bokhari_dp c ~m).Coc.bottleneck in
+      let probe = (Coc.nicol_probe c ~m).Coc.bottleneck in
+      let hl = (Coc.hansen_lih c ~m).Coc.bottleneck in
+      dp = expected && probe = expected && hl = expected)
+
+let prop_solutions_respect_m =
+  qcheck ~count:300 "every solver returns at most m segments achieving its value"
+    chain_m_gen
+    (fun (c, m) ->
+      List.for_all
+        (fun solve ->
+          let { Coc.cuts; bottleneck } = solve c ~m in
+          List.length cuts <= m - 1
+          && Chain.is_valid_cut c cuts
+          && List.fold_left Stdlib.max 0 (Chain.component_weights c cuts)
+             = bottleneck)
+        [
+          (fun c ~m -> Coc.bokhari_dp c ~m);
+          (fun c ~m -> Coc.nicol_probe c ~m);
+          (fun c ~m -> Coc.hansen_lih c ~m);
+        ])
+
+let brute_minmax_comm c ~m =
+  let n_edges = Chain.n_edges c in
+  let best = ref max_int in
+  for mask = 0 to (1 lsl n_edges) - 1 do
+    let cut =
+      List.filter (fun e -> mask land (1 lsl e) <> 0) (List.init n_edges Fun.id)
+    in
+    if List.length cut <= m - 1 then begin
+      let score =
+        List.fold_left
+          (fun acc (i, j) -> Stdlib.max acc (Coc.segment_score ~with_comm:true c i j))
+          0 (Chain.components c cut)
+      in
+      if score < !best then best := score
+    end
+  done;
+  !best
+
+let prop_bokhari_with_comm =
+  qcheck ~count:300 "communication-aware Bokhari DP matches brute force"
+    chain_m_gen
+    (fun (c, m) ->
+      (Coc.bokhari_dp ~with_comm:true c ~m).Coc.bottleneck
+      = brute_minmax_comm c ~m)
+
+(* ---------- Greedy ---------- *)
+
+let prop_first_fit_feasible =
+  qcheck ~count:300 "first fit is always feasible"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      let cut = Greedy.first_fit c ~k in
+      Chain.is_feasible c ~k cut)
+
+let prop_equal_split_blocks =
+  qcheck ~count:300 "equal split yields at most m blocks" chain_m_gen
+    (fun (c, m) ->
+      let cut = Greedy.equal_split c ~m in
+      Chain.is_valid_cut c cut && List.length cut <= m - 1)
+
+let test_random_assignment_range () =
+  let rng = Rng.create 31 in
+  let g =
+    Graph.make ~weights:[| 1; 1; 1; 1 |] ~edges:[ (0, 1, 1); (1, 2, 1); (2, 3, 1) ]
+  in
+  let a = Greedy.random_assignment rng g ~blocks:3 in
+  check_bool "in range" true (Array.for_all (fun b -> b >= 0 && b < 3) a)
+
+(* ---------- Kernighan–Lin ---------- *)
+
+let kl_graph_gen =
+  let open QCheck2.Gen in
+  let* n = int_range 4 20 in
+  let* extra = int_range 0 20 in
+  let* seed = int_range 0 10000 in
+  return (n, extra, seed)
+
+let prop_kl_balanced =
+  qcheck ~count:100 "KL bisection is balanced and prices its cut correctly"
+    kl_graph_gen
+    (fun (n, extra, seed) ->
+      let rng = Rng.create seed in
+      let d = Weights.Uniform (1, 10) in
+      let g =
+        Tlp_graph.Graph_gen.random_connected rng ~n ~extra_edges:extra
+          ~weight_dist:d ~delta_dist:d
+      in
+      let r = Kl.bisect rng g in
+      let left = Array.fold_left (fun a s -> if s then a + 1 else a) 0 r.Kl.side in
+      abs (left - (n - left)) <= 1
+      && r.Kl.cut_weight
+         = Graph.cut_weight_of_assignment g
+             (Array.map (fun b -> if b then 1 else 0) r.Kl.side))
+
+let prop_kl_no_worse_than_random =
+  qcheck ~count:50 "KL cut is no worse than the balanced random start"
+    kl_graph_gen
+    (fun (n, extra, seed) ->
+      let rng = Rng.create seed in
+      let d = Weights.Uniform (1, 10) in
+      let g =
+        Tlp_graph.Graph_gen.random_connected rng ~n ~extra_edges:extra
+          ~weight_dist:d ~delta_dist:d
+      in
+      (* Replay the same initial split KL uses (same rng state). *)
+      let rng_copy = Rng.copy rng in
+      let order = Array.init n Fun.id in
+      Rng.shuffle rng_copy order;
+      let initial = Array.make n 0 in
+      Array.iteri (fun pos v -> initial.(v) <- (if pos mod 2 = 0 then 1 else 0)) order;
+      let start_cut = Graph.cut_weight_of_assignment g initial in
+      (Kl.bisect rng g).Kl.cut_weight <= start_cut)
+
+let prop_kl_recursive_blocks =
+  qcheck ~count:50 "recursive KL produces a dense block numbering"
+    kl_graph_gen
+    (fun (n, extra, seed) ->
+      let rng = Rng.create seed in
+      let d = Weights.Uniform (1, 10) in
+      let g =
+        Tlp_graph.Graph_gen.random_connected rng ~n ~extra_edges:extra
+          ~weight_dist:d ~delta_dist:d
+      in
+      let blocks = 4 in
+      let a = Kl.recursive rng g ~blocks in
+      let used = Hashtbl.create 8 in
+      Array.iter (fun b -> Hashtbl.replace used b ()) a;
+      let max_b = Array.fold_left Stdlib.max 0 a in
+      Array.for_all (fun b -> b >= 0) a && Hashtbl.length used = max_b + 1)
+
+let suite =
+  [
+    Alcotest.test_case "bokhari known instance" `Quick test_bokhari_known;
+    Alcotest.test_case "m = 1" `Quick test_m_one;
+    Alcotest.test_case "m exceeds n" `Quick test_m_exceeds_n;
+    prop_three_solvers_agree;
+    prop_solutions_respect_m;
+    prop_bokhari_with_comm;
+    prop_first_fit_feasible;
+    prop_equal_split_blocks;
+    Alcotest.test_case "random assignment range" `Quick
+      test_random_assignment_range;
+    prop_kl_balanced;
+    prop_kl_no_worse_than_random;
+    prop_kl_recursive_blocks;
+  ]

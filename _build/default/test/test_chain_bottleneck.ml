@@ -1,0 +1,85 @@
+(* Chain bottleneck minimization vs the exhaustive oracle and the tree
+   algorithm applied to the chain viewed as a path tree. *)
+
+open Helpers
+module Cb = Tlp_core.Chain_bottleneck
+module Bottleneck = Tlp_core.Bottleneck
+module Exhaustive = Tlp_baselines.Exhaustive
+
+let test_known () =
+  let c = Chain.of_lists [ 6; 6; 6 ] [ 9; 2 ] in
+  (* K=12: must break the chain somewhere; edge 1 (weight 2) hits the
+     only binding constraint set. *)
+  match Cb.solve c ~k:12 with
+  | Ok { Cb.cut; bottleneck } ->
+      check_int "bottleneck" 2 bottleneck;
+      Alcotest.check cut_testable "cut" [ 1 ] cut
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+
+let test_empty () =
+  let c = Chain.of_lists [ 1; 1 ] [ 5 ] in
+  match Cb.solve c ~k:2 with
+  | Ok { Cb.cut; bottleneck } ->
+      Alcotest.check cut_testable "cut" [] cut;
+      check_int "bottleneck" 0 bottleneck
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+
+let prop_matches_exhaustive =
+  qcheck ~count:400 "chain bottleneck matches the exhaustive optimum"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      match Cb.solve c ~k with
+      | Error _ -> false
+      | Ok { Cb.cut; bottleneck } ->
+          Chain.is_feasible c ~k cut
+          && Chain.max_cut_edge c cut = bottleneck
+          &&
+          (match Exhaustive.chain_min_bottleneck c ~k with
+          | Some (_, best) -> bottleneck = best
+          | None -> false))
+
+let prop_matches_tree_algorithm =
+  qcheck ~count:300 "chain solver agrees with Algorithm 2.1 on the path tree"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      let t = Tree.of_chain c in
+      match (Cb.solve c ~k, Bottleneck.fast t ~k) with
+      | Ok a, Ok b -> a.Cb.bottleneck = b.Bottleneck.bottleneck
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let prop_stab_cut_small =
+  qcheck ~count:300 "stabbing cut never exceeds the prime count"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      match (Cb.solve c ~k, Tlp_core.Prime_subpaths.compute c ~k) with
+      | Ok { Cb.cut; _ }, Ok primes ->
+          List.length cut <= Tlp_core.Prime_subpaths.count primes
+      | _ -> false)
+
+let prop_threshold_feasibility_monotone =
+  qcheck ~count:200 "threshold feasibility is monotone"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      let max_beta =
+        Array.fold_left Stdlib.max 1 c.Chain.beta
+      in
+      let rec check t prev =
+        if t > max_beta then true
+        else begin
+          let f = Cb.feasible_with_threshold c ~k t in
+          (* once feasible, stays feasible *)
+          ((not prev) || f) && check (t + 1) f
+        end
+      in
+      check 0 (Cb.feasible_with_threshold c ~k 0))
+
+let suite =
+  [
+    Alcotest.test_case "known instance" `Quick test_known;
+    Alcotest.test_case "empty cut when chain fits" `Quick test_empty;
+    prop_matches_exhaustive;
+    prop_matches_tree_algorithm;
+    prop_stab_cut_small;
+    prop_threshold_feasibility_monotone;
+  ]

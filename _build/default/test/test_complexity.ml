@@ -1,0 +1,92 @@
+(* Empirical complexity: the instrumented operation counters must scale
+   as the advertised bounds, independent of wall clocks. *)
+
+open Helpers
+module Counters = Tlp_util.Counters
+module Bandwidth = Tlp_core.Bandwidth
+module Hitting = Tlp_core.Bandwidth_hitting
+module Chain_gen = Tlp_graph.Chain_gen
+
+let chain_for n seed = Chain_gen.figure2 (Rng.create seed) ~n ~max_weight:50
+
+let test_deque_linear () =
+  (* The monotone deque performs at most 2 pushes/pops per position. *)
+  List.iter
+    (fun n ->
+      let c = chain_for n 3 in
+      let counters = Counters.create () in
+      (match Bandwidth.deque ~counters c ~k:200 with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "unexpected infeasibility");
+      let ops = Counters.get counters "deque_ops" in
+      check_bool
+        (Printf.sprintf "deque ops linear at n=%d (ops=%d)" n ops)
+        true
+        (ops <= 2 * (n + 1)))
+    [ 1000; 4000; 16000 ]
+
+let test_heap_nlogn () =
+  List.iter
+    (fun n ->
+      let c = chain_for n 5 in
+      let counters = Counters.create () in
+      (match Bandwidth.heap ~counters c ~k:200 with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "unexpected infeasibility");
+      let ops = Counters.get counters "heap_ops" in
+      (* pushes + lazy deletions <= 2n *)
+      check_bool
+        (Printf.sprintf "heap ops <= 2n at n=%d (ops=%d)" n ops)
+        true
+        (ops <= 2 * (n + 1)))
+    [ 1000; 4000 ]
+
+let test_hitting_search_bound () =
+  (* Binary-search probes are bounded by r * ceil(log2(max TEMP_S len) + 1). *)
+  List.iter
+    (fun (n, k) ->
+      let c = chain_for n 7 in
+      match Hitting.solve c ~k with
+      | Ok { Hitting.stats; _ } ->
+          let r = stats.Hitting.r in
+          let len = Stdlib.max 2 stats.Hitting.temps_max_len in
+          let bound =
+            int_of_float
+              (ceil (float_of_int r *. ((log (float_of_int len) /. log 2.0) +. 1.0)))
+          in
+          check_bool
+            (Printf.sprintf "search steps %d <= %d at n=%d k=%d"
+               stats.Hitting.search_steps bound n k)
+            true
+            (stats.Hitting.search_steps <= bound)
+      | Error _ -> Alcotest.fail "unexpected infeasibility")
+    [ (2000, 100); (2000, 1000); (8000, 400); (8000, 5000) ]
+
+let test_naive_scan_grows_with_k () =
+  (* The naive window scan's work grows with the window, the deque's does
+     not — the asymptotic separation E4 measures, in counter form. *)
+  let n = 8000 in
+  let c = chain_for n 11 in
+  let scan_at k =
+    let counters = Counters.create () in
+    match Bandwidth.naive ~counters c ~k with
+    | Ok _ -> Counters.get counters "scan_steps"
+    | Error _ -> Alcotest.fail "unexpected infeasibility"
+  in
+  let low = scan_at 100 and high = scan_at 1600 in
+  check_bool
+    (Printf.sprintf "scan grows >= 8x from K=100 (%d) to K=1600 (%d)" low high)
+    true
+    (high >= 8 * low)
+
+let suite =
+  [
+    Alcotest.test_case "deque DP is linear in counter terms" `Quick
+      test_deque_linear;
+    Alcotest.test_case "heap DP stays within 2n heap ops" `Quick
+      test_heap_nlogn;
+    Alcotest.test_case "TEMP_S search bounded by r log(len)" `Quick
+      test_hitting_search_bound;
+    Alcotest.test_case "naive scan grows with the window" `Quick
+      test_naive_scan_grows_with_k;
+  ]

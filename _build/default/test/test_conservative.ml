@@ -1,0 +1,128 @@
+(* Chandy–Misra–Bryant conservative simulation: protocol correctness
+   (partition-independent outcome) and message accounting. *)
+
+open Helpers
+module Circuit = Tlp_des.Circuit
+module Cons = Tlp_des.Conservative_sim
+
+let small_circuit seed ~inputs ~gates =
+  Circuit.random (Rng.create seed) ~inputs ~gates ()
+
+let test_single_lp_no_channels () =
+  let c = small_circuit 1 ~inputs:4 ~gates:30 in
+  let schedule = Cons.random_schedule (Rng.create 2) c ~periods:20 in
+  let config = Cons.default_config c in
+  let r =
+    Cons.simulate c ~assignment:(Array.make (Circuit.n c) 0) ~schedule config
+  in
+  check_int "one lp" 1 r.Cons.n_lps;
+  check_int "no channels" 0 r.Cons.n_channels;
+  check_int "no value messages" 0 r.Cons.value_messages;
+  check_int "no null messages" 0 r.Cons.null_messages;
+  check_bool "work happened" true (r.Cons.evaluations > 0)
+
+let test_inverter_chain_protocol () =
+  (* in -> not -> not across two LPs: each input flip crosses once. *)
+  let c =
+    Circuit.make
+      [|
+        { Circuit.kind = Circuit.Input; fan_in = []; eval_cost = 1 };
+        { Circuit.kind = Circuit.Not; fan_in = [ 0 ]; eval_cost = 1 };
+        { Circuit.kind = Circuit.Not; fan_in = [ 1 ]; eval_cost = 1 };
+      |]
+  in
+  let schedule = [| [| false |]; [| true |]; [| false |] |] in
+  let config = { Cons.delays = [| 1; 1; 1 |]; input_period = 10; horizon = 40 } in
+  let r = Cons.simulate c ~assignment:[| 0; 0; 1 |] ~schedule config in
+  check_int "channels" 1 r.Cons.n_channels;
+  (* Two flips, each: gate1 evals and flips -> one cross message; gate2
+     evals and flips. *)
+  check_int "value messages" 2 r.Cons.value_messages;
+  check_int "evaluations" 4 r.Cons.evaluations;
+  check_int "changes" 4 r.Cons.output_changes;
+  (* Settled: input false -> gate1 true -> gate2 false. *)
+  Alcotest.(check (array bool)) "settled" [| false; true; false |]
+    r.Cons.final_values
+
+let partition_invariance seed inputs gates blocks =
+  let c = small_circuit seed ~inputs ~gates in
+  let n = Circuit.n c in
+  let schedule = Cons.random_schedule (Rng.create (seed + 1)) c ~periods:30 in
+  let config = Cons.default_config c in
+  let single =
+    Cons.simulate c ~assignment:(Array.make n 0) ~schedule config
+  in
+  let multi =
+    Cons.simulate c
+      ~assignment:(Array.init n (fun i -> i * blocks / n))
+      ~schedule config
+  in
+  (single, multi)
+
+let prop_partition_invariant_outcome =
+  let gen =
+    let open QCheck2.Gen in
+    let* seed = int_range 0 10000 in
+    let* inputs = int_range 2 6 in
+    let* gates = int_range 5 60 in
+    let* blocks = int_range 2 5 in
+    return (seed, inputs, gates, blocks)
+  in
+  qcheck ~count:100 "settled values are independent of the partition" gen
+    (fun (seed, inputs, gates, blocks) ->
+      let single, multi = partition_invariance seed inputs gates blocks in
+      single.Cons.final_values = multi.Cons.final_values
+      && multi.Cons.value_messages <= single.Cons.evaluations * 4 + 1000)
+
+let prop_null_accounting =
+  let gen =
+    let open QCheck2.Gen in
+    let* seed = int_range 0 10000 in
+    let* blocks = int_range 2 4 in
+    return (seed, blocks)
+  in
+  qcheck ~count:50 "null ratio well-formed and channels bounded" gen
+    (fun (seed, blocks) ->
+      let c = small_circuit seed ~inputs:4 ~gates:40 in
+      let n = Circuit.n c in
+      let schedule = Cons.random_schedule (Rng.create 7) c ~periods:20 in
+      let config = Cons.default_config c in
+      let r =
+        Cons.simulate c
+          ~assignment:(Array.init n (fun i -> i * blocks / n))
+          ~schedule config
+      in
+      r.Cons.null_ratio >= 0.0
+      && r.Cons.null_ratio <= 1.0
+      && r.Cons.n_channels <= blocks * (blocks - 1)
+      && r.Cons.rounds >= 1)
+
+let test_fewer_channels_fewer_nulls () =
+  (* A contiguous (supergraph-style) mapping has far fewer channels than
+     a round-robin scatter, hence fewer null messages. *)
+  let c = small_circuit 42 ~inputs:8 ~gates:300 in
+  let n = Circuit.n c in
+  let schedule = Cons.random_schedule (Rng.create 3) c ~periods:50 in
+  let config = Cons.default_config c in
+  let blocks = 4 in
+  let contiguous = Array.init n (fun i -> i * blocks / n) in
+  let scatter = Array.init n (fun i -> i mod blocks) in
+  let rc = Cons.simulate c ~assignment:contiguous ~schedule config in
+  let rs = Cons.simulate c ~assignment:scatter ~schedule config in
+  check_bool "fewer channels" true (rc.Cons.n_channels <= rs.Cons.n_channels);
+  check_bool "fewer value messages" true
+    (rc.Cons.value_messages <= rs.Cons.value_messages);
+  check_bool "same outcome" true
+    (rc.Cons.final_values = rs.Cons.final_values)
+
+let suite =
+  [
+    Alcotest.test_case "single LP runs without channels" `Quick
+      test_single_lp_no_channels;
+    Alcotest.test_case "two-LP inverter chain protocol" `Quick
+      test_inverter_chain_protocol;
+    prop_partition_invariant_outcome;
+    prop_null_accounting;
+    Alcotest.test_case "contiguous mapping beats scatter" `Quick
+      test_fewer_channels_fewer_nulls;
+  ]

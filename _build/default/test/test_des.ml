@@ -1,0 +1,147 @@
+(* Logic circuits and the distributed simulation message accounting. *)
+
+open Helpers
+module Circuit = Tlp_des.Circuit
+module Event_sim = Tlp_des.Event_sim
+module Graph = Tlp_graph.Graph
+
+let xor_circuit () =
+  (* Full adder sum: in0 xor in1 xor in2. *)
+  Circuit.make
+    [|
+      { Circuit.kind = Circuit.Input; fan_in = []; eval_cost = 1 };
+      { Circuit.kind = Circuit.Input; fan_in = []; eval_cost = 1 };
+      { Circuit.kind = Circuit.Input; fan_in = []; eval_cost = 1 };
+      { Circuit.kind = Circuit.Xor; fan_in = [ 0; 1 ]; eval_cost = 2 };
+      { Circuit.kind = Circuit.Xor; fan_in = [ 3; 2 ]; eval_cost = 2 };
+    |]
+
+let test_evaluate () =
+  let c = xor_circuit () in
+  let run a b d =
+    let values = Array.make 5 false in
+    values.(0) <- a;
+    values.(1) <- b;
+    values.(2) <- d;
+    (Circuit.evaluate c values).(4)
+  in
+  check_bool "0^0^0" false (run false false false);
+  check_bool "1^0^0" true (run true false false);
+  check_bool "1^1^0" false (run true true false);
+  check_bool "1^1^1" true (run true true true)
+
+let test_structure () =
+  let c = xor_circuit () in
+  check_int "n" 5 (Circuit.n c);
+  check_int "inputs" 3 (Circuit.n_inputs c);
+  Alcotest.(check (list int)) "input ids" [ 0; 1; 2 ] (Circuit.inputs c);
+  Alcotest.(check (list int)) "outputs" [ 4 ] (Circuit.outputs c)
+
+let test_make_validation () =
+  Alcotest.check_raises "forward reference"
+    (Invalid_argument "Circuit.make: fan-in must reference earlier gates")
+    (fun () ->
+      ignore
+        (Circuit.make
+           [|
+             { Circuit.kind = Circuit.Not; fan_in = [ 0 ]; eval_cost = 1 };
+           |]));
+  Alcotest.check_raises "bad arity"
+    (Invalid_argument "Circuit.make: wrong fan-in arity") (fun () ->
+      ignore
+        (Circuit.make
+           [|
+             { Circuit.kind = Circuit.Input; fan_in = []; eval_cost = 1 };
+             { Circuit.kind = Circuit.And; fan_in = [ 0 ]; eval_cost = 1 };
+           |]))
+
+let test_random_circuit_valid () =
+  let rng = Rng.create 19 in
+  let c = Circuit.random rng ~inputs:8 ~gates:50 () in
+  check_int "total gates" 58 (Circuit.n c);
+  check_int "inputs" 8 (Circuit.n_inputs c);
+  (* Evaluation must not raise and must be a function of inputs only. *)
+  let v = Array.make 58 false in
+  let r1 = Circuit.evaluate c v in
+  let r2 = Circuit.evaluate c v in
+  Alcotest.(check (array bool)) "deterministic" r1 r2
+
+let test_to_graph () =
+  let c = xor_circuit () in
+  let g = Circuit.to_graph c ~message_weight:(fun _ -> 3) in
+  check_int "vertices" 5 (Graph.n g);
+  check_int "edges" 4 (Graph.n_edges g);
+  check_int "vertex weight = eval cost" 2 (Graph.weight g 3)
+
+let test_sim_one_block_no_cross () =
+  let rng = Rng.create 7 in
+  let c = xor_circuit () in
+  let r = Event_sim.simulate rng c ~assignment:(Array.make 5 0) ~cycles:50 in
+  check_int "no cross messages" 0 r.Event_sim.cross_messages;
+  check_bool "messages flowed" true (r.Event_sim.total_messages > 0);
+  Alcotest.(check (float 1e-9)) "imbalance 1 with one block" 1.0
+    r.Event_sim.imbalance
+
+let test_sim_deterministic () =
+  let c = xor_circuit () in
+  let assignment = [| 0; 0; 1; 0; 1 |] in
+  let r1 = Event_sim.simulate (Rng.create 3) c ~assignment ~cycles:100 in
+  let r2 = Event_sim.simulate (Rng.create 3) c ~assignment ~cycles:100 in
+  check_int "same cross count" r1.Event_sim.cross_messages
+    r2.Event_sim.cross_messages;
+  check_int "same evals" r1.Event_sim.evaluations r2.Event_sim.evaluations
+
+let sim_gen =
+  let open QCheck2.Gen in
+  let* seed = int_range 0 100000 in
+  let* inputs = int_range 2 6 in
+  let* gates = int_range 5 60 in
+  let* blocks = int_range 1 4 in
+  let* cycles = int_range 1 30 in
+  return (seed, inputs, gates, blocks, cycles)
+
+let prop_cross_bounded =
+  qcheck ~count:150 "cross messages never exceed total messages" sim_gen
+    (fun (seed, inputs, gates, blocks, cycles) ->
+      let rng = Rng.create seed in
+      let c = Circuit.random rng ~inputs ~gates () in
+      let assignment =
+        Array.init (Circuit.n c) (fun i -> i * blocks / Circuit.n c)
+      in
+      let r = Event_sim.simulate rng c ~assignment ~cycles in
+      r.Event_sim.cross_messages <= r.Event_sim.total_messages
+      && r.Event_sim.output_changes <= r.Event_sim.evaluations
+      && Array.length r.Event_sim.block_work = blocks
+      && r.Event_sim.cross_fraction >= 0.0
+      && r.Event_sim.cross_fraction <= 1.0)
+
+let prop_refinement_no_more_cross =
+  qcheck ~count:100 "coarsening the partition cannot increase cross messages"
+    sim_gen
+    (fun (seed, inputs, gates, _blocks, cycles) ->
+      let rng = Rng.create seed in
+      let c = Circuit.random rng ~inputs ~gates () in
+      let n = Circuit.n c in
+      let fine = Array.init n (fun i -> i * 4 / n) in
+      let coarse = Array.map (fun b -> b / 2) fine in
+      let rng1 = Rng.create (seed + 1) in
+      let rng2 = Rng.create (seed + 1) in
+      let rf = Event_sim.simulate rng1 c ~assignment:fine ~cycles in
+      let rc = Event_sim.simulate rng2 c ~assignment:coarse ~cycles in
+      rc.Event_sim.cross_messages <= rf.Event_sim.cross_messages)
+
+let suite =
+  [
+    Alcotest.test_case "evaluate xor tree" `Quick test_evaluate;
+    Alcotest.test_case "circuit structure" `Quick test_structure;
+    Alcotest.test_case "circuit validation" `Quick test_make_validation;
+    Alcotest.test_case "random circuits are well formed" `Quick
+      test_random_circuit_valid;
+    Alcotest.test_case "process graph extraction" `Quick test_to_graph;
+    Alcotest.test_case "single block has no cross traffic" `Quick
+      test_sim_one_block_no_cross;
+    Alcotest.test_case "simulation is deterministic per seed" `Quick
+      test_sim_deterministic;
+    prop_cross_bounded;
+    prop_refinement_no_more_cross;
+  ]

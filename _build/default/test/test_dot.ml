@@ -1,0 +1,51 @@
+(* DOT export. *)
+
+open Helpers
+module Dot = Tlp_graph.Dot
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_chain_dot () =
+  let c = Chain.of_lists [ 2; 3 ] [ 7 ] in
+  let s = Dot.of_chain c in
+  check_bool "graph header" true (contains s "graph \"chain\"");
+  check_bool "edge with beta" true (contains s "n0 -- n1 [label=\"7\"]");
+  check_bool "vertex weight" true (contains s "label=\"1 (3)\"")
+
+let test_tree_dot_with_assignment () =
+  let t =
+    Tree.make ~weights:[| 1; 2; 3 |] ~edges:[ (0, 1, 4); (0, 2, 5) ]
+  in
+  let s = Dot.of_tree ~assignment:[| 0; 0; 1 |] t in
+  check_bool "filled nodes" true (contains s "style=filled");
+  check_bool "both edges" true
+    (contains s "n0 -- n1" && contains s "n0 -- n2")
+
+let test_graph_dot () =
+  let g =
+    Tlp_graph.Graph.make ~weights:[| 1; 1; 1 |]
+      ~edges:[ (0, 1, 2); (1, 2, 3); (0, 2, 4) ]
+  in
+  let s = Dot.of_graph ~name:"net" g in
+  check_bool "named" true (contains s "\"net\"");
+  check_bool "three edges" true
+    (contains s "n0 -- n1" && contains s "n1 -- n2" && contains s "n0 -- n2")
+
+let prop_dot_never_fails =
+  qcheck ~count:100 "dot export total on random trees"
+    QCheck2.(Gen.map fst small_tree_gen)
+    (fun t ->
+      let a = Array.make (Tree.n t) 0 in
+      String.length (Dot.of_tree ~assignment:a t) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "chain dot" `Quick test_chain_dot;
+    Alcotest.test_case "tree dot with assignment" `Quick
+      test_tree_dot_with_assignment;
+    Alcotest.test_case "graph dot" `Quick test_graph_dot;
+    prop_dot_never_fails;
+  ]

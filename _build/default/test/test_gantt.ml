@@ -1,0 +1,62 @@
+(* Gantt text rendering. *)
+
+open Helpers
+module Gantt = Tlp_archsim.Gantt
+
+let test_empty_rows () =
+  let s = Gantt.render ~width:10 [] in
+  check_bool "axis line present" true (String.length s > 0)
+
+let test_full_and_idle () =
+  let rows =
+    [
+      Gantt.of_busy_until ~label:"busy" [ (0, 100) ];
+      Gantt.of_busy_until ~label:"idle" [];
+    ]
+  in
+  let s = Gantt.render ~width:10 ~t_end:100 rows in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | busy :: idle :: _ ->
+      (* Full row: 10 solid blocks (3 bytes each in UTF-8). *)
+      check_bool "busy row filled" true
+        (String.length busy > String.length idle);
+      check_bool "idle row blank" true
+        (String.exists (fun c -> c = ' ') idle)
+  | _ -> Alcotest.fail "expected at least two lines");
+  (* Deterministic output. *)
+  Alcotest.(check string) "stable" s (Gantt.render ~width:10 ~t_end:100 rows)
+
+let test_half_busy () =
+  let rows = [ Gantt.of_busy_until ~label:"x" [ (0, 50) ] ] in
+  let s = Gantt.render ~width:10 ~t_end:100 rows in
+  (* Should contain both solid blocks and spaces inside the strip. *)
+  check_bool "has solid" true
+    (let sub = "\xe2\x96\x88" in
+     let rec find i =
+       i + 3 <= String.length s && (String.sub s i 3 = sub || find (i + 1))
+     in
+     find 0)
+
+let prop_render_total_width =
+  qcheck ~count:100 "rendering never raises and scales to any horizon"
+    QCheck2.Gen.(
+      pair (int_range 1 1000)
+        (list_size (int_range 0 20) (pair (int_range 0 500) (int_range 0 500))))
+    (fun (width_seed, raw) ->
+      let busy =
+        List.filter_map
+          (fun (a, b) -> if a < b then Some (a, b) else None)
+          raw
+      in
+      let rows = [ Gantt.of_busy_until ~label:"r" busy ] in
+      let s = Gantt.render ~width:(1 + (width_seed mod 100)) rows in
+      String.length s > 0)
+
+let suite =
+  [
+    Alcotest.test_case "empty rows" `Quick test_empty_rows;
+    Alcotest.test_case "full vs idle rows" `Quick test_full_and_idle;
+    Alcotest.test_case "half busy shows mix" `Quick test_half_busy;
+    prop_render_total_width;
+  ]

@@ -1,0 +1,279 @@
+(* tlp_graph: dsu, chain, tree, graph, weights, generators. *)
+
+open Helpers
+module Dsu = Tlp_graph.Dsu
+module Graph = Tlp_graph.Graph
+module Tree_gen = Tlp_graph.Tree_gen
+module Graph_gen = Tlp_graph.Graph_gen
+module Chain_gen = Tlp_graph.Chain_gen
+
+(* ---------- Dsu ---------- *)
+
+let test_dsu_basic () =
+  let d = Dsu.create [| 3; 4; 5; 6 |] in
+  check_int "components" 4 (Dsu.count_components d);
+  check_bool "union" true (Dsu.union d 0 1);
+  check_bool "re-union" false (Dsu.union d 0 1);
+  check_bool "connected" true (Dsu.connected d 0 1);
+  check_bool "not connected" false (Dsu.connected d 0 2);
+  check_int "weight" 7 (Dsu.component_weight d 0);
+  check_int "weight via other end" 7 (Dsu.component_weight d 1);
+  check_int "size" 2 (Dsu.component_size d 1);
+  check_int "components after" 3 (Dsu.count_components d)
+
+let prop_dsu_weight_conserved =
+  qcheck ~count:200 "dsu conserves total weight across unions"
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 2 30) (int_range 0 100))
+        (list_size (int_range 0 60) (pair (int_range 0 29) (int_range 0 29))))
+    (fun (weights, unions) ->
+      let n = Array.length weights in
+      let d = Dsu.create weights in
+      List.iter
+        (fun (a, b) -> ignore (Dsu.union d (a mod n) (b mod n)))
+        unions;
+      let reps = Hashtbl.create 8 in
+      for v = 0 to n - 1 do
+        Hashtbl.replace reps (Dsu.find d v) ()
+      done;
+      let total =
+        Hashtbl.fold (fun r () acc -> acc + Dsu.component_weight d r) reps 0
+      in
+      total = Array.fold_left ( + ) 0 weights
+      && Hashtbl.length reps = Dsu.count_components d)
+
+(* ---------- Chain ---------- *)
+
+let test_chain_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Chain.make: empty chain")
+    (fun () -> ignore (Chain.make ~alpha:[||] ~beta:[||]));
+  Alcotest.check_raises "beta arity"
+    (Invalid_argument "Chain.make: need exactly n-1 edge weights") (fun () ->
+      ignore (Chain.make ~alpha:[| 1; 2 |] ~beta:[||]));
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Chain.make: vertex weights must be positive") (fun () ->
+      ignore (Chain.make ~alpha:[| 1; 0 |] ~beta:[| 1 |]))
+
+let test_chain_accessors () =
+  let c = Chain.of_lists [ 2; 3; 4 ] [ 10; 20 ] in
+  check_int "n" 3 (Chain.n c);
+  check_int "edges" 2 (Chain.n_edges c);
+  check_int "total" 9 (Chain.total_weight c);
+  check_int "max" 4 (Chain.max_alpha c);
+  Alcotest.(check (array int)) "prefix" [| 0; 2; 5; 9 |] (Chain.prefix_sums c);
+  check_int "segment" 7 (Chain.segment_weight c 1 2)
+
+let test_chain_cut_ops () =
+  let c = Chain.of_lists [ 2; 3; 4; 5 ] [ 10; 20; 30 ] in
+  let cut = [ 0; 2 ] in
+  check_bool "valid" true (Chain.is_valid_cut c cut);
+  check_bool "unsorted invalid" false (Chain.is_valid_cut c [ 2; 0 ]);
+  check_bool "out of range invalid" false (Chain.is_valid_cut c [ 3 ]);
+  check_int "cut weight" 40 (Chain.cut_weight c cut);
+  check_int "max edge" 30 (Chain.max_cut_edge c cut);
+  Alcotest.(check (list (pair int int)))
+    "components"
+    [ (0, 0); (1, 2); (3, 3) ]
+    (Chain.components c cut);
+  Alcotest.(check (list int)) "weights" [ 2; 7; 5 ] (Chain.component_weights c cut);
+  check_bool "feasible at 7" true (Chain.is_feasible c ~k:7 cut);
+  check_bool "not feasible at 6" false (Chain.is_feasible c ~k:6 cut)
+
+let test_chain_reverse_sub () =
+  let c = Chain.of_lists [ 1; 2; 3 ] [ 10; 20 ] in
+  let r = Chain.reverse c in
+  Alcotest.(check (array int)) "rev alpha" [| 3; 2; 1 |] r.Chain.alpha;
+  Alcotest.(check (array int)) "rev beta" [| 20; 10 |] r.Chain.beta;
+  let s = Chain.sub c 1 2 in
+  Alcotest.(check (array int)) "sub alpha" [| 2; 3 |] s.Chain.alpha;
+  Alcotest.(check (array int)) "sub beta" [| 20 |] s.Chain.beta
+
+(* ---------- Tree ---------- *)
+
+let test_tree_validation () =
+  Alcotest.check_raises "cycle" (Invalid_argument "Tree.make: edges contain a cycle")
+    (fun () ->
+      ignore
+        (Tree.make ~weights:[| 1; 1; 1 |] ~edges:[ (0, 1, 1); (1, 0, 1) ]));
+  Alcotest.check_raises "wrong count"
+    (Invalid_argument "Tree.make: a tree on n vertices has exactly n-1 edges")
+    (fun () -> ignore (Tree.make ~weights:[| 1; 1; 1 |] ~edges:[ (0, 1, 1) ]))
+
+let test_tree_accessors () =
+  let t =
+    Tree.make ~weights:[| 5; 3; 2; 7 |]
+      ~edges:[ (0, 1, 10); (1, 2, 20); (1, 3, 30) ]
+  in
+  check_int "n" 4 (Tree.n t);
+  check_int "degree center" 3 (Tree.degree t 1);
+  check_bool "leaf" true (Tree.is_leaf t 0);
+  check_bool "internal" false (Tree.is_leaf t 1);
+  Alcotest.(check (list int)) "leaves" [ 0; 2; 3 ] (Tree.leaves t);
+  check_int "total" 17 (Tree.total_weight t);
+  check_int "delta" 20 (Tree.delta t 1)
+
+let test_tree_components () =
+  let t =
+    Tree.make ~weights:[| 5; 3; 2; 7 |]
+      ~edges:[ (0, 1, 10); (1, 2, 20); (1, 3, 30) ]
+  in
+  Alcotest.(check (list (list int)))
+    "cut middle"
+    [ [ 0; 1; 2 ]; [ 3 ] ]
+    (Tree.components t [ 2 ]);
+  Alcotest.(check (list int)) "weights" [ 10; 7 ] (Tree.component_weights t [ 2 ]);
+  check_bool "feasible" true (Tree.is_feasible t ~k:10 [ 2 ]);
+  check_bool "infeasible" false (Tree.is_feasible t ~k:9 [ 2 ])
+
+let test_tree_contract () =
+  let t =
+    Tree.make ~weights:[| 5; 3; 2; 7 |]
+      ~edges:[ (0, 1, 10); (1, 2, 20); (1, 3, 30) ]
+  in
+  let contracted, map = Tree.contract t [ 1; 2 ] in
+  check_int "super nodes" 3 (Tree.n contracted);
+  check_int "super edges" 2 (Tree.n_edges contracted);
+  (* Component {0,1} = super 0 (weight 8), {2} and {3} singletons. *)
+  check_int "map 0" map.(0) map.(1);
+  check_bool "map 2 distinct" true (map.(2) <> map.(0));
+  check_int "super weight" 8 (Tree.weight contracted map.(0));
+  check_int "total preserved" 17 (Tree.total_weight contracted)
+
+let test_tree_of_chain () =
+  let c = Chain.of_lists [ 1; 2; 3 ] [ 5; 6 ] in
+  let t = Tree.of_chain c in
+  check_int "n" 3 (Tree.n t);
+  check_int "edge weight preserved" 6 (Tree.delta t 1)
+
+let prop_tree_cut_components =
+  qcheck ~count:200 "cutting c edges yields c+1 components"
+    QCheck2.(Gen.map Fun.id small_tree_gen)
+    (fun (t, _k) ->
+      let m = Tree.n_edges t in
+      let cut = List.filteri (fun i _ -> i mod 2 = 0) (List.init m Fun.id) in
+      List.length (Tree.components t cut) = List.length cut + 1)
+
+(* ---------- Graph ---------- *)
+
+let test_graph_merge_duplicates () =
+  let g =
+    Graph.make ~weights:[| 1; 1 |] ~edges:[ (0, 1, 3); (1, 0, 4) ]
+  in
+  check_int "merged" 1 (Graph.n_edges g);
+  Alcotest.(check (option int)) "weight" (Some 7) (Graph.edge_between g 0 1)
+
+let test_graph_bfs () =
+  let g =
+    Graph.make ~weights:[| 1; 1; 1; 1 |]
+      ~edges:[ (0, 1, 1); (1, 2, 1); (2, 3, 1) ]
+  in
+  Alcotest.(check (array int)) "levels" [| 0; 1; 2; 3 |] (Graph.bfs_levels g 0);
+  check_bool "connected" true (Graph.is_connected g)
+
+let test_graph_components () =
+  let g =
+    Graph.make ~weights:[| 1; 1; 1; 1 |] ~edges:[ (0, 1, 1); (2, 3, 1) ]
+  in
+  Alcotest.(check (list (list int)))
+    "components"
+    [ [ 0; 1 ]; [ 2; 3 ] ]
+    (Graph.connected_components g);
+  check_bool "disconnected" false (Graph.is_connected g)
+
+let test_graph_cut_assignment () =
+  let g =
+    Graph.make ~weights:[| 1; 1; 1 |]
+      ~edges:[ (0, 1, 5); (1, 2, 7); (0, 2, 11) ]
+  in
+  check_int "all same" 0 (Graph.cut_weight_of_assignment g [| 0; 0; 0 |]);
+  check_int "isolate 2" 18 (Graph.cut_weight_of_assignment g [| 0; 0; 1 |]);
+  check_int "all distinct" 23 (Graph.cut_weight_of_assignment g [| 0; 1; 2 |])
+
+(* ---------- Weights & generators ---------- *)
+
+let test_weights_bounds () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 500 do
+    let u = Weights.draw rng (Weights.Uniform (3, 9)) in
+    check_bool "uniform bounds" true (u >= 3 && u <= 9);
+    let b = Weights.draw rng (Weights.Bimodal (1, 50, 0.5)) in
+    check_bool "bimodal values" true (b = 1 || b = 50);
+    check_int "constant" 4 (Weights.draw rng (Weights.Constant 4));
+    check_bool "exponential positive" true
+      (Weights.draw rng (Weights.Exponential 5.0) >= 1)
+  done
+
+let test_weights_string_roundtrip () =
+  List.iter
+    (fun d ->
+      check_bool "roundtrip" true (Weights.of_string (Weights.to_string d) = d))
+    [
+      Weights.Constant 5;
+      Weights.Uniform (1, 100);
+      Weights.Exponential 20.0;
+      Weights.Bimodal (1, 50, 0.1);
+    ]
+
+let test_generators_shapes () =
+  let rng = Rng.create 23 in
+  let d = Weights.Uniform (1, 10) in
+  let t = Tree_gen.random_attachment rng ~n:50 ~weight_dist:d ~delta_dist:d in
+  check_int "attachment size" 50 (Tree.n t);
+  let b = Tree_gen.random_binary rng ~n:40 ~weight_dist:d ~delta_dist:d in
+  check_int "binary size" 40 (Tree.n b);
+  check_bool "binary max degree 3" true
+    (List.for_all (fun v -> Tree.degree b v <= 3) (List.init 40 Fun.id));
+  let s =
+    Tree_gen.star ~center_weight:2 ~leaf_weights:[ 1; 2; 3 ]
+      ~edge_weights:[ 4; 5; 6 ]
+  in
+  check_int "star degree" 3 (Tree.degree s 0);
+  let cat =
+    Tree_gen.caterpillar rng ~spine:5 ~legs_per_vertex:3 ~weight_dist:d
+      ~delta_dist:d
+  in
+  check_int "caterpillar size" 20 (Tree.n cat);
+  let cb = Tree_gen.complete_binary ~depth:3 ~weight_dist:d ~delta_dist:d rng in
+  check_int "complete binary size" 15 (Tree.n cb);
+  let g = Graph_gen.grid rng ~rows:3 ~cols:4 ~weight_dist:d ~delta_dist:d in
+  check_int "grid vertices" 12 (Graph.n g);
+  check_int "grid edges" 17 (Graph.n_edges g);
+  let r = Graph_gen.ring rng ~n:6 ~weight_dist:d ~delta_dist:d in
+  check_int "ring edges" 6 (Graph.n_edges r);
+  check_bool "ring connected" true (Graph.is_connected r);
+  let rc =
+    Graph_gen.random_connected rng ~n:30 ~extra_edges:10 ~weight_dist:d
+      ~delta_dist:d
+  in
+  check_bool "random connected" true (Graph.is_connected rc);
+  let c = Chain_gen.figure2 rng ~n:100 ~max_weight:20 in
+  check_int "figure2 chain size" 100 (Chain.n c);
+  check_bool "figure2 bounds" true (Chain.max_alpha c <= 20)
+
+let suite =
+  [
+    Alcotest.test_case "dsu basics" `Quick test_dsu_basic;
+    prop_dsu_weight_conserved;
+    Alcotest.test_case "chain validation" `Quick test_chain_validation;
+    Alcotest.test_case "chain accessors" `Quick test_chain_accessors;
+    Alcotest.test_case "chain cut operations" `Quick test_chain_cut_ops;
+    Alcotest.test_case "chain reverse and sub" `Quick test_chain_reverse_sub;
+    Alcotest.test_case "tree validation" `Quick test_tree_validation;
+    Alcotest.test_case "tree accessors" `Quick test_tree_accessors;
+    Alcotest.test_case "tree components" `Quick test_tree_components;
+    Alcotest.test_case "tree contraction" `Quick test_tree_contract;
+    Alcotest.test_case "tree of chain" `Quick test_tree_of_chain;
+    prop_tree_cut_components;
+    Alcotest.test_case "graph merges duplicate edges" `Quick
+      test_graph_merge_duplicates;
+    Alcotest.test_case "graph bfs levels" `Quick test_graph_bfs;
+    Alcotest.test_case "graph connected components" `Quick test_graph_components;
+    Alcotest.test_case "assignment cut weight" `Quick test_graph_cut_assignment;
+    Alcotest.test_case "weight distributions stay in bounds" `Quick
+      test_weights_bounds;
+    Alcotest.test_case "weight spec string roundtrip" `Quick
+      test_weights_string_roundtrip;
+    Alcotest.test_case "generators produce the advertised shapes" `Quick
+      test_generators_shapes;
+  ]

@@ -1,0 +1,145 @@
+(* Heterogeneous chain-onto-processors (Bokhari's general form) and the
+   simulated-annealing partitioner. *)
+
+open Helpers
+module Hc = Tlp_baselines.Hetero_chain
+module Coc = Tlp_baselines.Chain_on_chain
+module Sa = Tlp_baselines.Annealing
+module Graph = Tlp_graph.Graph
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Brute force: all cut subsets, segments in order onto processors in
+   order, empty segments allowed via all (cuts, leading-skip) choices.
+   Equivalent formulation: enumerate all monotone maps of segments to
+   processors.  For small sizes we enumerate all assignments of
+   boundaries directly over subsets and all ways to interleave empties —
+   simpler: recursive packing. *)
+let brute_force chain speeds =
+  let n = Chain.n chain in
+  let m = Array.length speeds in
+  let prefix = Chain.prefix_sums chain in
+  let memo = Hashtbl.create 64 in
+  let rec go i r =
+    (* min bottleneck for vertices [i, n) using processors [r, m) *)
+    if i >= n then 0
+    else if r >= m then max_int / 4
+    else
+      match Hashtbl.find_opt memo (i, r) with
+      | Some v -> v
+      | None ->
+          let best = ref (max_int / 4) in
+          (* empty segment for processor r *)
+          best := Stdlib.min !best (go i (r + 1));
+          for j = i + 1 to n do
+            let t = ceil_div (prefix.(j) - prefix.(i)) speeds.(r) in
+            if t < !best then
+              best := Stdlib.min !best (Stdlib.max t (go j (r + 1)))
+          done;
+          Hashtbl.replace memo (i, r) !best;
+          !best
+  in
+  go 0 0
+
+let hetero_gen =
+  let open QCheck2.Gen in
+  let* n = int_range 1 10 in
+  let* alpha = array_size (return n) (int_range 1 20) in
+  let* beta = array_size (return (n - 1)) (int_range 1 10) in
+  let* m = int_range 1 5 in
+  let* speeds = array_size (return m) (int_range 1 6) in
+  return (Chain.make ~alpha ~beta, speeds)
+
+let test_known () =
+  (* 10+10 work, speeds 1 and 10: everything belongs on the fast one. *)
+  let c = Chain.of_lists [ 10; 10 ] [ 1 ] in
+  let s = Hc.dp c ~speeds:[| 1; 10 |] in
+  check_int "bottleneck" 2 s.Hc.bottleneck;
+  (* fast processor takes both vertices: slot 0 idles *)
+  Alcotest.(check (list int)) "loads" [ 0; 2 ] s.Hc.loads
+
+let test_homogeneous_reduces () =
+  let c = Chain.of_lists [ 4; 4; 4; 4 ] [ 1; 1; 1 ] in
+  let hetero = Hc.dp c ~speeds:[| 1; 1 |] in
+  let homo = Coc.bokhari_dp c ~m:2 in
+  check_int "same bottleneck" homo.Coc.bottleneck hetero.Hc.bottleneck
+
+let prop_dp_probe_bruteforce_agree =
+  qcheck ~count:300 "dp = probe = brute force" hetero_gen
+    (fun (c, speeds) ->
+      let bf = brute_force c speeds in
+      let dp = (Hc.dp c ~speeds).Hc.bottleneck in
+      let pr = (Hc.probe c ~speeds).Hc.bottleneck in
+      dp = bf && pr = bf)
+
+let prop_solution_consistent =
+  qcheck ~count:300 "loads and cuts are mutually consistent" hetero_gen
+    (fun (c, speeds) ->
+      List.for_all
+        (fun (s : Hc.solution) ->
+          Chain.is_valid_cut c s.Hc.cuts
+          && List.length s.Hc.loads = Array.length speeds
+          && List.fold_left Stdlib.max 0 s.Hc.loads = s.Hc.bottleneck
+          && List.length s.Hc.cuts <= Array.length speeds - 1)
+        [ Hc.dp c ~speeds; Hc.probe c ~speeds ])
+
+let prop_faster_never_hurts =
+  qcheck ~count:200 "doubling every speed never increases the bottleneck"
+    hetero_gen
+    (fun (c, speeds) ->
+      let fast = Array.map (fun s -> 2 * s) speeds in
+      (Hc.dp c ~speeds:fast).Hc.bottleneck <= (Hc.dp c ~speeds).Hc.bottleneck)
+
+(* ---------- annealing ---------- *)
+
+let graph_gen =
+  let open QCheck2.Gen in
+  let* n = int_range 4 25 in
+  let* extra = int_range 0 25 in
+  let* seed = int_range 0 100000 in
+  return (n, extra, seed)
+
+let make_graph (n, extra, seed) =
+  let rng = Rng.create seed in
+  let d = Weights.Uniform (1, 10) in
+  Tlp_graph.Graph_gen.random_connected rng ~n ~extra_edges:extra ~weight_dist:d
+    ~delta_dist:d
+
+let prop_annealing_valid =
+  qcheck ~count:100 "annealing yields a valid priced assignment" graph_gen
+    (fun spec ->
+      let g = make_graph spec in
+      let r = Sa.partition (Rng.create 1) g ~blocks:3 in
+      Array.for_all (fun b -> b >= 0 && b < 3) r.Sa.assignment
+      && r.Sa.cut_weight = Graph.cut_weight_of_assignment g r.Sa.assignment
+      && Array.fold_left ( + ) 0 r.Sa.block_loads = Graph.total_weight g)
+
+let test_annealing_improves_over_contiguous () =
+  (* On a ring, the contiguous start is already decent; annealing should
+     at worst keep a similar cut and always stay valid.  On a random
+     graph it should clearly beat a random assignment. *)
+  let rng = Rng.create 99 in
+  let d = Weights.Uniform (1, 5) in
+  let g =
+    Tlp_graph.Graph_gen.random_connected rng ~n:40 ~extra_edges:60
+      ~weight_dist:d ~delta_dist:d
+  in
+  let sa = Sa.partition (Rng.create 2) g ~blocks:4 in
+  let random_cut =
+    Graph.cut_weight_of_assignment g
+      (Tlp_baselines.Greedy.random_assignment (Rng.create 3) g ~blocks:4)
+  in
+  check_bool "beats random placement" true (sa.Sa.cut_weight < random_cut)
+
+let suite =
+  [
+    Alcotest.test_case "fast processor takes all" `Quick test_known;
+    Alcotest.test_case "homogeneous speeds reduce to Bokhari" `Quick
+      test_homogeneous_reduces;
+    prop_dp_probe_bruteforce_agree;
+    prop_solution_consistent;
+    prop_faster_never_hurts;
+    prop_annealing_valid;
+    Alcotest.test_case "annealing beats random placement" `Quick
+      test_annealing_improves_over_contiguous;
+  ]

@@ -1,0 +1,110 @@
+(* Host–satellite heuristic: feasibility, pricing, and quality bounds. *)
+
+open Helpers
+module Hs = Tlp_baselines.Host_satellite
+
+let solve_exn t ~m =
+  match Hs.solve t ~m with
+  | Ok s -> s
+  | Error _ -> Alcotest.fail "host-satellite solve cannot fail"
+
+let test_no_satellites () =
+  let t =
+    Tree.make ~weights:[| 5; 3; 2 |] ~edges:[ (0, 1, 1); (1, 2, 1) ]
+  in
+  let s = solve_exn t ~m:0 in
+  Alcotest.check cut_testable "no cut" [] s.Hs.cut;
+  check_int "host runs everything" 10 s.Hs.bottleneck;
+  check_int "all vertices on host" 3 (List.length s.Hs.host_component)
+
+let test_obvious_offload () =
+  (* Root 1 with a heavy, cheap-to-ship subtree: offloading halves the
+     bottleneck. *)
+  let t =
+    Tree.make ~weights:[| 1; 10; 10 |] ~edges:[ (0, 1, 1); (0, 2, 1) ]
+  in
+  let s = solve_exn t ~m:2 in
+  check_bool "offloads" true (List.length s.Hs.cut >= 1);
+  check_bool "better than serial" true (s.Hs.bottleneck < 21);
+  (* Best: offload both children: host 1+2 comm = 3, satellites 11 each. *)
+  check_int "bottleneck" 11 s.Hs.bottleneck
+
+let test_expensive_links_stay () =
+  (* Shipping costs more than it saves: keep everything home. *)
+  let t =
+    Tree.make ~weights:[| 2; 3; 2 |] ~edges:[ (0, 1, 50); (1, 2, 50) ]
+  in
+  let s = solve_exn t ~m:2 in
+  Alcotest.check cut_testable "no cut" [] s.Hs.cut;
+  check_int "bottleneck" 7 s.Hs.bottleneck
+
+let brute_force t ~m =
+  let n_edges = Tree.n_edges t in
+  let best = ref (Tree.total_weight t) in
+  for mask = 0 to (1 lsl n_edges) - 1 do
+    let cut =
+      List.filter (fun e -> mask land (1 lsl e) <> 0) (List.init n_edges Fun.id)
+    in
+    let n_comps = List.length cut + 1 in
+    if n_comps - 1 <= m then
+      for host = 0 to n_comps - 1 do
+        (* Valid only if every non-host component hangs directly off the
+           host (satellites talk to the host alone); with the relay
+           model any cut is valid. *)
+        let s = Hs.score t cut ~host in
+        if s < !best then best := s
+      done
+  done;
+  !best
+
+let prop_solution_consistent =
+  qcheck ~count:300 "solution is feasible and priced by score"
+    QCheck2.(Gen.pair (Gen.map fst small_tree_gen) (Gen.int_range 0 5))
+    (fun (t, m) ->
+      let s = solve_exn t ~m in
+      let n_comps = List.length s.Hs.cut + 1 in
+      (* Identify the host component index. *)
+      let comps = Tree.components t s.Hs.cut in
+      let host_set = List.sort compare s.Hs.host_component in
+      let host_idx =
+        List.mapi (fun i vs -> (i, vs)) comps
+        |> List.find_map (fun (i, vs) -> if vs = host_set then Some i else None)
+      in
+      n_comps - 1 <= m
+      && List.length s.Hs.satellite_loads = n_comps - 1
+      &&
+      match host_idx with
+      | Some host -> Hs.score t s.Hs.cut ~host = s.Hs.bottleneck
+      | None -> false)
+
+let prop_never_worse_than_serial =
+  qcheck ~count:300 "offloading never loses to the serial host"
+    QCheck2.(Gen.pair (Gen.map fst small_tree_gen) (Gen.int_range 0 5))
+    (fun (t, m) ->
+      (solve_exn t ~m).Hs.bottleneck <= Tree.total_weight t)
+
+let prop_monotone_in_m =
+  qcheck ~count:200 "more satellites never hurt"
+    QCheck2.(Gen.map fst small_tree_gen)
+    (fun t ->
+      let b m = (solve_exn t ~m).Hs.bottleneck in
+      b 1 >= b 2 && b 2 >= b 4)
+
+let prop_heuristic_vs_bruteforce =
+  qcheck ~count:200 "heuristic is lower-bounded by the brute-force optimum"
+    QCheck2.(Gen.pair (Gen.map fst small_tree_gen) (Gen.int_range 0 4))
+    (fun (t, m) ->
+      let s = solve_exn t ~m in
+      s.Hs.bottleneck >= brute_force t ~m)
+
+let suite =
+  [
+    Alcotest.test_case "no satellites" `Quick test_no_satellites;
+    Alcotest.test_case "obvious offload" `Quick test_obvious_offload;
+    Alcotest.test_case "expensive links stay home" `Quick
+      test_expensive_links_stay;
+    prop_solution_consistent;
+    prop_never_worse_than_serial;
+    prop_monotone_in_m;
+    prop_heuristic_vs_bruteforce;
+  ]

@@ -1,0 +1,67 @@
+(* Instance file round trips and parse errors. *)
+
+open Helpers
+module Io = Tlp_graph.Instance_io
+
+let test_chain_roundtrip () =
+  let c = Chain.of_lists [ 3; 1; 4; 1; 5 ] [ 9; 2; 6; 5 ] in
+  match Io.parse (Io.to_string (Io.Chain_instance c)) with
+  | Ok (Io.Chain_instance c') ->
+      Alcotest.(check (array int)) "alpha" c.Chain.alpha c'.Chain.alpha;
+      Alcotest.(check (array int)) "beta" c.Chain.beta c'.Chain.beta
+  | _ -> Alcotest.fail "roundtrip failed"
+
+let test_tree_roundtrip () =
+  let t =
+    Tree.make ~weights:[| 5; 3; 2; 7 |]
+      ~edges:[ (0, 1, 10); (1, 2, 20); (1, 3, 30) ]
+  in
+  match Io.parse (Io.to_string (Io.Tree_instance t)) with
+  | Ok (Io.Tree_instance t') ->
+      Alcotest.(check (array int)) "weights" t.Tree.weights t'.Tree.weights;
+      Alcotest.(check int) "edges" (Tree.n_edges t) (Tree.n_edges t');
+      Alcotest.(check int) "delta" (Tree.delta t 1) (Tree.delta t' 1)
+  | _ -> Alcotest.fail "roundtrip failed"
+
+let test_comments_and_blanks () =
+  let text = "# a comment\n\nchain\n1 2 3\n\n# weights\n4 5\n" in
+  match Io.parse text with
+  | Ok (Io.Chain_instance c) -> check_int "n" 3 (Chain.n c)
+  | _ -> Alcotest.fail "expected chain"
+
+let test_parse_errors () =
+  check_bool "empty" true (Result.is_error (Io.parse ""));
+  check_bool "unknown kind" true (Result.is_error (Io.parse "mesh\n1 2\n"));
+  check_bool "bad number" true (Result.is_error (Io.parse "chain\na b\n"));
+  check_bool "bad edge line" true
+    (Result.is_error (Io.parse "tree\n1 1\n0 1\n"));
+  check_bool "cycle rejected" true
+    (Result.is_error (Io.parse "tree\n1 1 1\n0 1 1\n1 0 1\n"))
+
+let prop_random_chain_roundtrip =
+  qcheck ~count:200 "random chain file round trip"
+    QCheck2.(Gen.map fst small_chain_gen)
+    (fun c ->
+      match Io.parse (Io.to_string (Io.Chain_instance c)) with
+      | Ok (Io.Chain_instance c') ->
+          c.Chain.alpha = c'.Chain.alpha && c.Chain.beta = c'.Chain.beta
+      | _ -> false)
+
+let prop_random_tree_roundtrip =
+  qcheck ~count:200 "random tree file round trip"
+    QCheck2.(Gen.map fst small_tree_gen)
+    (fun t ->
+      match Io.parse (Io.to_string (Io.Tree_instance t)) with
+      | Ok (Io.Tree_instance t') ->
+          t.Tree.weights = t'.Tree.weights && t.Tree.edges = t'.Tree.edges
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "chain round trip" `Quick test_chain_roundtrip;
+    Alcotest.test_case "tree round trip" `Quick test_tree_roundtrip;
+    Alcotest.test_case "comments and blank lines" `Quick test_comments_and_blanks;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    prop_random_chain_roundtrip;
+    prop_random_tree_roundtrip;
+  ]

@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "tlp"
+    [
+      ("util", Test_util.suite);
+      ("graph", Test_graphlib.suite);
+      ("primes", Test_primes.suite);
+      ("bandwidth", Test_bandwidth.suite);
+      ("chain-bottleneck", Test_chain_bottleneck.suite);
+      ("tree-algorithms", Test_tree_algos.suite);
+      ("theorem1", Test_theorem1.suite);
+      ("tree-bandwidth", Test_tree_bandwidth.suite);
+      ("supergraph", Test_supergraph.suite);
+      ("baselines", Test_baselines.suite);
+      ("archsim", Test_archsim.suite);
+      ("des", Test_des.suite);
+      ("realtime", Test_realtime.suite);
+      ("extensions", Test_extensions.suite);
+      ("conservative", Test_conservative.suite);
+      ("tree-sim", Test_tree_sim.suite);
+      ("io", Test_io.suite);
+      ("host-satellite", Test_host_satellite.suite);
+      ("timewarp", Test_timewarp.suite);
+      ("gantt", Test_gantt.suite);
+      ("circuit-families", Test_circuit_families.suite);
+      ("scaled", Test_scaled.suite);
+      ("hetero-annealing", Test_hetero.suite);
+      ("complexity", Test_complexity.suite);
+      ("dot", Test_dot.suite);
+    ]

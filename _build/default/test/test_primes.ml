@@ -1,0 +1,161 @@
+(* Prime subpaths (§2.3): structure, minimality, hitting ⇔ feasibility. *)
+
+open Helpers
+module Primes = Tlp_core.Prime_subpaths
+
+let compute_exn c ~k =
+  match Primes.compute c ~k with
+  | Ok p -> p
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+
+let test_known_example () =
+  (* Chain 4,4,4,4 with K=7: minimal critical segments are each adjacent
+     pair, giving 3 primes of one edge each. *)
+  let c = Chain.of_lists [ 4; 4; 4; 4 ] [ 1; 1; 1 ] in
+  let p = compute_exn c ~k:7 in
+  check_int "count" 3 (Primes.count p);
+  Array.iteri
+    (fun i { Primes.a; b } ->
+      check_int "a" i a;
+      check_int "b" i b)
+    p.Primes.primes
+
+let test_whole_chain_fits () =
+  let c = Chain.of_lists [ 1; 1; 1 ] [ 1; 1 ] in
+  check_int "no primes" 0 (Primes.count (compute_exn c ~k:3))
+
+let test_dominated_removed () =
+  (* 2,9,2 with K=10: segment [v0,v1] (11) and [v1,v2] (11) are critical;
+     [v0..v2] (13) is dominated. *)
+  let c = Chain.of_lists [ 2; 9; 2 ] [ 1; 1 ] in
+  let p = compute_exn c ~k:10 in
+  check_int "count" 2 (Primes.count p);
+  (* Edge 0 only hits prime 0, edge 1 only prime 1. *)
+  check_bool "edge 0 covered" true (Primes.covers p 0);
+  check_bool "hitting needs both" false (Primes.is_hitting p [ 0 ]);
+  check_bool "both edges hit" true (Primes.is_hitting p [ 0; 1 ])
+
+let test_infeasible_vertex () =
+  let c = Chain.of_lists [ 2; 90; 2 ] [ 1; 1 ] in
+  match Primes.compute c ~k:10 with
+  | Error { Tlp_core.Infeasible.vertex = 1; _ } -> ()
+  | _ -> Alcotest.fail "expected vertex 1 infeasible"
+
+let all_critical_segments c ~k =
+  let n = Chain.n c in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      if Chain.segment_weight c i j > k then out := (i, j) :: !out
+    done
+  done;
+  !out
+
+let prop_primes_are_minimal_critical =
+  qcheck ~count:300 "primes are exactly the minimal critical segments"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      match Primes.compute c ~k with
+      | Error _ -> false
+      | Ok p ->
+          let criticals = all_critical_segments c ~k in
+          let is_critical (a, b) = List.mem (a, b) criticals in
+          let contains (a, b) (a', b') = a <= a' && b' <= b in
+          let minimal (a, b) =
+            List.for_all
+              (fun other -> other = (a, b) || not (contains (a, b) other))
+              criticals
+          in
+          let expected =
+            List.filter minimal criticals |> List.sort compare
+          in
+          let actual =
+            Array.to_list p.Primes.primes
+            (* prime stores edge range [a,b] = vertex range [a, b+1] *)
+            |> List.map (fun { Primes.a; b } -> (a, b + 1))
+            |> List.sort compare
+          in
+          List.for_all is_critical actual && expected = actual)
+
+let prop_hitting_iff_feasible =
+  qcheck ~count:300 "a cut is feasible iff it hits every prime"
+    QCheck2.(
+      Gen.pair (Gen.map Fun.id small_chain_gen) (Gen.int_range 0 1000))
+    (fun ((c, k), mask) ->
+      match Primes.compute c ~k with
+      | Error _ -> false
+      | Ok p ->
+          let cut =
+            List.filter
+              (fun e -> mask land (1 lsl e) <> 0)
+              (List.init (Chain.n_edges c) Fun.id)
+          in
+          Primes.is_hitting p cut = Chain.is_feasible c ~k cut)
+
+let prop_groups_partition_covered_edges =
+  qcheck ~count:300 "groups cover each covered edge exactly once, minimal rep"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      match Primes.compute c ~k with
+      | Error _ -> false
+      | Ok p ->
+          let gs = Primes.groups c p in
+          (* Each group's representative is covered and has the group's
+             (c,d); group prime-ranges are strictly increasing. *)
+          let ok_reps =
+            Array.for_all
+              (fun { Primes.rep; c = gc; d = gd; weight } ->
+                Primes.covers p rep
+                && (p.Primes.edge_c.(rep), p.Primes.edge_d.(rep)) = (gc, gd)
+                && weight = c.Chain.beta.(rep))
+              gs
+          in
+          (* Consecutive groups have distinct prime ranges, nondecreasing
+             in both endpoints (lexicographically increasing). *)
+          let rec increasing i =
+            i + 1 >= Array.length gs
+            || gs.(i).Primes.c <= gs.(i + 1).Primes.c
+               && gs.(i).Primes.d <= gs.(i + 1).Primes.d
+               && (gs.(i).Primes.c, gs.(i).Primes.d)
+                  <> (gs.(i + 1).Primes.c, gs.(i + 1).Primes.d)
+               && increasing (i + 1)
+          in
+          (* The representative is the cheapest edge among edges with the
+             same prime range. *)
+          let rep_minimal =
+            Array.for_all
+              (fun { Primes.weight; c = gc; d = gd; _ } ->
+                List.for_all
+                  (fun e ->
+                    (p.Primes.edge_c.(e), p.Primes.edge_d.(e)) <> (gc, gd)
+                    || c.Chain.beta.(e) >= weight)
+                  (List.init (Chain.n_edges c) Fun.id))
+              gs
+          in
+          ok_reps && increasing 0 && rep_minimal)
+
+let prop_stats_sane =
+  qcheck ~count:300 "stats invariants: q <= p <= n"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      match Primes.compute c ~k with
+      | Error _ -> false
+      | Ok p ->
+          let s = Primes.stats c p in
+          s.Primes.p <= s.Primes.n
+          && s.Primes.r <= Stdlib.max 1 (Chain.n_edges c)
+          && s.Primes.q_mean <= float_of_int (Stdlib.max 1 s.Primes.p)
+          && s.Primes.q_max <= s.Primes.p
+          && s.Primes.r <= Stdlib.max 1 (2 * s.Primes.p - 1))
+
+let suite =
+  [
+    Alcotest.test_case "uniform chain, unit primes" `Quick test_known_example;
+    Alcotest.test_case "no primes when chain fits" `Quick test_whole_chain_fits;
+    Alcotest.test_case "dominated subpaths removed" `Quick test_dominated_removed;
+    Alcotest.test_case "oversized vertex detected" `Quick test_infeasible_vertex;
+    prop_primes_are_minimal_critical;
+    prop_hitting_iff_feasible;
+    prop_groups_partition_covered_edges;
+    prop_stats_sane;
+  ]

@@ -1,0 +1,68 @@
+(* Real-time pipeline planning (§3 application 1). *)
+
+open Helpers
+module Pipeline = Tlp_realtime.Pipeline
+module Machine = Tlp_archsim.Machine
+
+let test_plan_known () =
+  (* Figure 3 flavour: 6 subtasks, deadline 10. *)
+  let c = Chain.of_lists [ 4; 4; 4; 4; 4; 4 ] [ 9; 1; 9; 1; 9 ] in
+  match Pipeline.plan c ~deadline:10 with
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+  | Ok p ->
+      let bw_cut, bw = p.Pipeline.bandwidth_optimal in
+      let _, ff = p.Pipeline.first_fit in
+      check_bool "bandwidth plan feasible" true bw.Pipeline.feasible;
+      check_bool "first fit feasible" true ff.Pipeline.feasible;
+      (* Cheap edges 1 and 3 split 6 tasks into 2+2+2. *)
+      Alcotest.check cut_testable "bandwidth cut" [ 1; 3 ] bw_cut;
+      check_int "traffic" 2 bw.Pipeline.total_traffic;
+      check_bool "beats first fit" true
+        (bw.Pipeline.total_traffic <= ff.Pipeline.total_traffic)
+
+let test_infeasible_deadline () =
+  let c = Chain.of_lists [ 4; 40; 4 ] [ 1; 1 ] in
+  match Pipeline.plan c ~deadline:10 with
+  | Error { Tlp_core.Infeasible.vertex = 1; _ } -> ()
+  | _ -> Alcotest.fail "expected infeasibility"
+
+let prop_plan_consistent =
+  qcheck ~count:300 "plans are feasible, priced right, and ordered"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      match Pipeline.plan c ~deadline:k with
+      | Error _ -> false
+      | Ok p ->
+          let bw_cut, bw = p.Pipeline.bandwidth_optimal in
+          let bn_cut, bn = p.Pipeline.bottleneck_optimal in
+          let ff_cut, ff = p.Pipeline.first_fit in
+          bw.Pipeline.feasible && bn.Pipeline.feasible && ff.Pipeline.feasible
+          && bw.Pipeline.total_traffic = Chain.cut_weight c bw_cut
+          && bn.Pipeline.max_traffic = Chain.max_cut_edge c bn_cut
+          && ff.Pipeline.n_processors = List.length ff_cut + 1
+          (* optimality orderings *)
+          && bw.Pipeline.total_traffic <= ff.Pipeline.total_traffic
+          && bw.Pipeline.total_traffic <= bn.Pipeline.total_traffic
+          && bn.Pipeline.max_traffic <= bw.Pipeline.max_traffic
+          && bn.Pipeline.max_traffic <= ff.Pipeline.max_traffic
+          && bw.Pipeline.slack >= 0)
+
+let test_simulate_plan () =
+  let c = Chain.of_lists [ 4; 4; 4; 4; 4; 4 ] [ 9; 1; 9; 1; 9 ] in
+  match Pipeline.plan c ~deadline:10 with
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+  | Ok p ->
+      let bw_cut, _ = p.Pipeline.bandwidth_optimal in
+      let machine = Machine.make ~processors:8 () in
+      let r = Pipeline.simulate c ~cut:bw_cut ~machine ~jobs:20 in
+      check_int "traffic per job" 2 r.Tlp_archsim.Pipeline_sim.traffic_per_job;
+      check_bool "finishes" true (r.Tlp_archsim.Pipeline_sim.makespan > 0)
+
+let suite =
+  [
+    Alcotest.test_case "plan on the Figure 3 scenario" `Quick test_plan_known;
+    Alcotest.test_case "impossible deadline detected" `Quick
+      test_infeasible_deadline;
+    prop_plan_consistent;
+    Alcotest.test_case "simulating a plan" `Quick test_simulate_plan;
+  ]

@@ -1,0 +1,104 @@
+(* Float-weight adapter: scaling soundness and near-optimality. *)
+
+open Helpers
+module Scaled = Tlp_core.Scaled
+module Bandwidth = Tlp_core.Bandwidth
+
+let float_chain_gen =
+  let open QCheck2.Gen in
+  let* n = int_range 1 12 in
+  let* alpha = array_size (return n) (float_range 0.1 20.0) in
+  let* beta = array_size (return (n - 1)) (float_range 0.1 30.0) in
+  let maxa = Array.fold_left Stdlib.max 0.1 alpha in
+  let total = Array.fold_left ( +. ) 0.0 alpha in
+  let* k = float_range maxa (Stdlib.max (maxa +. 0.1) total) in
+  return (alpha, beta, k)
+
+let test_rejects_bad_input () =
+  check_bool "nan" true
+    (Result.is_error
+       (Scaled.scale_chain ~alpha:[| Float.nan |] ~beta:[||] 1.0));
+  check_bool "negative" true
+    (Result.is_error
+       (Scaled.scale_chain ~alpha:[| 1.0; -2.0 |] ~beta:[| 1.0 |] 5.0));
+  check_bool "bad arity" true
+    (Result.is_error (Scaled.scale_chain ~alpha:[| 1.0; 2.0 |] ~beta:[||] 5.0));
+  check_bool "bad k" true
+    (Result.is_error
+       (Scaled.scale_chain ~alpha:[| 1.0 |] ~beta:[||] Float.infinity))
+
+let prop_scaled_cut_is_float_feasible =
+  qcheck ~count:300 "scaled bandwidth cut is feasible in float terms"
+    float_chain_gen
+    (fun (alpha, beta, k) ->
+      match Scaled.bandwidth ~alpha ~beta k with
+      | Error _ -> true (* scaled K can round below a float-feasible K *)
+      | Ok (cut, weight) ->
+          (* Components of the float chain under this cut fit within k. *)
+          let n = Array.length alpha in
+          let rec components start cut =
+            match cut with
+            | [] -> [ (start, n - 1) ]
+            | e :: rest -> (start, e) :: components (e + 1) rest
+          in
+          let sum (i, j) =
+            let acc = ref 0.0 in
+            for x = i to j do
+              acc := !acc +. alpha.(x)
+            done;
+            !acc
+          in
+          List.for_all (fun seg -> sum seg <= k +. 1e-9) (components 0 cut)
+          && Float.abs
+               (weight -. List.fold_left (fun a e -> a +. beta.(e)) 0.0 cut)
+             < 1e-9)
+
+let prop_integer_instances_bracketed =
+  (* When the floats are integers, conservative rounding may tighten the
+     bound by a hair (components summing exactly to K), so the scaled
+     optimum is bracketed by the exact optima at K and K-1. *)
+  qcheck ~count:300 "integer-valued floats stay within the [K-1, K] bracket"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      let alpha = Array.map float_of_int c.Chain.alpha in
+      let beta = Array.map float_of_int c.Chain.beta in
+      let exact k =
+        match Bandwidth.deque c ~k with
+        | Ok { Bandwidth.weight; _ } -> Some weight
+        | Error _ -> None
+      in
+      match
+        (Scaled.bandwidth ~resolution:100_000 ~alpha ~beta (float_of_int k),
+         exact k)
+      with
+      | Ok (_, w), Some at_k ->
+          let lower_ok = w +. 1e-6 >= float_of_int at_k in
+          let upper_ok =
+            match exact (k - 1) with
+            | Some at_k1 -> w -. 1e-6 <= float_of_int at_k1
+            | None -> true (* K-1 infeasible: no upper certificate *)
+          in
+          lower_ok && upper_ok
+      | Error _, None -> true
+      | Error _, Some _ ->
+          (* scaled K rounded below feasibility; only possible when some
+             vertex weighs exactly K *)
+          Array.exists (fun a -> a = k) c.Chain.alpha
+      | Ok _, None -> false)
+
+let test_unscale_roundtrip () =
+  match Scaled.scale_chain ~resolution:1000 ~alpha:[| 2.5; 5.0 |] ~beta:[| 1.25 |] 5.0 with
+  | Ok (chain, k_i, scaling) ->
+      check_int "max maps to resolution" 1000 chain.Chain.alpha.(1);
+      check_int "half maps to half" 500 chain.Chain.alpha.(0);
+      check_int "k scaled" 1000 k_i;
+      Alcotest.(check (float 1e-9)) "unscale" 5.0 (Scaled.unscale scaling 1000)
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "rejects bad input" `Quick test_rejects_bad_input;
+    prop_scaled_cut_is_float_feasible;
+    prop_integer_instances_bracketed;
+    Alcotest.test_case "unscale round trip" `Quick test_unscale_roundtrip;
+  ]

@@ -1,0 +1,131 @@
+(* Linear supergraph approximation (§3). *)
+
+open Helpers
+module Supergraph = Tlp_core.Supergraph
+module Graph = Tlp_graph.Graph
+module Graph_gen = Tlp_graph.Graph_gen
+
+let test_path_graph_identity () =
+  (* A path graph linearizes to itself. *)
+  let g =
+    Graph.make ~weights:[| 2; 3; 4 |] ~edges:[ (0, 1, 5); (1, 2, 6) ]
+  in
+  let s = Supergraph.linearize g in
+  check_int "levels" 3 (Chain.n s.Supergraph.chain);
+  Alcotest.(check (array int)) "alpha" [| 2; 3; 4 |] s.Supergraph.chain.Chain.alpha;
+  Alcotest.(check (array int)) "beta" [| 5; 6 |] s.Supergraph.chain.Chain.beta;
+  check_int "no intra loss" 0 s.Supergraph.intra_level_weight
+
+let test_diamond_merges_levels () =
+  (*      1
+        /   \
+       2     3     both at level 1 -> one super-node
+        \   /
+          4        *)
+  let g =
+    Graph.make ~weights:[| 1; 2; 3; 4 |]
+      ~edges:[ (0, 1, 10); (0, 2, 20); (1, 3, 30); (2, 3, 40) ]
+  in
+  let s = Supergraph.linearize g in
+  check_int "levels" 3 (Chain.n s.Supergraph.chain);
+  Alcotest.(check (array int)) "alpha" [| 1; 5; 4 |] s.Supergraph.chain.Chain.alpha;
+  Alcotest.(check (array int)) "beta" [| 30; 70 |] s.Supergraph.chain.Chain.beta
+
+let test_disconnected_concatenated () =
+  (* Two components: a 2-path and an isolated vertex; laid out one after
+     the other. *)
+  let g =
+    Graph.make ~weights:[| 2; 3; 7 |] ~edges:[ (0, 1, 5) ]
+  in
+  let s = Supergraph.linearize g in
+  Alcotest.(check (array int)) "levels" [| 0; 1; 2 |] s.Supergraph.level_of_vertex;
+  Alcotest.(check (array int)) "alpha" [| 2; 3; 7 |] s.Supergraph.chain.Chain.alpha;
+  (* The joining link carries only the positivity clamp. *)
+  Alcotest.(check (array int)) "beta" [| 5; 1 |] s.Supergraph.chain.Chain.beta
+
+let test_ring_intra_loss () =
+  (* An even ring linearizes with exactly one edge at the far side
+     between the two vertices at maximal distance... which is
+     inter-level; an odd ring has one intra-level edge. *)
+  let rng = Rng.create 5 in
+  let d = Weights.Constant 1 in
+  let g5 = Graph_gen.ring rng ~n:5 ~weight_dist:d ~delta_dist:d in
+  let s5 = Supergraph.linearize g5 in
+  check_int "odd ring: one intra edge" 1 s5.Supergraph.intra_level_weight
+
+let random_graph_gen =
+  let open QCheck2.Gen in
+  let* n = int_range 2 30 in
+  let* extra = int_range 0 20 in
+  let* seed = int_range 0 100000 in
+  return (n, extra, seed)
+
+let make_graph (n, extra, seed) =
+  let rng = Rng.create seed in
+  let d = Weights.Uniform (1, 10) in
+  Tlp_graph.Graph_gen.random_connected rng ~n ~extra_edges:extra ~weight_dist:d
+    ~delta_dist:d
+
+let prop_weight_conserved =
+  qcheck ~count:200 "total vertex weight is conserved by linearization"
+    random_graph_gen
+    (fun spec ->
+      let g = make_graph spec in
+      let s = Supergraph.linearize g in
+      Chain.total_weight s.Supergraph.chain = Graph.total_weight g)
+
+let prop_edge_weight_accounted =
+  qcheck ~count:200 "every edge is inter-level or intra-level"
+    random_graph_gen
+    (fun spec ->
+      let g = make_graph spec in
+      let s = Supergraph.linearize g in
+      let inter = Array.fold_left ( + ) 0 s.Supergraph.chain.Chain.beta in
+      (* beta values are clamped to >= 1; account for the clamp. *)
+      inter + s.Supergraph.intra_level_weight >= Graph.total_edge_weight g)
+
+let prop_partition_blocks_contiguous =
+  qcheck ~count:200 "assignment groups whole BFS levels into blocks"
+    random_graph_gen
+    (fun spec ->
+      let g = make_graph spec in
+      let s = Supergraph.linearize g in
+      let k =
+        Stdlib.max
+          (Array.fold_left Stdlib.max 1 s.Supergraph.chain.Chain.alpha)
+          (Chain.total_weight s.Supergraph.chain / 2)
+      in
+      match Supergraph.partition g ~k with
+      | Error _ -> false
+      | Ok (assign, cut, t) ->
+          Array.length assign = Graph.n g
+          && Chain.is_feasible t.Supergraph.chain ~k cut
+          && Array.for_all
+               (fun v -> v >= 0 && v <= List.length cut)
+               assign
+          &&
+          (* same level ⇒ same block *)
+          let ok = ref true in
+          Array.iteri
+            (fun u lu ->
+              Array.iteri
+                (fun v lv ->
+                  if lu = lv && assign.(u) <> assign.(v) then ok := false)
+                t.Supergraph.level_of_vertex)
+            t.Supergraph.level_of_vertex;
+          !ok)
+
+let suite =
+  [
+    Alcotest.test_case "path graph is its own supergraph" `Quick
+      test_path_graph_identity;
+    Alcotest.test_case "diamond merges middle level" `Quick
+      test_diamond_merges_levels;
+    Alcotest.test_case "disconnected graphs concatenated" `Quick
+      test_disconnected_concatenated;
+    Alcotest.test_case "odd ring folds one intra-level edge" `Quick
+      test_ring_intra_loss;
+    prop_weight_conserved;
+    prop_edge_weight_accounted;
+    prop_partition_blocks_contiguous;
+  ]

@@ -1,0 +1,139 @@
+(* Theorem 1: knapsack DP, the star ⇄ knapsack reduction, and exact star
+   bandwidth minimization. *)
+
+open Helpers
+module Knapsack = Tlp_core.Knapsack
+module Star = Tlp_core.Star_bandwidth
+module Exhaustive = Tlp_baselines.Exhaustive
+
+let test_knapsack_known () =
+  let inst =
+    Knapsack.make ~weights:[| 2; 3; 4; 5 |] ~profits:[| 3; 4; 5; 6 |]
+      ~capacity:5
+  in
+  let sol = Knapsack.solve inst in
+  check_int "profit" 7 sol.Knapsack.total_profit;
+  Alcotest.(check (list int)) "items" [ 0; 1 ] sol.Knapsack.selected;
+  check_int "weight" 5 sol.Knapsack.total_weight
+
+let test_knapsack_zero_capacity () =
+  let inst = Knapsack.make ~weights:[| 1 |] ~profits:[| 10 |] ~capacity:0 in
+  check_int "profit" 0 (Knapsack.solve inst).Knapsack.total_profit
+
+let test_knapsack_decision () =
+  let inst =
+    Knapsack.make ~weights:[| 2; 2 |] ~profits:[| 3; 3 |] ~capacity:4
+  in
+  check_bool "yes" true (Knapsack.decision inst ~min_profit:6 <> None);
+  check_bool "no" true (Knapsack.decision inst ~min_profit:7 = None)
+
+let knapsack_gen =
+  let open QCheck2.Gen in
+  let* n = int_range 0 10 in
+  let* weights = array_size (return n) (int_range 0 15) in
+  let* profits = array_size (return n) (int_range 0 20) in
+  let* capacity = int_range 0 40 in
+  return (Knapsack.make ~weights ~profits ~capacity)
+
+let brute_force_knapsack inst =
+  let n = Array.length inst.Knapsack.weights in
+  let best = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let w = ref 0 and p = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        w := !w + inst.Knapsack.weights.(i);
+        p := !p + inst.Knapsack.profits.(i)
+      end
+    done;
+    if !w <= inst.Knapsack.capacity && !p > !best then best := !p
+  done;
+  !best
+
+let prop_knapsack_optimal =
+  qcheck ~count:300 "knapsack DP matches brute force" knapsack_gen (fun inst ->
+      let sol = Knapsack.solve inst in
+      sol.Knapsack.total_weight <= inst.Knapsack.capacity
+      && sol.Knapsack.total_profit = brute_force_knapsack inst
+      && sol.Knapsack.total_profit
+         = List.fold_left
+             (fun acc i -> acc + inst.Knapsack.profits.(i))
+             0 sol.Knapsack.selected)
+
+(* Random small star with a bound that keeps the center feasible. *)
+let star_gen =
+  let open QCheck2.Gen in
+  let* r = int_range 1 10 in
+  let* center_weight = int_range 0 10 in
+  let* leaf_weights = list_size (return r) (int_range 1 15) in
+  let* edge_weights = list_size (return r) (int_range 1 20) in
+  let* extra = int_range 0 40 in
+  let maxleaf = List.fold_left Stdlib.max 1 leaf_weights in
+  let k = Stdlib.max (center_weight + extra) maxleaf in
+  return (Tlp_graph.Tree_gen.star ~center_weight ~leaf_weights ~edge_weights, k)
+
+let prop_star_optimal =
+  qcheck ~count:300 "star bandwidth via knapsack matches exhaustive" star_gen
+    (fun (t, k) ->
+      match Star.solve t ~k with
+      | Error _ -> false
+      | Ok { Star.cut; weight; _ } ->
+          Tree.is_feasible t ~k cut
+          && Tree.cut_weight t cut = weight
+          &&
+          (match Exhaustive.tree_min_bandwidth t ~k with
+          | Some (_, best) -> weight = best
+          | None -> false))
+
+let prop_reduction_roundtrip =
+  qcheck ~count:300
+    "Theorem 1 reduction: knapsack solution = kept leaves of the star"
+    knapsack_gen
+    (fun inst ->
+      (* Skip degenerate zero-leaf instances: stars need >= 1 leaf. *)
+      Array.length inst.Knapsack.weights = 0
+      ||
+      let t, k2 = Star.of_knapsack inst in
+      match Star.solve t ~k:(Stdlib.max k2 0) with
+      | Error _ ->
+          (* Only possible when a single leaf exceeds k2; then the star
+             instance is genuinely infeasible while the knapsack simply
+             never selects that item: verify it is too big to select. *)
+          Array.exists (fun w -> w > inst.Knapsack.capacity)
+            inst.Knapsack.weights
+      | Ok { Star.kept_leaves; _ } ->
+          let kept_profit =
+            List.fold_left
+              (fun acc v -> acc + inst.Knapsack.profits.(v - 1))
+              0 kept_leaves
+          in
+          let kept_weight =
+            List.fold_left
+              (fun acc v -> acc + inst.Knapsack.weights.(v - 1))
+              0 kept_leaves
+          in
+          kept_weight <= inst.Knapsack.capacity
+          && kept_profit = (Knapsack.solve inst).Knapsack.total_profit)
+
+let test_center_detection () =
+  let s =
+    Tlp_graph.Tree_gen.star ~center_weight:1 ~leaf_weights:[ 1; 2 ]
+      ~edge_weights:[ 1; 1 ]
+  in
+  Alcotest.(check (option int)) "star center" (Some 0) (Star.center s);
+  let path =
+    Tree.make ~weights:[| 1; 1; 1; 1 |]
+      ~edges:[ (0, 1, 1); (1, 2, 1); (2, 3, 1) ]
+  in
+  Alcotest.(check (option int)) "path is not a star" None (Star.center path)
+
+let suite =
+  [
+    Alcotest.test_case "knapsack known instance" `Quick test_knapsack_known;
+    Alcotest.test_case "knapsack zero capacity" `Quick test_knapsack_zero_capacity;
+    Alcotest.test_case "knapsack decision form" `Quick test_knapsack_decision;
+    prop_knapsack_optimal;
+    prop_star_optimal;
+    prop_reduction_roundtrip;
+    Alcotest.test_case "star center detection" `Quick test_center_detection;
+  ]

@@ -1,0 +1,115 @@
+(* Time Warp engine: protocol sanity and agreement with the conservative
+   engine on the committed outcome. *)
+
+open Helpers
+module Circuit = Tlp_des.Circuit
+module Cons = Tlp_des.Conservative_sim
+module Tw = Tlp_des.Timewarp_sim
+
+let tw_config_of (c : Cons.config) ~batch =
+  {
+    Tw.delays = c.Cons.delays;
+    input_period = c.Cons.input_period;
+    horizon = c.Cons.horizon;
+    batch;
+    window = 40;
+  }
+
+let test_single_lp_no_rollbacks () =
+  let circuit = Circuit.random (Rng.create 5) ~inputs:4 ~gates:40 () in
+  let schedule = Cons.random_schedule (Rng.create 6) circuit ~periods:20 in
+  let cfg = Cons.default_config circuit in
+  let r =
+    Tw.simulate circuit
+      ~assignment:(Array.make (Circuit.n circuit) 0)
+      ~schedule
+      (tw_config_of cfg ~batch:4)
+  in
+  check_int "no rollbacks" 0 r.Tw.rollbacks;
+  check_int "no antis" 0 r.Tw.anti_messages;
+  check_int "no cross messages" 0 r.Tw.value_messages;
+  Alcotest.(check (float 1e-9)) "efficiency 1" 1.0 r.Tw.efficiency
+
+let agreement seed inputs gates blocks batch =
+  let circuit = Circuit.random (Rng.create seed) ~inputs ~gates () in
+  let n = Circuit.n circuit in
+  let schedule = Cons.random_schedule (Rng.create (seed + 9)) circuit ~periods:25 in
+  let cfg = Cons.default_config circuit in
+  let assignment = Array.init n (fun i -> i * blocks / n) in
+  let conservative = Cons.simulate circuit ~assignment ~schedule cfg in
+  let optimistic =
+    Tw.simulate circuit ~assignment ~schedule (tw_config_of cfg ~batch)
+  in
+  (conservative, optimistic)
+
+let prop_agrees_with_conservative =
+  let gen =
+    let open QCheck2.Gen in
+    let* seed = int_range 0 5000 in
+    let* inputs = int_range 2 6 in
+    let* gates = int_range 5 60 in
+    let* blocks = int_range 1 5 in
+    let* batch = int_range 1 16 in
+    return (seed, inputs, gates, blocks, batch)
+  in
+  qcheck ~count:100 "Time Warp commits the conservative outcome" gen
+    (fun (seed, inputs, gates, blocks, batch) ->
+      let cons, tw = agreement seed inputs gates blocks batch in
+      tw.Tw.final_values = cons.Cons.final_values)
+
+let prop_protocol_invariants =
+  let gen =
+    let open QCheck2.Gen in
+    let* seed = int_range 0 5000 in
+    let* blocks = int_range 2 5 in
+    let* batch = int_range 1 32 in
+    return (seed, blocks, batch)
+  in
+  qcheck ~count:100 "Time Warp accounting invariants" gen
+    (fun (seed, blocks, batch) ->
+      let _, tw = agreement seed 4 50 blocks batch in
+      tw.Tw.committed_events <= tw.Tw.processed_events
+      && tw.Tw.processed_events
+         <= tw.Tw.committed_events + tw.Tw.rolled_back_events
+      && tw.Tw.efficiency > 0.0
+      && tw.Tw.efficiency <= 1.0 +. 1e-9)
+
+let test_fossil_collection () =
+  (* A long run with many periods: fossil collection must reclaim most
+     records and keep the peak log bounded well below total commits. *)
+  let circuit = Circuit.random (Rng.create 77) ~inputs:6 ~gates:120 () in
+  let n = Circuit.n circuit in
+  let schedule = Cons.random_schedule (Rng.create 78) circuit ~periods:95 in
+  let cfg = Cons.default_config circuit in
+  let r =
+    Tw.simulate circuit
+      ~assignment:(Array.init n (fun i -> i * 3 / n))
+      ~schedule
+      (tw_config_of cfg ~batch:8)
+  in
+  check_bool "collected most records" true
+    (r.Tw.fossils_collected > r.Tw.committed_events / 2);
+  check_bool "peak log bounded" true
+    (r.Tw.max_log_length < r.Tw.committed_events);
+  check_bool "gvt advanced" true (r.Tw.gvt_final > 0)
+
+let test_optimism_costs_rollbacks () =
+  (* Larger batches cannot reduce cross messages below the committed
+     minimum; usually they add rollbacks.  We only assert the protocol
+     stays correct at high optimism. *)
+  let cons, tw = agreement 123 6 200 4 64 in
+  check_bool "agrees at high optimism" true
+    (tw.Tw.final_values = cons.Cons.final_values);
+  check_bool "some cross traffic" true (tw.Tw.value_messages > 0)
+
+let suite =
+  [
+    Alcotest.test_case "single LP is rollback-free" `Quick
+      test_single_lp_no_rollbacks;
+    prop_agrees_with_conservative;
+    prop_protocol_invariants;
+    Alcotest.test_case "correct under high optimism" `Quick
+      test_optimism_costs_rollbacks;
+    Alcotest.test_case "fossil collection reclaims the log" `Quick
+      test_fossil_collection;
+  ]

@@ -1,0 +1,210 @@
+(* Tree algorithms: bottleneck (Alg 2.1), processor minimization
+   (Alg 2.2), and the combined pipeline, all against exhaustive oracles. *)
+
+open Helpers
+module Bottleneck = Tlp_core.Bottleneck
+module Proc_min = Tlp_core.Proc_min
+module Pipeline = Tlp_core.Tree_pipeline
+module Exhaustive = Tlp_baselines.Exhaustive
+
+(* ---------- Bottleneck ---------- *)
+
+let test_bottleneck_simple () =
+  (* Star: center 1, leaves 8/8/8 with edge weights 5,6,7; K=10 forces
+     cutting two leaves; optimal keeps the heaviest edge. *)
+  let t =
+    Tlp_graph.Tree_gen.star ~center_weight:1 ~leaf_weights:[ 8; 8; 8 ]
+      ~edge_weights:[ 5; 6; 7 ]
+  in
+  match Bottleneck.fast t ~k:10 with
+  | Ok { Bottleneck.cut; bottleneck } ->
+      check_int "bottleneck" 6 bottleneck;
+      Alcotest.check cut_testable "cut" [ 0; 1 ] cut
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+
+let test_bottleneck_no_cut_needed () =
+  let t = Tlp_graph.Tree_gen.star ~center_weight:1 ~leaf_weights:[ 1 ] ~edge_weights:[ 9 ] in
+  match Bottleneck.paper t ~k:2 with
+  | Ok { Bottleneck.cut; bottleneck } ->
+      Alcotest.check cut_testable "cut" [] cut;
+      check_int "bottleneck" 0 bottleneck
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+
+let test_bottleneck_infeasible () =
+  let t = Tlp_graph.Tree_gen.star ~center_weight:99 ~leaf_weights:[ 1 ] ~edge_weights:[ 1 ] in
+  match Bottleneck.fast t ~k:10 with
+  | Error { Tlp_core.Infeasible.vertex = 0; _ } -> ()
+  | _ -> Alcotest.fail "expected center infeasible"
+
+let prop_bottleneck_variants_agree =
+  qcheck ~count:400 "paper and fast produce the same prefix cut"
+    QCheck2.(Gen.map Fun.id small_tree_gen)
+    (fun (t, k) ->
+      match (Bottleneck.paper t ~k, Bottleneck.fast t ~k) with
+      | Ok a, Ok b ->
+          a.Bottleneck.cut = b.Bottleneck.cut
+          && a.Bottleneck.bottleneck = b.Bottleneck.bottleneck
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let prop_bottleneck_optimal =
+  qcheck ~count:400 "bottleneck value matches the exhaustive optimum"
+    QCheck2.(Gen.map Fun.id small_tree_gen)
+    (fun (t, k) ->
+      match Bottleneck.fast t ~k with
+      | Error _ -> false
+      | Ok { Bottleneck.cut; bottleneck } ->
+          Tree.is_feasible t ~k cut
+          &&
+          (match Exhaustive.tree_min_bottleneck t ~k with
+          | Some (_, best) -> bottleneck = best
+          | None -> false))
+
+let prop_prune_keeps_value =
+  qcheck ~count:300 "pruning keeps feasibility, bottleneck and minimality"
+    QCheck2.(Gen.map Fun.id small_tree_gen)
+    (fun (t, k) ->
+      match Bottleneck.fast t ~k with
+      | Error _ -> false
+      | Ok { Bottleneck.cut; bottleneck } ->
+          let pruned = Bottleneck.prune t ~k cut in
+          Tree.is_feasible t ~k pruned
+          && List.length pruned <= List.length cut
+          && Tree.max_cut_edge t pruned = bottleneck
+          && (* inclusion-minimal: restoring any single pruned edge breaks
+                feasibility *)
+          List.for_all
+            (fun e ->
+              not (Tree.is_feasible t ~k (List.filter (( <> ) e) pruned)))
+            pruned)
+
+(* ---------- Proc_min ---------- *)
+
+let test_proc_min_star () =
+  (* The §2.2 star discussion: prune lightest?  No — Algorithm 2.2 cuts
+     heaviest leaves first.  Center 2, leaves 6,6,5,5, K=12:
+     total 24, cutting the two 6s leaves 12. *)
+  let t =
+    Tlp_graph.Tree_gen.star ~center_weight:2 ~leaf_weights:[ 6; 6; 5; 5 ]
+      ~edge_weights:[ 1; 1; 1; 1 ]
+  in
+  match Proc_min.solve t ~k:12 with
+  | Ok { Proc_min.cut; n_components } ->
+      check_int "components" 3 n_components;
+      check_int "cut size" 2 (List.length cut)
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+
+let test_proc_min_single_vertex () =
+  let t = Tree.make ~weights:[| 5 |] ~edges:[] in
+  match Proc_min.solve t ~k:5 with
+  | Ok { Proc_min.cut; n_components } ->
+      Alcotest.check cut_testable "empty" [] cut;
+      check_int "one component" 1 n_components
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+
+let test_proc_min_two_vertices () =
+  let t = Tree.make ~weights:[| 5; 6 |] ~edges:[ (0, 1, 3) ] in
+  (match Proc_min.solve t ~k:11 with
+  | Ok { Proc_min.cut; _ } -> Alcotest.check cut_testable "fits" [] cut
+  | Error _ -> Alcotest.fail "unexpected infeasibility");
+  match Proc_min.solve t ~k:10 with
+  | Ok { Proc_min.cut; _ } -> Alcotest.check cut_testable "split" [ 0 ] cut
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+
+let test_proc_min_trace () =
+  (* Figure 1 style: the trace reports gathered weight and cut children. *)
+  let t =
+    Tlp_graph.Tree_gen.star ~center_weight:2 ~leaf_weights:[ 6; 6; 5; 5 ]
+      ~edge_weights:[ 1; 1; 1; 1 ]
+  in
+  let steps = ref [] in
+  (match Proc_min.solve ~on_step:(fun s -> steps := s :: !steps) t ~k:12 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "unexpected infeasibility");
+  match !steps with
+  | [ s ] ->
+      check_int "vertex is center" 0 s.Proc_min.vertex;
+      check_int "gathered" 24 s.Proc_min.gathered;
+      check_int "residual" 12 s.Proc_min.residual;
+      check_int "cut two" 2 (List.length s.Proc_min.cut_children)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 step, got %d" (List.length l))
+
+let prop_proc_min_optimal_cardinality =
+  qcheck ~count:400 "Algorithm 2.2 cardinality matches the exhaustive optimum"
+    QCheck2.(Gen.map Fun.id small_tree_gen)
+    (fun (t, k) ->
+      match Proc_min.solve t ~k with
+      | Error _ -> false
+      | Ok { Proc_min.cut; n_components } ->
+          Tree.is_feasible t ~k cut
+          && n_components = List.length cut + 1
+          &&
+          (match Exhaustive.tree_min_cardinality t ~k with
+          | Some (_, best) -> List.length cut = best
+          | None -> false))
+
+let prop_proc_min_root_invariant =
+  qcheck ~count:200 "cut cardinality does not depend on the chosen root"
+    QCheck2.(Gen.map Fun.id small_tree_gen)
+    (fun (t, k) ->
+      let card root =
+        match Proc_min.solve ~root t ~k with
+        | Ok { Proc_min.cut; _ } -> List.length cut
+        | Error _ -> -1
+      in
+      let c0 = card 0 in
+      List.for_all (fun r -> card r = c0) (List.init (Tree.n t) Fun.id))
+
+(* ---------- Pipeline ---------- *)
+
+let prop_pipeline_sound =
+  qcheck ~count:400 "pipeline: optimal bottleneck, feasible, fewer components"
+    QCheck2.(Gen.map Fun.id small_tree_gen)
+    (fun (t, k) ->
+      match Pipeline.partition t ~k with
+      | Error _ -> false
+      | Ok r ->
+          Tree.is_feasible t ~k r.Pipeline.cut
+          && r.Pipeline.n_components <= r.Pipeline.raw_components
+          && r.Pipeline.n_components = List.length r.Pipeline.cut + 1
+          && r.Pipeline.bandwidth = Tree.cut_weight t r.Pipeline.cut
+          &&
+          (match Exhaustive.tree_min_bottleneck t ~k with
+          | Some (_, best) -> r.Pipeline.bottleneck <= best
+          | None -> false))
+
+let prop_pipeline_assignment =
+  qcheck ~count:200 "assignment maps every component to one block"
+    QCheck2.(Gen.map Fun.id small_tree_gen)
+    (fun (t, k) ->
+      match Pipeline.partition t ~k with
+      | Error _ -> false
+      | Ok r ->
+          let assign = Pipeline.assignment t r.Pipeline.cut in
+          let comps = Tree.components t r.Pipeline.cut in
+          List.for_all
+            (fun vs ->
+              match vs with
+              | [] -> false
+              | v0 :: rest -> List.for_all (fun v -> assign.(v) = assign.(v0)) rest)
+            comps)
+
+let suite =
+  [
+    Alcotest.test_case "bottleneck on a star" `Quick test_bottleneck_simple;
+    Alcotest.test_case "bottleneck empty cut" `Quick test_bottleneck_no_cut_needed;
+    Alcotest.test_case "bottleneck infeasible center" `Quick
+      test_bottleneck_infeasible;
+    prop_bottleneck_variants_agree;
+    prop_bottleneck_optimal;
+    prop_prune_keeps_value;
+    Alcotest.test_case "proc-min cuts heaviest star leaves" `Quick
+      test_proc_min_star;
+    Alcotest.test_case "proc-min single vertex" `Quick test_proc_min_single_vertex;
+    Alcotest.test_case "proc-min two vertices" `Quick test_proc_min_two_vertices;
+    Alcotest.test_case "proc-min trace (Figure 1)" `Quick test_proc_min_trace;
+    prop_proc_min_optimal_cardinality;
+    prop_proc_min_root_invariant;
+    prop_pipeline_sound;
+    prop_pipeline_assignment;
+  ]

@@ -1,0 +1,100 @@
+(* Exact tree bandwidth minimization (pseudo-polynomial extension of the
+   Theorem 1 reduction), cross-checked against three oracles. *)
+
+open Helpers
+module Tb = Tlp_core.Tree_bandwidth
+module Star = Tlp_core.Star_bandwidth
+module Bandwidth = Tlp_core.Bandwidth
+module Exhaustive = Tlp_baselines.Exhaustive
+
+let test_path_example () =
+  (* Same instance as the bandwidth quickstart: chain as a tree. *)
+  let c = Chain.of_lists [ 5; 5; 5 ] [ 7; 2 ] in
+  match Tb.solve (Tree.of_chain c) ~k:10 with
+  | Ok { Tb.cut; weight } ->
+      check_int "weight" 2 weight;
+      Alcotest.check cut_testable "cut" [ 1 ] cut
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+
+let test_whole_tree_fits () =
+  let t =
+    Tlp_graph.Tree_gen.star ~center_weight:1 ~leaf_weights:[ 2; 3 ]
+      ~edge_weights:[ 10; 10 ]
+  in
+  match Tb.solve t ~k:6 with
+  | Ok { Tb.cut; weight } ->
+      Alcotest.check cut_testable "cut" [] cut;
+      check_int "weight" 0 weight
+  | Error _ -> Alcotest.fail "unexpected infeasibility"
+
+let test_infeasible () =
+  let t = Tree.make ~weights:[| 1; 50 |] ~edges:[ (0, 1, 2) ] in
+  match Tb.solve t ~k:10 with
+  | Error { Tlp_core.Infeasible.vertex = 1; _ } -> ()
+  | _ -> Alcotest.fail "expected infeasibility"
+
+let prop_matches_exhaustive =
+  qcheck ~count:300 "tree DP matches the exhaustive optimum"
+    QCheck2.(Gen.map Fun.id small_tree_gen)
+    (fun (t, k) ->
+      match Tb.solve t ~k with
+      | Error _ -> false
+      | Ok { Tb.cut; weight } ->
+          Tree.is_feasible t ~k cut
+          && Tree.cut_weight t cut = weight
+          &&
+          (match Exhaustive.tree_min_bandwidth t ~k with
+          | Some (_, best) -> weight = best
+          | None -> false))
+
+let prop_matches_star_solver =
+  let star_gen =
+    let open QCheck2.Gen in
+    let* r = int_range 1 12 in
+    let* center_weight = int_range 0 10 in
+    let* leaf_weights = list_size (return r) (int_range 1 15) in
+    let* edge_weights = list_size (return r) (int_range 1 20) in
+    let* extra = int_range 0 60 in
+    let maxleaf = List.fold_left Stdlib.max 1 leaf_weights in
+    let k = Stdlib.max (center_weight + extra) maxleaf in
+    return
+      (Tlp_graph.Tree_gen.star ~center_weight ~leaf_weights ~edge_weights, k)
+  in
+  qcheck ~count:300 "tree DP equals the knapsack star solver" star_gen
+    (fun (t, k) ->
+      match (Tb.solve t ~k, Star.solve t ~k) with
+      | Ok a, Ok b -> a.Tb.weight = b.Star.weight
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let prop_matches_chain_solver =
+  qcheck ~count:300 "tree DP equals the chain DP on paths"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      match (Tb.solve (Tree.of_chain c) ~k, Bandwidth.deque c ~k) with
+      | Ok a, Ok b -> a.Tb.weight = b.Bandwidth.weight
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let prop_root_invariant =
+  qcheck ~count:150 "optimal weight does not depend on the root"
+    QCheck2.(Gen.map Fun.id small_tree_gen)
+    (fun (t, k) ->
+      let weight root =
+        match Tb.solve ~root t ~k with
+        | Ok { Tb.weight; _ } -> weight
+        | Error _ -> -1
+      in
+      let w0 = weight 0 in
+      List.for_all (fun r -> weight r = w0) (List.init (Tree.n t) Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "path instance" `Quick test_path_example;
+    Alcotest.test_case "whole tree fits" `Quick test_whole_tree_fits;
+    Alcotest.test_case "oversized vertex" `Quick test_infeasible;
+    prop_matches_exhaustive;
+    prop_matches_star_solver;
+    prop_matches_chain_solver;
+    prop_root_invariant;
+  ]

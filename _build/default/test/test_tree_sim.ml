@@ -1,0 +1,106 @@
+(* Tree execution simulator + the naive prime-recurrence ablation. *)
+
+open Helpers
+module Machine = Tlp_archsim.Machine
+module Tree_sim = Tlp_archsim.Tree_sim
+module Naive = Tlp_core.Bandwidth_primes_naive
+module Hitting = Tlp_core.Bandwidth_hitting
+
+let machine p = Machine.make ~processors:p ()
+
+let test_single_processor_sum () =
+  (* No cut: one processor executes every task serially. *)
+  let t =
+    Tree.make ~weights:[| 3; 4; 5 |] ~edges:[ (0, 1, 2); (0, 2, 2) ]
+  in
+  let r = Tree_sim.run ~machine:(machine 1) ~tree:t ~cut:[] () in
+  check_int "makespan = total work" 12 r.Tree_sim.makespan;
+  check_int "no traffic" 0 r.Tree_sim.traffic;
+  check_int "critical path" 8 r.Tree_sim.critical_path;
+  Alcotest.(check (float 1e-9)) "full utilization" 1.0 r.Tree_sim.utilization
+
+let test_two_processor_overlap () =
+  (* Root 1 with two child subtrees of weight 10 each; cutting one child
+     lets the subtrees overlap. *)
+  let t =
+    Tree.make ~weights:[| 1; 10; 10 |] ~edges:[ (0, 1, 4); (0, 2, 4) ]
+  in
+  let serial = Tree_sim.run ~machine:(machine 2) ~tree:t ~cut:[] () in
+  let parallel = Tree_sim.run ~machine:(machine 2) ~tree:t ~cut:[ 0 ] () in
+  check_int "serial makespan" 21 serial.Tree_sim.makespan;
+  (* Parallel: both children at t=10; transfer of child 1's result takes
+     4; root starts at max(10, 14) = 14, ends 15. *)
+  check_int "parallel makespan" 15 parallel.Tree_sim.makespan;
+  check_int "traffic" 4 parallel.Tree_sim.traffic;
+  check_int "network time" 4 parallel.Tree_sim.network_busy_time
+
+let test_rejects_too_few_processors () =
+  let t = Tree.make ~weights:[| 1; 1 |] ~edges:[ (0, 1, 1) ] in
+  Alcotest.check_raises "reject"
+    (Invalid_argument "Tree_sim.run: more components than processors")
+    (fun () -> ignore (Tree_sim.run ~machine:(machine 1) ~tree:t ~cut:[ 0 ] ()))
+
+let prop_makespan_bounds =
+  qcheck ~count:200 "critical path <= makespan <= serialized total"
+    QCheck2.(Gen.map Fun.id small_tree_gen)
+    (fun (t, k) ->
+      match Tlp_core.Tree_pipeline.partition t ~k with
+      | Error _ -> false
+      | Ok { Tlp_core.Tree_pipeline.cut; _ } ->
+          let r =
+            Tree_sim.run ~machine:(machine 32) ~tree:t ~cut ()
+          in
+          let total = Tree.total_weight t in
+          r.Tree_sim.makespan >= r.Tree_sim.critical_path
+          && r.Tree_sim.makespan <= total + r.Tree_sim.network_busy_time
+          && r.Tree_sim.traffic = Tree.cut_weight t cut)
+
+let prop_no_cut_equals_total =
+  qcheck ~count:150 "uncut trees take exactly total work"
+    QCheck2.(Gen.map Fun.id small_tree_gen)
+    (fun (t, _) ->
+      let r = Tree_sim.run ~machine:(machine 1) ~tree:t ~cut:[] () in
+      r.Tree_sim.makespan = Tree.total_weight t)
+
+let prop_naive_recurrence_matches_temps =
+  qcheck ~count:400 "naive prime recurrence equals the TEMP_S optimum"
+    QCheck2.(Gen.map Fun.id small_chain_gen)
+    (fun (c, k) ->
+      match (Naive.solve c ~k, Hitting.solve c ~k) with
+      | Ok a, Ok b ->
+          a.Naive.weight = b.Hitting.weight
+          && Chain.is_feasible c ~k a.Naive.cut
+          && Chain.cut_weight c a.Naive.cut = a.Naive.weight
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let prop_naive_recurrence_large =
+  let gen =
+    let open QCheck2.Gen in
+    let* n = int_range 100 800 in
+    let* maxw = int_range 2 40 in
+    let* alpha = array_size (return n) (int_range 1 maxw) in
+    let* beta = array_size (return (n - 1)) (int_range 1 50) in
+    let* k = int_range maxw (4 * maxw) in
+    return (Chain.make ~alpha ~beta, k)
+  in
+  qcheck ~count:50 "naive recurrence matches TEMP_S on larger chains" gen
+    (fun (c, k) ->
+      match (Naive.solve c ~k, Hitting.solve c ~k) with
+      | Ok a, Ok b -> a.Naive.weight = b.Hitting.weight
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "single processor sums the work" `Quick
+      test_single_processor_sum;
+    Alcotest.test_case "two processors overlap subtrees" `Quick
+      test_two_processor_overlap;
+    Alcotest.test_case "too few processors rejected" `Quick
+      test_rejects_too_few_processors;
+    prop_makespan_bounds;
+    prop_no_cut_equals_total;
+    prop_naive_recurrence_matches_temps;
+    prop_naive_recurrence_large;
+  ]
