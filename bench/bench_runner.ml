@@ -39,3 +39,142 @@ let pp_ns ns =
   else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
   else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
   else Printf.sprintf "%.0f ns" ns
+
+(* ---------- machine-readable benchmark records ---------- *)
+
+module Metrics = Tlp_util.Metrics
+module Json_out = Tlp_util.Json_out
+
+(* One instrumented solver run: op counters from the metrics sink plus the
+   wall-clock / allocation span sampled around the call. *)
+type record = {
+  algorithm : string;
+  n : int;
+  k : int;
+  p : int;  (** prime subpaths of the instance at this K *)
+  q_mean : float;  (** mean prime-group multiplicity *)
+  wall_s : float;
+  alloc_words : float;
+  major_collections : int;
+  ops : (string * int) list;
+}
+
+let measure ~algorithm ~n ~k ~p ~q_mean solve =
+  let metrics = Metrics.create () in
+  Metrics.with_span metrics "solve" (fun () -> solve ~metrics);
+  let span =
+    match Metrics.span metrics "solve" with
+    | Some s -> s
+    | None -> assert false
+  in
+  {
+    algorithm;
+    n;
+    k;
+    p;
+    q_mean;
+    wall_s = span.Metrics.total_s;
+    alloc_words = span.Metrics.alloc_words;
+    major_collections = span.Metrics.major_collections;
+    ops = Metrics.counters metrics;
+  }
+
+let json_of_record r =
+  Json_out.Obj
+    [
+      ("algorithm", Json_out.String r.algorithm);
+      ("n", Json_out.Int r.n);
+      ("k", Json_out.Int r.k);
+      ("p", Json_out.Int r.p);
+      ("q_mean", Json_out.Float r.q_mean);
+      ("wall_s", Json_out.Float r.wall_s);
+      ("alloc_words", Json_out.Float r.alloc_words);
+      ("major_collections", Json_out.Int r.major_collections);
+      ("ops", Json_out.Obj (List.map (fun (k, v) -> (k, Json_out.Int v)) r.ops));
+    ]
+
+let partitioning_json records =
+  Json_out.Obj
+    [
+      ("schema", Json_out.String "tlp.bench.partitioning/v1");
+      ("suite", Json_out.String "partitioning");
+      ("records", Json_out.List (List.map json_of_record records));
+    ]
+
+let write_partitioning_json ?(path = "BENCH_partitioning.json") records =
+  let text = Json_out.to_string (partitioning_json records) in
+  assert (Json_out.is_valid text);
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc text;
+      Out_channel.output_char oc '\n');
+  path
+
+(* The consolidated perf-trajectory suite: the three §2.3 bandwidth DP
+   solvers plus the paper's hitting algorithm and the two tree bottleneck
+   variants, instrumented, across instance sizes and K regimes. *)
+let run_partitioning_suite ?path () =
+  let module Chain_gen = Tlp_graph.Chain_gen in
+  let module Tree_gen = Tlp_graph.Tree_gen in
+  let module Weights = Tlp_graph.Weights in
+  let module Bandwidth = Tlp_core.Bandwidth in
+  let module Hitting = Tlp_core.Bandwidth_hitting in
+  let module Bottleneck = Tlp_core.Bottleneck in
+  let module Prime_subpaths = Tlp_core.Prime_subpaths in
+  let module Rng = Tlp_util.Rng in
+  let max_weight = 100 in
+  let ok = function Ok _ -> () | Error _ -> assert false in
+  let chain_records =
+    List.concat_map
+      (fun n ->
+        let rng = Rng.create 7 in
+        let chain = Chain_gen.figure2 rng ~n ~max_weight in
+        List.concat_map
+          (fun factor ->
+            let k = factor * max_weight in
+            let p, q_mean =
+              match Prime_subpaths.compute chain ~k with
+              | Ok primes ->
+                  let s = Prime_subpaths.stats chain primes in
+                  (s.Prime_subpaths.p, s.Prime_subpaths.q_mean)
+              | Error _ -> (0, 0.0)
+            in
+            List.map
+              (fun (algorithm, solve) ->
+                measure ~algorithm ~n ~k ~p ~q_mean solve)
+              [
+                ( "bandwidth_naive",
+                  fun ~metrics -> ok (Bandwidth.naive ~metrics chain ~k) );
+                ( "bandwidth_heap",
+                  fun ~metrics -> ok (Bandwidth.heap ~metrics chain ~k) );
+                ( "bandwidth_deque",
+                  fun ~metrics -> ok (Bandwidth.deque ~metrics chain ~k) );
+                ( "bandwidth_hitting",
+                  fun ~metrics -> ok (Hitting.solve ~metrics chain ~k) );
+              ])
+          [ 2; 16; 128 ])
+      [ 2000; 20000 ]
+  in
+  let tree_records =
+    List.concat_map
+      (fun n ->
+        let d = Weights.Uniform (1, max_weight) in
+        let rng = Rng.create 11 in
+        let t =
+          Tree_gen.random_attachment rng ~n ~weight_dist:d ~delta_dist:d
+        in
+        let k = 8 * max_weight in
+        List.map
+          (fun (algorithm, solve) ->
+            measure ~algorithm ~n ~k ~p:0 ~q_mean:0.0 solve)
+          ([ ( "bottleneck_fast",
+               fun ~metrics -> ok (Bottleneck.fast ~metrics t ~k) ) ]
+          @
+          if n <= 2000 then
+            [ ( "bottleneck_paper",
+                fun ~metrics -> ok (Bottleneck.paper ~metrics t ~k) ) ]
+          else []))
+      [ 2000; 20000 ]
+  in
+  let records = chain_records @ tree_records in
+  let path = write_partitioning_json ?path records in
+  Printf.printf "wrote %s (%d records)\n" path (List.length records)

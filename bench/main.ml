@@ -11,6 +11,7 @@
      ladder    E8  Bokhari / Hansen-Lih / Nicol baseline ladder
      theorem1  E9  star bandwidth via knapsack vs greedy
      ablation  E10 TEMP_S vs naive recurrence; prune vs Alg 2.2; CMB nulls
+     json      instrumented solver records -> BENCH_partitioning.json
 
    Run all sections:        dune exec bench/main.exe
    Run selected sections:   dune exec bench/main.exe -- figure2 timing *)
@@ -25,6 +26,7 @@ let sections =
     ("ladder", Exp_chain_on_chain.run);
     ("theorem1", Exp_theorem1.run);
     ("ablation", Exp_ablation.run);
+    ("json", fun () -> Bench_runner.run_partitioning_suite ());
   ]
 
 let () =

@@ -13,6 +13,8 @@ module Weights = Tlp_graph.Weights
 module Io = Tlp_graph.Instance_io
 module Rng = Tlp_util.Rng
 module Texttab = Tlp_util.Texttab
+module Metrics = Tlp_util.Metrics
+module Json = Tlp_util.Json_out
 
 (* ---------- shared arguments ---------- *)
 
@@ -38,6 +40,35 @@ let dist_conv =
     | exception Invalid_argument msg -> Error (`Msg msg)
   in
   Arg.conv (parse, fun ppf d -> Format.pp_print_string ppf (Weights.to_string d))
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("json", `Json); ("text", `Text) ])) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Report solver instrumentation (op counts, wall time, \
+           allocations).  With $(b,json) the entire output is a single \
+           JSON document; with $(b,text) a metrics table follows the \
+           normal output.")
+
+(* Every instrumented subcommand funnels its result through [emit]: the
+   solution as JSON fields plus a thunk printing the classic text form.
+   JSON mode prints exactly one JSON document on stdout. *)
+let emit mode metrics ~json_fields ~text =
+  match mode with
+  | Some `Json ->
+      print_endline
+        (Json.to_string
+           (Json.Obj (json_fields @ [ ("metrics", Metrics.to_json metrics) ])))
+  | Some `Text ->
+      text ();
+      print_string (Metrics.render_text metrics)
+  | None -> text ()
+
+let json_cut cut = Json.List (List.map (fun e -> Json.Int e) cut)
+
+let json_ints xs = Json.List (List.map (fun x -> Json.Int x) xs)
 
 let fail msg =
   prerr_endline ("error: " ^ msg);
@@ -124,7 +155,8 @@ let write_dot dot contents =
   | Some path ->
       Out_channel.with_open_text path (fun oc ->
           Out_channel.output_string oc contents);
-      Printf.printf "dot written to %s\n" path
+      (* stderr so that [--metrics json] output stays a single document *)
+      Printf.eprintf "dot written to %s\n" path
 
 let print_chain_solution name cut weight chain k =
   Printf.printf "algorithm: %s\n" name;
@@ -137,77 +169,154 @@ let print_chain_solution name cut weight chain k =
        (List.map string_of_int (Chain.component_weights chain cut)));
   Printf.printf "feasible: %b\n" (Chain.is_feasible chain ~k cut)
 
-let partition algorithm path k dot =
+let partition algorithm path k dot metrics_mode =
+  let metrics =
+    match metrics_mode with Some _ -> Metrics.create () | None -> Metrics.null
+  in
+  let emit = emit metrics_mode metrics in
   match (load_instance path, algorithm) with
   | Io.Chain_instance chain, `Bandwidth -> (
-      match Tlp_core.Bandwidth_hitting.solve chain ~k with
+      match Tlp_core.Bandwidth_hitting.solve ~metrics chain ~k with
       | Ok { Tlp_core.Bandwidth_hitting.cut; weight; stats } ->
-          print_chain_solution "bandwidth (TEMP_S)" cut weight chain k;
           write_dot dot
             (Tlp_graph.Dot.of_chain
                ~assignment:(assignment_of_chain_cut chain cut) chain);
-          Printf.printf "primes: %d, groups: %d, q: %.2f\n"
-            stats.Tlp_core.Bandwidth_hitting.p stats.Tlp_core.Bandwidth_hitting.r
-            stats.Tlp_core.Bandwidth_hitting.q_mean
+          emit
+            ~json_fields:
+              [
+                ("algorithm", Json.String "bandwidth (TEMP_S)");
+                ("cut", json_cut cut);
+                ("weight", Json.Int weight);
+                ("components", Json.Int (List.length cut + 1));
+                ( "component_weights",
+                  json_ints (Chain.component_weights chain cut) );
+                ("primes", Json.Int stats.Tlp_core.Bandwidth_hitting.p);
+                ("groups", Json.Int stats.Tlp_core.Bandwidth_hitting.r);
+                ("q_mean", Json.Float stats.Tlp_core.Bandwidth_hitting.q_mean);
+              ]
+            ~text:(fun () ->
+              print_chain_solution "bandwidth (TEMP_S)" cut weight chain k;
+              Printf.printf "primes: %d, groups: %d, q: %.2f\n"
+                stats.Tlp_core.Bandwidth_hitting.p
+                stats.Tlp_core.Bandwidth_hitting.r
+                stats.Tlp_core.Bandwidth_hitting.q_mean)
       | Error e -> fail (Tlp_core.Infeasible.to_string e))
   | Io.Chain_instance chain, `Bottleneck -> (
-      match Tlp_core.Chain_bottleneck.solve chain ~k with
+      match Tlp_core.Chain_bottleneck.solve ~metrics chain ~k with
       | Ok { Tlp_core.Chain_bottleneck.cut; bottleneck } ->
-          print_chain_solution "chain bottleneck" cut
-            (Chain.cut_weight chain cut) chain k;
-          Printf.printf "bottleneck: %d\n" bottleneck;
           write_dot dot
             (Tlp_graph.Dot.of_chain
-               ~assignment:(assignment_of_chain_cut chain cut) chain)
+               ~assignment:(assignment_of_chain_cut chain cut) chain);
+          emit
+            ~json_fields:
+              [
+                ("algorithm", Json.String "chain bottleneck");
+                ("cut", json_cut cut);
+                ("weight", Json.Int (Chain.cut_weight chain cut));
+                ("bottleneck", Json.Int bottleneck);
+                ("components", Json.Int (List.length cut + 1));
+              ]
+            ~text:(fun () ->
+              print_chain_solution "chain bottleneck" cut
+                (Chain.cut_weight chain cut) chain k;
+              Printf.printf "bottleneck: %d\n" bottleneck)
       | Error e -> fail (Tlp_core.Infeasible.to_string e))
   | Io.Chain_instance chain, (`Procmin | `Pipeline) -> (
       (* A chain is a tree; run the tree pipeline on it. *)
       let t = Tree.of_chain chain in
-      match Tlp_core.Tree_pipeline.partition t ~k with
+      match Tlp_core.Tree_pipeline.partition ~metrics t ~k with
       | Ok r ->
-          Printf.printf "algorithm: tree pipeline on chain\n";
-          Printf.printf "components: %d (bottleneck %d, bandwidth %d)\n"
-            r.Tlp_core.Tree_pipeline.n_components
-            r.Tlp_core.Tree_pipeline.bottleneck
-            r.Tlp_core.Tree_pipeline.bandwidth
+          emit
+            ~json_fields:
+              [
+                ("algorithm", Json.String "tree pipeline on chain");
+                ("cut", json_cut r.Tlp_core.Tree_pipeline.cut);
+                ( "components",
+                  Json.Int r.Tlp_core.Tree_pipeline.n_components );
+                ("bottleneck", Json.Int r.Tlp_core.Tree_pipeline.bottleneck);
+                ("bandwidth", Json.Int r.Tlp_core.Tree_pipeline.bandwidth);
+              ]
+            ~text:(fun () ->
+              Printf.printf "algorithm: tree pipeline on chain\n";
+              Printf.printf "components: %d (bottleneck %d, bandwidth %d)\n"
+                r.Tlp_core.Tree_pipeline.n_components
+                r.Tlp_core.Tree_pipeline.bottleneck
+                r.Tlp_core.Tree_pipeline.bandwidth)
       | Error e -> fail (Tlp_core.Infeasible.to_string e))
   | Io.Tree_instance t, `Bottleneck -> (
-      match Tlp_core.Bottleneck.fast t ~k with
+      match Tlp_core.Bottleneck.fast ~metrics t ~k with
       | Ok { Tlp_core.Bottleneck.cut; bottleneck } ->
-          Printf.printf "algorithm: tree bottleneck (Alg 2.1)\n";
-          Printf.printf "cut edges: [%s]\n"
-            (String.concat "; " (List.map string_of_int cut));
-          Printf.printf "bottleneck: %d\ncomponents: %d\n" bottleneck
-            (List.length cut + 1)
+          emit
+            ~json_fields:
+              [
+                ("algorithm", Json.String "tree bottleneck (Alg 2.1)");
+                ("cut", json_cut cut);
+                ("bottleneck", Json.Int bottleneck);
+                ("components", Json.Int (List.length cut + 1));
+              ]
+            ~text:(fun () ->
+              Printf.printf "algorithm: tree bottleneck (Alg 2.1)\n";
+              Printf.printf "cut edges: [%s]\n"
+                (String.concat "; " (List.map string_of_int cut));
+              Printf.printf "bottleneck: %d\ncomponents: %d\n" bottleneck
+                (List.length cut + 1))
       | Error e -> fail (Tlp_core.Infeasible.to_string e))
   | Io.Tree_instance t, `Procmin -> (
-      match Tlp_core.Proc_min.solve t ~k with
+      match Tlp_core.Proc_min.solve ~metrics t ~k with
       | Ok { Tlp_core.Proc_min.cut; n_components } ->
-          Printf.printf "algorithm: processor minimization (Alg 2.2)\n";
-          Printf.printf "cut edges: [%s]\n"
-            (String.concat "; " (List.map string_of_int cut));
-          Printf.printf "components: %d\n" n_components;
-          Printf.printf "component weights: [%s]\n"
-            (String.concat "; "
-               (List.map string_of_int (Tree.component_weights t cut)))
+          emit
+            ~json_fields:
+              [
+                ( "algorithm",
+                  Json.String "processor minimization (Alg 2.2)" );
+                ("cut", json_cut cut);
+                ("components", Json.Int n_components);
+                ( "component_weights",
+                  json_ints (Tree.component_weights t cut) );
+              ]
+            ~text:(fun () ->
+              Printf.printf "algorithm: processor minimization (Alg 2.2)\n";
+              Printf.printf "cut edges: [%s]\n"
+                (String.concat "; " (List.map string_of_int cut));
+              Printf.printf "components: %d\n" n_components;
+              Printf.printf "component weights: [%s]\n"
+                (String.concat "; "
+                   (List.map string_of_int (Tree.component_weights t cut))))
       | Error e -> fail (Tlp_core.Infeasible.to_string e))
   | Io.Tree_instance t, `Pipeline -> (
-      match Tlp_core.Tree_pipeline.partition t ~k with
+      match Tlp_core.Tree_pipeline.partition ~metrics t ~k with
       | Ok r ->
-          Printf.printf "algorithm: full pipeline (bottleneck + proc-min)\n";
-          Printf.printf "cut edges: [%s]\n"
-            (String.concat "; "
-               (List.map string_of_int r.Tlp_core.Tree_pipeline.cut));
-          Printf.printf "bottleneck: %d\nbandwidth: %d\ncomponents: %d (raw %d)\n"
-            r.Tlp_core.Tree_pipeline.bottleneck r.Tlp_core.Tree_pipeline.bandwidth
-            r.Tlp_core.Tree_pipeline.n_components
-            r.Tlp_core.Tree_pipeline.raw_components;
           write_dot dot
             (Tlp_graph.Dot.of_tree
                ~assignment:
                  (Tlp_core.Tree_pipeline.assignment t
                     r.Tlp_core.Tree_pipeline.cut)
-               t)
+               t);
+          emit
+            ~json_fields:
+              [
+                ( "algorithm",
+                  Json.String "full pipeline (bottleneck + proc-min)" );
+                ("cut", json_cut r.Tlp_core.Tree_pipeline.cut);
+                ("bottleneck", Json.Int r.Tlp_core.Tree_pipeline.bottleneck);
+                ("bandwidth", Json.Int r.Tlp_core.Tree_pipeline.bandwidth);
+                ( "components",
+                  Json.Int r.Tlp_core.Tree_pipeline.n_components );
+                ( "raw_components",
+                  Json.Int r.Tlp_core.Tree_pipeline.raw_components );
+              ]
+            ~text:(fun () ->
+              Printf.printf
+                "algorithm: full pipeline (bottleneck + proc-min)\n";
+              Printf.printf "cut edges: [%s]\n"
+                (String.concat "; "
+                   (List.map string_of_int r.Tlp_core.Tree_pipeline.cut));
+              Printf.printf
+                "bottleneck: %d\nbandwidth: %d\ncomponents: %d (raw %d)\n"
+                r.Tlp_core.Tree_pipeline.bottleneck
+                r.Tlp_core.Tree_pipeline.bandwidth
+                r.Tlp_core.Tree_pipeline.n_components
+                r.Tlp_core.Tree_pipeline.raw_components)
       | Error e -> fail (Tlp_core.Infeasible.to_string e))
   | Io.Tree_instance t, `Bandwidth -> (
       (* NP-complete in general (Theorem 1); exact for stars. *)
@@ -215,10 +324,20 @@ let partition algorithm path k dot =
       | Some _ -> (
           match Tlp_core.Star_bandwidth.solve t ~k with
           | Ok { Tlp_core.Star_bandwidth.cut; weight; _ } ->
-              Printf.printf "algorithm: star bandwidth (knapsack reduction)\n";
-              Printf.printf "cut edges: [%s]\ncut weight: %d\n"
-                (String.concat "; " (List.map string_of_int cut))
-                weight
+              emit
+                ~json_fields:
+                  [
+                    ( "algorithm",
+                      Json.String "star bandwidth (knapsack reduction)" );
+                    ("cut", json_cut cut);
+                    ("weight", Json.Int weight);
+                  ]
+                ~text:(fun () ->
+                  Printf.printf
+                    "algorithm: star bandwidth (knapsack reduction)\n";
+                  Printf.printf "cut edges: [%s]\ncut weight: %d\n"
+                    (String.concat "; " (List.map string_of_int cut))
+                    weight)
           | Error e -> fail (Tlp_core.Infeasible.to_string e))
       | None ->
           fail
@@ -251,7 +370,8 @@ let partition_cmd =
   in
   Cmd.v
     (Cmd.info "partition" ~doc:"Partition an instance under bound K")
-    Term.(const partition $ algorithm $ instance_arg $ k_arg $ dot)
+    Term.(
+      const partition $ algorithm $ instance_arg $ k_arg $ dot $ metrics_arg)
 
 (* ---------- stats ---------- *)
 
@@ -305,18 +425,39 @@ let stats_cmd =
 
 (* ---------- simulate ---------- *)
 
-let simulate path k processors bandwidth jobs interconnect =
+let simulate path k processors bandwidth jobs interconnect metrics_mode =
   let chain = load_chain path in
+  let metrics =
+    match metrics_mode with Some _ -> Metrics.create () | None -> Metrics.null
+  in
   let cut =
-    match Tlp_core.Bandwidth_hitting.solve chain ~k with
+    match Tlp_core.Bandwidth_hitting.solve ~metrics chain ~k with
     | Ok { Tlp_core.Bandwidth_hitting.cut; _ } -> cut
     | Error e -> fail (Tlp_core.Infeasible.to_string e)
   in
   let machine =
     Tlp_archsim.Machine.make ~interconnect ~bandwidth ~processors ()
   in
-  let r = Tlp_archsim.Pipeline_sim.run ~machine ~chain ~cut ~jobs in
-  Format.printf "%a@." Tlp_archsim.Pipeline_sim.pp_report r
+  let r =
+    Metrics.with_span metrics "pipeline_sim" (fun () ->
+        Tlp_archsim.Pipeline_sim.run ~machine ~chain ~cut ~jobs)
+  in
+  emit metrics_mode metrics
+    ~json_fields:
+      [
+        ("algorithm", Json.String "pipeline simulation");
+        ("cut", json_cut cut);
+        ("stages", Json.Int r.Tlp_archsim.Pipeline_sim.n_stages);
+        ("makespan", Json.Int r.Tlp_archsim.Pipeline_sim.makespan);
+        ("throughput", Json.Float r.Tlp_archsim.Pipeline_sim.throughput);
+        ("avg_latency", Json.Float r.Tlp_archsim.Pipeline_sim.avg_latency);
+        ( "network_busy_time",
+          Json.Int r.Tlp_archsim.Pipeline_sim.network_busy_time );
+        ( "traffic_per_job",
+          Json.Int r.Tlp_archsim.Pipeline_sim.traffic_per_job );
+      ]
+    ~text:(fun () ->
+      Format.printf "%a@." Tlp_archsim.Pipeline_sim.pp_report r)
 
 let simulate_cmd =
   let processors =
@@ -346,7 +487,7 @@ let simulate_cmd =
        ~doc:"Partition a chain and execute it on a machine model")
     Term.(
       const simulate $ instance_arg $ k_arg $ processors $ bandwidth $ jobs
-      $ interconnect)
+      $ interconnect $ metrics_arg)
 
 (* ---------- dual ---------- *)
 

@@ -1,4 +1,5 @@
 module Chain = Tlp_graph.Chain
+module Metrics = Tlp_util.Metrics
 
 type solution = { cuts : Chain.cut; bottleneck : int }
 
@@ -14,7 +15,7 @@ let segment_score ?(with_comm = false) c i j =
     base + left + right
   end
 
-let bokhari_dp ?(with_comm = false) c ~m =
+let bokhari_dp ?(metrics = Metrics.null) ?(with_comm = false) c ~m =
   if m < 1 then invalid_arg "Chain_on_chain.bokhari_dp: m must be >= 1";
   let n = Chain.n c in
   let m = Stdlib.min m n in
@@ -40,6 +41,7 @@ let bokhari_dp ?(with_comm = false) c ~m =
     for j = r to n do
       (* Last segment is vertices i..j-1 with i >= r-1. *)
       for i = r - 1 to j - 1 do
+        Metrics.bump metrics "bokhari_dp_cells";
         if d.(r - 1).(i) < max_int then begin
           let cand = Stdlib.max d.(r - 1).(i) (score i (j - 1)) in
           if cand < d.(r).(j) then begin
@@ -111,13 +113,14 @@ let reconstruct_greedy c b =
 let max_segment_weight c cuts =
   List.fold_left Stdlib.max 0 (Chain.component_weights c cuts)
 
-let nicol_probe ?(with_comm = false) c ~m =
+let nicol_probe ?(metrics = Metrics.null) ?(with_comm = false) c ~m =
   if with_comm then
     invalid_arg "Chain_on_chain.nicol_probe: communication-aware probing \
                  is not supported; use bokhari_dp";
   if m < 1 then invalid_arg "Chain_on_chain.nicol_probe: m must be >= 1";
   let lo = ref (Chain.max_alpha c) and hi = ref (Chain.total_weight c) in
   while !lo < !hi do
+    Metrics.bump metrics "nicol_probes";
     let mid = (!lo + !hi) / 2 in
     match probe c mid with
     | `Segments s, _ when s <= m -> hi := mid
@@ -126,7 +129,7 @@ let nicol_probe ?(with_comm = false) c ~m =
   let cuts = reconstruct_greedy c !lo in
   { cuts; bottleneck = max_segment_weight c cuts }
 
-let hansen_lih ?(with_comm = false) c ~m =
+let hansen_lih ?(metrics = Metrics.null) ?(with_comm = false) c ~m =
   if with_comm then
     invalid_arg "Chain_on_chain.hansen_lih: communication-aware probing \
                  is not supported; use bokhari_dp";
@@ -140,6 +143,7 @@ let hansen_lih ?(with_comm = false) c ~m =
       ((Chain.total_weight c + m - 1) / m)
   in
   let rec refine b =
+    Metrics.bump metrics "hansen_lih_probes";
     match probe c b with
     | `Segments s, _ when s <= m -> b
     | _, next when next > b -> refine next

@@ -19,17 +19,20 @@ type solution = {
 }
 
 val bokhari_dp :
+  ?metrics:Tlp_util.Metrics.t ->
   ?with_comm:bool -> Tlp_graph.Chain.t -> m:int -> solution
 (** Layered dynamic program in the style of Bokhari's assignment-graph
     formulation: O(n² m) time, O(n m) space. *)
 
 val hansen_lih :
+  ?metrics:Tlp_util.Metrics.t ->
   ?with_comm:bool -> Tlp_graph.Chain.t -> m:int -> solution
 (** Iterative-refinement search in the style of Hansen & Lih: repeatedly
     probe candidate bottlenecks taken from actual segment scores.
     O(n · #iterations), typically far fewer than m·n probes. *)
 
 val nicol_probe :
+  ?metrics:Tlp_util.Metrics.t ->
   ?with_comm:bool -> Tlp_graph.Chain.t -> m:int -> solution
 (** Binary search over candidate bottleneck values with a greedy O(n)
     feasibility probe, following Nicol & O'Hallaron's probing idea. *)

@@ -1,5 +1,6 @@
 module Chain = Tlp_graph.Chain
 module Tree = Tlp_graph.Tree
+module Metrics = Tlp_util.Metrics
 
 let max_edges = 20
 
@@ -9,9 +10,10 @@ let subsets m =
   Seq.init (1 lsl m) (fun mask ->
       List.filter (fun e -> mask land (1 lsl e) <> 0) (List.init m Fun.id))
 
-let best_by ~feasible ~score m =
+let best_by ~metrics ~feasible ~score m =
   Seq.fold_left
     (fun acc cut ->
+      Metrics.bump metrics "exhaustive_cuts";
       if feasible cut then begin
         let s = score cut in
         match acc with
@@ -21,28 +23,32 @@ let best_by ~feasible ~score m =
       else acc)
     None (subsets m)
 
-let chain_min_bandwidth c ~k =
-  best_by
+let chain_min_bandwidth ?(metrics = Metrics.null) c ~k =
+  best_by ~metrics
     ~feasible:(Chain.is_feasible c ~k)
     ~score:(Chain.cut_weight c) (Chain.n_edges c)
 
-let chain_min_bottleneck c ~k =
-  best_by
+let chain_min_bottleneck ?(metrics = Metrics.null) c ~k =
+  best_by ~metrics
     ~feasible:(Chain.is_feasible c ~k)
     ~score:(Chain.max_cut_edge c) (Chain.n_edges c)
 
-let chain_min_cardinality c ~k =
-  best_by ~feasible:(Chain.is_feasible c ~k) ~score:List.length (Chain.n_edges c)
+let chain_min_cardinality ?(metrics = Metrics.null) c ~k =
+  best_by ~metrics
+    ~feasible:(Chain.is_feasible c ~k)
+    ~score:List.length (Chain.n_edges c)
 
-let tree_min_bandwidth t ~k =
-  best_by
+let tree_min_bandwidth ?(metrics = Metrics.null) t ~k =
+  best_by ~metrics
     ~feasible:(Tree.is_feasible t ~k)
     ~score:(Tree.cut_weight t) (Tree.n_edges t)
 
-let tree_min_bottleneck t ~k =
-  best_by
+let tree_min_bottleneck ?(metrics = Metrics.null) t ~k =
+  best_by ~metrics
     ~feasible:(Tree.is_feasible t ~k)
     ~score:(Tree.max_cut_edge t) (Tree.n_edges t)
 
-let tree_min_cardinality t ~k =
-  best_by ~feasible:(Tree.is_feasible t ~k) ~score:List.length (Tree.n_edges t)
+let tree_min_cardinality ?(metrics = Metrics.null) t ~k =
+  best_by ~metrics
+    ~feasible:(Tree.is_feasible t ~k)
+    ~score:List.length (Tree.n_edges t)

@@ -10,24 +10,30 @@ val max_edges : int
 (** {1 Chains} *)
 
 val chain_min_bandwidth :
+  ?metrics:Tlp_util.Metrics.t ->
   Tlp_graph.Chain.t -> k:int -> (Tlp_graph.Chain.cut * int) option
 (** Minimum-weight feasible cut and its weight; [None] when infeasible. *)
 
 val chain_min_bottleneck :
+  ?metrics:Tlp_util.Metrics.t ->
   Tlp_graph.Chain.t -> k:int -> (Tlp_graph.Chain.cut * int) option
 (** Feasible cut minimizing the maximum cut-edge weight. *)
 
 val chain_min_cardinality :
+  ?metrics:Tlp_util.Metrics.t ->
   Tlp_graph.Chain.t -> k:int -> (Tlp_graph.Chain.cut * int) option
 (** Feasible cut of minimum size; returns the cut and its size. *)
 
 (** {1 Trees} *)
 
 val tree_min_bandwidth :
+  ?metrics:Tlp_util.Metrics.t ->
   Tlp_graph.Tree.t -> k:int -> (Tlp_graph.Tree.cut * int) option
 
 val tree_min_bottleneck :
+  ?metrics:Tlp_util.Metrics.t ->
   Tlp_graph.Tree.t -> k:int -> (Tlp_graph.Tree.cut * int) option
 
 val tree_min_cardinality :
+  ?metrics:Tlp_util.Metrics.t ->
   Tlp_graph.Tree.t -> k:int -> (Tlp_graph.Tree.cut * int) option

@@ -1,14 +1,16 @@
 module Chain = Tlp_graph.Chain
 module Graph = Tlp_graph.Graph
 module Rng = Tlp_util.Rng
+module Metrics = Tlp_util.Metrics
 
-let first_fit c ~k =
+let first_fit ?(metrics = Metrics.null) c ~k =
   if Chain.max_alpha c > k then
     invalid_arg "Greedy.first_fit: a vertex exceeds the bound";
   let n = Chain.n c in
   let cuts = ref [] in
   let acc = ref 0 in
   for i = 0 to n - 1 do
+    Metrics.bump metrics "first_fit_steps";
     if !acc + c.Chain.alpha.(i) <= k then acc := !acc + c.Chain.alpha.(i)
     else begin
       cuts := (i - 1) :: !cuts;

@@ -2,7 +2,8 @@
     application experiments (§3): what a system would do without the
     paper's algorithms. *)
 
-val first_fit : Tlp_graph.Chain.t -> k:int -> Tlp_graph.Chain.cut
+val first_fit :
+  ?metrics:Tlp_util.Metrics.t -> Tlp_graph.Chain.t -> k:int -> Tlp_graph.Chain.cut
 (** Left-to-right first fit: start a new component whenever adding the
     next vertex would exceed [k].  Always feasible when every vertex
     weighs [<= k] (raises [Invalid_argument] otherwise); ignores edge

@@ -1,5 +1,5 @@
 module Chain = Tlp_graph.Chain
-module Counters = Tlp_util.Counters
+module Metrics = Tlp_util.Metrics
 module Minheap = Tlp_util.Minheap
 
 type solution = { cut : Chain.cut; weight : int }
@@ -60,18 +60,18 @@ let solve_generic chain ~k ~minimum =
       done;
       Ok (reconstruct chain parent)
 
-let naive ?(counters = Counters.null) chain ~k =
+let naive ?(metrics = Metrics.null) chain ~k =
   let minimum ~i ~lo ~d =
     let best = ref lo in
     for j = lo + 1 to i - 1 do
-      Counters.bump counters "scan_steps";
+      Metrics.bump metrics "scan_steps";
       if d.(j) < d.(!best) then best := j
     done;
     !best
   in
   solve_generic chain ~k ~minimum
 
-let heap ?(counters = Counters.null) chain ~k =
+let heap ?(metrics = Metrics.null) chain ~k =
   match Infeasible.check_chain chain ~k with
   | Error e -> Error e
   | Ok () ->
@@ -88,7 +88,7 @@ let heap ?(counters = Counters.null) chain ~k =
         let rec valid_top () =
           match Minheap.peek heap with
           | Some (_, j) when j < lo.(i) ->
-              Counters.bump counters "heap_ops";
+              Metrics.bump metrics "heap_ops";
               ignore (Minheap.pop heap);
               valid_top ()
           | Some (dj, j) -> (dj, j)
@@ -98,13 +98,13 @@ let heap ?(counters = Counters.null) chain ~k =
         d.(i) <- cost chain i + d.(best_j);
         parent.(i) <- best_j;
         if i < n then begin
-          Counters.bump counters "heap_ops";
+          Metrics.bump metrics "heap_ops";
           Minheap.push heap (d.(i), i)
         end
       done;
       Ok (reconstruct chain parent)
 
-let deque ?(counters = Counters.null) chain ~k =
+let deque ?(metrics = Metrics.null) chain ~k =
   match Infeasible.check_chain chain ~k with
   | Error e -> Error e
   | Ok () ->
@@ -120,7 +120,7 @@ let deque ?(counters = Counters.null) chain ~k =
       tail := 1;
       for i = 1 to n do
         while !head < !tail && dq.(!head) < lo.(i) do
-          Counters.bump counters "deque_ops";
+          Metrics.bump metrics "deque_ops";
           incr head
         done;
         assert (!head < !tail);
@@ -129,7 +129,7 @@ let deque ?(counters = Counters.null) chain ~k =
         parent.(i) <- best_j;
         if i < n then begin
           while !head < !tail && d.(dq.(!tail - 1)) >= d.(i) do
-            Counters.bump counters "deque_ops";
+            Metrics.bump metrics "deque_ops";
             decr tail
           done;
           dq.(!tail) <- i;

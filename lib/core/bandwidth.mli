@@ -22,19 +22,19 @@ type solution = {
 }
 
 val naive :
-  ?counters:Tlp_util.Counters.t ->
+  ?metrics:Tlp_util.Metrics.t ->
   Tlp_graph.Chain.t ->
   k:int ->
   (solution, Infeasible.t) result
 
 val heap :
-  ?counters:Tlp_util.Counters.t ->
+  ?metrics:Tlp_util.Metrics.t ->
   Tlp_graph.Chain.t ->
   k:int ->
   (solution, Infeasible.t) result
 
 val deque :
-  ?counters:Tlp_util.Counters.t ->
+  ?metrics:Tlp_util.Metrics.t ->
   Tlp_graph.Chain.t ->
   k:int ->
   (solution, Infeasible.t) result

@@ -1,5 +1,5 @@
 module Chain = Tlp_graph.Chain
-module Counters = Tlp_util.Counters
+module Metrics = Tlp_util.Metrics
 
 type stats = {
   p : int;
@@ -41,8 +41,8 @@ let empty_stats =
 
 type search = Binary | Galloping
 
-let solve ?(counters = Counters.null) ?(search = Binary) chain ~k =
-  match Prime_subpaths.compute chain ~k with
+let solve ?(metrics = Metrics.null) ?(search = Binary) chain ~k =
+  match Prime_subpaths.compute ~metrics chain ~k with
   | Error e -> Error e
   | Ok primes ->
       let p = Prime_subpaths.count primes in
@@ -87,14 +87,14 @@ let solve ?(counters = Counters.null) ?(search = Binary) chain ~k =
           close_primes_below c;
           let w_g = beta_g + cost_before c in
           let sol_g = rep :: sol_before c in
-          Counters.bump counters "hitting_groups";
+          Metrics.bump metrics "hitting_groups";
           (* Find the first live row with w >= w_g; all rows from there
              to the bottom are superseded by w_g. *)
           let binary_search lo0 hi0 =
             let lo = ref lo0 and hi_s = ref hi0 in
             while !lo < !hi_s do
               incr search_steps;
-              Counters.bump counters "hitting_search_steps";
+              Metrics.bump metrics "hitting_search_steps";
               let mid = (!lo + !hi_s) / 2 in
               if rows.(mid).w >= w_g then hi_s := mid else lo := mid + 1
             done;
@@ -111,7 +111,7 @@ let solve ?(counters = Counters.null) ?(search = Binary) chain ~k =
                 if !bottom < !top then !top
                 else begin
                   incr search_steps;
-                  Counters.bump counters "hitting_search_steps";
+                  Metrics.bump metrics "hitting_search_steps";
                   if rows.(!bottom).w < w_g then !bottom + 1
                   else begin
                     (* hi_known: smallest index verified to satisfy
@@ -122,7 +122,7 @@ let solve ?(counters = Counters.null) ?(search = Binary) chain ~k =
                     let stop = ref false in
                     while (not !stop) && !probe >= !top do
                       incr search_steps;
-                      Counters.bump counters "hitting_search_steps";
+                      Metrics.bump metrics "hitting_search_steps";
                       if rows.(!probe).w >= w_g then begin
                         hi_known := !probe;
                         step := !step * 2;

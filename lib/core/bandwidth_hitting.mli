@@ -37,7 +37,7 @@ type search = Binary | Galloping
     skew makes small. *)
 
 val solve :
-  ?counters:Tlp_util.Counters.t ->
+  ?metrics:Tlp_util.Metrics.t ->
   ?search:search ->
   Tlp_graph.Chain.t ->
   k:int ->

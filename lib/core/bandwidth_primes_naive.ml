@@ -1,10 +1,10 @@
 module Chain = Tlp_graph.Chain
-module Counters = Tlp_util.Counters
+module Metrics = Tlp_util.Metrics
 
 type solution = { cut : Chain.cut; weight : int }
 
-let solve ?(counters = Counters.null) chain ~k =
-  match Prime_subpaths.compute chain ~k with
+let solve ?(metrics = Metrics.null) chain ~k =
+  match Prime_subpaths.compute ~metrics chain ~k with
   | Error e -> Error e
   | Ok primes ->
       let p = Prime_subpaths.count primes in
@@ -21,7 +21,7 @@ let solve ?(counters = Counters.null) chain ~k =
           let best = ref max_int in
           let best_sol = ref [] in
           for j = a to b do
-            Counters.bump counters "naive_recurrence_scan";
+            Metrics.bump metrics "naive_recurrence_scan";
             (* gamma_j = (first prime containing j) - 1; edges inside a
                prime are always covered. *)
             let c = primes.Prime_subpaths.edge_c.(j) in

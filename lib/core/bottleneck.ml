@@ -1,6 +1,6 @@
 module Tree = Tlp_graph.Tree
 module Dsu = Tlp_graph.Dsu
-module Counters = Tlp_util.Counters
+module Metrics = Tlp_util.Metrics
 
 type solution = { cut : Tree.cut; bottleneck : int }
 
@@ -21,7 +21,7 @@ let prefix_solution t order s =
   let bottleneck = if s = 0 then 0 else Tree.delta t order.(s - 1) in
   { cut; bottleneck }
 
-let paper ?(counters = Counters.null) t ~k =
+let paper ?(metrics = Metrics.null) t ~k =
   match Infeasible.check_tree t ~k with
   | Error e -> Error e
   | Ok () ->
@@ -38,7 +38,7 @@ let paper ?(counters = Counters.null) t ~k =
         let ok = ref true in
         for e = 0 to m - 1 do
           if not removed.(e) then begin
-            Counters.bump counters "bottleneck_union";
+            Metrics.bump metrics "bottleneck_union";
             let u, v = Tree.endpoints t e in
             ignore (Dsu.union dsu u v);
             if Dsu.component_weight dsu u > k then ok := false
@@ -51,7 +51,7 @@ let paper ?(counters = Counters.null) t ~k =
       in
       grow 0
 
-let fast ?(counters = Counters.null) t ~k =
+let fast ?(metrics = Metrics.null) t ~k =
   match Infeasible.check_tree t ~k with
   | Error e -> Error e
   | Ok () ->
@@ -64,7 +64,7 @@ let fast ?(counters = Counters.null) t ~k =
       let rec restore i =
         if i < 0 then 0
         else begin
-          Counters.bump counters "bottleneck_union";
+          Metrics.bump metrics "bottleneck_union";
           let e = order.(i) in
           let u, v = Tree.endpoints t e in
           if Dsu.component_weight dsu u + Dsu.component_weight dsu v > k then

@@ -13,7 +13,7 @@ type solution = {
 }
 
 val paper :
-  ?counters:Tlp_util.Counters.t ->
+  ?metrics:Tlp_util.Metrics.t ->
   Tlp_graph.Tree.t ->
   k:int ->
   (solution, Infeasible.t) result
@@ -21,7 +21,7 @@ val paper :
     re-checking component weights after each addition — O(n²). *)
 
 val fast :
-  ?counters:Tlp_util.Counters.t ->
+  ?metrics:Tlp_util.Metrics.t ->
   Tlp_graph.Tree.t ->
   k:int ->
   (solution, Infeasible.t) result

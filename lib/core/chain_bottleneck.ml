@@ -1,5 +1,5 @@
 module Chain = Tlp_graph.Chain
-module Counters = Tlp_util.Counters
+module Metrics = Tlp_util.Metrics
 
 type solution = { cut : Chain.cut; bottleneck : int }
 
@@ -37,8 +37,8 @@ let feasible_with_threshold chain ~k threshold =
   | Error _ -> false
   | Ok primes -> Option.is_some (stab chain primes ~threshold)
 
-let solve ?(counters = Counters.null) chain ~k =
-  match Prime_subpaths.compute chain ~k with
+let solve ?(metrics = Metrics.null) chain ~k =
+  match Prime_subpaths.compute ~metrics chain ~k with
   | Error e -> Error e
   | Ok primes ->
       if Prime_subpaths.count primes = 0 then Ok { cut = []; bottleneck = 0 }
@@ -51,7 +51,7 @@ let solve ?(counters = Counters.null) chain ~k =
            threshold always does: every prime has a non-empty edge set. *)
         let lo = ref 0 and hi = ref (Array.length distinct - 1) in
         while !lo < !hi do
-          Counters.bump counters "chain_bottleneck_probe";
+          Metrics.bump metrics "chain_bottleneck_probe";
           let mid = (!lo + !hi) / 2 in
           match stab chain primes ~threshold:distinct.(mid) with
           | Some _ -> hi := mid

@@ -15,7 +15,7 @@ type solution = {
 }
 
 val solve :
-  ?counters:Tlp_util.Counters.t ->
+  ?metrics:Tlp_util.Metrics.t ->
   Tlp_graph.Chain.t ->
   k:int ->
   (solution, Infeasible.t) result

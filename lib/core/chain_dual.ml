@@ -1,4 +1,5 @@
 module Chain = Tlp_graph.Chain
+module Metrics = Tlp_util.Metrics
 
 type solution = {
   k : int;
@@ -11,18 +12,19 @@ let optimal_weight chain ~k =
   | Ok { Bandwidth.weight; _ } -> Some weight
   | Error _ -> None
 
-let min_bound_for_budget chain ~budget =
+let min_bound_for_budget ?(metrics = Metrics.null) chain ~budget =
   if budget < 0 then invalid_arg "Chain_dual.min_bound_for_budget: negative budget";
   (* Optimal cut weight is non-increasing in K (tested property), so the
      predicate "optimal weight <= budget" is monotone. *)
   let lo = ref (Chain.max_alpha chain) and hi = ref (Chain.total_weight chain) in
   while !lo < !hi do
+    Metrics.bump metrics "dual_budget_probes";
     let mid = !lo + ((!hi - !lo) / 2) in
     match optimal_weight chain ~k:mid with
     | Some w when w <= budget -> hi := mid
     | Some _ | None -> lo := mid + 1
   done;
-  match Bandwidth.deque chain ~k:!lo with
+  match Bandwidth.deque ~metrics chain ~k:!lo with
   | Ok { Bandwidth.cut; weight } -> { k = !lo; cut; cut_weight = weight }
   | Error _ -> assert false (* lo >= max alpha *)
 
@@ -42,10 +44,11 @@ let min_components chain ~k =
   done;
   !segments
 
-let min_bound_for_processors chain ~m =
+let min_bound_for_processors ?(metrics = Metrics.null) chain ~m =
   if m < 1 then invalid_arg "Chain_dual.min_bound_for_processors: m must be >= 1";
   let lo = ref (Chain.max_alpha chain) and hi = ref (Chain.total_weight chain) in
   while !lo < !hi do
+    Metrics.bump metrics "dual_processor_probes";
     let mid = !lo + ((!hi - !lo) / 2) in
     if min_components chain ~k:mid <= m then hi := mid else lo := mid + 1
   done;

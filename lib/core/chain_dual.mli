@@ -19,13 +19,13 @@ type solution = {
 }
 
 val min_bound_for_budget :
-  Tlp_graph.Chain.t -> budget:int -> solution
+  ?metrics:Tlp_util.Metrics.t -> Tlp_graph.Chain.t -> budget:int -> solution
 (** Smallest [K] such that the optimal feasible cut has weight
     [<= budget].  Always solvable: at [K = total weight] the empty cut
     costs 0. *)
 
 val min_bound_for_processors :
-  Tlp_graph.Chain.t -> m:int -> solution
+  ?metrics:Tlp_util.Metrics.t -> Tlp_graph.Chain.t -> m:int -> solution
 (** Smallest [K] reachable with at most [m] components (the classical
     minmax value), together with the {e minimum-weight} cut among those
     achieving it — the natural composition of the related-work problem

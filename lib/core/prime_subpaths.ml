@@ -1,4 +1,5 @@
 module Chain = Tlp_graph.Chain
+module Metrics = Tlp_util.Metrics
 
 type prime = { a : int; b : int }
 
@@ -12,11 +13,12 @@ type t = {
    weight(l..r) > K.  r(l) is nondecreasing, so a two-pointer sweep is
    O(n).  Among minimal segments sharing the same right endpoint only the
    shortest (largest l) is prime. *)
-let compute chain ~k =
+let compute ?(metrics = Metrics.null) chain ~k =
   match Infeasible.check_chain chain ~k with
   | Error e -> Error e
   | Ok () ->
       let n = Chain.n chain in
+      Metrics.add metrics "prime_scan_vertices" n;
       let alpha = chain.Chain.alpha in
       let primes = ref [] in
       let n_primes = ref 0 in
@@ -46,6 +48,7 @@ let compute chain ~k =
         else if !r > l then sum := !sum - alpha.(l)
       done;
       let p = !n_primes in
+      Metrics.add metrics "primes_found" p;
       let prime_arr = Array.make (Stdlib.max p 1) { a = 0; b = 0 } in
       List.iteri (fun i pr -> prime_arr.(p - 1 - i) <- pr) !primes;
       let primes = if p = 0 then [||] else Array.sub prime_arr 0 p in

@@ -22,7 +22,11 @@ type t = private {
           ([c > d]) when [j] lies in no prime *)
 }
 
-val compute : Tlp_graph.Chain.t -> k:int -> (t, Infeasible.t) result
+val compute :
+  ?metrics:Tlp_util.Metrics.t ->
+  Tlp_graph.Chain.t ->
+  k:int ->
+  (t, Infeasible.t) result
 (** Two-pointer computation, O(n).  [Error] iff some vertex weight
     exceeds [k] (such a "prime" would have an empty edge set). *)
 

@@ -1,5 +1,5 @@
 module Tree = Tlp_graph.Tree
-module Counters = Tlp_util.Counters
+module Metrics = Tlp_util.Metrics
 
 type step = {
   vertex : int;
@@ -10,7 +10,7 @@ type step = {
 
 type solution = { cut : Tree.cut; n_components : int }
 
-let solve ?(counters = Counters.null) ?on_step ?(root = 0) t ~k =
+let solve ?(metrics = Metrics.null) ?on_step ?(root = 0) t ~k =
   match Infeasible.check_tree t ~k with
   | Error e -> Error e
   | Ok () ->
@@ -48,7 +48,7 @@ let solve ?(counters = Counters.null) ?on_step ?(root = 0) t ~k =
       let cut = ref [] in
       for i = n - 1 downto 0 do
         let v = order.(i) in
-        Counters.bump counters "proc_min_vertex";
+        Metrics.bump metrics "proc_min_vertex";
         let children = pending.(v) in
         let gathered =
           List.fold_left (fun acc (_, w, _) -> acc + w) (residual.(v)) children

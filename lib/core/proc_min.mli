@@ -28,7 +28,7 @@ type solution = {
 }
 
 val solve :
-  ?counters:Tlp_util.Counters.t ->
+  ?metrics:Tlp_util.Metrics.t ->
   ?on_step:(step -> unit) ->
   ?root:int ->
   Tlp_graph.Tree.t ->

@@ -1,4 +1,5 @@
 module Tree = Tlp_graph.Tree
+module Metrics = Tlp_util.Metrics
 
 type solution = { cut : Tree.cut; weight : int }
 
@@ -7,7 +8,7 @@ let inf = max_int / 4
 (* Stage tables kept for reconstruction: stages.(v) is the list of
    (child, edge, table-before-merging-child), outermost child first;
    final.(v) is the table after all merges. *)
-let solve ?(root = 0) t ~k =
+let solve ?(metrics = Metrics.null) ?(root = 0) t ~k =
   if k > 100_000 then invalid_arg "Tree_bandwidth.solve: K too large for the DP";
   match Infeasible.check_tree t ~k with
   | Error e -> Error e
@@ -56,6 +57,7 @@ let solve ?(root = 0) t ~k =
                 let delta = Tree.delta t e in
                 let next = Array.make (k + 1) inf in
                 for w = 0 to k do
+                  Metrics.bump metrics "tree_bw_cells";
                   if acc.(w) < inf then begin
                     (* Cut the edge to u: u's component is finalized. *)
                     let cut_cost = acc.(w) + delta + best_child in

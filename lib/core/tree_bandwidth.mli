@@ -22,6 +22,10 @@ type solution = {
 }
 
 val solve :
-  ?root:int -> Tlp_graph.Tree.t -> k:int -> (solution, Infeasible.t) result
+  ?metrics:Tlp_util.Metrics.t ->
+  ?root:int ->
+  Tlp_graph.Tree.t ->
+  k:int ->
+  (solution, Infeasible.t) result
 (** Minimum-weight feasible cut.  Raises [Invalid_argument] when
     [k > 100_000] (DP table budget guard). *)

@@ -9,15 +9,15 @@ type report = {
   component_weights : int list;
 }
 
-let partition ?counters t ~k =
-  match Bottleneck.fast ?counters t ~k with
+let partition ?metrics t ~k =
+  match Bottleneck.fast ?metrics t ~k with
   | Error e -> Error e
   | Ok { Bottleneck.cut = raw_cut; _ } -> (
       let contracted, _map = Tree.contract t raw_cut in
       (* Edge i of the contracted tree is raw_cut edge i (Tree.contract
          keeps the cut edges in list order). *)
       let raw_edges = Array.of_list raw_cut in
-      match Proc_min.solve ?counters contracted ~k with
+      match Proc_min.solve ?metrics contracted ~k with
       | Error e -> Error e
       | Ok { Proc_min.cut = kept; _ } ->
           let cut = List.map (fun e -> raw_edges.(e)) kept in

@@ -16,7 +16,7 @@ type report = {
 }
 
 val partition :
-  ?counters:Tlp_util.Counters.t ->
+  ?metrics:Tlp_util.Metrics.t ->
   Tlp_graph.Tree.t ->
   k:int ->
   (report, Infeasible.t) result

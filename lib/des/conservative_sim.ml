@@ -1,4 +1,5 @@
 module Minheap = Tlp_util.Minheap
+module Metrics = Tlp_util.Metrics
 
 type schedule = bool array array
 
@@ -49,7 +50,7 @@ type channel = {
   mutable clock : int;  (* no future message on this channel is earlier *)
 }
 
-let simulate circuit ~assignment ~schedule config =
+let simulate_impl circuit ~assignment ~schedule config =
   let n = Circuit.n circuit in
   if Array.length assignment <> n then
     invalid_arg "Conservative_sim.simulate: assignment length mismatch";
@@ -269,3 +270,13 @@ let simulate circuit ~assignment ~schedule config =
     block_work;
     final_values;
   }
+
+let simulate ?(metrics = Metrics.null) circuit ~assignment ~schedule config =
+  let r =
+    Metrics.with_span metrics "conservative_sim" (fun () ->
+        simulate_impl circuit ~assignment ~schedule config)
+  in
+  Metrics.add metrics "des_evaluations" r.evaluations;
+  Metrics.add metrics "des_value_messages" r.value_messages;
+  Metrics.add metrics "des_null_messages" r.null_messages;
+  r

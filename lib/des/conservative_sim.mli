@@ -47,5 +47,10 @@ type report = {
 }
 
 val simulate :
-  Circuit.t -> assignment:int array -> schedule:schedule -> config -> report
+  ?metrics:Tlp_util.Metrics.t ->
+  Circuit.t ->
+  assignment:int array ->
+  schedule:schedule ->
+  config ->
+  report
 (** Raises [Invalid_argument] on shape mismatches. *)

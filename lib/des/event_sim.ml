@@ -1,4 +1,5 @@
 module Rng = Tlp_util.Rng
+module Metrics = Tlp_util.Metrics
 
 type report = {
   cycles : int;
@@ -11,7 +12,7 @@ type report = {
   imbalance : float;
 }
 
-let simulate rng circuit ~assignment ~cycles =
+let simulate_impl rng circuit ~assignment ~cycles =
   let n = Circuit.n circuit in
   if Array.length assignment <> n then
     invalid_arg "Event_sim.simulate: assignment length mismatch";
@@ -93,6 +94,16 @@ let simulate rng circuit ~assignment ~cycles =
     imbalance =
       (if mean_work = 0.0 then 1.0 else float_of_int max_work /. mean_work);
   }
+
+let simulate ?(metrics = Metrics.null) rng circuit ~assignment ~cycles =
+  let r =
+    Metrics.with_span metrics "event_sim" (fun () ->
+        simulate_impl rng circuit ~assignment ~cycles)
+  in
+  Metrics.add metrics "des_evaluations" r.evaluations;
+  Metrics.add metrics "des_total_messages" r.total_messages;
+  Metrics.add metrics "des_cross_messages" r.cross_messages;
+  r
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -20,6 +20,7 @@ type report = {
 }
 
 val simulate :
+  ?metrics:Tlp_util.Metrics.t ->
   Tlp_util.Rng.t ->
   Circuit.t ->
   assignment:int array ->

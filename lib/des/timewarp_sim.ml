@@ -1,4 +1,5 @@
 module Minheap = Tlp_util.Minheap
+module Metrics = Tlp_util.Metrics
 
 type config = {
   delays : int array;
@@ -73,7 +74,7 @@ type lp = {
 
 let event_budget = 100_000_000
 
-let simulate circuit ~assignment ~schedule config =
+let simulate_impl circuit ~assignment ~schedule config =
   let n = Circuit.n circuit in
   if Array.length assignment <> n then
     invalid_arg "Timewarp_sim.simulate: assignment length mismatch";
@@ -425,3 +426,13 @@ let simulate circuit ~assignment ~schedule config =
     fossils_collected = !fossils_collected;
     max_log_length = !max_log_length;
   }
+
+let simulate ?(metrics = Metrics.null) circuit ~assignment ~schedule config =
+  let r =
+    Metrics.with_span metrics "timewarp_sim" (fun () ->
+        simulate_impl circuit ~assignment ~schedule config)
+  in
+  Metrics.add metrics "des_processed_events" r.processed_events;
+  Metrics.add metrics "des_rollbacks" r.rollbacks;
+  Metrics.add metrics "des_anti_messages" r.anti_messages;
+  r

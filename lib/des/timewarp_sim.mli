@@ -51,6 +51,7 @@ type report = {
 }
 
 val simulate :
+  ?metrics:Tlp_util.Metrics.t ->
   Circuit.t ->
   assignment:int array ->
   schedule:Conservative_sim.schedule ->

@@ -14,7 +14,9 @@
     <u> <v> <delta>     (one line per edge, n-1 lines)
     v}
 
-    Blank lines and [#]-comments are ignored. *)
+    Blank lines and [#]-comments are ignored.  Fields may be separated
+    by any mix of spaces and tabs, and CRLF line endings are accepted;
+    parse errors name the offending line and token. *)
 
 type instance = Chain_instance of Chain.t | Tree_instance of Tree.t
 

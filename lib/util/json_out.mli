@@ -1,0 +1,22 @@
+(** Minimal dependency-free JSON construction for metrics and benchmark
+    output.
+
+    Values are built as an explicit tree and rendered with proper string
+    escaping, so every consumer (metrics sinks, the bench runner, the
+    CLI) emits structurally valid JSON from the same code path. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** NaN renders as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val is_valid : string -> bool
+(** Strict well-formedness check of a complete JSON document.  Used by
+    tests and CI smoke checks to validate emitted files. *)

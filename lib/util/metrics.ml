@@ -1,0 +1,171 @@
+type span = {
+  count : int;
+  total_s : float;
+  max_s : float;
+  alloc_words : float;
+  major_collections : int;
+}
+
+type state = {
+  counters : (string, int ref) Hashtbl.t;
+  spans : (string, span ref) Hashtbl.t;
+}
+
+(* The null sink is a distinct constructor, not a shared mutable table:
+   writes to it are dropped at the match, so solvers invoked with the
+   default sink can never leak state into each other. *)
+type t = Null | Active of state
+
+let null = Null
+
+let create () = Active { counters = Hashtbl.create 16; spans = Hashtbl.create 8 }
+
+let is_null = function Null -> true | Active _ -> false
+
+let counter_ref st name =
+  match Hashtbl.find_opt st.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add st.counters name r;
+      r
+
+let bump t name =
+  match t with Null -> () | Active st -> incr (counter_ref st name)
+
+let add t name k =
+  match t with
+  | Null -> ()
+  | Active st ->
+      let r = counter_ref st name in
+      r := !r + k
+
+let get t name =
+  match t with
+  | Null -> 0
+  | Active st -> (
+      match Hashtbl.find_opt st.counters name with Some r -> !r | None -> 0)
+
+let reset = function
+  | Null -> ()
+  | Active st ->
+      Hashtbl.reset st.counters;
+      Hashtbl.reset st.spans
+
+let counters = function
+  | Null -> []
+  | Active st ->
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) st.counters []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let empty_span =
+  { count = 0; total_s = 0.0; max_s = 0.0; alloc_words = 0.0;
+    major_collections = 0 }
+
+let record_span st name ~elapsed ~alloc ~majors =
+  let r =
+    match Hashtbl.find_opt st.spans name with
+    | Some r -> r
+    | None ->
+        let r = ref empty_span in
+        Hashtbl.add st.spans name r;
+        r
+  in
+  let s = !r in
+  r :=
+    {
+      count = s.count + 1;
+      total_s = s.total_s +. elapsed;
+      max_s = Stdlib.max s.max_s elapsed;
+      alloc_words = s.alloc_words +. alloc;
+      major_collections = s.major_collections + majors;
+    }
+
+(* [Gc.minor_words ()] reads the allocation pointer, so it is exact even
+   in native code (where [quick_stat.minor_words] lags behind until the
+   next minor collection). *)
+let allocated_words (g : Gc.stat) minor =
+  minor +. g.Gc.major_words -. g.Gc.promoted_words
+
+let with_span t name f =
+  match t with
+  | Null -> f ()
+  | Active st ->
+      let g0 = Gc.quick_stat () in
+      let m0 = Gc.minor_words () in
+      let t0 = Unix.gettimeofday () in
+      let finish () =
+        let t1 = Unix.gettimeofday () in
+        let m1 = Gc.minor_words () in
+        let g1 = Gc.quick_stat () in
+        record_span st name ~elapsed:(t1 -. t0)
+          ~alloc:(allocated_words g1 m1 -. allocated_words g0 m0)
+          ~majors:(g1.Gc.major_collections - g0.Gc.major_collections)
+      in
+      (match f () with
+      | x ->
+          finish ();
+          x
+      | exception e ->
+          finish ();
+          raise e)
+
+let span t name =
+  match t with
+  | Null -> None
+  | Active st -> Option.map ( ! ) (Hashtbl.find_opt st.spans name)
+
+let span_total_s t name =
+  match span t name with Some s -> s.total_s | None -> 0.0
+
+let spans = function
+  | Null -> []
+  | Active st ->
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) st.spans []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let json_of_span s =
+  Json_out.Obj
+    [
+      ("count", Json_out.Int s.count);
+      ("total_s", Json_out.Float s.total_s);
+      ("max_s", Json_out.Float s.max_s);
+      ("alloc_words", Json_out.Float s.alloc_words);
+      ("major_collections", Json_out.Int s.major_collections);
+    ]
+
+let to_json t =
+  Json_out.Obj
+    [
+      ( "counters",
+        Json_out.Obj (List.map (fun (k, v) -> (k, Json_out.Int v)) (counters t))
+      );
+      ( "spans",
+        Json_out.Obj (List.map (fun (k, s) -> (k, json_of_span s)) (spans t))
+      );
+    ]
+
+let to_json_string t = Json_out.to_string (to_json t)
+
+let render_text t =
+  let buf = Buffer.create 256 in
+  let cs = counters t in
+  if cs <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %d\n" k v))
+      cs
+  end;
+  let ss = spans t in
+  if ss <> [] then begin
+    Buffer.add_string buf "spans:\n";
+    List.iter
+      (fun (k, s) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %-32s n=%d total=%.6fs max=%.6fs alloc=%.0fw majors=%d\n" k
+             s.count s.total_s s.max_s s.alloc_words s.major_collections))
+      ss
+  end;
+  if cs = [] && ss = [] then Buffer.add_string buf "(no metrics recorded)\n";
+  Buffer.contents buf

@@ -1,0 +1,66 @@
+(** Structured instrumentation for empirical complexity measurements.
+
+    Successor to the old [Counters] module.  Every solver takes an
+    optional [?metrics] sink; the default {!null} sink is a genuine
+    no-op — a distinct variant whose writes are dropped at the type
+    level — so default-sink runs can never share or retain state.  (The
+    old [Counters.null] was a real shared hashtable, which silently
+    cross-contaminated measurements between runs.)
+
+    An {!create}d sink records three kinds of data:
+
+    - named integer counters — machine-independent work measures
+      (comparisons, queue operations, DP cell updates);
+    - spans ({!with_span}) — wall-clock timings with GC/allocation
+      deltas sampled around the wrapped call;
+    - renderers to both human-readable text and JSON for the
+      [BENCH_*.json] perf trajectory. *)
+
+type t
+
+type span = {
+  count : int;  (** number of completed [with_span] calls *)
+  total_s : float;  (** summed wall-clock seconds *)
+  max_s : float;  (** slowest single call *)
+  alloc_words : float;  (** summed allocated words (minor + major - promoted) *)
+  major_collections : int;  (** major GC cycles triggered inside the spans *)
+}
+
+val null : t
+(** The no-op sink: drops every write, returns zero/empty on every read.
+    Safe to share — it holds no state at all. *)
+
+val create : unit -> t
+(** A fresh recording sink. *)
+
+val is_null : t -> bool
+
+val bump : t -> string -> unit
+(** Increment counter [name] by one (created at zero on first use). *)
+
+val add : t -> string -> int -> unit
+(** Increment counter [name] by an arbitrary amount. *)
+
+val get : t -> string -> int
+(** Current value; 0 if never bumped (always 0 on {!null}). *)
+
+val reset : t -> unit
+(** Drop all recorded counters and spans. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] runs [f ()], recording wall-clock time and
+    GC/allocation deltas under [name].  On {!null} it is exactly [f ()].
+    Timing is still recorded if [f] raises. *)
+
+val span : t -> string -> span option
+val span_total_s : t -> string -> float
+val spans : t -> (string * span) list
+
+val to_json : t -> Json_out.t
+(** [{ "counters": {name: int, ...}, "spans": {name: {...}, ...} }] *)
+
+val to_json_string : t -> string
+val render_text : t -> string

@@ -155,6 +155,57 @@ let prop_deque_matches_hitting_large =
       | Error _, Error _ -> true
       | _ -> false)
 
+(* Differential test across the three DP implementations on chains large
+   enough to exercise the window machinery (the oracle property above is
+   limited to n <= 12).  Weight distributions vary from near-uniform to
+   heavily skewed, since the deque/heap invariants are stressed by long
+   monotone runs and by spikes respectively. *)
+let prop_dp_solvers_differential =
+  let gen =
+    let open QCheck2.Gen in
+    let* n = int_range 2 300 in
+    let* dist = int_range 0 2 in
+    let weight =
+      match dist with
+      | 0 -> int_range 1 10 (* near-uniform, many ties *)
+      | 1 -> int_range 1 1000 (* wide spread *)
+      | _ ->
+          (* skewed: mostly tiny, occasional spikes *)
+          let* spike = int_range 0 9 in
+          if spike = 0 then int_range 500 1000 else int_range 1 5
+    in
+    let* alpha = array_size (return n) weight in
+    let* beta = array_size (return (n - 1)) weight in
+    let maxa = Array.fold_left Stdlib.max 1 alpha in
+    let total = Array.fold_left ( + ) 0 alpha in
+    let* k = int_range maxa (Stdlib.max maxa total) in
+    return (Chain.make ~alpha ~beta, k)
+  in
+  qcheck ~count:200 "naive/heap/deque: equal weights, feasible cuts, deterministic"
+    gen
+    (fun (c, k) ->
+      let run () =
+        ( Bandwidth.naive c ~k,
+          Bandwidth.heap c ~k,
+          Bandwidth.deque c ~k )
+      in
+      let ((naive, heap, deque) as first) = run () in
+      match (naive, heap, deque) with
+      | Ok a, Ok b, Ok d ->
+          (* identical optimal cut weights *)
+          a.Bandwidth.weight = b.Bandwidth.weight
+          && b.Bandwidth.weight = d.Bandwidth.weight
+          (* every returned cut is K-feasible and priced as claimed *)
+          && List.for_all
+               (fun (r : Bandwidth.solution) ->
+                 Chain.is_feasible c ~k r.Bandwidth.cut
+                 && Chain.cut_weight c r.Bandwidth.cut = r.Bandwidth.weight)
+               [ a; b; d ]
+          (* rerunning the same instance reproduces the same answers *)
+          && run () = first
+      | Error _, Error _, Error _ -> false (* generator guarantees maxa <= k *)
+      | _ -> false)
+
 let suite =
   [
     Alcotest.test_case "three vertices, cheap middle edge" `Quick test_simple;
@@ -172,4 +223,5 @@ let suite =
     prop_monotone_in_k;
     prop_galloping_identical;
     prop_deque_matches_hitting_large;
+    prop_dp_solvers_differential;
   ]

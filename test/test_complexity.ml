@@ -2,7 +2,7 @@
    as the advertised bounds, independent of wall clocks. *)
 
 open Helpers
-module Counters = Tlp_util.Counters
+module Metrics = Tlp_util.Metrics
 module Bandwidth = Tlp_core.Bandwidth
 module Hitting = Tlp_core.Bandwidth_hitting
 module Chain_gen = Tlp_graph.Chain_gen
@@ -14,11 +14,11 @@ let test_deque_linear () =
   List.iter
     (fun n ->
       let c = chain_for n 3 in
-      let counters = Counters.create () in
-      (match Bandwidth.deque ~counters c ~k:200 with
+      let metrics = Metrics.create () in
+      (match Bandwidth.deque ~metrics c ~k:200 with
       | Ok _ -> ()
       | Error _ -> Alcotest.fail "unexpected infeasibility");
-      let ops = Counters.get counters "deque_ops" in
+      let ops = Metrics.get metrics "deque_ops" in
       check_bool
         (Printf.sprintf "deque ops linear at n=%d (ops=%d)" n ops)
         true
@@ -29,11 +29,11 @@ let test_heap_nlogn () =
   List.iter
     (fun n ->
       let c = chain_for n 5 in
-      let counters = Counters.create () in
-      (match Bandwidth.heap ~counters c ~k:200 with
+      let metrics = Metrics.create () in
+      (match Bandwidth.heap ~metrics c ~k:200 with
       | Ok _ -> ()
       | Error _ -> Alcotest.fail "unexpected infeasibility");
-      let ops = Counters.get counters "heap_ops" in
+      let ops = Metrics.get metrics "heap_ops" in
       (* pushes + lazy deletions <= 2n *)
       check_bool
         (Printf.sprintf "heap ops <= 2n at n=%d (ops=%d)" n ops)
@@ -68,9 +68,9 @@ let test_naive_scan_grows_with_k () =
   let n = 8000 in
   let c = chain_for n 11 in
   let scan_at k =
-    let counters = Counters.create () in
-    match Bandwidth.naive ~counters c ~k with
-    | Ok _ -> Counters.get counters "scan_steps"
+    let metrics = Metrics.create () in
+    match Bandwidth.naive ~metrics c ~k with
+    | Ok _ -> Metrics.get metrics "scan_steps"
     | Error _ -> Alcotest.fail "unexpected infeasibility"
   in
   let low = scan_at 100 and high = scan_at 1600 in

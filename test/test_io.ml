@@ -38,6 +38,40 @@ let test_parse_errors () =
   check_bool "cycle rejected" true
     (Result.is_error (Io.parse "tree\n1 1 1\n0 1 1\n1 0 1\n"))
 
+(* Files written on Windows or by spreadsheet exports arrive with CRLF
+   endings and tab-separated fields; the parser must accept both. *)
+let test_crlf_and_tabs () =
+  let crlf = "chain\r\n1\t2 3\r\n4 5\r\n" in
+  (match Io.parse crlf with
+  | Ok (Io.Chain_instance c) ->
+      Alcotest.(check (array int)) "alpha" [| 1; 2; 3 |] c.Chain.alpha;
+      Alcotest.(check (array int)) "beta" [| 4; 5 |] c.Chain.beta
+  | _ -> Alcotest.fail "CRLF chain should parse");
+  let tabs = "tree\n5\t3\t2\n0\t1\t10\n1\t2\t20\n" in
+  (match Io.parse tabs with
+  | Ok (Io.Tree_instance t) ->
+      Alcotest.(check (array int)) "weights" [| 5; 3; 2 |] t.Tree.weights;
+      check_int "edges" 2 (Tree.n_edges t)
+  | _ -> Alcotest.fail "tab-separated tree should parse");
+  match Io.parse "tree\r\n1\t1\r\n0 1 7\r\n" with
+  | Ok (Io.Tree_instance t) -> check_int "delta survives CRLF" 7 (Tree.delta t 0)
+  | _ -> Alcotest.fail "CRLF tree should parse"
+
+let test_error_names_line_and_token () =
+  let contains hay needle =
+    let h = String.length hay and n = String.length needle in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  (match Io.parse "# header comment\nchain\n1 oops 3\n4 5\n" with
+  | Error msg ->
+      check_bool ("names the line: " ^ msg) true (contains msg "line 3");
+      check_bool ("names the token: " ^ msg) true (contains msg "\"oops\"")
+  | Ok _ -> Alcotest.fail "bad token should fail");
+  match Io.parse "tree\n1 1\n0 1\n" with
+  | Error msg -> check_bool ("names edge line: " ^ msg) true (contains msg "line 3")
+  | Ok _ -> Alcotest.fail "short edge line should fail"
+
 let prop_random_chain_roundtrip =
   qcheck ~count:200 "random chain file round trip"
     QCheck2.(Gen.map fst small_chain_gen)
@@ -62,6 +96,9 @@ let suite =
     Alcotest.test_case "tree round trip" `Quick test_tree_roundtrip;
     Alcotest.test_case "comments and blank lines" `Quick test_comments_and_blanks;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "CRLF and tab separators" `Quick test_crlf_and_tabs;
+    Alcotest.test_case "errors name line and token" `Quick
+      test_error_names_line_and_token;
     prop_random_chain_roundtrip;
     prop_random_tree_roundtrip;
   ]

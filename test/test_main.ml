@@ -2,6 +2,7 @@ let () =
   Alcotest.run "tlp"
     [
       ("util", Test_util.suite);
+      ("metrics", Test_metrics.suite);
       ("graph", Test_graphlib.suite);
       ("primes", Test_primes.suite);
       ("bandwidth", Test_bandwidth.suite);

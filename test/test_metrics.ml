@@ -1,0 +1,140 @@
+(* The metrics subsystem: a genuinely stateless null sink (the old
+   Counters.null was a shared mutable hashtable that cross-contaminated
+   default-sink runs), counter/span recording, and JSON rendering. *)
+
+open Helpers
+module Metrics = Tlp_util.Metrics
+module Json_out = Tlp_util.Json_out
+module Bandwidth = Tlp_core.Bandwidth
+module Chain_gen = Tlp_graph.Chain_gen
+
+(* Regression for the shared-mutable-null bug: two back-to-back solver
+   runs with the default sink must observe zero retained state.  Under
+   the old Counters.null this failed — `get null "scan_steps"` was
+   nonzero after any default Bandwidth.naive call. *)
+let test_default_sink_retains_nothing () =
+  let chain = Chain_gen.figure2 (Rng.create 3) ~n:500 ~max_weight:50 in
+  (match Bandwidth.naive chain ~k:200 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "unexpected infeasibility");
+  check_int "null sink saw nothing" 0 (Metrics.get Metrics.null "scan_steps");
+  Alcotest.(check (list (pair string int)))
+    "null sink has no counters" [] (Metrics.counters Metrics.null);
+  (match Bandwidth.naive chain ~k:200 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "unexpected infeasibility");
+  check_int "still nothing after a second run" 0
+    (Metrics.get Metrics.null "scan_steps");
+  check_bool "null sink is null" true (Metrics.is_null Metrics.null)
+
+let test_active_sinks_are_independent () =
+  let chain = Chain_gen.figure2 (Rng.create 5) ~n:400 ~max_weight:50 in
+  let run () =
+    let m = Metrics.create () in
+    (match Bandwidth.naive ~metrics:m chain ~k:200 with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "unexpected infeasibility");
+    Metrics.get m "scan_steps"
+  in
+  let a = run () in
+  let b = run () in
+  check_bool "solver actually counted" true (a > 0);
+  check_int "fresh sinks observe identical work" a b
+
+let test_counters () =
+  let m = Metrics.create () in
+  check_int "unset" 0 (Metrics.get m "x");
+  Metrics.bump m "x";
+  Metrics.bump m "x";
+  Metrics.add m "y" 5;
+  check_int "bumped" 2 (Metrics.get m "x");
+  check_int "added" 5 (Metrics.get m "y");
+  Alcotest.(check (list (pair string int)))
+    "sorted listing"
+    [ ("x", 2); ("y", 5) ]
+    (Metrics.counters m);
+  Metrics.reset m;
+  check_int "reset" 0 (Metrics.get m "x")
+
+let test_null_is_noop () =
+  Metrics.bump Metrics.null "x";
+  Metrics.add Metrics.null "x" 100;
+  check_int "writes dropped" 0 (Metrics.get Metrics.null "x");
+  check_int "with_span passes through" 41
+    (Metrics.with_span Metrics.null "span" (fun () -> 41));
+  Alcotest.(check (list (pair string int)))
+    "no counters" [] (Metrics.counters Metrics.null);
+  check_bool "no spans" true (Metrics.spans Metrics.null = [])
+
+let test_spans () =
+  let m = Metrics.create () in
+  let x = Metrics.with_span m "work" (fun () -> 1 + 1) in
+  check_int "result threaded" 2 x;
+  ignore (Metrics.with_span m "work" (fun () -> Array.make 10_000 0));
+  (match Metrics.span m "work" with
+  | None -> Alcotest.fail "span not recorded"
+  | Some s ->
+      check_int "two calls" 2 s.Metrics.count;
+      check_bool "time is nonnegative" true (s.Metrics.total_s >= 0.0);
+      check_bool "max <= total" true (s.Metrics.max_s <= s.Metrics.total_s +. 1e-9);
+      check_bool "allocation observed" true (s.Metrics.alloc_words > 0.0));
+  (* A raising thunk still records its span. *)
+  (try
+     Metrics.with_span m "boom" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  match Metrics.span m "boom" with
+  | Some s -> check_int "raised span recorded" 1 s.Metrics.count
+  | None -> Alcotest.fail "raising span not recorded"
+
+let test_json_rendering () =
+  let m = Metrics.create () in
+  Metrics.bump m "ops";
+  Metrics.add m "weird \"name\"\twith\nescapes" 3;
+  ignore (Metrics.with_span m "solve" (fun () -> ()));
+  let text = Metrics.to_json_string m in
+  check_bool "metrics JSON is well formed" true (Json_out.is_valid text);
+  check_bool "null sink JSON is well formed" true
+    (Json_out.is_valid (Metrics.to_json_string Metrics.null))
+
+let test_json_out_validator () =
+  let valid =
+    [
+      {|{}|}; {|[]|}; {|null|}; {|[1,2.5,-3e2,"a\nb",true,{"k":[]}]|};
+      {| {"a": 1} |};
+    ]
+  in
+  let invalid =
+    [ ""; "{"; "[1,]"; "{'a':1}"; "[1] trailing"; "01"; "\"unterminated" ]
+  in
+  List.iter
+    (fun s -> check_bool ("valid: " ^ s) true (Json_out.is_valid s))
+    valid;
+  List.iter
+    (fun s -> check_bool ("invalid: " ^ s) false (Json_out.is_valid s))
+    invalid;
+  (* Round trip: everything the emitter produces must validate. *)
+  let doc =
+    Json_out.(
+      Obj
+        [
+          ("s", String "q\"\\\n\t\x01");
+          ("f", Float 1.5);
+          ("nan", Float Float.nan);
+          ("l", List [ Int 1; Bool false; Null ]);
+        ])
+  in
+  check_bool "emitted document validates" true
+    (Json_out.is_valid (Json_out.to_string doc))
+
+let suite =
+  [
+    Alcotest.test_case "default sink retains no state across runs" `Quick
+      test_default_sink_retains_nothing;
+    Alcotest.test_case "independent active sinks" `Quick
+      test_active_sinks_are_independent;
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "null sink is a no-op" `Quick test_null_is_noop;
+    Alcotest.test_case "spans record time and allocation" `Quick test_spans;
+    Alcotest.test_case "JSON rendering" `Quick test_json_rendering;
+    Alcotest.test_case "JSON validator" `Quick test_json_out_validator;
+  ]

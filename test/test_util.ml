@@ -1,11 +1,11 @@
-(* tlp_util: rng, stats, minheap, texttab, csv, counters, timer. *)
+(* tlp_util: rng, stats, minheap, texttab, csv, timer.  The metrics
+   subsystem has its own suite in test_metrics.ml. *)
 
 open Helpers
 module Stats = Tlp_util.Stats
 module Minheap = Tlp_util.Minheap
 module Texttab = Tlp_util.Texttab
 module Csv_out = Tlp_util.Csv_out
-module Counters = Tlp_util.Counters
 
 let test_rng_deterministic () =
   let a = Rng.create 42 and b = Rng.create 42 in
@@ -140,21 +140,6 @@ let test_csv_escape () =
   Alcotest.(check string) "row" "a,\"b,c\",d"
     (Csv_out.row_to_string [ "a"; "b,c"; "d" ])
 
-let test_counters () =
-  let c = Counters.create () in
-  check_int "unset" 0 (Counters.get c "x");
-  Counters.bump c "x";
-  Counters.bump c "x";
-  Counters.add c "y" 5;
-  check_int "bumped" 2 (Counters.get c "x");
-  check_int "added" 5 (Counters.get c "y");
-  Alcotest.(check (list (pair string int)))
-    "listing"
-    [ ("x", 2); ("y", 5) ]
-    (Counters.to_list c);
-  Counters.reset c;
-  check_int "reset" 0 (Counters.get c "x")
-
 let test_timer () =
   let x, dt = Tlp_util.Timer.time (fun () -> 42) in
   check_int "result" 42 x;
@@ -187,6 +172,5 @@ let suite =
     Alcotest.test_case "texttab rejects bad arity" `Quick test_texttab_arity;
     Alcotest.test_case "number formatting" `Quick test_texttab_fmt;
     Alcotest.test_case "csv escaping" `Quick test_csv_escape;
-    Alcotest.test_case "counters" `Quick test_counters;
     Alcotest.test_case "timer" `Quick test_timer;
   ]
