@@ -61,6 +61,10 @@ type record = {
 
 let measure ~algorithm ~n ~k ~p ~q_mean solve =
   let metrics = Metrics.create () in
+  (* Finish any in-flight major cycle first: major-heap word accounting
+     is flushed lazily, so without this a collection triggered inside the
+     span attributes earlier records' deferred allocation to this one. *)
+  Gc.full_major ();
   Metrics.with_span metrics "solve" (fun () -> solve ~metrics);
   let span =
     match Metrics.span metrics "solve" with

@@ -1,0 +1,156 @@
+(* Engine benchmark: batch solving across worker domains and the
+   incremental K-sweep, written to BENCH_engine.json.
+
+   Three measurements:
+
+   - batch wall time at 1/2/4/8 domains over 32 hitting-solver requests
+     on n = 20000 chains, with the parallel outcomes asserted equal to
+     the sequential reference (the engine's determinism contract);
+   - one-shot solves vs the workspace-reusing K-sweep over the same
+     sorted K ladder;
+   - the allocation trajectory of the reworked hitting solver against
+     the seed revision's recorded figure.
+
+   The host core count is recorded in the JSON: on a single-core
+   machine the domain speedups hover around 1x and only the scheduling
+   overhead is visible — the numbers are honest either way. *)
+
+module Chain_gen = Tlp_graph.Chain_gen
+module Rng = Tlp_util.Rng
+module Metrics = Tlp_util.Metrics
+module Json_out = Tlp_util.Json_out
+module Hitting = Tlp_core.Bandwidth_hitting
+module Batch = Tlp_engine.Batch
+module Ksweep = Tlp_engine.Ksweep
+
+let max_weight = 100
+
+(* Seed revision's BENCH_partitioning.json bandwidth_hitting record at
+   n = 2000, K = 200: the before side of the allocation comparison. *)
+let seed_alloc_words = 124699.0
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let batch_requests ~count ~n =
+  List.init count (fun i ->
+      let rng = Rng.create (100 + i) in
+      {
+        Batch.chain = Chain_gen.figure2 rng ~n ~max_weight;
+        k = 16 * max_weight;
+        algorithm = Batch.Hitting;
+      })
+
+let run ?(max_jobs = 8) () =
+  let count = 32 and n = 20000 in
+  print_endline "== engine: batch solving and K-sweep ==";
+  let requests = batch_requests ~count ~n in
+  let reference, seq_s = wall (fun () -> Batch.solve_batch requests) in
+  let jobs_levels = List.filter (fun j -> j <= max_jobs) [ 1; 2; 4; 8 ] in
+  let batch_records =
+    List.map
+      (fun jobs ->
+        let outcomes, s = wall (fun () -> Batch.solve_batch ~jobs requests) in
+        (* The determinism contract, enforced on the benchmark path
+           too: any scheduling must reproduce the sequential fold. *)
+        assert (outcomes = reference);
+        let speedup = seq_s /. s in
+        Printf.printf
+          "  batch %dx n=%d hitting: jobs=%d  %.3fs  speedup %.2fx\n" count n
+          jobs s speedup;
+        Json_out.Obj
+          [
+            ("jobs", Json_out.Int jobs);
+            ("wall_s", Json_out.Float s);
+            ("speedup", Json_out.Float speedup);
+          ])
+      jobs_levels
+  in
+  (* K-sweep: one chain, 32 K values, workspace-reusing sweep vs
+     fresh-workspace one-shot solves. *)
+  let sweep_chain = Chain_gen.figure2 (Rng.create 7) ~n ~max_weight in
+  let ks = List.init 32 (fun i -> (2 * max_weight) + (i * max_weight)) in
+  let one_shot, one_shot_s =
+    wall (fun () ->
+        List.map
+          (fun k ->
+            match Hitting.solve sweep_chain ~k with
+            | Ok { Hitting.weight; _ } -> weight
+            | Error _ -> -1)
+          ks)
+  in
+  let swept, sweep_s =
+    wall (fun () ->
+        List.map
+          (function
+            | Ok e -> e.Ksweep.weight
+            | Error _ -> -1)
+          (Ksweep.sweep (Ksweep.create sweep_chain) ~algorithm:Ksweep.Hitting
+             ks))
+  in
+  assert (one_shot = swept);
+  Printf.printf "  ksweep %d Ks n=%d: one-shot %.3fs, sweep %.3fs (%.2fx)\n"
+    (List.length ks) n one_shot_s sweep_s (one_shot_s /. sweep_s);
+  (* Allocation trajectory of the hitting solver at the seed's reference
+     point, measured the same way BENCH_partitioning.json does. *)
+  let alloc_chain = Chain_gen.figure2 (Rng.create 7) ~n:2000 ~max_weight in
+  let metrics = Metrics.create () in
+  Gc.full_major ();
+  Metrics.with_span metrics "solve" (fun () ->
+      match Hitting.solve ~metrics alloc_chain ~k:200 with
+      | Ok _ -> ()
+      | Error _ -> assert false);
+  let alloc_words =
+    match Metrics.span metrics "solve" with
+    | Some s -> s.Metrics.alloc_words
+    | None -> assert false
+  in
+  Printf.printf
+    "  hitting alloc n=2000 k=200: %.0f words (seed %.0f, %.1fx cut)\n"
+    alloc_words seed_alloc_words
+    (seed_alloc_words /. alloc_words);
+  let doc =
+    Json_out.Obj
+      [
+        ("schema", Json_out.String "tlp.bench.engine/v1");
+        ("suite", Json_out.String "engine");
+        ("cores", Json_out.Int (Domain.recommended_domain_count ()));
+        ( "batch",
+          Json_out.Obj
+            [
+              ("instances", Json_out.Int count);
+              ("n", Json_out.Int n);
+              ("k", Json_out.Int (16 * max_weight));
+              ("algorithm", Json_out.String "bandwidth_hitting");
+              ("sequential_wall_s", Json_out.Float seq_s);
+              ("records", Json_out.List batch_records);
+            ] );
+        ( "ksweep",
+          Json_out.Obj
+            [
+              ("n", Json_out.Int n);
+              ("k_count", Json_out.Int (List.length ks));
+              ("one_shot_wall_s", Json_out.Float one_shot_s);
+              ("sweep_wall_s", Json_out.Float sweep_s);
+              ("speedup", Json_out.Float (one_shot_s /. sweep_s));
+            ] );
+        ( "hitting_alloc",
+          Json_out.Obj
+            [
+              ("n", Json_out.Int 2000);
+              ("k", Json_out.Int 200);
+              ("seed_alloc_words", Json_out.Float seed_alloc_words);
+              ("alloc_words", Json_out.Float alloc_words);
+              ( "reduction",
+                Json_out.Float (seed_alloc_words /. alloc_words) );
+            ] );
+      ]
+  in
+  let text = Json_out.to_string doc in
+  assert (Json_out.is_valid text);
+  Out_channel.with_open_text "BENCH_engine.json" (fun oc ->
+      Out_channel.output_string oc text;
+      Out_channel.output_char oc '\n');
+  print_endline "  wrote BENCH_engine.json"

@@ -12,9 +12,14 @@
      theorem1  E9  star bandwidth via knapsack vs greedy
      ablation  E10 TEMP_S vs naive recurrence; prune vs Alg 2.2; CMB nulls
      json      instrumented solver records -> BENCH_partitioning.json
+     engine    batch/K-sweep engine -> BENCH_engine.json
 
    Run all sections:        dune exec bench/main.exe
-   Run selected sections:   dune exec bench/main.exe -- figure2 timing *)
+   Run selected sections:   dune exec bench/main.exe -- figure2 timing
+
+   --jobs N caps the domain counts the engine section measures. *)
+
+let max_jobs = ref 8
 
 let sections =
   [
@@ -27,13 +32,25 @@ let sections =
     ("theorem1", Exp_theorem1.run);
     ("ablation", Exp_ablation.run);
     ("json", fun () -> Bench_runner.run_partitioning_suite ());
+    ("engine", fun () -> Exp_engine.run ~max_jobs:!max_jobs ());
   ]
 
 let () =
+  let rec strip_jobs = function
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> max_jobs := j
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+            exit 1);
+        strip_jobs rest
+    | x :: rest -> x :: strip_jobs rest
+    | [] -> []
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    match strip_jobs (List.tl (Array.to_list Sys.argv)) with
+    | _ :: _ as names -> names
+    | [] -> List.map fst sections
   in
   List.iter
     (fun name ->

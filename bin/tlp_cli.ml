@@ -4,6 +4,7 @@
      generate   make a random chain/tree instance file
      partition  run a partitioning algorithm on an instance
      stats      prime-subpath statistics across a K sweep
+     sweep      solve one chain at many K values with shared scratch
      simulate   execute a partitioned chain on a machine model *)
 
 open Cmdliner
@@ -40,6 +41,13 @@ let dist_conv =
     | exception Invalid_argument msg -> Error (`Msg msg)
   in
   Arg.conv (parse, fun ppf d -> Format.pp_print_string ppf (Weights.to_string d))
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains.  With N > 1 the work is spread over a \
+              fixed pool of N domains; results are identical to N = 1.")
 
 let metrics_arg =
   Arg.(
@@ -423,6 +431,122 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Prime-subpath statistics across a K sweep")
     Term.(const stats $ instance_arg $ ks)
 
+(* ---------- sweep ---------- *)
+
+let sweep path ks algorithm jobs metrics_mode =
+  let module Ksweep = Tlp_engine.Ksweep in
+  let chain = load_chain path in
+  let metrics =
+    match metrics_mode with Some _ -> Metrics.create () | None -> Metrics.null
+  in
+  let results =
+    Metrics.with_span metrics "sweep" (fun () ->
+        if jobs <= 1 then
+          Ksweep.sweep ~metrics (Ksweep.create chain) ~algorithm ks
+        else Ksweep.sweep_parallel ~metrics ~jobs chain ~algorithm ks)
+  in
+  let algo_name =
+    match algorithm with
+    | Ksweep.Deque -> "deque"
+    | Ksweep.Hitting -> "hitting"
+  in
+  emit metrics_mode metrics
+    ~json_fields:
+      [
+        ("algorithm", Json.String algo_name);
+        ("n", Json.Int (Chain.n chain));
+        ("jobs", Json.Int jobs);
+        ( "entries",
+          Json.List
+            (List.map
+               (function
+                 | Ok e ->
+                     Json.Obj
+                       ([
+                          ("k", Json.Int e.Ksweep.k);
+                          ("weight", Json.Int e.Ksweep.weight);
+                          ("cut", json_cut e.Ksweep.cut);
+                        ]
+                       @
+                       match e.Ksweep.stats with
+                       | None -> []
+                       | Some s ->
+                           [
+                             ("primes", Json.Int s.Tlp_core.Bandwidth_hitting.p);
+                             ("groups", Json.Int s.Tlp_core.Bandwidth_hitting.r);
+                             ( "q_mean",
+                               Json.Float s.Tlp_core.Bandwidth_hitting.q_mean );
+                           ])
+                 | Error e ->
+                     Json.Obj
+                       [
+                         ( "infeasible",
+                           Json.String (Tlp_core.Infeasible.to_string e) );
+                       ])
+               results) );
+      ]
+    ~text:(fun () ->
+      let tab =
+        Texttab.create
+          ~title:
+            (Printf.sprintf "K sweep (%s), n = %d, jobs = %d" algo_name
+               (Chain.n chain) jobs)
+          [ "K"; "opt weight"; "cut size"; "p"; "r"; "q" ]
+      in
+      List.iter
+        (function
+          | Ok e ->
+              let p, r, q =
+                match e.Ksweep.stats with
+                | Some s ->
+                    ( string_of_int s.Tlp_core.Bandwidth_hitting.p,
+                      string_of_int s.Tlp_core.Bandwidth_hitting.r,
+                      Printf.sprintf "%.2f" s.Tlp_core.Bandwidth_hitting.q_mean
+                    )
+                | None -> ("-", "-", "-")
+              in
+              Texttab.add_row tab
+                [
+                  string_of_int e.Ksweep.k;
+                  string_of_int e.Ksweep.weight;
+                  string_of_int (List.length e.Ksweep.cut);
+                  p; r; q;
+                ]
+          | Error err ->
+              Texttab.add_row tab
+                [ "-"; "-"; "-"; "-"; "-";
+                  "infeasible: " ^ Tlp_core.Infeasible.to_string err ])
+        results;
+      Texttab.print tab)
+
+let sweep_cmd =
+  let ks =
+    Arg.(
+      non_empty
+      & opt (list int) []
+      & info [ "k-values" ] ~docv:"K1,K2,..."
+          ~doc:"Bounds to sweep (deduplicated, solved in ascending order).")
+  in
+  let algorithm =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("deque", Tlp_engine.Ksweep.Deque);
+               ("hitting", Tlp_engine.Ksweep.Hitting);
+             ])
+          Tlp_engine.Ksweep.Hitting
+      & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc:"deque | hitting.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Solve one chain at many K values, reusing solver scratch \
+          across the sweep (optionally across worker domains)")
+    Term.(
+      const sweep $ instance_arg $ ks $ algorithm $ jobs_arg $ metrics_arg)
+
 (* ---------- simulate ---------- *)
 
 let simulate path k processors bandwidth jobs interconnect metrics_mode =
@@ -566,11 +690,12 @@ let tree_simulate_cmd =
 
 (* ---------- verify ---------- *)
 
-let verify rounds seed =
-  (* Differential fuzzing: random instances, every solver against its
-     oracle.  Exits non-zero on the first disagreement. *)
-  let rng = Rng.create seed in
-  let failures = ref 0 in
+(* One fuzzing chunk on a private RNG stream: random instances, every
+   solver against its oracle.  Returns (instances checked, mismatch
+   descriptions) so chunks can run on worker domains and report after
+   the join. *)
+let verify_chunk rng rounds =
+  let mismatches = ref [] in
   let checked = ref 0 in
   for _ = 1 to rounds do
     let n = 1 + Rng.int rng 12 in
@@ -599,10 +724,8 @@ let verify rounds seed =
         | Error _ -> None);
       ]
     in
-    if not (List.for_all (( = ) oracle) candidates) then begin
-      incr failures;
-      Printf.eprintf "MISMATCH on chain n=%d k=%d\n" n k
-    end;
+    if not (List.for_all (( = ) oracle) candidates) then
+      mismatches := Printf.sprintf "MISMATCH on chain n=%d k=%d" n k :: !mismatches;
     (* Tree side: bottleneck + proc-min vs exhaustive. *)
     let weights = Array.init n (fun _ -> 1 + Rng.int rng 20) in
     let parents =
@@ -621,8 +744,9 @@ let verify rounds seed =
       when bottleneck = best ->
         ()
     | _ ->
-        incr failures;
-        Printf.eprintf "MISMATCH on tree bottleneck n=%d k=%d\n" n tk);
+        mismatches :=
+          Printf.sprintf "MISMATCH on tree bottleneck n=%d k=%d" n tk
+          :: !mismatches);
     match
       ( Tlp_core.Proc_min.solve t ~k:tk,
         Tlp_baselines.Exhaustive.tree_min_cardinality t ~k:tk )
@@ -631,11 +755,37 @@ let verify rounds seed =
       when List.length cut = best ->
         ()
     | _ ->
-        incr failures;
-        Printf.eprintf "MISMATCH on proc-min n=%d k=%d\n" n tk
+        mismatches :=
+          Printf.sprintf "MISMATCH on proc-min n=%d k=%d" n tk :: !mismatches
   done;
-  Printf.printf "verified %d random instances: %d failures\n" !checked !failures;
-  if !failures > 0 then exit 1
+  (!checked, List.rev !mismatches)
+
+let verify rounds seed jobs =
+  let chunks =
+    (* Split the rounds into [jobs] near-equal chunks, each on its own
+       RNG stream split from the seed, so the worker domains never touch
+       a shared generator. *)
+    let jobs = Stdlib.max 1 (Stdlib.min jobs rounds) in
+    let rngs = Rng.split_n (Rng.create seed) jobs in
+    let base = rounds / jobs and extra = rounds mod jobs in
+    List.init jobs (fun i -> (rngs.(i), base + if i < extra then 1 else 0))
+  in
+  let results =
+    match chunks with
+    | [ (rng, r) ] -> [ verify_chunk rng r ]
+    | _ ->
+        Array.to_list
+          (Tlp_engine.Pool.with_pool ~jobs:(List.length chunks) (fun pool ->
+               Tlp_engine.Pool.parallel_map pool
+                 (fun (rng, r) -> verify_chunk rng r)
+                 (Array.of_list chunks)))
+  in
+  let checked = List.fold_left (fun acc (c, _) -> acc + c) 0 results in
+  let mismatches = List.concat_map snd results in
+  List.iter prerr_endline mismatches;
+  Printf.printf "verified %d random instances: %d failures\n" checked
+    (List.length mismatches);
+  if mismatches <> [] then exit 1
 
 let verify_cmd =
   let rounds =
@@ -646,7 +796,7 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Differential check of every solver against exhaustive oracles")
-    Term.(const verify $ rounds $ seed_arg)
+    Term.(const verify $ rounds $ seed_arg $ jobs_arg)
 
 let () =
   let info =
@@ -658,6 +808,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            generate_cmd; partition_cmd; stats_cmd; simulate_cmd; dual_cmd;
-            tree_simulate_cmd; verify_cmd;
+            generate_cmd; partition_cmd; stats_cmd; sweep_cmd; simulate_cmd;
+            dual_cmd; tree_simulate_cmd; verify_cmd;
           ]))

@@ -104,17 +104,83 @@ let heap ?(metrics = Metrics.null) chain ~k =
       done;
       Ok (reconstruct chain parent)
 
-let deque ?(metrics = Metrics.null) chain ~k =
+(* Reusable scratch for the deque solver: prefix sums, window lows, DP
+   values, parent links, and the monotone deque, all O(n) int arrays.
+   The prefix sums are cached per chain (physical equality), so a
+   K-sweep over one chain computes them exactly once. *)
+module Workspace = struct
+  type t = {
+    mutable cap : int;
+    mutable prefix : int array;
+    mutable lo : int array;
+    mutable d : int array;
+    mutable parent : int array;
+    mutable dq : int array;
+    mutable prefix_of : Chain.t option;
+  }
+
+  let create cap =
+    let cap = Stdlib.max cap 1 in
+    {
+      cap;
+      prefix = Array.make (cap + 1) 0;
+      lo = Array.make (cap + 1) 0;
+      d = Array.make (cap + 1) 0;
+      parent = Array.make (cap + 1) 0;
+      dq = Array.make (cap + 1) 0;
+      prefix_of = None;
+    }
+
+  let ensure t n =
+    if t.cap < n then begin
+      t.cap <- n;
+      t.prefix <- Array.make (n + 1) 0;
+      t.lo <- Array.make (n + 1) 0;
+      t.d <- Array.make (n + 1) 0;
+      t.parent <- Array.make (n + 1) 0;
+      t.dq <- Array.make (n + 1) 0;
+      t.prefix_of <- None
+    end
+
+  let fill_prefix t chain =
+    match t.prefix_of with
+    | Some c when c == chain -> ()
+    | _ ->
+        let n = Chain.n chain in
+        let alpha = chain.Chain.alpha in
+        t.prefix.(0) <- 0;
+        for i = 0 to n - 1 do
+          t.prefix.(i + 1) <- t.prefix.(i) + alpha.(i)
+        done;
+        t.prefix_of <- Some chain
+end
+
+let deque ?(metrics = Metrics.null) ?workspace chain ~k =
   match Infeasible.check_chain chain ~k with
   | Error e -> Error e
   | Ok () ->
       let n = Chain.n chain in
-      let lo = window_lows chain ~k in
-      let d = Array.make (n + 1) 0 in
-      let parent = Array.make (n + 1) 0 in
+      let ws =
+        match workspace with
+        | Some ws ->
+            Workspace.ensure ws n;
+            ws
+        | None -> Workspace.create n
+      in
+      Workspace.fill_prefix ws chain;
+      let prefix = ws.Workspace.prefix and lo = ws.Workspace.lo in
+      let j = ref 0 in
+      for i = 1 to n do
+        while prefix.(i) - prefix.(!j) > k do
+          incr j
+        done;
+        lo.(i) <- !j
+      done;
+      let d = ws.Workspace.d and parent = ws.Workspace.parent in
+      d.(0) <- 0;
       (* Monotone deque of positions with strictly increasing d values;
          the front is always the window minimum. *)
-      let dq = Array.make (n + 1) 0 in
+      let dq = ws.Workspace.dq in
       let head = ref 0 and tail = ref 0 in
       dq.(0) <- 0;
       tail := 1;

@@ -33,8 +33,22 @@ val heap :
   k:int ->
   (solution, Infeasible.t) result
 
+(** Reusable scratch for {!deque}: the O(n) int arrays (prefix sums,
+    window lows, DP table, parent links, monotone deque) preallocated
+    once and reused across solves.  Prefix sums are cached per chain, so
+    sweeping many K values over one chain recomputes nothing but the DP
+    itself.  Not safe to share between concurrently running solves. *)
+module Workspace : sig
+  type t
+
+  val create : int -> t
+  (** [create n] preallocates scratch for chains of up to [n] vertices;
+      larger chains grow the workspace automatically. *)
+end
+
 val deque :
   ?metrics:Tlp_util.Metrics.t ->
+  ?workspace:Workspace.t ->
   Tlp_graph.Chain.t ->
   k:int ->
   (solution, Infeasible.t) result

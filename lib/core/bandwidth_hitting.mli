@@ -36,9 +36,25 @@ type search = Binary | Galloping
     where d is the distance of the answer from the bottom, which the
     skew makes small. *)
 
+(** Reusable solver scratch.  The solver's working state is a fixed set
+    of O(n) int arrays (prime endpoints, per-prime optima and choice
+    links, the TEMP_S rows as struct-of-arrays); a workspace owns one
+    copy of each so repeated solves — in particular a K-sweep over one
+    chain — allocate nothing beyond the returned cut.  A workspace must
+    not be shared between concurrently running solves: give each domain
+    its own. *)
+module Workspace : sig
+  type t
+
+  val create : int -> t
+  (** [create n] preallocates scratch for chains of up to [n] vertices.
+      Solving a larger chain grows the workspace automatically. *)
+end
+
 val solve :
   ?metrics:Tlp_util.Metrics.t ->
   ?search:search ->
+  ?workspace:Workspace.t ->
   Tlp_graph.Chain.t ->
   k:int ->
   (solution, Infeasible.t) result
@@ -46,4 +62,14 @@ val solve :
     single vertex exceeds [k].  Returns the empty cut when the whole
     chain fits.  [search] defaults to [Binary]; both strategies return
     identical solutions (property-tested), differing only in probe
-    counts. *)
+    counts.  Without [workspace] a fresh one is allocated for the call. *)
+
+val prime_ranges :
+  ?workspace:Workspace.t ->
+  Tlp_graph.Chain.t ->
+  k:int ->
+  ((int * int) array, Infeasible.t) result
+(** The prime subpaths the solver's zero-allocation two-pointer discovers
+    at [k], as inclusive (first edge, last edge) ranges in left-to-right
+    order.  Exposed so differential tests can check the workspace path
+    against the reference {!Prime_subpaths.compute}. *)

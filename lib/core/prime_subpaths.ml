@@ -12,7 +12,9 @@ type t = {
 (* Minimal critical segments: for each left vertex l, the least r with
    weight(l..r) > K.  r(l) is nondecreasing, so a two-pointer sweep is
    O(n).  Among minimal segments sharing the same right endpoint only the
-   shortest (largest l) is prime. *)
+   shortest (largest l) is prime.  Candidates accumulate in two int
+   buffers (a dominated candidate is overwritten in place, never
+   reallocated), keeping the pass allocation-lean. *)
 let compute ?(metrics = Metrics.null) chain ~k =
   match Infeasible.check_chain chain ~k with
   | Error e -> Error e
@@ -20,8 +22,9 @@ let compute ?(metrics = Metrics.null) chain ~k =
       let n = Chain.n chain in
       Metrics.add metrics "prime_scan_vertices" n;
       let alpha = chain.Chain.alpha in
-      let primes = ref [] in
-      let n_primes = ref 0 in
+      let pa = Array.make n 0 in
+      let pb = Array.make n 0 in
+      let np = ref 0 in
       let r = ref 0 in
       let sum = ref 0 in
       (* Invariant: [sum] = weight of vertices [l .. !r - 1]. *)
@@ -34,49 +37,43 @@ let compute ?(metrics = Metrics.null) chain ~k =
            [l, !r-1] — or the suffix from l fits within k and no further
            critical segment exists. *)
         if !sum > k then begin
-          let right = !r - 1 in
-          (match !primes with
-          | { b; _ } :: rest when b = right - 1 ->
-              (* Same right endpoint as the previous candidate, which is
-                 therefore dominated (longer): replace it. *)
-              primes := { a = l; b = right - 1 } :: rest
-          | _ ->
-              primes := { a = l; b = right - 1 } :: !primes;
-              incr n_primes);
+          (* Vertex segment [l, !r-1], breakable edges [l, !r-2]. *)
+          let b = !r - 2 in
+          if !np > 0 && pb.(!np - 1) = b then
+            (* Same right endpoint as the previous candidate, which is
+               therefore dominated (longer): replace it. *)
+            pa.(!np - 1) <- l
+          else begin
+            pa.(!np) <- l;
+            pb.(!np) <- b;
+            incr np
+          end;
           sum := !sum - alpha.(l)
         end
         else if !r > l then sum := !sum - alpha.(l)
       done;
-      let p = !n_primes in
+      let p = !np in
       Metrics.add metrics "primes_found" p;
-      let prime_arr = Array.make (Stdlib.max p 1) { a = 0; b = 0 } in
-      List.iteri (fun i pr -> prime_arr.(p - 1 - i) <- pr) !primes;
-      let primes = if p = 0 then [||] else Array.sub prime_arr 0 p in
+      let primes = Array.init p (fun i -> { a = pa.(i); b = pb.(i) }) in
       let n_edges = Chain.n_edges chain in
       (* c_j = first prime with b >= j; d_j = last prime with a <= j.
          Edge j is covered iff c_j <= d_j. *)
-      let edge_c = Array.make (Stdlib.max n_edges 1) 1 in
-      let edge_d = Array.make (Stdlib.max n_edges 1) 0 in
+      let edge_c = Array.make n_edges 1 in
+      let edge_d = Array.make n_edges 0 in
       let ci = ref 0 in
       let di = ref (-1) in
       for j = 0 to n_edges - 1 do
-        while !ci < p && primes.(!ci).b < j do
+        while !ci < p && pb.(!ci) < j do
           incr ci
         done;
-        while !di + 1 < p && primes.(!di + 1).a <= j do
+        while !di + 1 < p && pa.(!di + 1) <= j do
           incr di
         done;
         if !ci < p && !ci <= !di then begin
           edge_c.(j) <- !ci;
           edge_d.(j) <- !di
         end
-        else begin
-          edge_c.(j) <- 1;
-          edge_d.(j) <- 0
-        end
       done;
-      let edge_c = if n_edges = 0 then [||] else Array.sub edge_c 0 n_edges in
-      let edge_d = if n_edges = 0 then [||] else Array.sub edge_d 0 n_edges in
       Ok { primes; edge_c; edge_d }
 
 let count t = Array.length t.primes
@@ -103,34 +100,37 @@ let groups chain t =
   let cap = Stdlib.max 1 n_edges in
   let out = Array.make cap { rep = 0; weight = 0; c = 0; d = 0 } in
   let count = ref 0 in
+  (* The open group is tracked in plain ints; its record is built once,
+     when the group closes. *)
   let cur_valid = ref false in
-  let cur = ref { rep = 0; weight = 0; c = 0; d = 0 } in
-  for j = 0 to n_edges - 1 do
-    let c = t.edge_c.(j) and d = t.edge_d.(j) in
-    if c <= d then begin
-      if !cur_valid && (!cur).c = c && (!cur).d = d then begin
-        if beta.(j) < (!cur).weight then
-          cur := { rep = j; weight = beta.(j); c; d }
-      end
-      else begin
-        if !cur_valid then begin
-          out.(!count) <- !cur;
-          incr count
-        end;
-        cur := { rep = j; weight = beta.(j); c; d };
-        cur_valid := true
-      end
-    end
-    else if !cur_valid then begin
-      out.(!count) <- !cur;
+  let cur_rep = ref 0 and cur_w = ref 0 and cur_c = ref 0 and cur_d = ref 0 in
+  let flush () =
+    if !cur_valid then begin
+      out.(!count) <- { rep = !cur_rep; weight = !cur_w; c = !cur_c; d = !cur_d };
       incr count;
       cur_valid := false
     end
+  in
+  for j = 0 to n_edges - 1 do
+    let c = t.edge_c.(j) and d = t.edge_d.(j) in
+    if c <= d then
+      if !cur_valid && !cur_c = c && !cur_d = d then begin
+        if beta.(j) < !cur_w then begin
+          cur_rep := j;
+          cur_w := beta.(j)
+        end
+      end
+      else begin
+        flush ();
+        cur_rep := j;
+        cur_w := beta.(j);
+        cur_c := c;
+        cur_d := d;
+        cur_valid := true
+      end
+    else flush ()
   done;
-  if !cur_valid then begin
-    out.(!count) <- !cur;
-    incr count
-  end;
+  flush ();
   Array.sub out 0 !count
 
 type stats = {

@@ -1,0 +1,85 @@
+module Chain = Tlp_graph.Chain
+module Rng = Tlp_util.Rng
+module Metrics = Tlp_util.Metrics
+module Bandwidth = Tlp_core.Bandwidth
+module Hitting = Tlp_core.Bandwidth_hitting
+module Infeasible = Tlp_core.Infeasible
+
+type solution = { cut : Chain.cut; weight : int }
+
+type algorithm =
+  | Naive
+  | Heap
+  | Deque
+  | Hitting
+  | Hitting_galloping
+  | Custom of
+      (rng:Rng.t ->
+      metrics:Metrics.t ->
+      Chain.t ->
+      k:int ->
+      (solution, Infeasible.t) result)
+
+type request = { chain : Chain.t; k : int; algorithm : algorithm }
+type outcome = (solution, Infeasible.t) result
+
+let of_bandwidth (r : (Bandwidth.solution, Infeasible.t) result) : outcome =
+  Result.map
+    (fun (s : Bandwidth.solution) ->
+      { cut = s.Bandwidth.cut; weight = s.Bandwidth.weight })
+    r
+
+let of_hitting (r : (Hitting.solution, Infeasible.t) result) : outcome =
+  Result.map
+    (fun (s : Hitting.solution) ->
+      { cut = s.Hitting.cut; weight = s.Hitting.weight })
+    r
+
+let solve_request ?(metrics = Metrics.null) ?(rng = Rng.create 0) req =
+  let { chain; k; algorithm } = req in
+  match algorithm with
+  | Naive -> of_bandwidth (Bandwidth.naive ~metrics chain ~k)
+  | Heap -> of_bandwidth (Bandwidth.heap ~metrics chain ~k)
+  | Deque -> of_bandwidth (Bandwidth.deque ~metrics chain ~k)
+  | Hitting -> of_hitting (Hitting.solve ~metrics ~search:Hitting.Binary chain ~k)
+  | Hitting_galloping ->
+      of_hitting (Hitting.solve ~metrics ~search:Hitting.Galloping chain ~k)
+  | Custom f -> f ~rng ~metrics chain ~k
+
+(* The sequential fold every parallel schedule must reproduce exactly. *)
+let solve_sequential ~metrics ~rngs requests =
+  List.mapi (fun i req -> solve_request ~metrics ~rng:rngs.(i) req) requests
+
+let solve_on_pool pool ~metrics ~rngs requests =
+  let requests = Array.of_list requests in
+  let n = Array.length requests in
+  (* Per-request private sinks: an active sink is mutable and must never
+     be written from two domains.  When the caller's sink is null the
+     private ones are null too, keeping the hot path allocation-free. *)
+  let sinks =
+    if Metrics.is_null metrics then Array.make n Metrics.null
+    else Array.init n (fun _ -> Metrics.create ())
+  in
+  let outcomes =
+    Pool.parallel_map pool
+      (fun i -> solve_request ~metrics:sinks.(i) ~rng:rngs.(i) requests.(i))
+      (Array.init n (fun i -> i))
+  in
+  (* Merge in input order after all workers joined, so the caller's sink
+     ends up identical to what the sequential fold would have written. *)
+  Array.iter (fun sink -> Metrics.merge metrics sink) sinks;
+  Array.to_list outcomes
+
+let solve_batch ?pool ?(jobs = 1) ?(metrics = Metrics.null) ?(seed = 0) requests
+    =
+  let n = List.length requests in
+  (* All RNG streams split up front on the submitting domain: stream i
+     depends only on (seed, i), never on which worker runs the request. *)
+  let rngs = Rng.split_n (Rng.create seed) n in
+  match pool with
+  | Some pool -> solve_on_pool pool ~metrics ~rngs requests
+  | None ->
+      if jobs <= 1 then solve_sequential ~metrics ~rngs requests
+      else
+        Pool.with_pool ~jobs (fun pool ->
+            solve_on_pool pool ~metrics ~rngs requests)

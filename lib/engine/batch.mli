@@ -1,0 +1,54 @@
+(** Batch solving: run many (instance, K, algorithm) requests through
+    the solver library, optionally across a domain pool, with results
+    returned in input order and bit-for-bit independent of scheduling.
+
+    Determinism contract: every request gets its own RNG stream, split
+    from the batch seed up front on the submitting domain, and its own
+    metrics sink, merged into the caller's sink in input order after all
+    workers join.  Sinks are mutable and never shared across domains.
+    Consequently [solve_batch ~jobs:n] returns a value structurally
+    (indeed byte-) identical to the sequential fold, for any [n]. *)
+
+type solution = { cut : Tlp_graph.Chain.cut; weight : int }
+
+type algorithm =
+  | Naive
+  | Heap
+  | Deque
+  | Hitting
+  | Hitting_galloping
+  | Custom of
+      (rng:Tlp_util.Rng.t ->
+      metrics:Tlp_util.Metrics.t ->
+      Tlp_graph.Chain.t ->
+      k:int ->
+      (solution, Tlp_core.Infeasible.t) result)
+      (** Escape hatch for experiment drivers: receives the request's
+          private RNG stream and metrics sink. *)
+
+type request = { chain : Tlp_graph.Chain.t; k : int; algorithm : algorithm }
+
+type outcome = (solution, Tlp_core.Infeasible.t) result
+
+val solve_request :
+  ?metrics:Tlp_util.Metrics.t -> ?rng:Tlp_util.Rng.t -> request -> outcome
+(** Solve one request on the calling domain.  [rng] is only consulted by
+    [Custom] algorithms; the built-in solvers are deterministic. *)
+
+val solve_batch :
+  ?pool:Pool.t ->
+  ?jobs:int ->
+  ?metrics:Tlp_util.Metrics.t ->
+  ?seed:int ->
+  request list ->
+  outcome list
+(** Solve every request, results in input order.
+
+    Scheduling: with [?pool] the work runs on that pool; otherwise with
+    [jobs > 1] a temporary pool is created and shut down; otherwise the
+    requests run as a plain sequential fold on the calling domain (the
+    reference the parallel paths are tested against).
+
+    [seed] (default 0) roots the per-request RNG streams.  [metrics]
+    receives every request's counters and spans regardless of the
+    scheduling mode. *)

@@ -1,0 +1,110 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+(* Workers block on [work_available] while the queue is empty; [stop]
+   flips once at shutdown, after which workers drain whatever is still
+   queued and exit.  Tasks never raise: submission sites wrap them. *)
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stop do
+      Condition.wait t.work_available t.mutex
+    done;
+    match Queue.take_opt t.queue with
+    | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        loop ()
+    | None ->
+        (* Queue empty and [stop] set. *)
+        Mutex.unlock t.mutex
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs = Stdlib.max jobs 1 in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.stop then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add task t.queue;
+  Condition.signal t.work_available;
+  Mutex.unlock t.mutex
+
+let parallel_map t f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let results : 'b option array = Array.make n None in
+    (* Completion state for this call only; the pool queue is shared but
+       each parallel_map waits on its own counter. *)
+    let done_mutex = Mutex.create () in
+    let all_done = Condition.create () in
+    let pending = ref n in
+    let first_exn : (exn * Printexc.raw_backtrace) option ref = ref None in
+    for i = 0 to n - 1 do
+      submit t (fun () ->
+          (match f items.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              Mutex.lock done_mutex;
+              if !first_exn = None then first_exn := Some (e, bt);
+              Mutex.unlock done_mutex);
+          Mutex.lock done_mutex;
+          decr pending;
+          if !pending = 0 then Condition.broadcast all_done;
+          Mutex.unlock done_mutex)
+    done;
+    Mutex.lock done_mutex;
+    while !pending > 0 do
+      Condition.wait all_done done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    match !first_exn with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map
+          (function
+            | Some v -> v
+            | None -> assert false (* every slot written or exn raised *))
+          results
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let already = t.stop in
+  t.stop <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  if not already then begin
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

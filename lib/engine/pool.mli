@@ -1,0 +1,38 @@
+(** Fixed pool of worker domains behind a shared work queue.
+
+    A pool owns [jobs] domains, each looping over a single queue of
+    thunks guarded by a mutex and condition variable.  Tasks may be
+    submitted from any domain; workers pick them up in FIFO order.  The
+    pool is sized once at creation — OCaml domains are heavyweight
+    (roughly one per core is right), so batch engines create one pool
+    and push all their work through it rather than spawning domains per
+    request. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [max jobs 1] worker domains.  The pool must be
+    released with {!shutdown} (or use {!with_pool}). *)
+
+val jobs : t -> int
+(** Number of worker domains. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f items] applies [f] to every element on the
+    worker domains and returns the results in input order.  Blocks the
+    calling domain until all items complete.  If any application raises,
+    the first exception (in completion order) is re-raised on the caller
+    with its backtrace after the remaining items finish or drain.
+
+    [f] runs concurrently with itself on up to [jobs pool] domains: it
+    must not share mutable state across items unless that state is
+    synchronized. *)
+
+val shutdown : t -> unit
+(** Signal all workers to stop, wait for queued tasks to drain, and join
+    the domains.  Idempotent.  Submitting work after shutdown raises
+    [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)

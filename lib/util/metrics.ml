@@ -81,6 +81,37 @@ let record_span st name ~elapsed ~alloc ~majors =
       major_collections = s.major_collections + majors;
     }
 
+let merge dst src =
+  match (dst, src) with
+  | Null, _ | _, Null -> ()
+  | Active d, Active s ->
+      Hashtbl.iter
+        (fun name r ->
+          let dr = counter_ref d name in
+          dr := !dr + !r)
+        s.counters;
+      Hashtbl.iter
+        (fun name r ->
+          let sp = !r in
+          let dr =
+            match Hashtbl.find_opt d.spans name with
+            | Some dr -> dr
+            | None ->
+                let dr = ref empty_span in
+                Hashtbl.add d.spans name dr;
+                dr
+          in
+          let ds = !dr in
+          dr :=
+            {
+              count = ds.count + sp.count;
+              total_s = ds.total_s +. sp.total_s;
+              max_s = Stdlib.max ds.max_s sp.max_s;
+              alloc_words = ds.alloc_words +. sp.alloc_words;
+              major_collections = ds.major_collections + sp.major_collections;
+            })
+        s.spans
+
 (* [Gc.minor_words ()] reads the allocation pointer, so it is exact even
    in native code (where [quick_stat.minor_words] lags behind until the
    next minor collection). *)

@@ -50,6 +50,18 @@ val reset : t -> unit
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 
+val merge : t -> t -> unit
+(** [merge dst src] folds every counter and span of [src] into [dst]:
+    counters and span counts/totals add, span maxima take the max.
+    Either side may be {!null} (then nothing happens).  [src] is left
+    unchanged.  This is how per-domain sinks from a parallel run are
+    combined after join — an {!create}d sink is mutable and must never
+    be written from two domains, so parallel engines give each unit of
+    work its own sink and merge them, in input order, once the workers
+    have joined.  Counter merging is order-independent; span totals are
+    float sums, so merging in input order reproduces the sequential
+    accumulation exactly. *)
+
 val with_span : t -> string -> (unit -> 'a) -> 'a
 (** [with_span t name f] runs [f ()], recording wall-clock time and
     GC/allocation deltas under [name].  On {!null} it is exactly [f ()].

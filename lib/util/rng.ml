@@ -21,6 +21,10 @@ let split t =
   let seed = next_int64 t in
   { state = seed }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  Array.init n (fun _ -> split t)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Keep 62 bits so the value fits OCaml's native int non-negatively. *)

@@ -18,6 +18,13 @@ val split : t -> t
 (** [split t] advances [t] and returns a new statistically independent
     generator, for decorrelated substreams. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] draws [n] independent streams from [t] in one step.
+    Batch engines split all per-request streams up front, on the
+    submitting domain, so the streams each worker sees are a pure
+    function of the master seed and the request index — never of
+    scheduling order. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("metrics", Test_metrics.suite);
+      ("engine", Test_engine.suite);
       ("graph", Test_graphlib.suite);
       ("primes", Test_primes.suite);
       ("bandwidth", Test_bandwidth.suite);

@@ -86,6 +86,50 @@ let test_spans () =
   | Some s -> check_int "raised span recorded" 1 s.Metrics.count
   | None -> Alcotest.fail "raising span not recorded"
 
+let test_merge_equals_sequential () =
+  (* The parallel-engine contract at the metrics level: splitting work
+     across private sinks and merging them reproduces the counters a
+     single sequential sink would have recorded. *)
+  let chain = Chain_gen.figure2 (Rng.create 9) ~n:300 ~max_weight:50 in
+  let ks = [ 120; 250; 400; 800 ] in
+  let sequential = Metrics.create () in
+  List.iter
+    (fun k ->
+      match Bandwidth.deque ~metrics:sequential chain ~k with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "unexpected infeasibility")
+    ks;
+  let merged = Metrics.create () in
+  List.iter
+    (fun k ->
+      let private_sink = Metrics.create () in
+      (match Bandwidth.deque ~metrics:private_sink chain ~k with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "unexpected infeasibility");
+      Metrics.merge merged private_sink)
+    ks;
+  Alcotest.(check (list (pair string int)))
+    "merged counters equal sequential counters"
+    (Metrics.counters sequential)
+    (Metrics.counters merged)
+
+let test_merge_null_endpoints () =
+  let m = Metrics.create () in
+  Metrics.add m "x" 4;
+  Metrics.merge m Metrics.null;
+  check_int "merging null in changes nothing" 4 (Metrics.get m "x");
+  Metrics.merge Metrics.null m;
+  check_bool "null stays empty" true (Metrics.counters Metrics.null = []);
+  let src = Metrics.create () in
+  Metrics.add src "x" 6;
+  ignore (Metrics.with_span src "s" (fun () -> ()));
+  Metrics.merge m src;
+  check_int "counters add" 10 (Metrics.get m "x");
+  check_int "src left unchanged" 6 (Metrics.get src "x");
+  match Metrics.span m "s" with
+  | Some s -> check_int "span merged" 1 s.Metrics.count
+  | None -> Alcotest.fail "span not merged"
+
 let test_json_rendering () =
   let m = Metrics.create () in
   Metrics.bump m "ops";
@@ -135,6 +179,10 @@ let suite =
     Alcotest.test_case "counters" `Quick test_counters;
     Alcotest.test_case "null sink is a no-op" `Quick test_null_is_noop;
     Alcotest.test_case "spans record time and allocation" `Quick test_spans;
+    Alcotest.test_case "merged sinks equal one sequential sink" `Quick
+      test_merge_equals_sequential;
+    Alcotest.test_case "merge null endpoints and src preservation" `Quick
+      test_merge_null_endpoints;
     Alcotest.test_case "JSON rendering" `Quick test_json_rendering;
     Alcotest.test_case "JSON validator" `Quick test_json_out_validator;
   ]
