@@ -29,10 +29,7 @@ let max_weight = 100
    n = 2000, K = 200: the before side of the allocation comparison. *)
 let seed_alloc_words = 124699.0
 
-let wall f =
-  let t0 = Unix.gettimeofday () in
-  let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+let wall f = Tlp_util.Timer.time f
 
 let batch_requests ~count ~n =
   List.init count (fun i ->

@@ -1,0 +1,60 @@
+(* tlp-lint: the project's own static analyzer.  See lib/lint for the
+   rules; this is argument parsing, report emission, and the exit code
+   CI keys off. *)
+
+module Json_out = Tlp_util.Json_out
+module Allowlist = Tlp_lint.Allowlist
+module Driver = Tlp_lint.Driver
+
+let usage =
+  "tlp_lint [options] [root ...]\n\
+   Static analysis over the project's OCaml sources (default roots: lib \
+   bin bench).\n\
+   Exits 0 only when there are no unallowlisted findings, no stale \
+   allowlist\n\
+   entries, and no parse errors.\n"
+
+let () =
+  let format = ref "text" in
+  let out = ref "" in
+  let allowlist_path = ref ".tlp-lint" in
+  let roots = ref [] in
+  let spec =
+    [
+      ( "--format",
+        Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
+        " report format (default text)" );
+      ( "--allowlist",
+        Arg.Set_string allowlist_path,
+        "FILE allowlist path (default .tlp-lint; a missing file is an \
+         empty allowlist)" );
+      ("-o", Arg.Set_string out, "FILE write the report to FILE, not stdout");
+    ]
+  in
+  Arg.parse spec (fun r -> roots := r :: !roots) usage;
+  let roots =
+    match List.rev !roots with [] -> [ "lib"; "bin"; "bench" ] | rs -> rs
+  in
+  match Allowlist.load !allowlist_path with
+  | Error msgs ->
+      List.iter prerr_endline msgs;
+      exit 1
+  | Ok allowlist ->
+      let report = Driver.scan ~allowlist ~roots in
+      let rendered =
+        match !format with
+        | "json" -> (
+            let s = Json_out.to_string (Driver.to_json report) in
+            (* The report must satisfy our own validator before anything
+               downstream (CI) is asked to trust it. *)
+            match Json_out.validate s with
+            | Ok () -> s ^ "\n"
+            | Error msg ->
+                prerr_endline ("tlp_lint: emitted invalid JSON: " ^ msg);
+                exit 2)
+        | _ -> Driver.render_text report
+      in
+      if !out = "" then print_string rendered
+      else
+        Out_channel.with_open_bin !out (fun oc -> output_string oc rendered);
+      exit (Driver.exit_code report)

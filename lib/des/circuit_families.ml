@@ -54,7 +54,16 @@ let ripple_adder ~bits =
     end
   in
   let sums, carry = stage 0 None [] in
-  let carry_out = Option.get carry in
+  let carry_out =
+    match carry with
+    | Some c -> c
+    | None ->
+        (* Unreachable: the bits >= 1 guard above means stage runs at
+           least once and every iteration sets the carry. *)
+        invalid_arg
+          "Circuit_families.ripple_adder: no carry produced (bits >= 1 \
+           should make this impossible)"
+  in
   { circuit = finish b; a_inputs; b_inputs; sums; carry_out }
 
 type comparator = {

@@ -82,7 +82,10 @@ let connected_components g =
       comps := List.sort compare !comp :: !comps
     end
   done;
-  List.sort (fun a b -> compare (List.hd a) (List.hd b)) !comps
+  (* Components are nonempty by construction; an empty one sorts last
+     rather than crashing the comparator. *)
+  let first = function v :: _ -> v | [] -> max_int in
+  List.sort (fun a b -> compare (first a) (first b)) !comps
 
 let is_connected g = List.length (connected_components g) = 1
 

@@ -104,8 +104,11 @@ let components t cut =
     let existing = Option.value (Hashtbl.find_opt buckets r) ~default:[] in
     Hashtbl.replace buckets r (v :: existing)
   done;
+  (* Buckets are nonempty by construction; an empty one sorts last
+     rather than crashing the comparator. *)
+  let first = function v :: _ -> v | [] -> max_int in
   Hashtbl.fold (fun _ vs acc -> vs :: acc) buckets []
-  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+  |> List.sort (fun a b -> compare (first a) (first b))
 
 let component_weights t cut =
   let sum vs = List.fold_left (fun acc v -> acc + t.weights.(v)) 0 vs in

@@ -1,0 +1,93 @@
+module Json_out = Tlp_util.Json_out
+
+type entry = {
+  rule : string;
+  file : string;
+  symbol : string;
+  justification : string;
+  source_line : int;
+}
+
+let is_blank line = String.trim line = ""
+let is_comment line = String.length (String.trim line) > 0 && (String.trim line).[0] = '#'
+
+(* Find the first " -- " separator; return the text on each side. *)
+let split_on_separator line =
+  let sep = " -- " in
+  let n = String.length line and k = String.length sep in
+  let rec find i =
+    if i + k > n then None
+    else if String.sub line i k = sep then
+      Some (String.sub line 0 i, String.sub line (i + k) (n - i - k))
+    else find (i + 1)
+  in
+  find 0
+
+(* Split "RULE FILE SYMBOL -- justification" into its four parts. *)
+let parse_line ~path ~lineno line =
+  let err msg = Error (Printf.sprintf "%s:%d: %s" path lineno msg) in
+  match split_on_separator line with
+  | None -> err "missing ' -- justification' (justification text is mandatory)"
+  | Some (head, justification) ->
+      if String.trim justification = "" then
+        err "empty justification (justification text is mandatory)"
+      else
+        let fields =
+          String.split_on_char ' ' head
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun s -> s <> "")
+        in
+        (match fields with
+        | [ rule; file; symbol ] ->
+            Ok
+              {
+                rule;
+                file;
+                symbol;
+                justification = String.trim justification;
+                source_line = lineno;
+              }
+        | _ ->
+            err
+              (Printf.sprintf
+                 "expected 'RULE FILE SYMBOL -- justification', got %d \
+                  field(s) before '--'"
+                 (List.length fields)))
+
+let parse ~path contents =
+  let lines = String.split_on_char '\n' contents in
+  let entries, errors =
+    List.fold_left
+      (fun (entries, errors) (lineno, line) ->
+        if is_blank line || is_comment line then (entries, errors)
+        else
+          match parse_line ~path ~lineno line with
+          | Ok e -> (e :: entries, errors)
+          | Error msg -> (entries, msg :: errors))
+      ([], [])
+      (List.mapi (fun i line -> (i + 1, line)) lines)
+  in
+  if errors = [] then Ok (List.rev entries) else Error (List.rev errors)
+
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    parse ~path contents
+
+let matches e (f : Finding.t) =
+  e.rule = f.rule && e.file = f.file && e.symbol = f.symbol
+
+let to_json e =
+  Json_out.Obj
+    [
+      ("rule", Json_out.String e.rule);
+      ("file", Json_out.String e.file);
+      ("symbol", Json_out.String e.symbol);
+      ("justification", Json_out.String e.justification);
+    ]
+
+let describe e = Printf.sprintf "%s:%s (%s)" e.file e.symbol e.rule

@@ -1,0 +1,42 @@
+(** The committed [.tlp-lint] allowlist.
+
+    One entry per line:
+
+    {v
+    RULE FILE SYMBOL -- justification text
+    v}
+
+    e.g. [R1 lib/graph/dot.ml palette -- Read-only color table, never
+    written after construction.].  Blank lines and lines starting with
+    [#] are ignored.  The justification after [--] is mandatory and must
+    be non-empty: an entry without one is a load error, so suppressions
+    cannot be committed without a written reason.
+
+    An entry suppresses every finding whose rule, file, and symbol all
+    match it exactly.  Entries that suppress nothing are reported as
+    stale by the driver and fail the run, so the allowlist cannot
+    outlive the code it excuses. *)
+
+type entry = {
+  rule : string;
+  file : string;
+  symbol : string;
+  justification : string;
+  source_line : int;  (** 1-based line in the allowlist file *)
+}
+
+val parse : path:string -> string -> (entry list, string list) result
+(** [parse ~path contents] parses the allowlist text.  [path] is only
+    used to prefix error messages.  Errors are returned all at once so a
+    broken file reports every problem in one run. *)
+
+val load : string -> (entry list, string list) result
+(** [load path] reads and parses the file.  A missing file is an empty
+    allowlist, not an error. *)
+
+val matches : entry -> Finding.t -> bool
+
+val to_json : entry -> Tlp_util.Json_out.t
+
+val describe : entry -> string
+(** [file:symbol (rule)] — used in stale-entry diagnostics. *)

@@ -1,0 +1,11 @@
+(** Version shims over [Parsetree], selected at build time.
+
+    The function-abstraction constructors changed shape in OCaml 5.2
+    ([Pexp_fun] merged into [Pexp_function]); the dune rules in this
+    directory copy the matching [ast_compat_5*.ml] variant to
+    [ast_compat.ml] based on [%{ocaml_version}]. *)
+
+val is_function : Parsetree.expression -> bool
+(** True when the expression is a function abstraction — the boundary at
+    which rule R1 stops descending, since state allocated under a lambda
+    is created per call, not once per program. *)

@@ -1,0 +1,5 @@
+(* OCaml 5.1 Parsetree: function abstraction is two constructors. *)
+let is_function (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | _ -> false

@@ -1,0 +1,5 @@
+(* OCaml >= 5.2 Parsetree: Pexp_fun was folded into Pexp_function. *)
+let is_function (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_function _ -> true
+  | _ -> false

@@ -1,0 +1,190 @@
+module Json_out = Tlp_util.Json_out
+
+type report = {
+  files_scanned : int;
+  findings : Finding.t list;
+  suppressed : (Allowlist.entry * Finding.t) list;
+  stale : Allowlist.entry list;
+  errors : string list;
+}
+
+(* R4: a library module without an interface leaks its whole namespace
+   and dodges the documentation the other rules rely on. *)
+let r4_finding file =
+  {
+    Finding.rule = "R4";
+    file;
+    line = 1;
+    col = 0;
+    symbol = Filename.basename file;
+    snippet = "";
+    message =
+      Printf.sprintf "missing interface: %s has no matching %si" file file;
+    severity = Finding.Error;
+  }
+
+let scan_files ?(mli_exists = fun _ -> true) ~allowlist files =
+  let errors = ref [] in
+  let all_findings =
+    List.concat_map
+      (fun (file, source) ->
+        let from_rules =
+          match Rules.check_source ~file source with
+          | Ok findings -> findings
+          | Error msg ->
+              errors := msg :: !errors;
+              []
+        in
+        let r4 =
+          if (Rules.classify file).Rules.r4 && not (mli_exists file) then
+            [ r4_finding file ]
+          else []
+        in
+        from_rules @ r4)
+      files
+    |> List.sort Finding.compare
+  in
+  (* Each finding is suppressed by the first entry that matches it; an
+     entry is stale when it matched nothing at all. *)
+  let used = Hashtbl.create 8 in
+  let findings, suppressed =
+    List.partition_map
+      (fun f ->
+        match List.find_opt (fun e -> Allowlist.matches e f) allowlist with
+        | Some e ->
+            Hashtbl.replace used e.Allowlist.source_line ();
+            Either.Right (e, f)
+        | None -> Either.Left f)
+      all_findings
+  in
+  let stale =
+    List.filter
+      (fun e -> not (Hashtbl.mem used e.Allowlist.source_line))
+      allowlist
+  in
+  {
+    files_scanned = List.length files;
+    findings;
+    suppressed;
+    stale;
+    errors = List.rev !errors;
+  }
+
+(* Recursive .ml discovery, deterministic order, build/VCS dirs skipped.
+   [top] exempts the roots themselves from the dotted/underscored-name
+   skip so `tlp_lint .` still works. *)
+let rec collect_ml_files ?(top = false) acc path =
+  match (Unix.stat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      let base = Filename.basename path in
+      if
+        (not top) && String.length base > 0
+        && (base.[0] = '_' || base.[0] = '.')
+      then Ok acc
+      else
+        let entries = Sys.readdir path in
+        Array.sort String.compare entries;
+        Array.fold_left
+          (fun acc entry ->
+            match acc with
+            | Error _ -> acc
+            | Ok acc -> collect_ml_files acc (Filename.concat path entry))
+          (Ok acc) entries
+  | Unix.S_REG ->
+      if Filename.check_suffix path ".ml" then Ok (path :: acc) else Ok acc
+  | _ -> Ok acc
+  | exception Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message err))
+  | exception Sys_error msg -> Error msg
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  contents
+
+(* "./lib/foo.ml" and "lib/foo.ml" must hit the same allowlist entry. *)
+let normalize path =
+  let p = if String.length path > 2 && String.sub path 0 2 = "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  String.concat "/" (String.split_on_char '\\' p)
+
+let scan ~allowlist ~roots =
+  let errors = ref [] in
+  let files =
+    List.concat_map
+      (fun root ->
+        match collect_ml_files ~top:true [] root with
+        | Ok files -> List.rev files
+        | Error msg ->
+            errors := msg :: !errors;
+            [])
+      roots
+  in
+  let sources =
+    List.filter_map
+      (fun path ->
+        match read_file path with
+        | source -> Some (normalize path, source)
+        | exception Sys_error msg ->
+            errors := msg :: !errors;
+            None)
+      files
+  in
+  let report =
+    scan_files ~mli_exists:(fun ml -> Sys.file_exists (ml ^ "i")) ~allowlist
+      sources
+  in
+  { report with errors = List.rev !errors @ report.errors }
+
+let ok r = r.findings = [] && r.stale = [] && r.errors = []
+let exit_code r = if ok r then 0 else 1
+
+let suppressed_json (e, (f : Finding.t)) =
+  match Allowlist.to_json e with
+  | Json_out.Obj fields ->
+      Json_out.Obj (fields @ [ ("line", Json_out.Int f.Finding.line) ])
+  | other -> other
+
+let to_json r =
+  Json_out.Obj
+    [
+      ("schema", Json_out.String "tlp.lint/v1");
+      ("ok", Json_out.Bool (ok r));
+      ("files_scanned", Json_out.Int r.files_scanned);
+      ("findings", Json_out.List (List.map Finding.to_json r.findings));
+      ("suppressed", Json_out.List (List.map suppressed_json r.suppressed));
+      ( "stale_allowlist",
+        Json_out.List (List.map Allowlist.to_json r.stale) );
+      ("errors", Json_out.List (List.map (fun e -> Json_out.String e) r.errors));
+    ]
+
+let render_text r =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Finding.to_text f);
+      Buffer.add_char buf '\n')
+    r.findings;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "stale allowlist entry %s: no finding matches it any more — \
+            delete the entry\n"
+           (Allowlist.describe e)))
+    r.stale;
+  List.iter (fun e -> Buffer.add_string buf (Printf.sprintf "error: %s\n" e))
+    r.errors;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "tlp-lint: %d file(s) scanned, %d finding(s), %d suppressed, %d stale \
+        allowlist entr%s, %d error(s)\n"
+       r.files_scanned (List.length r.findings) (List.length r.suppressed)
+       (List.length r.stale)
+       (if List.length r.stale = 1 then "y" else "ies")
+       (List.length r.errors));
+  Buffer.contents buf

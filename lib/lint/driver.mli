@@ -1,0 +1,40 @@
+(** File discovery, allowlist application, and report rendering.
+
+    A run is clean (exit 0) only when there are no unsuppressed
+    findings, no stale allowlist entries, and no file/parse errors:
+    deleting an allowlist entry whose finding is still in the code, or
+    leaving an entry behind after fixing the code, both fail the run. *)
+
+type report = {
+  files_scanned : int;
+  findings : Finding.t list;  (** unsuppressed, in {!Finding.compare} order *)
+  suppressed : (Allowlist.entry * Finding.t) list;
+      (** findings matched by an allowlist entry, report order *)
+  stale : Allowlist.entry list;
+      (** allowlist entries that suppressed nothing *)
+  errors : string list;  (** parse and I/O errors *)
+}
+
+val scan_files :
+  ?mli_exists:(string -> bool) ->
+  allowlist:Allowlist.entry list ->
+  (string * string) list ->
+  report
+(** [scan_files ~allowlist files] lints [(path, source)] pairs already
+    in memory — the unit-test entry point.  [mli_exists path] answers
+    whether [path ^ "i"] exists for rule R4; it defaults to always-true
+    so purely inline fixtures don't trip R4. *)
+
+val scan : allowlist:Allowlist.entry list -> roots:string list -> report
+(** Walk [roots] recursively for [.ml] files (skipping [_build]-style
+    and dotted directories), read them, and lint with R4 backed by the
+    real filesystem.  Unreadable roots or files become [errors]. *)
+
+val ok : report -> bool
+val exit_code : report -> int  (** 0 when {!ok}, 1 otherwise *)
+
+val to_json : report -> Tlp_util.Json_out.t
+(** Schema [tlp.lint/v1]: [{schema; ok; files_scanned; findings;
+    suppressed; stale_allowlist; errors}]. *)
+
+val render_text : report -> string

@@ -1,0 +1,47 @@
+module Json_out = Tlp_util.Json_out
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  symbol : string;
+  snippet : string;
+  message : string;
+  severity : severity;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_json f =
+  Json_out.Obj
+    [
+      ("rule", Json_out.String f.rule);
+      ("file", Json_out.String f.file);
+      ("line", Json_out.Int f.line);
+      ("col", Json_out.Int f.col);
+      ("symbol", Json_out.String f.symbol);
+      ("snippet", Json_out.String f.snippet);
+      ("message", Json_out.String f.message);
+      ("severity", Json_out.String (severity_to_string f.severity));
+    ]
+
+let to_text f =
+  let base =
+    Printf.sprintf "%s:%d:%d: [%s/%s] %s" f.file f.line f.col f.rule
+      (severity_to_string f.severity)
+      f.message
+  in
+  if f.snippet = "" then base else Printf.sprintf "%s\n    %s" base f.snippet

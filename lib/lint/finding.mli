@@ -1,0 +1,33 @@
+(** A single static-analysis finding.
+
+    Findings are the unit of everything downstream: allowlist matching,
+    JSON/text rendering, and the exit code.  They carry enough location
+    detail for an editor jump ([file]/[line]/[col]) and a [symbol] that
+    the allowlist matches on, so entries survive unrelated edits that
+    shift line numbers. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;  (** rule identifier, e.g. ["R1"] *)
+  file : string;  (** path relative to the scan root, '/'-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as reported by the lexer *)
+  symbol : string;
+      (** what the allowlist matches: the offending identifier
+          ([List.hd], [Random.int]) for use-site rules, the binding name
+          for R1, the module basename for R4 *)
+  snippet : string;  (** the trimmed offending source line *)
+  message : string;
+  severity : severity;
+}
+
+val severity_to_string : severity -> string
+
+val compare : t -> t -> int
+(** Order by file, then line, then column, then rule — the report order. *)
+
+val to_json : t -> Tlp_util.Json_out.t
+
+val to_text : t -> string
+(** One-line [file:line:col: rule message] rendering plus the snippet. *)

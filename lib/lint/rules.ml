@@ -1,0 +1,243 @@
+open Parsetree
+
+type applicable = { r1 : bool; r2 : bool; r3 : bool; r4 : bool }
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* The two modules every clock read and random draw must flow through. *)
+let sanctioned_clock = [ "lib/util/rng.ml"; "lib/util/timer.ml" ]
+
+let classify file =
+  let under d = has_prefix ~prefix:(d ^ "/") file in
+  if under "lib" then
+    {
+      r1 = true;
+      r2 = not (List.mem file sanctioned_clock);
+      r3 = true;
+      r4 = true;
+    }
+  else if under "bin" || under "bench" then
+    { r1 = false; r2 = true; r3 = false; r4 = false }
+  else { r1 = false; r2 = false; r3 = false; r4 = false }
+
+let ident_name lid =
+  match Longident.flatten lid with
+  | parts -> String.concat "." parts
+  | exception _ -> ""
+
+let strip_stdlib name =
+  let p = "Stdlib." in
+  if has_prefix ~prefix:p name then
+    String.sub name (String.length p) (String.length name - String.length p)
+  else name
+
+let r2_offender name =
+  name = "Sys.time" || name = "Unix.gettimeofday" || name = "Unix.time"
+  || has_prefix ~prefix:"Random." name
+
+let r3_offender name =
+  match name with
+  | "List.hd" | "List.tl" | "Option.get" | "exit" -> true
+  | _ -> has_prefix ~prefix:"Obj." name
+
+(* Allocation heads whose result, bound at module toplevel, is state
+   shared by every domain that touches the module. *)
+let r1_alloc_heads =
+  [
+    "ref";
+    "Hashtbl.create";
+    "Buffer.create";
+    "Array.make";
+    "Array.create_float";
+    "Array.init";
+    "Bytes.create";
+    "Bytes.make";
+    "Queue.create";
+    "Stack.create";
+    "Atomic.make";
+  ]
+
+let finding ~lines ~file ~rule ~symbol ~message (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  let line = p.Lexing.pos_lnum in
+  let col = p.Lexing.pos_cnum - p.Lexing.pos_bol in
+  let snippet =
+    if line >= 1 && line <= Array.length lines then String.trim lines.(line - 1)
+    else ""
+  in
+  {
+    Finding.rule;
+    file;
+    line;
+    col;
+    symbol;
+    snippet;
+    message;
+    severity = Finding.Error;
+  }
+
+(* Field names declared [mutable] anywhere in this file: the best a
+   purely syntactic pass can do for record-literal mutability. *)
+let mutable_field_names str =
+  let fields = Hashtbl.create 8 in
+  let type_declaration self td =
+    (match td.ptype_kind with
+    | Ptype_record labels ->
+        List.iter
+          (fun ld ->
+            if ld.pld_mutable = Asttypes.Mutable then
+              Hashtbl.replace fields ld.pld_name.Location.txt ())
+          labels
+    | _ -> ());
+    Ast_iterator.default_iterator.type_declaration self td
+  in
+  let it = { Ast_iterator.default_iterator with type_declaration } in
+  it.structure it str;
+  fields
+
+let last_component lid =
+  match Longident.flatten lid with
+  | [] | (exception _) -> ""
+  | parts -> List.nth parts (List.length parts - 1)
+
+let rec binding_name p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> txt
+  | Ppat_constraint (p, _) -> binding_name p
+  | Ppat_alias (_, { txt; _ }) -> txt
+  | _ -> "_"
+
+let check_structure ~file ~source str =
+  let app = classify file in
+  let lines = Array.of_list (String.split_on_char '\n' source) in
+  let acc = ref [] in
+  let add ~rule ~symbol ~message loc =
+    acc := finding ~lines ~file ~rule ~symbol ~message loc :: !acc
+  in
+
+  (* R2 + R3: offending identifiers anywhere in the file, functions
+     included — a partial call or clock read is a hazard at any depth. *)
+  if app.r2 || app.r3 then begin
+    let expr self e =
+      (match e.pexp_desc with
+      | Pexp_ident { txt; loc } ->
+          let name = strip_stdlib (ident_name txt) in
+          if app.r2 && r2_offender name then
+            add ~rule:"R2" ~symbol:name
+              ~message:
+                (Printf.sprintf
+                   "direct %s breaks reproducibility; route through \
+                    Tlp_util.Rng / Tlp_util.Timer"
+                   name)
+              loc;
+          if app.r3 && r3_offender name then
+            add ~rule:"R3" ~symbol:name
+              ~message:
+                (Printf.sprintf
+                   "partial or unsafe %s in library code; use a total \
+                    match instead"
+                   name)
+              loc
+      | _ -> ());
+      Ast_iterator.default_iterator.expr self e
+    in
+    let it = { Ast_iterator.default_iterator with expr } in
+    it.structure it str
+  end;
+
+  (* R1: mutable allocations reachable without entering a function from
+     a module-toplevel binding.  Such values are created once at module
+     initialisation and shared by every worker domain. *)
+  if app.r1 then begin
+    let mutable_fields = mutable_field_names str in
+    let check_node ~bound e =
+      match e.pexp_desc with
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+          let name = strip_stdlib (ident_name txt) in
+          if List.mem name r1_alloc_heads then
+            add ~rule:"R1" ~symbol:bound
+              ~message:
+                (Printf.sprintf
+                   "toplevel mutable state: %s result bound at module \
+                    toplevel (binding '%s') is shared across domains"
+                   name bound)
+              e.pexp_loc
+      | Pexp_array (_ :: _) ->
+          add ~rule:"R1" ~symbol:bound
+            ~message:
+              (Printf.sprintf
+                 "toplevel mutable state: array literal bound at module \
+                  toplevel (binding '%s') is shared across domains"
+                 bound)
+            e.pexp_loc
+      | Pexp_record (fields, _) ->
+          let mut =
+            List.filter_map
+              (fun ({ Location.txt; _ }, _) ->
+                let f = last_component txt in
+                if Hashtbl.mem mutable_fields f then Some f else None)
+              fields
+          in
+          if mut <> [] then
+            add ~rule:"R1" ~symbol:bound
+              ~message:
+                (Printf.sprintf
+                   "toplevel mutable state: record literal with mutable \
+                    field(s) %s bound at module toplevel (binding '%s')"
+                   (String.concat ", " mut) bound)
+              e.pexp_loc
+      | _ -> ()
+    in
+    let scan_toplevel_expr ~bound e0 =
+      let expr self e =
+        if Ast_compat.is_function e then ()
+          (* state under a lambda is per-call, not shared *)
+        else begin
+          check_node ~bound e;
+          Ast_iterator.default_iterator.expr self e
+        end
+      in
+      let it = { Ast_iterator.default_iterator with expr } in
+      it.expr it e0
+    in
+    let rec scan_structure items = List.iter scan_item items
+    and scan_item item =
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              scan_toplevel_expr ~bound:(binding_name vb.pvb_pat) vb.pvb_expr)
+            vbs
+      | Pstr_module mb -> scan_module_expr mb.pmb_expr
+      | Pstr_recmodule mbs ->
+          List.iter (fun mb -> scan_module_expr mb.pmb_expr) mbs
+      | Pstr_include inc -> scan_module_expr inc.pincl_mod
+      | _ -> ()
+    and scan_module_expr me =
+      match me.pmod_desc with
+      | Pmod_structure s -> scan_structure s
+      | Pmod_constraint (inner, _) -> scan_module_expr inner
+      | _ -> () (* functors: the instantiation site owns the state *)
+    in
+    scan_structure str
+  end;
+
+  List.sort Finding.compare !acc
+
+let check_source ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | str -> Ok (check_structure ~file ~source str)
+  | exception exn ->
+      let msg =
+        match Location.error_of_exn exn with
+        | Some (`Ok r) ->
+            let loc = r.Location.main.Location.loc in
+            Format.asprintf "line %d: %t" loc.Location.loc_start.Lexing.pos_lnum
+              r.Location.main.Location.txt
+        | _ -> Printexc.to_string exn
+      in
+      Error (Printf.sprintf "%s: syntax error: %s" file msg)

@@ -1,0 +1,46 @@
+(** The four lint rules, run over a parsed implementation.
+
+    Which rules apply to a file is decided purely from its path:
+
+    - {b R1 domain-safety} ([lib/] only): module-toplevel mutable state —
+      [ref]/[Hashtbl.create]/[Buffer.create]/[Array.make]-family calls,
+      non-empty array literals, and record literals that set a field
+      declared [mutable] in the same file — bound outside any function.
+      Everything under [lib/] is reachable from the [Tlp_engine.Pool]
+      worker domains, so such a binding is shared across domains and is
+      either a data race or a cross-request determinism leak.
+    - {b R2 determinism} ([lib/], [bin/], [bench/]): direct [Random.*],
+      [Sys.time], [Unix.gettimeofday] anywhere outside the sanctioned
+      [lib/util/rng.ml] / [lib/util/timer.ml] wrappers.  Reproducibility
+      rests on every stochastic choice and every clock read flowing
+      through the seeded splitmix64 generator and the timer module.
+    - {b R3 partiality} ([lib/] only; tests and bench exempt):
+      [List.hd], [List.tl], [Option.get], any [Obj.*], and bare [exit].
+    - {b R4 interface hygiene} ([lib/] only): every [.ml] needs a
+      matching [.mli]; checked in {!Driver} where the filesystem is
+      visible.
+
+    Known limit: R1 resolves record-field mutability only against type
+    declarations in the same file — a toplevel literal of a mutable
+    record type imported from another module is not flagged. *)
+
+type applicable = {
+  r1 : bool;  (** domain-safety *)
+  r2 : bool;  (** determinism *)
+  r3 : bool;  (** partiality *)
+  r4 : bool;  (** interface hygiene (enforced by {!Driver}) *)
+}
+
+val classify : string -> applicable
+(** [classify file] decides rule applicability from the ('/'-separated,
+    root-relative) path alone. *)
+
+val check_structure :
+  file:string -> source:string -> Parsetree.structure -> Finding.t list
+(** Run R1–R3 (as applicable) over a parsed structure.  [source] is used
+    only to extract offending-line snippets. *)
+
+val check_source : file:string -> string -> (Finding.t list, string) result
+(** Parse [source] as an implementation and run {!check_structure}.
+    [Error msg] on a syntax error.  This is the unit-test entry point:
+    fixtures are inline strings with fake paths. *)

@@ -63,12 +63,13 @@ let to_string v =
   write buf v;
   Buffer.contents buf
 
-(* A strict validating parser, used by the tests and the CI smoke check to
-   assert emitted documents are well formed.  Returns only success. *)
-let is_valid text =
+(* A strict validating parser, used by the tests, the lint driver, and
+   the CI smoke check to assert emitted documents are well formed. *)
+let validate text =
   let n = String.length text in
   let pos = ref 0 in
-  let exception Bad in
+  let exception Bad of string in
+  let raise_bad msg = raise (Bad (Printf.sprintf "offset %d: %s" !pos msg)) in
   let peek () = if !pos < n then Some text.[!pos] else None in
   let advance () = incr pos in
   let skip_ws () =
@@ -80,19 +81,20 @@ let is_valid text =
     done
   in
   let expect c =
-    if peek () = Some c then advance () else raise Bad
+    if peek () = Some c then advance ()
+    else raise_bad (Printf.sprintf "expected '%c'" c)
   in
   let literal s =
     let l = String.length s in
     if !pos + l <= n && String.sub text !pos l = s then pos := !pos + l
-    else raise Bad
+    else raise_bad (Printf.sprintf "expected literal %s" s)
   in
   let string_body () =
     expect '"';
     let continue = ref true in
     while !continue do
       match peek () with
-      | None -> raise Bad
+      | None -> raise_bad "unterminated string"
       | Some '"' ->
           advance ();
           continue := false
@@ -105,11 +107,11 @@ let is_valid text =
               for _ = 1 to 4 do
                 (match peek () with
                 | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> ()
-                | _ -> raise Bad);
+                | _ -> raise_bad "bad \\u escape");
                 advance ()
               done
-          | _ -> raise Bad)
-      | Some c when Char.code c < 0x20 -> raise Bad
+          | _ -> raise_bad "bad escape sequence")
+      | Some c when Char.code c < 0x20 -> raise_bad "control char in string"
       | Some _ -> advance ()
     done
   in
@@ -121,16 +123,18 @@ let is_valid text =
         saw := true;
         advance ()
       done;
-      if not !saw then raise Bad
+      if not !saw then raise_bad "expected digits"
     in
     (* The integer part is a single 0 or starts with a nonzero digit;
        "01" is not JSON. *)
     (match peek () with
     | Some '0' -> (
         advance ();
-        match peek () with Some '0' .. '9' -> raise Bad | _ -> ())
+        match peek () with
+        | Some '0' .. '9' -> raise_bad "leading zero"
+        | _ -> ())
     | Some '1' .. '9' -> digits ()
-    | _ -> raise Bad);
+    | _ -> raise_bad "expected number");
     if peek () = Some '.' then begin
       advance ();
       digits ()
@@ -163,7 +167,7 @@ let is_valid text =
             | Some '}' ->
                 advance ();
                 continue := false
-            | _ -> raise Bad
+            | _ -> raise_bad "expected ',' or '}'"
           done
         end
     | Some '[' ->
@@ -180,7 +184,7 @@ let is_valid text =
             | Some ']' ->
                 advance ();
                 continue := false
-            | _ -> raise Bad
+            | _ -> raise_bad "expected ',' or ']'"
           done
         end
     | Some '"' -> string_body ()
@@ -188,9 +192,13 @@ let is_valid text =
     | Some 'f' -> literal "false"
     | Some 'n' -> literal "null"
     | Some ('-' | '0' .. '9') -> number ()
-    | _ -> raise Bad);
+    | _ -> raise_bad "expected a JSON value");
     skip_ws ()
   in
   match value () with
-  | () -> !pos = n
-  | exception Bad -> false
+  | () ->
+      if !pos = n then Ok ()
+      else Error (Printf.sprintf "offset %d: trailing garbage" !pos)
+  | exception Bad msg -> Error msg
+
+let is_valid text = Result.is_ok (validate text)

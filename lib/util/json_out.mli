@@ -17,6 +17,10 @@ type t =
 val to_string : t -> string
 (** Compact (single-line) rendering. *)
 
+val validate : string -> (unit, string) result
+(** Strict well-formedness check of a complete JSON document.  [Error]
+    carries a byte-offset diagnostic.  Used by tests, the lint driver,
+    and CI smoke checks to validate emitted files. *)
+
 val is_valid : string -> bool
-(** Strict well-formedness check of a complete JSON document.  Used by
-    tests and CI smoke checks to validate emitted files. *)
+(** [is_valid s] is [Result.is_ok (validate s)]. *)

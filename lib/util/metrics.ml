@@ -124,9 +124,9 @@ let with_span t name f =
   | Active st ->
       let g0 = Gc.quick_stat () in
       let m0 = Gc.minor_words () in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Timer.now () in
       let finish () =
-        let t1 = Unix.gettimeofday () in
+        let t1 = Timer.now () in
         let m1 = Gc.minor_words () in
         let g1 = Gc.quick_stat () in
         record_span st name ~elapsed:(t1 -. t0)

@@ -1,7 +1,9 @@
+let now () = Unix.gettimeofday ()
+
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now () in
   let x = f () in
-  let t1 = Unix.gettimeofday () in
+  let t1 = now () in
   (x, t1 -. t0)
 
 let time_median ?(repeats = 5) f =

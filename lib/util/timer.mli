@@ -1,4 +1,14 @@
-(** Wall-clock timing helpers for the non-Bechamel experiment sweeps. *)
+(** Wall-clock timing helpers for the non-Bechamel experiment sweeps.
+
+    This module (with {!Tlp_util.Rng}) is one of the two sanctioned
+    sources of nondeterminism: tlp-lint rule R2 flags any direct
+    [Unix.gettimeofday]/[Sys.time]/[Random.*] elsewhere, so every clock
+    read in the tree is greppable through this interface. *)
+
+val now : unit -> float
+(** Current wall-clock time in seconds ([Unix.gettimeofday]).  The raw
+    reading for callers that bracket regions themselves (e.g.
+    [Metrics.with_span]); prefer {!time} where possible. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result with elapsed seconds. *)

@@ -1,0 +1,293 @@
+(* tlp-lint: rule fixtures (each rule fires on a minimal offending
+   snippet and stays silent on sanctioned/clean code), allowlist
+   semantics (suppression, mandatory justifications, staleness), exit
+   codes, and the JSON report shape. *)
+
+open Helpers
+module Json_out = Tlp_util.Json_out
+module Finding = Tlp_lint.Finding
+module Rules = Tlp_lint.Rules
+module Allowlist = Tlp_lint.Allowlist
+module Driver = Tlp_lint.Driver
+
+(* Run the rules on an inline fixture and compare ["RULE:symbol"] tags. *)
+let check_rules name ~file source expected =
+  match Rules.check_source ~file source with
+  | Error e -> Alcotest.fail e
+  | Ok fs ->
+      Alcotest.(check (list string))
+        name expected
+        (List.map (fun f -> f.Finding.rule ^ ":" ^ f.Finding.symbol) fs)
+
+(* R1: module-toplevel mutable state. *)
+
+let test_r1_fires () =
+  check_rules "toplevel ref" ~file:"lib/core/m.ml" "let cache = ref 0"
+    [ "R1:cache" ];
+  check_rules "toplevel hashtable" ~file:"lib/core/m.ml"
+    "let table = Hashtbl.create 16" [ "R1:table" ];
+  check_rules "Stdlib-qualified" ~file:"lib/core/m.ml"
+    "let buf = Stdlib.Buffer.create 80" [ "R1:buf" ];
+  check_rules "toplevel array" ~file:"lib/core/m.ml"
+    "let scratch = Array.make 8 0" [ "R1:scratch" ];
+  check_rules "array literal" ~file:"lib/core/m.ml" "let lut = [| 1; 2 |]"
+    [ "R1:lut" ];
+  check_rules "behind a tuple" ~file:"lib/core/m.ml"
+    "let pair = (0, ref 1)" [ "R1:pair" ];
+  check_rules "inside a submodule" ~file:"lib/core/m.ml"
+    "module Inner = struct let q = Queue.create () end" [ "R1:q" ]
+
+let test_r1_mutable_record () =
+  check_rules "mutable record literal" ~file:"lib/core/m.ml"
+    "type t = { mutable n : int }\nlet global = { n = 0 }" [ "R1:global" ];
+  check_rules "immutable record literal" ~file:"lib/core/m.ml"
+    "type t = { n : int }\nlet global = { n = 0 }" []
+
+let test_r1_spares_functions () =
+  check_rules "allocation under a lambda" ~file:"lib/core/m.ml"
+    "let make () = ref 0" [];
+  check_rules "named-arg function" ~file:"lib/core/m.ml"
+    "let create ~size = Hashtbl.create size" [];
+  check_rules "constants" ~file:"lib/core/m.ml"
+    "let limit = 100\nlet name = \"x\"" [];
+  (* R1 is a lib-only rule: bench and bin executables are single-main. *)
+  check_rules "bench toplevel state exempt" ~file:"bench/m.ml"
+    "let cache = ref 0" []
+
+(* R2: direct nondeterminism outside the sanctioned wrappers. *)
+
+let test_r2_fires () =
+  check_rules "Random at any depth" ~file:"lib/core/m.ml"
+    "let pick xs = List.nth xs (Random.int (List.length xs))"
+    [ "R2:Random.int" ];
+  check_rules "self_init" ~file:"lib/graph/m.ml"
+    "let () = Random.self_init ()" [ "R2:Random.self_init" ];
+  check_rules "gettimeofday in bench" ~file:"bench/m.ml"
+    "let t0 = Unix.gettimeofday ()" [ "R2:Unix.gettimeofday" ];
+  check_rules "Sys.time in bin" ~file:"bin/m.ml"
+    "let stamp () = Sys.time ()" [ "R2:Sys.time" ]
+
+let test_r2_sanctioned_modules () =
+  check_rules "rng.ml may use Random" ~file:"lib/util/rng.ml"
+    "let seed () = Random.bits ()" [];
+  check_rules "timer.ml may read the clock" ~file:"lib/util/timer.ml"
+    "let now () = Unix.gettimeofday ()" [];
+  check_rules "tests are out of scope" ~file:"test/m.ml"
+    "let t = Unix.gettimeofday ()" []
+
+(* R3: partial and unsafe operations in library code. *)
+
+let test_r3_fires () =
+  check_rules "List.hd/tl" ~file:"lib/core/m.ml"
+    "let f xs = (List.hd xs, List.tl xs)" [ "R3:List.hd"; "R3:List.tl" ];
+  check_rules "Option.get" ~file:"lib/des/m.ml"
+    "let g o = Option.get o" [ "R3:Option.get" ];
+  check_rules "Obj" ~file:"lib/core/m.ml" "let h x = Obj.magic x"
+    [ "R3:Obj.magic" ];
+  check_rules "bare exit" ~file:"lib/core/m.ml" "let die () = exit 1"
+    [ "R3:exit" ]
+
+let test_r3_scope () =
+  check_rules "bench exempt" ~file:"bench/m.ml" "let f xs = List.hd xs" [];
+  check_rules "bin may exit" ~file:"bin/m.ml" "let die () = exit 1" [];
+  check_rules "clean lib code" ~file:"lib/core/m.ml"
+    "let f = function x :: _ -> Some x | [] -> None" []
+
+let test_syntax_error_reported () =
+  match Rules.check_source ~file:"lib/core/m.ml" "let let let" with
+  | Error msg ->
+      check_bool "mentions the file" true
+        (String.length msg > 0
+        && String.sub msg 0 (String.length "lib/core/m.ml")
+           = "lib/core/m.ml")
+  | Ok _ -> Alcotest.fail "expected a syntax error"
+
+(* Allowlist parsing and matching. *)
+
+let test_allowlist_parse () =
+  match
+    Allowlist.parse ~path:".tlp-lint"
+      "# comment\n\nR1 lib/core/m.ml cache -- per-module memo, guarded by \
+       a mutex\n"
+  with
+  | Error msgs -> Alcotest.fail (String.concat "; " msgs)
+  | Ok [ e ] ->
+      Alcotest.(check string) "rule" "R1" e.Allowlist.rule;
+      Alcotest.(check string) "file" "lib/core/m.ml" e.Allowlist.file;
+      Alcotest.(check string) "symbol" "cache" e.Allowlist.symbol;
+      Alcotest.(check string)
+        "justification" "per-module memo, guarded by a mutex"
+        e.Allowlist.justification
+  | Ok es ->
+      Alcotest.failf "expected exactly one entry, got %d" (List.length es)
+
+let test_allowlist_requires_justification () =
+  (match Allowlist.parse ~path:"a" "R1 lib/core/m.ml cache\n" with
+  | Error [ msg ] ->
+      check_bool "missing separator rejected" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "entry without justification must be rejected");
+  (match Allowlist.parse ~path:"a" "R1 lib/core/m.ml cache --   \n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "blank justification must be rejected");
+  match Allowlist.parse ~path:"a" "R1 cache -- too few fields\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong field count must be rejected"
+
+(* Driver: suppression, staleness, exit codes, JSON shape. *)
+
+let entry ?(rule = "R1") ?(file = "lib/core/m.ml") ?(symbol = "cache") () =
+  {
+    Allowlist.rule;
+    file;
+    symbol;
+    justification = "test entry";
+    source_line = 1;
+  }
+
+let test_driver_suppression () =
+  let files = [ ("lib/core/m.ml", "let cache = ref 0") ] in
+  let dirty = Driver.scan_files ~allowlist:[] files in
+  check_int "finding without allowlist" 1 (List.length dirty.Driver.findings);
+  check_int "dirty exit" 1 (Driver.exit_code dirty);
+  let clean = Driver.scan_files ~allowlist:[ entry () ] files in
+  check_int "suppressed" 1 (List.length clean.Driver.suppressed);
+  check_int "no findings left" 0 (List.length clean.Driver.findings);
+  check_int "clean exit" 0 (Driver.exit_code clean)
+
+let test_driver_stale_entry () =
+  let files = [ ("lib/core/m.ml", "let limit = 3") ] in
+  let r = Driver.scan_files ~allowlist:[ entry () ] files in
+  check_int "no findings" 0 (List.length r.Driver.findings);
+  check_int "stale entry detected" 1 (List.length r.Driver.stale);
+  check_int "stale fails the run" 1 (Driver.exit_code r)
+
+let test_driver_r4 () =
+  let files = [ ("lib/core/m.ml", "let limit = 3") ] in
+  let missing =
+    Driver.scan_files ~mli_exists:(fun _ -> false) ~allowlist:[] files
+  in
+  (match missing.Driver.findings with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "R4" f.Finding.rule;
+      Alcotest.(check string) "symbol" "m.ml" f.Finding.symbol
+  | fs -> Alcotest.failf "expected one R4 finding, got %d" (List.length fs));
+  let bench_only =
+    Driver.scan_files
+      ~mli_exists:(fun _ -> false)
+      ~allowlist:[]
+      [ ("bench/m.ml", "let x = 1") ]
+  in
+  check_int "R4 is lib-only" 0 (List.length bench_only.Driver.findings)
+
+let test_driver_parse_error_fails () =
+  let r =
+    Driver.scan_files ~allowlist:[] [ ("lib/core/m.ml", "let let let") ]
+  in
+  check_int "error recorded" 1 (List.length r.Driver.errors);
+  check_int "errors fail the run" 1 (Driver.exit_code r)
+
+let test_report_json_shape () =
+  let r =
+    Driver.scan_files
+      ~allowlist:[ entry () ]
+      [
+        ("lib/core/m.ml", "let cache = ref 0");
+        ("lib/core/bad.ml", "let f xs = List.hd xs");
+      ]
+  in
+  let s = Json_out.to_string (Driver.to_json r) in
+  (match Json_out.validate s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "report JSON invalid: %s" e);
+  let has sub =
+    let n = String.length s and k = String.length sub in
+    let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "schema tag" true (has "\"schema\":\"tlp.lint/v1\"");
+  check_bool "finding rule" true (has "\"rule\":\"R3\"");
+  check_bool "justification carried" true (has "\"justification\":");
+  check_bool "not ok with findings" true (has "\"ok\":false")
+
+let test_json_validate_errors () =
+  (match Json_out.validate "{\"a\": 1}" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid doc rejected: %s" e);
+  (match Json_out.validate "{\"a\": 01}" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "leading zero accepted");
+  match Json_out.validate "[1, 2" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unterminated array accepted"
+
+(* End-to-end over a real directory tree, exercising file discovery and
+   filesystem-backed R4. *)
+let test_scan_real_tree () =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tlp_lint_test_%d" (Unix.getpid ()))
+  in
+  let lib = Filename.concat root "lib" in
+  Unix.mkdir root 0o755;
+  Unix.mkdir lib 0o755;
+  let write name contents =
+    Out_channel.with_open_bin (Filename.concat lib name) (fun oc ->
+        output_string oc contents)
+  in
+  write "good.ml" "let double x = 2 * x\n";
+  write "good.mli" "val double : int -> int\n";
+  write "bad.ml" "let f xs = List.hd xs\n";
+  let saved = Sys.getcwd () in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.chdir saved;
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat lib f))
+        (Sys.readdir lib);
+      Unix.rmdir lib;
+      Unix.rmdir root)
+    (fun () ->
+      Sys.chdir root;
+      let r = Driver.scan ~allowlist:[] ~roots:[ "lib" ] in
+      check_int "both files scanned" 2 r.Driver.files_scanned;
+      Alcotest.(check (list string))
+        "R3 for List.hd and R4 for the missing mli"
+        [ "R4:lib/bad.ml"; "R3:lib/bad.ml" ]
+        (List.map
+           (fun f -> f.Finding.rule ^ ":" ^ f.Finding.file)
+           r.Driver.findings);
+      check_int "exit 1" 1 (Driver.exit_code r))
+
+let suite =
+  [
+    Alcotest.test_case "R1 fires on toplevel mutable state" `Quick
+      test_r1_fires;
+    Alcotest.test_case "R1 resolves mutable record fields" `Quick
+      test_r1_mutable_record;
+    Alcotest.test_case "R1 spares functions and non-lib code" `Quick
+      test_r1_spares_functions;
+    Alcotest.test_case "R2 fires on direct clock/random" `Quick test_r2_fires;
+    Alcotest.test_case "R2 spares the sanctioned wrappers" `Quick
+      test_r2_sanctioned_modules;
+    Alcotest.test_case "R3 fires on partial operations" `Quick test_r3_fires;
+    Alcotest.test_case "R3 scope: lib only" `Quick test_r3_scope;
+    Alcotest.test_case "syntax errors are reported" `Quick
+      test_syntax_error_reported;
+    Alcotest.test_case "allowlist parses" `Quick test_allowlist_parse;
+    Alcotest.test_case "allowlist requires justifications" `Quick
+      test_allowlist_requires_justification;
+    Alcotest.test_case "driver suppresses allowlisted findings" `Quick
+      test_driver_suppression;
+    Alcotest.test_case "driver flags stale allowlist entries" `Quick
+      test_driver_stale_entry;
+    Alcotest.test_case "driver enforces R4 interfaces" `Quick test_driver_r4;
+    Alcotest.test_case "driver fails on parse errors" `Quick
+      test_driver_parse_error_fails;
+    Alcotest.test_case "report JSON validates and has the schema" `Quick
+      test_report_json_shape;
+    Alcotest.test_case "Json_out.validate rejects malformed docs" `Quick
+      test_json_validate_errors;
+    Alcotest.test_case "end-to-end scan over a real tree" `Quick
+      test_scan_real_tree;
+  ]

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "tlp"
     [
       ("util", Test_util.suite);
+      ("lint", Test_lint.suite);
       ("metrics", Test_metrics.suite);
       ("engine", Test_engine.suite);
       ("graph", Test_graphlib.suite);
