@@ -1,0 +1,215 @@
+(* Service benchmark: throughput and latency of the tlp.rpc/v1 daemon
+   over TCP loopback, and the cache's effect on repeat requests.
+
+   Three measurements, written to BENCH_server.json:
+
+   - [throughput]: distinct partition requests pushed through [clients]
+     concurrent connections (all cache misses — every request is a fresh
+     instance), requests per second end to end;
+   - [cache]: the same request repeated — first call solves (miss),
+     subsequent calls replay rendered bytes (hits) — mean latency of
+     each side and the speedup;
+   - [mixed]: a pipelined mixed batch (partition + sweep + stats) on one
+     connection, exercising out-of-order completion.
+
+   The server runs in-process on an ephemeral port; clients are
+   sys-threads doing blocking socket I/O, which is exactly what an
+   external client would look like to the daemon. *)
+
+module Json_out = Tlp_util.Json_out
+module Timer = Tlp_util.Timer
+module Rng = Tlp_util.Rng
+module Chain_gen = Tlp_graph.Chain_gen
+module Chain = Tlp_graph.Chain
+module Server = Tlp_server.Server
+module State = Tlp_server.State
+module Cache = Tlp_server.Cache
+
+let wall f =
+  let t0 = Timer.now () in
+  let x = f () in
+  (x, Timer.now () -. t0)
+
+(* One-shot exchange: send lines, half-close, read to EOF. *)
+let exchange port lines =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  let payload = String.concat "\n" lines ^ "\n" in
+  let bytes = Bytes.of_string payload in
+  let n = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd bytes !written (n - !written)
+  done;
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 8192 in
+  let rec read_all () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | r ->
+        Buffer.add_subbytes buf chunk 0 r;
+        read_all ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all ()
+  in
+  read_all ();
+  Unix.close fd;
+  List.filter
+    (fun l -> String.trim l <> "")
+    (String.split_on_char '\n' (Buffer.contents buf))
+
+let partition_line ~id chain ~k =
+  Printf.sprintf
+    {|{"id":%d,"method":"partition","params":{"instance":%s,"k":%d}}|} id
+    (Json_out.to_string
+       (Json_out.String
+          (Tlp_graph.Instance_io.to_string (Tlp_graph.Instance_io.Chain_instance chain))))
+    k
+
+let run ~max_jobs () =
+  print_endline "== server: tlp.rpc/v1 daemon over TCP loopback ==";
+  let jobs = Stdlib.min max_jobs 4 in
+  let config =
+    {
+      Server.default_config with
+      Server.port = 0;
+      jobs;
+      queue_capacity = 256;
+      cache_capacity = 512;
+    }
+  in
+  let srv = Server.start config in
+  let port = Server.port srv in
+  let rng = Rng.create 42 in
+  (* --- throughput: distinct instances, all misses --- *)
+  let clients = jobs in
+  let per_client = 40 in
+  let n = 400 in
+  let batches =
+    Array.init clients (fun c ->
+        List.init per_client (fun i ->
+            let chain = Chain_gen.figure2 (Rng.split rng) ~n ~max_weight:20 in
+            let k = (2 * Chain.max_alpha chain) + (c + i mod 7) in
+            partition_line ~id:((c * per_client) + i) chain ~k))
+  in
+  let answered = Array.make clients 0 in
+  let (), throughput_s =
+    wall (fun () ->
+        let threads =
+          Array.mapi
+            (fun c lines ->
+              Thread.create
+                (fun () -> answered.(c) <- List.length (exchange port lines))
+                ())
+            batches
+        in
+        Array.iter Thread.join threads)
+  in
+  let total = Array.fold_left ( + ) 0 answered in
+  assert (total = clients * per_client);
+  let rps = float_of_int total /. throughput_s in
+  Printf.printf
+    "  throughput: %d requests, %d clients, n=%d: %.3fs (%.0f req/s)\n" total
+    clients n throughput_s rps;
+  (* --- cache: one expensive request repeated --- *)
+  (* A sweep over many Ks is costly to solve and cheap to replay, so the
+     miss/hit asymmetry is the cache's, not the socket's; the hit side
+     is pipelined on one connection to amortize connection setup. *)
+  let repeat_chain = Chain_gen.figure2 (Rng.create 7) ~n:20_000 ~max_weight:20 in
+  let repeat_base = 2 * Chain.max_alpha repeat_chain in
+  let line =
+    Printf.sprintf
+      {|{"id":0,"method":"sweep","params":{"instance":%s,"k_values":[%s]}}|}
+      (Json_out.to_string
+         (Json_out.String
+            (Tlp_graph.Instance_io.to_string
+               (Tlp_graph.Instance_io.Chain_instance repeat_chain))))
+      (String.concat ","
+         (List.init 64 (fun i -> string_of_int (repeat_base + (i * 3)))))
+  in
+  let repeats = 50 in
+  let (), miss_s = wall (fun () -> ignore (exchange port [ line ])) in
+  let (), hits_s =
+    wall (fun () ->
+        ignore (exchange port (List.init repeats (fun _ -> line))))
+  in
+  let hit_s = hits_s /. float_of_int repeats in
+  let st = Server.state srv in
+  let cache_hits, cache_misses =
+    State.with_lock st (fun () ->
+        (Cache.hits (State.cache st), Cache.misses (State.cache st)))
+  in
+  assert (cache_hits >= repeats);
+  Printf.printf
+    "  cache sweep n=20000 x64K: miss %.1fms, hit %.3fms (%.0fx); %d hits / \
+     %d misses\n"
+    (miss_s *. 1e3) (hit_s *. 1e3) (miss_s /. hit_s) cache_hits cache_misses;
+  (* --- mixed pipelined batch on one connection --- *)
+  let sweep_line =
+    Printf.sprintf
+      {|{"id":1000,"method":"sweep","params":{"instance":%s,"k_values":[%s]}}|}
+      (Json_out.to_string
+         (Json_out.String
+            (Tlp_graph.Instance_io.to_string
+               (Tlp_graph.Instance_io.Chain_instance repeat_chain))))
+      (String.concat ","
+         (List.init 8 (fun i -> string_of_int (repeat_base + (i * 5)))))
+  in
+  let mixed =
+    List.concat
+      [
+        List.init 10 (fun i ->
+            let chain =
+              Chain_gen.figure2 (Rng.split rng) ~n:200 ~max_weight:20
+            in
+            partition_line ~id:i chain ~k:(2 * Chain.max_alpha chain));
+        [ sweep_line; {|{"id":2000,"method":"stats"}|} ];
+      ]
+  in
+  let mixed_answers, mixed_s = wall (fun () -> exchange port mixed) in
+  assert (List.length mixed_answers = List.length mixed);
+  Printf.printf "  mixed batch of %d on one connection: %.3fs\n"
+    (List.length mixed) mixed_s;
+  Server.stop srv;
+  Server.wait srv;
+  let doc =
+    Json_out.Obj
+      [
+        ("schema", Json_out.String "tlp.bench.server/v1");
+        ("suite", Json_out.String "server");
+        ("jobs", Json_out.Int jobs);
+        ( "throughput",
+          Json_out.Obj
+            [
+              ("requests", Json_out.Int total);
+              ("clients", Json_out.Int clients);
+              ("n", Json_out.Int n);
+              ("wall_s", Json_out.Float throughput_s);
+              ("requests_per_s", Json_out.Float rps);
+            ] );
+        ( "cache",
+          Json_out.Obj
+            [
+              ("n", Json_out.Int 20_000);
+              ("k_count", Json_out.Int 64);
+              ("repeats", Json_out.Int repeats);
+              ("miss_ms", Json_out.Float (miss_s *. 1e3));
+              ("hit_ms", Json_out.Float (hit_s *. 1e3));
+              ("speedup", Json_out.Float (miss_s /. hit_s));
+              ("hits", Json_out.Int cache_hits);
+              ("misses", Json_out.Int cache_misses);
+            ] );
+        ( "mixed",
+          Json_out.Obj
+            [
+              ("requests", Json_out.Int (List.length mixed));
+              ("wall_s", Json_out.Float mixed_s);
+            ] );
+      ]
+  in
+  let text = Json_out.to_string doc in
+  assert (Json_out.is_valid text);
+  Out_channel.with_open_text "BENCH_server.json" (fun oc ->
+      Out_channel.output_string oc text;
+      Out_channel.output_char oc '\n');
+  print_endline "  wrote BENCH_server.json"

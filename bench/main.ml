@@ -13,6 +13,7 @@
      ablation  E10 TEMP_S vs naive recurrence; prune vs Alg 2.2; CMB nulls
      json      instrumented solver records -> BENCH_partitioning.json
      engine    batch/K-sweep engine -> BENCH_engine.json
+     server    tlp.rpc/v1 daemon loopback -> BENCH_server.json
 
    Run all sections:        dune exec bench/main.exe
    Run selected sections:   dune exec bench/main.exe -- figure2 timing
@@ -33,6 +34,7 @@ let sections =
     ("ablation", Exp_ablation.run);
     ("json", fun () -> Bench_runner.run_partitioning_suite ());
     ("engine", fun () -> Exp_engine.run ~max_jobs:!max_jobs ());
+    ("server", fun () -> Exp_server.run ~max_jobs:!max_jobs ());
   ]
 
 let () =

@@ -1,0 +1,192 @@
+(* tlp_serve: the partition service (tlp.rpc/v1, see PROTOCOL.md).
+
+   Subcommands:
+     serve   run the TCP daemon (default; SIGTERM/SIGINT drain gracefully)
+     call    scripted client: send request lines, print validated responses *)
+
+open Cmdliner
+module Json = Tlp_util.Json_out
+module Server = Tlp_server.Server
+
+let host_arg =
+  Arg.(
+    value
+    & opt string Server.default_config.Server.host
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Bind/connect address.")
+
+let port_arg ~default =
+  Arg.(
+    value & opt int default
+    & info [ "port"; "p" ] ~docv:"PORT"
+        ~doc:"TCP port.  With $(b,serve), 0 picks an ephemeral port and \
+              prints it on the listening line.")
+
+(* ---------- serve ---------- *)
+
+let serve host port jobs queue_capacity cache_capacity timeout_ms debug =
+  let config =
+    {
+      Server.default_config with
+      Server.host;
+      port;
+      jobs;
+      queue_capacity;
+      cache_capacity;
+      default_timeout_ms = (if timeout_ms <= 0 then None else Some timeout_ms);
+      enable_debug = debug;
+    }
+  in
+  match Server.run config with
+  | t ->
+      (* The listening line is the startup contract scripts parse; keep
+         it stable and flushed. *)
+      Printf.printf "%s listening on %s:%d\n%!" Tlp_server.Protocol.schema host
+        (Server.port t);
+      Server.wait t;
+      prerr_endline "tlp_serve: drained, exiting"
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: cannot listen on %s:%d: %s\n" host port
+        (Unix.error_message e);
+      exit 1
+
+let serve_cmd =
+  let jobs =
+    Arg.(
+      value & opt int Server.default_config.Server.jobs
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker threads and solver domains.")
+  in
+  let queue =
+    Arg.(
+      value & opt int Server.default_config.Server.queue_capacity
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Admission-queue bound; a full queue answers \
+                $(b,overloaded) immediately.")
+  in
+  let cache =
+    Arg.(
+      value & opt int Server.default_config.Server.cache_capacity
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"LRU result-cache entries (0 disables).")
+  in
+  let timeout =
+    Arg.(
+      value & opt int 30_000
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline (0 = none).")
+  in
+  let debug =
+    Arg.(
+      value & flag
+      & info [ "debug" ]
+          ~doc:"Enable the $(b,sleep) test method (see PROTOCOL.md).")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the tlp.rpc/v1 partition service")
+    Term.(
+      const serve $ host_arg $ port_arg ~default:Server.default_config.Server.port
+      $ jobs $ queue $ cache $ timeout $ debug)
+
+(* ---------- call ---------- *)
+
+(* Send newline-delimited request frames, half-close, then read every
+   response line until EOF.  Each response is validated with the strict
+   in-tree JSON validator; --expect-ok additionally fails on any
+   "ok":false response.  This is the scripted client the CI smoke job
+   and the PROTOCOL.md transcripts run through. *)
+let call host port requests expect_ok =
+  let requests =
+    match requests with
+    | [] -> In_channel.input_lines In_channel.stdin
+    | rs -> rs
+  in
+  if requests = [] then begin
+    prerr_endline "error: no requests (pass --request or pipe lines on stdin)";
+    exit 1
+  end;
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "error: cannot connect to %s:%d: %s\n" host port
+       (Unix.error_message e);
+     exit 1);
+  let payload = String.concat "\n" requests ^ "\n" in
+  let bytes = Bytes.of_string payload in
+  let n = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd bytes !written (n - !written)
+  done;
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec read_all () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | r ->
+        Buffer.add_subbytes buf chunk 0 r;
+        read_all ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all ()
+  in
+  read_all ();
+  Unix.close fd;
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun line ->
+      print_endline line;
+      match Json.validate line with
+      | Error msg ->
+          incr failures;
+          Printf.eprintf "error: invalid JSON response: %s\n" msg
+      | Ok () ->
+          if expect_ok then (
+            match Json.parse line with
+            | Ok (Json.Obj fields)
+              when List.assoc_opt "ok" fields = Some (Json.Bool true) ->
+                ()
+            | _ ->
+                incr failures;
+                Printf.eprintf "error: response is not \"ok\":true: %s\n" line))
+    lines;
+  if List.length lines <> List.length requests then begin
+    Printf.eprintf "error: sent %d requests but received %d responses\n"
+      (List.length requests) (List.length lines);
+    exit 1
+  end;
+  if !failures > 0 then exit 1
+
+let call_cmd =
+  let requests =
+    Arg.(
+      value & opt_all string []
+      & info [ "request"; "r" ] ~docv:"JSON"
+          ~doc:"A request frame to send (repeatable, sent in order).  \
+                Without any, frames are read from stdin, one per line.")
+  in
+  let expect_ok =
+    Arg.(
+      value & flag
+      & info [ "expect-ok" ]
+          ~doc:"Exit nonzero unless every response has \"ok\":true.")
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:"Send request frames to a running server and print the \
+             validated responses")
+    Term.(
+      const call $ host_arg
+      $ port_arg ~default:Server.default_config.Server.port
+      $ requests $ expect_ok)
+
+let () =
+  let info =
+    Cmd.info "tlp_serve" ~version:"1.0.0"
+      ~doc:"Long-running partition service speaking tlp.rpc/v1 \
+            (newline-delimited JSON over TCP)"
+  in
+  exit (Cmd.eval (Cmd.group info [ serve_cmd; call_cmd ]))

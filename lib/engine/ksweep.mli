@@ -25,8 +25,11 @@ type entry = {
 }
 
 val create : Tlp_graph.Chain.t -> t
+(** Allocate the sweep scratch (prefix sums, window buffers) for one
+    chain. *)
 
 val chain : t -> Tlp_graph.Chain.t
+(** The chain this sweep state was created for. *)
 
 val solve : ?metrics:Tlp_util.Metrics.t -> t -> algorithm:algorithm -> k:int ->
   (entry, Tlp_core.Infeasible.t) result

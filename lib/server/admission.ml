@@ -1,0 +1,48 @@
+type 'a t = {
+  cap : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'a Queue.t;
+  mutable is_closed : bool;
+}
+
+let create ~capacity =
+  {
+    cap = Stdlib.max capacity 1;
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    queue = Queue.create ();
+    is_closed = false;
+  }
+
+let capacity t = t.cap
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let length t = with_lock t (fun () -> Queue.length t.queue)
+
+let try_push t item =
+  with_lock t (fun () ->
+      if t.is_closed || Queue.length t.queue >= t.cap then false
+      else begin
+        Queue.add item t.queue;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      while Queue.is_empty t.queue && not t.is_closed do
+        Condition.wait t.nonempty t.mutex
+      done;
+      (* Closed queues still drain: admitted requests get answered. *)
+      Queue.take_opt t.queue)
+
+let close t =
+  with_lock t (fun () ->
+      t.is_closed <- true;
+      Condition.broadcast t.nonempty)
+
+let closed t = with_lock t (fun () -> t.is_closed)

@@ -1,0 +1,34 @@
+(** Bounded admission queue: the server's backpressure point.
+
+    Connection threads [try_push] parsed requests; worker threads [pop].
+    The capacity bound is what turns overload into an immediate,
+    structured [overloaded] error instead of an unbounded backlog (or a
+    hang): when the queue is full, [try_push] fails without blocking and
+    the connection thread answers the client itself.
+
+    [close] begins graceful drain: further pushes are refused, but
+    queued items remain poppable until the queue is empty — so every
+    admitted request is answered before shutdown completes. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is clamped to at least 1. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Current depth (racy snapshot, for stats). *)
+
+val try_push : 'a t -> 'a -> bool
+(** Non-blocking.  [false] when the queue is full or closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an item is available or the queue is closed and
+    drained; [None] means "closed and empty" — the worker should
+    exit. *)
+
+val close : 'a t -> unit
+(** Refuse new pushes and wake every blocked popper.  Idempotent. *)
+
+val closed : 'a t -> bool

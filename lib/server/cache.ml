@@ -1,0 +1,97 @@
+module Metrics = Tlp_util.Metrics
+
+type key = { digest : string; k : string; objective : string; algorithm : string }
+
+(* Classic hashtable + doubly-linked recency list.  [head] is the most
+   recently used entry, [tail] the eviction candidate. *)
+type node = {
+  nkey : key;
+  mutable value : string;
+  mutable prev : node option;  (* towards head *)
+  mutable next : node option;  (* towards tail *)
+}
+
+type t = {
+  cap : int;
+  table : (key, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  {
+    cap = Stdlib.max capacity 0;
+    table = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some nx -> nx.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find ?(metrics = Metrics.null) t key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      t.hits <- t.hits + 1;
+      Metrics.bump metrics "server_cache_hits";
+      unlink t node;
+      push_front t node;
+      Some node.value
+  | None ->
+      t.misses <- t.misses + 1;
+      Metrics.bump metrics "server_cache_misses";
+      None
+
+let add ?(metrics = Metrics.null) t key value =
+  if t.cap > 0 then begin
+    (match Hashtbl.find_opt t.table key with
+    | Some node ->
+        node.value <- value;
+        unlink t node;
+        push_front t node
+    | None ->
+        let node = { nkey = key; value; prev = None; next = None } in
+        Hashtbl.replace t.table key node;
+        push_front t node);
+    while Hashtbl.length t.table > t.cap do
+      match t.tail with
+      | Some victim ->
+          unlink t victim;
+          Hashtbl.remove t.table victim.nkey;
+          t.evictions <- t.evictions + 1;
+          Metrics.bump metrics "server_cache_evictions"
+      | None -> assert false (* table nonempty implies a tail *)
+    done
+  end
+
+let keys_mru t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some node -> walk (node.nkey :: acc) node.next
+  in
+  walk [] t.head

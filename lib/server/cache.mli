@@ -1,0 +1,57 @@
+(** LRU result cache for the partition service.
+
+    Responses to the pure, deterministic methods ([partition], [sweep])
+    are memoized under a structural key: the digest of the canonical
+    instance text, the bound(s) [K], the optimization objective, and the
+    concrete algorithm.  Because every solver in the tree is a pure
+    function of that tuple (tlp-lint R1/R2 is what makes this safe to
+    assume), a hit can replay the previously rendered result bytes
+    verbatim — the caller splices them into a fresh response envelope.
+
+    A cache value is the {e rendered result JSON}, not the solver's data
+    structures, so hits cost one hashtable probe and no re-serialization.
+
+    Thread-safety: a cache is plain mutable state with no internal lock;
+    the server accesses it only under the {!State} mutex.  The unit
+    tests exercise it unsynchronized from a single thread. *)
+
+type key = {
+  digest : string;
+      (** [Digest.string] (hex) of the canonical instance text, so
+          structurally equal instances hit regardless of how the client
+          spelled them (inline arrays vs. instance-file text). *)
+  k : string;
+      (** bound(s) as a canonical string — a single integer for
+          [partition], the sorted deduplicated comma-joined ladder for
+          [sweep] — so one cache serves both shapes. *)
+  objective : string;  (** e.g. ["bandwidth"], ["bottleneck"], ["sweep"] *)
+  algorithm : string;  (** concrete solver, e.g. ["hitting"], ["deque"] *)
+}
+
+type t
+
+val create : capacity:int -> t
+(** [create ~capacity] holds at most [capacity] entries; least recently
+    used entries are evicted first.  [capacity <= 0] disables storage
+    (every lookup misses, nothing is retained). *)
+
+val capacity : t -> int
+
+val length : t -> int
+
+val find : ?metrics:Tlp_util.Metrics.t -> t -> key -> string option
+(** [find t key] returns the cached rendered result and marks the entry
+    most recently used.  Bumps the [server_cache_hits] /
+    [server_cache_misses] counter on [metrics]. *)
+
+val add : ?metrics:Tlp_util.Metrics.t -> t -> key -> string -> unit
+(** [add t key value] inserts (or refreshes) an entry, evicting the
+    least recently used entry when over capacity (bumping
+    [server_cache_evictions]). *)
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+val keys_mru : t -> key list
+(** Keys from most to least recently used (test visibility). *)

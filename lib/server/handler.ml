@@ -1,0 +1,324 @@
+module Json = Tlp_util.Json_out
+module Metrics = Tlp_util.Metrics
+module Rng = Tlp_util.Rng
+module Timer = Tlp_util.Timer
+module Chain = Tlp_graph.Chain
+module Tree = Tlp_graph.Tree
+module Io = Tlp_graph.Instance_io
+module Ksweep = Tlp_engine.Ksweep
+
+let json_cut cut = Json.List (List.map (fun e -> Json.Int e) cut)
+let json_ints xs = Json.List (List.map (fun x -> Json.Int x) xs)
+
+let infeasible e =
+  Json.Obj [ ("infeasible", Json.String (Tlp_core.Infeasible.to_string e)) ]
+
+(* ---------- partition ---------- *)
+
+(* Result shapes mirror the CLI's [--metrics json] fields, plus the
+   request's [k] so responses are self-describing. *)
+let partition_result ?(metrics = Metrics.null) instance ~k ~algorithm =
+  let common name cut =
+    [
+      ("algorithm", Json.String name);
+      ("k", Json.Int k);
+      ("cut", json_cut cut);
+    ]
+  in
+  match (instance, (algorithm : Protocol.partition_algorithm)) with
+  | Io.Chain_instance chain, Protocol.Bandwidth -> (
+      match Tlp_core.Bandwidth_hitting.solve ~metrics chain ~k with
+      | Ok { Tlp_core.Bandwidth_hitting.cut; weight; stats } ->
+          Ok
+            (Json.Obj
+               (common "bandwidth (TEMP_S)" cut
+               @ [
+                   ("weight", Json.Int weight);
+                   ("components", Json.Int (List.length cut + 1));
+                   ( "component_weights",
+                     json_ints (Chain.component_weights chain cut) );
+                   ("primes", Json.Int stats.Tlp_core.Bandwidth_hitting.p);
+                   ("groups", Json.Int stats.Tlp_core.Bandwidth_hitting.r);
+                   ( "q_mean",
+                     Json.Float stats.Tlp_core.Bandwidth_hitting.q_mean );
+                 ]))
+      | Error e -> Ok (infeasible e))
+  | Io.Chain_instance chain, Protocol.Bottleneck -> (
+      match Tlp_core.Chain_bottleneck.solve ~metrics chain ~k with
+      | Ok { Tlp_core.Chain_bottleneck.cut; bottleneck } ->
+          Ok
+            (Json.Obj
+               (common "chain bottleneck" cut
+               @ [
+                   ("weight", Json.Int (Chain.cut_weight chain cut));
+                   ("bottleneck", Json.Int bottleneck);
+                   ("components", Json.Int (List.length cut + 1));
+                 ]))
+      | Error e -> Ok (infeasible e))
+  | Io.Chain_instance chain, (Protocol.Procmin | Protocol.Pipeline) -> (
+      (* A chain is a tree; run the tree pipeline on it (as the CLI
+         does). *)
+      match Tlp_core.Tree_pipeline.partition ~metrics (Tree.of_chain chain) ~k with
+      | Ok r ->
+          Ok
+            (Json.Obj
+               (common "tree pipeline on chain" r.Tlp_core.Tree_pipeline.cut
+               @ [
+                   ( "components",
+                     Json.Int r.Tlp_core.Tree_pipeline.n_components );
+                   ("bottleneck", Json.Int r.Tlp_core.Tree_pipeline.bottleneck);
+                   ("bandwidth", Json.Int r.Tlp_core.Tree_pipeline.bandwidth);
+                 ]))
+      | Error e -> Ok (infeasible e))
+  | Io.Tree_instance t, Protocol.Bottleneck -> (
+      match Tlp_core.Bottleneck.fast ~metrics t ~k with
+      | Ok { Tlp_core.Bottleneck.cut; bottleneck } ->
+          Ok
+            (Json.Obj
+               (common "tree bottleneck (Alg 2.1)" cut
+               @ [
+                   ("bottleneck", Json.Int bottleneck);
+                   ("components", Json.Int (List.length cut + 1));
+                 ]))
+      | Error e -> Ok (infeasible e))
+  | Io.Tree_instance t, Protocol.Procmin -> (
+      match Tlp_core.Proc_min.solve ~metrics t ~k with
+      | Ok { Tlp_core.Proc_min.cut; n_components } ->
+          Ok
+            (Json.Obj
+               (common "processor minimization (Alg 2.2)" cut
+               @ [
+                   ("components", Json.Int n_components);
+                   ( "component_weights",
+                     json_ints (Tree.component_weights t cut) );
+                 ]))
+      | Error e -> Ok (infeasible e))
+  | Io.Tree_instance t, Protocol.Pipeline -> (
+      match Tlp_core.Tree_pipeline.partition ~metrics t ~k with
+      | Ok r ->
+          Ok
+            (Json.Obj
+               (common "full pipeline (bottleneck + proc-min)"
+                  r.Tlp_core.Tree_pipeline.cut
+               @ [
+                   ("bottleneck", Json.Int r.Tlp_core.Tree_pipeline.bottleneck);
+                   ("bandwidth", Json.Int r.Tlp_core.Tree_pipeline.bandwidth);
+                   ( "components",
+                     Json.Int r.Tlp_core.Tree_pipeline.n_components );
+                   ( "raw_components",
+                     Json.Int r.Tlp_core.Tree_pipeline.raw_components );
+                 ]))
+      | Error e -> Ok (infeasible e))
+  | Io.Tree_instance t, Protocol.Bandwidth -> (
+      (* NP-complete in general (Theorem 1); exact for stars. *)
+      match Tlp_core.Star_bandwidth.center t with
+      | Some _ -> (
+          match Tlp_core.Star_bandwidth.solve t ~k with
+          | Ok { Tlp_core.Star_bandwidth.cut; weight; _ } ->
+              Ok
+                (Json.Obj
+                   (common "star bandwidth (knapsack reduction)" cut
+                   @ [ ("weight", Json.Int weight) ]))
+          | Error e -> Ok (infeasible e))
+      | None ->
+          Error
+            (Protocol.bad_request
+               "bandwidth minimization on general trees is NP-complete \
+                (Theorem 1); only stars are solved exactly — use algorithm \
+                'pipeline' for the bottleneck+proc-min composition"))
+
+(* ---------- sweep ---------- *)
+
+let sweep_result ?(metrics = Metrics.null) chain ~ks ~algorithm =
+  let results = Ksweep.sweep ~metrics (Ksweep.create chain) ~algorithm ks in
+  let sorted_ks = List.sort_uniq compare ks in
+  let algo_name =
+    match algorithm with Ksweep.Deque -> "deque" | Ksweep.Hitting -> "hitting"
+  in
+  Json.Obj
+    [
+      ("algorithm", Json.String algo_name);
+      ("n", Json.Int (Chain.n chain));
+      ( "entries",
+        Json.List
+          (List.map2
+             (fun k -> function
+               | Ok e ->
+                   Json.Obj
+                     ([
+                        ("k", Json.Int e.Ksweep.k);
+                        ("weight", Json.Int e.Ksweep.weight);
+                        ("cut", json_cut e.Ksweep.cut);
+                      ]
+                     @
+                     match e.Ksweep.stats with
+                     | None -> []
+                     | Some s ->
+                         [
+                           ("primes", Json.Int s.Tlp_core.Bandwidth_hitting.p);
+                           ("groups", Json.Int s.Tlp_core.Bandwidth_hitting.r);
+                           ( "q_mean",
+                             Json.Float s.Tlp_core.Bandwidth_hitting.q_mean );
+                         ])
+               | Error e ->
+                   Json.Obj
+                     [
+                       ("k", Json.Int k);
+                       ( "infeasible",
+                         Json.String (Tlp_core.Infeasible.to_string e) );
+                     ])
+             sorted_ks results) );
+    ]
+
+(* ---------- verify ---------- *)
+
+(* A compact differential fuzz (the CLI's [verify] in library form):
+   every chain bandwidth solver against the exhaustive oracle, tree
+   bottleneck and proc-min against theirs. *)
+let verify_result ~rounds ~seed =
+  let rng = Rng.create seed in
+  let failures = ref [] in
+  let note fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  for _ = 1 to rounds do
+    let n = 1 + Rng.int rng 10 in
+    let alpha = Array.init n (fun _ -> 1 + Rng.int rng 20) in
+    let beta =
+      Array.init (Stdlib.max 0 (n - 1)) (fun _ -> 1 + Rng.int rng 30)
+    in
+    let chain = Chain.make ~alpha ~beta in
+    let total = Chain.total_weight chain in
+    let k = Chain.max_alpha chain + Rng.int rng (Stdlib.max 1 total) in
+    let oracle =
+      Option.map snd (Tlp_baselines.Exhaustive.chain_min_bandwidth chain ~k)
+    in
+    let weight_of = function
+      | Ok { Tlp_core.Bandwidth.weight; _ } -> Some weight
+      | Error _ -> None
+    in
+    let candidates =
+      [
+        weight_of (Tlp_core.Bandwidth.deque chain ~k);
+        weight_of (Tlp_core.Bandwidth.heap chain ~k);
+        (match Tlp_core.Bandwidth_hitting.solve chain ~k with
+        | Ok { Tlp_core.Bandwidth_hitting.weight; _ } -> Some weight
+        | Error _ -> None);
+      ]
+    in
+    if not (List.for_all (( = ) oracle) candidates) then
+      note "chain bandwidth mismatch n=%d k=%d" n k;
+    let weights = Array.init n (fun _ -> 1 + Rng.int rng 20) in
+    let parents =
+      Array.init (n - 1) (fun i -> (Rng.int rng (i + 1), 1 + Rng.int rng 30))
+    in
+    let t = Tree.of_parents ~weights ~parents in
+    let tk =
+      Array.fold_left Stdlib.max 1 weights
+      + Rng.int rng (Stdlib.max 1 (Tree.total_weight t))
+    in
+    (match
+       ( Tlp_core.Bottleneck.fast t ~k:tk,
+         Tlp_baselines.Exhaustive.tree_min_bottleneck t ~k:tk )
+     with
+    | Ok { Tlp_core.Bottleneck.bottleneck; _ }, Some (_, best)
+      when bottleneck = best ->
+        ()
+    | _ -> note "tree bottleneck mismatch n=%d k=%d" n tk);
+    match
+      ( Tlp_core.Proc_min.solve t ~k:tk,
+        Tlp_baselines.Exhaustive.tree_min_cardinality t ~k:tk )
+    with
+    | Ok { Tlp_core.Proc_min.cut; _ }, Some (_, best)
+      when List.length cut = best ->
+        ()
+    | _ -> note "proc-min mismatch n=%d k=%d" n tk
+  done;
+  Json.Obj
+    [
+      ("checked", Json.Int rounds);
+      ( "failures",
+        Json.List (List.rev_map (fun m -> Json.String m) !failures) );
+    ]
+
+(* ---------- dispatch ---------- *)
+
+let cached state key compute =
+  let cache = State.cache state in
+  let metrics = State.metrics state in
+  match State.with_lock state (fun () -> Cache.find ~metrics cache key) with
+  | Some bytes -> Ok bytes
+  | None -> (
+      match compute () with
+      | Error _ as e -> e
+      | Ok doc ->
+          let bytes = Json.to_string doc in
+          State.with_lock state (fun () -> Cache.add ~metrics cache key bytes);
+          Ok bytes)
+
+let handle ~state ~queue_depth ~debug ~rng ~metrics request =
+  ignore (rng : Rng.t);
+  (* The split stream is reserved for randomized algorithms; every
+     built-in method is deterministic (see .mli). *)
+  match (request : Protocol.request) with
+  | Protocol.Partition { instance; k; algorithm } ->
+      let key =
+        {
+          Cache.digest = Protocol.instance_digest instance;
+          k = string_of_int k;
+          objective = Protocol.partition_algorithm_string algorithm;
+          algorithm =
+            (match (instance, algorithm) with
+            | Io.Chain_instance _, Protocol.Bandwidth -> "hitting"
+            | Io.Chain_instance _, Protocol.Bottleneck -> "chain_bottleneck"
+            | Io.Chain_instance _, (Protocol.Procmin | Protocol.Pipeline) ->
+                "tree_pipeline"
+            | Io.Tree_instance _, Protocol.Bandwidth -> "star_knapsack"
+            | Io.Tree_instance _, Protocol.Bottleneck -> "alg21"
+            | Io.Tree_instance _, Protocol.Procmin -> "alg22"
+            | Io.Tree_instance _, Protocol.Pipeline -> "tree_pipeline");
+        }
+      in
+      cached state key (fun () ->
+          partition_result ~metrics instance ~k ~algorithm)
+  | Protocol.Sweep { chain; ks; algorithm } ->
+      let key =
+        {
+          Cache.digest =
+            Protocol.instance_digest (Io.Chain_instance chain);
+          k =
+            String.concat ","
+              (List.map string_of_int (List.sort_uniq compare ks));
+          objective = "bandwidth";
+          algorithm =
+            (match algorithm with
+            | Ksweep.Deque -> "sweep:deque"
+            | Ksweep.Hitting -> "sweep:hitting");
+        }
+      in
+      cached state key (fun () ->
+          Ok (sweep_result ~metrics chain ~ks ~algorithm))
+  | Protocol.Verify { rounds; seed } ->
+      Ok (Json.to_string (verify_result ~rounds ~seed))
+  | Protocol.Stats ->
+      let doc =
+        State.snapshot state ~queue_depth:(queue_depth ())
+          ~uptime_s:(Timer.now () -. State.started_at state)
+      in
+      Ok (Json.to_string doc)
+  | Protocol.Health ->
+      Ok
+        (Json.to_string
+           (Json.Obj
+              [
+                ("status", Json.String "ok");
+                ( "uptime_s",
+                  Json.Float (Timer.now () -. State.started_at state) );
+              ]))
+  | Protocol.Sleep { ms } ->
+      if not debug then
+        Error
+          (Protocol.bad_request
+             "unknown method \"sleep\" (debug methods are disabled)")
+      else begin
+        Thread.delay (float_of_int ms /. 1000.0);
+        Ok (Json.to_string (Json.Obj [ ("slept_ms", Json.Int ms) ]))
+      end

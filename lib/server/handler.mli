@@ -1,0 +1,56 @@
+(** Request dispatch: from a parsed {!Protocol.request} to rendered
+    result bytes, through the result cache.
+
+    The solver-facing entry points ({!partition_result},
+    {!sweep_result}, {!verify_result}) are pure functions of the request
+    — exactly the direct library calls a CLI user would make, with no
+    server state in the signature.  The end-to-end loopback test uses
+    them as the reference: a response served over TCP (cached or not)
+    must carry byte-identical result JSON.
+
+    Infeasibility (a vertex heavier than [K]) is a domain answer, not a
+    protocol error: it renders as [{"infeasible": ...}] inside an
+    [ok:true] response, matching the per-K entries of [sweep]. *)
+
+val partition_result :
+  ?metrics:Tlp_util.Metrics.t ->
+  Tlp_graph.Instance_io.instance ->
+  k:int ->
+  algorithm:Protocol.partition_algorithm ->
+  (Tlp_util.Json_out.t, Protocol.error) result
+(** The direct library call.  [Error] only for structurally unsolvable
+    combinations (bandwidth objective on a non-star tree — Theorem 1). *)
+
+val sweep_result :
+  ?metrics:Tlp_util.Metrics.t ->
+  Tlp_graph.Chain.t ->
+  ks:int list ->
+  algorithm:Tlp_engine.Ksweep.algorithm ->
+  Tlp_util.Json_out.t
+(** Incremental K-sweep over shared scratch; per-K infeasibilities are
+    embedded as entries. *)
+
+val verify_result : rounds:int -> seed:int -> Tlp_util.Json_out.t
+(** Differential fuzz of the solvers against the exhaustive oracles on
+    [rounds] random instances.  Streams are derived from [seed] (not
+    from the server's master RNG) so the response is a pure function of
+    the request — admission order cannot leak into result bytes. *)
+
+val handle :
+  state:State.t ->
+  queue_depth:(unit -> int) ->
+  debug:bool ->
+  rng:Tlp_util.Rng.t ->
+  metrics:Tlp_util.Metrics.t ->
+  Protocol.request ->
+  (string, Protocol.error) result
+(** Dispatch one request, returning the rendered result value (the
+    bytes spliced into the [ok] envelope).  [partition] and [sweep] go
+    through the {!Cache} under the {!State} lock — lookup before
+    solving, insert after — while the solve itself runs unlocked, so two
+    concurrent identical requests may both compute (and store identical
+    bytes) but never block each other.  [metrics] is the request's
+    private sink.  [rng] is the request's split stream, reserved for
+    future randomized algorithms (the built-in solvers are
+    deterministic; [verify] seeds from its own parameter — see
+    {!verify_result}).  [debug] gates the [sleep] test method. *)

@@ -1,0 +1,267 @@
+module Json = Tlp_util.Json_out
+module Io = Tlp_graph.Instance_io
+module Chain = Tlp_graph.Chain
+module Tree = Tlp_graph.Tree
+
+let schema = "tlp.rpc/v1"
+
+type error_code = Bad_request | Overloaded | Timeout | Internal
+
+type error = { code : error_code; message : string }
+
+let error_code_string = function
+  | Bad_request -> "bad_request"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Internal -> "internal"
+
+let bad_request message = { code = Bad_request; message }
+let overloaded message = { code = Overloaded; message }
+let timeout message = { code = Timeout; message }
+let internal message = { code = Internal; message }
+
+type partition_algorithm = Bandwidth | Bottleneck | Procmin | Pipeline
+
+let partition_algorithm_string = function
+  | Bandwidth -> "bandwidth"
+  | Bottleneck -> "bottleneck"
+  | Procmin -> "procmin"
+  | Pipeline -> "pipeline"
+
+type request =
+  | Partition of {
+      instance : Io.instance;
+      k : int;
+      algorithm : partition_algorithm;
+    }
+  | Sweep of {
+      chain : Chain.t;
+      ks : int list;
+      algorithm : Tlp_engine.Ksweep.algorithm;
+    }
+  | Verify of { rounds : int; seed : int }
+  | Stats
+  | Health
+  | Sleep of { ms : int }
+
+type frame = { id : Json.t; request : request; timeout_ms : int option }
+
+let method_name = function
+  | Partition _ -> "partition"
+  | Sweep _ -> "sweep"
+  | Verify _ -> "verify"
+  | Stats -> "stats"
+  | Health -> "health"
+  | Sleep _ -> "sleep"
+
+(* ---------- parsing ---------- *)
+
+(* Parse failures abort with [Reject] carrying the wire error; the
+   request id (when already recovered) is attached by [parse_frame]. *)
+exception Reject of error
+
+let reject fmt = Printf.ksprintf (fun m -> raise (Reject (bad_request m))) fmt
+
+let obj_fields = function
+  | Json.Obj fields -> fields
+  | _ -> reject "request frame must be a JSON object"
+
+let field name fields = List.assoc_opt name fields
+
+let require name fields =
+  match field name fields with
+  | Some v -> v
+  | None -> reject "missing required field %S" name
+
+let as_int name = function
+  | Json.Int i -> i
+  | _ -> reject "field %S must be an integer" name
+
+let as_string name = function
+  | Json.String s -> s
+  | _ -> reject "field %S must be a string" name
+
+let as_int_list name = function
+  | Json.List items -> List.map (as_int name) items
+  | _ -> reject "field %S must be an array of integers" name
+
+let positive name i =
+  if i <= 0 then reject "field %S must be positive, got %d" name i;
+  i
+
+(* An instance is either a string in the instance-file format or an
+   inline object ({"kind":"chain",...} / {"kind":"tree",...}); both
+   canonicalize to the same [Instance_io.instance], hence to the same
+   cache digest. *)
+let parse_instance = function
+  | Json.String text -> (
+      match Io.parse text with
+      | Ok i -> i
+      | Error msg -> reject "bad instance text: %s" msg)
+  | Json.Obj fields -> (
+      let kind = as_string "kind" (require "kind" fields) in
+      match kind with
+      | "chain" -> (
+          let alpha =
+            Array.of_list (as_int_list "alpha" (require "alpha" fields))
+          in
+          let beta =
+            Array.of_list (as_int_list "beta" (require "beta" fields))
+          in
+          match Chain.make ~alpha ~beta with
+          | chain -> Io.Chain_instance chain
+          | exception Invalid_argument msg -> reject "bad chain: %s" msg)
+      | "tree" -> (
+          let weights =
+            Array.of_list (as_int_list "weights" (require "weights" fields))
+          in
+          let parents =
+            match require "parents" fields with
+            | Json.List items ->
+                Array.of_list
+                  (List.map
+                     (function
+                       | Json.List [ Json.Int p; Json.Int d ] -> (p, d)
+                       | _ ->
+                           reject
+                             "field \"parents\" must be an array of \
+                              [parent, delta] integer pairs")
+                     items)
+            | _ -> reject "field \"parents\" must be an array"
+          in
+          match Tree.of_parents ~weights ~parents with
+          | t -> Io.Tree_instance t
+          | exception Invalid_argument msg -> reject "bad tree: %s" msg)
+      | other -> reject "unknown instance kind %S (chain | tree)" other)
+  | _ -> reject "field \"instance\" must be a string or an object"
+
+let parse_chain fields =
+  match parse_instance (require "instance" fields) with
+  | Io.Chain_instance c -> c
+  | Io.Tree_instance _ -> reject "method requires a chain instance"
+
+let max_verify_rounds = 10_000
+let max_sleep_ms = 60_000
+
+let parse_request meth params =
+  match meth with
+  | "partition" ->
+      let instance = parse_instance (require "instance" params) in
+      let k = positive "k" (as_int "k" (require "k" params)) in
+      let algorithm =
+        match Option.map (as_string "algorithm") (field "algorithm" params) with
+        | None | Some "bandwidth" -> Bandwidth
+        | Some "bottleneck" -> Bottleneck
+        | Some "procmin" -> Procmin
+        | Some "pipeline" -> Pipeline
+        | Some other ->
+            reject
+              "unknown algorithm %S (bandwidth | bottleneck | procmin | \
+               pipeline)"
+              other
+      in
+      Partition { instance; k; algorithm }
+  | "sweep" ->
+      let chain = parse_chain params in
+      let ks =
+        List.map
+          (positive "k_values")
+          (as_int_list "k_values" (require "k_values" params))
+      in
+      if ks = [] then reject "field \"k_values\" must be non-empty";
+      let algorithm =
+        match Option.map (as_string "algorithm") (field "algorithm" params) with
+        | None | Some "hitting" -> Tlp_engine.Ksweep.Hitting
+        | Some "deque" -> Tlp_engine.Ksweep.Deque
+        | Some other -> reject "unknown algorithm %S (deque | hitting)" other
+      in
+      Sweep { chain; ks; algorithm }
+  | "verify" ->
+      let rounds =
+        match Option.map (as_int "rounds") (field "rounds" params) with
+        | None -> 100
+        | Some r ->
+            if r < 1 || r > max_verify_rounds then
+              reject "field \"rounds\" must be in [1, %d]" max_verify_rounds;
+            r
+      in
+      let seed =
+        match Option.map (as_int "seed") (field "seed" params) with
+        | None -> 1
+        | Some s -> s
+      in
+      Verify { rounds; seed }
+  | "stats" -> Stats
+  | "health" -> Health
+  | "sleep" ->
+      let ms = as_int "ms" (require "ms" params) in
+      if ms < 0 || ms > max_sleep_ms then
+        reject "field \"ms\" must be in [0, %d]" max_sleep_ms;
+      Sleep { ms }
+  | other ->
+      reject
+        "unknown method %S (partition | sweep | verify | stats | health)" other
+
+let parse_frame line =
+  match Json.parse line with
+  | Error msg -> Error (Json.Null, bad_request ("malformed JSON frame: " ^ msg))
+  | Ok doc -> (
+      (* Recover the id first so even rejected frames get correlated
+         error responses. *)
+      let id =
+        match doc with
+        | Json.Obj fields -> (
+            match field "id" fields with
+            | Some ((Json.String _ | Json.Int _ | Json.Null) as id) -> id
+            | Some _ | None -> Json.Null)
+        | _ -> Json.Null
+      in
+      match
+        let fields = obj_fields doc in
+        (match field "id" fields with
+        | None | Some (Json.String _ | Json.Int _ | Json.Null) -> ()
+        | Some _ -> reject "field \"id\" must be a string, integer or null");
+        let meth = as_string "method" (require "method" fields) in
+        let params =
+          match field "params" fields with
+          | None -> []
+          | Some (Json.Obj params) -> params
+          | Some _ -> reject "field \"params\" must be an object"
+        in
+        let timeout_ms =
+          match field "timeout_ms" fields with
+          | None -> None
+          | Some v -> Some (positive "timeout_ms" (as_int "timeout_ms" v))
+        in
+        { id; request = parse_request meth params; timeout_ms }
+      with
+      | frame -> Ok frame
+      | exception Reject err -> Error (id, err))
+
+(* ---------- instances ---------- *)
+
+let canonical_instance = Io.to_string
+
+let instance_digest instance =
+  Digest.to_hex (Digest.string (canonical_instance instance))
+
+(* ---------- responses ---------- *)
+
+let envelope_prefix id =
+  Printf.sprintf "{\"schema\":%s,\"id\":%s"
+    (Json.to_string (Json.String schema))
+    (Json.to_string id)
+
+let render_ok ~id ~result =
+  (* The result is spliced in pre-rendered so cache hits replay the
+     stored bytes verbatim. *)
+  Printf.sprintf "%s,\"ok\":true,\"result\":%s}" (envelope_prefix id) result
+
+let render_error ~id { code; message } =
+  Printf.sprintf "%s,\"ok\":false,\"error\":%s}" (envelope_prefix id)
+    (Json.to_string
+       (Json.Obj
+          [
+            ("code", Json.String (error_code_string code));
+            ("message", Json.String message);
+          ]))

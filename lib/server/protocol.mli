@@ -1,0 +1,87 @@
+(** Wire protocol of the partition service: [tlp.rpc/v1].
+
+    Framing is newline-delimited JSON: each request is one complete
+    JSON object on one line; each response is one JSON object on one
+    line.  The full field-by-field specification, error-code catalogue,
+    and worked transcripts live in [PROTOCOL.md]; this module is the
+    single codec both the server and the tests go through, built on
+    [Tlp_util.Json_out]'s strict parser/writer so emitted and accepted
+    grammars cannot drift apart. *)
+
+val schema : string
+(** ["tlp.rpc/v1"], stamped on every response. *)
+
+(** {1 Errors} *)
+
+type error_code = Bad_request | Overloaded | Timeout | Internal
+
+type error = { code : error_code; message : string }
+
+val error_code_string : error_code -> string
+(** ["bad_request"], ["overloaded"], ["timeout"], ["internal"]. *)
+
+val bad_request : string -> error
+val overloaded : string -> error
+val timeout : string -> error
+val internal : string -> error
+
+(** {1 Requests} *)
+
+type partition_algorithm = Bandwidth | Bottleneck | Procmin | Pipeline
+
+val partition_algorithm_string : partition_algorithm -> string
+
+type request =
+  | Partition of {
+      instance : Tlp_graph.Instance_io.instance;
+      k : int;
+      algorithm : partition_algorithm;
+    }
+  | Sweep of {
+      chain : Tlp_graph.Chain.t;
+      ks : int list;
+      algorithm : Tlp_engine.Ksweep.algorithm;
+    }
+  | Verify of { rounds : int; seed : int }
+  | Stats
+  | Health
+  | Sleep of { ms : int }
+      (** Debug-only (server must be started with [enable_debug]); makes
+          backpressure and deadline tests deterministic. *)
+
+type frame = {
+  id : Tlp_util.Json_out.t;
+      (** Echoed verbatim in the response; [Null] when absent.  Must be
+          a string, integer, or null. *)
+  request : request;
+  timeout_ms : int option;
+      (** Per-request deadline override, milliseconds from admission. *)
+}
+
+val method_name : request -> string
+(** The wire method, e.g. ["partition"] — used for stats counters. *)
+
+val parse_frame :
+  string -> (frame, Tlp_util.Json_out.t * error) result
+(** Parse one request line.  On error, returns the request [id] when it
+    could be recovered from the malformed frame ([Null] otherwise) so
+    the error response can still be correlated. *)
+
+(** {1 Instances} *)
+
+val canonical_instance : Tlp_graph.Instance_io.instance -> string
+(** Canonical text of an instance ([Instance_io.to_string]): two
+    requests with structurally equal instances canonicalize to the same
+    bytes regardless of how the client spelled them. *)
+
+val instance_digest : Tlp_graph.Instance_io.instance -> string
+(** Hex MD5 of {!canonical_instance} — the cache-key component. *)
+
+(** {1 Responses} *)
+
+val render_ok : id:Tlp_util.Json_out.t -> result:string -> string
+(** Response envelope around a {e pre-rendered} result value.  Taking
+    the result as bytes (not a tree) is what lets a cache hit replay the
+    stored rendering verbatim.  No trailing newline. *)
+
+val render_error : id:Tlp_util.Json_out.t -> error -> string

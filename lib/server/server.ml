@@ -1,0 +1,383 @@
+module Json = Tlp_util.Json_out
+module Metrics = Tlp_util.Metrics
+module Timer = Tlp_util.Timer
+module Pool = Tlp_engine.Pool
+
+type config = {
+  host : string;
+  port : int;
+  jobs : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  default_timeout_ms : int option;
+  max_frame_bytes : int;
+  seed : int;
+  enable_debug : bool;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7171;
+    jobs = 4;
+    queue_capacity = 64;
+    cache_capacity = 256;
+    default_timeout_ms = Some 30_000;
+    max_frame_bytes = 4 * 1024 * 1024;
+    seed = 0;
+    enable_debug = false;
+  }
+
+(* A job is an admitted frame plus everything needed to answer it from a
+   worker thread: the absolute deadline and the connection's serialized
+   reply writer. *)
+type job = {
+  frame : Protocol.frame;
+  deadline : float option;
+  reply : string -> unit;
+  rng : Tlp_util.Rng.t;
+}
+
+type t = {
+  config : config;
+  listener : Unix.file_descr;
+  actual_port : int;
+  server_state : State.t;
+  queue : job Admission.t;
+  pool : Pool.t;
+  stop_flag : bool Atomic.t;
+  conn_mutex : Mutex.t;
+  conn_done : Condition.t;
+  mutable live_conns : int;
+  mutable accepter : Thread.t option;
+  mutable workers : Thread.t list;
+  mutable waited : bool;
+}
+
+let port t = t.actual_port
+let state t = t.server_state
+
+let send_error t ~reply ~id err =
+  State.with_lock t.server_state (fun () ->
+      State.record_error t.server_state
+        ~code:(Protocol.error_code_string err.Protocol.code));
+  reply (Protocol.render_error ~id err)
+
+(* ---------- worker threads ---------- *)
+
+(* Run the handler on a pool domain (single-item parallel_map: the
+   worker thread blocks while one domain computes).  The job's private
+   metrics sink is written only on that domain, then merged into the
+   server sink after the join — the same single-writer discipline as
+   Batch.solve_batch. *)
+let execute t job =
+  let request_metrics = Metrics.create () in
+  let outcome =
+    (Pool.parallel_map t.pool
+       (fun job ->
+         match
+           Handler.handle ~state:t.server_state
+             ~queue_depth:(fun () -> Admission.length t.queue)
+             ~debug:t.config.enable_debug ~rng:job.rng ~metrics:request_metrics
+             job.frame.Protocol.request
+         with
+         | outcome -> outcome
+         | exception e ->
+             Error (Protocol.internal (Printexc.to_string e)))
+       [| job |]).(0)
+  in
+  State.with_lock t.server_state (fun () ->
+      State.merge_request_metrics t.server_state request_metrics);
+  match outcome with
+  | Ok result ->
+      job.reply (Protocol.render_ok ~id:job.frame.Protocol.id ~result)
+  | Error err -> send_error t ~reply:job.reply ~id:job.frame.Protocol.id err
+
+let worker_loop t =
+  let rec loop () =
+    match Admission.pop t.queue with
+    | None -> () (* closed and drained *)
+    | Some job ->
+        (match job.deadline with
+        | Some d when Timer.now () > d ->
+            send_error t ~reply:job.reply ~id:job.frame.Protocol.id
+              (Protocol.timeout "deadline expired while queued")
+        | _ -> execute t job);
+        loop ()
+  in
+  loop ()
+
+(* ---------- connection threads ---------- *)
+
+(* Control-plane methods are answered on the connection thread itself:
+   health checks and stats must respond even when the solve queue is
+   saturated — that is what they are for. *)
+let control_plane (request : Protocol.request) =
+  match request with
+  | Protocol.Stats | Protocol.Health -> true
+  | Protocol.Partition _ | Protocol.Sweep _ | Protocol.Verify _
+  | Protocol.Sleep _ ->
+      false
+
+type conn = {
+  fd : Unix.file_descr;
+  write_mutex : Mutex.t;
+  inflight_mutex : Mutex.t;
+  inflight_done : Condition.t;
+  mutable inflight : int;  (* admitted jobs not yet replied to *)
+  mutable alive : bool;  (* peer still reachable for writes *)
+}
+
+let conn_reply conn line =
+  Mutex.lock conn.write_mutex;
+  (try
+     if conn.alive then
+       let bytes = Bytes.of_string (line ^ "\n") in
+       let n = Bytes.length bytes in
+       let written = ref 0 in
+       while !written < n do
+         written :=
+           !written + Unix.write conn.fd bytes !written (n - !written)
+       done
+   with Unix.Unix_error _ -> conn.alive <- false);
+  Mutex.unlock conn.write_mutex
+
+let job_reply conn line =
+  conn_reply conn line;
+  Mutex.lock conn.inflight_mutex;
+  conn.inflight <- conn.inflight - 1;
+  if conn.inflight = 0 then Condition.broadcast conn.inflight_done;
+  Mutex.unlock conn.inflight_mutex
+
+let handle_line t conn line =
+  if String.trim line <> "" then
+    match Protocol.parse_frame line with
+    | Error (id, err) -> send_error t ~reply:(conn_reply conn) ~id err
+    | Ok frame ->
+        let request = frame.Protocol.request in
+        State.with_lock t.server_state (fun () ->
+            State.record_request t.server_state
+              ~meth:(Protocol.method_name request));
+        if control_plane request then begin
+          let metrics = Metrics.create () in
+          let rng = State.with_lock t.server_state (fun () ->
+              State.next_rng t.server_state)
+          in
+          match
+            Handler.handle ~state:t.server_state
+              ~queue_depth:(fun () -> Admission.length t.queue)
+              ~debug:t.config.enable_debug ~rng ~metrics request
+          with
+          | Ok result ->
+              conn_reply conn
+                (Protocol.render_ok ~id:frame.Protocol.id ~result)
+          | Error err ->
+              send_error t ~reply:(conn_reply conn) ~id:frame.Protocol.id err
+        end
+        else if Atomic.get t.stop_flag then
+          send_error t ~reply:(conn_reply conn) ~id:frame.Protocol.id
+            (Protocol.overloaded "server is draining")
+        else begin
+          let deadline =
+            let ms =
+              match frame.Protocol.timeout_ms with
+              | Some ms -> Some ms
+              | None -> t.config.default_timeout_ms
+            in
+            Option.map
+              (fun ms -> Timer.now () +. (float_of_int ms /. 1000.0))
+              ms
+          in
+          let rng = State.with_lock t.server_state (fun () ->
+              State.next_rng t.server_state)
+          in
+          let job = { frame; deadline; reply = job_reply conn; rng } in
+          Mutex.lock conn.inflight_mutex;
+          conn.inflight <- conn.inflight + 1;
+          Mutex.unlock conn.inflight_mutex;
+          if not (Admission.try_push t.queue job) then begin
+            (* Undo the optimistic inflight count: the error reply below
+               goes through conn_reply, not job_reply. *)
+            Mutex.lock conn.inflight_mutex;
+            conn.inflight <- conn.inflight - 1;
+            if conn.inflight = 0 then Condition.broadcast conn.inflight_done;
+            Mutex.unlock conn.inflight_mutex;
+            send_error t ~reply:(conn_reply conn) ~id:frame.Protocol.id
+              (Protocol.overloaded
+                 (if Admission.closed t.queue then "server is draining"
+                  else "admission queue full"))
+          end
+        end
+
+let drain_inflight conn =
+  Mutex.lock conn.inflight_mutex;
+  while conn.inflight > 0 do
+    Condition.wait conn.inflight_done conn.inflight_mutex
+  done;
+  Mutex.unlock conn.inflight_mutex
+
+let connection_loop t fd =
+  let conn =
+    {
+      fd;
+      write_mutex = Mutex.create ();
+      inflight_mutex = Mutex.create ();
+      inflight_done = Condition.create ();
+      inflight = 0;
+      alive = true;
+    }
+  in
+  (* A short receive timeout turns blocking reads into periodic stop
+     checks, so idle connections cannot stall the drain. *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.2
+   with Unix.Unix_error _ -> ());
+  let pending = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let overflow = ref false in
+  let eof = ref false in
+  (* Process every complete line in [pending]; keep the partial tail. *)
+  let process_pending () =
+    let data = Buffer.contents pending in
+    Buffer.clear pending;
+    let start = ref 0 in
+    (try
+       while true do
+         let nl = String.index_from data !start '\n' in
+         handle_line t conn (String.sub data !start (nl - !start));
+         start := nl + 1
+       done
+     with Not_found -> ());
+    Buffer.add_substring pending data !start (String.length data - !start)
+  in
+  while (not !eof) && (not !overflow) && not (Atomic.get t.stop_flag) do
+    (match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> eof := true
+    | n ->
+        Buffer.add_subbytes pending chunk 0 n;
+        process_pending ();
+        if Buffer.length pending > t.config.max_frame_bytes then begin
+          overflow := true;
+          send_error t ~reply:(conn_reply conn) ~id:Json.Null
+            (Protocol.bad_request
+               (Printf.sprintf "frame exceeds %d bytes"
+                  t.config.max_frame_bytes))
+        end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        () (* receive-timeout tick: recheck the stop flag *)
+    | exception Unix.Unix_error _ -> eof := true)
+  done;
+  (* A final unterminated frame at EOF is still served (netcat -q0
+     style clients close without a trailing newline). *)
+  if !eof && (not !overflow) && Buffer.length pending > 0 then begin
+    let line = Buffer.contents pending in
+    Buffer.clear pending;
+    handle_line t conn line
+  end;
+  (* Answer everything this connection admitted before hanging up. *)
+  drain_inflight conn;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conn_mutex;
+  t.live_conns <- t.live_conns - 1;
+  if t.live_conns = 0 then Condition.broadcast t.conn_done;
+  Mutex.unlock t.conn_mutex
+
+(* ---------- accept loop ---------- *)
+
+let accept_loop t =
+  let continue = ref true in
+  while !continue && not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.listener ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true t.listener with
+        | fd, _ ->
+            Mutex.lock t.conn_mutex;
+            t.live_conns <- t.live_conns + 1;
+            Mutex.unlock t.conn_mutex;
+            ignore (Thread.create (fun () -> connection_loop t fd) ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ -> continue := false)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  (* No new connections, so no new pushes after the queue drains;
+     closing here starts the worker drain. *)
+  Admission.close t.queue
+
+(* ---------- lifecycle ---------- *)
+
+let start config =
+  let jobs = Stdlib.max 1 config.jobs in
+  (* A client hanging up mid-response must not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let addr =
+    Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port)
+  in
+  let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listener Unix.SO_REUSEADDR true;
+     Unix.bind listener addr;
+     Unix.listen listener 128
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise e);
+  let actual_port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let t =
+    {
+      config = { config with jobs };
+      listener;
+      actual_port;
+      server_state =
+        State.create ~cache_capacity:config.cache_capacity
+          ~queue_capacity:config.queue_capacity ~seed:config.seed ();
+      queue = Admission.create ~capacity:config.queue_capacity;
+      pool = Pool.create ~jobs;
+      stop_flag = Atomic.make false;
+      conn_mutex = Mutex.create ();
+      conn_done = Condition.create ();
+      live_conns = 0;
+      accepter = None;
+      workers = [];
+      waited = false;
+    }
+  in
+  t.workers <- List.init jobs (fun _ -> Thread.create (fun () -> worker_loop t) ());
+  t.accepter <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let stop t = Atomic.set t.stop_flag true
+
+let wait t =
+  let already =
+    Mutex.lock t.conn_mutex;
+    let w = t.waited in
+    t.waited <- true;
+    Mutex.unlock t.conn_mutex;
+    w
+  in
+  if not already then begin
+    (match t.accepter with Some th -> Thread.join th | None -> ());
+    (* Accept loop closed the queue on its way out; workers drain every
+       admitted job, answer it, and exit. *)
+    List.iter Thread.join t.workers;
+    Mutex.lock t.conn_mutex;
+    while t.live_conns > 0 do
+      Condition.wait t.conn_done t.conn_mutex
+    done;
+    Mutex.unlock t.conn_mutex;
+    Pool.shutdown t.pool
+  end
+
+let run config =
+  let t = start config in
+  let on_signal _ = stop t in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+   with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+   with Invalid_argument _ -> ());
+  t

@@ -1,0 +1,84 @@
+module Metrics = Tlp_util.Metrics
+module Rng = Tlp_util.Rng
+module Json = Tlp_util.Json_out
+module Timer = Tlp_util.Timer
+
+type t = {
+  mutex : Mutex.t;
+  cache : Cache.t;
+  metrics : Metrics.t;
+  started_at : float;
+  queue_capacity : int;
+  rng : Rng.t;  (* master generator; split under the lock per request *)
+  requests : (string, int) Hashtbl.t;  (* wire method -> count *)
+  errors : (string, int) Hashtbl.t;  (* error code -> count *)
+}
+
+let create ~cache_capacity ~queue_capacity ~seed () =
+  {
+    mutex = Mutex.create ();
+    cache = Cache.create ~capacity:cache_capacity;
+    metrics = Metrics.create ();
+    started_at = Timer.now ();
+    queue_capacity;
+    rng = Rng.create seed;
+    requests = Hashtbl.create 8;
+    errors = Hashtbl.create 8;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let cache t = t.cache
+let metrics t = t.metrics
+let started_at t = t.started_at
+let queue_capacity t = t.queue_capacity
+
+let next_rng t = Rng.split t.rng
+
+let bump table key =
+  Hashtbl.replace table key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+
+let record_request t ~meth = bump t.requests meth
+let record_error t ~code = bump t.errors code
+
+let merge_request_metrics t request_metrics =
+  Metrics.merge t.metrics request_metrics
+
+let sorted_counts table =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+
+let snapshot t ~queue_depth ~uptime_s =
+  with_lock t (fun () ->
+      let requests = sorted_counts t.requests in
+      let total = List.fold_left (fun acc (_, c) -> acc + c) 0 requests in
+      Json.Obj
+        [
+          ("uptime_s", Json.Float uptime_s);
+          ( "requests",
+            Json.Obj
+              (("total", Json.Int total)
+              :: List.map (fun (m, c) -> (m, Json.Int c)) requests) );
+          ( "errors",
+            Json.Obj
+              (List.map (fun (c, n) -> (c, Json.Int n)) (sorted_counts t.errors))
+          );
+          ( "cache",
+            Json.Obj
+              [
+                ("capacity", Json.Int (Cache.capacity t.cache));
+                ("size", Json.Int (Cache.length t.cache));
+                ("hits", Json.Int (Cache.hits t.cache));
+                ("misses", Json.Int (Cache.misses t.cache));
+                ("evictions", Json.Int (Cache.evictions t.cache));
+              ] );
+          ( "queue",
+            Json.Obj
+              [
+                ("capacity", Json.Int t.queue_capacity);
+                ("depth", Json.Int queue_depth);
+              ] );
+          ("metrics", Metrics.to_json t.metrics);
+        ])

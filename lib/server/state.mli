@@ -1,0 +1,64 @@
+(** Shared mutable state of a running server, behind one mutex.
+
+    {b Design note (tlp-lint R1).}  The server is the one place in the
+    tree where mutable state is genuinely shared across domains: worker
+    threads execute requests on [Tlp_engine.Pool] domains while
+    connection threads run on the main domain, and both sides touch the
+    result cache and the stats counters.  Rather than scatter that state
+    over module-toplevel refs (which R1 forbids, and which would be
+    invisible at call sites), every mutable piece lives in this record,
+    created per-server by {!create} and accessed {e only} through
+    {!with_lock} — one lock, coarse-grained on purpose: every critical
+    section is a few hashtable probes or counter bumps, microseconds
+    against the milliseconds of a solve, so contention is negligible and
+    the single-lock discipline is trivially deadlock-free.
+
+    Determinism (PR 2's byte-identical contract) survives concurrency
+    because nothing behind this lock feeds the solvers: requests carry
+    their own seeds, per-request metrics sinks are {!Metrics.merge}d
+    here only after the solve completes, and the cache stores rendered
+    result bytes keyed by canonical instance digest — replaying a hit is
+    byte-identical to re-solving by construction. *)
+
+type t
+
+val create :
+  cache_capacity:int -> queue_capacity:int -> seed:int -> unit -> t
+(** Fresh state; [seed] roots the per-request RNG streams handed to
+    {!next_rng}.  [queue_capacity] is recorded for [stats] reporting. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Run a critical section under the state mutex (released on raise).
+    Do not solve, sleep, or block inside. *)
+
+(** All accessors below must be called under {!with_lock} unless noted. *)
+
+val cache : t -> Cache.t
+val metrics : t -> Tlp_util.Metrics.t
+val started_at : t -> float
+(** [Timer.now] at creation (immutable; safe without the lock). *)
+
+val queue_capacity : t -> int
+(** Immutable; safe without the lock. *)
+
+val next_rng : t -> Tlp_util.Rng.t
+(** Split a fresh per-request RNG stream off the server's master
+    generator.  Streams are a function of the seed and admission order
+    alone, mirroring [Batch.solve_batch]'s split-up-front discipline. *)
+
+val record_request : t -> meth:string -> unit
+(** Count one admitted request under its wire method. *)
+
+val record_error : t -> code:string -> unit
+(** Count one error response under its wire code. *)
+
+val merge_request_metrics : t -> Tlp_util.Metrics.t -> unit
+(** Fold a completed request's private sink into the server sink. *)
+
+val snapshot :
+  t ->
+  queue_depth:int ->
+  uptime_s:float ->
+  Tlp_util.Json_out.t
+(** The [stats] result document (see PROTOCOL.md).  Takes the lock
+    itself; do not call under {!with_lock}. *)

@@ -17,6 +17,15 @@ type t =
 val to_string : t -> string
 (** Compact (single-line) rendering. *)
 
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON document into {!t}.  The grammar is
+    exactly {!validate}'s (no leading zeros, no trailing garbage, no raw
+    control characters in strings); string escapes are decoded, and a
+    number lexeme becomes [Int] when it has no fraction/exponent and
+    fits in [int], [Float] otherwise.  Object key order is preserved.
+    [Error] carries a byte-offset diagnostic.  This is the request-frame
+    parser of the [tlp.rpc/v1] server protocol. *)
+
 val validate : string -> (unit, string) result
 (** Strict well-formedness check of a complete JSON document.  [Error]
     carries a byte-offset diagnostic.  Used by tests, the lint driver,

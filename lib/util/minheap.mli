@@ -10,9 +10,13 @@ val create : cmp:('a -> 'a -> int) -> 'a t
 (** Empty heap ordered by [cmp] (smallest first). *)
 
 val size : 'a t -> int
+(** Number of live elements. *)
+
 val is_empty : 'a t -> bool
+(** [size t = 0]. *)
 
 val push : 'a t -> 'a -> unit
+(** Insert an element ([O(log n)], amortized over array doubling). *)
 
 val peek : 'a t -> 'a option
 (** Smallest element without removing it. *)
@@ -24,3 +28,4 @@ val pop_exn : 'a t -> 'a
 (** @raise Invalid_argument on an empty heap. *)
 
 val clear : 'a t -> unit
+(** Drop every element, keeping the backing array for reuse. *)

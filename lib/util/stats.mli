@@ -28,3 +28,4 @@ val of_ints : int array -> float array
 (** Convenience conversion. *)
 
 val pp_summary : Format.formatter -> summary -> unit
+(** One-line rendering ([mean±stddev [min,max] median p90]). *)

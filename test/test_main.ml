@@ -5,6 +5,7 @@ let () =
       ("lint", Test_lint.suite);
       ("metrics", Test_metrics.suite);
       ("engine", Test_engine.suite);
+      ("server", Test_server.suite);
       ("graph", Test_graphlib.suite);
       ("primes", Test_primes.suite);
       ("bandwidth", Test_bandwidth.suite);
