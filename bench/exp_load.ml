@@ -1,0 +1,80 @@
+(* Load-generator benchmark: the tlp.rpc/v1 daemon under the
+   deterministic tlp_load workload, in-process on an ephemeral port.
+
+   Two measurements:
+
+   - [closed]: a closed-loop mixed workload (partition/sweep/verify)
+     across [jobs] client workers — this is the run whose tlp.load/v1
+     report is written to BENCH_load.json;
+   - [open]: the same request corpus replayed open-loop at fixed and
+     Poisson arrival rates, reporting achieved throughput and tail
+     latency under pacing.
+
+   Every request byte comes from Workload.plan, so the printed digests
+   are stable across runs and machines; only latencies vary. *)
+
+module Histogram = Tlp_util.Histogram
+module Server = Tlp_server.Server
+module Workload = Tlp_load.Workload
+module Runner = Tlp_load.Runner
+module Report = Tlp_load.Report
+
+let quantiles h =
+  Printf.sprintf "p50=%dus p90=%dus p99=%dus"
+    (Histogram.quantile h 0.5)
+    (Histogram.quantile h 0.9)
+    (Histogram.quantile h 0.99)
+
+let describe label (r : Runner.result) =
+  let c = r.Runner.counts in
+  Printf.printf "  %-8s %d requests: ok=%d failed=%d  %.1f req/s  %s\n" label
+    (Runner.total c) c.Runner.ok
+    (Runner.total c - c.Runner.ok)
+    (if r.Runner.duration_s > 0.0 then
+       float_of_int (Runner.total c) /. r.Runner.duration_s
+     else 0.0)
+    (quantiles r.Runner.latency_us)
+
+let run ~max_jobs () =
+  print_endline "== load: tlp_load workload against the daemon ==";
+  let jobs = Stdlib.min max_jobs 4 in
+  let config =
+    {
+      Server.default_config with
+      Server.port = 0;
+      jobs;
+      queue_capacity = 256;
+      cache_capacity = 512;
+    }
+  in
+  let srv = Server.start config in
+  let port = Server.port srv in
+  let base =
+    {
+      Workload.default_config with
+      Workload.seed = 42;
+      workers = jobs;
+      requests = 200;
+      trace_every = 25;
+    }
+  in
+  (* --- closed loop: the BENCH_load.json run --- *)
+  let closed = Runner.run ~port (Workload.plan base) in
+  Printf.printf "  digest   %s\n" (Workload.sequence_digest closed.Runner.plan);
+  describe "closed" closed;
+  Report.write ~path:"BENCH_load.json" closed;
+  print_endline "  wrote BENCH_load.json";
+  (* --- open loop: same corpus, paced arrivals --- *)
+  let rate = 400.0 in
+  let fixed =
+    Runner.run ~port
+      (Workload.plan { base with Workload.arrival = Workload.Fixed_rate rate })
+  in
+  describe "fixed" fixed;
+  let poisson =
+    Runner.run ~port
+      (Workload.plan { base with Workload.arrival = Workload.Poisson rate })
+  in
+  describe "poisson" poisson;
+  Server.stop srv;
+  Server.wait srv

@@ -14,6 +14,7 @@
      json      instrumented solver records -> BENCH_partitioning.json
      engine    batch/K-sweep engine -> BENCH_engine.json
      server    tlp.rpc/v1 daemon loopback -> BENCH_server.json
+     load      tlp_load workload vs daemon -> BENCH_load.json
 
    Run all sections:        dune exec bench/main.exe
    Run selected sections:   dune exec bench/main.exe -- figure2 timing
@@ -35,6 +36,7 @@ let sections =
     ("json", fun () -> Bench_runner.run_partitioning_suite ());
     ("engine", fun () -> Exp_engine.run ~max_jobs:!max_jobs ());
     ("server", fun () -> Exp_server.run ~max_jobs:!max_jobs ());
+    ("load", fun () -> Exp_load.run ~max_jobs:!max_jobs ());
   ]
 
 let () =

@@ -1,0 +1,214 @@
+(* tlp_load: deterministic load generator for the tlp.rpc/v1 service.
+
+   Builds a Workload.plan (pure function of the flags — the printed
+   digest is the replay check), drives it through N concurrent client
+   workers, prints a human summary, and optionally writes the
+   tlp.load/v1 report (BENCH_load.json; schema in EXPERIMENTS.md). *)
+
+open Cmdliner
+module Workload = Tlp_load.Workload
+module Runner = Tlp_load.Runner
+module Report = Tlp_load.Report
+
+let parse_mix text =
+  match String.split_on_char ':' text with
+  | [ p; s; v ] -> (
+      match
+        ( int_of_string_opt (String.trim p),
+          int_of_string_opt (String.trim s),
+          int_of_string_opt (String.trim v) )
+      with
+      | Some partition, Some sweep, Some verify ->
+          Some { Workload.partition; sweep; verify }
+      | _ -> None)
+  | _ -> None
+
+let run host port seed workers requests rate poisson mix corpus chain_n
+    max_weight timeout_ms deadline_ms trace_every out expect_clean plan_only =
+  let arrival =
+    match rate with
+    | None -> Workload.Closed
+    | Some r when poisson -> Workload.Poisson r
+    | Some r -> Workload.Fixed_rate r
+  in
+  let mix =
+    match parse_mix mix with
+    | Some m -> m
+    | None ->
+        Printf.eprintf
+          "error: --mix must be three integers P:S:V, got %S\n" mix;
+        exit 1
+  in
+  let config =
+    {
+      Workload.seed;
+      workers;
+      requests;
+      arrival;
+      mix;
+      corpus;
+      chain_n;
+      max_weight;
+      timeout_ms = (if timeout_ms <= 0 then None else Some timeout_ms);
+      trace_every;
+    }
+  in
+  let plan =
+    match Workload.plan config with
+    | p -> p
+    | exception Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+  in
+  if plan_only then begin
+    Printf.printf "digest      %s\n" (Workload.sequence_digest plan);
+    List.iter
+      (fun (m, c) -> Printf.printf "%-11s %d\n" m c)
+      (Workload.method_counts plan)
+  end
+  else begin
+    let result = Runner.run ~host ~deadline_ms ~port plan in
+    print_string (Report.summary result);
+    List.iter
+      (fun (seq, msg) -> Printf.eprintf "failure: request %d: %s\n" seq msg)
+      result.Runner.failures;
+    (match out with
+    | Some path ->
+        Report.write ~path result;
+        Printf.printf "wrote       %s\n" path
+    | None -> ());
+    if
+      expect_clean
+      && result.Runner.counts.Runner.ok <> Runner.total result.Runner.counts
+    then begin
+      Printf.eprintf "error: --expect-clean: %d of %d requests failed\n"
+        (Runner.total result.Runner.counts - result.Runner.counts.Runner.ok)
+        (Runner.total result.Runner.counts);
+      exit 1
+    end
+  end
+
+let cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Server TCP port.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Workload seed.  The whole request sequence is a pure \
+                function of the flags; rerunning with the same flags \
+                replays identical bytes (compare the printed digest).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Concurrent client workers.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 100
+      & info [ "requests"; "n" ] ~docv:"N"
+          ~doc:"Total requests across all workers.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:"Open-loop arrival rate in requests/second (global).  \
+                Without it the run is closed-loop: each worker fires as \
+                soon as its previous response lands.")
+  in
+  let poisson =
+    Arg.(
+      value & flag
+      & info [ "poisson" ]
+          ~doc:"With $(b,--rate), draw Poisson (exponential interarrival) \
+                times instead of an evenly spaced schedule.")
+  in
+  let mix =
+    Arg.(
+      value & opt string "6:3:1"
+      & info [ "mix" ] ~docv:"P:S:V"
+          ~doc:"Relative method weights partition:sweep:verify.")
+  in
+  let corpus =
+    Arg.(
+      value & opt int 8
+      & info [ "corpus" ] ~docv:"N"
+          ~doc:"Distinct generated chain instances to draw requests from.")
+  in
+  let chain_n =
+    Arg.(
+      value & opt int 64
+      & info [ "chain-n" ] ~docv:"N" ~doc:"Vertices per corpus chain.")
+  in
+  let max_weight =
+    Arg.(
+      value & opt int 20
+      & info [ "max-weight" ] ~docv:"W"
+          ~doc:"Weight bound of corpus chains.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Server-side per-request deadline stamped into each frame \
+                (0 = none).")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt int 30_000
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Client-side end-to-end bound per request, covering \
+                retries.")
+  in
+  let trace_every =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-every" ] ~docv:"N"
+          ~doc:"Request server-side tracing on every Nth request \
+                (0 = never).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the tlp.load/v1 JSON report here (e.g. \
+                BENCH_load.json).")
+  in
+  let expect_clean =
+    Arg.(
+      value & flag
+      & info [ "expect-clean" ]
+          ~doc:"Exit nonzero unless every request succeeded (no \
+                transport, timeout, or protocol failures).")
+  in
+  let plan_only =
+    Arg.(
+      value & flag
+      & info [ "plan-only" ]
+          ~doc:"Build and fingerprint the workload without contacting \
+                any server: print the digest and method counts, then \
+                exit.")
+  in
+  Cmd.v
+    (Cmd.info "tlp_load" ~version:"1.0.0"
+       ~doc:"Deterministic open/closed-loop load generator for the \
+             tlp.rpc/v1 partition service")
+    Term.(
+      const run $ host $ port $ seed $ workers $ requests $ rate $ poisson
+      $ mix $ corpus $ chain_n $ max_weight $ timeout_ms $ deadline_ms
+      $ trace_every $ out $ expect_clean $ plan_only)
+
+let () = exit (Cmd.eval cmd)

@@ -7,6 +7,7 @@
 open Cmdliner
 module Json = Tlp_util.Json_out
 module Server = Tlp_server.Server
+module Client = Tlp_client.Client
 
 let host_arg =
   Arg.(
@@ -89,75 +90,53 @@ let serve_cmd =
 
 (* ---------- call ---------- *)
 
-(* Send newline-delimited request frames, half-close, then read every
-   response line until EOF.  Each response is validated with the strict
-   in-tree JSON validator; --expect-ok additionally fails on any
-   "ok":false response.  This is the scripted client the CI smoke job
-   and the PROTOCOL.md transcripts run through. *)
+(* Send request frames sequentially over ONE reused connection
+   (Tlp_client.Client) and print each raw response line verbatim.  Each
+   response is validated with the strict in-tree JSON validator;
+   --expect-ok additionally fails on any "ok":false response; transport
+   failures (cannot connect, reset, deadline) exit 2 with a clear
+   message.  This is the scripted client the CI smoke job and the
+   PROTOCOL.md transcripts run through. *)
 let call host port requests expect_ok =
   let requests =
-    match requests with
+    (match requests with
     | [] -> In_channel.input_lines In_channel.stdin
-    | rs -> rs
+    | rs -> rs)
+    |> List.filter (fun l -> String.trim l <> "")
   in
   if requests = [] then begin
     prerr_endline "error: no requests (pass --request or pipe lines on stdin)";
     exit 1
   end;
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-   with Unix.Unix_error (e, _, _) ->
-     Printf.eprintf "error: cannot connect to %s:%d: %s\n" host port
-       (Unix.error_message e);
-     exit 1);
-  let payload = String.concat "\n" requests ^ "\n" in
-  let bytes = Bytes.of_string payload in
-  let n = Bytes.length bytes in
-  let written = ref 0 in
-  while !written < n do
-    written := !written + Unix.write fd bytes !written (n - !written)
-  done;
-  Unix.shutdown fd Unix.SHUTDOWN_SEND;
-  let buf = Buffer.create 4096 in
-  let chunk = Bytes.create 4096 in
-  let rec read_all () =
-    match Unix.read fd chunk 0 (Bytes.length chunk) with
-    | 0 -> ()
-    | r ->
-        Buffer.add_subbytes buf chunk 0 r;
-        read_all ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all ()
-  in
-  read_all ();
-  Unix.close fd;
-  let lines =
-    List.filter
-      (fun l -> String.trim l <> "")
-      (String.split_on_char '\n' (Buffer.contents buf))
-  in
+  (* The rng only feeds backoff jitter, and round_trip never retries,
+     so any fixed seed keeps `call` fully deterministic. *)
+  let client = Client.create ~host ~port ~rng:(Tlp_util.Rng.create 1) () in
   let failures = ref 0 in
   List.iter
-    (fun line ->
-      print_endline line;
-      match Json.validate line with
-      | Error msg ->
-          incr failures;
-          Printf.eprintf "error: invalid JSON response: %s\n" msg
-      | Ok () ->
-          if expect_ok then (
-            match Json.parse line with
-            | Ok (Json.Obj fields)
-              when List.assoc_opt "ok" fields = Some (Json.Bool true) ->
-                ()
-            | _ ->
-                incr failures;
-                Printf.eprintf "error: response is not \"ok\":true: %s\n" line))
-    lines;
-  if List.length lines <> List.length requests then begin
-    Printf.eprintf "error: sent %d requests but received %d responses\n"
-      (List.length requests) (List.length lines);
-    exit 1
-  end;
+    (fun request ->
+      match Client.round_trip client request with
+      | Error e ->
+          Printf.eprintf "error: %s:%d: %s\n" host port
+            (Client.error_to_string e);
+          exit 2
+      | Ok line -> (
+          print_endline line;
+          match Json.validate line with
+          | Error msg ->
+              incr failures;
+              Printf.eprintf "error: invalid JSON response: %s\n" msg
+          | Ok () ->
+              if expect_ok then (
+                match Json.parse line with
+                | Ok (Json.Obj fields)
+                  when List.assoc_opt "ok" fields = Some (Json.Bool true) ->
+                    ()
+                | _ ->
+                    incr failures;
+                    Printf.eprintf "error: response is not \"ok\":true: %s\n"
+                      line)))
+    requests;
+  Client.close client;
   if !failures > 0 then exit 1
 
 let call_cmd =

@@ -1,0 +1,46 @@
+module Rng = Tlp_util.Rng
+
+type policy = {
+  max_attempts : int;
+  base_delay_ms : int;
+  max_delay_ms : int;
+  jitter : float;
+}
+
+let default =
+  { max_attempts = 4; base_delay_ms = 25; max_delay_ms = 2_000; jitter = 0.5 }
+
+let delay_ms policy rng ~attempt =
+  if attempt < 1 then invalid_arg "Backoff.delay_ms: attempt must be >= 1";
+  (* Saturating doubling so huge attempt counts cannot overflow. *)
+  let rec ladder d i =
+    if i <= 1 || d >= policy.max_delay_ms then d else ladder (d * 2) (i - 1)
+  in
+  let capped =
+    Stdlib.min (ladder (Stdlib.max 0 policy.base_delay_ms) attempt)
+      policy.max_delay_ms
+  in
+  let u = Rng.float rng 1.0 in
+  let scaled = float_of_int capped *. (1.0 -. (policy.jitter *. u)) in
+  Stdlib.max 0 (int_of_float scaled)
+
+let schedule policy rng =
+  List.init
+    (Stdlib.max 0 (policy.max_attempts - 1))
+    (fun i -> delay_ms policy rng ~attempt:(i + 1))
+
+let run policy ~rng ~now ~sleep ?deadline ~retryable ~on_deadline f =
+  let rec go attempt =
+    match f ~attempt with
+    | Ok _ as ok -> ok
+    | Error e when attempt >= policy.max_attempts || not (retryable e) ->
+        Error e
+    | Error e -> (
+        let wait_s = float_of_int (delay_ms policy rng ~attempt) /. 1000.0 in
+        match deadline with
+        | Some d when now () +. wait_s > d -> Error (on_deadline e)
+        | _ ->
+            sleep wait_s;
+            go (attempt + 1))
+  in
+  go 1

@@ -1,0 +1,54 @@
+(** Bounded exponential backoff with deterministic jitter.
+
+    Retry policy is data, not control flow: a {!policy} fixes the
+    attempt budget and the delay ladder, jitter comes from an explicit
+    [Tlp_util.Rng] stream (never the wall clock), and the {!run} driver
+    takes its clock and sleeper as parameters.  The schedule produced
+    from a given seed is therefore a pure function of (policy, seed) —
+    the retry tests replay it exactly, with a fake clock, no sockets
+    and no sleeping. *)
+
+type policy = {
+  max_attempts : int;
+      (** total attempts including the first; [1] disables retries *)
+  base_delay_ms : int;  (** delay before the first retry *)
+  max_delay_ms : int;  (** ceiling of the exponential ladder *)
+  jitter : float;
+      (** fraction of each delay that is randomized away, in [\[0, 1\]]:
+          the drawn delay is uniform in
+          [\[(1 - jitter) * d, d\]] for ladder value [d] *)
+}
+
+val default : policy
+(** 4 attempts, 25 ms base, 2 s cap, jitter 0.5. *)
+
+val delay_ms : policy -> Tlp_util.Rng.t -> attempt:int -> int
+(** [delay_ms p rng ~attempt] draws the delay after failed attempt
+    [attempt] (1-based): ladder value
+    [min (base * 2^(attempt-1)) max] scaled down by the jittered
+    factor.  Consumes exactly one [rng] draw, so a fixed seed yields a
+    fixed schedule.  [attempt < 1] raises [Invalid_argument]. *)
+
+val schedule : policy -> Tlp_util.Rng.t -> int list
+(** The full delay schedule of a policy: the [max_attempts - 1] delays
+    a run would sleep through if every attempt failed retryably. *)
+
+val run :
+  policy ->
+  rng:Tlp_util.Rng.t ->
+  now:(unit -> float) ->
+  sleep:(float -> unit) ->
+  ?deadline:float ->
+  retryable:('e -> bool) ->
+  on_deadline:('e -> 'e) ->
+  (attempt:int -> ('a, 'e) result) ->
+  ('a, 'e) result
+(** [run p ~rng ~now ~sleep ?deadline ~retryable ~on_deadline f]
+    executes [f ~attempt:1], then retries while the error is
+    [retryable], the attempt budget lasts, and the backoff sleep would
+    not cross [deadline] (absolute, in [now]'s clock).  A sleep that
+    would cross the deadline is not taken: the last error is mapped
+    through [on_deadline] and returned — this is how a deadline
+    exceeded mid-retry becomes a [Timeout] rather than a stale
+    [Overloaded].  Non-retryable errors and budget exhaustion return
+    the error unmapped. *)

@@ -1,0 +1,237 @@
+module Json = Tlp_util.Json_out
+module Rng = Tlp_util.Rng
+module Timer = Tlp_util.Timer
+
+let schema = "tlp.rpc/v1"
+
+type error =
+  | Overloaded of string
+  | Timeout of string
+  | Transport of string
+  | Bad_response of string
+  | Rpc_error of { code : string; message : string }
+
+let error_to_string = function
+  | Overloaded m -> "overloaded: " ^ m
+  | Timeout m -> "timeout: " ^ m
+  | Transport m -> "transport: " ^ m
+  | Bad_response m -> "bad response: " ^ m
+  | Rpc_error { code; message } -> code ^ ": " ^ message
+
+let retryable = function
+  | Overloaded _ | Transport _ -> true
+  | Timeout _ | Bad_response _ | Rpc_error _ -> false
+
+type response = {
+  id : Json.t;
+  result : Json.t;
+  trace : Json.t option;
+  raw : string;
+}
+
+(* Internal control flow for socket failures; never escapes this module. *)
+exception Fail of error
+
+let request_line ?id ?timeout_ms ?(trace = false) ~meth ?params () =
+  let fields =
+    (match id with Some id -> [ ("id", id) ] | None -> [])
+    @ [ ("method", Json.String meth) ]
+    @ (match timeout_ms with
+      | Some ms -> [ ("timeout_ms", Json.Int ms) ]
+      | None -> [])
+    @ (if trace then [ ("trace", Json.Bool true) ] else [])
+    @ match params with Some p -> [ ("params", p) ] | None -> []
+  in
+  Json.to_string (Json.Obj fields)
+
+let classify_response raw =
+  let bad fmt = Printf.ksprintf (fun m -> Error (Bad_response m)) fmt in
+  match Json.parse raw with
+  | Error msg -> bad "unparseable response: %s" msg
+  | Ok (Json.Obj fields) -> (
+      let field name = List.assoc_opt name fields in
+      match field "schema" with
+      | Some (Json.String s) when s = schema -> (
+          let id = Option.value (field "id") ~default:Json.Null in
+          match field "ok" with
+          | Some (Json.Bool true) -> (
+              match field "result" with
+              | Some result ->
+                  Ok { id; result; trace = field "trace"; raw }
+              | None -> bad "ok response without \"result\"")
+          | Some (Json.Bool false) -> (
+              match field "error" with
+              | Some (Json.Obj err) -> (
+                  match
+                    (List.assoc_opt "code" err, List.assoc_opt "message" err)
+                  with
+                  | Some (Json.String code), Some (Json.String message) -> (
+                      match code with
+                      | "overloaded" -> Error (Overloaded message)
+                      | "timeout" -> Error (Timeout message)
+                      | _ -> Error (Rpc_error { code; message }))
+                  | _ -> bad "error object missing code/message strings")
+              | _ -> bad "error response without \"error\" object")
+          | _ -> bad "response missing boolean \"ok\"")
+      | _ -> bad "response missing schema %S" schema)
+  | Ok _ -> bad "response is not a JSON object"
+
+type t = {
+  host : string;
+  port : int;
+  policy : Backoff.policy;
+  default_deadline_ms : int option;
+  rng : Rng.t;
+  mutable fd : Unix.file_descr option;
+  mutable residue : string;
+  mutable dials : int;
+}
+
+let create ?(host = "127.0.0.1") ?(port = 7171) ?(policy = Backoff.default)
+    ?default_deadline_ms ~rng () =
+  {
+    host;
+    port;
+    policy;
+    default_deadline_ms;
+    rng;
+    fd = None;
+    residue = "";
+    dials = 0;
+  }
+
+let close t =
+  (match t.fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  t.fd <- None;
+  t.residue <- ""
+
+let is_connected t = Option.is_some t.fd
+let connections t = t.dials
+
+let resolve t =
+  match Unix.inet_addr_of_string t.host with
+  | addr -> Unix.ADDR_INET (addr, t.port)
+  | exception Failure _ -> (
+      match Unix.gethostbyname t.host with
+      | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 ->
+          Unix.ADDR_INET (addrs.(0), t.port)
+      | _ | (exception Not_found) ->
+          raise (Fail (Transport (Printf.sprintf "cannot resolve %S" t.host))))
+
+let ensure_connected t =
+  match t.fd with
+  | Some fd -> fd
+  | None -> (
+      let addr = resolve t in
+      let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+      match Unix.connect fd addr with
+      | () ->
+          t.fd <- Some fd;
+          t.residue <- "";
+          t.dials <- t.dials + 1;
+          fd
+      | exception Unix.Unix_error (err, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise
+            (Fail
+               (Transport
+                  (Printf.sprintf "connect %s:%d: %s" t.host t.port
+                     (Unix.error_message err)))))
+
+(* Timeout/Transport failures leave the stream position unknown (a reply
+   may arrive later and would desync the next call), so both tear the
+   connection down; the next request re-dials. *)
+let fail_close t e =
+  close t;
+  raise (Fail e)
+
+let send_all t fd line =
+  let payload = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length payload in
+  let rec go off =
+    if off < len then
+      match Unix.write fd payload off (len - off) with
+      | 0 -> fail_close t (Transport "connection closed while sending")
+      | n -> go (off + n)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+      | exception Unix.Unix_error (err, _, _) ->
+          fail_close t
+            (Transport (Printf.sprintf "send: %s" (Unix.error_message err)))
+  in
+  go 0
+
+let take_line t =
+  match String.index_opt t.residue '\n' with
+  | None -> None
+  | Some i ->
+      let line = String.sub t.residue 0 i in
+      t.residue <-
+        String.sub t.residue (i + 1) (String.length t.residue - i - 1);
+      Some line
+
+let recv_line t fd ~deadline =
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match take_line t with
+    | Some line -> line
+    | None ->
+        let remaining =
+          match deadline with
+          | None -> 0.0 (* SO_RCVTIMEO 0 = block indefinitely *)
+          | Some d ->
+              let r = d -. Timer.now () in
+              if r <= 0.0 then
+                fail_close t (Timeout "deadline expired awaiting response")
+              else r
+        in
+        Unix.setsockopt_float fd SO_RCVTIMEO remaining;
+        (match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> fail_close t (Transport "connection closed by server")
+        | n -> t.residue <- t.residue ^ Bytes.sub_string chunk 0 n
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+            fail_close t (Timeout "deadline expired awaiting response")
+        | exception Unix.Unix_error (err, _, _) ->
+            fail_close t
+              (Transport (Printf.sprintf "recv: %s" (Unix.error_message err))));
+        go ()
+  in
+  go ()
+
+let deadline_of t deadline_ms =
+  match
+    match deadline_ms with Some _ -> deadline_ms | None -> t.default_deadline_ms
+  with
+  | None -> None
+  | Some ms -> Some (Timer.now () +. (float_of_int ms /. 1000.0))
+
+let attempt t ~deadline line =
+  match
+    let fd = ensure_connected t in
+    send_all t fd line;
+    recv_line t fd ~deadline
+  with
+  | raw -> Ok raw
+  | exception Fail e -> Error e
+
+let round_trip t ?deadline_ms line =
+  attempt t ~deadline:(deadline_of t deadline_ms) line
+
+let call_line t ?deadline_ms line =
+  let deadline = deadline_of t deadline_ms in
+  Backoff.run t.policy ~rng:t.rng ~now:Timer.now
+    ~sleep:(fun s -> if s > 0.0 then Unix.sleepf s)
+    ?deadline ~retryable
+    ~on_deadline:(fun e ->
+      Timeout
+        (Printf.sprintf "deadline expired during retry backoff (last: %s)"
+           (error_to_string e)))
+    (fun ~attempt:_ ->
+      match attempt t ~deadline line with
+      | Ok raw -> classify_response raw
+      | Error _ as e -> e)
+
+let call t ?id ?timeout_ms ?trace ?deadline_ms ~meth ?params () =
+  call_line t ?deadline_ms (request_line ?id ?timeout_ms ?trace ~meth ?params ())

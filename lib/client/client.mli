@@ -1,0 +1,124 @@
+(** Reconnecting TCP client for the [tlp.rpc/v1] partition service.
+
+    One {!t} owns (at most) one connection and reuses it across
+    requests; it dials lazily on the first call and re-dials after any
+    transport failure.  Requests are strictly sequential per client —
+    one in flight at a time — so responses correlate positionally and a
+    read never consumes another request's reply.  A client is {e not}
+    thread-safe: give each worker thread/domain its own (the load
+    generator does exactly that).
+
+    Failures are classified structurally ({!error}) so retry policy is
+    data: {!retryable} says which classes a {!call} may retry
+    ([Overloaded] backpressure and [Transport] faults), and the
+    schedule comes from a {!Backoff.policy} with deterministic jitter
+    drawn from the client's [Rng] stream.  Per-request deadlines bound
+    the {e whole} call — connect, send, await, and every backoff sleep;
+    a deadline that would be crossed by the next backoff returns
+    [Timeout] immediately instead of sleeping through it. *)
+
+type error =
+  | Overloaded of string
+      (** the server shed the request ([overloaded] wire error); it was
+          not executed — safe to retry after backoff *)
+  | Timeout of string
+      (** a deadline expired: the server's ([timeout] wire error), or
+          the client's while awaiting a response or between retries *)
+  | Transport of string
+      (** socket-level failure: connect refused, reset, unexpected EOF.
+          The connection is closed; the next call re-dials.  Retrying
+          may re-execute a request the server already started. *)
+  | Bad_response of string
+      (** the server's bytes violate the protocol (unparseable JSON,
+          wrong schema, missing fields).  Never retried: a peer that
+          mangles frames will mangle the retry too. *)
+  | Rpc_error of { code : string; message : string }
+      (** any other structured wire error ([bad_request], [internal]);
+          retrying an unchanged request would fail identically *)
+
+val error_to_string : error -> string
+(** One-line rendering for logs and CLI diagnostics. *)
+
+val retryable : error -> bool
+(** [true] exactly for [Overloaded _] and [Transport _]. *)
+
+type response = {
+  id : Tlp_util.Json_out.t;  (** echoed request id *)
+  result : Tlp_util.Json_out.t;  (** the [result] member *)
+  trace : Tlp_util.Json_out.t option;
+      (** the [trace] member when the request asked for one *)
+  raw : string;  (** the response line verbatim *)
+}
+
+val request_line :
+  ?id:Tlp_util.Json_out.t ->
+  ?timeout_ms:int ->
+  ?trace:bool ->
+  meth:string ->
+  ?params:Tlp_util.Json_out.t ->
+  unit ->
+  string
+(** Render one request frame (no trailing newline).  Field order is
+    fixed ([id], [method], [timeout_ms], [trace], [params]; absent
+    options are omitted), so the same arguments always produce the same
+    bytes — the load generator's replay digests rely on this. *)
+
+val classify_response : string -> (response, error) result
+(** Interpret one response line against the protocol: [ok:true]
+    becomes a {!response}, wire errors map to {!error} constructors
+    ([overloaded] → [Overloaded], [timeout] → [Timeout], the rest →
+    [Rpc_error]), and anything structurally off is [Bad_response]. *)
+
+type t
+
+val create :
+  ?host:string ->
+  ?port:int ->
+  ?policy:Backoff.policy ->
+  ?default_deadline_ms:int ->
+  rng:Tlp_util.Rng.t ->
+  unit ->
+  t
+(** A client for [host:port] (default [127.0.0.1:7171]).  Nothing is
+    dialed until the first request.  [rng] feeds backoff jitter only —
+    it never influences request contents.  [default_deadline_ms]
+    applies to calls that pass no explicit deadline ([None] = wait
+    forever). *)
+
+val close : t -> unit
+(** Drop the connection (if any).  The client remains usable: the next
+    request re-dials. *)
+
+val is_connected : t -> bool
+
+val connections : t -> int
+(** Number of dials performed so far — the connection-reuse
+    observability hook (N sequential calls on a healthy server leave
+    this at 1). *)
+
+val round_trip : t -> ?deadline_ms:int -> string -> (string, error) result
+(** [round_trip t line] sends one frame line and returns the raw
+    response line, verbatim.  Single attempt: no parsing, no retry —
+    errors are only [Timeout]/[Transport].  This is the scripted-client
+    primitive ([tlp_serve call]) where responses must be echoed byte
+    for byte, protocol errors included. *)
+
+val call_line : t -> ?deadline_ms:int -> string -> (response, error) result
+(** [round_trip] plus {!classify_response} plus retries: {!retryable}
+    failures are re-attempted on the client's {!Backoff.policy} (with
+    reconnect after transport faults) until the budget or the deadline
+    runs out.  The deadline covers all attempts and sleeps. *)
+
+val call :
+  t ->
+  ?id:Tlp_util.Json_out.t ->
+  ?timeout_ms:int ->
+  ?trace:bool ->
+  ?deadline_ms:int ->
+  meth:string ->
+  ?params:Tlp_util.Json_out.t ->
+  unit ->
+  (response, error) result
+(** Convenience: {!request_line} then {!call_line}.  [timeout_ms] is
+    the {e server-side} queue deadline carried in the frame;
+    [deadline_ms] is the {e client-side} end-to-end bound. *)

@@ -1,0 +1,165 @@
+module Histogram = Tlp_util.Histogram
+module Rng = Tlp_util.Rng
+module Timer = Tlp_util.Timer
+module Backoff = Tlp_client.Backoff
+module Client = Tlp_client.Client
+module Pool = Tlp_engine.Pool
+
+type counts = {
+  ok : int;
+  overloaded : int;
+  timeout : int;
+  transport : int;
+  bad_response : int;
+  rpc_error : int;
+}
+
+let zero_counts =
+  {
+    ok = 0;
+    overloaded = 0;
+    timeout = 0;
+    transport = 0;
+    bad_response = 0;
+    rpc_error = 0;
+  }
+
+let total c =
+  c.ok + c.overloaded + c.timeout + c.transport + c.bad_response + c.rpc_error
+
+let add_counts a b =
+  {
+    ok = a.ok + b.ok;
+    overloaded = a.overloaded + b.overloaded;
+    timeout = a.timeout + b.timeout;
+    transport = a.transport + b.transport;
+    bad_response = a.bad_response + b.bad_response;
+    rpc_error = a.rpc_error + b.rpc_error;
+  }
+
+type result = {
+  plan : Workload.plan;
+  duration_s : float;
+  counts : counts;
+  latency_us : Histogram.t;
+  per_method : (string * Histogram.t) list;
+  connections : int;
+  traced : int;
+  failures : (int * string) list;
+}
+
+type worker_tally = {
+  mutable w_counts : counts;
+  w_latency : Histogram.t;
+  w_methods : (string * Histogram.t) list;
+  mutable w_traced : int;
+  mutable w_failures : (int * string) list;  (** newest first *)
+}
+
+let max_failures = 16
+
+let record tally (op : Workload.op) latency_us outcome =
+  Histogram.add tally.w_latency latency_us;
+  (match List.assoc_opt op.meth tally.w_methods with
+  | Some h -> Histogram.add h latency_us
+  | None -> ());
+  let c = tally.w_counts in
+  match outcome with
+  | Ok (r : Client.response) ->
+      tally.w_counts <- { c with ok = c.ok + 1 };
+      if r.trace <> None then tally.w_traced <- tally.w_traced + 1
+  | Error e ->
+      tally.w_counts <-
+        (match e with
+        | Client.Overloaded _ -> { c with overloaded = c.overloaded + 1 }
+        | Client.Timeout _ -> { c with timeout = c.timeout + 1 }
+        | Client.Transport _ -> { c with transport = c.transport + 1 }
+        | Client.Bad_response _ -> { c with bad_response = c.bad_response + 1 }
+        | Client.Rpc_error _ -> { c with rpc_error = c.rpc_error + 1 });
+      if List.length tally.w_failures < max_failures then
+        tally.w_failures <-
+          (op.seq, Client.error_to_string e) :: tally.w_failures
+
+let run ?(policy = Backoff.default) ?(host = "127.0.0.1")
+    ?(deadline_ms = 30_000) ~port plan =
+  let config = plan.Workload.config in
+  (* Jitter streams: decorrelated from the plan's streams (which hang
+     off [seed] directly) by folding in a fixed salt. *)
+  let jitter_rngs =
+    Rng.split_n (Rng.create (config.seed lxor 0x6c6f6164)) config.workers
+  in
+  let methods = List.map fst (Workload.method_counts plan) in
+  let t0 = Timer.now () in
+  let work w =
+    let client = Client.create ~host ~port ~policy ~rng:jitter_rngs.(w) () in
+    let tally =
+      {
+        w_counts = zero_counts;
+        w_latency = Histogram.create ();
+        w_methods = List.map (fun m -> (m, Histogram.create ())) methods;
+        w_traced = 0;
+        w_failures = [];
+      }
+    in
+    Array.iter
+      (fun (op : Workload.op) ->
+        (if op.at_s > 0.0 then
+           let wait = t0 +. op.at_s -. Timer.now () in
+           if wait > 0.0 then Unix.sleepf wait);
+        let t_send = Timer.now () in
+        let outcome = Client.call_line client ~deadline_ms op.line in
+        let latency_us =
+          int_of_float ((Timer.now () -. t_send) *. 1_000_000.0)
+        in
+        record tally op latency_us outcome)
+      plan.Workload.per_worker.(w);
+    let connections = Client.connections client in
+    Client.close client;
+    (tally, connections)
+  in
+  let tallies =
+    Pool.with_pool ~jobs:config.workers (fun pool ->
+        Pool.parallel_map pool work (Array.init config.workers Fun.id))
+  in
+  let duration_s = Timer.now () -. t0 in
+  (* Merge strictly in worker-index order: the aggregate is a pure
+     function of the per-worker tallies, never of domain scheduling. *)
+  let counts =
+    Array.fold_left
+      (fun acc (t, _) -> add_counts acc t.w_counts)
+      zero_counts tallies
+  in
+  let merge_field f =
+    Array.fold_left
+      (fun acc (t, _) -> Histogram.merge acc (f t))
+      (Histogram.create ()) tallies
+  in
+  let latency_us = merge_field (fun t -> t.w_latency) in
+  let per_method =
+    List.map
+      (fun m ->
+        ( m,
+          merge_field (fun t ->
+              Option.value
+                (List.assoc_opt m t.w_methods)
+                ~default:(Histogram.create ())) ))
+      methods
+  in
+  let connections = Array.fold_left (fun acc (_, c) -> acc + c) 0 tallies in
+  let traced = Array.fold_left (fun acc (t, _) -> acc + t.w_traced) 0 tallies in
+  let failures =
+    Array.fold_left
+      (fun acc (t, _) -> acc @ List.rev t.w_failures)
+      [] tallies
+    |> fun l -> List.filteri (fun i _ -> i < max_failures) l
+  in
+  {
+    plan;
+    duration_s;
+    counts;
+    latency_us;
+    per_method;
+    connections;
+    traced;
+    failures;
+  }

@@ -1,0 +1,47 @@
+(** Execute a {!Workload.plan} against a live server.
+
+    One client per worker, workers on separate {!Tlp_engine.Pool}
+    domains, each replaying exactly its slice of the plan — the runner
+    adds no randomness of its own (client backoff jitter draws from
+    streams split off the plan seed).  Latencies are recorded into
+    per-worker {!Tlp_util.Histogram}s and merged in worker order, so
+    the aggregate's structure is independent of scheduling. *)
+
+type counts = {
+  ok : int;
+  overloaded : int;  (** [overloaded] wire errors that survived retries *)
+  timeout : int;  (** server or client deadline expiries *)
+  transport : int;  (** socket-level failures that survived retries *)
+  bad_response : int;  (** protocol violations in server bytes *)
+  rpc_error : int;  (** other structured wire errors *)
+}
+
+val total : counts -> int
+
+type result = {
+  plan : Workload.plan;
+  duration_s : float;  (** wall time of the whole run *)
+  counts : counts;
+  latency_us : Tlp_util.Histogram.t;
+      (** per-request round-trip latency, microseconds, all methods *)
+  per_method : (string * Tlp_util.Histogram.t) list;
+      (** latency split by method, in {!Workload.method_counts} order *)
+  connections : int;  (** dials summed over workers; healthy = workers *)
+  traced : int;  (** ok responses that carried a [trace] object *)
+  failures : (int * string) list;
+      (** (sequence number, error) of failed requests, first 16 in
+          worker-major order — enough to diagnose a red CI run *)
+}
+
+val run :
+  ?policy:Tlp_client.Backoff.policy ->
+  ?host:string ->
+  ?deadline_ms:int ->
+  port:int ->
+  Workload.plan ->
+  result
+(** Drive the plan.  [deadline_ms] (default [30_000]) is the
+    client-side end-to-end bound per request, covering retries — it
+    keeps a wedged server from hanging a CI job.  Open-loop plans sleep
+    each request until its arrival offset from run start; closed-loop
+    plans fire back to back. *)

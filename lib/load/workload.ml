@@ -1,0 +1,186 @@
+module Json = Tlp_util.Json_out
+module Rng = Tlp_util.Rng
+module Chain = Tlp_graph.Chain
+module Chain_gen = Tlp_graph.Chain_gen
+module Client = Tlp_client.Client
+
+type arrival = Closed | Fixed_rate of float | Poisson of float
+
+type mix = { partition : int; sweep : int; verify : int }
+
+let default_mix = { partition = 6; sweep = 3; verify = 1 }
+
+type config = {
+  seed : int;
+  workers : int;
+  requests : int;
+  arrival : arrival;
+  mix : mix;
+  corpus : int;
+  chain_n : int;
+  max_weight : int;
+  timeout_ms : int option;
+  trace_every : int;
+}
+
+let default_config =
+  {
+    seed = 1;
+    workers = 2;
+    requests = 100;
+    arrival = Closed;
+    mix = default_mix;
+    corpus = 8;
+    chain_n = 64;
+    max_weight = 20;
+    timeout_ms = None;
+    trace_every = 0;
+  }
+
+type op = { seq : int; meth : string; line : string; at_s : float }
+
+type plan = { config : config; per_worker : op array array }
+
+let check config =
+  let require cond fmt =
+    Printf.ksprintf
+      (fun m -> if not cond then invalid_arg ("Workload.plan: " ^ m))
+      fmt
+  in
+  require (config.workers >= 1) "workers must be >= 1";
+  require (config.requests >= 1) "requests must be >= 1";
+  require (config.corpus >= 1) "corpus must be >= 1";
+  require (config.chain_n >= 2) "chain_n must be >= 2";
+  require (config.max_weight >= 1) "max_weight must be >= 1";
+  require
+    (config.mix.partition >= 0 && config.mix.sweep >= 0
+    && config.mix.verify >= 0
+    && config.mix.partition + config.mix.sweep + config.mix.verify > 0)
+    "mix weights must be non-negative with a positive sum";
+  require (config.trace_every >= 0) "trace_every must be >= 0";
+  (match config.timeout_ms with
+  | Some ms -> require (ms > 0) "timeout_ms must be positive"
+  | None -> ());
+  match config.arrival with
+  | Closed -> ()
+  | Fixed_rate r | Poisson r -> require (r > 0.0) "arrival rate must be > 0"
+
+let json_ints a = Json.List (Array.to_list (Array.map (fun x -> Json.Int x) a))
+
+let chain_params chain =
+  [
+    ("kind", Json.String "chain");
+    ("alpha", json_ints chain.Chain.alpha);
+    ("beta", json_ints chain.Chain.beta);
+  ]
+
+(* Draw a capacity in [max_alpha, total_weight]: always a solvable
+   bound, so a well-formed plan produces only [ok] responses. *)
+let draw_k rng chain =
+  Rng.int_in rng (Chain.max_alpha chain) (Chain.total_weight chain)
+
+let draw_params gen mix corpus =
+  let pick = Rng.int gen (mix.partition + mix.sweep + mix.verify) in
+  if pick < mix.partition then
+    let chain = Rng.choose gen corpus in
+    let algorithm =
+      Rng.choose gen [| "bandwidth"; "bottleneck"; "procmin"; "pipeline" |]
+    in
+    ( "partition",
+      Json.Obj
+        [
+          ("instance", Json.Obj (chain_params chain));
+          ("k", Json.Int (draw_k gen chain));
+          ("algorithm", Json.String algorithm);
+        ] )
+  else if pick < mix.partition + mix.sweep then
+    let chain = Rng.choose gen corpus in
+    let ks =
+      List.init 3 (fun _ -> draw_k gen chain)
+      |> List.sort_uniq Stdlib.compare
+    in
+    let algorithm = Rng.choose gen [| "hitting"; "deque" |] in
+    ( "sweep",
+      Json.Obj
+        [
+          ("instance", Json.Obj (chain_params chain));
+          ("k_values", Json.List (List.map (fun k -> Json.Int k) ks));
+          ("algorithm", Json.String algorithm);
+        ] )
+  else
+    ( "verify",
+      Json.Obj
+        [
+          ("rounds", Json.Int (Rng.int_in gen 5 25));
+          ("seed", Json.Int (Rng.int gen 1_000_000));
+        ] )
+
+let plan config =
+  check config;
+  let master = Rng.create config.seed in
+  let corpus_rng = Rng.split master in
+  let gen = Rng.split master in
+  let arr = Rng.split master in
+  let corpus =
+    Array.init config.corpus (fun _ ->
+        Chain_gen.figure2 corpus_rng ~n:config.chain_n
+          ~max_weight:config.max_weight)
+  in
+  (* Arrival offsets of the single global process, one per request. *)
+  let arrivals =
+    match config.arrival with
+    | Closed -> Array.make config.requests 0.0
+    | Fixed_rate rate ->
+        Array.init config.requests (fun i -> float_of_int i /. rate)
+    | Poisson rate ->
+        let t = ref 0.0 in
+        Array.init config.requests (fun _ ->
+            t := !t +. Rng.exponential arr (1.0 /. rate);
+            !t)
+  in
+  let make seq =
+    let meth, params = draw_params gen config.mix corpus in
+    let trace = config.trace_every > 0 && seq mod config.trace_every = 0 in
+    let line =
+      Client.request_line ~id:(Json.Int seq) ?timeout_ms:config.timeout_ms
+        ~trace ~meth ~params ()
+    in
+    { seq; meth; line; at_s = arrivals.(seq) }
+  in
+  let all = Array.init config.requests make in
+  let per_worker =
+    Array.init config.workers (fun w ->
+        Array.of_list
+          (List.filter
+             (fun op -> op.seq mod config.workers = w)
+             (Array.to_list all)))
+  in
+  { config; per_worker }
+
+let ops plan =
+  let all = Array.concat (Array.to_list plan.per_worker) in
+  Array.sort (fun a b -> Stdlib.compare a.seq b.seq) all;
+  all
+
+let sequence_digest plan =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun worker_ops ->
+      Array.iter
+        (fun op ->
+          Buffer.add_string buf op.line;
+          Buffer.add_char buf '\n')
+        worker_ops)
+    plan.per_worker;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let method_counts plan =
+  let count m =
+    Array.fold_left
+      (fun acc worker_ops ->
+        Array.fold_left
+          (fun acc op -> if op.meth = m then acc + 1 else acc)
+          acc worker_ops)
+      0 plan.per_worker
+  in
+  List.map (fun m -> (m, count m)) [ "partition"; "sweep"; "verify" ]

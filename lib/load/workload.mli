@@ -1,0 +1,79 @@
+(** Deterministic workload plans for the [tlp.rpc/v1] load generator.
+
+    A {!plan} is a pure function of its {!config}: every request line,
+    arrival offset, and worker assignment is derived from the seed
+    through split [Tlp_util.Rng] streams, so the same config replays
+    byte-identically — {!sequence_digest} is the replay check CI runs
+    twice and compares.  Planning never touches the network or the
+    clock; the runner only executes what the plan spells out. *)
+
+(** Arrival discipline. [Closed]: each worker fires its next request as
+    soon as the previous response lands (arrival offsets all 0).
+    [Fixed_rate r] / [Poisson r]: open loop — requests are stamped with
+    arrival offsets of a global [r]-requests-per-second process
+    (evenly spaced, resp. exponential interarrivals) and sent at those
+    offsets regardless of completions. *)
+type arrival = Closed | Fixed_rate of float | Poisson of float
+
+type mix = {
+  partition : int;  (** weight of [partition] requests *)
+  sweep : int;  (** weight of [sweep] requests *)
+  verify : int;  (** weight of [verify] requests *)
+}
+(** Relative method weights; each request's method is drawn with these
+    odds.  Weights must be non-negative with a positive sum. *)
+
+val default_mix : mix
+(** [6 : 3 : 1] partition : sweep : verify. *)
+
+type config = {
+  seed : int;
+  workers : int;  (** concurrent client workers, [>= 1] *)
+  requests : int;  (** total requests across all workers, [>= 1] *)
+  arrival : arrival;
+  mix : mix;
+  corpus : int;  (** distinct generated instances to draw from, [>= 1] *)
+  chain_n : int;  (** vertices per corpus chain, [>= 2] *)
+  max_weight : int;  (** weight bound of corpus chains, [>= 1] *)
+  timeout_ms : int option;  (** server-side deadline put in each frame *)
+  trace_every : int;
+      (** request every Nth request (by global sequence number) with
+          [trace: true]; [0] disables tracing *)
+}
+
+val default_config : config
+(** Seed 1, 2 workers, 100 closed-loop requests, {!default_mix}, corpus
+    of 8 chains with 64 vertices and weights [<= 20], no timeout, no
+    tracing. *)
+
+type op = {
+  seq : int;  (** global sequence number, [0 ..] *)
+  meth : string;  (** wire method of the frame *)
+  line : string;  (** the complete request frame, no newline *)
+  at_s : float;  (** arrival offset from run start; [0.] in closed loop *)
+}
+
+type plan = private {
+  config : config;
+  per_worker : op array array;
+      (** [per_worker.(w)] is worker [w]'s send sequence; requests are
+          dealt round-robin, so [op.seq mod workers = w] *)
+}
+
+val plan : config -> plan
+(** Build the full plan.  Raises [Invalid_argument] on out-of-range
+    config fields.  Corpus instances are generated first from their own
+    split stream, then request contents from a second stream and
+    arrival times from a third — so e.g. changing the arrival mode
+    never changes the request bytes. *)
+
+val ops : plan -> op array
+(** All operations in global sequence order. *)
+
+val sequence_digest : plan -> string
+(** Hex MD5 over the request lines in worker-major order (all of worker
+    0's lines, then worker 1's, ...).  Two plans with equal digests send
+    identical bytes from identical workers. *)
+
+val method_counts : plan -> (string * int) list
+(** Requests per method, in [partition], [sweep], [verify] order. *)

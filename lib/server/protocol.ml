@@ -44,7 +44,12 @@ type request =
   | Health
   | Sleep of { ms : int }
 
-type frame = { id : Json.t; request : request; timeout_ms : int option }
+type frame = {
+  id : Json.t;
+  request : request;
+  timeout_ms : int option;
+  trace : bool;
+}
 
 let method_name = function
   | Partition _ -> "partition"
@@ -233,7 +238,13 @@ let parse_frame line =
           | None -> None
           | Some v -> Some (positive "timeout_ms" (as_int "timeout_ms" v))
         in
-        { id; request = parse_request meth params; timeout_ms }
+        let trace =
+          match field "trace" fields with
+          | None -> false
+          | Some (Json.Bool b) -> b
+          | Some _ -> reject "field \"trace\" must be a boolean"
+        in
+        { id; request = parse_request meth params; timeout_ms; trace }
       with
       | frame -> Ok frame
       | exception Reject err -> Error (id, err))
@@ -256,6 +267,12 @@ let render_ok ~id ~result =
   (* The result is spliced in pre-rendered so cache hits replay the
      stored bytes verbatim. *)
   Printf.sprintf "%s,\"ok\":true,\"result\":%s}" (envelope_prefix id) result
+
+let render_ok_traced ~id ~result ~trace =
+  (* Same envelope with the trace appended after the result, so turning
+     tracing on never perturbs the result bytes themselves. *)
+  Printf.sprintf "%s,\"ok\":true,\"result\":%s,\"trace\":%s}"
+    (envelope_prefix id) result (Json.to_string trace)
 
 let render_error ~id { code; message } =
   Printf.sprintf "%s,\"ok\":false,\"error\":%s}" (envelope_prefix id)

@@ -56,6 +56,13 @@ type frame = {
   request : request;
   timeout_ms : int option;
       (** Per-request deadline override, milliseconds from admission. *)
+  trace : bool;
+      (** [true] when the frame carried a true [trace] field: the
+          server assigns a request id, spans the request's lifecycle,
+          attaches a [trace] object to the success envelope, and
+          records the request in the [stats]-reported slow ring.
+          Defaults to [false], which leaves every emitted byte
+          identical to a server without tracing. *)
 }
 
 val method_name : request -> string
@@ -83,5 +90,14 @@ val render_ok : id:Tlp_util.Json_out.t -> result:string -> string
 (** Response envelope around a {e pre-rendered} result value.  Taking
     the result as bytes (not a tree) is what lets a cache hit replay the
     stored rendering verbatim.  No trailing newline. *)
+
+val render_ok_traced :
+  id:Tlp_util.Json_out.t ->
+  result:string ->
+  trace:Tlp_util.Json_out.t ->
+  string
+(** {!render_ok} with a [trace] member appended after [result] — the
+    result bytes are spliced unchanged, so a traced response differs
+    from the untraced one only by the appended trace object. *)
 
 val render_error : id:Tlp_util.Json_out.t -> error -> string

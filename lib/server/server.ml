@@ -29,13 +29,17 @@ let default_config =
   }
 
 (* A job is an admitted frame plus everything needed to answer it from a
-   worker thread: the absolute deadline and the connection's serialized
-   reply writer. *)
+   worker thread: the absolute deadline, the connection's serialized
+   reply writer, and (for tracing) the server-assigned request id and
+   the accept/enqueue timestamps. *)
 type job = {
   frame : Protocol.frame;
   deadline : float option;
   reply : string -> unit;
   rng : Tlp_util.Rng.t;
+  request_id : int;
+  t_accept : float;  (* read off the socket, before parsing *)
+  t_queued : float;  (* pushed onto the admission queue *)
 }
 
 type t = {
@@ -63,6 +67,68 @@ let send_error t ~reply ~id err =
         ~code:(Protocol.error_code_string err.Protocol.code));
   reply (Protocol.render_error ~id err)
 
+(* ---------- tracing ---------- *)
+
+let ms a b = (b -. a) *. 1000.0
+
+(* Render the outcome into a response line, write it, and — when the
+   frame asked for a trace — append the full span log to the slow ring.
+   Success envelopes additionally carry the spans known at render time
+   (accept/queue/solve); render and write can only land in the ring,
+   since the response bytes are already fixed when they complete.
+   Untraced requests take the [None] branch of every decision here, so
+   their bytes are exactly the pre-tracing rendering. *)
+let finish t job ~t_dispatch outcome =
+  let frame = job.frame in
+  let t_solved = Timer.now () in
+  let line, ok =
+    match outcome with
+    | Ok result ->
+        let line =
+          if frame.Protocol.trace then
+            let trace =
+              Json.Obj
+                [
+                  ("request_id", Json.Int job.request_id);
+                  ( "spans",
+                    Json.Obj
+                      [
+                        ("accept_ms", Json.Float (ms job.t_accept job.t_queued));
+                        ("queue_ms", Json.Float (ms job.t_queued t_dispatch));
+                        ("solve_ms", Json.Float (ms t_dispatch t_solved));
+                      ] );
+                ]
+            in
+            Protocol.render_ok_traced ~id:frame.Protocol.id ~result ~trace
+          else Protocol.render_ok ~id:frame.Protocol.id ~result
+        in
+        (line, true)
+    | Error err ->
+        State.with_lock t.server_state (fun () ->
+            State.record_error t.server_state
+              ~code:(Protocol.error_code_string err.Protocol.code));
+        (Protocol.render_error ~id:frame.Protocol.id err, false)
+  in
+  let t_rendered = Timer.now () in
+  job.reply line;
+  if frame.Protocol.trace then begin
+    let t_written = Timer.now () in
+    State.with_lock t.server_state (fun () ->
+        State.record_trace t.server_state
+          {
+            State.request_id = job.request_id;
+            client_id = frame.Protocol.id;
+            meth = Protocol.method_name frame.Protocol.request;
+            ok;
+            accept_ms = ms job.t_accept job.t_queued;
+            queue_ms = ms job.t_queued t_dispatch;
+            solve_ms = ms t_dispatch t_solved;
+            render_ms = ms t_solved t_rendered;
+            write_ms = ms t_rendered t_written;
+            total_ms = ms job.t_accept t_written;
+          })
+  end
+
 (* ---------- worker threads ---------- *)
 
 (* Run the handler on a pool domain (single-item parallel_map: the
@@ -71,6 +137,7 @@ let send_error t ~reply ~id err =
    server sink after the join — the same single-writer discipline as
    Batch.solve_batch. *)
 let execute t job =
+  let t_dispatch = Timer.now () in
   let request_metrics = Metrics.create () in
   let outcome =
     (Pool.parallel_map t.pool
@@ -88,10 +155,7 @@ let execute t job =
   in
   State.with_lock t.server_state (fun () ->
       State.merge_request_metrics t.server_state request_metrics);
-  match outcome with
-  | Ok result ->
-      job.reply (Protocol.render_ok ~id:job.frame.Protocol.id ~result)
-  | Error err -> send_error t ~reply:job.reply ~id:job.frame.Protocol.id err
+  finish t job ~t_dispatch outcome
 
 let worker_loop t =
   let rec loop () =
@@ -100,8 +164,8 @@ let worker_loop t =
     | Some job ->
         (match job.deadline with
         | Some d when Timer.now () > d ->
-            send_error t ~reply:job.reply ~id:job.frame.Protocol.id
-              (Protocol.timeout "deadline expired while queued")
+            finish t job ~t_dispatch:(Timer.now ())
+              (Error (Protocol.timeout "deadline expired while queued"))
         | _ -> execute t job);
         loop ()
   in
@@ -150,29 +214,39 @@ let job_reply conn line =
   Mutex.unlock conn.inflight_mutex
 
 let handle_line t conn line =
-  if String.trim line <> "" then
+  if String.trim line <> "" then begin
+    let t_accept = Timer.now () in
     match Protocol.parse_frame line with
     | Error (id, err) -> send_error t ~reply:(conn_reply conn) ~id err
     | Ok frame ->
         let request = frame.Protocol.request in
-        State.with_lock t.server_state (fun () ->
-            State.record_request t.server_state
-              ~meth:(Protocol.method_name request));
+        let request_id =
+          State.with_lock t.server_state (fun () ->
+              State.record_request t.server_state
+                ~meth:(Protocol.method_name request))
+        in
         if control_plane request then begin
           let metrics = Metrics.create () in
           let rng = State.with_lock t.server_state (fun () ->
               State.next_rng t.server_state)
           in
-          match
-            Handler.handle ~state:t.server_state
-              ~queue_depth:(fun () -> Admission.length t.queue)
-              ~debug:t.config.enable_debug ~rng ~metrics request
-          with
-          | Ok result ->
-              conn_reply conn
-                (Protocol.render_ok ~id:frame.Protocol.id ~result)
-          | Error err ->
-              send_error t ~reply:(conn_reply conn) ~id:frame.Protocol.id err
+          (* Answered inline: queue time is zero by construction. *)
+          let t_queued = Timer.now () in
+          let job =
+            {
+              frame;
+              deadline = None;
+              reply = conn_reply conn;
+              rng;
+              request_id;
+              t_accept;
+              t_queued;
+            }
+          in
+          finish t job ~t_dispatch:t_queued
+            (Handler.handle ~state:t.server_state
+               ~queue_depth:(fun () -> Admission.length t.queue)
+               ~debug:t.config.enable_debug ~rng ~metrics request)
         end
         else if Atomic.get t.stop_flag then
           send_error t ~reply:(conn_reply conn) ~id:frame.Protocol.id
@@ -191,7 +265,17 @@ let handle_line t conn line =
           let rng = State.with_lock t.server_state (fun () ->
               State.next_rng t.server_state)
           in
-          let job = { frame; deadline; reply = job_reply conn; rng } in
+          let job =
+            {
+              frame;
+              deadline;
+              reply = job_reply conn;
+              rng;
+              request_id;
+              t_accept;
+              t_queued = Timer.now ();
+            }
+          in
           Mutex.lock conn.inflight_mutex;
           conn.inflight <- conn.inflight + 1;
           Mutex.unlock conn.inflight_mutex;
@@ -208,6 +292,7 @@ let handle_line t conn line =
                   else "admission queue full"))
           end
         end
+  end
 
 let drain_inflight conn =
   Mutex.lock conn.inflight_mutex;

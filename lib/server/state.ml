@@ -3,6 +3,21 @@ module Rng = Tlp_util.Rng
 module Json = Tlp_util.Json_out
 module Timer = Tlp_util.Timer
 
+type trace_entry = {
+  request_id : int;
+  client_id : Json.t;
+  meth : string;
+  ok : bool;
+  accept_ms : float;
+  queue_ms : float;
+  solve_ms : float;
+  render_ms : float;
+  write_ms : float;
+  total_ms : float;
+}
+
+let slow_ring_capacity = 16
+
 type t = {
   mutex : Mutex.t;
   cache : Cache.t;
@@ -12,6 +27,8 @@ type t = {
   rng : Rng.t;  (* master generator; split under the lock per request *)
   requests : (string, int) Hashtbl.t;  (* wire method -> count *)
   errors : (string, int) Hashtbl.t;  (* error code -> count *)
+  mutable request_serial : int;  (* server-assigned per-request id *)
+  slow_ring : trace_entry Queue.t;  (* last <= 16 traced requests *)
 }
 
 let create ~cache_capacity ~queue_capacity ~seed () =
@@ -24,6 +41,8 @@ let create ~cache_capacity ~queue_capacity ~seed () =
     rng = Rng.create seed;
     requests = Hashtbl.create 8;
     errors = Hashtbl.create 8;
+    request_serial = 0;
+    slow_ring = Queue.create ();
   }
 
 let with_lock t f =
@@ -41,14 +60,42 @@ let bump table key =
   Hashtbl.replace table key
     (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
 
-let record_request t ~meth = bump t.requests meth
+let record_request t ~meth =
+  bump t.requests meth;
+  t.request_serial <- t.request_serial + 1;
+  t.request_serial
+
 let record_error t ~code = bump t.errors code
+
+let record_trace t entry =
+  Queue.push entry t.slow_ring;
+  if Queue.length t.slow_ring > slow_ring_capacity then
+    ignore (Queue.pop t.slow_ring)
 
 let merge_request_metrics t request_metrics =
   Metrics.merge t.metrics request_metrics
 
 let sorted_counts table =
   List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+
+let trace_entry_json e =
+  Json.Obj
+    [
+      ("request_id", Json.Int e.request_id);
+      ("id", e.client_id);
+      ("method", Json.String e.meth);
+      ("ok", Json.Bool e.ok);
+      ("total_ms", Json.Float e.total_ms);
+      ( "spans",
+        Json.Obj
+          [
+            ("accept_ms", Json.Float e.accept_ms);
+            ("queue_ms", Json.Float e.queue_ms);
+            ("solve_ms", Json.Float e.solve_ms);
+            ("render_ms", Json.Float e.render_ms);
+            ("write_ms", Json.Float e.write_ms);
+          ] );
+    ]
 
 let snapshot t ~queue_depth ~uptime_s =
   with_lock t (fun () ->
@@ -80,5 +127,11 @@ let snapshot t ~queue_depth ~uptime_s =
                 ("capacity", Json.Int t.queue_capacity);
                 ("depth", Json.Int queue_depth);
               ] );
+          ("queue_depth", Json.Int queue_depth);
+          ( "slow_ring",
+            (* Newest first: the interesting request is the recent one. *)
+            Json.List
+              (Queue.fold (fun acc e -> trace_entry_json e :: acc) []
+                 t.slow_ring) );
           ("metrics", Metrics.to_json t.metrics);
         ])

@@ -22,6 +22,26 @@
 
 type t
 
+type trace_entry = {
+  request_id : int;  (** server-assigned serial from {!record_request} *)
+  client_id : Tlp_util.Json_out.t;  (** the frame's [id], echoed *)
+  meth : string;  (** wire method *)
+  ok : bool;  (** whether the response was [ok:true] *)
+  accept_ms : float;  (** parse + admission, read to queue push *)
+  queue_ms : float;  (** waiting in the admission queue *)
+  solve_ms : float;  (** handler execution (dispatch to result bytes) *)
+  render_ms : float;  (** envelope construction *)
+  write_ms : float;  (** socket write of the response line *)
+  total_ms : float;  (** read to write, end to end *)
+}
+(** One traced request's span log — the full
+    accept [->] queue [->] dispatch [->] solve [->] render [->] write
+    lifecycle.  Only requests that asked [trace:true] are recorded. *)
+
+val slow_ring_capacity : int
+(** Ring bound: the [stats] response reports at most this many recent
+    traced requests (16). *)
+
 val create :
   cache_capacity:int -> queue_capacity:int -> seed:int -> unit -> t
 (** Fresh state; [seed] roots the per-request RNG streams handed to
@@ -46,11 +66,18 @@ val next_rng : t -> Tlp_util.Rng.t
     generator.  Streams are a function of the seed and admission order
     alone, mirroring [Batch.solve_batch]'s split-up-front discipline. *)
 
-val record_request : t -> meth:string -> unit
-(** Count one admitted request under its wire method. *)
+val record_request : t -> meth:string -> int
+(** Count one parsed request under its wire method and return the
+    server-assigned request id (a serial starting at 1).  The serial
+    advances for every request, traced or not, so ids are stable
+    whether or not the client asks for tracing. *)
 
 val record_error : t -> code:string -> unit
 (** Count one error response under its wire code. *)
+
+val record_trace : t -> trace_entry -> unit
+(** Append a traced request to the slow ring, evicting the oldest entry
+    beyond {!slow_ring_capacity}. *)
 
 val merge_request_metrics : t -> Tlp_util.Metrics.t -> unit
 (** Fold a completed request's private sink into the server sink. *)

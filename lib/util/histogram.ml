@@ -1,0 +1,122 @@
+(* HDR-style log-bucketed histogram: unit buckets below 2^sub_bits,
+   then 2^sub_bits linear sub-buckets per power-of-two octave.  All
+   state lives in the record (tlp-lint R1); counts are exact ints, so
+   merge is plain addition — associative and commutative. *)
+
+let sub_bits = 5
+let sub = 1 lsl sub_bits
+
+type t = {
+  mutable counts : int array;  (* bucket index -> count; grown on demand *)
+  mutable total : int;
+  mutable value_sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { counts = Array.make sub 0; total = 0; value_sum = 0; min_v = 0; max_v = 0 }
+
+(* Position of the most significant set bit; [v] must be positive. *)
+let msb v =
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bucket_of v =
+  let v = if v < 0 then 0 else v in
+  if v < sub then v
+  else
+    let m = msb v in
+    ((m - sub_bits + 1) * sub) + ((v lsr (m - sub_bits)) - sub)
+
+let bucket_low b =
+  if b < 0 then invalid_arg "Histogram.bucket_low: negative index";
+  if b < sub then b
+  else
+    let octave = (b / sub) - 1 in
+    let offset = b mod sub in
+    (sub + offset) lsl octave
+
+let bucket_high b = bucket_low (b + 1) - 1
+
+let ensure_capacity t b =
+  let n = Array.length t.counts in
+  if b >= n then begin
+    let grown = Array.make (Stdlib.max (b + 1) (2 * n)) 0 in
+    Array.blit t.counts 0 grown 0 n;
+    t.counts <- grown
+  end
+
+let add t v =
+  let v = if v < 0 then 0 else v in
+  let b = bucket_of v in
+  ensure_capacity t b;
+  t.counts.(b) <- t.counts.(b) + 1;
+  if t.total = 0 then begin
+    t.min_v <- v;
+    t.max_v <- v
+  end
+  else begin
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end;
+  t.total <- t.total + 1;
+  t.value_sum <- t.value_sum + v
+
+let count t = t.total
+let sum t = t.value_sum
+let mean t = if t.total = 0 then 0.0 else float_of_int t.value_sum /. float_of_int t.total
+let min_value t = t.min_v
+let max_value t = t.max_v
+
+let quantile t q =
+  if t.total = 0 then 0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank =
+      Stdlib.min (t.total - 1) (int_of_float (q *. float_of_int t.total))
+    in
+    let n = Array.length t.counts in
+    let rec walk b cum =
+      if b >= n then t.max_v
+      else
+        let cum = cum + t.counts.(b) in
+        if cum > rank then Stdlib.min (bucket_high b) t.max_v
+        else walk (b + 1) cum
+    in
+    walk 0 0
+  end
+
+let buckets t =
+  let acc = ref [] in
+  for b = Array.length t.counts - 1 downto 0 do
+    if t.counts.(b) > 0 then
+      acc := (bucket_low b, bucket_high b, t.counts.(b)) :: !acc
+  done;
+  !acc
+
+let merge a b =
+  let t = create () in
+  let n = Stdlib.max (Array.length a.counts) (Array.length b.counts) in
+  ensure_capacity t (n - 1);
+  let side s =
+    Array.iteri
+      (fun i c -> if c > 0 then t.counts.(i) <- t.counts.(i) + c)
+      s.counts
+  in
+  side a;
+  side b;
+  t.total <- a.total + b.total;
+  t.value_sum <- a.value_sum + b.value_sum;
+  (match (a.total, b.total) with
+  | 0, 0 -> ()
+  | _, 0 ->
+      t.min_v <- a.min_v;
+      t.max_v <- a.max_v
+  | 0, _ ->
+      t.min_v <- b.min_v;
+      t.max_v <- b.max_v
+  | _, _ ->
+      t.min_v <- Stdlib.min a.min_v b.min_v;
+      t.max_v <- Stdlib.max a.max_v b.max_v);
+  t

@@ -1,0 +1,68 @@
+(** Mergeable log-bucketed histogram of non-negative integers.
+
+    The latency-recording structure of the load subsystem: every
+    recorded value lands in exactly one bucket, counts are exact
+    integers (never sampled or decayed), and {!merge} is associative
+    and commutative — so per-worker histograms recorded on separate
+    domains combine into the same aggregate regardless of merge order,
+    matching the determinism discipline of [Tlp_util.Metrics.merge].
+
+    Bucketing is HDR-style: values below [2^5 = 32] get exact unit
+    buckets; above that, each power-of-two octave is divided into 32
+    linear sub-buckets, bounding the relative width of any bucket (and
+    therefore any quantile's error) to about 3%.  Bucket boundaries are
+    a pure function of the value, so two histograms built from the same
+    samples are structurally identical. *)
+
+type t
+
+val create : unit -> t
+(** An empty histogram. *)
+
+val add : t -> int -> unit
+(** [add t v] records one observation.  Negative values are clamped to
+    0 (latencies cannot be negative; clock skew must not crash). *)
+
+val count : t -> int
+(** Number of recorded observations. *)
+
+val sum : t -> int
+(** Sum of recorded (clamped) values. *)
+
+val mean : t -> float
+(** [sum / count]; 0.0 when empty. *)
+
+val min_value : t -> int
+(** Smallest recorded value, exact (not bucket-rounded); 0 when empty. *)
+
+val max_value : t -> int
+(** Largest recorded value, exact; 0 when empty. *)
+
+val bucket_of : int -> int
+(** [bucket_of v] is the bucket index holding [v] (negatives clamp to
+    0).  Exposed so tests and consumers can reason about resolution:
+    two values collide iff their indices are equal. *)
+
+val bucket_low : int -> int
+(** Smallest value mapping to the given bucket index. *)
+
+val bucket_high : int -> int
+(** Largest value mapping to the given bucket index.
+    [bucket_low b <= v <= bucket_high b  <=>  bucket_of v = b]. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in [\[0, 1\]]: an upper bound for the value
+    at rank [min (count-1) (floor (q * count))] of the sorted
+    observations, clamped to {!max_value}.  The returned value always
+    falls in the same bucket as the true rank statistic, so it is exact
+    below 32 and within one sub-bucket (~3%) above.  0 when empty. *)
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets in increasing value order as
+    [(low, high, count)] triples.  [low]/[high] are the inclusive value
+    bounds of the bucket. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram holding the observations of both;
+    neither input is modified.  Associative and commutative: bucket
+    counts, totals, and min/max combine exactly. *)

@@ -1,0 +1,171 @@
+(* Tlp_util.Histogram: exact bucket boundaries, merge as an
+   associative/commutative exact operation, and quantiles checked
+   against a sorted-array oracle. *)
+
+open Helpers
+module Histogram = Tlp_util.Histogram
+
+(* ---------- bucket boundaries ---------- *)
+
+let test_bucket_boundaries () =
+  (* Every bucket's [low, high] range must map back to exactly that
+     bucket, with no gap or overlap at either edge.  500 buckets cover
+     values past one million — well beyond any latency we record. *)
+  for b = 0 to 500 do
+    let low = Histogram.bucket_low b and high = Histogram.bucket_high b in
+    check_bool "low <= high" true (low <= high);
+    check_int (Printf.sprintf "bucket_of low(%d)" b) b (Histogram.bucket_of low);
+    check_int
+      (Printf.sprintf "bucket_of high(%d)" b)
+      b
+      (Histogram.bucket_of high);
+    check_int
+      (Printf.sprintf "high(%d)+1 starts bucket %d" b (b + 1))
+      (b + 1)
+      (Histogram.bucket_of (high + 1));
+    check_int
+      (Printf.sprintf "low(%d) continues from high(%d)" (b + 1) b)
+      (high + 1)
+      (Histogram.bucket_low (b + 1))
+  done;
+  (* Values below 32 get exact unit buckets. *)
+  for v = 0 to 31 do
+    check_int "unit bucket" v (Histogram.bucket_of v);
+    check_int "unit low" v (Histogram.bucket_low v);
+    check_int "unit high" v (Histogram.bucket_high v)
+  done;
+  check_int "negatives clamp to bucket 0" 0 (Histogram.bucket_of (-17))
+
+let test_bucket_relative_width () =
+  (* Above the unit range the bucket width must stay within ~2^-5 of the
+     value — that is the quantile error bound the mli promises. *)
+  let v = ref 32 in
+  while !v < 10_000_000 do
+    let b = Histogram.bucket_of !v in
+    let width = Histogram.bucket_high b - Histogram.bucket_low b + 1 in
+    check_bool
+      (Printf.sprintf "width %d at %d within 1/32" width !v)
+      true
+      (width * 32 <= Histogram.bucket_low b * 2);
+    v := !v + (!v / 3) + 1
+  done
+
+(* ---------- recording ---------- *)
+
+let test_totals_exact () =
+  let h = Histogram.create () in
+  check_int "empty count" 0 (Histogram.count h);
+  check_int "empty quantile" 0 (Histogram.quantile h 0.5);
+  List.iter (Histogram.add h) [ 5; 100; 3; 99_999; 0; 5 ];
+  check_int "count" 6 (Histogram.count h);
+  check_int "sum" (5 + 100 + 3 + 99_999 + 0 + 5) (Histogram.sum h);
+  check_int "min exact" 0 (Histogram.min_value h);
+  check_int "max exact" 99_999 (Histogram.max_value h);
+  Histogram.add h (-7);
+  check_int "negative clamps to 0" 7 (Histogram.count h);
+  check_int "clamped adds nothing" (5 + 100 + 3 + 99_999 + 0 + 5)
+    (Histogram.sum h);
+  let total_bucketed =
+    List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Histogram.buckets h)
+  in
+  check_int "buckets account for every observation" 7 total_bucketed
+
+(* ---------- merge ---------- *)
+
+let random_histogram rng n =
+  let h = Histogram.create () in
+  let values =
+    Array.init n (fun _ ->
+        (* Mix magnitudes so unit buckets and several octaves are hit. *)
+        match Rng.int rng 3 with
+        | 0 -> Rng.int rng 32
+        | 1 -> Rng.int rng 5_000
+        | _ -> Rng.int rng 2_000_000)
+  in
+  Array.iter (Histogram.add h) values;
+  (h, values)
+
+let assert_equal_histograms label a b =
+  check_int (label ^ ": count") (Histogram.count a) (Histogram.count b);
+  check_int (label ^ ": sum") (Histogram.sum a) (Histogram.sum b);
+  check_int (label ^ ": min") (Histogram.min_value a) (Histogram.min_value b);
+  check_int (label ^ ": max") (Histogram.max_value a) (Histogram.max_value b);
+  check_bool (label ^ ": buckets") true
+    (Histogram.buckets a = Histogram.buckets b)
+
+let test_merge_matches_sequential_fold () =
+  let rng = Rng.create 7 in
+  let parts = List.init 4 (fun _ -> random_histogram rng 300) in
+  (* Oracle: one histogram fed every value directly. *)
+  let oracle = Histogram.create () in
+  List.iter (fun (_, vs) -> Array.iter (Histogram.add oracle) vs) parts;
+  let merged =
+    List.fold_left
+      (fun acc (h, _) -> Histogram.merge acc h)
+      (Histogram.create ()) parts
+  in
+  assert_equal_histograms "fold = direct" merged oracle
+
+let test_merge_associative_commutative () =
+  let rng = Rng.create 21 in
+  let a, _ = random_histogram rng 200 in
+  let b, _ = random_histogram rng 150 in
+  let c, _ = random_histogram rng 250 in
+  assert_equal_histograms "commutative"
+    (Histogram.merge a b) (Histogram.merge b a);
+  assert_equal_histograms "associative"
+    (Histogram.merge (Histogram.merge a b) c)
+    (Histogram.merge a (Histogram.merge b c));
+  (* Merge must not mutate its inputs. *)
+  let count_a = Histogram.count a in
+  ignore (Histogram.merge a b);
+  check_int "merge leaves inputs alone" count_a (Histogram.count a);
+  (* Empty is the identity. *)
+  assert_equal_histograms "empty identity"
+    (Histogram.merge a (Histogram.create ()))
+    a
+
+(* ---------- quantiles vs sorted oracle ---------- *)
+
+let test_quantiles_against_sorted_oracle () =
+  let rng = Rng.create 2026 in
+  for round = 1 to 20 do
+    let n = 1 + Rng.int rng 400 in
+    let h, values = random_histogram rng n in
+    let sorted = Array.copy values in
+    Array.sort Stdlib.compare sorted;
+    List.iter
+      (fun q ->
+        let rank =
+          Stdlib.min (n - 1) (int_of_float (q *. float_of_int n))
+        in
+        let oracle = sorted.(rank) in
+        let got = Histogram.quantile h q in
+        (* The estimate must land in the same bucket as the true rank
+           statistic (hence be exact below 32) and never exceed the
+           recorded maximum. *)
+        check_int
+          (Printf.sprintf "round %d q=%.2f bucket" round q)
+          (Histogram.bucket_of oracle)
+          (Histogram.bucket_of got);
+        if oracle < 32 then
+          check_int (Printf.sprintf "round %d q=%.2f exact" round q) oracle got;
+        check_bool "quantile <= max" true (got <= Histogram.max_value h);
+        check_bool "quantile >= oracle" true (got >= oracle))
+      [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ]
+  done
+
+let suite =
+  [
+    Alcotest.test_case "bucket boundaries are exact" `Quick
+      test_bucket_boundaries;
+    Alcotest.test_case "bucket relative width bounded" `Quick
+      test_bucket_relative_width;
+    Alcotest.test_case "totals exact, negatives clamp" `Quick test_totals_exact;
+    Alcotest.test_case "merge = sequential fold" `Quick
+      test_merge_matches_sequential_fold;
+    Alcotest.test_case "merge associative and commutative" `Quick
+      test_merge_associative_commutative;
+    Alcotest.test_case "quantiles vs sorted oracle" `Quick
+      test_quantiles_against_sorted_oracle;
+  ]

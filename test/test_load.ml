@@ -1,0 +1,183 @@
+(* Tlp_load: plans as pure functions of the config (digest replay),
+   every generated frame accepted by the server's own codec, and a live
+   closed-loop run against the daemon. *)
+
+open Helpers
+module Json = Tlp_util.Json_out
+module Protocol = Tlp_server.Protocol
+module Server = Tlp_server.Server
+module Workload = Tlp_load.Workload
+module Runner = Tlp_load.Runner
+module Report = Tlp_load.Report
+
+let config =
+  {
+    Workload.default_config with
+    Workload.seed = 11;
+    workers = 3;
+    requests = 50;
+    corpus = 4;
+    chain_n = 24;
+    trace_every = 10;
+  }
+
+(* ---------- planning ---------- *)
+
+let test_plan_replays_identically () =
+  let p1 = Workload.plan config and p2 = Workload.plan config in
+  Alcotest.(check string)
+    "same config, same digest"
+    (Workload.sequence_digest p1)
+    (Workload.sequence_digest p2);
+  check_bool "same lines" true
+    (Array.for_all2
+       (fun a b ->
+         Array.for_all2
+           (fun (x : Workload.op) (y : Workload.op) -> x.line = y.line)
+           a b)
+       p1.Workload.per_worker p2.Workload.per_worker);
+  let other = Workload.plan { config with Workload.seed = 12 } in
+  check_bool "different seed, different digest" false
+    (Workload.sequence_digest p1 = Workload.sequence_digest other);
+  (* Arrival mode must not leak into request bytes. *)
+  let paced =
+    Workload.plan { config with Workload.arrival = Workload.Poisson 50.0 }
+  in
+  Alcotest.(check string)
+    "arrival mode does not change the bytes"
+    (Workload.sequence_digest p1)
+    (Workload.sequence_digest paced)
+
+let test_plan_frames_parse () =
+  let plan = Workload.plan config in
+  let ops = Workload.ops plan in
+  check_int "every request planned" config.Workload.requests (Array.length ops);
+  Array.iteri
+    (fun i (op : Workload.op) ->
+      check_int "seq in order" i op.seq;
+      match Protocol.parse_frame op.line with
+      | Ok frame ->
+          Alcotest.(check string)
+            "method matches the op" op.Workload.meth
+            (Protocol.method_name frame.Protocol.request);
+          check_bool "id is the sequence number" true
+            (frame.Protocol.id = Json.Int op.seq);
+          check_bool "trace every 10th" true
+            (frame.Protocol.trace = (op.seq mod 10 = 0))
+      | Error (_, e) ->
+          Alcotest.failf "frame %d rejected: %s" i e.Protocol.message)
+    ops
+
+let test_plan_structure () =
+  let plan = Workload.plan config in
+  (* Round-robin dealing. *)
+  Array.iteri
+    (fun w worker_ops ->
+      Array.iter
+        (fun (op : Workload.op) ->
+          check_int "op on its worker" w (op.seq mod config.Workload.workers))
+        worker_ops)
+    plan.Workload.per_worker;
+  (* Method counts add up; a degenerate mix is honoured. *)
+  let counts = Workload.method_counts plan in
+  check_int "counts cover every request" config.Workload.requests
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 counts);
+  let all_partition =
+    Workload.plan
+      {
+        config with
+        Workload.mix = { Workload.partition = 1; sweep = 0; verify = 0 };
+      }
+  in
+  List.iter
+    (fun (m, c) ->
+      check_int
+        (Printf.sprintf "mix 1:0:0 puts everything on %s" m)
+        (if m = "partition" then config.Workload.requests else 0)
+        c)
+    (Workload.method_counts all_partition);
+  (* Arrival offsets: closed loop all zero; paced strictly within the
+     run and non-decreasing. *)
+  Array.iter
+    (fun (op : Workload.op) -> check_bool "closed at 0" true (op.at_s = 0.0))
+    (Workload.ops plan);
+  let paced =
+    Workload.ops
+      (Workload.plan { config with Workload.arrival = Workload.Fixed_rate 100.0 })
+  in
+  Array.iteri
+    (fun i (op : Workload.op) ->
+      check_bool "fixed-rate schedule" true
+        (Float.abs (op.at_s -. (float_of_int i /. 100.0)) < 1e-9))
+    paced;
+  let poisson =
+    Workload.ops
+      (Workload.plan { config with Workload.arrival = Workload.Poisson 100.0 })
+  in
+  Array.iteri
+    (fun i (op : Workload.op) ->
+      if i > 0 then
+        check_bool "poisson arrivals non-decreasing" true
+          (op.at_s >= poisson.(i - 1).Workload.at_s))
+    poisson;
+  check_bool "bad config rejected" true
+    (match Workload.plan { config with Workload.workers = 0 } with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------- live closed loop ---------- *)
+
+let test_live_closed_loop () =
+  let config =
+    {
+      Workload.default_config with
+      Workload.seed = 5;
+      workers = 2;
+      requests = 40;
+      corpus = 4;
+      chain_n = 24;
+      trace_every = 8;
+    }
+  in
+  let server_config =
+    { Server.default_config with Server.port = 0; jobs = 2 }
+  in
+  let srv = Server.start server_config in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Server.stop srv;
+        Server.wait srv)
+      (fun () -> Runner.run ~port:(Server.port srv) (Workload.plan config))
+  in
+  let c = result.Runner.counts in
+  check_int "all requests answered" 40 (Runner.total c);
+  check_int "every request ok" 40 c.Runner.ok;
+  check_int "no transport errors" 0 c.Runner.transport;
+  check_int "no protocol violations" 0 c.Runner.bad_response;
+  check_int "one connection per worker" 2 result.Runner.connections;
+  check_int "traced responses came back" 5 result.Runner.traced;
+  check_int "latencies recorded for every request" 40
+    (Tlp_util.Histogram.count result.Runner.latency_us);
+  check_bool "no failures listed" true (result.Runner.failures = []);
+  (* The report renders to valid JSON with the plan's digest inside. *)
+  let rendered = Json.to_string (Report.to_json result) in
+  check_bool "report validates" true (Json.is_valid rendered);
+  match Json.parse rendered with
+  | Ok (Json.Obj fields) ->
+      check_bool "schema stamped" true
+        (List.assoc_opt "schema" fields = Some (Json.String Report.schema));
+      check_bool "digest embedded" true
+        (List.assoc_opt "digest" fields
+        = Some (Json.String (Workload.sequence_digest result.Runner.plan)))
+  | _ -> Alcotest.fail "report unparseable"
+
+let suite =
+  [
+    Alcotest.test_case "plan replays identically" `Quick
+      test_plan_replays_identically;
+    Alcotest.test_case "every frame parses server-side" `Quick
+      test_plan_frames_parse;
+    Alcotest.test_case "plan structure" `Quick test_plan_structure;
+    Alcotest.test_case "live closed loop" `Quick test_live_closed_loop;
+  ]

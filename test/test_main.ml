@@ -2,10 +2,13 @@ let () =
   Alcotest.run "tlp"
     [
       ("util", Test_util.suite);
+      ("histogram", Test_histogram.suite);
       ("lint", Test_lint.suite);
       ("metrics", Test_metrics.suite);
       ("engine", Test_engine.suite);
       ("server", Test_server.suite);
+      ("client", Test_client.suite);
+      ("load", Test_load.suite);
       ("graph", Test_graphlib.suite);
       ("primes", Test_primes.suite);
       ("bandwidth", Test_bandwidth.suite);

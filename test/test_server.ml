@@ -574,7 +574,138 @@ let test_loopback_stats_shape () =
                 (fun field ->
                   check_bool (field ^ " present") true
                     (List.mem_assoc field result))
-                [ "uptime_s"; "requests"; "errors"; "cache"; "queue"; "metrics" ]
+                [
+                  "uptime_s";
+                  "requests";
+                  "errors";
+                  "cache";
+                  "queue";
+                  "queue_depth";
+                  "slow_ring";
+                  "metrics";
+                ]
+          | _ -> Alcotest.fail "stats result not an object")
+      | _ -> Alcotest.fail "stats response unparseable")
+
+(* ---------- request tracing ---------- *)
+
+let test_trace_field_must_be_bool () =
+  let rejected line =
+    match Protocol.parse_frame line with
+    | Error (_, { Protocol.code = Protocol.Bad_request; message }) ->
+        contains message "trace"
+    | _ -> false
+  in
+  check_bool "integer trace rejected" true
+    (rejected {|{"id":1,"method":"health","trace":1}|});
+  check_bool "string trace rejected" true
+    (rejected {|{"id":1,"method":"health","trace":"yes"}|});
+  (* Explicit false is fine and means untraced. *)
+  match Protocol.parse_frame {|{"id":1,"method":"health","trace":false}|} with
+  | Ok frame -> check_bool "trace false parses" false frame.Protocol.trace
+  | Error _ -> Alcotest.fail "trace:false must parse"
+
+let traced_partition_line ~id ~k =
+  Printf.sprintf
+    {|{"id":%d,"method":"partition","params":{"instance":%s,"k":%d,"algorithm":"bandwidth"},"trace":true}|}
+    id inline_chain k
+
+let test_loopback_traced_response () =
+  with_server (fun srv ->
+      let port = Server.port srv in
+      let response =
+        find_response
+          (exchange port [ traced_partition_line ~id:5 ~k:9 ])
+          (Json.Int 5)
+      in
+      check_bool "traced response validates" true (Json.is_valid response);
+      match Json.parse response with
+      | Ok (Json.Obj fields) -> (
+          (* The result member must be exactly the untraced result. *)
+          let reference =
+            match
+              Handler.partition_result (Io.Chain_instance chain5) ~k:9
+                ~algorithm:Protocol.Bandwidth
+            with
+            | Ok doc -> doc
+            | Error _ -> Alcotest.fail "reference partition failed"
+          in
+          check_bool "result unchanged by tracing" true
+            (List.assoc_opt "result" fields = Some reference);
+          match List.assoc_opt "trace" fields with
+          | Some (Json.Obj trace) -> (
+              check_bool "request_id is an integer" true
+                (match List.assoc_opt "request_id" trace with
+                | Some (Json.Int _) -> true
+                | _ -> false);
+              match List.assoc_opt "spans" trace with
+              | Some (Json.Obj spans) ->
+                  List.iter
+                    (fun span ->
+                      check_bool (span ^ " is a float") true
+                        (match List.assoc_opt span spans with
+                        | Some (Json.Float ms) -> ms >= 0.0
+                        | _ -> false))
+                    [ "accept_ms"; "queue_ms"; "solve_ms" ]
+              | _ -> Alcotest.fail "trace.spans missing")
+          | _ -> Alcotest.fail "traced response carries no trace object")
+      | _ -> Alcotest.fail "traced response unparseable")
+
+let test_loopback_trace_off_byte_identity () =
+  with_server (fun srv ->
+      let port = Server.port srv in
+      (* Populate the cache through a TRACED request, then repeat the
+         same request untraced: the hit must replay bytes identical to
+         the direct library rendering — tracing may never leak into
+         untraced responses, cached or not. *)
+      ignore (exchange port [ traced_partition_line ~id:1 ~k:9 ]);
+      let untraced =
+        find_response
+          (exchange port [ partition_line ~id:2 ~k:9 () ])
+          (Json.Int 2)
+      in
+      Alcotest.(check string)
+        "untraced hit byte-identical to library"
+        (reference_partition ~id:2 ~k:9 ~algorithm:Protocol.Bandwidth)
+        untraced)
+
+let test_loopback_slow_ring () =
+  with_server (fun srv ->
+      let port = Server.port srv in
+      ignore (exchange port [ traced_partition_line ~id:9 ~k:9 ]);
+      let stats =
+        find_response (exchange port [ {|{"id":7,"method":"stats"}|} ])
+          (Json.Int 7)
+      in
+      match Json.parse stats with
+      | Ok (Json.Obj fields) -> (
+          match List.assoc_opt "result" fields with
+          | Some (Json.Obj result) -> (
+              check_bool "queue_depth is an integer" true
+                (match List.assoc_opt "queue_depth" result with
+                | Some (Json.Int d) -> d >= 0
+                | _ -> false);
+              match List.assoc_opt "slow_ring" result with
+              | Some (Json.List (Json.Obj entry :: _)) ->
+                  check_bool "entry method" true
+                    (List.assoc_opt "method" entry
+                    = Some (Json.String "partition"));
+                  check_bool "entry ok" true
+                    (List.assoc_opt "ok" entry = Some (Json.Bool true));
+                  check_bool "entry spans include write_ms" true
+                    (match List.assoc_opt "spans" entry with
+                    | Some (Json.Obj spans) ->
+                        List.for_all
+                          (fun s -> List.mem_assoc s spans)
+                          [
+                            "accept_ms";
+                            "queue_ms";
+                            "solve_ms";
+                            "render_ms";
+                            "write_ms";
+                          ]
+                    | _ -> false)
+              | _ -> Alcotest.fail "slow_ring empty after traced request")
           | _ -> Alcotest.fail "stats result not an object")
       | _ -> Alcotest.fail "stats response unparseable")
 
@@ -641,6 +772,14 @@ let suite =
     Alcotest.test_case "loopback: malformed + debug gate" `Quick
       test_loopback_malformed_and_debug_gate;
     Alcotest.test_case "loopback: stats shape" `Quick test_loopback_stats_shape;
+    Alcotest.test_case "trace: field must be boolean" `Quick
+      test_trace_field_must_be_bool;
+    Alcotest.test_case "trace: traced response shape" `Quick
+      test_loopback_traced_response;
+    Alcotest.test_case "trace: off is byte-identical" `Quick
+      test_loopback_trace_off_byte_identity;
+    Alcotest.test_case "trace: slow ring in stats" `Quick
+      test_loopback_slow_ring;
     Alcotest.test_case "loopback: drained port refuses" `Quick
       test_shutdown_refuses_new_connections;
   ]
