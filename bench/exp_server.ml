@@ -172,6 +172,43 @@ let run ~max_jobs () =
     (List.length mixed) mixed_s;
   Server.stop srv;
   Server.wait srv;
+  (* --- deadline: EDF shedding and overrun accounting --- *)
+  (* A dedicated jobs=1 debug server runs a deterministic three-step
+     script: train the per-method estimator with a 50ms sleep, admit a
+     150ms sleep whose 100ms budget it will overrun (the estimate, 50ms,
+     says it fits), then offer a request whose 30ms budget the updated
+     ~70ms estimate cannot meet — shed at admission as overloaded. *)
+  let dconfig =
+    { Server.default_config with Server.port = 0; jobs = 1; enable_debug = true }
+  in
+  let dsrv = Server.start dconfig in
+  let dport = Server.port dsrv in
+  ignore (exchange dport [ {|{"id":1,"method":"sleep","params":{"ms":50}}|} ]);
+  ignore
+    (exchange dport
+       [ {|{"id":2,"method":"sleep","params":{"ms":150},"timeout_ms":100}|} ]);
+  let shed_replies =
+    exchange dport
+      [ {|{"id":3,"method":"sleep","params":{"ms":500},"timeout_ms":30}|} ]
+  in
+  assert (List.length shed_replies = 1);
+  let dst = Server.state dsrv in
+  let sheds, overruns =
+    State.with_lock dst (fun () -> (State.sheds dst, State.overruns dst))
+  in
+  Server.stop dsrv;
+  Server.wait dsrv;
+  assert (sheds = 1);
+  let sleep_overrun =
+    match List.assoc_opt "sleep" overruns with
+    | Some o -> o
+    | None -> failwith "deadline scenario recorded no sleep overrun"
+  in
+  assert (sleep_overrun.State.count = 1);
+  Printf.printf
+    "  deadline: shed %d, overruns(sleep) count=%d max=%.1fms\n" sheds
+    sleep_overrun.State.count
+    (sleep_overrun.State.max_ns /. 1e6);
   let doc =
     Json_out.Obj
       [
@@ -204,6 +241,24 @@ let run ~max_jobs () =
             [
               ("requests", Json_out.Int (List.length mixed));
               ("wall_s", Json_out.Float mixed_s);
+            ] );
+        ( "deadline",
+          Json_out.Obj
+            [
+              ("shed", Json_out.Int sheds);
+              ( "overruns",
+                Json_out.Obj
+                  (List.map
+                     (fun (meth, o) ->
+                       ( meth,
+                         Json_out.Obj
+                           [
+                             ("count", Json_out.Int o.State.count);
+                             ( "total_ns",
+                               Json_out.Int (int_of_float o.State.total_ns) );
+                             ("max_ns", Json_out.Int (int_of_float o.State.max_ns));
+                           ] ))
+                     overruns) );
             ] );
       ]
   in

@@ -24,7 +24,8 @@ let parse_mix text =
   | _ -> None
 
 let run host port seed workers requests rate poisson mix corpus chain_n
-    max_weight timeout_ms deadline_ms trace_every out expect_clean plan_only =
+    max_weight timeout_ms deadline_ms trace_every batch_every out expect_clean
+    plan_only =
   let arrival =
     match rate with
     | None -> Workload.Closed
@@ -51,6 +52,7 @@ let run host port seed workers requests rate poisson mix corpus chain_n
       max_weight;
       timeout_ms = (if timeout_ms <= 0 then None else Some timeout_ms);
       trace_every;
+      batch_every;
     }
   in
   let plan =
@@ -64,7 +66,10 @@ let run host port seed workers requests rate poisson mix corpus chain_n
     Printf.printf "digest      %s\n" (Workload.sequence_digest plan);
     List.iter
       (fun (m, c) -> Printf.printf "%-11s %d\n" m c)
-      (Workload.method_counts plan)
+      (Workload.method_counts plan);
+    List.iter
+      (fun (p, c) -> Printf.printf "%-11s %d\n" p c)
+      (Workload.class_counts plan)
   end
   else begin
     let result = Runner.run ~host ~deadline_ms ~port plan in
@@ -179,6 +184,14 @@ let cmd =
           ~doc:"Request server-side tracing on every Nth request \
                 (0 = never).")
   in
+  let batch_every =
+    Arg.(
+      value & opt int 0
+      & info [ "batch-every" ] ~docv:"N"
+          ~doc:"Send every Nth request with priority \"batch\" (the EDF \
+                admission queue's deferrable class); 0 sends everything \
+                interactive.")
+  in
   let out =
     Arg.(
       value
@@ -209,6 +222,6 @@ let cmd =
     Term.(
       const run $ host $ port $ seed $ workers $ requests $ rate $ poisson
       $ mix $ corpus $ chain_n $ max_weight $ timeout_ms $ deadline_ms
-      $ trace_every $ out $ expect_clean $ plan_only)
+      $ trace_every $ batch_every $ out $ expect_clean $ plan_only)
 
 let () = exit (Cmd.eval cmd)

@@ -38,8 +38,19 @@ let run policy ~rng ~now ~sleep ?deadline ~retryable ~on_deadline f =
     | Error e -> (
         let wait_s = float_of_int (delay_ms policy rng ~attempt) /. 1000.0 in
         match deadline with
-        | Some d when now () +. wait_s > d -> Error (on_deadline e)
-        | _ ->
+        | Some d ->
+            (* Clamp the backoff to the remaining budget instead of
+               giving up whenever the jittered wait would cross the
+               deadline: while time remains, sleep up to the deadline
+               and take one final attempt; only a spent budget maps the
+               error through [on_deadline]. *)
+            let remaining = d -. now () in
+            if remaining <= 0.0 then Error (on_deadline e)
+            else begin
+              sleep (Stdlib.min wait_s remaining);
+              go (attempt + 1)
+            end
+        | None ->
             sleep wait_s;
             go (attempt + 1))
   in

@@ -45,10 +45,12 @@ val run :
   ('a, 'e) result
 (** [run p ~rng ~now ~sleep ?deadline ~retryable ~on_deadline f]
     executes [f ~attempt:1], then retries while the error is
-    [retryable], the attempt budget lasts, and the backoff sleep would
-    not cross [deadline] (absolute, in [now]'s clock).  A sleep that
-    would cross the deadline is not taken: the last error is mapped
-    through [on_deadline] and returned — this is how a deadline
-    exceeded mid-retry becomes a [Timeout] rather than a stale
-    [Overloaded].  Non-retryable errors and budget exhaustion return
-    the error unmapped. *)
+    [retryable], the attempt budget lasts, and time remains before
+    [deadline] (absolute, in [now]'s clock).  A backoff that would
+    cross the deadline is clamped to the remaining budget — the driver
+    sleeps up to the deadline and takes one final attempt rather than
+    abandoning usable time.  Once the budget is spent ([now () >= d]),
+    the last error is mapped through [on_deadline] and returned — this
+    is how a deadline exceeded mid-retry becomes a [Timeout] rather
+    than a stale [Overloaded].  Non-retryable errors and budget
+    exhaustion return the error unmapped. *)

@@ -32,12 +32,15 @@ type response = {
 (* Internal control flow for socket failures; never escapes this module. *)
 exception Fail of error
 
-let request_line ?id ?timeout_ms ?(trace = false) ~meth ?params () =
+let request_line ?id ?timeout_ms ?priority ?(trace = false) ~meth ?params () =
   let fields =
     (match id with Some id -> [ ("id", id) ] | None -> [])
     @ [ ("method", Json.String meth) ]
     @ (match timeout_ms with
       | Some ms -> [ ("timeout_ms", Json.Int ms) ]
+      | None -> [])
+    @ (match priority with
+      | Some p -> [ ("priority", Json.String p) ]
       | None -> [])
     @ (if trace then [ ("trace", Json.Bool true) ] else [])
     @ match params with Some p -> [ ("params", p) ] | None -> []
@@ -233,5 +236,6 @@ let call_line t ?deadline_ms line =
       | Ok raw -> classify_response raw
       | Error _ as e -> e)
 
-let call t ?id ?timeout_ms ?trace ?deadline_ms ~meth ?params () =
-  call_line t ?deadline_ms (request_line ?id ?timeout_ms ?trace ~meth ?params ())
+let call t ?id ?timeout_ms ?priority ?trace ?deadline_ms ~meth ?params () =
+  call_line t ?deadline_ms
+    (request_line ?id ?timeout_ms ?priority ?trace ~meth ?params ())

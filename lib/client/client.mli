@@ -53,15 +53,18 @@ type response = {
 val request_line :
   ?id:Tlp_util.Json_out.t ->
   ?timeout_ms:int ->
+  ?priority:string ->
   ?trace:bool ->
   meth:string ->
   ?params:Tlp_util.Json_out.t ->
   unit ->
   string
 (** Render one request frame (no trailing newline).  Field order is
-    fixed ([id], [method], [timeout_ms], [trace], [params]; absent
-    options are omitted), so the same arguments always produce the same
-    bytes — the load generator's replay digests rely on this. *)
+    fixed ([id], [method], [timeout_ms], [priority], [trace], [params];
+    absent options are omitted), so the same arguments always produce
+    the same bytes — the load generator's replay digests rely on this.
+    [priority] is the admission class ("interactive" | "batch"); omit
+    it for the server default (interactive). *)
 
 val classify_response : string -> (response, error) result
 (** Interpret one response line against the protocol: [ok:true]
@@ -113,6 +116,7 @@ val call :
   t ->
   ?id:Tlp_util.Json_out.t ->
   ?timeout_ms:int ->
+  ?priority:string ->
   ?trace:bool ->
   ?deadline_ms:int ->
   meth:string ->
@@ -121,4 +125,5 @@ val call :
   (response, error) result
 (** Convenience: {!request_line} then {!call_line}.  [timeout_ms] is
     the {e server-side} queue deadline carried in the frame;
-    [deadline_ms] is the {e client-side} end-to-end bound. *)
+    [priority] the server-side admission class; [deadline_ms] is the
+    {e client-side} end-to-end bound. *)

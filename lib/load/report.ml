@@ -42,6 +42,7 @@ let config_json (c : Workload.config) =
       ( "timeout_ms",
         match c.timeout_ms with Some ms -> Json.Int ms | None -> Json.Null );
       ("trace_every", Json.Int c.trace_every);
+      ("batch_every", Json.Int c.batch_every);
     ]
 
 let to_json (r : Runner.result) =
@@ -77,6 +78,13 @@ let to_json (r : Runner.result) =
              (fun (m, h) ->
                Json.Obj [ ("method", Json.String m); ("latency_us", hist_json h) ])
              r.per_method) );
+      ( "classes",
+        Json.List
+          (List.map
+             (fun (p, h) ->
+               Json.Obj
+                 [ ("class", Json.String p); ("latency_us", hist_json h) ])
+             r.per_class) );
       ( "failures",
         Json.List
           (List.map
@@ -119,4 +127,14 @@ let summary (r : Runner.result) =
           (Histogram.quantile h 0.99)
           (Histogram.max_value h))
     (("all", r.latency_us) :: r.per_method);
+  List.iter
+    (fun (p, h) ->
+      if Histogram.count h > 0 then
+        line "%-11s n=%d p50=%dus p90=%dus p99=%dus max=%dus" p
+          (Histogram.count h)
+          (Histogram.quantile h 0.5)
+          (Histogram.quantile h 0.9)
+          (Histogram.quantile h 0.99)
+          (Histogram.max_value h))
+    r.per_class;
   Buffer.contents b

@@ -43,6 +43,7 @@ type result = {
   counts : counts;
   latency_us : Histogram.t;
   per_method : (string * Histogram.t) list;
+  per_class : (string * Histogram.t) list;
   connections : int;
   traced : int;
   failures : (int * string) list;
@@ -52,6 +53,7 @@ type worker_tally = {
   mutable w_counts : counts;
   w_latency : Histogram.t;
   w_methods : (string * Histogram.t) list;
+  w_classes : (string * Histogram.t) list;
   mutable w_traced : int;
   mutable w_failures : (int * string) list;  (** newest first *)
 }
@@ -61,6 +63,9 @@ let max_failures = 16
 let record tally (op : Workload.op) latency_us outcome =
   Histogram.add tally.w_latency latency_us;
   (match List.assoc_opt op.meth tally.w_methods with
+  | Some h -> Histogram.add h latency_us
+  | None -> ());
+  (match List.assoc_opt op.priority tally.w_classes with
   | Some h -> Histogram.add h latency_us
   | None -> ());
   let c = tally.w_counts in
@@ -89,6 +94,7 @@ let run ?(policy = Backoff.default) ?(host = "127.0.0.1")
     Rng.split_n (Rng.create (config.seed lxor 0x6c6f6164)) config.workers
   in
   let methods = List.map fst (Workload.method_counts plan) in
+  let classes = List.map fst (Workload.class_counts plan) in
   let t0 = Timer.now () in
   let work w =
     let client = Client.create ~host ~port ~policy ~rng:jitter_rngs.(w) () in
@@ -97,6 +103,7 @@ let run ?(policy = Backoff.default) ?(host = "127.0.0.1")
         w_counts = zero_counts;
         w_latency = Histogram.create ();
         w_methods = List.map (fun m -> (m, Histogram.create ())) methods;
+        w_classes = List.map (fun p -> (p, Histogram.create ())) classes;
         w_traced = 0;
         w_failures = [];
       }
@@ -145,6 +152,16 @@ let run ?(policy = Backoff.default) ?(host = "127.0.0.1")
                 ~default:(Histogram.create ())) ))
       methods
   in
+  let per_class =
+    List.map
+      (fun p ->
+        ( p,
+          merge_field (fun t ->
+              Option.value
+                (List.assoc_opt p t.w_classes)
+                ~default:(Histogram.create ())) ))
+      classes
+  in
   let connections = Array.fold_left (fun acc (_, c) -> acc + c) 0 tallies in
   let traced = Array.fold_left (fun acc (t, _) -> acc + t.w_traced) 0 tallies in
   let failures =
@@ -159,6 +176,7 @@ let run ?(policy = Backoff.default) ?(host = "127.0.0.1")
     counts;
     latency_us;
     per_method;
+    per_class;
     connections;
     traced;
     failures;

@@ -26,6 +26,9 @@ type result = {
       (** per-request round-trip latency, microseconds, all methods *)
   per_method : (string * Tlp_util.Histogram.t) list;
       (** latency split by method, in {!Workload.method_counts} order *)
+  per_class : (string * Tlp_util.Histogram.t) list;
+      (** latency split by admission class, in {!Workload.class_counts}
+          order — how much the EDF queue favors interactive traffic *)
   connections : int;  (** dials summed over workers; healthy = workers *)
   traced : int;  (** ok responses that carried a [trace] object *)
   failures : (int * string) list;

@@ -21,6 +21,7 @@ type config = {
   max_weight : int;
   timeout_ms : int option;
   trace_every : int;
+  batch_every : int;
 }
 
 let default_config =
@@ -35,9 +36,16 @@ let default_config =
     max_weight = 20;
     timeout_ms = None;
     trace_every = 0;
+    batch_every = 0;
   }
 
-type op = { seq : int; meth : string; line : string; at_s : float }
+type op = {
+  seq : int;
+  meth : string;
+  priority : string;
+  line : string;
+  at_s : float;
+}
 
 type plan = { config : config; per_worker : op array array }
 
@@ -58,6 +66,7 @@ let check config =
     && config.mix.partition + config.mix.sweep + config.mix.verify > 0)
     "mix weights must be non-negative with a positive sum";
   require (config.trace_every >= 0) "trace_every must be >= 0";
+  require (config.batch_every >= 0) "batch_every must be >= 0";
   (match config.timeout_ms with
   | Some ms -> require (ms > 0) "timeout_ms must be positive"
   | None -> ());
@@ -141,11 +150,16 @@ let plan config =
   let make seq =
     let meth, params = draw_params gen config.mix corpus in
     let trace = config.trace_every > 0 && seq mod config.trace_every = 0 in
+    (* The priority field is only emitted for batch frames, so plans
+       with [batch_every = 0] keep their pre-priority byte digests. *)
+    let batch = config.batch_every > 0 && seq mod config.batch_every = 0 in
     let line =
       Client.request_line ~id:(Json.Int seq) ?timeout_ms:config.timeout_ms
+        ?priority:(if batch then Some "batch" else None)
         ~trace ~meth ~params ()
     in
-    { seq; meth; line; at_s = arrivals.(seq) }
+    let priority = if batch then "batch" else "interactive" in
+    { seq; meth; priority; line; at_s = arrivals.(seq) }
   in
   let all = Array.init config.requests make in
   let per_worker =
@@ -184,3 +198,14 @@ let method_counts plan =
       0 plan.per_worker
   in
   List.map (fun m -> (m, count m)) [ "partition"; "sweep"; "verify" ]
+
+let class_counts plan =
+  let count p =
+    Array.fold_left
+      (fun acc worker_ops ->
+        Array.fold_left
+          (fun acc op -> if op.priority = p then acc + 1 else acc)
+          acc worker_ops)
+      0 plan.per_worker
+  in
+  List.map (fun p -> (p, count p)) [ "interactive"; "batch" ]

@@ -39,6 +39,11 @@ type config = {
   trace_every : int;
       (** request every Nth request (by global sequence number) with
           [trace: true]; [0] disables tracing *)
+  batch_every : int;
+      (** mark every Nth request (by global sequence number) with
+          [priority: "batch"]; [0] sends everything interactive (the
+          frame's priority field is then omitted, preserving
+          pre-priority plan digests) *)
 }
 
 val default_config : config
@@ -49,6 +54,7 @@ val default_config : config
 type op = {
   seq : int;  (** global sequence number, [0 ..] *)
   meth : string;  (** wire method of the frame *)
+  priority : string;  (** admission class, ["interactive"] | ["batch"] *)
   line : string;  (** the complete request frame, no newline *)
   at_s : float;  (** arrival offset from run start; [0.] in closed loop *)
 }
@@ -77,3 +83,6 @@ val sequence_digest : plan -> string
 
 val method_counts : plan -> (string * int) list
 (** Requests per method, in [partition], [sweep], [verify] order. *)
+
+val class_counts : plan -> (string * int) list
+(** Requests per admission class, in [interactive], [batch] order. *)

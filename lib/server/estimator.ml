@@ -1,0 +1,24 @@
+type t = {
+  alpha : float;
+  means : (string, float) Hashtbl.t;  (* wire method -> EWMA service ns *)
+}
+
+let default_alpha = 0.2
+
+let create ?(alpha = default_alpha) () =
+  if not (alpha > 0.0 && alpha <= 1.0) then
+    invalid_arg "Estimator.create: alpha must be in (0, 1]";
+  { alpha; means = Hashtbl.create 8 }
+
+let observe t ~meth ~ns =
+  let ns = Stdlib.max 0.0 ns in
+  match Hashtbl.find_opt t.means meth with
+  | None -> Hashtbl.replace t.means meth ns
+  | Some mean ->
+      Hashtbl.replace t.means meth
+        ((t.alpha *. ns) +. ((1.0 -. t.alpha) *. mean))
+
+let predict_ns t ~meth =
+  match Hashtbl.find_opt t.means meth with
+  | None -> 0.0
+  | Some mean -> mean

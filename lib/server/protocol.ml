@@ -20,6 +20,12 @@ let overloaded message = { code = Overloaded; message }
 let timeout message = { code = Timeout; message }
 let internal message = { code = Internal; message }
 
+type priority = Interactive | Batch
+
+let priority_string = function
+  | Interactive -> "interactive"
+  | Batch -> "batch"
+
 type partition_algorithm = Bandwidth | Bottleneck | Procmin | Pipeline
 
 let partition_algorithm_string = function
@@ -48,6 +54,7 @@ type frame = {
   id : Json.t;
   request : request;
   timeout_ms : int option;
+  priority : priority;
   trace : bool;
 }
 
@@ -92,6 +99,10 @@ let as_int_list name = function
 
 let positive name i =
   if i <= 0 then reject "field %S must be positive, got %d" name i;
+  i
+
+let non_negative name i =
+  if i < 0 then reject "field %S must be non-negative, got %d" name i;
   i
 
 (* An instance is either a string in the instance-file format or an
@@ -234,9 +245,19 @@ let parse_frame line =
           | Some _ -> reject "field \"params\" must be an object"
         in
         let timeout_ms =
+          (* 0 is legal: a client whose remaining budget rounds down to
+             0 ms gets a structured [timeout], not a parse error. *)
           match field "timeout_ms" fields with
           | None -> None
-          | Some v -> Some (positive "timeout_ms" (as_int "timeout_ms" v))
+          | Some v -> Some (non_negative "timeout_ms" (as_int "timeout_ms" v))
+        in
+        let priority =
+          match field "priority" fields with
+          | None -> Interactive
+          | Some (Json.String "interactive") -> Interactive
+          | Some (Json.String "batch") -> Batch
+          | Some _ ->
+              reject "field \"priority\" must be \"interactive\" or \"batch\""
         in
         let trace =
           match field "trace" fields with
@@ -244,7 +265,7 @@ let parse_frame line =
           | Some (Json.Bool b) -> b
           | Some _ -> reject "field \"trace\" must be a boolean"
         in
-        { id; request = parse_request meth params; timeout_ms; trace }
+        { id; request = parse_request meth params; timeout_ms; priority; trace }
       with
       | frame -> Ok frame
       | exception Reject err -> Error (id, err))

@@ -27,6 +27,14 @@ val internal : string -> error
 
 (** {1 Requests} *)
 
+type priority = Interactive | Batch
+(** Admission class.  [Interactive] (the default) preempts [Batch] in
+    the EDF admission queue's ordering, subject to the queue's
+    anti-starvation aging bound; see [Admission]. *)
+
+val priority_string : priority -> string
+(** ["interactive"] / ["batch"], the wire spellings. *)
+
 type partition_algorithm = Bandwidth | Bottleneck | Procmin | Pipeline
 
 val partition_algorithm_string : partition_algorithm -> string
@@ -55,7 +63,12 @@ type frame = {
           a string, integer, or null. *)
   request : request;
   timeout_ms : int option;
-      (** Per-request deadline override, milliseconds from admission. *)
+      (** Per-request deadline override, milliseconds from admission.
+          [Some 0] means "already expired": the server answers a
+          structured [timeout] without queuing the request. *)
+  priority : priority;
+      (** Admission class from the optional [priority] field; defaults
+          to [Interactive] when absent. *)
   trace : bool;
       (** [true] when the frame carried a true [trace] field: the
           server assigns a request id, spans the request's lifecycle,

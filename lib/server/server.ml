@@ -77,26 +77,51 @@ let ms a b = (b -. a) *. 1000.0
    (accept/queue/solve); render and write can only land in the ring,
    since the response bytes are already fixed when they complete.
    Untraced requests take the [None] branch of every decision here, so
-   their bytes are exactly the pre-tracing rendering. *)
-let finish t job ~t_dispatch outcome =
+   their bytes are exactly the pre-tracing rendering.
+
+   [executed] marks jobs that actually ran the handler (vs control-plane
+   inlines and queued-deadline expiries): only those feed the
+   service-time estimator, and only an executed success finishing at or
+   past its deadline counts as an overrun — answered anyway, but
+   tallied per method and, when traced, visible as an [overrun_ms]
+   span. *)
+let finish t job ~t_dispatch ~executed outcome =
   let frame = job.frame in
   let t_solved = Timer.now () in
+  let meth = Protocol.method_name frame.Protocol.request in
+  let overrun_ms_opt =
+    match (outcome, job.deadline) with
+    | Ok _, Some d when executed && t_solved >= d -> Some (ms d t_solved)
+    | _ -> None
+  in
+  if executed then
+    State.with_lock t.server_state (fun () ->
+        State.observe_service t.server_state ~meth
+          ~ns:((t_solved -. t_dispatch) *. 1e9);
+        match overrun_ms_opt with
+        | Some o_ms ->
+            State.record_overrun t.server_state ~meth ~ns:(o_ms *. 1e6)
+        | None -> ());
   let line, ok =
     match outcome with
     | Ok result ->
         let line =
           if frame.Protocol.trace then
+            let spans =
+              [
+                ("accept_ms", Json.Float (ms job.t_accept job.t_queued));
+                ("queue_ms", Json.Float (ms job.t_queued t_dispatch));
+                ("solve_ms", Json.Float (ms t_dispatch t_solved));
+              ]
+              @ (match overrun_ms_opt with
+                | Some o_ms -> [ ("overrun_ms", Json.Float o_ms) ]
+                | None -> [])
+            in
             let trace =
               Json.Obj
                 [
                   ("request_id", Json.Int job.request_id);
-                  ( "spans",
-                    Json.Obj
-                      [
-                        ("accept_ms", Json.Float (ms job.t_accept job.t_queued));
-                        ("queue_ms", Json.Float (ms job.t_queued t_dispatch));
-                        ("solve_ms", Json.Float (ms t_dispatch t_solved));
-                      ] );
+                  ("spans", Json.Obj spans);
                 ]
             in
             Protocol.render_ok_traced ~id:frame.Protocol.id ~result ~trace
@@ -155,7 +180,7 @@ let execute t job =
   in
   State.with_lock t.server_state (fun () ->
       State.merge_request_metrics t.server_state request_metrics);
-  finish t job ~t_dispatch outcome
+  finish t job ~t_dispatch ~executed:true outcome
 
 let worker_loop t =
   let rec loop () =
@@ -163,8 +188,10 @@ let worker_loop t =
     | None -> () (* closed and drained *)
     | Some job ->
         (match job.deadline with
-        | Some d when Timer.now () > d ->
-            finish t job ~t_dispatch:(Timer.now ())
+        | Some d when Timer.now () >= d ->
+            (* [>=]: a deadline hit exactly at dispatch is already
+               missed — work only counts if it finishes inside it. *)
+            finish t job ~t_dispatch:(Timer.now ()) ~executed:false
               (Error (Protocol.timeout "deadline expired while queued"))
         | _ -> execute t job);
         loop ()
@@ -243,7 +270,7 @@ let handle_line t conn line =
               t_queued;
             }
           in
-          finish t job ~t_dispatch:t_queued
+          finish t job ~t_dispatch:t_queued ~executed:false
             (Handler.handle ~state:t.server_state
                ~queue_depth:(fun () -> Admission.length t.queue)
                ~debug:t.config.enable_debug ~rng ~metrics request)
@@ -252,44 +279,82 @@ let handle_line t conn line =
           send_error t ~reply:(conn_reply conn) ~id:frame.Protocol.id
             (Protocol.overloaded "server is draining")
         else begin
+          let now = Timer.now () in
           let deadline =
             let ms =
               match frame.Protocol.timeout_ms with
               | Some ms -> Some ms
               | None -> t.config.default_timeout_ms
             in
-            Option.map
-              (fun ms -> Timer.now () +. (float_of_int ms /. 1000.0))
-              ms
+            Option.map (fun ms -> now +. (float_of_int ms /. 1000.0)) ms
           in
-          let rng = State.with_lock t.server_state (fun () ->
-              State.next_rng t.server_state)
+          (* Early shedding: a request that cannot meet its deadline is
+             answered now instead of queuing doomed work.  An already
+             expired deadline (timeout_ms 0) is a structured [timeout];
+             a deadline the queue depth and the per-method service-time
+             estimate say is unmeetable is [overloaded].  Methods with
+             no completed sample predict 0 and are never shed. *)
+          let meth = Protocol.method_name request in
+          let expired =
+            match deadline with Some d -> d <= now | None -> false
           in
-          let job =
-            {
-              frame;
-              deadline;
-              reply = job_reply conn;
-              rng;
-              request_id;
-              t_accept;
-              t_queued = Timer.now ();
-            }
+          let doomed =
+            (not expired)
+            &&
+            match deadline with
+            | None -> false
+            | Some d ->
+                let est_ns =
+                  State.with_lock t.server_state (fun () ->
+                      State.predict_service_ns t.server_state ~meth)
+                in
+                est_ns > 0.0
+                && (let depth = Admission.length t.queue in
+                    now +. (float_of_int (depth + 1) *. est_ns *. 1e-9) > d)
           in
-          Mutex.lock conn.inflight_mutex;
-          conn.inflight <- conn.inflight + 1;
-          Mutex.unlock conn.inflight_mutex;
-          if not (Admission.try_push t.queue job) then begin
-            (* Undo the optimistic inflight count: the error reply below
-               goes through conn_reply, not job_reply. *)
-            Mutex.lock conn.inflight_mutex;
-            conn.inflight <- conn.inflight - 1;
-            if conn.inflight = 0 then Condition.broadcast conn.inflight_done;
-            Mutex.unlock conn.inflight_mutex;
+          if expired then
             send_error t ~reply:(conn_reply conn) ~id:frame.Protocol.id
-              (Protocol.overloaded
-                 (if Admission.closed t.queue then "server is draining"
-                  else "admission queue full"))
+              (Protocol.timeout "deadline already expired on arrival")
+          else if doomed then begin
+            State.with_lock t.server_state (fun () ->
+                State.record_shed t.server_state);
+            send_error t ~reply:(conn_reply conn) ~id:frame.Protocol.id
+              (Protocol.overloaded "deadline unmeetable at current load")
+          end
+          else begin
+            let rng = State.with_lock t.server_state (fun () ->
+                State.next_rng t.server_state)
+            in
+            let job =
+              {
+                frame;
+                deadline;
+                reply = job_reply conn;
+                rng;
+                request_id;
+                t_accept;
+                t_queued = Timer.now ();
+              }
+            in
+            Mutex.lock conn.inflight_mutex;
+            conn.inflight <- conn.inflight + 1;
+            Mutex.unlock conn.inflight_mutex;
+            if
+              not
+                (Admission.try_push t.queue
+                   ~priority:frame.Protocol.priority ~deadline job)
+            then begin
+              (* Undo the optimistic inflight count: the error reply below
+                 goes through conn_reply, not job_reply. *)
+              Mutex.lock conn.inflight_mutex;
+              conn.inflight <- conn.inflight - 1;
+              if conn.inflight = 0 then Condition.broadcast conn.inflight_done;
+              Mutex.unlock conn.inflight_mutex;
+              send_error t ~reply:(conn_reply conn) ~id:frame.Protocol.id
+                (Protocol.overloaded
+                   (if Admission.closed t.queue then "server is draining"
+                    else "admission queue full"))
+            end
           end
         end
   end
@@ -420,7 +485,7 @@ let start config =
       server_state =
         State.create ~cache_capacity:config.cache_capacity
           ~queue_capacity:config.queue_capacity ~seed:config.seed ();
-      queue = Admission.create ~capacity:config.queue_capacity;
+      queue = Admission.create ~capacity:config.queue_capacity ();
       pool = Pool.create ~jobs;
       stop_flag = Atomic.make false;
       conn_mutex = Mutex.create ();

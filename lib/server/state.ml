@@ -18,6 +18,11 @@ type trace_entry = {
 
 let slow_ring_capacity = 16
 
+(* ProbTime-style overrun accounting: a request that finishes past its
+   deadline is still answered, but the overrun (in ns past deadline) is
+   tallied per method so operators can see missed periods. *)
+type overrun_stat = { count : int; total_ns : float; max_ns : float }
+
 type t = {
   mutex : Mutex.t;
   cache : Cache.t;
@@ -29,6 +34,9 @@ type t = {
   errors : (string, int) Hashtbl.t;  (* error code -> count *)
   mutable request_serial : int;  (* server-assigned per-request id *)
   slow_ring : trace_entry Queue.t;  (* last <= 16 traced requests *)
+  estimator : Estimator.t;  (* per-method service-time EWMA, ns *)
+  overruns : (string, overrun_stat) Hashtbl.t;  (* wire method -> tally *)
+  mutable shed : int;  (* doomed requests answered [overloaded] unqueued *)
 }
 
 let create ~cache_capacity ~queue_capacity ~seed () =
@@ -43,6 +51,9 @@ let create ~cache_capacity ~queue_capacity ~seed () =
     errors = Hashtbl.create 8;
     request_serial = 0;
     slow_ring = Queue.create ();
+    estimator = Estimator.create ();
+    overruns = Hashtbl.create 8;
+    shed = 0;
   }
 
 let with_lock t f =
@@ -74,6 +85,30 @@ let record_trace t entry =
 
 let merge_request_metrics t request_metrics =
   Metrics.merge t.metrics request_metrics
+
+let observe_service t ~meth ~ns = Estimator.observe t.estimator ~meth ~ns
+let predict_service_ns t ~meth = Estimator.predict_ns t.estimator ~meth
+
+let record_overrun t ~meth ~ns =
+  let ns = Stdlib.max 0.0 ns in
+  let prev =
+    Option.value
+      ~default:{ count = 0; total_ns = 0.0; max_ns = 0.0 }
+      (Hashtbl.find_opt t.overruns meth)
+  in
+  Hashtbl.replace t.overruns meth
+    {
+      count = prev.count + 1;
+      total_ns = prev.total_ns +. ns;
+      max_ns = Stdlib.max prev.max_ns ns;
+    }
+
+let overruns t =
+  List.sort compare
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.overruns [])
+
+let record_shed t = t.shed <- t.shed + 1
+let sheds t = t.shed
 
 let sorted_counts table =
   List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
@@ -126,8 +161,23 @@ let snapshot t ~queue_depth ~uptime_s =
               [
                 ("capacity", Json.Int t.queue_capacity);
                 ("depth", Json.Int queue_depth);
+                ("shed", Json.Int t.shed);
               ] );
+          (* Deprecated duplicate of queue.depth; kept emitted for one
+             release (see PROTOCOL.md §2.5). *)
           ("queue_depth", Json.Int queue_depth);
+          ( "overruns",
+            Json.Obj
+              (List.map
+                 (fun (m, o) ->
+                   ( m,
+                     Json.Obj
+                       [
+                         ("count", Json.Int o.count);
+                         ("total_ns", Json.Int (int_of_float o.total_ns));
+                         ("max_ns", Json.Int (int_of_float o.max_ns));
+                       ] ))
+                 (overruns t)) );
           ( "slow_ring",
             (* Newest first: the interesting request is the recent one. *)
             Json.List

@@ -82,6 +82,32 @@ val record_trace : t -> trace_entry -> unit
 val merge_request_metrics : t -> Tlp_util.Metrics.t -> unit
 (** Fold a completed request's private sink into the server sink. *)
 
+type overrun_stat = { count : int; total_ns : float; max_ns : float }
+(** Per-method tally of requests that finished past their deadline:
+    how many, and the total and worst overrun in nanoseconds (the
+    ProbTime convention — overrun is reported as ns past deadline). *)
+
+val observe_service : t -> meth:string -> ns:float -> unit
+(** Feed one completed request's service time into the per-method
+    {!Estimator} consulted by admission-time shedding. *)
+
+val predict_service_ns : t -> meth:string -> float
+(** Estimated service time for [meth]; [0.0] until a request of that
+    method has completed (a cold server never sheds on a guess). *)
+
+val record_overrun : t -> meth:string -> ns:float -> unit
+(** Tally one deadline overrun of [ns] nanoseconds for [meth]. *)
+
+val overruns : t -> (string * overrun_stat) list
+(** Current overrun tallies, sorted by method. *)
+
+val record_shed : t -> unit
+(** Count one request shed at admission: answered [overloaded]
+    immediately because its deadline was unmeetable. *)
+
+val sheds : t -> int
+(** Number of requests shed so far. *)
+
 val snapshot :
   t ->
   queue_depth:int ->

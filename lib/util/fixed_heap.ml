@@ -1,0 +1,69 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  dummy : 'a;
+  data : 'a array;  (* preallocated at capacity; elements in [0, size) *)
+  mutable size : int;
+}
+
+let create ~capacity ~cmp ~dummy =
+  let capacity = Stdlib.max capacity 1 in
+  { cmp; dummy; data = Array.make capacity dummy; size = 0 }
+
+let capacity t = Array.length t.data
+let size t = t.size
+let is_empty t = t.size = 0
+let is_full t = t.size = Array.length t.data
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t x =
+  if is_full t then false
+  else begin
+    t.data.(t.size) <- x;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1);
+    true
+  end
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    (* Recycle the vacated slot: overwriting with [dummy] releases the
+       heap's reference so popped elements can be collected (or, for
+       pooled nodes, reused) immediately. *)
+    t.data.(t.size) <- t.dummy;
+    Some top
+  end
+
+let clear t =
+  Array.fill t.data 0 t.size t.dummy;
+  t.size <- 0

@@ -1,0 +1,39 @@
+(** Fixed-capacity binary min-heap with preallocated slots.
+
+    The bounded sibling of {!Minheap}: the backing array is allocated
+    once at {!create} and never grows, so steady-state [push]/[pop]
+    never allocate — the discipline real-time EDF schedulers use for
+    their event queues, where a mid-schedule resize would be a latency
+    spike.  [push] reports fullness instead of growing, and every slot
+    vacated by [pop]/[clear] is overwritten with the caller's [dummy]
+    element so the heap retains no reference to departed elements
+    (slot recycling). *)
+
+type 'a t
+
+val create : capacity:int -> cmp:('a -> 'a -> int) -> dummy:'a -> 'a t
+(** Heap ordered by [cmp] (smallest first) holding at most [capacity]
+    elements (clamped to at least 1).  [dummy] fills unused slots; it
+    is never returned by [peek]/[pop] unless the caller pushes it. *)
+
+val capacity : 'a t -> int
+
+val size : 'a t -> int
+(** Number of live elements. *)
+
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** Insert an element in [O(log n)] without allocating.  [false] when
+    the heap is full (the element is not inserted). *)
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element; its slot is reset to the
+    [dummy]. *)
+
+val clear : 'a t -> unit
+(** Drop every element, resetting all slots to the [dummy]. *)

@@ -1,0 +1,259 @@
+(* Properties of the fixed-capacity heap and the EDF admission queue:
+   pop order against sorted oracles over random deadline/class mixes,
+   the batch starvation bound, and capacity/close/drain semantics under
+   concurrent push and pop. *)
+
+open Helpers
+module Fixed_heap = Tlp_util.Fixed_heap
+module Admission = Tlp_server.Admission
+module Protocol = Tlp_server.Protocol
+
+(* ---------- fixed-capacity heap ---------- *)
+
+let test_heap_capacity_and_clear () =
+  let h = Fixed_heap.create ~capacity:3 ~cmp:Int.compare ~dummy:0 in
+  check_int "capacity recorded" 3 (Fixed_heap.capacity h);
+  check_bool "starts empty" true (Fixed_heap.is_empty h);
+  check_bool "push 1" true (Fixed_heap.push h 5);
+  check_bool "push 2" true (Fixed_heap.push h 2);
+  check_bool "push 3" true (Fixed_heap.push h 9);
+  check_bool "full" true (Fixed_heap.is_full h);
+  check_bool "push into full heap refused" false (Fixed_heap.push h 1);
+  check_bool "peek is min" true (Fixed_heap.peek h = Some 2);
+  check_bool "pop frees a slot" true (Fixed_heap.pop h = Some 2);
+  check_bool "push after pop" true (Fixed_heap.push h 1);
+  Fixed_heap.clear h;
+  check_bool "clear empties" true (Fixed_heap.is_empty h);
+  check_bool "pop on empty" true (Fixed_heap.pop h = None);
+  check_bool "clamped capacity" true
+    (Fixed_heap.capacity (Fixed_heap.create ~capacity:0 ~cmp:Int.compare ~dummy:0)
+    >= 1)
+
+let heap_pop_sorted =
+  qcheck "fixed_heap: drain pops a sorted permutation"
+    QCheck2.Gen.(list_size (int_range 0 64) (int_range (-1000) 1000))
+    (fun items ->
+      let h = Fixed_heap.create ~capacity:64 ~cmp:Int.compare ~dummy:0 in
+      List.iter (fun x -> assert (Fixed_heap.push h x)) items;
+      let rec drain acc =
+        match Fixed_heap.pop h with
+        | Some x -> drain (x :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort Int.compare items)
+
+let heap_interleaved_oracle =
+  (* Random push/pop interleavings against a sorted-list oracle: the
+     heap must agree with the oracle on every pop and every size. *)
+  qcheck "fixed_heap: push/pop interleavings match a list oracle"
+    QCheck2.Gen.(
+      list_size (int_range 0 80) (pair bool (int_range (-50) 50)))
+    (fun ops ->
+      let h = Fixed_heap.create ~capacity:16 ~cmp:Int.compare ~dummy:0 in
+      let oracle = ref [] in
+      List.for_all
+        (fun (is_push, x) ->
+          if is_push then begin
+            let fits = List.length !oracle < 16 in
+            let pushed = Fixed_heap.push h x in
+            if pushed then oracle := List.sort Int.compare (x :: !oracle);
+            pushed = fits
+          end
+          else
+            let expect =
+              match !oracle with
+              | [] -> None
+              | y :: rest ->
+                  oracle := rest;
+                  Some y
+            in
+            Fixed_heap.pop h = expect)
+        ops
+      && Fixed_heap.size h = List.length !oracle)
+
+(* ---------- EDF pop order ---------- *)
+
+let push q ~batch ~deadline item =
+  Admission.try_push q
+    ~priority:(if batch then Protocol.Batch else Protocol.Interactive)
+    ~deadline item
+
+let drain q =
+  let rec go acc =
+    match Admission.pop q with Some x -> go (x :: acc) | None -> List.rev acc
+  in
+  Admission.close q;
+  go []
+
+(* Entries are (has_deadline, deadline in [0,50], batch): a coarse
+   deadline range forces ties, exercising the admission-order
+   tie-break. *)
+let entries_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 40) (triple bool (int_range 0 50) bool))
+
+let edf_interactive_oracle =
+  qcheck "admission: all-interactive drain matches (deadline, seq) sort"
+    QCheck2.Gen.(list_size (int_range 0 40) (pair bool (int_range 0 50)))
+    (fun entries ->
+      let q = Admission.create ~capacity:64 () in
+      List.iteri
+        (fun i (has_d, d) ->
+          assert
+            (push q ~batch:false
+               ~deadline:(if has_d then Some (float_of_int d) else None)
+               i))
+        entries;
+      let key = Array.of_list entries in
+      let oracle =
+        List.sort
+          (fun a b ->
+            let dl i =
+              let has_d, d = key.(i) in
+              if has_d then float_of_int d else infinity
+            in
+            match Float.compare (dl a) (dl b) with
+            | 0 -> Int.compare a b
+            | c -> c)
+          (List.init (List.length entries) Fun.id)
+      in
+      drain q = oracle)
+
+let edf_mixed_classes =
+  qcheck "admission: per-class EDF order and batch starvation bound"
+    entries_gen
+    (fun entries ->
+      let q = Admission.create ~capacity:64 () in
+      List.iteri
+        (fun i (has_d, d, batch) ->
+          assert
+            (push q ~batch
+               ~deadline:(if has_d then Some (float_of_int d) else None)
+               i))
+        entries;
+      let order = drain q in
+      let key = Array.of_list entries in
+      let deadline_of i =
+        let has_d, d, _ = key.(i) in
+        if has_d then float_of_int d else infinity
+      in
+      let batch_of i =
+        let _, _, b = key.(i) in
+        b
+      in
+      (* Everything pushed is popped exactly once. *)
+      List.sort Int.compare order = List.init (List.length entries) Fun.id
+      (* Within each class, pops follow (deadline, admission order). *)
+      && List.for_all
+           (fun cls ->
+             let cls_order = List.filter (fun i -> batch_of i = cls) order in
+             let rec sorted = function
+               | a :: (b :: _ as rest) ->
+                   (deadline_of a, a) <= (deadline_of b, b) && sorted rest
+               | _ -> true
+             in
+             sorted cls_order)
+           [ false; true ]
+      (* Aging: while batch waits, at most aging_bound consecutive
+         interactive pops. *)
+      &&
+      let bound = Admission.aging_bound q in
+      let rec runs pending_batch run = function
+        | [] -> true
+        | i :: rest ->
+            if batch_of i then runs (pending_batch - 1) 0 rest
+            else
+              pending_batch = 0
+              || (run + 1 <= bound && runs pending_batch (run + 1) rest)
+      in
+      runs (List.length (List.filter batch_of order)) 0 order)
+
+let test_aging_bound_deterministic () =
+  (* One batch request behind a stream of tighter-deadline interactive
+     requests: it must be popped after exactly aging_bound interactive
+     pops, not starved to the end. *)
+  let q = Admission.create ~capacity:32 () in
+  let bound = Admission.aging_bound q in
+  check_bool "batch admitted" true (push q ~batch:true ~deadline:None 0);
+  for i = 1 to 20 do
+    check_bool "interactive admitted" true
+      (push q ~batch:false ~deadline:(Some 1.0) i)
+  done;
+  let order = drain q in
+  let batch_pos =
+    match List.find_index (fun i -> i = 0) order with
+    | Some p -> p
+    | None -> Alcotest.fail "batch request never popped"
+  in
+  check_int "batch popped right at the aging bound" bound batch_pos
+
+(* ---------- concurrency: capacity, close, drain ---------- *)
+
+let test_concurrent_push_pop_drain () =
+  (* Pushers race poppers through a tiny queue; close begins the drain.
+     Every admitted item must be popped exactly once, every refused
+     push must be due to a genuinely full (or closed) queue, and the
+     final pop after close + drain must be None. *)
+  let q = Admission.create ~capacity:8 () in
+  let admitted = ref [] and popped = ref [] in
+  let admitted_mu = Mutex.create () and popped_mu = Mutex.create () in
+  let record mu cell x =
+    Mutex.lock mu;
+    cell := x :: !cell;
+    Mutex.unlock mu
+  in
+  let pusher w =
+    Thread.create
+      (fun () ->
+        for i = 0 to 49 do
+          let item = (w * 1000) + i in
+          let batch = i mod 3 = 0 in
+          let deadline =
+            if i mod 4 = 0 then None else Some (float_of_int ((i * 7) mod 13))
+          in
+          if push q ~batch ~deadline item then record admitted_mu admitted item
+          else Thread.yield ()
+        done)
+      ()
+  in
+  let popper () =
+    Thread.create
+      (fun () ->
+        let rec go () =
+          match Admission.pop q with
+          | Some item ->
+              record popped_mu popped item;
+              go ()
+          | None -> ()
+        in
+        go ())
+      ()
+  in
+  let poppers = [ popper (); popper () ] in
+  let pushers = List.init 4 pusher in
+  List.iter Thread.join pushers;
+  Admission.close q;
+  List.iter Thread.join poppers;
+  check_bool "closed" true (Admission.closed q);
+  check_int "drained" 0 (Admission.length q);
+  check_bool "post-drain pop is None" true (Admission.pop q = None);
+  check_bool "push after close refused" false
+    (push q ~batch:false ~deadline:None 9999);
+  Alcotest.(check (list int))
+    "popped exactly the admitted items"
+    (List.sort Int.compare !admitted)
+    (List.sort Int.compare !popped)
+
+let suite =
+  [
+    Alcotest.test_case "fixed_heap: capacity and clear" `Quick
+      test_heap_capacity_and_clear;
+    heap_pop_sorted;
+    heap_interleaved_oracle;
+    edf_interactive_oracle;
+    edf_mixed_classes;
+    Alcotest.test_case "admission: aging bound deterministic" `Quick
+      test_aging_bound_deterministic;
+    Alcotest.test_case "admission: concurrent push/pop/close/drain" `Quick
+      test_concurrent_push_pop_drain;
+  ]

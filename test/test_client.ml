@@ -126,14 +126,48 @@ let test_run_deadline_mid_retry () =
       jitter = 0.0 }
   in
   (* 100 ms per backoff, deadline at 250 ms: attempts at t=0, 0.1, 0.2,
-     then the next sleep would cross the deadline — the driver must map
-     the last retryable error through on_deadline instead of sleeping. *)
+     then the next backoff is clamped to the remaining 50 ms budget and
+     one final attempt fires exactly at the deadline.  Only then — with
+     the budget spent — is the error mapped through on_deadline. *)
   let result, calls, slept =
     run_fake ~policy ~seed:5 ~deadline:0.25 (fun _ -> None)
   in
   check_bool "deadline maps the error" true (result = Error Fatal);
-  check_int "three attempts fit before the deadline" 3 calls;
-  check_int "two sleeps taken" 2 (List.length slept)
+  check_int "clamped sleep buys a final attempt" 4 calls;
+  Alcotest.(check (list int))
+    "last sleep clamped to the remaining budget" [ 100; 100; 50 ]
+    (List.map (fun s -> int_of_float ((s *. 1000.0) +. 0.5)) slept)
+
+let test_run_deadline_clamped_attempt_can_succeed () =
+  let policy =
+    { Backoff.max_attempts = 10; base_delay_ms = 100; max_delay_ms = 100;
+      jitter = 0.0 }
+  in
+  (* The final attempt bought by the clamped sleep is a real attempt:
+     if it succeeds, the call succeeds — the old driver would have
+     given up at t=0.2 with 50 ms still on the clock. *)
+  let result, calls, slept =
+    run_fake ~policy ~seed:5 ~deadline:0.25
+      (fun a -> if a = 4 then Some "late ok" else None)
+  in
+  check_bool "clamped final attempt succeeded" true (result = Ok "late ok");
+  check_int "four attempts" 4 calls;
+  check_int "three sleeps" 3 (List.length slept)
+
+let test_run_deadline_exact_boundary () =
+  let policy =
+    { Backoff.max_attempts = 10; base_delay_ms = 100; max_delay_ms = 100;
+      jitter = 0.0 }
+  in
+  (* Deadline lands exactly on an attempt: remaining budget is 0, so
+     the driver maps through on_deadline without sleeping again — no
+     zero-length sleep loop. *)
+  let result, calls, slept =
+    run_fake ~policy ~seed:5 ~deadline:0.2 (fun _ -> None)
+  in
+  check_bool "boundary maps the error" true (result = Error Fatal);
+  check_int "three attempts (t=0, 0.1, 0.2)" 3 calls;
+  check_int "two full sleeps only" 2 (List.length slept)
 
 (* ---------- frames and classification ---------- *)
 
@@ -273,6 +307,10 @@ let suite =
       test_run_does_not_retry_fatal;
     Alcotest.test_case "backoff: deadline mid-retry" `Quick
       test_run_deadline_mid_retry;
+    Alcotest.test_case "backoff: clamped final attempt succeeds" `Quick
+      test_run_deadline_clamped_attempt_can_succeed;
+    Alcotest.test_case "backoff: deadline exact boundary" `Quick
+      test_run_deadline_exact_boundary;
     Alcotest.test_case "client: request line shape" `Quick
       test_request_line_shape;
     Alcotest.test_case "client: classify responses" `Quick

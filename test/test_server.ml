@@ -100,28 +100,34 @@ let test_cache_disabled () =
 
 (* ---------- admission queue ---------- *)
 
+(* Deadline-free interactive pushes: the EDF queue degrades to exactly
+   the old FIFO behavior (equal +inf deadlines break ties by admission
+   order).  EDF ordering proper is covered in test_admission.ml. *)
+let push q x =
+  Admission.try_push q ~priority:Protocol.Interactive ~deadline:None x
+
 let test_admission_bound () =
-  let q = Admission.create ~capacity:2 in
-  check_bool "push 1" true (Admission.try_push q 1);
-  check_bool "push 2" true (Admission.try_push q 2);
-  check_bool "push 3 refused" false (Admission.try_push q 3);
+  let q = Admission.create ~capacity:2 () in
+  check_bool "push 1" true (push q 1);
+  check_bool "push 2" true (push q 2);
+  check_bool "push 3 refused" false (push q 3);
   check_int "depth" 2 (Admission.length q);
   check_bool "fifo" true (Admission.pop q = Some 1);
-  check_bool "freed a slot" true (Admission.try_push q 4)
+  check_bool "freed a slot" true (push q 4)
 
 let test_admission_close_drains () =
-  let q = Admission.create ~capacity:4 in
-  ignore (Admission.try_push q 1);
-  ignore (Admission.try_push q 2);
+  let q = Admission.create ~capacity:4 () in
+  ignore (push q 1);
+  ignore (push q 2);
   Admission.close q;
-  check_bool "push after close refused" false (Admission.try_push q 3);
+  check_bool "push after close refused" false (push q 3);
   check_bool "drain 1" true (Admission.pop q = Some 1);
   check_bool "drain 2" true (Admission.pop q = Some 2);
   check_bool "then None" true (Admission.pop q = None);
   check_bool "closed" true (Admission.closed q)
 
 let test_admission_close_wakes_blocked_pop () =
-  let q : int Admission.t = Admission.create ~capacity:1 in
+  let q : int Admission.t = Admission.create ~capacity:1 () in
   let result = ref (Some 0) in
   let th = Thread.create (fun () -> result := Admission.pop q) () in
   Thread.delay 0.05;
@@ -154,6 +160,8 @@ let test_parse_partition_frame () =
   in
   check_bool "id" true (f.Protocol.id = Json.String "r1");
   check_bool "timeout" true (f.Protocol.timeout_ms = Some 250);
+  check_bool "default priority" true
+    (f.Protocol.priority = Protocol.Interactive);
   match f.Protocol.request with
   | Protocol.Partition { instance; k; algorithm } ->
       check_int "k" 9 k;
@@ -200,6 +208,21 @@ let test_parse_sweep_defaults () =
       check_bool "default algorithm" true (algorithm = Ksweep.Hitting)
   | _ -> Alcotest.fail "wrong request variant"
 
+let test_parse_priority_and_zero_timeout () =
+  (* timeout_ms 0 is legal ("already expired") and priority is an
+     optional two-value enum defaulting to interactive. *)
+  let f = parse_ok {|{"id":1,"method":"health","timeout_ms":0}|} in
+  check_bool "timeout 0 accepted" true (f.Protocol.timeout_ms = Some 0);
+  let b =
+    parse_ok {|{"id":2,"method":"health","priority":"batch"}|}
+  in
+  check_bool "batch parsed" true (b.Protocol.priority = Protocol.Batch);
+  let i =
+    parse_ok {|{"id":3,"method":"health","priority":"interactive"}|}
+  in
+  check_bool "interactive parsed" true
+    (i.Protocol.priority = Protocol.Interactive)
+
 let test_parse_rejects () =
   let check_reject name line expect_id needle =
     let id, e = parse_err line in
@@ -218,8 +241,11 @@ let test_parse_rejects () =
     "unknown method";
   check_reject "bad id type" {|{"id":[1],"method":"health"}|} Json.Null "id";
   check_reject "bad timeout"
-    {|{"id":1,"method":"health","timeout_ms":0}|}
+    {|{"id":1,"method":"health","timeout_ms":-1}|}
     (Json.Int 1) "timeout_ms";
+  check_reject "bad priority"
+    {|{"id":1,"method":"health","priority":"urgent"}|}
+    (Json.Int 1) "priority";
   check_reject "bad k"
     (Printf.sprintf
        {|{"id":2,"method":"partition","params":{"instance":%s,"k":-3}}|}
@@ -581,11 +607,174 @@ let test_loopback_stats_shape () =
                   "cache";
                   "queue";
                   "queue_depth";
+                  "overruns";
                   "slow_ring";
                   "metrics";
                 ]
           | _ -> Alcotest.fail "stats result not an object")
       | _ -> Alcotest.fail "stats response unparseable")
+
+(* ---------- deadline-aware admission (EDF, shedding, overruns) ---------- *)
+
+let stats_result srv =
+  let stats =
+    List.hd (exchange (Server.port srv) [ {|{"id":99,"method":"stats"}|} ])
+  in
+  match Json.parse stats with
+  | Ok (Json.Obj fields) -> (
+      match List.assoc_opt "result" fields with
+      | Some (Json.Obj result) -> result
+      | _ -> Alcotest.fail "stats result not an object")
+  | _ -> Alcotest.fail "stats response unparseable"
+
+let response_ids responses =
+  List.filter_map
+    (fun l -> match response_id l with Json.Int i -> Some i | _ -> None)
+    responses
+
+let test_loopback_edf_order () =
+  (* One worker jammed by a long sleep; three partitions with deadlines
+     5s, 1s, 3s pile up in the queue in that arrival order.  EDF must
+     answer them 2, 3, 1 — deadline order, not arrival order. *)
+  with_server ~jobs:1 ~debug:true (fun srv ->
+      let port = Server.port srv in
+      let jam =
+        Thread.create
+          (fun () ->
+            ignore
+              (exchange port [ {|{"id":0,"method":"sleep","params":{"ms":400}}|} ]))
+          ()
+      in
+      Thread.delay 0.2 (* let the worker pop the jam request *);
+      let line id timeout_ms =
+        Printf.sprintf
+          {|{"id":%d,"method":"partition","timeout_ms":%d,"params":{"instance":%s,"k":9}}|}
+          id timeout_ms inline_chain
+      in
+      let responses =
+        exchange port [ line 1 5_000; line 2 1_000; line 3 3_000 ]
+      in
+      Thread.join jam;
+      Alcotest.(check (list int))
+        "completed in deadline order" [ 2; 3; 1 ]
+        (response_ids responses);
+      List.iter
+        (fun l -> check_bool "answered ok" true (error_code l = None))
+        responses)
+
+let test_loopback_priority_inversion () =
+  (* Batch enqueued first, interactive admitted later: the interactive
+     request must still be answered first once the worker frees up. *)
+  with_server ~jobs:1 ~debug:true (fun srv ->
+      let port = Server.port srv in
+      let jam =
+        Thread.create
+          (fun () ->
+            ignore
+              (exchange port [ {|{"id":0,"method":"sleep","params":{"ms":400}}|} ]))
+          ()
+      in
+      Thread.delay 0.2;
+      let line id priority =
+        Printf.sprintf
+          {|{"id":%d,"method":"partition","priority":"%s","params":{"instance":%s,"k":9}}|}
+          id priority inline_chain
+      in
+      let responses =
+        exchange port [ line 1 "batch"; line 2 "interactive" ]
+      in
+      Thread.join jam;
+      Alcotest.(check (list int))
+        "interactive preempts earlier batch" [ 2; 1 ]
+        (response_ids responses))
+
+let test_loopback_shed_doomed () =
+  (* Train the sleep estimate with a completed 120 ms sleep, then ask
+     for a sleep under a 60 ms deadline: the estimator says ~120 ms, so
+     the request is shed [overloaded] at admission — before solving —
+     and counted in stats.queue.shed. *)
+  with_server ~jobs:1 ~debug:true (fun srv ->
+      let port = Server.port srv in
+      let train =
+        exchange port [ {|{"id":1,"method":"sleep","params":{"ms":120}}|} ]
+      in
+      check_bool "training sleep succeeded" true
+        (error_code (find_response train (Json.Int 1)) = None);
+      let shed =
+        exchange port
+          [ {|{"id":2,"method":"sleep","timeout_ms":60,"params":{"ms":10}}|} ]
+      in
+      check_bool "doomed request shed as overloaded" true
+        (error_code (find_response shed (Json.Int 2)) = Some "overloaded");
+      let result = stats_result srv in
+      (match List.assoc_opt "queue" result with
+      | Some (Json.Obj queue) ->
+          check_bool "stats queue.shed counts it" true
+            (List.assoc_opt "shed" queue = Some (Json.Int 1))
+      | _ -> Alcotest.fail "stats queue not an object");
+      check_int "shed visible via State.sheds" 1
+        (State.with_lock (Server.state srv) (fun () ->
+             State.sheds (Server.state srv))))
+
+let test_loopback_overrun_accounting () =
+  (* A fresh server has no sleep estimate, so a 150 ms sleep under a
+     100 ms deadline is admitted, dispatched before expiry, and finishes
+     ~50 ms late: answered ok, but recorded as an overrun in stats and
+     surfaced as an overrun_ms trace span. *)
+  with_server ~jobs:1 ~debug:true (fun srv ->
+      let port = Server.port srv in
+      let responses =
+        exchange port
+          [
+            {|{"id":1,"method":"sleep","timeout_ms":100,"trace":true,"params":{"ms":150}}|};
+          ]
+      in
+      let response = find_response responses (Json.Int 1) in
+      check_bool "late completion still ok" true (error_code response = None);
+      (match Json.parse response with
+      | Ok (Json.Obj fields) -> (
+          match List.assoc_opt "trace" fields with
+          | Some (Json.Obj trace) -> (
+              match List.assoc_opt "spans" trace with
+              | Some (Json.Obj spans) -> (
+                  match List.assoc_opt "overrun_ms" spans with
+                  | Some (Json.Float o) ->
+                      check_bool "overrun span is positive" true (o > 0.0)
+                  | _ -> Alcotest.fail "overrun_ms span missing")
+              | _ -> Alcotest.fail "trace spans missing")
+          | _ -> Alcotest.fail "trace object missing")
+      | _ -> Alcotest.fail "response unparseable");
+      let result = stats_result srv in
+      match List.assoc_opt "overruns" result with
+      | Some (Json.Obj overruns) -> (
+          match List.assoc_opt "sleep" overruns with
+          | Some (Json.Obj o) ->
+              check_bool "overrun counted" true
+                (List.assoc_opt "count" o = Some (Json.Int 1));
+              check_bool "max_ns positive" true
+                (match List.assoc_opt "max_ns" o with
+                | Some (Json.Int ns) -> ns > 0
+                | _ -> false)
+          | _ -> Alcotest.fail "no sleep overrun entry")
+      | _ -> Alcotest.fail "stats overruns missing")
+
+let test_loopback_zero_timeout_expired () =
+  (* timeout_ms 0 parses and is answered with a structured timeout —
+     never queued, never solved. *)
+  with_server (fun srv ->
+      let port = Server.port srv in
+      let responses =
+        exchange port
+          [
+            Printf.sprintf
+              {|{"id":10,"method":"partition","timeout_ms":0,"params":{"instance":%s,"k":9}}|}
+              inline_chain;
+          ]
+      in
+      let response = find_response responses (Json.Int 10) in
+      check_bool "expired on arrival is timeout" true
+        (error_code response = Some "timeout");
+      check_bool "message says expired" true (contains response "expired"))
 
 (* ---------- request tracing ---------- *)
 
@@ -772,6 +961,18 @@ let suite =
     Alcotest.test_case "loopback: malformed + debug gate" `Quick
       test_loopback_malformed_and_debug_gate;
     Alcotest.test_case "loopback: stats shape" `Quick test_loopback_stats_shape;
+    Alcotest.test_case "loopback: EDF completes in deadline order" `Quick
+      test_loopback_edf_order;
+    Alcotest.test_case "loopback: interactive preempts batch" `Quick
+      test_loopback_priority_inversion;
+    Alcotest.test_case "loopback: doomed request shed" `Quick
+      test_loopback_shed_doomed;
+    Alcotest.test_case "loopback: overrun accounted" `Quick
+      test_loopback_overrun_accounting;
+    Alcotest.test_case "loopback: timeout_ms 0 expires on arrival" `Quick
+      test_loopback_zero_timeout_expired;
+    Alcotest.test_case "protocol: priority and zero timeout parse" `Quick
+      test_parse_priority_and_zero_timeout;
     Alcotest.test_case "trace: field must be boolean" `Quick
       test_trace_field_must_be_bool;
     Alcotest.test_case "trace: traced response shape" `Quick
