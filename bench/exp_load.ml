@@ -62,8 +62,18 @@ let run ~max_jobs () =
   let closed = Runner.run ~port (Workload.plan base) in
   Printf.printf "  digest   %s\n" (Workload.sequence_digest closed.Runner.plan);
   describe "closed" closed;
-  Report.write ~path:"BENCH_load.json" closed;
-  print_endline "  wrote BENCH_load.json";
+  (* Same plan over the v2 binary framing: the digest is
+     protocol-independent, so the two runs differ only in wire cost.
+     The v2 report rides in the "v2" field of BENCH_load.json. *)
+  let closed_v2 =
+    Runner.run ~port
+      (Workload.plan { base with Workload.proto = Tlp_client.Client.V2 })
+  in
+  describe "v2" closed_v2;
+  Report.write ~path:"BENCH_load.json"
+    ~extra:[ ("v2", Report.to_json closed_v2) ]
+    closed;
+  print_endline "  wrote BENCH_load.json (v1 + v2 closed runs)";
   (* --- open loop: same corpus, paced arrivals --- *)
   let rate = 400.0 in
   let fixed =

@@ -10,7 +10,11 @@
      subsequent calls replay rendered bytes (hits) — mean latency of
      each side and the speedup;
    - [mixed]: a pipelined mixed batch (partition + sweep + stats) on one
-     connection, exercising out-of-order completion.
+     connection, exercising out-of-order completion;
+   - [alloc]: GC-measured allocation words per request of the full
+     in-process serving path (parse/decode -> handle -> render/encode),
+     v1 JSON lines against v2 binary frames on the same cache-hot
+     request — the v2 framing's reason to exist.
 
    The server runs in-process on an ephemeral port; clients are
    sys-threads doing blocking socket I/O, which is exactly what an
@@ -24,6 +28,10 @@ module Chain = Tlp_graph.Chain
 module Server = Tlp_server.Server
 module State = Tlp_server.State
 module Cache = Tlp_server.Cache
+module Protocol = Tlp_server.Protocol
+module Handler = Tlp_server.Handler
+module Frame = Tlp_server.Frame
+module Bytebuf = Tlp_util.Bytebuf
 
 let wall f =
   let t0 = Timer.now () in
@@ -172,6 +180,89 @@ let run ~max_jobs () =
     (List.length mixed) mixed_s;
   Server.stop srv;
   Server.wait srv;
+  (* --- alloc: per-request allocation, v1 vs v2 serving path --- *)
+  (* Both loops run the identical request through the identical handler
+     on this thread (Gc stats are per-domain, so nothing else may
+     allocate concurrently): the only difference is the framing — v1
+     parses the JSON line and renders the envelope string, v2 decodes
+     the binary frame in place and encodes into a reused write buffer.
+     The request is a cache hit after warmup, so the numbers isolate
+     the wire codec cost, which is exactly what the framing changes. *)
+  let alloc_state =
+    State.create ~cache_capacity:64 ~queue_capacity:64 ~seed:0 ()
+  in
+  let alloc_chain = Chain_gen.figure2 (Rng.create 11) ~n:200 ~max_weight:20 in
+  let alloc_line =
+    partition_line ~id:7 alloc_chain ~k:(2 * Chain.max_alpha alloc_chain)
+  in
+  let alloc_frame =
+    match Protocol.parse_frame alloc_line with
+    | Ok f -> f
+    | Error _ -> failwith "alloc scenario: unparseable request line"
+  in
+  let fbuf = Bytebuf.create 1024 in
+  Frame.encode_request fbuf alloc_frame;
+  let fbytes = Bytes.of_string (Bytebuf.contents fbuf) in
+  let flen = Bytes.length fbytes - 4 in
+  let alloc_rng = Rng.create 3 in
+  let alloc_metrics = Tlp_util.Metrics.create () in
+  let handle request =
+    match
+      Handler.handle ~state:alloc_state
+        ~queue_depth:(fun () -> 0)
+        ~debug:false ~rng:alloc_rng ~metrics:alloc_metrics request
+    with
+    | Ok payload -> payload
+    | Error _ -> failwith "alloc scenario: request rejected"
+  in
+  let serve_v1 () =
+    match Protocol.parse_frame alloc_line with
+    | Error _ -> assert false
+    | Ok f ->
+        let result =
+          match handle f.Protocol.request with
+          | Handler.Rendered entry -> entry.Cache.v1
+          | Handler.Doc doc -> Json_out.to_string doc
+        in
+        ignore (Sys.opaque_identity (Protocol.render_ok ~id:f.Protocol.id ~result))
+  in
+  let wbuf = Bytebuf.create 4096 in
+  let serve_v2 () =
+    match Frame.decode_request fbytes ~pos:4 ~len:flen with
+    | Error _ -> assert false
+    | Ok f ->
+        Bytebuf.clear wbuf;
+        (match handle f.Protocol.request with
+        | Handler.Rendered entry ->
+            Frame.encode_ok wbuf ~id:f.Protocol.id ~result:entry.Cache.v2
+              ~trace:None
+        | Handler.Doc doc ->
+            Frame.encode_ok_doc wbuf ~id:f.Protocol.id ~doc ~trace:None);
+        ignore (Sys.opaque_identity (Bytebuf.length wbuf))
+  in
+  (* Warm the cache (and the workspace pool) so both loops measure the
+     steady-state hit path. *)
+  serve_v1 ();
+  serve_v2 ();
+  let alloc_iters = 1000 in
+  let words_per_request f =
+    let g0 = Gc.quick_stat () in
+    let m0 = Gc.minor_words () in
+    for _ = 1 to alloc_iters do
+      f ()
+    done;
+    let m1 = Gc.minor_words () in
+    let g1 = Gc.quick_stat () in
+    (m1 +. g1.Gc.major_words -. g1.Gc.promoted_words
+    -. (m0 +. g0.Gc.major_words -. g0.Gc.promoted_words))
+    /. float_of_int alloc_iters
+  in
+  let v1_words = words_per_request serve_v1 in
+  let v2_words = words_per_request serve_v2 in
+  let alloc_reduction = v1_words /. v2_words in
+  Printf.printf
+    "  alloc n=200 hit path: v1 %.0f words/req, v2 %.0f words/req (%.1fx)\n"
+    v1_words v2_words alloc_reduction;
   (* --- deadline: EDF shedding and overrun accounting --- *)
   (* A dedicated jobs=1 debug server runs a deterministic three-step
      script: train the per-method estimator with a 50ms sleep, admit a
@@ -241,6 +332,15 @@ let run ~max_jobs () =
             [
               ("requests", Json_out.Int (List.length mixed));
               ("wall_s", Json_out.Float mixed_s);
+            ] );
+        ( "alloc",
+          Json_out.Obj
+            [
+              ("n", Json_out.Int 200);
+              ("iters", Json_out.Int alloc_iters);
+              ("v1_words_per_request", Json_out.Float v1_words);
+              ("v2_words_per_request", Json_out.Float v2_words);
+              ("reduction", Json_out.Float alloc_reduction);
             ] );
         ( "deadline",
           Json_out.Obj

@@ -24,8 +24,8 @@ let parse_mix text =
   | _ -> None
 
 let run host port seed workers requests rate poisson mix corpus chain_n
-    max_weight timeout_ms deadline_ms trace_every batch_every out expect_clean
-    plan_only =
+    max_weight timeout_ms deadline_ms trace_every batch_every proto out
+    expect_clean plan_only =
   let arrival =
     match rate with
     | None -> Workload.Closed
@@ -53,6 +53,7 @@ let run host port seed workers requests rate poisson mix corpus chain_n
       timeout_ms = (if timeout_ms <= 0 then None else Some timeout_ms);
       trace_every;
       batch_every;
+      proto;
     }
   in
   let plan =
@@ -192,6 +193,14 @@ let cmd =
                 admission queue's deferrable class); 0 sends everything \
                 interactive.")
   in
+  let proto =
+    Arg.(
+      value
+      & opt (enum [ ("v1", Tlp_client.Client.V1); ("v2", Tlp_client.Client.V2) ])
+          Tlp_client.Client.V1
+      & info [ "proto" ] ~docv:"v1|v2"
+          ~doc:"Wire protocol: newline-delimited JSON (v1, default) or                 length-prefixed binary frames (v2).  The plan digest is                 protocol-independent, so v1 and v2 runs of the same flags                 are directly comparable.")
+  in
   let out =
     Arg.(
       value
@@ -222,6 +231,6 @@ let cmd =
     Term.(
       const run $ host $ port $ seed $ workers $ requests $ rate $ poisson
       $ mix $ corpus $ chain_n $ max_weight $ timeout_ms $ deadline_ms
-      $ trace_every $ batch_every $ out $ expect_clean $ plan_only)
+      $ trace_every $ batch_every $ proto $ out $ expect_clean $ plan_only)
 
 let () = exit (Cmd.eval cmd)

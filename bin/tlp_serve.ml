@@ -96,8 +96,16 @@ let serve_cmd =
    --expect-ok additionally fails on any "ok":false response; transport
    failures (cannot connect, reset, deadline) exit 2 with a clear
    message.  This is the scripted client the CI smoke job and the
-   PROTOCOL.md transcripts run through. *)
-let call host port requests expect_ok =
+   PROTOCOL.md transcripts run through.
+
+   With --proto v2, each JSON request line is parsed with the server's
+   own v1 parser, re-encoded as a binary v2 frame, and sent over a
+   negotiated v2 connection.  The binary response is printed as its v1
+   JSON rendering — so v1 and v2 runs of the same script must print
+   byte-identical stdout — and the MD5 of each raw response payload
+   goes to stderr ("frame <hex>") for byte-equality checks across
+   repeated calls. *)
+let call host port requests expect_ok proto =
   let requests =
     (match requests with
     | [] -> In_channel.input_lines In_channel.stdin
@@ -110,31 +118,76 @@ let call host port requests expect_ok =
   end;
   (* The rng only feeds backoff jitter, and round_trip never retries,
      so any fixed seed keeps `call` fully deterministic. *)
-  let client = Client.create ~host ~port ~rng:(Tlp_util.Rng.create 1) () in
+  let client =
+    Client.create ~host ~port ~proto ~rng:(Tlp_util.Rng.create 1) ()
+  in
   let failures = ref 0 in
-  List.iter
-    (fun request ->
-      match Client.round_trip client request with
-      | Error e ->
-          Printf.eprintf "error: %s:%d: %s\n" host port
-            (Client.error_to_string e);
-          exit 2
-      | Ok line -> (
-          print_endline line;
-          match Json.validate line with
-          | Error msg ->
+  let check_line line =
+    match Json.validate line with
+    | Error msg ->
+        incr failures;
+        Printf.eprintf "error: invalid JSON response: %s\n" msg
+    | Ok () ->
+        if expect_ok then (
+          match Json.parse line with
+          | Ok (Json.Obj fields)
+            when List.assoc_opt "ok" fields = Some (Json.Bool true) ->
+              ()
+          | _ ->
               incr failures;
-              Printf.eprintf "error: invalid JSON response: %s\n" msg
-          | Ok () ->
-              if expect_ok then (
-                match Json.parse line with
-                | Ok (Json.Obj fields)
-                  when List.assoc_opt "ok" fields = Some (Json.Bool true) ->
-                    ()
-                | _ ->
-                    incr failures;
-                    Printf.eprintf "error: response is not \"ok\":true: %s\n"
-                      line)))
+              Printf.eprintf "error: response is not \"ok\":true: %s\n" line)
+  in
+  let transport_fail e =
+    Printf.eprintf "error: %s:%d: %s\n" host port (Client.error_to_string e);
+    exit 2
+  in
+  let call_v1 request =
+    match Client.round_trip client request with
+    | Error e -> transport_fail e
+    | Ok line ->
+        print_endline line;
+        check_line line
+  in
+  let call_v2 request =
+    let module Protocol = Tlp_server.Protocol in
+    match Protocol.parse_frame request with
+    | Error (_, err) ->
+        Printf.eprintf "error: unencodable request: %s\n" err.Protocol.message;
+        exit 1
+    | Ok frame -> (
+        let buf = Tlp_util.Bytebuf.create 256 in
+        Tlp_server.Frame.encode_request buf frame;
+        match Client.round_trip_frame client (Tlp_util.Bytebuf.contents buf) with
+        | Error e -> transport_fail e
+        | Ok payload -> (
+            Printf.eprintf "frame %s\n" (Digest.to_hex (Digest.string payload));
+            match Tlp_client.Frame.decode_response payload with
+            | Error msg ->
+                incr failures;
+                Printf.eprintf "error: undecodable v2 response: %s\n" msg
+            | Ok (Tlp_client.Frame.Result { id; result; trace }) ->
+                let result = Json.to_string result in
+                let line =
+                  match trace with
+                  | Some trace -> Protocol.render_ok_traced ~id ~result ~trace
+                  | None -> Protocol.render_ok ~id ~result
+                in
+                print_endline line;
+                check_line line
+            | Ok (Tlp_client.Frame.Rpc_err { id; code; message }) ->
+                let err =
+                  match code with
+                  | "overloaded" -> Protocol.overloaded message
+                  | "timeout" -> Protocol.timeout message
+                  | "internal" -> Protocol.internal message
+                  | _ -> Protocol.bad_request message
+                in
+                let line = Protocol.render_error ~id err in
+                print_endline line;
+                check_line line))
+  in
+  List.iter
+    (match proto with Client.V1 -> call_v1 | Client.V2 -> call_v2)
     requests;
   Client.close client;
   if !failures > 0 then exit 1
@@ -153,6 +206,15 @@ let call_cmd =
       & info [ "expect-ok" ]
           ~doc:"Exit nonzero unless every response has \"ok\":true.")
   in
+  let proto =
+    Arg.(
+      value
+      & opt (enum [ ("v1", Client.V1); ("v2", Client.V2) ]) Client.V1
+      & info [ "proto" ] ~docv:"v1|v2"
+          ~doc:"Wire protocol.  v2 re-encodes each JSON request line as \
+                a binary frame and prints the response's v1 JSON \
+                rendering, so both protocols print identical stdout.")
+  in
   Cmd.v
     (Cmd.info "call"
        ~doc:"Send request frames to a running server and print the \
@@ -160,7 +222,7 @@ let call_cmd =
     Term.(
       const call $ host_arg
       $ port_arg ~default:Server.default_config.Server.port
-      $ requests $ expect_ok)
+      $ requests $ expect_ok $ proto)
 
 let () =
   let info =

@@ -4,6 +4,8 @@ module Timer = Tlp_util.Timer
 
 let schema = "tlp.rpc/v1"
 
+type proto = V1 | V2
+
 type error =
   | Overloaded of string
   | Timeout of string
@@ -82,22 +84,26 @@ let classify_response raw =
 type t = {
   host : string;
   port : int;
+  proto : proto;
   policy : Backoff.policy;
   default_deadline_ms : int option;
   rng : Rng.t;
+  rbuf : Bytes.t;  (* pooled receive chunk, reused across reads *)
   mutable fd : Unix.file_descr option;
   mutable residue : string;
   mutable dials : int;
 }
 
-let create ?(host = "127.0.0.1") ?(port = 7171) ?(policy = Backoff.default)
-    ?default_deadline_ms ~rng () =
+let create ?(host = "127.0.0.1") ?(port = 7171) ?(proto = V1)
+    ?(policy = Backoff.default) ?default_deadline_ms ~rng () =
   {
     host;
     port;
+    proto;
     policy;
     default_deadline_ms;
     rng;
+    rbuf = Bytes.create 8192;
     fd = None;
     residue = "";
     dials = 0;
@@ -112,6 +118,7 @@ let close t =
 
 let is_connected t = Option.is_some t.fd
 let connections t = t.dials
+let proto t = t.proto
 
 let resolve t =
   match Unix.inet_addr_of_string t.host with
@@ -150,8 +157,7 @@ let fail_close t e =
   close t;
   raise (Fail e)
 
-let send_all t fd line =
-  let payload = Bytes.of_string (line ^ "\n") in
+let send_all t fd payload =
   let len = Bytes.length payload in
   let rec go off =
     if off < len then
@@ -174,34 +180,56 @@ let take_line t =
         String.sub t.residue (i + 1) (String.length t.residue - i - 1);
       Some line
 
+(* One socket read appended to the residue, honoring the deadline. *)
+let fill t fd ~deadline =
+  let remaining =
+    match deadline with
+    | None -> 0.0 (* SO_RCVTIMEO 0 = block indefinitely *)
+    | Some d ->
+        let r = d -. Timer.now () in
+        if r <= 0.0 then
+          fail_close t (Timeout "deadline expired awaiting response")
+        else r
+  in
+  Unix.setsockopt_float fd SO_RCVTIMEO remaining;
+  match Unix.read fd t.rbuf 0 (Bytes.length t.rbuf) with
+  | 0 -> fail_close t (Transport "connection closed by server")
+  | n -> t.residue <- t.residue ^ Bytes.sub_string t.rbuf 0 n
+  | exception Unix.Unix_error (EINTR, _, _) -> ()
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+      fail_close t (Timeout "deadline expired awaiting response")
+  | exception Unix.Unix_error (err, _, _) ->
+      fail_close t
+        (Transport (Printf.sprintf "recv: %s" (Unix.error_message err)))
+
 let recv_line t fd ~deadline =
-  let chunk = Bytes.create 8192 in
   let rec go () =
     match take_line t with
     | Some line -> line
     | None ->
-        let remaining =
-          match deadline with
-          | None -> 0.0 (* SO_RCVTIMEO 0 = block indefinitely *)
-          | Some d ->
-              let r = d -. Timer.now () in
-              if r <= 0.0 then
-                fail_close t (Timeout "deadline expired awaiting response")
-              else r
-        in
-        Unix.setsockopt_float fd SO_RCVTIMEO remaining;
-        (match Unix.read fd chunk 0 (Bytes.length chunk) with
-        | 0 -> fail_close t (Transport "connection closed by server")
-        | n -> t.residue <- t.residue ^ Bytes.sub_string chunk 0 n
-        | exception Unix.Unix_error (EINTR, _, _) -> ()
-        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
-            fail_close t (Timeout "deadline expired awaiting response")
-        | exception Unix.Unix_error (err, _, _) ->
-            fail_close t
-              (Transport (Printf.sprintf "recv: %s" (Unix.error_message err))));
+        fill t fd ~deadline;
         go ()
   in
   go ()
+
+let recv_exact t fd ~deadline n =
+  while String.length t.residue < n do
+    fill t fd ~deadline
+  done;
+  let s = String.sub t.residue 0 n in
+  t.residue <- String.sub t.residue n (String.length t.residue - n);
+  s
+
+(* Read one length-prefixed v2 frame; returns the payload bytes. *)
+let recv_frame t fd ~deadline =
+  let hdr = recv_exact t fd ~deadline 4 in
+  let len =
+    (Char.code hdr.[0] lsl 24)
+    lor (Char.code hdr.[1] lsl 16)
+    lor (Char.code hdr.[2] lsl 8)
+    lor Char.code hdr.[3]
+  in
+  recv_exact t fd ~deadline len
 
 let deadline_of t deadline_ms =
   match
@@ -210,20 +238,54 @@ let deadline_of t deadline_ms =
   | None -> None
   | Some ms -> Some (Timer.now () +. (float_of_int ms /. 1000.0))
 
-let attempt t ~deadline line =
+(* On a v2 client the connection must complete the hello exchange
+   before the first frame; a peer that answers anything but the echoed
+   hello does not speak v2 and the dial fails as a transport error. *)
+let handshake t fd ~deadline =
+  send_all t fd (Bytes.unsafe_of_string Frame.hello);
+  let echo = recv_exact t fd ~deadline (String.length Frame.hello) in
+  if echo <> Frame.hello then
+    fail_close t (Transport "server did not complete the v2 hello")
+
+let connect_for t ~deadline =
+  let fresh = Option.is_none t.fd in
+  let fd = ensure_connected t in
+  if fresh && t.proto = V2 then handshake t fd ~deadline;
+  fd
+
+(* One send/receive attempt over whichever framing the client speaks.
+   [payload] is the fully rendered request bytes — rendered once per
+   call, reused verbatim across reconnect attempts. *)
+let attempt t ~deadline payload =
   match
-    let fd = ensure_connected t in
-    send_all t fd line;
-    recv_line t fd ~deadline
+    let fd = connect_for t ~deadline in
+    send_all t fd payload;
+    match t.proto with
+    | V1 -> recv_line t fd ~deadline
+    | V2 -> recv_frame t fd ~deadline
   with
   | raw -> Ok raw
   | exception Fail e -> Error e
 
 let round_trip t ?deadline_ms line =
-  attempt t ~deadline:(deadline_of t deadline_ms) line
+  attempt t
+    ~deadline:(deadline_of t deadline_ms)
+    (Bytes.of_string (line ^ "\n"))
 
-let call_line t ?deadline_ms line =
-  let deadline = deadline_of t deadline_ms in
+let round_trip_frame t ?deadline_ms frame =
+  attempt t ~deadline:(deadline_of t deadline_ms) (Bytes.of_string frame)
+
+let classify_payload raw =
+  match Frame.decode_response raw with
+  | Error msg -> Error (Bad_response msg)
+  | Ok (Frame.Result { id; result; trace }) -> Ok { id; result; trace; raw }
+  | Ok (Frame.Rpc_err { code = "overloaded"; message; _ }) ->
+      Error (Overloaded message)
+  | Ok (Frame.Rpc_err { code = "timeout"; message; _ }) ->
+      Error (Timeout message)
+  | Ok (Frame.Rpc_err { code; message; _ }) -> Error (Rpc_error { code; message })
+
+let retry_loop t ~deadline ~classify payload =
   Backoff.run t.policy ~rng:t.rng ~now:Timer.now
     ~sleep:(fun s -> if s > 0.0 then Unix.sleepf s)
     ?deadline ~retryable
@@ -232,10 +294,29 @@ let call_line t ?deadline_ms line =
         (Printf.sprintf "deadline expired during retry backoff (last: %s)"
            (error_to_string e)))
     (fun ~attempt:_ ->
-      match attempt t ~deadline line with
-      | Ok raw -> classify_response raw
+      match attempt t ~deadline payload with
+      | Ok raw -> classify raw
       | Error _ as e -> e)
 
+let call_line t ?deadline_ms line =
+  let deadline = deadline_of t deadline_ms in
+  (* Render once: retries resend these exact bytes. *)
+  let payload = Bytes.of_string (line ^ "\n") in
+  retry_loop t ~deadline ~classify:classify_response payload
+
+let call_frame t ?deadline_ms frame =
+  let deadline = deadline_of t deadline_ms in
+  let payload = Bytes.of_string frame in
+  retry_loop t ~deadline ~classify:classify_payload payload
+
 let call t ?id ?timeout_ms ?priority ?trace ?deadline_ms ~meth ?params () =
-  call_line t ?deadline_ms
-    (request_line ?id ?timeout_ms ?priority ?trace ~meth ?params ())
+  match t.proto with
+  | V1 ->
+      call_line t ?deadline_ms
+        (request_line ?id ?timeout_ms ?priority ?trace ~meth ?params ())
+  | V2 -> (
+      match
+        Frame.encode_request ?id ?timeout_ms ?priority ?trace ~meth ?params ()
+      with
+      | Error msg -> Error (Rpc_error { code = "bad_request"; message = msg })
+      | Ok frame -> call_frame t ?deadline_ms frame)

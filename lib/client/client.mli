@@ -1,4 +1,7 @@
-(** Reconnecting TCP client for the [tlp.rpc/v1] partition service.
+(** Reconnecting TCP client for the [tlp.rpc] partition service,
+    speaking either framing: newline-delimited JSON ([V1], the
+    default) or length-prefixed binary frames ([V2], negotiated by the
+    {!Frame.hello} exchange on connect).
 
     One {!t} owns (at most) one connection and reuses it across
     requests; it dials lazily on the first call and re-dials after any
@@ -16,6 +19,10 @@
     the {e whole} call — connect, send, await, and every backoff sleep;
     a deadline that would be crossed by the next backoff returns
     [Timeout] immediately instead of sleeping through it. *)
+
+(** Which wire protocol a client speaks; fixed at {!create} time and
+    re-negotiated (for [V2]) on every re-dial. *)
+type proto = V1 | V2
 
 type error =
   | Overloaded of string
@@ -77,16 +84,18 @@ type t
 val create :
   ?host:string ->
   ?port:int ->
+  ?proto:proto ->
   ?policy:Backoff.policy ->
   ?default_deadline_ms:int ->
   rng:Tlp_util.Rng.t ->
   unit ->
   t
 (** A client for [host:port] (default [127.0.0.1:7171]).  Nothing is
-    dialed until the first request.  [rng] feeds backoff jitter only —
-    it never influences request contents.  [default_deadline_ms]
-    applies to calls that pass no explicit deadline ([None] = wait
-    forever). *)
+    dialed until the first request.  [proto] (default [V1]) selects
+    the framing for every call on this client.  [rng] feeds backoff
+    jitter only — it never influences request contents.
+    [default_deadline_ms] applies to calls that pass no explicit
+    deadline ([None] = wait forever). *)
 
 val close : t -> unit
 (** Drop the connection (if any).  The client remains usable: the next
@@ -99,6 +108,8 @@ val connections : t -> int
     observability hook (N sequential calls on a healthy server leave
     this at 1). *)
 
+val proto : t -> proto
+
 val round_trip : t -> ?deadline_ms:int -> string -> (string, error) result
 (** [round_trip t line] sends one frame line and returns the raw
     response line, verbatim.  Single attempt: no parsing, no retry —
@@ -106,11 +117,25 @@ val round_trip : t -> ?deadline_ms:int -> string -> (string, error) result
     primitive ([tlp_serve call]) where responses must be echoed byte
     for byte, protocol errors included. *)
 
+val round_trip_frame :
+  t -> ?deadline_ms:int -> string -> (string, error) result
+(** The [V2] analogue of {!round_trip}: send one pre-encoded
+    length-prefixed frame (from {!Frame.encode_request}) and return
+    the raw response payload, length prefix stripped.  Single attempt,
+    no retry. *)
+
 val call_line : t -> ?deadline_ms:int -> string -> (response, error) result
 (** [round_trip] plus {!classify_response} plus retries: {!retryable}
     failures are re-attempted on the client's {!Backoff.policy} (with
     reconnect after transport faults) until the budget or the deadline
-    runs out.  The deadline covers all attempts and sleeps. *)
+    runs out.  The deadline covers all attempts and sleeps.  The
+    request bytes are rendered once and reused verbatim across every
+    retry.  [V1] clients only. *)
+
+val call_frame : t -> ?deadline_ms:int -> string -> (response, error) result
+(** {!call_line} for a [V2] client: send one pre-encoded frame with
+    the same retry/backoff/deadline behavior, decode the binary
+    response.  [response.raw] holds the response payload bytes. *)
 
 val call :
   t ->
@@ -123,7 +148,11 @@ val call :
   ?params:Tlp_util.Json_out.t ->
   unit ->
   (response, error) result
-(** Convenience: {!request_line} then {!call_line}.  [timeout_ms] is
-    the {e server-side} queue deadline carried in the frame;
-    [priority] the server-side admission class; [deadline_ms] is the
-    {e client-side} end-to-end bound. *)
+(** Convenience: {!request_line} then {!call_line} on a [V1] client,
+    {!Frame.encode_request} then {!call_frame} on a [V2] one — the
+    call site is protocol-independent.  [timeout_ms] is the
+    {e server-side} queue deadline carried in the frame; [priority]
+    the server-side admission class; [deadline_ms] is the
+    {e client-side} end-to-end bound.  A request the binary layout
+    cannot express returns [Rpc_error] with code [bad_request] without
+    touching the wire. *)

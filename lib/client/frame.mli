@@ -1,0 +1,51 @@
+(** Client-side codec for the [tlp.rpc/v2] binary framing.
+
+    The independent counterpart of the server's codec: requests are
+    encoded from the same field values {!Client.request_line} renders
+    as JSON — same defaults as the v1 parser — so switching protocol
+    never changes a call site, and the differential tests can check the
+    client's bytes against the server's own encoder. PROTOCOL.md §7
+    has the wire layout. *)
+
+val schema : string
+(** ["tlp.rpc/v2"]. *)
+
+val hello : string
+(** The 5-byte connection preamble, ["\xf2TLP2"]: the client's first
+    bytes, echoed verbatim by the server before the first frame. *)
+
+val encode_request :
+  ?id:Tlp_util.Json_out.t ->
+  ?timeout_ms:int ->
+  ?priority:string ->
+  ?trace:bool ->
+  meth:string ->
+  ?params:Tlp_util.Json_out.t ->
+  unit ->
+  (string, string) result
+(** Encode one length-prefixed request frame from the same arguments
+    as {!Client.request_line}. Instances must be inline objects
+    ([{"kind":"chain",...}] / [{"kind":"tree",...}]); the text format
+    needs the server-side parser. [Error] describes a request the
+    binary layout cannot express (unknown method, negative sizes,
+    mismatched array lengths) — nothing was sent. *)
+
+(** One decoded response payload. [Rpc_err] carries the wire error
+    codes verbatim ([bad_request] | [overloaded] | [timeout] |
+    [internal]). *)
+type payload =
+  | Result of {
+      id : Tlp_util.Json_out.t;
+      result : Tlp_util.Json_out.t;
+      trace : Tlp_util.Json_out.t option;
+    }
+  | Rpc_err of {
+      id : Tlp_util.Json_out.t;
+      code : string;
+      message : string;
+    }
+
+val decode_response : string -> (payload, string) result
+(** Decode one response payload (the bytes {e after} the 4-byte length
+    prefix). Bounds-checked throughout: truncated or corrupt payloads
+    are [Error], never an exception. *)

@@ -43,12 +43,17 @@ let config_json (c : Workload.config) =
         match c.timeout_ms with Some ms -> Json.Int ms | None -> Json.Null );
       ("trace_every", Json.Int c.trace_every);
       ("batch_every", Json.Int c.batch_every);
+      ( "proto",
+        Json.String
+          (match c.proto with
+          | Tlp_client.Client.V1 -> "v1"
+          | Tlp_client.Client.V2 -> "v2") );
     ]
 
-let to_json (r : Runner.result) =
+let to_json ?(extra = []) (r : Runner.result) =
   let c = r.counts in
   Json.Obj
-    [
+    ([
       ("schema", Json.String schema);
       ("config", config_json r.plan.Workload.config);
       ("digest", Json.String (Workload.sequence_digest r.plan));
@@ -92,12 +97,13 @@ let to_json (r : Runner.result) =
                Json.Obj [ ("seq", Json.Int seq); ("error", Json.String msg) ])
              r.failures) );
     ]
+    @ extra)
 
-let render r = Json.to_string (to_json r) ^ "\n"
+let render ?extra r = Json.to_string (to_json ?extra r) ^ "\n"
 
-let write ~path r =
-  let text = render r in
-  (match Json.validate (Json.to_string (to_json r)) with
+let write ?extra ~path r =
+  let text = render ?extra r in
+  (match Json.validate text with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Report.write: invalid rendering: " ^ msg));
   let oc = open_out path in

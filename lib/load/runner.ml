@@ -97,7 +97,10 @@ let run ?(policy = Backoff.default) ?(host = "127.0.0.1")
   let classes = List.map fst (Workload.class_counts plan) in
   let t0 = Timer.now () in
   let work w =
-    let client = Client.create ~host ~port ~policy ~rng:jitter_rngs.(w) () in
+    let client =
+      Client.create ~host ~port ~proto:config.proto ~policy
+        ~rng:jitter_rngs.(w) ()
+    in
     let tally =
       {
         w_counts = zero_counts;
@@ -114,7 +117,11 @@ let run ?(policy = Backoff.default) ?(host = "127.0.0.1")
            let wait = t0 +. op.at_s -. Timer.now () in
            if wait > 0.0 then Unix.sleepf wait);
         let t_send = Timer.now () in
-        let outcome = Client.call_line client ~deadline_ms op.line in
+        let outcome =
+          match config.proto with
+          | Client.V1 -> Client.call_line client ~deadline_ms op.line
+          | Client.V2 -> Client.call_frame client ~deadline_ms op.frame
+        in
         let latency_us =
           int_of_float ((Timer.now () -. t_send) *. 1_000_000.0)
         in

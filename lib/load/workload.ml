@@ -22,6 +22,7 @@ type config = {
   timeout_ms : int option;
   trace_every : int;
   batch_every : int;
+  proto : Client.proto;
 }
 
 let default_config =
@@ -37,6 +38,7 @@ let default_config =
     timeout_ms = None;
     trace_every = 0;
     batch_every = 0;
+    proto = Client.V1;
   }
 
 type op = {
@@ -44,6 +46,7 @@ type op = {
   meth : string;
   priority : string;
   line : string;
+  frame : string;
   at_s : float;
 }
 
@@ -153,13 +156,28 @@ let plan config =
     (* The priority field is only emitted for batch frames, so plans
        with [batch_every = 0] keep their pre-priority byte digests. *)
     let batch = config.batch_every > 0 && seq mod config.batch_every = 0 in
+    let priority_opt = if batch then Some "batch" else None in
+    (* The v1 line is always rendered — it is the canonical plan text
+       {!sequence_digest} hashes, so digests are protocol-independent
+       and a v2 run is comparable to a v1 run of the same config. *)
     let line =
       Client.request_line ~id:(Json.Int seq) ?timeout_ms:config.timeout_ms
-        ?priority:(if batch then Some "batch" else None)
-        ~trace ~meth ~params ()
+        ?priority:priority_opt ~trace ~meth ~params ()
+    in
+    let frame =
+      match config.proto with
+      | Client.V1 -> ""
+      | Client.V2 -> (
+          match
+            Tlp_client.Frame.encode_request ~id:(Json.Int seq)
+              ?timeout_ms:config.timeout_ms ?priority:priority_opt ~trace
+              ~meth ~params ()
+          with
+          | Ok frame -> frame
+          | Error msg -> invalid_arg ("Workload.plan: unencodable op: " ^ msg))
     in
     let priority = if batch then "batch" else "interactive" in
-    { seq; meth; priority; line; at_s = arrivals.(seq) }
+    { seq; meth; priority; line; frame; at_s = arrivals.(seq) }
   in
   let all = Array.init config.requests make in
   let per_worker =

@@ -44,6 +44,10 @@ type config = {
           [priority: "batch"]; [0] sends everything interactive (the
           frame's priority field is then omitted, preserving
           pre-priority plan digests) *)
+  proto : Tlp_client.Client.proto;
+      (** wire protocol the runner speaks; planning always renders the
+          v1 lines (they are the digest text), a [V2] plan additionally
+          pre-encodes each op's binary frame *)
 }
 
 val default_config : config
@@ -55,7 +59,10 @@ type op = {
   seq : int;  (** global sequence number, [0 ..] *)
   meth : string;  (** wire method of the frame *)
   priority : string;  (** admission class, ["interactive"] | ["batch"] *)
-  line : string;  (** the complete request frame, no newline *)
+  line : string;  (** the complete v1 request frame, no newline *)
+  frame : string;
+      (** the pre-encoded v2 binary frame (length prefix included);
+          [""] in v1 plans *)
   at_s : float;  (** arrival offset from run start; [0.] in closed loop *)
 }
 

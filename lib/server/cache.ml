@@ -2,11 +2,13 @@ module Metrics = Tlp_util.Metrics
 
 type key = { digest : string; k : string; objective : string; algorithm : string }
 
+type entry = { v1 : string; v2 : string }
+
 (* Classic hashtable + doubly-linked recency list.  [head] is the most
    recently used entry, [tail] the eviction candidate. *)
 type node = {
   nkey : key;
-  mutable value : string;
+  mutable value : entry;
   mutable prev : node option;  (* towards head *)
   mutable next : node option;  (* towards tail *)
 }

@@ -8,8 +8,12 @@
     assume), a hit can replay the previously rendered result bytes
     verbatim — the caller splices them into a fresh response envelope.
 
-    A cache value is the {e rendered result JSON}, not the solver's data
-    structures, so hits cost one hashtable probe and no re-serialization.
+    A cache value is one {!entry} holding {e both} renderings of the
+    result — the JSON text spliced into v1 envelopes and the binary
+    [Binval] encoding spliced into v2 frames — not the solver's data
+    structures, so hits cost one hashtable probe and no
+    re-serialization on either protocol.  The key is protocol-free:
+    a miss filled over v1 is a hit over v2 and vice versa.
 
     Thread-safety: a cache is plain mutable state with no internal lock;
     the server accesses it only under the {!State} mutex.  The unit
@@ -28,6 +32,11 @@ type key = {
   algorithm : string;  (** concrete solver, e.g. ["hitting"], ["deque"] *)
 }
 
+type entry = {
+  v1 : string;  (** rendered result JSON, spliced into v1 envelopes *)
+  v2 : string;  (** [Tlp_util.Binval] result encoding, spliced into v2 frames *)
+}
+
 type t
 
 val create : capacity:int -> t
@@ -39,12 +48,12 @@ val capacity : t -> int
 
 val length : t -> int
 
-val find : ?metrics:Tlp_util.Metrics.t -> t -> key -> string option
+val find : ?metrics:Tlp_util.Metrics.t -> t -> key -> entry option
 (** [find t key] returns the cached rendered result and marks the entry
     most recently used.  Bumps the [server_cache_hits] /
     [server_cache_misses] counter on [metrics]. *)
 
-val add : ?metrics:Tlp_util.Metrics.t -> t -> key -> string -> unit
+val add : ?metrics:Tlp_util.Metrics.t -> t -> key -> entry -> unit
 (** [add t key value] inserts (or refreshes) an entry, evicting the
     least recently used entry when over capacity (bumping
     [server_cache_evictions]). *)

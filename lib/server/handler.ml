@@ -17,7 +17,8 @@ let infeasible e =
 
 (* Result shapes mirror the CLI's [--metrics json] fields, plus the
    request's [k] so responses are self-describing. *)
-let partition_result ?(metrics = Metrics.null) instance ~k ~algorithm =
+let partition_result ?(metrics = Metrics.null) ?workspace instance ~k ~algorithm
+    =
   let common name cut =
     [
       ("algorithm", Json.String name);
@@ -27,7 +28,7 @@ let partition_result ?(metrics = Metrics.null) instance ~k ~algorithm =
   in
   match (instance, (algorithm : Protocol.partition_algorithm)) with
   | Io.Chain_instance chain, Protocol.Bandwidth -> (
-      match Tlp_core.Bandwidth_hitting.solve ~metrics chain ~k with
+      match Tlp_core.Bandwidth_hitting.solve ~metrics ?workspace chain ~k with
       | Ok { Tlp_core.Bandwidth_hitting.cut; weight; stats } ->
           Ok
             (Json.Obj
@@ -241,18 +242,29 @@ let verify_result ~rounds ~seed =
 
 (* ---------- dispatch ---------- *)
 
+type payload = Rendered of Cache.entry | Doc of Json.t
+
+(* A miss renders the result for *both* protocols once — the JSON text
+   spliced into v1 envelopes and the Binval bytes spliced into v2
+   frames — so a hit replays either without re-serialization, and an
+   entry filled over one protocol serves the other. *)
 let cached state key compute =
   let cache = State.cache state in
   let metrics = State.metrics state in
   match State.with_lock state (fun () -> Cache.find ~metrics cache key) with
-  | Some bytes -> Ok bytes
+  | Some entry -> Ok (Rendered entry)
   | None -> (
       match compute () with
       | Error _ as e -> e
       | Ok doc ->
-          let bytes = Json.to_string doc in
-          State.with_lock state (fun () -> Cache.add ~metrics cache key bytes);
-          Ok bytes)
+          let entry =
+            {
+              Cache.v1 = Json.to_string doc;
+              v2 = Tlp_util.Binval.to_string doc;
+            }
+          in
+          State.with_lock state (fun () -> Cache.add ~metrics cache key entry);
+          Ok (Rendered entry))
 
 let handle ~state ~queue_depth ~debug ~rng ~metrics request =
   ignore (rng : Rng.t);
@@ -278,7 +290,15 @@ let handle ~state ~queue_depth ~debug ~rng ~metrics request =
         }
       in
       cached state key (fun () ->
-          partition_result ~metrics instance ~k ~algorithm)
+          match instance with
+          | Io.Chain_instance chain when algorithm = Protocol.Bandwidth ->
+              (* The only solver with a reusable workspace today; check
+                 one out of the pool instead of rebuilding O(n) scratch
+                 per request. *)
+              Workspaces.with_workspace (State.workspaces state)
+                ~n:(Chain.n chain) (fun workspace ->
+                  partition_result ~metrics ~workspace instance ~k ~algorithm)
+          | _ -> partition_result ~metrics instance ~k ~algorithm)
   | Protocol.Sweep { chain; ks; algorithm } ->
       let key =
         {
@@ -296,17 +316,16 @@ let handle ~state ~queue_depth ~debug ~rng ~metrics request =
       in
       cached state key (fun () ->
           Ok (sweep_result ~metrics chain ~ks ~algorithm))
-  | Protocol.Verify { rounds; seed } ->
-      Ok (Json.to_string (verify_result ~rounds ~seed))
+  | Protocol.Verify { rounds; seed } -> Ok (Doc (verify_result ~rounds ~seed))
   | Protocol.Stats ->
       let doc =
         State.snapshot state ~queue_depth:(queue_depth ())
           ~uptime_s:(Timer.now () -. State.started_at state)
       in
-      Ok (Json.to_string doc)
+      Ok (Doc doc)
   | Protocol.Health ->
       Ok
-        (Json.to_string
+        (Doc
            (Json.Obj
               [
                 ("status", Json.String "ok");
@@ -320,5 +339,5 @@ let handle ~state ~queue_depth ~debug ~rng ~metrics request =
              "unknown method \"sleep\" (debug methods are disabled)")
       else begin
         Thread.delay (float_of_int ms /. 1000.0);
-        Ok (Json.to_string (Json.Obj [ ("slept_ms", Json.Int ms) ]))
+        Ok (Doc (Json.Obj [ ("slept_ms", Json.Int ms) ]))
       end

@@ -14,12 +14,16 @@
 
 val partition_result :
   ?metrics:Tlp_util.Metrics.t ->
+  ?workspace:Tlp_core.Bandwidth_hitting.Workspace.t ->
   Tlp_graph.Instance_io.instance ->
   k:int ->
   algorithm:Protocol.partition_algorithm ->
   (Tlp_util.Json_out.t, Protocol.error) result
 (** The direct library call.  [Error] only for structurally unsolvable
-    combinations (bandwidth objective on a non-star tree — Theorem 1). *)
+    combinations (bandwidth objective on a non-star tree — Theorem 1).
+    [workspace] is reusable solver scratch for the chain-bandwidth
+    path (ignored by the other solvers); the server checks one out of
+    its {!Workspaces} pool per request. *)
 
 val sweep_result :
   ?metrics:Tlp_util.Metrics.t ->
@@ -36,6 +40,15 @@ val verify_result : rounds:int -> seed:int -> Tlp_util.Json_out.t
     from the server's master RNG) so the response is a pure function of
     the request — admission order cannot leak into result bytes. *)
 
+type payload =
+  | Rendered of Cache.entry
+      (** a cacheable result, rendered once for both protocols — the
+          caller splices [entry.v1] into a v1 envelope or [entry.v2]
+          into a v2 frame *)
+  | Doc of Tlp_util.Json_out.t
+      (** an uncached result tree; the caller renders it for whichever
+          protocol the connection speaks *)
+
 val handle :
   state:State.t ->
   queue_depth:(unit -> int) ->
@@ -43,14 +56,15 @@ val handle :
   rng:Tlp_util.Rng.t ->
   metrics:Tlp_util.Metrics.t ->
   Protocol.request ->
-  (string, Protocol.error) result
-(** Dispatch one request, returning the rendered result value (the
-    bytes spliced into the [ok] envelope).  [partition] and [sweep] go
-    through the {!Cache} under the {!State} lock — lookup before
-    solving, insert after — while the solve itself runs unlocked, so two
-    concurrent identical requests may both compute (and store identical
-    bytes) but never block each other.  [metrics] is the request's
-    private sink.  [rng] is the request's split stream, reserved for
-    future randomized algorithms (the built-in solvers are
-    deterministic; [verify] seeds from its own parameter — see
-    {!verify_result}).  [debug] gates the [sleep] test method. *)
+  (payload, Protocol.error) result
+(** Dispatch one request, returning the result {!payload}.  [partition]
+    and [sweep] go through the {!Cache} under the {!State} lock —
+    lookup before solving, insert after — while the solve itself runs
+    unlocked, so two concurrent identical requests may both compute
+    (and store identical bytes) but never block each other; the
+    chain-bandwidth solver runs on a workspace checked out of the
+    {!State}'s {!Workspaces} pool.  [metrics] is the request's private
+    sink.  [rng] is the request's split stream, reserved for future
+    randomized algorithms (the built-in solvers are deterministic;
+    [verify] seeds from its own parameter — see {!verify_result}).
+    [debug] gates the [sleep] test method. *)

@@ -1,4 +1,5 @@
 module Json = Tlp_util.Json_out
+module Bytebuf = Tlp_util.Bytebuf
 module Io = Tlp_graph.Instance_io
 module Chain = Tlp_graph.Chain
 module Tree = Tlp_graph.Tree
@@ -274,8 +275,39 @@ let parse_frame line =
 
 let canonical_instance = Io.to_string
 
+(* The digest runs once per cacheable request, so it renders the
+   canonical text into a [Bytebuf] with allocation-free decimal writes
+   and hashes the backing store in place — the same bytes
+   [canonical_instance] would build, without materialising the string
+   (the test suite pins the two byte-for-byte). *)
+let add_ints_line buf a =
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Bytebuf.add_char buf ' ';
+      Bytebuf.add_decimal buf v)
+    a;
+  Bytebuf.add_char buf '\n'
+
 let instance_digest instance =
-  Digest.to_hex (Digest.string (canonical_instance instance))
+  let buf = Bytebuf.create 2048 in
+  (match instance with
+  | Io.Chain_instance c ->
+      Bytebuf.add_string buf "chain\n";
+      add_ints_line buf c.Chain.alpha;
+      add_ints_line buf c.Chain.beta
+  | Io.Tree_instance t ->
+      Bytebuf.add_string buf "tree\n";
+      add_ints_line buf t.Tree.weights;
+      Array.iter
+        (fun (u, v, d) ->
+          Bytebuf.add_decimal buf u;
+          Bytebuf.add_char buf ' ';
+          Bytebuf.add_decimal buf v;
+          Bytebuf.add_char buf ' ';
+          Bytebuf.add_decimal buf d;
+          Bytebuf.add_char buf '\n')
+        t.Tree.edges);
+  Digest.to_hex (Digest.subbytes (Bytebuf.unsafe_bytes buf) 0 (Bytebuf.length buf))
 
 (* ---------- responses ---------- *)
 

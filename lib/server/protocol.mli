@@ -81,6 +81,13 @@ type frame = {
 val method_name : request -> string
 (** The wire method, e.g. ["partition"] — used for stats counters. *)
 
+val max_verify_rounds : int
+(** Upper bound on [verify]'s [rounds] (10000) — shared by the v1
+    parser and the v2 decoder so the two framings reject identically. *)
+
+val max_sleep_ms : int
+(** Upper bound on [sleep]'s [ms] (60000); same sharing rationale. *)
+
 val parse_frame :
   string -> (frame, Tlp_util.Json_out.t * error) result
 (** Parse one request line.  On error, returns the request [id] when it

@@ -1,6 +1,7 @@
 module Json = Tlp_util.Json_out
 module Metrics = Tlp_util.Metrics
 module Timer = Tlp_util.Timer
+module Bytebuf = Tlp_util.Bytebuf
 module Pool = Tlp_engine.Pool
 
 type config = {
@@ -28,14 +29,26 @@ let default_config =
     enable_debug = false;
   }
 
+(* A fully-formed response, rendered by the reply writer for whichever
+   protocol the connection negotiated: the v1 path splices [Rendered]
+   entries' JSON text into a newline-terminated envelope, the v2 path
+   splices their Binval bytes into a length-prefixed frame — both out
+   of the same handler outcome. *)
+type response = {
+  resp_id : Json.t;
+  body : (Handler.payload * Json.t option, Protocol.error) result;
+      (* Ok (payload, trace) | Error err *)
+}
+
 (* A job is an admitted frame plus everything needed to answer it from a
    worker thread: the absolute deadline, the connection's serialized
-   reply writer, and (for tracing) the server-assigned request id and
-   the accept/enqueue timestamps. *)
+   reply writer (returning the render-done and write-done timestamps
+   for the trace spans), and (for tracing) the server-assigned request
+   id and the accept/enqueue timestamps. *)
 type job = {
   frame : Protocol.frame;
   deadline : float option;
-  reply : string -> unit;
+  reply : response -> float * float;
   rng : Tlp_util.Rng.t;
   request_id : int;
   t_accept : float;  (* read off the socket, before parsing *)
@@ -65,7 +78,7 @@ let send_error t ~reply ~id err =
   State.with_lock t.server_state (fun () ->
       State.record_error t.server_state
         ~code:(Protocol.error_code_string err.Protocol.code));
-  reply (Protocol.render_error ~id err)
+  ignore (reply { resp_id = id; body = Error err } : float * float)
 
 (* ---------- tracing ---------- *)
 
@@ -102,10 +115,10 @@ let finish t job ~t_dispatch ~executed outcome =
         | Some o_ms ->
             State.record_overrun t.server_state ~meth ~ns:(o_ms *. 1e6)
         | None -> ());
-  let line, ok =
+  let response, ok =
     match outcome with
-    | Ok result ->
-        let line =
+    | Ok payload ->
+        let trace =
           if frame.Protocol.trace then
             let spans =
               [
@@ -117,27 +130,24 @@ let finish t job ~t_dispatch ~executed outcome =
                 | Some o_ms -> [ ("overrun_ms", Json.Float o_ms) ]
                 | None -> [])
             in
-            let trace =
-              Json.Obj
-                [
-                  ("request_id", Json.Int job.request_id);
-                  ("spans", Json.Obj spans);
-                ]
-            in
-            Protocol.render_ok_traced ~id:frame.Protocol.id ~result ~trace
-          else Protocol.render_ok ~id:frame.Protocol.id ~result
+            Some
+              (Json.Obj
+                 [
+                   ("request_id", Json.Int job.request_id);
+                   ("spans", Json.Obj spans);
+                 ])
+          else None
         in
-        (line, true)
+        ( { resp_id = frame.Protocol.id; body = Ok (payload, trace) },
+          true )
     | Error err ->
         State.with_lock t.server_state (fun () ->
             State.record_error t.server_state
               ~code:(Protocol.error_code_string err.Protocol.code));
-        (Protocol.render_error ~id:frame.Protocol.id err, false)
+        ({ resp_id = frame.Protocol.id; body = Error err }, false)
   in
-  let t_rendered = Timer.now () in
-  job.reply line;
+  let t_rendered, t_written = job.reply response in
   if frame.Protocol.trace then begin
-    let t_written = Timer.now () in
     State.with_lock t.server_state (fun () ->
         State.record_trace t.server_state
           {
@@ -210,41 +220,98 @@ let control_plane (request : Protocol.request) =
   | Protocol.Sleep _ ->
       false
 
+(* The framing a connection speaks, decided by its first byte: 0xf2
+   (which can never begin a JSON document) opens the v2 hello, anything
+   else is a v1 JSON line already in flight. *)
+type wire = Undecided | V1 | V2
+
 type conn = {
   fd : Unix.file_descr;
   write_mutex : Mutex.t;
   inflight_mutex : Mutex.t;
   inflight_done : Condition.t;
+  wbuf : Bytebuf.t;
+      (* pooled write buffer, guarded by [write_mutex]; grown to the
+         connection's working set once, then reused per response *)
+  mutable wire : wire;
   mutable inflight : int;  (* admitted jobs not yet replied to *)
   mutable alive : bool;  (* peer still reachable for writes *)
 }
 
-let conn_reply conn line =
+(* Write [wbuf] to the socket. Caller holds [write_mutex]. *)
+let flush_wbuf conn =
+  try
+    if conn.alive then begin
+      let bytes = Bytebuf.unsafe_bytes conn.wbuf in
+      let n = Bytebuf.length conn.wbuf in
+      let written = ref 0 in
+      while !written < n do
+        written := !written + Unix.write conn.fd bytes !written (n - !written)
+      done
+    end
+  with Unix.Unix_error _ -> conn.alive <- false
+
+let conn_send_raw conn s =
   Mutex.lock conn.write_mutex;
-  (try
-     if conn.alive then
-       let bytes = Bytes.of_string (line ^ "\n") in
-       let n = Bytes.length bytes in
-       let written = ref 0 in
-       while !written < n do
-         written :=
-           !written + Unix.write conn.fd bytes !written (n - !written)
-       done
-   with Unix.Unix_error _ -> conn.alive <- false);
+  Bytebuf.clear conn.wbuf;
+  Bytebuf.add_string conn.wbuf s;
+  flush_wbuf conn;
   Mutex.unlock conn.write_mutex
 
-let job_reply conn line =
-  conn_reply conn line;
+(* Render one response into the pooled write buffer for the
+   connection's protocol and write it. Returns the (render-done,
+   write-done) timestamps for the trace spans. The v1 rendering is
+   byte-for-byte the pre-v2 server's ([render_ok]/[render_error] plus
+   newline); the v2 rendering splices the same payload into a
+   length-prefixed binary frame. *)
+let conn_respond conn response =
+  Mutex.lock conn.write_mutex;
+  let buf = conn.wbuf in
+  Bytebuf.clear buf;
+  let id = response.resp_id in
+  (match conn.wire with
+  | Undecided | V1 ->
+      (match response.body with
+      | Ok (payload, trace) ->
+          let result =
+            match payload with
+            | Handler.Rendered entry -> entry.Cache.v1
+            | Handler.Doc doc -> Json.to_string doc
+          in
+          Bytebuf.add_string buf
+            (match trace with
+            | Some trace -> Protocol.render_ok_traced ~id ~result ~trace
+            | None -> Protocol.render_ok ~id ~result)
+      | Error err -> Bytebuf.add_string buf (Protocol.render_error ~id err));
+      Bytebuf.add_char buf '\n'
+  | V2 -> (
+      match response.body with
+      | Ok (payload, trace) -> (
+          match payload with
+          | Handler.Rendered entry ->
+              Frame.encode_ok buf ~id ~result:entry.Cache.v2 ~trace
+          | Handler.Doc doc -> Frame.encode_ok_doc buf ~id ~doc ~trace)
+      | Error err -> Frame.encode_error buf ~id err));
+  let t_rendered = Timer.now () in
+  flush_wbuf conn;
+  let t_written = Timer.now () in
+  Mutex.unlock conn.write_mutex;
+  (t_rendered, t_written)
+
+let job_reply conn response =
+  let stamps = conn_respond conn response in
   Mutex.lock conn.inflight_mutex;
   conn.inflight <- conn.inflight - 1;
   if conn.inflight = 0 then Condition.broadcast conn.inflight_done;
-  Mutex.unlock conn.inflight_mutex
+  Mutex.unlock conn.inflight_mutex;
+  stamps
 
-let handle_line t conn line =
-  if String.trim line <> "" then begin
-    let t_accept = Timer.now () in
-    match Protocol.parse_frame line with
-    | Error (id, err) -> send_error t ~reply:(conn_reply conn) ~id err
+(* Admission of one parsed frame — shared by both framings; only the
+   parse/decode step and the reply rendering differ per protocol. *)
+let handle_parsed t conn ~t_accept parsed =
+  begin
+    match parsed with
+    | Error (id, err) -> send_error t ~reply:(conn_respond conn) ~id err
     | Ok frame ->
         let request = frame.Protocol.request in
         let request_id =
@@ -263,7 +330,7 @@ let handle_line t conn line =
             {
               frame;
               deadline = None;
-              reply = conn_reply conn;
+              reply = conn_respond conn;
               rng;
               request_id;
               t_accept;
@@ -276,7 +343,7 @@ let handle_line t conn line =
                ~debug:t.config.enable_debug ~rng ~metrics request)
         end
         else if Atomic.get t.stop_flag then
-          send_error t ~reply:(conn_reply conn) ~id:frame.Protocol.id
+          send_error t ~reply:(conn_respond conn) ~id:frame.Protocol.id
             (Protocol.overloaded "server is draining")
         else begin
           let now = Timer.now () in
@@ -313,12 +380,12 @@ let handle_line t conn line =
                     now +. (float_of_int (depth + 1) *. est_ns *. 1e-9) > d)
           in
           if expired then
-            send_error t ~reply:(conn_reply conn) ~id:frame.Protocol.id
+            send_error t ~reply:(conn_respond conn) ~id:frame.Protocol.id
               (Protocol.timeout "deadline already expired on arrival")
           else if doomed then begin
             State.with_lock t.server_state (fun () ->
                 State.record_shed t.server_state);
-            send_error t ~reply:(conn_reply conn) ~id:frame.Protocol.id
+            send_error t ~reply:(conn_respond conn) ~id:frame.Protocol.id
               (Protocol.overloaded "deadline unmeetable at current load")
           end
           else begin
@@ -345,12 +412,12 @@ let handle_line t conn line =
                    ~priority:frame.Protocol.priority ~deadline job)
             then begin
               (* Undo the optimistic inflight count: the error reply below
-                 goes through conn_reply, not job_reply. *)
+                 goes through conn_respond, not job_reply. *)
               Mutex.lock conn.inflight_mutex;
               conn.inflight <- conn.inflight - 1;
               if conn.inflight = 0 then Condition.broadcast conn.inflight_done;
               Mutex.unlock conn.inflight_mutex;
-              send_error t ~reply:(conn_reply conn) ~id:frame.Protocol.id
+              send_error t ~reply:(conn_respond conn) ~id:frame.Protocol.id
                 (Protocol.overloaded
                    (if Admission.closed t.queue then "server is draining"
                     else "admission queue full"))
@@ -358,6 +425,16 @@ let handle_line t conn line =
           end
         end
   end
+
+let handle_line t conn line =
+  if String.trim line <> "" then begin
+    let t_accept = Timer.now () in
+    handle_parsed t conn ~t_accept (Protocol.parse_frame line)
+  end
+
+let handle_v2_frame t conn buf ~pos ~len =
+  let t_accept = Timer.now () in
+  handle_parsed t conn ~t_accept (Frame.decode_request buf ~pos ~len)
 
 let drain_inflight conn =
   Mutex.lock conn.inflight_mutex;
@@ -373,6 +450,8 @@ let connection_loop t fd =
       write_mutex = Mutex.create ();
       inflight_mutex = Mutex.create ();
       inflight_done = Condition.create ();
+      wbuf = Bytebuf.create 4096;
+      wire = Undecided;
       inflight = 0;
       alive = true;
     }
@@ -381,47 +460,111 @@ let connection_loop t fd =
      checks, so idle connections cannot stall the drain. *)
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.2
    with Unix.Unix_error _ -> ());
-  let pending = Buffer.create 4096 in
-  let chunk = Bytes.create 4096 in
+  (* Pooled read buffer: the socket reads straight into its backing
+     store and the frame scans walk it in place, so a settled
+     connection allocates nothing per request on the read side. *)
+  let rbuf = Bytebuf.create 4096 in
   let overflow = ref false in
   let eof = ref false in
-  (* Process every complete line in [pending]; keep the partial tail. *)
-  let process_pending () =
-    let data = Buffer.contents pending in
-    Buffer.clear pending;
-    let start = ref 0 in
-    (try
-       while true do
-         let nl = String.index_from data !start '\n' in
-         handle_line t conn (String.sub data !start (nl - !start));
-         start := nl + 1
-       done
-     with Not_found -> ());
-    Buffer.add_substring pending data !start (String.length data - !start)
+  (* v1: offset the newline scan already covered, so re-scans after a
+     partial read don't retraverse the prefix. *)
+  let scanned = ref 0 in
+  let frame_overflow () =
+    overflow := true;
+    send_error t ~reply:(conn_respond conn) ~id:Json.Null
+      (Protocol.bad_request
+         (Printf.sprintf "frame exceeds %d bytes" t.config.max_frame_bytes))
+  in
+  (* Serve every complete v1 line in [rbuf]; keep the partial tail.
+     The scan is bounded by the logical length — the backing store can
+     hold stale bytes past it, so [Bytes.index_from] would be wrong. *)
+  let process_v1 () =
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let bytes = Bytebuf.unsafe_bytes rbuf in
+      let len = Bytebuf.length rbuf in
+      let nl = ref !scanned in
+      while !nl < len && Bytes.unsafe_get bytes !nl <> '\n' do
+        incr nl
+      done;
+      if !nl < len then begin
+        let line = Bytes.sub_string bytes 0 !nl in
+        Bytebuf.shift_left rbuf ~pos:(!nl + 1);
+        scanned := 0;
+        handle_line t conn line;
+        progress := true
+      end
+      else scanned := len
+    done;
+    if Bytebuf.length rbuf > t.config.max_frame_bytes then frame_overflow ()
+  in
+  (* Serve every complete length-prefixed v2 frame in [rbuf]. *)
+  let process_v2 () =
+    let progress = ref true in
+    while !progress && not !overflow do
+      progress := false;
+      let len = Bytebuf.length rbuf in
+      if len >= 4 then begin
+        let bytes = Bytebuf.unsafe_bytes rbuf in
+        let flen =
+          (Bytes.get_uint8 bytes 0 lsl 24)
+          lor (Bytes.get_uint8 bytes 1 lsl 16)
+          lor (Bytes.get_uint8 bytes 2 lsl 8)
+          lor Bytes.get_uint8 bytes 3
+        in
+        if flen > t.config.max_frame_bytes then frame_overflow ()
+        else if len >= 4 + flen then begin
+          handle_v2_frame t conn bytes ~pos:4 ~len:flen;
+          Bytebuf.shift_left rbuf ~pos:(4 + flen);
+          progress := true
+        end
+      end
+    done
+  in
+  (* First byte decides the framing: 0xf2 opens the v2 hello (echoed
+     back once complete; a mismatch after 0xf2 is a clean close),
+     anything else is a v1 JSON line already in flight. *)
+  let negotiate () =
+    let bytes = Bytebuf.unsafe_bytes rbuf in
+    if Bytes.get bytes 0 <> Frame.hello_byte then conn.wire <- V1
+    else begin
+      let hlen = String.length Frame.hello in
+      if Bytebuf.length rbuf >= hlen then
+        if Bytes.sub_string bytes 0 hlen = Frame.hello then begin
+          conn.wire <- V2;
+          Bytebuf.shift_left rbuf ~pos:hlen;
+          conn_send_raw conn Frame.hello
+        end
+        else eof := true
+    end
   in
   while (not !eof) && (not !overflow) && not (Atomic.get t.stop_flag) do
-    (match Unix.read fd chunk 0 (Bytes.length chunk) with
+    Bytebuf.reserve rbuf 4096;
+    let bytes = Bytebuf.unsafe_bytes rbuf in
+    let off = Bytebuf.length rbuf in
+    (match Unix.read fd bytes off (Bytes.length bytes - off) with
     | 0 -> eof := true
     | n ->
-        Buffer.add_subbytes pending chunk 0 n;
-        process_pending ();
-        if Buffer.length pending > t.config.max_frame_bytes then begin
-          overflow := true;
-          send_error t ~reply:(conn_reply conn) ~id:Json.Null
-            (Protocol.bad_request
-               (Printf.sprintf "frame exceeds %d bytes"
-                  t.config.max_frame_bytes))
-        end
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        Bytebuf.unsafe_advance rbuf n;
+        if conn.wire = Undecided then negotiate ();
+        (match conn.wire with
+        | Undecided -> () (* partial hello: wait for the rest *)
+        | V1 -> process_v1 ()
+        | V2 -> process_v2 ())
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
       ->
         () (* receive-timeout tick: recheck the stop flag *)
     | exception Unix.Unix_error _ -> eof := true)
   done;
-  (* A final unterminated frame at EOF is still served (netcat -q0
-     style clients close without a trailing newline). *)
-  if !eof && (not !overflow) && Buffer.length pending > 0 then begin
-    let line = Buffer.contents pending in
-    Buffer.clear pending;
+  (* A final unterminated v1 line at EOF is still served (netcat -q0
+     style clients close without a trailing newline); a partial v2
+     frame or hello is dropped — binary framing is explicit. *)
+  if !eof && (not !overflow) && conn.wire = V1 && Bytebuf.length rbuf > 0
+  then begin
+    let line = Bytebuf.contents rbuf in
+    Bytebuf.clear rbuf;
     handle_line t conn line
   end;
   (* Answer everything this connection admitted before hanging up. *)

@@ -35,6 +35,7 @@ type t = {
   mutable request_serial : int;  (* server-assigned per-request id *)
   slow_ring : trace_entry Queue.t;  (* last <= 16 traced requests *)
   estimator : Estimator.t;  (* per-method service-time EWMA, ns *)
+  workspaces : Workspaces.t;  (* pooled solver scratch, own mutex *)
   overruns : (string, overrun_stat) Hashtbl.t;  (* wire method -> tally *)
   mutable shed : int;  (* doomed requests answered [overloaded] unqueued *)
 }
@@ -52,6 +53,7 @@ let create ~cache_capacity ~queue_capacity ~seed () =
     request_serial = 0;
     slow_ring = Queue.create ();
     estimator = Estimator.create ();
+    workspaces = Workspaces.create ();
     overruns = Hashtbl.create 8;
     shed = 0;
   }
@@ -61,6 +63,7 @@ let with_lock t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let cache t = t.cache
+let workspaces t = t.workspaces
 let metrics t = t.metrics
 let started_at t = t.started_at
 let queue_capacity t = t.queue_capacity

@@ -54,6 +54,12 @@ val with_lock : t -> (unit -> 'a) -> 'a
 (** All accessors below must be called under {!with_lock} unless noted. *)
 
 val cache : t -> Cache.t
+
+val workspaces : t -> Workspaces.t
+(** Pooled solver scratch.  The pool carries its own mutex, so checkout
+    does {e not} require {!with_lock} — solves must never run under the
+    state lock. *)
+
 val metrics : t -> Tlp_util.Metrics.t
 val started_at : t -> float
 (** [Timer.now] at creation (immutable; safe without the lock). *)

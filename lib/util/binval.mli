@@ -1,0 +1,26 @@
+(** Binary codec for {!Json_out.t} values — the payload encoding of
+    [tlp.rpc/v2] frames.
+
+    One tag byte per value (0 null, 1 false, 2 true, 3 zigzag-varint
+    int, 4 big-endian IEEE-754 float, 5 length-prefixed string, 6/7
+    counted list/object). The decoder is safe on hostile input: every
+    read is bounds-checked, nesting depth is capped, and claimed
+    element counts are validated against the remaining byte budget
+    before allocation — malformed bytes yield [Error], never an
+    exception. See PROTOCOL.md §7. *)
+
+type t = Json_out.t
+
+val write : Bytebuf.t -> Json_out.t -> unit
+(** Append the encoding of a value to a buffer. *)
+
+val to_string : Json_out.t -> string
+(** Encode into a fresh string (convenience over {!write}). *)
+
+val read : Bytebuf.Reader.r -> (Json_out.t, string) result
+(** Decode one value at the reader's position, advancing it. On
+    [Error] the reader position is unspecified. *)
+
+val of_string : string -> (Json_out.t, string) result
+(** Decode a string holding exactly one value; trailing bytes are an
+    error. *)

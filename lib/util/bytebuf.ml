@@ -1,0 +1,165 @@
+(* Growable, never-shrinking byte buffer for allocation-lean I/O.
+
+   [Buffer.t] would almost do, but it neither exposes its backing store
+   (forcing a copy per use) nor lets a reader walk it in place. This
+   buffer hands out the backing [Bytes.t] directly, so a pooled instance
+   can absorb socket reads, be scanned for frames, compacted, and reused
+   across the whole life of a connection with zero steady-state
+   allocation once it has grown to the connection's working set. *)
+
+type t = { mutable buf : Bytes.t; mutable len : int }
+
+let create capacity = { buf = Bytes.create (max 16 capacity); len = 0 }
+let length t = t.len
+let clear t = t.len <- 0
+let capacity t = Bytes.length t.buf
+let unsafe_bytes t = t.buf
+
+let reserve t extra =
+  let need = t.len + extra in
+  let cap = Bytes.length t.buf in
+  if need > cap then begin
+    let cap' = ref (max cap 16) in
+    while !cap' < need do
+      cap' := !cap' * 2
+    done;
+    let buf' = Bytes.create !cap' in
+    Bytes.blit t.buf 0 buf' 0 t.len;
+    t.buf <- buf'
+  end
+
+let add_char t c =
+  reserve t 1;
+  Bytes.unsafe_set t.buf t.len c;
+  t.len <- t.len + 1
+
+let add_u8 t v = add_char t (Char.chr (v land 0xff))
+
+let add_string t s =
+  let n = String.length s in
+  reserve t n;
+  Bytes.blit_string s 0 t.buf t.len n;
+  t.len <- t.len + n
+
+let add_subbytes t src pos len =
+  reserve t len;
+  Bytes.blit src pos t.buf t.len len;
+  t.len <- t.len + len
+
+(* Digits are written back-to-front into reserved space, so rendering
+   an int costs zero allocation — the whole point versus
+   [add_string (string_of_int v)] on digest-per-request hot paths.
+   [min_int] has no positive negation; delegate that one value. *)
+let add_decimal t v =
+  if v = min_int then add_string t (string_of_int v)
+  else begin
+    if v < 0 then add_char t '-';
+    let v = abs v in
+    let digits = ref 1 and probe = ref v in
+    while !probe >= 10 do
+      incr digits;
+      probe := !probe / 10
+    done;
+    reserve t !digits;
+    let stop = t.len in
+    let pos = ref (stop + !digits - 1) and n = ref v in
+    while !pos >= stop do
+      Bytes.unsafe_set t.buf !pos (Char.unsafe_chr (48 + (!n mod 10)));
+      n := !n / 10;
+      decr pos
+    done;
+    t.len <- stop + !digits
+  end
+
+let add_u32_be t v =
+  reserve t 4;
+  Bytes.set_uint8 t.buf t.len ((v lsr 24) land 0xff);
+  Bytes.set_uint8 t.buf (t.len + 1) ((v lsr 16) land 0xff);
+  Bytes.set_uint8 t.buf (t.len + 2) ((v lsr 8) land 0xff);
+  Bytes.set_uint8 t.buf (t.len + 3) (v land 0xff);
+  t.len <- t.len + 4
+
+let patch_u32_be t ~pos v =
+  if pos < 0 || pos + 4 > t.len then invalid_arg "Bytebuf.patch_u32_be";
+  Bytes.set_uint8 t.buf pos ((v lsr 24) land 0xff);
+  Bytes.set_uint8 t.buf (pos + 1) ((v lsr 16) land 0xff);
+  Bytes.set_uint8 t.buf (pos + 2) ((v lsr 8) land 0xff);
+  Bytes.set_uint8 t.buf (pos + 3) (v land 0xff)
+
+(* Module-level recursion for the same reason as [Reader.varint_loop]:
+   a local [let rec] would allocate a closure per varint written. *)
+let rec add_varint_loop t v =
+  if v < 0x80 then add_u8 t v
+  else begin
+    add_u8 t (0x80 lor (v land 0x7f));
+    add_varint_loop t (v lsr 7)
+  end
+
+let add_varint t v =
+  if v < 0 then invalid_arg "Bytebuf.add_varint: negative";
+  add_varint_loop t v
+
+let zigzag v = (v lsl 1) lxor (v asr (Sys.int_size - 1))
+let unzigzag v = (v lsr 1) lxor (-(v land 1))
+let add_zigzag t v = add_varint t (zigzag v)
+let unsafe_advance t n =
+  if n < 0 || t.len + n > Bytes.length t.buf then
+    invalid_arg "Bytebuf.unsafe_advance";
+  t.len <- t.len + n
+
+let contents t = Bytes.sub_string t.buf 0 t.len
+
+let shift_left t ~pos =
+  if pos < 0 || pos > t.len then invalid_arg "Bytebuf.shift_left";
+  let rest = t.len - pos in
+  if pos > 0 && rest > 0 then Bytes.blit t.buf pos t.buf 0 rest;
+  t.len <- rest
+
+(* Bounds-checked reader over an externally owned byte range. Every
+   accessor raises [Short] instead of reading past [limit]; decoding
+   layers catch it once at the frame boundary. *)
+
+module Reader = struct
+  type r = { src : Bytes.t; mutable pos : int; limit : int }
+
+  exception Short
+
+  let make src ~pos ~limit =
+    if pos < 0 || limit > Bytes.length src || pos > limit then
+      invalid_arg "Bytebuf.Reader.make";
+    { src; pos; limit }
+
+  let pos r = r.pos
+  let remaining r = r.limit - r.pos
+
+  let u8 r =
+    if r.pos >= r.limit then raise Short;
+    let v = Bytes.get_uint8 r.src r.pos in
+    r.pos <- r.pos + 1;
+    v
+
+  let bytes r n =
+    if n < 0 || r.limit - r.pos < n then raise Short;
+    let s = Bytes.sub_string r.src r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  (* 10 groups of 7 bits cover the 63-bit payload of an OCaml int; an
+     11th continuation byte can only be an attack or corruption. The
+     loop lives at module level so each call is a direct jump — a local
+     [let rec] closes over [r] and costs a heap closure per varint,
+     which at hundreds of varints per decoded instance dominated the
+     whole decode path. *)
+  let rec varint_loop r acc shift count =
+    if count > 10 then raise Short;
+    let b = u8 r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else varint_loop r acc (shift + 7) (count + 1)
+
+  let varint r =
+    let v = varint_loop r 0 0 1 in
+    if v < 0 then raise Short;
+    v
+
+  let zigzag r = unzigzag (varint r)
+end

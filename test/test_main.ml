@@ -7,6 +7,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("engine", Test_engine.suite);
       ("server", Test_server.suite);
+      ("frame", Test_frame.suite);
       ("admission", Test_admission.suite);
       ("client", Test_client.suite);
       ("load", Test_load.suite);

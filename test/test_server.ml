@@ -20,6 +20,10 @@ let key ?(digest = "d0") ?(k = "8") ?(objective = "bandwidth")
     ?(algorithm = "hitting") () =
   { Cache.digest; k; objective; algorithm }
 
+(* Cache entries carry both renderings; the unit tests only care about
+   identity, so both sides hold the same marker. *)
+let ent v = { Cache.v1 = v; v2 = v }
+
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   let rec at i =
@@ -32,22 +36,22 @@ let contains haystack needle =
 
 let test_cache_lru_eviction () =
   let c = Cache.create ~capacity:2 in
-  Cache.add c (key ~digest:"a" ()) "ra";
-  Cache.add c (key ~digest:"b" ()) "rb";
+  Cache.add c (key ~digest:"a" ()) (ent "ra");
+  Cache.add c (key ~digest:"b" ()) (ent "rb");
   (* Touch [a] so [b] becomes the eviction victim. *)
-  check_bool "a hit" true (Cache.find c (key ~digest:"a" ()) = Some "ra");
-  Cache.add c (key ~digest:"c" ()) "rc";
+  check_bool "a hit" true (Cache.find c (key ~digest:"a" ()) = Some (ent "ra"));
+  Cache.add c (key ~digest:"c" ()) (ent "rc");
   check_int "still 2 entries" 2 (Cache.length c);
   check_bool "b evicted" true (Cache.find c (key ~digest:"b" ()) = None);
-  check_bool "a kept" true (Cache.find c (key ~digest:"a" ()) = Some "ra");
-  check_bool "c kept" true (Cache.find c (key ~digest:"c" ()) = Some "rc");
+  check_bool "a kept" true (Cache.find c (key ~digest:"a" ()) = Some (ent "ra"));
+  check_bool "c kept" true (Cache.find c (key ~digest:"c" ()) = Some (ent "rc"));
   check_int "one eviction" 1 (Cache.evictions c)
 
 let test_cache_mru_order () =
   let c = Cache.create ~capacity:3 in
-  Cache.add c (key ~digest:"a" ()) "ra";
-  Cache.add c (key ~digest:"b" ()) "rb";
-  Cache.add c (key ~digest:"c" ()) "rc";
+  Cache.add c (key ~digest:"a" ()) (ent "ra");
+  Cache.add c (key ~digest:"b" ()) (ent "rb");
+  Cache.add c (key ~digest:"c" ()) (ent "rc");
   ignore (Cache.find c (key ~digest:"a" ()));
   let digests = List.map (fun k -> k.Cache.digest) (Cache.keys_mru c) in
   Alcotest.(check (list string)) "recency order" [ "a"; "c"; "b" ] digests
@@ -57,26 +61,26 @@ let test_cache_key_components () =
      entries: a digest collision across parameters may never replay the
      wrong result. *)
   let c = Cache.create ~capacity:8 in
-  Cache.add c (key ~k:"8" ()) "k8";
-  Cache.add c (key ~k:"9" ()) "k9";
-  Cache.add c (key ~objective:"bottleneck" ()) "obj";
-  Cache.add c (key ~algorithm:"deque" ()) "alg";
+  Cache.add c (key ~k:"8" ()) (ent "k8");
+  Cache.add c (key ~k:"9" ()) (ent "k9");
+  Cache.add c (key ~objective:"bottleneck" ()) (ent "obj");
+  Cache.add c (key ~algorithm:"deque" ()) (ent "alg");
   check_int "four distinct entries" 4 (Cache.length c);
-  check_bool "k=8" true (Cache.find c (key ~k:"8" ()) = Some "k8");
-  check_bool "k=9" true (Cache.find c (key ~k:"9" ()) = Some "k9");
+  check_bool "k=8" true (Cache.find c (key ~k:"8" ()) = Some (ent "k8"));
+  check_bool "k=9" true (Cache.find c (key ~k:"9" ()) = Some (ent "k9"));
   check_bool "objective" true
-    (Cache.find c (key ~objective:"bottleneck" ()) = Some "obj");
+    (Cache.find c (key ~objective:"bottleneck" ()) = Some (ent "obj"));
   check_bool "algorithm" true
-    (Cache.find c (key ~algorithm:"deque" ()) = Some "alg")
+    (Cache.find c (key ~algorithm:"deque" ()) = Some (ent "alg"))
 
 let test_cache_counters_and_metrics () =
   let c = Cache.create ~capacity:2 in
   let m = Tlp_util.Metrics.create () in
   check_bool "miss" true (Cache.find ~metrics:m c (key ()) = None);
-  Cache.add ~metrics:m c (key ()) "r";
-  check_bool "hit" true (Cache.find ~metrics:m c (key ()) = Some "r");
-  Cache.add ~metrics:m c (key ~digest:"x" ()) "rx";
-  Cache.add ~metrics:m c (key ~digest:"y" ()) "ry";
+  Cache.add ~metrics:m c (key ()) (ent "r");
+  check_bool "hit" true (Cache.find ~metrics:m c (key ()) = Some (ent "r"));
+  Cache.add ~metrics:m c (key ~digest:"x" ()) (ent "rx");
+  Cache.add ~metrics:m c (key ~digest:"y" ()) (ent "ry");
   check_int "hits" 1 (Cache.hits c);
   check_int "misses" 1 (Cache.misses c);
   check_int "evictions" 1 (Cache.evictions c);
@@ -87,14 +91,14 @@ let test_cache_counters_and_metrics () =
 
 let test_cache_refresh_same_key () =
   let c = Cache.create ~capacity:2 in
-  Cache.add c (key ()) "v1";
-  Cache.add c (key ()) "v2";
+  Cache.add c (key ()) (ent "v1");
+  Cache.add c (key ()) (ent "v2");
   check_int "refresh does not grow" 1 (Cache.length c);
-  check_bool "latest value" true (Cache.find c (key ()) = Some "v2")
+  check_bool "latest value" true (Cache.find c (key ()) = Some (ent "v2"))
 
 let test_cache_disabled () =
   let c = Cache.create ~capacity:0 in
-  Cache.add c (key ()) "r";
+  Cache.add c (key ()) (ent "r");
   check_int "nothing stored" 0 (Cache.length c);
   check_bool "always misses" true (Cache.find c (key ()) = None)
 
