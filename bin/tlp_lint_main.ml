@@ -9,10 +9,12 @@ module Driver = Tlp_lint.Driver
 let usage =
   "tlp_lint [options] [root ...]\n\
    Static analysis over the project's OCaml sources (default roots: lib \
-   bin bench).\n\
-   Exits 0 only when there are no unallowlisted findings, no stale \
-   allowlist\n\
-   entries, and no parse errors.\n"
+   bin bench test examples).\n\
+   Per-file rules R1-R4 plus interprocedural rules R5-R8 driven by the\n\
+   whole-program call graph and effect summaries.\n\
+   Exit codes: 0 clean; 1 findings or stale allowlist entries; 2 the \
+   tool\n\
+   itself failed (unreadable root, unparseable source, bad allowlist).\n"
 
 let () =
   let format = ref "text" in
@@ -22,8 +24,8 @@ let () =
   let spec =
     [
       ( "--format",
-        Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
-        " report format (default text)" );
+        Arg.Symbol ([ "text"; "json"; "json-v2" ], fun s -> format := s),
+        " report format (default text; json-v2 adds call-path evidence)" );
       ( "--allowlist",
         Arg.Set_string allowlist_path,
         "FILE allowlist path (default .tlp-lint; a missing file is an \
@@ -33,18 +35,25 @@ let () =
   in
   Arg.parse spec (fun r -> roots := r :: !roots) usage;
   let roots =
-    match List.rev !roots with [] -> [ "lib"; "bin"; "bench" ] | rs -> rs
+    match List.rev !roots with
+    | [] -> [ "lib"; "bin"; "bench"; "test"; "examples" ]
+    | rs -> rs
   in
   match Allowlist.load !allowlist_path with
   | Error msgs ->
       List.iter prerr_endline msgs;
-      exit 1
+      (* A malformed allowlist is a tool-input failure, not a verdict. *)
+      exit 2
   | Ok allowlist ->
       let report = Driver.scan ~allowlist ~roots in
       let rendered =
         match !format with
-        | "json" -> (
-            let s = Json_out.to_string (Driver.to_json report) in
+        | "json" | "json-v2" -> (
+            let doc =
+              if !format = "json" then Driver.to_json report
+              else Driver.to_json_v2 report
+            in
+            let s = Json_out.to_string doc in
             (* The report must satisfy our own validator before anything
                downstream (CI) is asked to trust it. *)
             match Json_out.validate s with

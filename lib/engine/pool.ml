@@ -44,7 +44,9 @@ let create ~jobs =
   t.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
   t
 
-let submit t task =
+(* [@tlp.spawns]: the task argument escapes to a worker domain, so the
+   lint treats it like a [Domain.spawn] body for rule R5. *)
+let[@tlp.spawns] submit t task =
   Mutex.lock t.mutex;
   if t.stop then begin
     Mutex.unlock t.mutex;
@@ -54,7 +56,7 @@ let submit t task =
   Condition.signal t.work_available;
   Mutex.unlock t.mutex
 
-let parallel_map t f items =
+let[@tlp.spawns] parallel_map t f items =
   let n = Array.length items in
   if n = 0 then [||]
   else begin

@@ -79,7 +79,8 @@ let load path =
     parse ~path contents
 
 let matches e (f : Finding.t) =
-  e.rule = f.rule && e.file = f.file && e.symbol = f.symbol
+  e.rule = f.rule && e.file = f.file
+  && (e.symbol = "*" || e.symbol = f.symbol)
 
 let to_json e =
   Json_out.Obj

@@ -13,9 +13,11 @@
     cannot be committed without a written reason.
 
     An entry suppresses every finding whose rule, file, and symbol all
-    match it exactly.  Entries that suppress nothing are reported as
-    stale by the driver and fail the run, so the allowlist cannot
-    outlive the code it excuses. *)
+    match it exactly.  A symbol of [*] matches every symbol in that
+    (rule, file) pair — for files where a whole rendering layer is
+    exempt by design — but the rule and file never wildcard.  Entries
+    that suppress nothing are reported as stale by the driver and fail
+    the run, so the allowlist cannot outlive the code it excuses. *)
 
 type entry = {
   rule : string;

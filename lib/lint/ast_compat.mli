@@ -9,3 +9,15 @@ val is_function : Parsetree.expression -> bool
 (** True when the expression is a function abstraction — the boundary at
     which rule R1 stops descending, since state allocated under a lambda
     is created per call, not once per program. *)
+
+val function_parts :
+  Parsetree.expression ->
+  (Parsetree.pattern list * Parsetree.expression list) option
+(** One level of function abstraction, version-independently: the
+    parameter patterns (including match-case patterns of a [function]
+    form) and every expression the body can evaluate (default argument
+    values, case guards, case right-hand sides, or the plain body).
+    [None] when the expression is not a function.  {!Callgraph} unwraps
+    repeatedly to reach the innermost body, so a 5.2 compiler bump
+    cannot silently skip function bodies — the fixture in
+    [test/test_lint.ml] drives [Pexp_function] arms through this. *)

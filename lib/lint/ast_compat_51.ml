@@ -3,3 +3,19 @@ let is_function (e : Parsetree.expression) =
   match e.pexp_desc with
   | Pexp_fun _ | Pexp_function _ -> true
   | _ -> false
+
+let function_parts (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Parsetree.Pexp_fun (_, default, pat, body) ->
+      Some
+        ( [ pat ],
+          (match default with Some d -> [ d ] | None -> []) @ [ body ] )
+  | Parsetree.Pexp_function cases ->
+      Some
+        ( List.map (fun c -> c.Parsetree.pc_lhs) cases,
+          List.concat_map
+            (fun c ->
+              (match c.Parsetree.pc_guard with Some g -> [ g ] | None -> [])
+              @ [ c.Parsetree.pc_rhs ])
+            cases )
+  | _ -> None

@@ -1,5 +1,36 @@
-(* OCaml >= 5.2 Parsetree: Pexp_fun was folded into Pexp_function. *)
+(* OCaml >= 5.2 Parsetree: Pexp_fun was folded into Pexp_function,
+   which now carries a parameter list and a body that is either an
+   expression or a case list. *)
 let is_function (e : Parsetree.expression) =
   match e.pexp_desc with
   | Pexp_function _ -> true
   | _ -> false
+
+let function_parts (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Parsetree.Pexp_function (params, _constraint, body) ->
+      let pats, defaults =
+        List.fold_left
+          (fun (pats, ds) p ->
+            match p.Parsetree.pparam_desc with
+            | Parsetree.Pparam_val (_, default, pat) ->
+                ( pat :: pats,
+                  match default with Some d -> d :: ds | None -> ds )
+            | Parsetree.Pparam_newtype _ -> (pats, ds))
+          ([], []) params
+      in
+      let case_pats, case_exprs =
+        match body with
+        | Parsetree.Pfunction_body e -> ([], [ e ])
+        | Parsetree.Pfunction_cases (cases, _, _) ->
+            ( List.map (fun c -> c.Parsetree.pc_lhs) cases,
+              List.concat_map
+                (fun c ->
+                  (match c.Parsetree.pc_guard with
+                  | Some g -> [ g ]
+                  | None -> [])
+                  @ [ c.Parsetree.pc_rhs ])
+                cases )
+      in
+      Some (List.rev pats @ case_pats, List.rev defaults @ case_exprs)
+  | _ -> None

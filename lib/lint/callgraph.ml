@@ -1,0 +1,846 @@
+(* Whole-program call graph over every parsed implementation.
+
+   Pass A walks each structure collecting definitions (with their
+   [@tlp.hot]/[@tlp.spawns] attributes), module aliases, opens, and
+   toplevel mutable globals.  Pass B scans each definition body,
+   resolving identifiers against the project index and recording call
+   edges, allocation sites, and global touches — each tagged with the
+   syntactic context it occurred in (inside a [try], inside a
+   lock…unlock region, inside an argument escaping to another
+   domain/thread).
+
+   Resolution is name-based, not type-based: a compiler-libs parsetree
+   has no environments.  The unit of naming is "<Lib>.<Module>", where
+   <Lib> is derived from the directory ("lib/util" → "Tlp_util",
+   "bin" → "Bin", "test" → "Test", …) — for lib/ directories this
+   coincides with the dune library name, so source-level qualified
+   references like [Tlp_util.Bytebuf.add_char] resolve with no
+   translation.  A head that is neither local, project, nor in the
+   {!Effects} tables is a ⊤-unknown callee. *)
+
+open Parsetree
+
+type callee =
+  | Project of string  (** fully-qualified project function *)
+  | Builtin of string * Effects.t  (** stdlib/vendor with known effects *)
+  | Unknown of string  (** ⊤: unresolvable (field, parameter, external) *)
+
+type flags = { in_try : bool; locked : bool; spawned : bool }
+
+type call = { callee : callee; cline : int; cflags : flags }
+type alloc_site = { what : string; aline : int }
+
+type touch = {
+  global : string;
+  tline : int;
+  synced : bool;
+  tspawned : bool;
+}
+
+type func = {
+  name : string;
+  file : string;
+  fline : int;
+  hot : bool;
+  spawner : bool;
+  callable : bool;
+      (* false for non-function toplevel values and [let () = …] init
+         code: referencing an already-computed value re-runs nothing *)
+  calls : call list;
+  allocs : alloc_site list;
+  touches : touch list;
+}
+
+type t = { funcs : func list; by_name : (string, func) Hashtbl.t }
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+(* ---------- naming ---------- *)
+
+let capitalize = String.capitalize_ascii
+
+let module_of_file file =
+  capitalize (Filename.remove_extension (Filename.basename file))
+
+(* "lib/util/bytebuf.ml" -> ("Tlp_util", "lib/util");
+   "bin/tlp_serve.ml" -> ("Bin", "bin"); "x.ml" -> ("Top", ""). *)
+let lib_of_file file =
+  match String.split_on_char '/' file with
+  | "lib" :: d :: _ :: _ -> ("Tlp_" ^ d, "lib/" ^ d)
+  | d :: _ :: _ -> (capitalize d, d)
+  | _ -> ("Top", "")
+
+let unit_prefix file =
+  let lib, _ = lib_of_file file in
+  lib ^ "." ^ module_of_file file
+
+let ident_name lid =
+  match Longident.flatten lid with
+  | parts -> String.concat "." parts
+  | exception _ -> ""
+
+let strip_stdlib name =
+  let p = "Stdlib." in
+  let n = String.length p in
+  if String.length name > n && String.sub name 0 n = p then
+    String.sub name n (String.length name - n)
+  else name
+
+let rec binding_name p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> txt
+  | Ppat_constraint (p, _) -> binding_name p
+  | Ppat_alias (_, { txt; _ }) -> txt
+  | _ -> "_"
+
+let has_attr name attrs =
+  List.exists (fun a -> a.attr_name.Location.txt = name) attrs
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+(* ---------- pass A: definitions, aliases, opens, globals ---------- *)
+
+type def = {
+  d_name : string;  (* fully qualified *)
+  d_file : string;
+  d_line : int;
+  d_hot : bool;
+  d_spawner : bool;
+  d_callable : bool;
+  d_body : expression;
+  d_scopes : string list;  (* enclosing fq prefixes, innermost first *)
+}
+
+type file_info = {
+  fi_file : string;
+  fi_prefix : string;
+  fi_aliases : (string, string) Hashtbl.t;  (* local module name -> target *)
+  fi_opens : string list;  (* printed open targets, outermost first *)
+}
+
+(* Toplevel mutable-state heads, mirrored from rule R1 so R5's notion
+   of "global" matches what R1 polices. *)
+let alloc_heads =
+  [
+    "ref";
+    "Hashtbl.create";
+    "Buffer.create";
+    "Array.make";
+    "Array.create_float";
+    "Array.init";
+    "Bytes.create";
+    "Bytes.make";
+    "Queue.create";
+    "Stack.create";
+    "Atomic.make";
+  ]
+
+(* Does a non-function toplevel body construct mutable state outside
+   any lambda?  (Record-typed globals with mutable fields are R1's
+   business; interprocedural resolution of field mutability across
+   files is out of scope here.) *)
+let is_mutable_global body =
+  let found = ref false in
+  (* Recursive walk over value-forming shapes, stopping at function
+     boundaries: state allocated under a lambda is per-call, not
+     toplevel. *)
+  let rec walk e =
+    if not (Ast_compat.is_function e) then begin
+      (match e.pexp_desc with
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+          if List.mem (strip_stdlib (ident_name txt)) alloc_heads then
+            found := true;
+          List.iter (fun (_, a) -> walk a) args
+      | Pexp_array es ->
+          if es <> [] then found := true;
+          List.iter walk es
+      | Pexp_tuple es -> List.iter walk es
+      | Pexp_construct (_, Some e') | Pexp_constraint (e', _) -> walk e'
+      | Pexp_record (fields, base) ->
+          List.iter (fun (_, e') -> walk e') fields;
+          Option.iter walk base
+      | Pexp_let (_, vbs, e') ->
+          List.iter (fun vb -> walk vb.pvb_expr) vbs;
+          walk e'
+      | Pexp_sequence (a, b) ->
+          walk a;
+          walk b
+      | Pexp_ifthenelse (c, a, b) ->
+          walk c;
+          walk a;
+          Option.iter walk b
+      | _ -> ())
+    end
+  in
+  walk body;
+  !found
+
+(* [scopes] is never empty (it starts as [[prefix]] and only grows),
+   but keep the accessor total. *)
+let scope_head = function s :: _ -> s | [] -> "?"
+
+let collect_file file str =
+  let prefix = unit_prefix file in
+  let aliases = Hashtbl.create 8 in
+  let opens = ref [] in
+  let defs = ref [] in
+  let globals = ref [] in
+  let rec walk_items scopes items = List.iter (walk_item scopes) items
+  and walk_item scopes item =
+    match item.pstr_desc with
+    | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            let name = binding_name vb.pvb_pat in
+            let scope = scope_head scopes in
+            let is_init = name = "_" in
+            let fq =
+              if is_init then
+                Printf.sprintf "%s.<init:%d>" scope (line_of vb.pvb_loc)
+              else scope ^ "." ^ name
+            in
+            let is_fn = Ast_compat.is_function vb.pvb_expr in
+            if (not is_init) && not is_fn then
+              if is_mutable_global vb.pvb_expr then globals := fq :: !globals;
+            defs :=
+              {
+                d_name = fq;
+                d_file = file;
+                d_line = line_of vb.pvb_loc;
+                d_hot = has_attr "tlp.hot" vb.pvb_attributes;
+                d_spawner = has_attr "tlp.spawns" vb.pvb_attributes;
+                d_callable = (not is_init) && is_fn;
+                d_body = vb.pvb_expr;
+                d_scopes = scopes;
+              }
+              :: !defs)
+          vbs
+    | Pstr_module mb -> walk_module scopes mb
+    | Pstr_recmodule mbs -> List.iter (walk_module scopes) mbs
+    | Pstr_open od -> (
+        match od.popen_expr.pmod_desc with
+        | Pmod_ident { txt; _ } -> opens := ident_name txt :: !opens
+        | _ -> ())
+    | Pstr_include inc -> walk_module_expr scopes inc.pincl_mod
+    | Pstr_eval (e, _) ->
+        defs :=
+          {
+            d_name =
+              Printf.sprintf "%s.<eval:%d>" (scope_head scopes)
+                (line_of e.pexp_loc);
+            d_file = file;
+            d_line = line_of e.pexp_loc;
+            d_hot = false;
+            d_spawner = false;
+            d_callable = false;
+            d_body = e;
+            d_scopes = scopes;
+          }
+          :: !defs
+    | _ -> ()
+  and walk_module scopes mb =
+    let name = Option.value mb.pmb_name.Location.txt ~default:"_" in
+    match mb.pmb_expr.pmod_desc with
+    | Pmod_ident { txt; _ } -> Hashtbl.replace aliases name (ident_name txt)
+    | _ ->
+        walk_module_expr_named scopes name mb.pmb_expr
+  and walk_module_expr_named scopes name me =
+    match me.pmod_desc with
+    | Pmod_structure s ->
+        walk_items ((scope_head scopes ^ "." ^ name) :: scopes) s
+    | Pmod_constraint (inner, _) -> walk_module_expr_named scopes name inner
+    | _ -> ()
+  and walk_module_expr scopes me =
+    match me.pmod_desc with
+    | Pmod_structure s -> walk_items scopes s
+    | Pmod_constraint (inner, _) -> walk_module_expr scopes inner
+    | _ -> ()
+  in
+  walk_items [ prefix ] str;
+  ( { fi_file = file; fi_prefix = prefix; fi_aliases = aliases;
+      fi_opens = List.rev !opens },
+    List.rev !defs,
+    !globals )
+
+(* ---------- pass B: body scanning ---------- *)
+
+type env = {
+  info : file_info;
+  def_index : (string, def) Hashtbl.t;  (* fq -> def *)
+  global_set : (string, unit) Hashtbl.t;  (* fq -> () *)
+  lib_roots : (string, unit) Hashtbl.t;  (* "Tlp_util" -> () *)
+  sibling : (string, string) Hashtbl.t;
+      (* "lib/util:Bytebuf" -> "Tlp_util.Bytebuf" *)
+  dir : string;
+}
+
+type resolution =
+  | R_local
+  | R_project of def
+  | R_project_global of string
+  | R_builtin of string * Effects.t
+  | R_unknown of string
+  | R_none  (* unqualified, unresolved, non-head: likely a scope gap *)
+
+let lookup_def env fq = Hashtbl.find_opt env.def_index fq
+
+(* Expand the head module of [parts] through local aliases, file
+   submodules, same-directory siblings, and library roots; bounded so
+   alias cycles cannot loop. *)
+let resolve_qualified env ~scopes parts =
+  let rec expand parts fuel =
+    if fuel = 0 then None
+    else
+      match parts with
+      | [] -> None
+      | head :: rest -> (
+          match Hashtbl.find_opt env.info.fi_aliases head with
+          | Some target ->
+              expand (String.split_on_char '.' target @ rest) (fuel - 1)
+          | None -> Some (head :: rest))
+  in
+  match expand parts 8 with
+  | None | Some [] -> Some (R_unknown (String.concat "." parts))
+  | Some (head :: tail as parts) -> (
+      let joined = String.concat "." parts in
+      let as_project fq =
+        match lookup_def env fq with
+        | Some d when d.d_callable -> Some (R_project d)
+        | Some _ ->
+            if Hashtbl.mem env.global_set fq then
+              Some (R_project_global fq)
+            else Some R_local (* computed value: referencing is free *)
+        | None -> if Hashtbl.mem env.global_set fq then
+            Some (R_project_global fq)
+          else None
+      in
+      (* file submodule path, innermost scope first *)
+      let rec try_scopes = function
+        | [] -> None
+        | scope :: tl -> (
+            match as_project (scope ^ "." ^ joined) with
+            | Some r -> Some r
+            | None -> try_scopes tl)
+      in
+      match try_scopes scopes with
+      | Some r -> Some r
+      | None -> (
+          (* same-directory sibling module *)
+          match Hashtbl.find_opt env.sibling (env.dir ^ ":" ^ head) with
+          | Some mprefix -> (
+              let fq = mprefix ^ "." ^ String.concat "." tail in
+              match as_project fq with
+              | Some r -> Some r
+              | None -> Some (R_unknown joined))
+          | None ->
+              if Hashtbl.mem env.lib_roots head then
+                match as_project joined with
+                | Some r -> Some r
+                | None -> Some (R_unknown joined)
+              else
+                (* stdlib / vendor *)
+                let name = strip_stdlib joined in
+                (match Effects.builtin name with
+                | Some eff -> Some (R_builtin (name, eff))
+                | None -> Some (R_unknown joined))))
+
+let resolve env ~scopes ~locals name =
+  let name = strip_stdlib name in
+  match String.split_on_char '.' name with
+  | [ simple ] -> (
+      if Hashtbl.mem locals simple then R_local
+      else
+        let rec try_scopes = function
+          | [] -> None
+          | scope :: tl -> (
+              let fq = scope ^ "." ^ simple in
+              match lookup_def env fq with
+              | Some d when d.d_callable -> Some (R_project d)
+              | Some _ ->
+                  if Hashtbl.mem env.global_set fq then
+                    Some (R_project_global fq)
+                  else Some R_local
+              | None ->
+                  if Hashtbl.mem env.global_set fq then
+                    Some (R_project_global fq)
+                  else try_scopes tl)
+        in
+        match try_scopes scopes with
+        | Some r -> r
+        | None -> (
+            (* opened project modules *)
+            let via_open =
+              List.fold_left
+                (fun acc o ->
+                  match acc with
+                  | Some _ -> acc
+                  | None -> (
+                      match
+                        resolve_qualified env ~scopes
+                          (String.split_on_char '.' (o ^ "." ^ simple))
+                      with
+                      | Some (R_project _ as r) -> Some r
+                      | Some (R_project_global _ as r) -> Some r
+                      | _ -> None))
+                None env.info.fi_opens
+            in
+            match via_open with
+            | Some r -> r
+            | None -> (
+                match Effects.builtin simple with
+                | Some eff -> R_builtin (simple, eff)
+                | None -> R_none)))
+  | parts -> (
+      match resolve_qualified env ~scopes parts with
+      | Some r -> r
+      | None -> R_unknown name)
+
+(* ---------- expression scanner ---------- *)
+
+let rec pat_vars acc p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> txt :: acc
+  | Ppat_alias (p, { txt; _ }) -> pat_vars (txt :: acc) p
+  | Ppat_tuple ps -> List.fold_left pat_vars acc ps
+  | Ppat_array ps -> List.fold_left pat_vars acc ps
+  | Ppat_construct (_, Some (_, p)) -> pat_vars acc p
+  | Ppat_variant (_, Some p)
+  | Ppat_constraint (p, _)
+  | Ppat_lazy p
+  | Ppat_exception p
+  | Ppat_open (_, p) ->
+      pat_vars acc p
+  | Ppat_record (fields, _) ->
+      List.fold_left (fun acc (_, p) -> pat_vars acc p) acc fields
+  | Ppat_or (a, b) -> pat_vars (pat_vars acc a) b
+  | _ -> acc
+
+(* Is a function whose last name component suggests a lock-scoped
+   higher-order wrapper?  Call sites of these get their final argument
+   checked as a lock region. *)
+let lock_wrapper_name fq =
+  let last =
+    match String.rindex_opt fq '.' with
+    | Some i -> String.sub fq (i + 1) (String.length fq - i - 1)
+    | None -> fq
+  in
+  let contains s sub =
+    let n = String.length s and k = String.length sub in
+    let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+    go 0
+  in
+  contains last "with_lock"
+
+(* A short printable head for unresolvable calls: [t.cmp], [f], … *)
+let rec head_desc e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> ident_name txt
+  | Pexp_field (b, { txt; _ }) -> (
+      let fname =
+        match Longident.flatten txt with
+        | parts when parts <> [] -> List.nth parts (List.length parts - 1)
+        | _ -> "?"
+        | exception _ -> "?"
+      in
+      match b.pexp_desc with
+      | Pexp_ident { txt = b'; _ } -> ident_name b' ^ "." ^ fname
+      | _ -> "<expr>." ^ fname)
+  | Pexp_constraint (e', _) -> head_desc e'
+  | Pexp_apply (h, _) -> head_desc h
+  | _ -> "<computed>"
+
+(* Does [e] contain a syntactic Mutex.unlock (possibly aliased through
+   Stdlib)?  Used to stop lock regions before cleanup code. *)
+let contains_unlock e0 =
+  let found = ref false in
+  let expr self e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } ->
+        if strip_stdlib (ident_name txt) = "Mutex.unlock" then found := true
+    | _ -> ());
+    Ast_iterator.default_iterator.expr self e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it e0;
+  !found
+
+let is_head_call name e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      strip_stdlib (ident_name txt) = name
+  | _ -> false
+
+type scan_state = {
+  env : env;
+  scopes : string list;
+  locals : (string, unit) Hashtbl.t;
+  mutable s_calls : call list;
+  mutable s_allocs : alloc_site list;
+  mutable s_touches : touch list;
+}
+
+let record_call st ~flags callee line =
+  st.s_calls <- { callee; cline = line; cflags = flags } :: st.s_calls
+
+let record_alloc st what line =
+  st.s_allocs <- { what; aline = line } :: st.s_allocs
+
+let record_touch st ~flags global line =
+  st.s_touches <-
+    { global; tline = line; synced = flags.locked; tspawned = flags.spawned }
+    :: st.s_touches
+
+let add_pat_locals st p =
+  List.iter (fun v -> Hashtbl.replace st.locals v ()) (pat_vars [] p)
+
+(* Record the effect of referencing [name] in call-head position
+   ([head = true]) or as a bare value.  Bare project-function
+   references become call edges: the function escapes (into a
+   higher-order call or a data structure) and will in all likelihood
+   run with the caller's context. *)
+let reference st ~flags ~head name line =
+  match resolve st.env ~scopes:st.scopes ~locals:st.locals name with
+  | R_local -> if head then record_call st ~flags (Unknown name) line
+  | R_project d -> record_call st ~flags (Project d.d_name) line
+  | R_project_global g -> record_touch st ~flags g line
+  | R_builtin (n, eff) ->
+      if head || not (Effects.is_bottom eff) then
+        record_call st ~flags (Builtin (n, eff)) line
+  | R_unknown n -> record_call st ~flags (Unknown n) line
+  | R_none -> if head then record_call st ~flags (Unknown name) line
+
+let rec scan st ~flags e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; loc } ->
+      reference st ~flags ~head:false (ident_name txt) (line_of loc)
+  | Pexp_constant _ -> ()
+  | Pexp_apply (head, args) -> scan_apply st ~flags e head args
+  | Pexp_construct (_, None) -> ()
+  | Pexp_construct ({ txt; loc }, Some arg) ->
+      let name =
+        match Longident.flatten txt with
+        | parts when parts <> [] -> List.nth parts (List.length parts - 1)
+        | _ -> "?"
+        | exception _ -> "?"
+      in
+      (* [cons] cells and constructor payloads are heap blocks *)
+      record_alloc st name (line_of loc);
+      scan st ~flags arg
+  | Pexp_variant (_, Some arg) ->
+      record_alloc st "variant" (line_of e.pexp_loc);
+      scan st ~flags arg
+  | Pexp_variant (_, None) -> ()
+  | Pexp_tuple es ->
+      record_alloc st "tuple" (line_of e.pexp_loc);
+      List.iter (scan st ~flags) es
+  | Pexp_record (fields, base) ->
+      record_alloc st "record" (line_of e.pexp_loc);
+      List.iter (fun (_, e') -> scan st ~flags e') fields;
+      Option.iter (scan st ~flags) base
+  | Pexp_array es ->
+      if es <> [] then record_alloc st "array" (line_of e.pexp_loc);
+      List.iter (scan st ~flags) es
+  | Pexp_field (b, _) -> scan st ~flags b
+  | Pexp_setfield (b, _, v) ->
+      (match b.pexp_desc with
+      | Pexp_ident { txt; loc } -> (
+          match
+            resolve st.env ~scopes:st.scopes ~locals:st.locals
+              (ident_name txt)
+          with
+          | R_project_global g -> record_touch st ~flags g (line_of loc)
+          | _ -> ())
+      | _ -> scan st ~flags b);
+      scan st ~flags v
+  | Pexp_let _ | Pexp_sequence _ -> scan_chain st ~flags e
+  | Pexp_match (scrut, cases) ->
+      scan st ~flags scrut;
+      scan_cases st ~flags cases
+  | Pexp_try (body, handlers) ->
+      scan st ~flags:{ flags with in_try = true } body;
+      scan_cases st ~flags handlers
+  | Pexp_ifthenelse (c, a, b) ->
+      scan st ~flags c;
+      scan st ~flags a;
+      Option.iter (scan st ~flags) b
+  | Pexp_while (c, body) ->
+      scan st ~flags c;
+      scan st ~flags body
+  | Pexp_for (pat, lo, hi, _, body) ->
+      add_pat_locals st pat;
+      scan st ~flags lo;
+      scan st ~flags hi;
+      scan st ~flags body
+  | Pexp_constraint (e', _) | Pexp_coerce (e', _, _) -> scan st ~flags e'
+  | Pexp_assert e' ->
+      record_call st ~flags
+        (Builtin ("assert", { Effects.bottom with Effects.raises = true }))
+        (line_of e.pexp_loc);
+      scan st ~flags e'
+  | Pexp_lazy e' ->
+      record_alloc st "lazy" (line_of e.pexp_loc);
+      scan st ~flags e'
+  | Pexp_open (_, e') -> scan st ~flags e'
+  | Pexp_letmodule (_, me, e') ->
+      (match me.pmod_desc with
+      | Pmod_structure items ->
+          List.iter
+            (fun item ->
+              match item.pstr_desc with
+              | Pstr_value (_, vbs) ->
+                  List.iter (fun vb -> scan st ~flags vb.pvb_expr) vbs
+              | _ -> ())
+            items
+      | _ -> ());
+      scan st ~flags e'
+  | Pexp_letexception (_, e') -> scan st ~flags e'
+  | _ ->
+      if Ast_compat.is_function e then scan_lambda st ~flags e
+      else
+        (* Constructors this scanner has no special handling for
+           (objects, packs, extensions): fall back to visiting child
+           expressions with unchanged context. *)
+        let expr _self e' = scan st ~flags e' in
+        let it = { Ast_iterator.default_iterator with expr } in
+        Ast_iterator.default_iterator.expr it e
+
+(* A lambda in expression position is a closure allocation; its body
+   runs with the enclosing context (a deferred-call approximation that
+   keeps lock regions conservative for closures built under a lock). *)
+and scan_lambda st ~flags e =
+  record_alloc st "closure" (line_of e.pexp_loc);
+  scan_function_parts st ~flags e
+
+and scan_function_parts st ~flags e =
+  match Ast_compat.function_parts e with
+  | None -> scan st ~flags e
+  | Some (pats, parts) ->
+      List.iter (add_pat_locals st) pats;
+      List.iter
+        (fun part ->
+          match Ast_compat.function_parts part with
+          | Some _ -> scan_function_parts st ~flags part
+          | None -> scan st ~flags part)
+        parts
+
+and scan_cases st ~flags cases =
+  List.iter
+    (fun c ->
+      add_pat_locals st c.pc_lhs;
+      Option.iter (scan st ~flags) c.pc_guard;
+      scan st ~flags c.pc_rhs)
+    cases
+
+(* Application: resolve the head, then decide whether any argument is a
+   lock region (Mutex.protect / *with_lock* wrappers) or escapes to
+   another domain or thread (Domain.spawn / Thread.create / functions
+   marked [@tlp.spawns]). *)
+and scan_apply st ~flags e head args =
+  let line = line_of e.pexp_loc in
+  match head.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      let name = strip_stdlib (ident_name txt) in
+      let resolved =
+        resolve st.env ~scopes:st.scopes ~locals:st.locals name
+      in
+      (* [g := v] on a project global is a write-touch *)
+      (match (name, args) with
+      | ":=", (_, { pexp_desc = Pexp_ident { txt = t'; loc }; _ }) :: _ -> (
+          match
+            resolve st.env ~scopes:st.scopes ~locals:st.locals
+              (ident_name t')
+          with
+          | R_project_global g -> record_touch st ~flags g (line_of loc)
+          | _ -> ())
+      | _ -> ());
+      (* [!g] reads: arguments that are global idents are touches *)
+      List.iter
+        (fun (_, a) ->
+          match a.pexp_desc with
+          | Pexp_ident { txt = t'; loc } -> (
+              match
+                resolve st.env ~scopes:st.scopes ~locals:st.locals
+                  (ident_name t')
+              with
+              | R_project_global g -> record_touch st ~flags g (line_of loc)
+              | _ -> ())
+          | _ -> ())
+        args;
+      let spawning =
+        match resolved with
+        | R_builtin (("Domain.spawn" | "Thread.create"), _) -> true
+        | R_project d -> d.d_spawner
+        | _ -> false
+      in
+      let locking =
+        match resolved with
+        | R_builtin ("Mutex.protect", _) -> true
+        | R_project d -> lock_wrapper_name d.d_name
+        | _ -> false
+      in
+      (match resolved with
+      | R_local -> record_call st ~flags (Unknown name) line
+      | R_project d -> record_call st ~flags (Project d.d_name) line
+      | R_project_global g ->
+          record_touch st ~flags g line;
+          record_call st ~flags (Unknown (name ^ " (global)")) line
+      | R_builtin (n, eff) -> record_call st ~flags (Builtin (n, eff)) line
+      | R_unknown n -> record_call st ~flags (Unknown n) line
+      | R_none -> record_call st ~flags (Unknown name) line);
+      let n_args = List.length args in
+      List.iteri
+        (fun i (_, a) ->
+          (* [x |> f] and [f @@ x] invoke the argument in callee
+             position; a bare ident there is a real call. *)
+          let piped =
+            (name = "|>" && i = n_args - 1) || (name = "@@" && i = 0)
+          in
+          let escaping =
+            spawning || (locking && i = n_args - 1) || piped
+          in
+          let flags' =
+            if spawning then { flags with spawned = true }
+            else if locking && i = n_args - 1 then
+              { flags with locked = true }
+            else flags
+          in
+          scan_arg st ~flags:flags' ~escaping a)
+        args)
+  | _ ->
+      record_call st ~flags (Unknown (head_desc head)) line;
+      List.iter (fun (_, a) -> scan_arg st ~flags ~escaping:false a) args
+
+(* Arguments: a bare identifier passed where it will be *run* — to
+   [Domain.spawn], [Thread.create], a [\@tlp.spawns] function, or as a
+   lock wrapper's thunk — is a deferred call and is recorded as one
+   with the argument's context; everywhere else an ident argument is
+   plain data. *)
+and scan_arg st ~flags ~escaping a =
+  match a.pexp_desc with
+  | Pexp_ident { txt; loc } ->
+      reference st ~flags ~head:escaping (ident_name txt) (line_of loc)
+  | _ ->
+      if Ast_compat.is_function a then begin
+        (if not escaping then
+           record_alloc st "closure" (line_of a.pexp_loc));
+        scan_function_parts st ~flags a
+      end
+      else scan st ~flags a
+
+(* Statement chains: flatten nested [let]s and [;] sequences into a
+   statement list, then give every statement between a statement-level
+   [Mutex.lock _] and the first statement containing a [Mutex.unlock]
+   the [locked] flag.  Stopping *before* the statement that contains
+   the unlock (rather than at a statement-level unlock only) lets
+   wrapper shapes like [Fun.protect ~finally:unlock] and early-unlock
+   branches escape the region instead of flagging their own cleanup. *)
+and scan_chain st ~flags e0 =
+  let rec chain e acc =
+    match e.pexp_desc with
+    | Pexp_sequence (a, b) -> chain b (`Stmt a :: acc)
+    | Pexp_let (_, vbs, body) ->
+        chain body (List.rev_append (List.map (fun vb -> `Bind vb) vbs) acc)
+    | _ -> List.rev (`Stmt e :: acc)
+  in
+  let stmts = chain e0 [] in
+  let expr_of = function `Stmt e -> e | `Bind vb -> vb.pvb_expr in
+  let n = List.length stmts in
+  let arr = Array.of_list stmts in
+  (* Compute, for each index, whether it is inside a lock region. *)
+  let locked_at = Array.make n false in
+  let i = ref 0 in
+  while !i < n do
+    let s = expr_of arr.(!i) in
+    if is_head_call "Mutex.lock" s then begin
+      let j = ref (!i + 1) in
+      while
+        !j < n && not (contains_unlock (expr_of arr.(!j)))
+      do
+        locked_at.(!j) <- true;
+        incr j
+      done;
+      i := !j
+    end
+    else incr i
+  done;
+  Array.iteri
+    (fun idx item ->
+      let flags' =
+        if locked_at.(idx) then { flags with locked = true } else flags
+      in
+      match item with
+      | `Stmt e -> scan st ~flags:flags' e
+      | `Bind vb ->
+          (if Ast_compat.is_function vb.pvb_expr then
+             scan_lambda st ~flags:flags' vb.pvb_expr
+           else scan st ~flags:flags' vb.pvb_expr);
+          add_pat_locals st vb.pvb_pat)
+    arr
+
+(* ---------- build ---------- *)
+
+let build parsed =
+  let collected =
+    List.map (fun (file, str) -> collect_file file str) parsed
+  in
+  let def_index = Hashtbl.create 256 in
+  let global_set = Hashtbl.create 16 in
+  let lib_roots = Hashtbl.create 16 in
+  let sibling = Hashtbl.create 64 in
+  List.iter
+    (fun (info, defs, globals) ->
+      List.iter
+        (fun d ->
+          if not (Hashtbl.mem def_index d.d_name) then
+            Hashtbl.add def_index d.d_name d)
+        defs;
+      List.iter (fun g -> Hashtbl.replace global_set g ()) globals;
+      let lib, dir = lib_of_file info.fi_file in
+      Hashtbl.replace lib_roots lib ();
+      Hashtbl.replace sibling
+        (dir ^ ":" ^ module_of_file info.fi_file)
+        info.fi_prefix)
+    collected;
+  let funcs =
+    List.concat_map
+      (fun (info, defs, _) ->
+        let _, dir = lib_of_file info.fi_file in
+        let env = { info; def_index; global_set; lib_roots; sibling; dir } in
+        List.map
+          (fun d ->
+            (* The resolution scope chain for a binding inside nested
+               submodules is its full enclosing-prefix list. *)
+            let st =
+              {
+                env;
+                scopes = d.d_scopes;
+                locals = Hashtbl.create 32;
+                s_calls = [];
+                s_allocs = [];
+                s_touches = [];
+              }
+            in
+            let flags = { in_try = false; locked = false; spawned = false } in
+            if Ast_compat.is_function d.d_body then
+              scan_function_parts st ~flags d.d_body
+            else scan st ~flags d.d_body;
+            {
+              name = d.d_name;
+              file = d.d_file;
+              fline = d.d_line;
+              hot = d.d_hot;
+              spawner = d.d_spawner;
+              callable = d.d_callable;
+              calls = List.rev st.s_calls;
+              allocs = List.rev st.s_allocs;
+              touches = List.rev st.s_touches;
+            })
+          defs)
+      collected
+  in
+  let by_name = Hashtbl.create 256 in
+  List.iter
+    (fun f ->
+      if not (Hashtbl.mem by_name f.name) then Hashtbl.add by_name f.name f)
+    funcs;
+  { funcs; by_name }

@@ -1,0 +1,57 @@
+(** Project-wide call graph built from parsed implementations.
+
+    Names are fully qualified as ["<Lib>.<Module>.<binding>"], where
+    [<Lib>] is derived from the source directory (["lib/util"] →
+    ["Tlp_util"], ["bin"] → ["Bin"], ["test"] → ["Test"], …).
+    Resolution is syntactic: local bindings shadow everything, then
+    module aliases, file submodules, same-directory siblings, library
+    roots, and [open]ed project modules are tried in order; names the
+    {!Effects} tables also cannot account for become ⊤-[Unknown]. *)
+
+type callee =
+  | Project of string  (** fully-qualified project function *)
+  | Builtin of string * Effects.t  (** stdlib/vendor with known effects *)
+  | Unknown of string  (** ⊤: unresolvable (field, parameter, external) *)
+
+type flags = {
+  in_try : bool;  (** under a [try]: raises/partial are masked *)
+  locked : bool;  (** inside a lock region (R6's scope) *)
+  spawned : bool;  (** in an argument escaping to another domain/thread *)
+}
+
+type call = { callee : callee; cline : int; cflags : flags }
+type alloc_site = { what : string; aline : int }
+
+type touch = {
+  global : string;  (** fully-qualified toplevel mutable binding *)
+  tline : int;
+  synced : bool;  (** touched while holding a lock *)
+  tspawned : bool;  (** touched from code escaping to another domain *)
+}
+
+type func = {
+  name : string;
+  file : string;
+  fline : int;
+  hot : bool;  (** carries [\@tlp.hot] *)
+  spawner : bool;  (** carries [\@tlp.spawns] *)
+  callable : bool;
+      (** false for non-function values and [let () = …] initialisers *)
+  calls : call list;
+  allocs : alloc_site list;
+  touches : touch list;
+}
+
+type t = { funcs : func list; by_name : (string, func) Hashtbl.t }
+
+val build : (string * Parsetree.structure) list -> t
+(** [build [(file, structure); …]] indexes every toplevel binding in
+    every file, then scans each body for calls, allocation sites, and
+    global touches.  Files are keyed by normalized repo-relative path. *)
+
+val find : t -> string -> func option
+
+val unit_prefix : string -> string
+(** [unit_prefix "lib/util/bytebuf.ml"] is ["Tlp_util.Bytebuf"] — the
+    qualification under which the file's toplevel bindings are
+    indexed. *)

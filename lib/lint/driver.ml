@@ -21,28 +21,53 @@ let r4_finding file =
     message =
       Printf.sprintf "missing interface: %s has no matching %si" file file;
     severity = Finding.Error;
+    evidence = [];
   }
 
 let scan_files ?(mli_exists = fun _ -> true) ~allowlist files =
   let errors = ref [] in
-  let all_findings =
-    List.concat_map
+  (* Parse each file exactly once; the same tree feeds the per-file
+     rules and the whole-program call graph. *)
+  let parsed =
+    List.filter_map
       (fun (file, source) ->
-        let from_rules =
-          match Rules.check_source ~file source with
-          | Ok findings -> findings
-          | Error msg ->
-              errors := msg :: !errors;
-              []
-        in
+        match Rules.parse_source ~file source with
+        | Ok str -> Some (file, source, str)
+        | Error msg ->
+            errors := msg :: !errors;
+            None)
+      files
+  in
+  let per_file =
+    List.concat_map
+      (fun (file, source, str) ->
+        let from_rules = Rules.check_structure ~file ~source str in
         let r4 =
           if (Rules.classify file).Rules.r4 && not (mli_exists file) then
             [ r4_finding file ]
           else []
         in
         from_rules @ r4)
-      files
-    |> List.sort Finding.compare
+      parsed
+  in
+  let interprocedural =
+    let lines_tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (file, source, _) ->
+        Hashtbl.replace lines_tbl file
+          (Array.of_list (String.split_on_char '\n' source)))
+      parsed;
+    let lines_of file =
+      match Hashtbl.find_opt lines_tbl file with
+      | Some lines -> lines
+      | None -> [||]
+    in
+    let cg = Callgraph.build (List.map (fun (f, _, str) -> (f, str)) parsed) in
+    let summaries = Summary.compute cg in
+    Rules.check_project ~lines_of cg summaries
+  in
+  let all_findings =
+    List.sort Finding.compare (per_file @ interprocedural)
   in
   (* Each finding is suppressed by the first entry that matches it; an
      entry is stale when it matched nothing at all. *)
@@ -141,7 +166,13 @@ let scan ~allowlist ~roots =
   { report with errors = List.rev !errors @ report.errors }
 
 let ok r = r.findings = [] && r.stale = [] && r.errors = []
-let exit_code r = if ok r then 0 else 1
+
+(* 0 clean; 1 policy failure (findings or stale suppressions) — the
+   code a CI gate acts on; 2 the tool itself could not do its job
+   (unreadable or unparseable source), which must never be mistaken
+   for "lint found style problems". *)
+let exit_code r =
+  if r.errors <> [] then 2 else if ok r then 0 else 1
 
 let suppressed_json (e, (f : Finding.t)) =
   match Allowlist.to_json e with
@@ -156,6 +187,20 @@ let to_json r =
       ("ok", Json_out.Bool (ok r));
       ("files_scanned", Json_out.Int r.files_scanned);
       ("findings", Json_out.List (List.map Finding.to_json r.findings));
+      ("suppressed", Json_out.List (List.map suppressed_json r.suppressed));
+      ( "stale_allowlist",
+        Json_out.List (List.map Allowlist.to_json r.stale) );
+      ("errors", Json_out.List (List.map (fun e -> Json_out.String e) r.errors));
+    ]
+
+let to_json_v2 r =
+  Json_out.Obj
+    [
+      ("schema", Json_out.String "tlp.lint/v2");
+      ("ok", Json_out.Bool (ok r));
+      ("exit_code", Json_out.Int (exit_code r));
+      ("files_scanned", Json_out.Int r.files_scanned);
+      ("findings", Json_out.List (List.map Finding.to_json_v2 r.findings));
       ("suppressed", Json_out.List (List.map suppressed_json r.suppressed));
       ( "stale_allowlist",
         Json_out.List (List.map Allowlist.to_json r.stale) );

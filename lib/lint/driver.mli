@@ -31,10 +31,20 @@ val scan : allowlist:Allowlist.entry list -> roots:string list -> report
     real filesystem.  Unreadable roots or files become [errors]. *)
 
 val ok : report -> bool
-val exit_code : report -> int  (** 0 when {!ok}, 1 otherwise *)
+
+val exit_code : report -> int
+(** [0] when {!ok}; [1] when the only problems are policy failures
+    (findings or stale allowlist entries); [2] when the tool itself
+    failed (unreadable roots, unparseable source) — never to be
+    mistaken for a policy verdict. *)
 
 val to_json : report -> Tlp_util.Json_out.t
 (** Schema [tlp.lint/v1]: [{schema; ok; files_scanned; findings;
-    suppressed; stale_allowlist; errors}]. *)
+    suppressed; stale_allowlist; errors}].  Findings carry no evidence
+    field, keeping v1 consumers stable. *)
+
+val to_json_v2 : report -> Tlp_util.Json_out.t
+(** Schema [tlp.lint/v2]: v1 plus per-finding ["evidence"] call paths
+    and a top-level ["exit_code"]. *)
 
 val render_text : report -> string

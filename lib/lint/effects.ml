@@ -1,0 +1,226 @@
+(* The effect lattice: six independent boolean dimensions joined
+   pointwise, so [join] is monotone and the SCC fixpoint in {!Summary}
+   terminates after at most six raisings per function.
+
+   [unknown] is deliberately a separate bit rather than "all bits set":
+   a call through a function-typed field or parameter proves nothing
+   about allocation or blocking, and folding it into the definite bits
+   would let one stored closure taint every caller with every effect.
+   Each rule decides what ⊤ means for it — R6 and R7 treat [unknown] as
+   worst-case (a lock region or hot path must not contain calls nobody
+   can account for), while R5 and R8 act only on definite evidence. *)
+
+type t = {
+  allocates : bool;
+  blocks : bool;
+  raises : bool;
+  touches_global : bool;
+  partial : bool;
+  unknown : bool;
+}
+
+let bottom =
+  {
+    allocates = false;
+    blocks = false;
+    raises = false;
+    touches_global = false;
+    partial = false;
+    unknown = false;
+  }
+
+let top =
+  {
+    allocates = true;
+    blocks = true;
+    raises = true;
+    touches_global = false;
+    (* even ⊤ externals cannot touch *our* module toplevels *)
+    partial = true;
+    unknown = true;
+  }
+
+let join a b =
+  {
+    allocates = a.allocates || b.allocates;
+    blocks = a.blocks || b.blocks;
+    raises = a.raises || b.raises;
+    touches_global = a.touches_global || b.touches_global;
+    partial = a.partial || b.partial;
+    unknown = a.unknown || b.unknown;
+  }
+
+let equal a b = a = b
+let is_bottom e = equal e bottom
+
+(* [mask_caught e] is [e] as seen through an enclosing [try]: the
+   exception-shaped effects are handled locally, everything else leaks. *)
+let mask_caught e = { e with raises = false; partial = false }
+
+let names e =
+  let tag b n acc = if b then n :: acc else acc in
+  tag e.allocates "allocates"
+    (tag e.blocks "blocks"
+       (tag e.raises "raises"
+          (tag e.touches_global "touches_global"
+             (tag e.partial "partial" (tag e.unknown "unknown" [])))))
+
+(* ---------- builtin knowledge base ---------- *)
+
+let pure = bottom
+let alloc = { bottom with allocates = true }
+let blocking = { bottom with blocks = true }
+let raising = { bottom with raises = true }
+let partial_fn = { bottom with raises = true; partial = true }
+let ( ++ ) = join
+
+(* Exact effects for the stdlib names the codebase actually leans on.
+   Anything qualified by a known stdlib module but absent here falls
+   back to {!module_default}; anything else is ⊤-unknown.  The table is
+   a match, not a toplevel hashtable — the lint must pass its own R1. *)
+let exact name =
+  match name with
+  (* core values and operators *)
+  | "ignore" | "not" | "fst" | "snd" | "min" | "max" | "abs" | "succ" | "pred"
+  | "compare" | "incr" | "decr" | "truncate" | "float_of_int" | "int_of_float"
+  | "int_of_char" | "string_of_bool" | "+" | "-" | "*" | "/" | "mod" | "land"
+  | "lor" | "lxor" | "lsl" | "lsr" | "asr" | "=" | "<>" | "<" | ">" | "<="
+  | ">=" | "==" | "!=" | "&&" | "||" | "~-" | "!" | ":=" | "|>" | "@@"
+  | "stdout" | "stderr"
+  | "stdin" | "infinity" | "neg_infinity" | "nan" | "max_float" | "min_float"
+  | "max_int" | "min_int" | "epsilon_float" ->
+      Some pure
+  (* float arithmetic may box its result; hot paths stay integer *)
+  | "+." | "-." | "*." | "/." | "**" | "~-." | "sqrt" | "exp" | "log" | "ceil"
+  | "floor" | "float_of_string" | "mod_float" ->
+      Some alloc
+  | "ref" | "@" | "^" | "^^" | "string_of_int" | "string_of_float" ->
+      Some alloc
+  | "raise" | "raise_notrace" | "failwith" | "invalid_arg" -> Some raising
+  | "char_of_int" | "int_of_string" | "bool_of_string" -> Some raising
+  | "exit" -> Some partial_fn
+  | "print_endline" | "print_string" | "print_newline" | "print_int"
+  | "print_char" | "prerr_endline" | "prerr_string" | "prerr_newline" ->
+      Some (blocking ++ alloc)
+  | "read_line" -> Some (blocking ++ alloc ++ raising)
+  | "open_in" | "open_in_bin" | "open_out" | "open_out_bin" ->
+      Some (blocking ++ alloc ++ raising)
+  | "close_in" | "close_out" | "flush" | "output_string" | "output_bytes"
+  | "output_char" | "seek_in" | "pos_in" | "in_channel_length" ->
+      Some blocking
+  | "input_line" | "really_input_string" | "input" | "input_char" ->
+      Some (blocking ++ alloc ++ raising)
+  (* List: the traversals are effect-free, the builders allocate *)
+  | "List.length" | "List.iter" | "List.iteri" | "List.fold_left"
+  | "List.fold_right" | "List.for_all" | "List.exists" | "List.mem"
+  | "List.memq" | "List.mem_assoc" | "List.compare_lengths" | "List.iter2" ->
+      Some pure
+  | "List.hd" | "List.tl" -> Some partial_fn
+  | "List.nth" | "List.assoc" | "List.find" -> Some raising
+  (* Array / Bytes / String: reads and in-place writes are free *)
+  | "Array.length" | "Array.get" | "Array.set" | "Array.unsafe_get"
+  | "Array.unsafe_set" | "Array.iter" | "Array.iteri" | "Array.fold_left"
+  | "Array.for_all" | "Array.exists" | "Array.fill" | "Array.blit"
+  | "Array.mem" | "Array.sort" ->
+      Some pure
+  | "Bytes.length" | "Bytes.get" | "Bytes.set" | "Bytes.unsafe_get"
+  | "Bytes.unsafe_set" | "Bytes.blit" | "Bytes.blit_string" | "Bytes.fill"
+  | "Bytes.get_uint8" | "Bytes.set_uint8" | "Bytes.get_uint16_be"
+  | "Bytes.set_uint16_be" | "Bytes.unsafe_blit" | "Bytes.compare"
+  | "Bytes.equal" | "Bytes.unsafe_of_string" | "Bytes.unsafe_to_string" ->
+      Some pure
+  | "String.length" | "String.get" | "String.unsafe_get" | "String.compare"
+  | "String.equal" | "String.contains" | "String.contains_from"
+  | "String.for_all" | "String.exists" | "String.iter" | "String.iteri"
+  | "String.blit" | "String.starts_with" | "String.ends_with" ->
+      Some pure
+  | "String.index" -> Some raising
+  (* Hashtbl: membership and iteration are free, growth is not *)
+  | "Hashtbl.mem" | "Hashtbl.length" | "Hashtbl.iter" | "Hashtbl.fold"
+  | "Hashtbl.reset" | "Hashtbl.clear" | "Hashtbl.remove" | "Hashtbl.hash" ->
+      Some pure
+  | "Hashtbl.find" -> Some raising
+  | "Queue.is_empty" | "Queue.length" | "Queue.iter" | "Queue.clear"
+  | "Queue.transfer" ->
+      Some pure
+  | "Queue.pop" | "Queue.take" | "Queue.peek" | "Queue.top" -> Some raising
+  | "Stack.is_empty" | "Stack.length" | "Stack.iter" | "Stack.clear" ->
+      Some pure
+  | "Stack.pop" | "Stack.top" -> Some raising
+  | "Buffer.length" | "Buffer.clear" | "Buffer.reset" -> Some pure
+  | "Option.is_some" | "Option.is_none" | "Option.value" | "Option.iter"
+  | "Option.fold" | "Option.equal" | "Option.compare" ->
+      Some pure
+  | "Option.get" -> Some partial_fn
+  | "Result.is_ok" | "Result.is_error" | "Result.iter" | "Result.value" ->
+      Some pure
+  | "Int.to_string" | "Float.to_string" -> Some alloc
+  | "Float.of_string" -> Some (alloc ++ raising)
+  | "Int64.to_int" | "Int64.compare" | "Int64.equal" | "Int32.to_int"
+  | "Int32.compare" | "Nativeint.to_int" ->
+      Some pure
+  | "Char.chr" -> Some raising
+  | "Char.escaped" -> Some alloc
+  (* system, time, concurrency *)
+  | "Sys.readdir" | "Sys.getcwd" -> Some (blocking ++ alloc ++ raising)
+  | "Sys.file_exists" | "Sys.command" -> Some blocking
+  | "Sys.remove" | "Sys.rename" | "Sys.chdir" -> Some (blocking ++ raising)
+  | "Sys.getenv" -> Some raising
+  | "Sys.getenv_opt" -> Some alloc
+  | "Unix.gettimeofday" | "Unix.time" | "Unix.getpid" -> Some pure
+  | "Unix.write" | "Unix.single_write" | "Unix.read" -> Some (blocking ++ raising)
+  | "Unix.error_message" -> Some alloc
+  | "Thread.self" | "Thread.id" -> Some pure
+  | "Thread.delay" | "Thread.join" -> Some blocking
+  | "Thread.create" -> Some alloc
+  | "Mutex.lock" -> Some blocking
+  | "Mutex.unlock" | "Mutex.try_lock" -> Some pure
+  | "Mutex.create" | "Condition.create" -> Some alloc
+  | "Mutex.protect" -> Some blocking
+  | "Condition.wait" -> Some blocking
+  | "Condition.signal" | "Condition.broadcast" -> Some pure
+  | "Domain.spawn" -> Some alloc
+  | "Domain.join" -> Some blocking
+  | "Domain.cpu_relax" | "Domain.self" | "Domain.recommended_domain_count" ->
+      Some pure
+  | "Atomic.make" -> Some alloc
+  (* formatting allocates; only the channel printers also block *)
+  | "Printf.sprintf" | "Printf.ksprintf" | "Format.asprintf" -> Some alloc
+  | "Gc.minor_words" | "Gc.quick_stat" | "Gc.stat" -> Some alloc
+  | "Gc.compact" | "Gc.full_major" | "Gc.minor" -> Some blocking
+  | "Fun.id" | "Fun.protect" -> Some pure
+  | "Filename.check_suffix" -> Some pure
+  | "Lazy.force" -> Some { alloc with unknown = true }
+  | _ -> None
+
+(* Per-module fallback effects for known stdlib/vendor modules.  The
+   defaults are deliberately pessimistic for R7 (most unlisted
+   functions in these modules allocate) without being ⊤. *)
+let module_default m =
+  match m with
+  | "List" | "Array" | "String" | "Bytes" | "Hashtbl" | "Buffer" | "Queue"
+  | "Stack" | "Option" | "Result" | "Either" | "Seq" | "Filename" | "Digest"
+  | "Printexc" | "Lexing" | "Int64" | "Int32" | "Nativeint" | "Lazy" ->
+      Some alloc
+  | "Int" | "Float" | "Char" | "Bool" | "Uchar" | "Sys" | "Random" | "Fun"
+  | "Mutex" | "Condition" | "Domain" | "Atomic" | "Complex" ->
+      Some pure
+  | "Unix" | "Out_channel" | "In_channel" | "Marshal" | "Scanf" | "Arg" ->
+      Some (blocking ++ alloc ++ raising)
+  | "Thread" -> Some blocking
+  | "Printf" | "Format" -> Some (blocking ++ alloc)
+  | "Gc" -> Some alloc
+  | "Obj" -> Some { partial_fn with unknown = true }
+  (* compiler-libs and the test harness: allocating, may raise *)
+  | "Parse" | "Location" | "Longident" | "Ast_iterator" | "Parsetree"
+  | "Asttypes" | "Warnings" | "Alcotest" | "QCheck" | "QCheck2" | "Str" ->
+      Some (alloc ++ raising)
+  | _ -> None
+
+let builtin name =
+  match exact name with
+  | Some _ as r -> r
+  | None -> (
+      match String.index_opt name '.' with
+      | Some i -> module_default (String.sub name 0 i)
+      | None -> None)

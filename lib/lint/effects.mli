@@ -1,0 +1,53 @@
+(** The effect lattice for interprocedural summaries.
+
+    Six independent boolean dimensions with pointwise-or [join]:
+
+    - [allocates] — performs heap allocation (constructs, closures, or a
+      known-allocating stdlib call).
+    - [blocks] — may suspend the calling thread: Unix I/O, [Mutex.lock],
+      [Condition.wait], sleeps and joins.
+    - [raises] — may raise an exception that is not caught locally.
+    - [touches_global] — reads or writes module-toplevel mutable state,
+      directly or through a callee.
+    - [partial] — reaches one of the R3 partial/unsafe operations
+      ([List.hd], [Option.get], [Obj.*], bare [exit]).
+    - [unknown] — contains a call no analysis can resolve (a
+      function-typed field or parameter, or an external module with no
+      effect table entry).  ⊤ is kept as its own bit so each rule can
+      decide whether "nobody can account for this call" is fatal: R6
+      and R7 treat it as worst-case, R5 and R8 require definite
+      evidence. *)
+
+type t = {
+  allocates : bool;
+  blocks : bool;
+  raises : bool;
+  touches_global : bool;
+  partial : bool;
+  unknown : bool;
+}
+
+val bottom : t
+(** No effects: the summary of a pure, total, resolved function. *)
+
+val top : t
+(** The conservative summary of an unresolvable external: every bit set
+    except [touches_global] (an external cannot reach our module
+    toplevels). *)
+
+val join : t -> t -> t
+val equal : t -> t -> bool
+val is_bottom : t -> bool
+
+val mask_caught : t -> t
+(** Effects as seen through an enclosing [try]: clears [raises] and
+    [partial], keeps the rest. *)
+
+val names : t -> string list
+(** The set bits as lowercase names, for messages and JSON. *)
+
+val builtin : string -> t option
+(** [builtin name] is the effect of a stdlib/vendor identifier (after
+    [Stdlib.] stripping), from the exact table or the per-module
+    default; [None] means the name is not accounted for and the call is
+    ⊤-unknown. *)

@@ -11,6 +11,7 @@ type t = {
   snippet : string;
   message : string;
   severity : severity;
+  evidence : string list;
 }
 
 let severity_to_string = function Error -> "error" | Warning -> "warning"
@@ -38,10 +39,31 @@ let to_json f =
       ("severity", Json_out.String (severity_to_string f.severity));
     ]
 
+let to_json_v2 f =
+  Json_out.Obj
+    [
+      ("rule", Json_out.String f.rule);
+      ("file", Json_out.String f.file);
+      ("line", Json_out.Int f.line);
+      ("col", Json_out.Int f.col);
+      ("symbol", Json_out.String f.symbol);
+      ("snippet", Json_out.String f.snippet);
+      ("message", Json_out.String f.message);
+      ("severity", Json_out.String (severity_to_string f.severity));
+      ( "evidence",
+        Json_out.List (List.map (fun s -> Json_out.String s) f.evidence) );
+    ]
+
 let to_text f =
   let base =
     Printf.sprintf "%s:%d:%d: [%s/%s] %s" f.file f.line f.col f.rule
       (severity_to_string f.severity)
       f.message
   in
-  if f.snippet = "" then base else Printf.sprintf "%s\n    %s" base f.snippet
+  let base =
+    if f.snippet = "" then base else Printf.sprintf "%s\n    %s" base f.snippet
+  in
+  if f.evidence = [] then base
+  else
+    Printf.sprintf "%s\n    call path: %s" base
+      (String.concat " -> " f.evidence)

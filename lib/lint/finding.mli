@@ -20,6 +20,10 @@ type t = {
   snippet : string;  (** the trimmed offending source line *)
   message : string;
   severity : severity;
+  evidence : string list;
+      (** interprocedural call path supporting the finding, outermost
+          caller first, ending at the leaf site; empty for the purely
+          per-file rules R1–R4 *)
 }
 
 val severity_to_string : severity -> string
@@ -28,6 +32,13 @@ val compare : t -> t -> int
 (** Order by file, then line, then column, then rule — the report order. *)
 
 val to_json : t -> Tlp_util.Json_out.t
+(** The [tlp.lint/v1] shape: no evidence field, so v1 consumers see an
+    unchanged schema. *)
+
+val to_json_v2 : t -> Tlp_util.Json_out.t
+(** The [tlp.lint/v2] shape: v1 plus an ["evidence"] array of call-path
+    steps. *)
 
 val to_text : t -> string
-(** One-line [file:line:col: rule message] rendering plus the snippet. *)
+(** One-line [file:line:col: rule message] rendering plus the snippet,
+    plus a ["call path: a -> b -> c"] line when evidence is present. *)

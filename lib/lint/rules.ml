@@ -76,6 +76,7 @@ let finding ~lines ~file ~rule ~symbol ~message (loc : Location.t) =
     snippet;
     message;
     severity = Finding.Error;
+    evidence = [];
   }
 
 (* Field names declared [mutable] anywhere in this file: the best a
@@ -226,11 +227,304 @@ let check_structure ~file ~source str =
 
   List.sort Finding.compare !acc
 
-let check_source ~file source =
+(* ---------- interprocedural rules R5–R8 ---------- *)
+
+let project_finding ~lines_of ~file ~rule ~symbol ~message ~evidence line =
+  let lines = lines_of file in
+  let snippet =
+    if line >= 1 && line <= Array.length lines then String.trim lines.(line - 1)
+    else ""
+  in
+  {
+    Finding.rule;
+    file;
+    line;
+    col = 0;
+    symbol;
+    snippet;
+    message;
+    severity = Finding.Error;
+    evidence;
+  }
+
+let short_name fq =
+  match String.rindex_opt fq '.' with
+  | Some i -> String.sub fq (i + 1) (String.length fq - i - 1)
+  | None -> fq
+
+(* R5: unsynchronized toplevel mutable state reached from code that
+   runs on another domain or thread.  Definite evidence only — the
+   [unknown] bit never triggers R5, or every stored closure would. *)
+let check_r5 ~lines_of (cg : Callgraph.t) (summaries : Summary.t) add =
+  List.iter
+    (fun (f : Callgraph.func) ->
+      List.iter
+        (fun (t : Callgraph.touch) ->
+          if t.Callgraph.tspawned && not t.Callgraph.synced then
+            add
+              (project_finding ~lines_of ~file:f.Callgraph.file ~rule:"R5"
+                 ~symbol:t.Callgraph.global
+                 ~message:
+                   (Printf.sprintf
+                      "domain race: spawned code touches toplevel mutable \
+                       state %s without holding a lock"
+                      t.Callgraph.global)
+                 ~evidence:[ f.Callgraph.name; t.Callgraph.global ]
+                 t.Callgraph.tline))
+        f.Callgraph.touches;
+      List.iter
+        (fun (c : Callgraph.call) ->
+          match c.Callgraph.callee with
+          | Callgraph.Project g
+            when c.Callgraph.cflags.Callgraph.spawned
+                 && not c.Callgraph.cflags.Callgraph.locked -> (
+              match Summary.find summaries g with
+              | Some i when i.Summary.effects.Effects.touches_global ->
+                  add
+                    (project_finding ~lines_of ~file:f.Callgraph.file
+                       ~rule:"R5" ~symbol:g
+                       ~message:
+                         (Printf.sprintf
+                            "domain race: %s runs on a spawned \
+                             domain/thread and touches toplevel mutable \
+                             state without a lock"
+                            (short_name g))
+                       ~evidence:(f.Callgraph.name :: g :: i.Summary.global_w)
+                       c.Callgraph.cline)
+              | _ -> ())
+          | _ -> ())
+        f.Callgraph.calls)
+    cg.Callgraph.funcs
+
+(* R6: nothing that can block — and nothing whose effects cannot be
+   accounted for — may run while a mutex is held.  [Condition.wait] is
+   exempt: releasing the lock to wait is the mechanism working as
+   designed. *)
+let check_r6 ~lines_of (cg : Callgraph.t) (summaries : Summary.t) add =
+  List.iter
+    (fun (f : Callgraph.func) ->
+      List.iter
+        (fun (c : Callgraph.call) ->
+          if c.Callgraph.cflags.Callgraph.locked then
+            match c.Callgraph.callee with
+            | Callgraph.Builtin (("Condition.wait" | "Mutex.unlock"), _) ->
+                ()
+            | Callgraph.Builtin (name, eff) ->
+                if eff.Effects.blocks then
+                  add
+                    (project_finding ~lines_of ~file:f.Callgraph.file
+                       ~rule:"R6" ~symbol:name
+                       ~message:
+                         (Printf.sprintf
+                            "lock discipline: %s can block while a mutex \
+                             is held"
+                            name)
+                       ~evidence:[ f.Callgraph.name; name ]
+                       c.Callgraph.cline)
+                else if eff.Effects.unknown then
+                  add
+                    (project_finding ~lines_of ~file:f.Callgraph.file
+                       ~rule:"R6" ~symbol:name
+                       ~message:
+                         (Printf.sprintf
+                            "lock discipline: effects of %s cannot be \
+                             accounted for inside a lock region"
+                            name)
+                       ~evidence:[ f.Callgraph.name; name ]
+                       c.Callgraph.cline)
+            | Callgraph.Project g -> (
+                match Summary.find summaries g with
+                | Some i when i.Summary.effects.Effects.blocks ->
+                    add
+                      (project_finding ~lines_of ~file:f.Callgraph.file
+                         ~rule:"R6" ~symbol:g
+                         ~message:
+                           (Printf.sprintf
+                              "lock discipline: %s can block while a \
+                               mutex is held"
+                              (short_name g))
+                         ~evidence:
+                           (f.Callgraph.name :: g :: i.Summary.blocks_w)
+                         c.Callgraph.cline)
+                | Some i when i.Summary.effects.Effects.unknown ->
+                    add
+                      (project_finding ~lines_of ~file:f.Callgraph.file
+                         ~rule:"R6" ~symbol:g
+                         ~message:
+                           (Printf.sprintf
+                              "lock discipline: %s makes a call whose \
+                               effects cannot be accounted for inside a \
+                               lock region"
+                              (short_name g))
+                         ~evidence:
+                           (f.Callgraph.name :: g :: i.Summary.unknown_w)
+                         c.Callgraph.cline)
+                | _ -> ())
+            | Callgraph.Unknown name ->
+                add
+                  (project_finding ~lines_of ~file:f.Callgraph.file
+                     ~rule:"R6" ~symbol:name
+                     ~message:
+                       (Printf.sprintf
+                          "lock discipline: unresolvable call %s inside a \
+                           lock region"
+                          name)
+                     ~evidence:[ f.Callgraph.name; name ]
+                     c.Callgraph.cline))
+        f.Callgraph.calls)
+    cg.Callgraph.funcs
+
+(* R7: functions marked [\@tlp.hot] must be transitively allocation-free.
+   The DFS prunes callees whose summary has neither [allocates] nor
+   [unknown]; findings land at the offending site so one allowlist entry
+   covers every hot path reaching it. *)
+let check_r7 ~lines_of (cg : Callgraph.t) (summaries : Summary.t) add =
+  let report ~path (f : Callgraph.func) =
+    let evidence_base = List.rev path in
+    List.iter
+      (fun (a : Callgraph.alloc_site) ->
+        add
+          (project_finding ~lines_of ~file:f.Callgraph.file ~rule:"R7"
+             ~symbol:a.Callgraph.what
+             ~message:
+               (Printf.sprintf
+                  "hot-path allocation: %s allocates (%s) on a [@tlp.hot] \
+                   path"
+                  (short_name f.Callgraph.name)
+                  a.Callgraph.what)
+             ~evidence:
+               (evidence_base
+               @ [
+                   Printf.sprintf "%s (%s:%d)" a.Callgraph.what
+                     f.Callgraph.file a.Callgraph.aline;
+                 ])
+             a.Callgraph.aline))
+      f.Callgraph.allocs;
+    List.iter
+      (fun (c : Callgraph.call) ->
+        match c.Callgraph.callee with
+        | Callgraph.Builtin (name, eff) when eff.Effects.allocates ->
+            add
+              (project_finding ~lines_of ~file:f.Callgraph.file ~rule:"R7"
+                 ~symbol:name
+                 ~message:
+                   (Printf.sprintf
+                      "hot-path allocation: %s calls allocating %s on a \
+                       [@tlp.hot] path"
+                      (short_name f.Callgraph.name)
+                      name)
+                 ~evidence:
+                   (evidence_base
+                   @ [
+                       Printf.sprintf "%s (%s:%d)" name f.Callgraph.file
+                         c.Callgraph.cline;
+                     ])
+                 c.Callgraph.cline)
+        | Callgraph.Unknown name ->
+            add
+              (project_finding ~lines_of ~file:f.Callgraph.file ~rule:"R7"
+                 ~symbol:name
+                 ~message:
+                   (Printf.sprintf
+                      "hot-path allocation: unresolvable call %s on a \
+                       [@tlp.hot] path cannot be proven allocation-free"
+                      name)
+                 ~evidence:
+                   (evidence_base
+                   @ [
+                       Printf.sprintf "%s (%s:%d)" name f.Callgraph.file
+                         c.Callgraph.cline;
+                     ])
+                 c.Callgraph.cline)
+        | _ -> ())
+      f.Callgraph.calls
+  in
+  let hot_roots =
+    List.filter (fun (f : Callgraph.func) -> f.Callgraph.hot) cg.Callgraph.funcs
+  in
+  List.iter
+    (fun (root : Callgraph.func) ->
+      let visited = Hashtbl.create 32 in
+      let rec visit path (f : Callgraph.func) =
+        if not (Hashtbl.mem visited f.Callgraph.name) then begin
+          Hashtbl.replace visited f.Callgraph.name ();
+          let path = f.Callgraph.name :: path in
+          report ~path f;
+          List.iter
+            (fun (c : Callgraph.call) ->
+              match c.Callgraph.callee with
+              | Callgraph.Project g -> (
+                  match (Callgraph.find cg g, Summary.find summaries g) with
+                  | Some gf, Some gi
+                    when gi.Summary.effects.Effects.allocates
+                         || gi.Summary.effects.Effects.unknown ->
+                      visit path gf
+                  | _ -> ())
+              | _ -> ())
+            f.Callgraph.calls
+        end
+      in
+      visit [] root)
+    hot_roots
+
+(* R8: partiality is an effect — a library function that calls a
+   partial project function outside a [try] inherits the hazard even if
+   the partial identifier never appears in its own body. *)
+let check_r8 ~lines_of (cg : Callgraph.t) (summaries : Summary.t) add =
+  (* One finding per (caller, callee) pair: a recursive caller has many
+     call sites to the same partial callee, and each extra site says
+     nothing new. *)
+  let pair_seen = Hashtbl.create 32 in
+  List.iter
+    (fun (f : Callgraph.func) ->
+      if (classify f.Callgraph.file).r3 then
+        List.iter
+          (fun (c : Callgraph.call) ->
+            match c.Callgraph.callee with
+            | Callgraph.Project g
+              when (not c.Callgraph.cflags.Callgraph.in_try)
+                   && not (Hashtbl.mem pair_seen (f.Callgraph.name, g)) -> (
+                match Summary.find summaries g with
+                | Some i when i.Summary.effects.Effects.partial ->
+                    Hashtbl.replace pair_seen (f.Callgraph.name, g) ();
+                    add
+                      (project_finding ~lines_of ~file:f.Callgraph.file
+                         ~rule:"R8" ~symbol:g
+                         ~message:
+                           (Printf.sprintf
+                              "partiality: %s reaches a partial operation \
+                               (%s); handle or make the callee total"
+                              (short_name g)
+                              (String.concat " -> " i.Summary.partial_w))
+                         ~evidence:
+                           (f.Callgraph.name :: g :: i.Summary.partial_w)
+                         c.Callgraph.cline)
+                | _ -> ())
+            | _ -> ())
+          f.Callgraph.calls)
+    cg.Callgraph.funcs
+
+let check_project ~lines_of (cg : Callgraph.t) (summaries : Summary.t) =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let add (f : Finding.t) =
+    let key = (f.Finding.rule, f.Finding.file, f.Finding.line, f.Finding.symbol) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      acc := f :: !acc
+    end
+  in
+  check_r5 ~lines_of cg summaries add;
+  check_r6 ~lines_of cg summaries add;
+  check_r7 ~lines_of cg summaries add;
+  check_r8 ~lines_of cg summaries add;
+  List.sort Finding.compare !acc
+
+let parse_source ~file source =
   let lexbuf = Lexing.from_string source in
   Lexing.set_filename lexbuf file;
   match Parse.implementation lexbuf with
-  | str -> Ok (check_structure ~file ~source str)
+  | str -> Ok str
   | exception exn ->
       let msg =
         match Location.error_of_exn exn with
@@ -241,3 +535,8 @@ let check_source ~file source =
         | _ -> Printexc.to_string exn
       in
       Error (Printf.sprintf "%s: syntax error: %s" file msg)
+
+let check_source ~file source =
+  match parse_source ~file source with
+  | Ok str -> Ok (check_structure ~file ~source str)
+  | Error msg -> Error msg

@@ -1,6 +1,8 @@
-(** The four lint rules, run over a parsed implementation.
+(** The lint rules: per-file R1–R4 over a single parsed implementation,
+    interprocedural R5–R8 over the whole-program {!Callgraph} and its
+    {!Summary} fixpoint.
 
-    Which rules apply to a file is decided purely from its path:
+    Which per-file rules apply is decided purely from the path:
 
     - {b R1 domain-safety} ([lib/] only): module-toplevel mutable state —
       [ref]/[Hashtbl.create]/[Buffer.create]/[Array.make]-family calls,
@@ -20,9 +22,38 @@
       matching [.mli]; checked in {!Driver} where the filesystem is
       visible.
 
+    The interprocedural rules (see {!check_project}):
+
+    - {b R5 domain-race}: code that escapes to another domain or thread
+      ([Domain.spawn]/[Thread.create] arguments, and arguments to
+      project functions marked [[\@tlp.spawns]]) must not touch
+      module-toplevel mutable state without holding a lock — directly
+      or through any callee whose summary says it does.  Acts on
+      definite evidence only; the ⊤-unknown bit never triggers R5.
+    - {b R6 lock-discipline}: inside a lock region (statements between
+      [Mutex.lock] and the first statement containing [Mutex.unlock],
+      or the closure passed to [Mutex.protect] / a [*with_lock*]
+      wrapper), no call may block and no call may have unaccountable
+      effects.  [Condition.wait] is exempt — releasing the lock to wait
+      is the mechanism working as designed.
+    - {b R7 hot-path allocation budget}: functions marked [[\@tlp.hot]]
+      must be transitively allocation-free.  Findings land at the
+      offending site (so one allowlist entry covers every hot path that
+      reaches it) and carry the entry→offender call path as evidence.
+      Unresolvable calls on a hot path are findings too: a budget that
+      cannot be checked is not a budget.
+    - {b R8 partiality propagation} ([lib/] only, same scope as R3): a
+      call, outside any [try], to a project function whose summary
+      carries the [partial] effect — wrappers around [List.hd]-style
+      partiality inherit the hazard even though the partial identifier
+      never appears in their own body.
+
     Known limit: R1 resolves record-field mutability only against type
     declarations in the same file — a toplevel literal of a mutable
-    record type imported from another module is not flagged. *)
+    record type imported from another module is not flagged.  R5's
+    notion of "global" has the same shape: non-function toplevel
+    bindings whose body allocates mutable state, not record literals
+    with mutable fields from other modules. *)
 
 type applicable = {
   r1 : bool;  (** domain-safety *)
@@ -40,7 +71,24 @@ val check_structure :
 (** Run R1–R3 (as applicable) over a parsed structure.  [source] is used
     only to extract offending-line snippets. *)
 
+val parse_source :
+  file:string -> string -> (Parsetree.structure, string) result
+(** Parse [source] as an implementation; [Error msg] on a syntax error.
+    The driver parses once and feeds the same tree to
+    {!check_structure} and {!Callgraph.build}. *)
+
 val check_source : file:string -> string -> (Finding.t list, string) result
 (** Parse [source] as an implementation and run {!check_structure}.
     [Error msg] on a syntax error.  This is the unit-test entry point:
     fixtures are inline strings with fake paths. *)
+
+val check_project :
+  lines_of:(string -> string array) ->
+  Callgraph.t ->
+  Summary.t ->
+  Finding.t list
+(** Run R5–R8 over the whole-program call graph.  [lines_of file] is
+    the file's source lines for snippet extraction ([[||]] when
+    unknown).  Findings are deduplicated by (rule, file, line, symbol)
+    and returned in {!Finding.compare} order, each carrying call-path
+    evidence. *)

@@ -1,0 +1,250 @@
+(* Effect summaries by fixpoint over the call graph.
+
+   Strongly connected components (Tarjan) are processed in reverse
+   topological order; within an SCC, members are iterated until their
+   joined summaries stabilise.  Each effect bit carries a witness: the
+   call chain (caller → … → leaf site) recorded when the bit was first
+   set, so rules can print evidence instead of a bare verdict. *)
+
+type witness = string list
+(* Outermost function first; the last element is a leaf site like
+   "Bytes.create (lib/util/bytebuf.ml:31)". *)
+
+type info = {
+  effects : Effects.t;
+  alloc_w : witness;
+  blocks_w : witness;
+  raises_w : witness;
+  global_w : witness;
+  partial_w : witness;
+  unknown_w : witness;
+}
+
+type t = (string, info) Hashtbl.t
+
+let empty_info =
+  {
+    effects = Effects.bottom;
+    alloc_w = [];
+    blocks_w = [];
+    raises_w = [];
+    global_w = [];
+    partial_w = [];
+    unknown_w = [];
+  }
+
+let max_witness = 12
+
+let cap w = if List.length w > max_witness then
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> [ "…" ]
+      | x :: tl -> x :: take (n - 1) tl
+    in
+    take max_witness w
+  else w
+
+(* Join [src] into [dst], extending any newly-set bit's witness by
+   prefixing [via] (the caller's own name) onto the source witness. *)
+let absorb ~via dst ~src_eff ~src_w =
+  let eff = Effects.join dst.effects src_eff in
+  let pick bit_old bit_new old_w new_w =
+    if bit_new && not bit_old then cap (via @ new_w) else old_w
+  in
+  {
+    effects = eff;
+    alloc_w =
+      pick dst.effects.Effects.allocates eff.Effects.allocates dst.alloc_w
+        src_w.alloc_w;
+    blocks_w =
+      pick dst.effects.Effects.blocks eff.Effects.blocks dst.blocks_w
+        src_w.blocks_w;
+    raises_w =
+      pick dst.effects.Effects.raises eff.Effects.raises dst.raises_w
+        src_w.raises_w;
+    global_w =
+      pick dst.effects.Effects.touches_global eff.Effects.touches_global
+        dst.global_w src_w.global_w;
+    partial_w =
+      pick dst.effects.Effects.partial eff.Effects.partial dst.partial_w
+        src_w.partial_w;
+    unknown_w =
+      pick dst.effects.Effects.unknown eff.Effects.unknown dst.unknown_w
+        src_w.unknown_w;
+  }
+
+let leaf_info eff site =
+  {
+    effects = eff;
+    alloc_w = (if eff.Effects.allocates then [ site ] else []);
+    blocks_w = (if eff.Effects.blocks then [ site ] else []);
+    raises_w = (if eff.Effects.raises then [ site ] else []);
+    global_w = (if eff.Effects.touches_global then [ site ] else []);
+    partial_w = (if eff.Effects.partial then [ site ] else []);
+    unknown_w = (if eff.Effects.unknown then [ site ] else []);
+  }
+
+(* Intrinsic summary of one function: its own allocation sites, builtin
+   call effects (masked through try), unsynchronized global touches,
+   and ⊤ for unknown callees.  Project calls contribute during the
+   fixpoint, not here. *)
+let intrinsic (f : Callgraph.func) =
+  let site name line = Printf.sprintf "%s (%s:%d)" name f.file line in
+  let acc = ref empty_info in
+  List.iter
+    (fun (a : Callgraph.alloc_site) ->
+      let eff = { Effects.bottom with Effects.allocates = true } in
+      acc := absorb ~via:[] !acc ~src_eff:eff
+          ~src_w:(leaf_info eff (site a.Callgraph.what a.Callgraph.aline)))
+    f.Callgraph.allocs;
+  List.iter
+    (fun (c : Callgraph.call) ->
+      match c.Callgraph.callee with
+      | Callgraph.Project _ -> ()
+      | Callgraph.Builtin (name, eff) ->
+          let eff =
+            if c.Callgraph.cflags.Callgraph.in_try then
+              Effects.mask_caught eff
+            else eff
+          in
+          if not (Effects.is_bottom eff) then
+            acc := absorb ~via:[] !acc ~src_eff:eff
+                ~src_w:(leaf_info eff (site name c.Callgraph.cline))
+      | Callgraph.Unknown name ->
+          let eff = { Effects.bottom with Effects.unknown = true } in
+          acc := absorb ~via:[] !acc ~src_eff:eff
+              ~src_w:(leaf_info eff (site name c.Callgraph.cline)))
+    f.Callgraph.calls;
+  List.iter
+    (fun (t : Callgraph.touch) ->
+      if not t.Callgraph.synced then begin
+        let eff = { Effects.bottom with Effects.touches_global = true } in
+        acc := absorb ~via:[] !acc ~src_eff:eff
+            ~src_w:
+              (leaf_info eff (site t.Callgraph.global t.Callgraph.tline))
+      end)
+    f.Callgraph.touches;
+  !acc
+
+(* ---------- Tarjan SCC ---------- *)
+
+let sccs (cg : Callgraph.t) =
+  let index = Hashtbl.create 256 in
+  let lowlink = Hashtbl.create 256 in
+  let on_stack = Hashtbl.create 256 in
+  let stack = ref [] in
+  let next = ref 0 in
+  let out = ref [] in
+  let succ name =
+    match Callgraph.find cg name with
+    | None -> []
+    | Some f ->
+        List.filter_map
+          (fun (c : Callgraph.call) ->
+            match c.Callgraph.callee with
+            | Callgraph.Project callee -> Some callee
+            | _ -> None)
+          f.Callgraph.calls
+  in
+  let rec strongconnect v =
+    Hashtbl.replace index v !next;
+    Hashtbl.replace lowlink v !next;
+    incr next;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succ v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: tl ->
+            stack := tl;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter
+    (fun (f : Callgraph.func) ->
+      if not (Hashtbl.mem index f.Callgraph.name) then
+        strongconnect f.Callgraph.name)
+    cg.Callgraph.funcs;
+  (* Tarjan emits SCCs in reverse topological order (callees before
+     callers) as they complete; [!out] accumulated by prepending is
+     topological, so reverse it back. *)
+  List.rev !out
+
+(* ---------- fixpoint ---------- *)
+
+let compute (cg : Callgraph.t) : t =
+  let summaries : t = Hashtbl.create 256 in
+  let get name =
+    match Hashtbl.find_opt summaries name with
+    | Some i -> i
+    | None -> empty_info
+  in
+  let eval_once name =
+    match Callgraph.find cg name with
+    | None -> empty_info
+    | Some f ->
+        let acc = ref (intrinsic f) in
+        List.iter
+          (fun (c : Callgraph.call) ->
+            match c.Callgraph.callee with
+            | Callgraph.Project callee ->
+                let ci = get callee in
+                let eff =
+                  if c.Callgraph.cflags.Callgraph.in_try then
+                    Effects.mask_caught ci.effects
+                  else ci.effects
+                in
+                if not (Effects.is_bottom eff) then
+                  acc := absorb ~via:[ callee ] !acc ~src_eff:eff ~src_w:ci
+            | _ -> ())
+          f.Callgraph.calls;
+        !acc
+  in
+  List.iter
+    (fun component ->
+      (* Iterate members until stable; singleton non-recursive SCCs
+         converge in one pass since callees are already final. *)
+      let changed = ref true in
+      let rounds = ref 0 in
+      while !changed && !rounds < 64 do
+        changed := false;
+        incr rounds;
+        List.iter
+          (fun name ->
+            let before = (get name).effects in
+            let after = eval_once name in
+            if not (Effects.equal before after.effects) then
+              changed := true;
+            Hashtbl.replace summaries name after)
+          component
+      done)
+    (sccs cg);
+  summaries
+
+let find (t : t) name = Hashtbl.find_opt t name
+
+let effects_of t name =
+  match find t name with Some i -> i.effects | None -> Effects.top
+
+let witness_for (i : info) = function
+  | `Alloc -> i.alloc_w
+  | `Blocks -> i.blocks_w
+  | `Raises -> i.raises_w
+  | `Global -> i.global_w
+  | `Partial -> i.partial_w
+  | `Unknown -> i.unknown_w

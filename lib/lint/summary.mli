@@ -1,0 +1,36 @@
+(** Per-function effect summaries, computed to fixpoint over the call
+    graph's SCC condensation (Tarjan, reverse topological order).
+
+    A summary's [effects] joins the function's intrinsic effects
+    (allocation sites, builtin calls, unsynchronized global touches,
+    ⊤-unknown callees) with the masked-through-[try] summaries of every
+    project callee.  Each effect bit keeps the call chain that first set
+    it — outermost callee first, ending in a leaf site such as
+    ["Bytes.create (lib/util/bytebuf.ml:31)"] — so findings can print
+    evidence. *)
+
+type witness = string list
+
+type info = {
+  effects : Effects.t;
+  alloc_w : witness;
+  blocks_w : witness;
+  raises_w : witness;
+  global_w : witness;
+  partial_w : witness;
+  unknown_w : witness;
+}
+
+type t = (string, info) Hashtbl.t
+
+val compute : Callgraph.t -> t
+val find : t -> string -> info option
+
+val effects_of : t -> string -> Effects.t
+(** {!Effects.top} for names with no summary (defensive; every project
+    function in the graph gets one). *)
+
+val witness_for :
+  info ->
+  [ `Alloc | `Blocks | `Raises | `Global | `Partial | `Unknown ] ->
+  witness

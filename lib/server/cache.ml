@@ -4,31 +4,45 @@ type key = { digest : string; k : string; objective : string; algorithm : string
 
 type entry = { v1 : string; v2 : string }
 
-(* Classic hashtable + doubly-linked recency list.  [head] is the most
-   recently used entry, [tail] the eviction candidate. *)
+(* Hashtable + intrusive circular doubly-linked recency list threaded
+   through a sentinel.  [sentinel.next] is the most recently used node,
+   [sentinel.prev] the eviction candidate, and an empty list is the
+   sentinel pointing at itself — so link surgery never touches an
+   [option], and a cache hit moves a node to the front without
+   allocating a single word.  (The previous representation boxed both
+   neighbours in [node option]; every hit rebuilt two [Some] cells.) *)
 type node = {
   nkey : key;
   mutable value : entry;
-  mutable prev : node option;  (* towards head *)
-  mutable next : node option;  (* towards tail *)
+  mutable prev : node;  (* towards head *)
+  mutable next : node;  (* towards tail *)
 }
 
 type t = {
   cap : int;
   table : (key, node) Hashtbl.t;
-  mutable head : node option;
-  mutable tail : node option;
+  sentinel : node;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
 }
 
+let make_sentinel () =
+  let rec s =
+    {
+      nkey = { digest = ""; k = ""; objective = ""; algorithm = "" };
+      value = { v1 = ""; v2 = "" };
+      prev = s;
+      next = s;
+    }
+  in
+  s
+
 let create ~capacity =
   {
     cap = Stdlib.max capacity 0;
     table = Hashtbl.create 64;
-    head = None;
-    tail = None;
+    sentinel = make_sentinel ();
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -40,31 +54,29 @@ let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
 
-let unlink t node =
-  (match node.prev with
-  | Some p -> p.next <- node.next
-  | None -> t.head <- node.next);
-  (match node.next with
-  | Some nx -> nx.prev <- node.prev
-  | None -> t.tail <- node.prev);
-  node.prev <- None;
-  node.next <- None
+let unlink node =
+  node.prev.next <- node.next;
+  node.next.prev <- node.prev;
+  node.prev <- node;
+  node.next <- node
 
 let push_front t node =
-  node.next <- t.head;
-  node.prev <- None;
-  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
-  t.head <- Some node
+  node.next <- t.sentinel.next;
+  node.prev <- t.sentinel;
+  t.sentinel.next.prev <- node;
+  t.sentinel.next <- node
 
-let find ?(metrics = Metrics.null) t key =
-  match Hashtbl.find_opt t.table key with
-  | Some node ->
+let[@tlp.hot] find ?(metrics = Metrics.null) t key =
+  match Hashtbl.find t.table key with
+  | node ->
       t.hits <- t.hits + 1;
       Metrics.bump metrics "server_cache_hits";
-      unlink t node;
-      push_front t node;
+      if t.sentinel.next != node then begin
+        unlink node;
+        push_front t node
+      end;
       Some node.value
-  | None ->
+  | exception Not_found ->
       t.misses <- t.misses + 1;
       Metrics.bump metrics "server_cache_misses";
       None
@@ -74,26 +86,28 @@ let add ?(metrics = Metrics.null) t key value =
     (match Hashtbl.find_opt t.table key with
     | Some node ->
         node.value <- value;
-        unlink t node;
+        unlink node;
         push_front t node
     | None ->
-        let node = { nkey = key; value; prev = None; next = None } in
+        let rec node = { nkey = key; value; prev = node; next = node } in
         Hashtbl.replace t.table key node;
         push_front t node);
     while Hashtbl.length t.table > t.cap do
-      match t.tail with
-      | Some victim ->
-          unlink t victim;
-          Hashtbl.remove t.table victim.nkey;
-          t.evictions <- t.evictions + 1;
-          Metrics.bump metrics "server_cache_evictions"
-      | None -> assert false (* table nonempty implies a tail *)
+      let victim = t.sentinel.prev in
+      if victim == t.sentinel then assert false
+        (* table over capacity implies a linked node *)
+      else begin
+        unlink victim;
+        Hashtbl.remove t.table victim.nkey;
+        t.evictions <- t.evictions + 1;
+        Metrics.bump metrics "server_cache_evictions"
+      end
     done
   end
 
 let keys_mru t =
-  let rec walk acc = function
-    | None -> List.rev acc
-    | Some node -> walk (node.nkey :: acc) node.next
+  let rec walk acc node =
+    if node == t.sentinel then List.rev acc
+    else walk (node.nkey :: acc) node.next
   in
-  walk [] t.head
+  walk [] t.sentinel.next

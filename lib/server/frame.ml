@@ -266,7 +266,7 @@ let error_code_tag = function
   | Protocol.Timeout -> 3
   | Protocol.Internal -> 4
 
-let encode_ok buf ~id ~result ~trace =
+let[@tlp.hot] encode_ok buf ~id ~result ~trace =
   let p = start_frame buf in
   Bytebuf.add_u8 buf
     (match trace with None -> status_ok | Some _ -> status_ok_traced);
@@ -284,7 +284,7 @@ let encode_ok_doc buf ~id ~doc ~trace =
   (match trace with Some tr -> Binval.write buf tr | None -> ());
   finish_frame buf p
 
-let encode_error buf ~id (err : Protocol.error) =
+let[@tlp.hot] encode_error buf ~id (err : Protocol.error) =
   let p = start_frame buf in
   Bytebuf.add_u8 buf status_error;
   write_id buf id;

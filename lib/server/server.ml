@@ -238,17 +238,20 @@ type conn = {
   mutable alive : bool;  (* peer still reachable for writes *)
 }
 
+(* Module-level recursion keeps the short-write retry loop free of the
+   per-call ref the old [while] needed. *)
+let rec write_all fd bytes pos len =
+  if len > 0 then begin
+    let n = Unix.write fd bytes pos len in
+    write_all fd bytes (pos + n) (len - n)
+  end
+
 (* Write [wbuf] to the socket. Caller holds [write_mutex]. *)
 let flush_wbuf conn =
   try
-    if conn.alive then begin
-      let bytes = Bytebuf.unsafe_bytes conn.wbuf in
-      let n = Bytebuf.length conn.wbuf in
-      let written = ref 0 in
-      while !written < n do
-        written := !written + Unix.write conn.fd bytes !written (n - !written)
-      done
-    end
+    if conn.alive then
+      write_all conn.fd (Bytebuf.unsafe_bytes conn.wbuf) 0
+        (Bytebuf.length conn.wbuf)
   with Unix.Unix_error _ -> conn.alive <- false
 
 let conn_send_raw conn s =
@@ -264,7 +267,7 @@ let conn_send_raw conn s =
    byte-for-byte the pre-v2 server's ([render_ok]/[render_error] plus
    newline); the v2 rendering splices the same payload into a
    length-prefixed binary frame. *)
-let conn_respond conn response =
+let[@tlp.hot] conn_respond conn response =
   Mutex.lock conn.write_mutex;
   let buf = conn.wbuf in
   Bytebuf.clear buf;

@@ -20,6 +20,10 @@ type t = Json_out.t
 
 let max_depth = 512
 
+(* The list/object children are written by mutually recursive loops
+   rather than [List.iter (write buf)]: the partial application and the
+   field lambda were one closure allocation per aggregate node, on the
+   frame-encoding hot path. *)
 let rec write buf (v : Json_out.t) =
   match v with
   | Json_out.Null -> Bytebuf.add_u8 buf 0
@@ -42,16 +46,25 @@ let rec write buf (v : Json_out.t) =
   | Json_out.List items ->
       Bytebuf.add_u8 buf 6;
       Bytebuf.add_varint buf (List.length items);
-      List.iter (write buf) items
+      write_items buf items
   | Json_out.Obj fields ->
       Bytebuf.add_u8 buf 7;
       Bytebuf.add_varint buf (List.length fields);
-      List.iter
-        (fun (key, value) ->
-          Bytebuf.add_varint buf (String.length key);
-          Bytebuf.add_string buf key;
-          write buf value)
-        fields
+      write_fields buf fields
+
+and write_items buf = function
+  | [] -> ()
+  | v :: rest ->
+      write buf v;
+      write_items buf rest
+
+and write_fields buf = function
+  | [] -> ()
+  | (key, value) :: rest ->
+      Bytebuf.add_varint buf (String.length key);
+      Bytebuf.add_string buf key;
+      write buf value;
+      write_fields buf rest
 
 let to_string v =
   let buf = Bytebuf.create 256 in

@@ -15,33 +15,35 @@ let clear t = t.len <- 0
 let capacity t = Bytes.length t.buf
 let unsafe_bytes t = t.buf
 
-let reserve t extra =
+(* Module-level recursion for the doubling search, same idiom as
+   [add_varint_loop]: a local ref or loop closure would allocate on
+   exactly the path whose budget matters. *)
+let rec grown_capacity cap need =
+  if cap >= need then cap else grown_capacity (cap * 2) need
+
+let[@tlp.hot] reserve t extra =
   let need = t.len + extra in
   let cap = Bytes.length t.buf in
   if need > cap then begin
-    let cap' = ref (max cap 16) in
-    while !cap' < need do
-      cap' := !cap' * 2
-    done;
-    let buf' = Bytes.create !cap' in
+    let buf' = Bytes.create (grown_capacity (max cap 16) need) in
     Bytes.blit t.buf 0 buf' 0 t.len;
     t.buf <- buf'
   end
 
-let add_char t c =
+let[@tlp.hot] add_char t c =
   reserve t 1;
   Bytes.unsafe_set t.buf t.len c;
   t.len <- t.len + 1
 
-let add_u8 t v = add_char t (Char.chr (v land 0xff))
+let[@tlp.hot] add_u8 t v = add_char t (Char.chr (v land 0xff))
 
-let add_string t s =
+let[@tlp.hot] add_string t s =
   let n = String.length s in
   reserve t n;
   Bytes.blit_string s 0 t.buf t.len n;
   t.len <- t.len + n
 
-let add_subbytes t src pos len =
+let[@tlp.hot] add_subbytes t src pos len =
   reserve t len;
   Bytes.blit src pos t.buf t.len len;
   t.len <- t.len + len
@@ -49,29 +51,30 @@ let add_subbytes t src pos len =
 (* Digits are written back-to-front into reserved space, so rendering
    an int costs zero allocation — the whole point versus
    [add_string (string_of_int v)] on digest-per-request hot paths.
-   [min_int] has no positive negation; delegate that one value. *)
-let add_decimal t v =
+   Both loops are module-level recursion over plain ints (same idiom as
+   [add_varint_loop]); [min_int] has no positive negation, so that one
+   value is delegated. *)
+let rec decimal_width v acc = if v < 10 then acc else decimal_width (v / 10) (acc + 1)
+
+let rec write_digits_back buf pos stop n =
+  if pos >= stop then begin
+    Bytes.unsafe_set buf pos (Char.unsafe_chr (48 + (n mod 10)));
+    write_digits_back buf (pos - 1) stop (n / 10)
+  end
+
+let[@tlp.hot] add_decimal t v =
   if v = min_int then add_string t (string_of_int v)
   else begin
     if v < 0 then add_char t '-';
     let v = abs v in
-    let digits = ref 1 and probe = ref v in
-    while !probe >= 10 do
-      incr digits;
-      probe := !probe / 10
-    done;
-    reserve t !digits;
+    let digits = decimal_width v 1 in
+    reserve t digits;
     let stop = t.len in
-    let pos = ref (stop + !digits - 1) and n = ref v in
-    while !pos >= stop do
-      Bytes.unsafe_set t.buf !pos (Char.unsafe_chr (48 + (!n mod 10)));
-      n := !n / 10;
-      decr pos
-    done;
-    t.len <- stop + !digits
+    write_digits_back t.buf (stop + digits - 1) stop v;
+    t.len <- stop + digits
   end
 
-let add_u32_be t v =
+let[@tlp.hot] add_u32_be t v =
   reserve t 4;
   Bytes.set_uint8 t.buf t.len ((v lsr 24) land 0xff);
   Bytes.set_uint8 t.buf (t.len + 1) ((v lsr 16) land 0xff);
@@ -79,7 +82,7 @@ let add_u32_be t v =
   Bytes.set_uint8 t.buf (t.len + 3) (v land 0xff);
   t.len <- t.len + 4
 
-let patch_u32_be t ~pos v =
+let[@tlp.hot] patch_u32_be t ~pos v =
   if pos < 0 || pos + 4 > t.len then invalid_arg "Bytebuf.patch_u32_be";
   Bytes.set_uint8 t.buf pos ((v lsr 24) land 0xff);
   Bytes.set_uint8 t.buf (pos + 1) ((v lsr 16) land 0xff);
@@ -88,20 +91,20 @@ let patch_u32_be t ~pos v =
 
 (* Module-level recursion for the same reason as [Reader.varint_loop]:
    a local [let rec] would allocate a closure per varint written. *)
-let rec add_varint_loop t v =
+let[@tlp.hot] rec add_varint_loop t v =
   if v < 0x80 then add_u8 t v
   else begin
     add_u8 t (0x80 lor (v land 0x7f));
     add_varint_loop t (v lsr 7)
   end
 
-let add_varint t v =
+let[@tlp.hot] add_varint t v =
   if v < 0 then invalid_arg "Bytebuf.add_varint: negative";
   add_varint_loop t v
 
 let zigzag v = (v lsl 1) lxor (v asr (Sys.int_size - 1))
 let unzigzag v = (v lsr 1) lxor (-(v land 1))
-let add_zigzag t v = add_varint t (zigzag v)
+let[@tlp.hot] add_zigzag t v = add_varint t (zigzag v)
 let unsafe_advance t n =
   if n < 0 || t.len + n > Bytes.length t.buf then
     invalid_arg "Bytebuf.unsafe_advance";
@@ -109,7 +112,7 @@ let unsafe_advance t n =
 
 let contents t = Bytes.sub_string t.buf 0 t.len
 
-let shift_left t ~pos =
+let[@tlp.hot] shift_left t ~pos =
   if pos < 0 || pos > t.len then invalid_arg "Bytebuf.shift_left";
   let rest = t.len - pos in
   if pos > 0 && rest > 0 then Bytes.blit t.buf pos t.buf 0 rest;
@@ -132,7 +135,7 @@ module Reader = struct
   let pos r = r.pos
   let remaining r = r.limit - r.pos
 
-  let u8 r =
+  let[@tlp.hot] u8 r =
     if r.pos >= r.limit then raise Short;
     let v = Bytes.get_uint8 r.src r.pos in
     r.pos <- r.pos + 1;
@@ -150,16 +153,16 @@ module Reader = struct
      [let rec] closes over [r] and costs a heap closure per varint,
      which at hundreds of varints per decoded instance dominated the
      whole decode path. *)
-  let rec varint_loop r acc shift count =
+  let[@tlp.hot] rec varint_loop r acc shift count =
     if count > 10 then raise Short;
     let b = u8 r in
     let acc = acc lor ((b land 0x7f) lsl shift) in
     if b land 0x80 = 0 then acc else varint_loop r acc (shift + 7) (count + 1)
 
-  let varint r =
+  let[@tlp.hot] varint r =
     let v = varint_loop r 0 0 1 in
     if v < 0 then raise Short;
     v
 
-  let zigzag r = unzigzag (varint r)
+  let[@tlp.hot] zigzag r = unzigzag (varint r)
 end

@@ -27,17 +27,21 @@ let rec sift_up t i =
 
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
-  if !smallest <> i then begin
+  let smallest =
+    if l < t.size && t.cmp t.data.(l) t.data.(i) < 0 then l else i
+  in
+  let smallest =
+    if r < t.size && t.cmp t.data.(r) t.data.(smallest) < 0 then r
+    else smallest
+  in
+  if smallest <> i then begin
     let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
+    t.data.(i) <- t.data.(smallest);
+    t.data.(smallest) <- tmp;
+    sift_down t smallest
   end
 
-let push t x =
+let[@tlp.hot] push t x =
   if is_full t then false
   else begin
     t.data.(t.size) <- x;
@@ -48,7 +52,7 @@ let push t x =
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 
-let pop t =
+let[@tlp.hot] pop t =
   if t.size = 0 then None
   else begin
     let top = t.data.(0) in

@@ -22,15 +22,19 @@ let create () = Active { counters = Hashtbl.create 16; spans = Hashtbl.create 8 
 
 let is_null = function Null -> true | Active _ -> false
 
+(* [Hashtbl.find] + [Not_found], not [find_opt]: bump sits on the
+   cache-hit serve path, and the steady state (counter exists) must not
+   box the ref in a [Some] on every increment.  The allocating arm runs
+   once per counter name. *)
 let counter_ref st name =
-  match Hashtbl.find_opt st.counters name with
-  | Some r -> r
-  | None ->
+  match Hashtbl.find st.counters name with
+  | r -> r
+  | exception Not_found ->
       let r = ref 0 in
       Hashtbl.add st.counters name r;
       r
 
-let bump t name =
+let[@tlp.hot] bump t name =
   match t with Null -> () | Active st -> incr (counter_ref st name)
 
 let add t name k =

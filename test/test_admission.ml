@@ -244,6 +244,30 @@ let test_concurrent_push_pop_drain () =
     (List.sort Int.compare !admitted)
     (List.sort Int.compare !popped)
 
+(* Steady-state allocation budget of the admission hot path, enforced
+   by measurement: a push/pop cycle on a warm queue is the [Some item]
+   stored in the recycled node plus the [Some] returned by the heap pop
+   — a handful of words, not closures or protect cells.  The bound (16
+   words/cycle) is loose against that budget but tight against any
+   reintroduced per-cycle closure (Fun.protect alone was ~10 words). *)
+let test_admission_alloc_budget () =
+  let q = Admission.create ~capacity:8 () in
+  let cycle () =
+    assert (Admission.try_push q ~priority:Protocol.Interactive ~deadline:None 7);
+    assert (Admission.pop q = Some 7)
+  in
+  (* Warm up: first touches populate nothing lazily here, but keep the
+     measurement honest against future first-touch paths. *)
+  for _ = 1 to 100 do cycle () done;
+  let iters = 10_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do cycle () done;
+  let per_cycle = (Gc.minor_words () -. w0) /. float_of_int iters in
+  check_bool
+    (Printf.sprintf "%.1f words/cycle within budget" per_cycle)
+    true
+    (per_cycle <= 16.0)
+
 let suite =
   [
     Alcotest.test_case "fixed_heap: capacity and clear" `Quick
@@ -256,4 +280,6 @@ let suite =
       test_aging_bound_deterministic;
     Alcotest.test_case "admission: concurrent push/pop/close/drain" `Quick
       test_concurrent_push_pop_drain;
+    Alcotest.test_case "admission: push/pop allocation budget" `Quick
+      test_admission_alloc_budget;
   ]

@@ -93,6 +93,148 @@ let test_r3_scope () =
   check_rules "clean lib code" ~file:"lib/core/m.ml"
     "let f = function x :: _ -> Some x | [] -> None" []
 
+(* Interprocedural rules R5-R8 need the whole pipeline (call graph +
+   effect summaries), so their fixtures go through the driver.  The
+   default [mli_exists] returns true, keeping R4 out of the way. *)
+let check_project name files expected =
+  let r = Driver.scan_files ~allowlist:[] files in
+  Alcotest.(check (list string))
+    name expected
+    (List.map
+       (fun f -> f.Finding.rule ^ ":" ^ f.Finding.symbol)
+       r.Driver.findings)
+
+(* R5: spawned code touching unsynchronized toplevel mutable state. *)
+
+let test_r5_fires () =
+  (* Direct: the spawned lambda writes the global itself. *)
+  check_project "write inside Domain.spawn"
+    [ ("bin/w.ml", "let counter = ref 0\nlet start () = Domain.spawn (fun () -> counter := 1)") ]
+    [ "R5:Bin.W.counter" ];
+  (* Transitive: the spawned function's summary carries touches_global
+     even though no global appears at the spawn site. *)
+  check_project "spawned function touches a global transitively"
+    [ ("bin/x.ml",
+       "let hits = ref 0\nlet record () = hits := !hits + 1\nlet run () = Domain.spawn record") ]
+    [ "R5:Bin.X.record" ]
+
+let test_r5_negative () =
+  (* The same write under a mutex is synchronized — no finding. *)
+  check_project "locked write in spawned code is clean"
+    [ ("bin/w.ml",
+       "let counter = ref 0\nlet start m = Domain.spawn (fun () -> Mutex.lock m; counter := 2; Mutex.unlock m)") ]
+    [];
+  (* Unspawned writes are R1's business (lib-only), not R5's. *)
+  check_project "plain toplevel write without a spawn is not a race"
+    [ ("bin/w.ml", "let counter = ref 0\nlet tick () = counter := !counter + 1") ]
+    []
+
+(* R6: nothing blocking or unaccountable inside a lock region. *)
+
+let test_r6_fires () =
+  (* A blocking builtin directly inside the region. *)
+  check_project "I/O under a mutex"
+    [ ("bin/locky.ml",
+       "let m = Mutex.create ()\nlet bad () =\n  Mutex.lock m;\n  print_string \"hi\";\n  Mutex.unlock m") ]
+    [ "R6:print_string" ];
+  (* A project call whose *summary* says it blocks: the offending I/O
+     is one hop away from the lock region. *)
+  let r =
+    Driver.scan_files ~allowlist:[]
+      [ ("bin/cond.ml",
+         "let m = Mutex.create ()\nlet slow () = print_string \"working\"\n\
+          let bad () =\n  Mutex.lock m;\n  slow ();\n  Mutex.unlock m") ]
+  in
+  (match r.Driver.findings with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "R6" f.Finding.rule;
+      Alcotest.(check string) "symbol" "Bin.Cond.slow" f.Finding.symbol;
+      (* The finding must carry the witness chain down to the I/O. *)
+      check_bool "evidence reaches print_string" true
+        (List.exists
+           (fun e ->
+             String.length e >= 12 && String.sub e 0 12 = "print_string")
+           f.Finding.evidence)
+  | fs -> Alcotest.failf "expected one R6 finding, got %d" (List.length fs))
+
+let test_r6_negative () =
+  (* Pure arithmetic under the lock is fine. *)
+  check_project "pure section is clean"
+    [ ("bin/locky.ml",
+       "let m = Mutex.create ()\nlet good () =\n  Mutex.lock m;\n  let x = 1 + 2 in\n  ignore x;\n  Mutex.unlock m") ]
+    [];
+  (* Condition.wait releases the mutex to wait: the mechanism working
+     as designed, explicitly exempt. *)
+  check_project "Condition.wait is exempt"
+    [ ("bin/cond.ml",
+       "let m = Mutex.create ()\nlet c = Condition.create ()\nlet ready = ref false\n\
+        let wait_ready () =\n  Mutex.lock m;\n  while not !ready do Condition.wait c m done;\n  Mutex.unlock m") ]
+    []
+
+(* R7: [@tlp.hot] functions must be transitively allocation-free. *)
+
+let test_r7_fires () =
+  (* Transitive: the allocation happens in an unannotated helper, but
+     the budget belongs to the hot root that reaches it. *)
+  let r =
+    Driver.scan_files ~allowlist:[]
+      [ ("bin/hot.ml",
+         "let helper n = [ n; n + 1 ]\nlet[@tlp.hot] bad n = List.length (helper n)") ]
+  in
+  (match r.Driver.findings with
+  | (f :: _) as fs ->
+      List.iter
+        (fun (g : Finding.t) ->
+          Alcotest.(check string) "rule" "R7" g.Finding.rule)
+        fs;
+      (* Evidence spells out the hot root -> helper -> allocation path. *)
+      Alcotest.(check string)
+        "path starts at the hot root" "Bin.Hot.bad"
+        (List.nth f.Finding.evidence 0);
+      Alcotest.(check string)
+        "second hop is the helper" "Bin.Hot.helper"
+        (List.nth f.Finding.evidence 1)
+  | [] -> Alcotest.fail "expected R7 findings through the helper")
+
+let test_r7_function_arms () =
+  (* [function]-form body (Pexp_function arms on 5.2, Pexp_function/
+     Pexp_match shapes on 5.1) must flow through Ast_compat into the
+     call-graph builder: both arms' allocations are charged to the hot
+     binding. *)
+  check_project "allocations in function-arms are found"
+    [ ("bin/hot.ml",
+       "let[@tlp.hot] pick = function 0 -> ref 0 | n -> [| n |]") ]
+    [ "R7:ref"; "R7:array" ]
+
+let test_r7_negative () =
+  check_project "alloc-free hot chain is clean"
+    [ ("bin/hot.ml",
+       "let incr2 x = x + 2\nlet[@tlp.hot] fast x = incr2 (x * 3)") ]
+    [];
+  (* An allocating helper that no hot root reaches stays unflagged. *)
+  check_project "cold allocations carry no budget"
+    [ ("bin/hot.ml", "let helper n = [ n; n + 1 ]\nlet use n = helper n") ]
+    []
+
+(* R8: partiality propagates through project calls. *)
+
+let test_r8_fires () =
+  check_project "wrapper inherits the callee's partiality"
+    [ ("lib/core/part.ml",
+       "let first xs = List.hd xs\nlet wrapper xs = first xs") ]
+    [ "R3:List.hd"; "R8:Tlp_core.Part.first" ]
+
+let test_r8_negative () =
+  (* Handling the exception discharges the hazard. *)
+  check_project "try-wrapped call is clean"
+    [ ("lib/core/part.ml",
+       "let first xs = List.hd xs\nlet guarded xs = try first xs with Failure _ -> 0") ]
+    [ "R3:List.hd" ];
+  (* R8 follows R3's scope: bench code is exempt. *)
+  check_project "bench wrappers are out of scope"
+    [ ("bench/part.ml", "let first xs = List.hd xs\nlet wrapper xs = first xs") ]
+    []
+
 let test_syntax_error_reported () =
   match Rules.check_source ~file:"lib/core/m.ml" "let let let" with
   | Error msg ->
@@ -180,12 +322,69 @@ let test_driver_r4 () =
   in
   check_int "R4 is lib-only" 0 (List.length bench_only.Driver.findings)
 
-let test_driver_parse_error_fails () =
-  let r =
+(* Exit-code contract: 1 means the verdict is "findings" — actionable
+   lint output; 2 means the tool itself failed (unparseable source) and
+   its verdict cannot be trusted.  CI gates must not conflate them. *)
+let test_driver_exit_codes () =
+  let dirty =
+    Driver.scan_files ~allowlist:[] [ ("lib/core/m.ml", "let f xs = List.hd xs") ]
+  in
+  check_int "findings exit 1" 1 (Driver.exit_code dirty);
+  let broken =
     Driver.scan_files ~allowlist:[] [ ("lib/core/m.ml", "let let let") ]
   in
-  check_int "error recorded" 1 (List.length r.Driver.errors);
-  check_int "errors fail the run" 1 (Driver.exit_code r)
+  check_int "error recorded" 1 (List.length broken.Driver.errors);
+  check_int "tool failure exits 2" 2 (Driver.exit_code broken);
+  (* Errors take precedence: a half-parsed scan with findings is still
+     a failed scan. *)
+  let both =
+    Driver.scan_files ~allowlist:[]
+      [
+        ("lib/core/m.ml", "let let let");
+        ("lib/core/n.ml", "let f xs = List.hd xs");
+      ]
+  in
+  check_int "error outranks findings" 2 (Driver.exit_code both)
+
+(* Findings must come out sorted by (file, line, rule) no matter the
+   order files were handed in or rules ran. *)
+let test_finding_sort_order () =
+  let r =
+    Driver.scan_files ~allowlist:[]
+      [
+        (* zz before aa on purpose: the sort must not lean on input
+           order. *)
+        ("lib/core/zz.ml", "let f xs = List.hd xs\nlet g o = Option.get o");
+        ("lib/core/aa.ml", "let h x = Obj.magic x");
+      ]
+  in
+  Alcotest.(check (list string))
+    "sorted by file, then line, then rule"
+    [
+      "lib/core/aa.ml:1:R3";
+      "lib/core/zz.ml:1:R3";
+      "lib/core/zz.ml:2:R3";
+    ]
+    (List.map
+       (fun (f : Finding.t) ->
+         Printf.sprintf "%s:%d:%s" f.Finding.file f.Finding.line f.Finding.rule)
+       r.Driver.findings)
+
+(* Symbol wildcard: [*] covers every symbol in a (rule, file) pair, but
+   never crosses files or rules. *)
+let test_allowlist_wildcard () =
+  let files =
+    [ ("lib/core/m.ml", "let f xs = List.hd xs\nlet g o = Option.get o") ]
+  in
+  let star = entry ~rule:"R3" ~symbol:"*" () in
+  let r = Driver.scan_files ~allowlist:[ star ] files in
+  check_int "both R3 findings suppressed" 2 (List.length r.Driver.suppressed);
+  check_int "nothing left" 0 (List.length r.Driver.findings);
+  check_int "wildcard that matched is not stale" 0 (List.length r.Driver.stale);
+  let other_file = entry ~rule:"R3" ~file:"lib/core/other.ml" ~symbol:"*" () in
+  let r2 = Driver.scan_files ~allowlist:[ other_file ] files in
+  check_int "wildcard does not cross files" 2 (List.length r2.Driver.findings);
+  check_int "unmatched wildcard is stale" 1 (List.length r2.Driver.stale)
 
 let test_report_json_shape () =
   let r =
@@ -209,6 +408,40 @@ let test_report_json_shape () =
   check_bool "finding rule" true (has "\"rule\":\"R3\"");
   check_bool "justification carried" true (has "\"justification\":");
   check_bool "not ok with findings" true (has "\"ok\":false")
+
+(* tlp.lint/v2: same report plus per-finding call-path evidence and the
+   exit code in-band. *)
+let test_report_json_v2_shape () =
+  let r =
+    Driver.scan_files ~allowlist:[]
+      [
+        ("lib/core/part.ml",
+         "let first xs = List.hd xs\nlet wrapper xs = first xs");
+      ]
+  in
+  let s = Json_out.to_string (Driver.to_json_v2 r) in
+  (match Json_out.validate s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "v2 report JSON invalid: %s" e);
+  let has sub =
+    let n = String.length s and k = String.length sub in
+    let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "v2 schema tag" true (has "\"schema\":\"tlp.lint/v2\"");
+  check_bool "exit code in-band" true (has "\"exit_code\":1");
+  check_bool "R8 finding present" true (has "\"rule\":\"R8\"");
+  check_bool "evidence array present" true (has "\"evidence\":[");
+  check_bool "call path names the partial leaf" true
+    (has "Tlp_core.Part.wrapper\",\"Tlp_core.Part.first\"");
+  (* v1 stays evidence-free: existing consumers see the same shape. *)
+  let v1 = Json_out.to_string (Driver.to_json r) in
+  let has1 sub =
+    let n = String.length v1 and k = String.length sub in
+    let rec go i = i + k <= n && (String.sub v1 i k = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "v1 has no evidence field" false (has1 "\"evidence\":")
 
 let test_json_validate_errors () =
   (match Json_out.validate "{\"a\": 1}" with
@@ -272,20 +505,44 @@ let suite =
       test_r2_sanctioned_modules;
     Alcotest.test_case "R3 fires on partial operations" `Quick test_r3_fires;
     Alcotest.test_case "R3 scope: lib only" `Quick test_r3_scope;
+    Alcotest.test_case "R5 fires on spawned global writes" `Quick
+      test_r5_fires;
+    Alcotest.test_case "R5 spares synchronized and unspawned writes" `Quick
+      test_r5_negative;
+    Alcotest.test_case "R6 fires on blocking calls under a mutex" `Quick
+      test_r6_fires;
+    Alcotest.test_case "R6 spares pure sections and Condition.wait" `Quick
+      test_r6_negative;
+    Alcotest.test_case "R7 charges transitive allocations to hot roots"
+      `Quick test_r7_fires;
+    Alcotest.test_case "R7 sees allocations in function-arms" `Quick
+      test_r7_function_arms;
+    Alcotest.test_case "R7 spares alloc-free and cold code" `Quick
+      test_r7_negative;
+    Alcotest.test_case "R8 propagates partiality to wrappers" `Quick
+      test_r8_fires;
+    Alcotest.test_case "R8 spares handled and out-of-scope calls" `Quick
+      test_r8_negative;
     Alcotest.test_case "syntax errors are reported" `Quick
       test_syntax_error_reported;
     Alcotest.test_case "allowlist parses" `Quick test_allowlist_parse;
     Alcotest.test_case "allowlist requires justifications" `Quick
       test_allowlist_requires_justification;
+    Alcotest.test_case "allowlist wildcard symbol" `Quick
+      test_allowlist_wildcard;
     Alcotest.test_case "driver suppresses allowlisted findings" `Quick
       test_driver_suppression;
     Alcotest.test_case "driver flags stale allowlist entries" `Quick
       test_driver_stale_entry;
     Alcotest.test_case "driver enforces R4 interfaces" `Quick test_driver_r4;
-    Alcotest.test_case "driver fails on parse errors" `Quick
-      test_driver_parse_error_fails;
+    Alcotest.test_case "exit codes separate findings from tool failure"
+      `Quick test_driver_exit_codes;
+    Alcotest.test_case "findings are sorted by file, line, rule" `Quick
+      test_finding_sort_order;
     Alcotest.test_case "report JSON validates and has the schema" `Quick
       test_report_json_shape;
+    Alcotest.test_case "v2 report carries call-path evidence" `Quick
+      test_report_json_v2_shape;
     Alcotest.test_case "Json_out.validate rejects malformed docs" `Quick
       test_json_validate_errors;
     Alcotest.test_case "end-to-end scan over a real tree" `Quick

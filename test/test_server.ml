@@ -102,6 +102,27 @@ let test_cache_disabled () =
   check_int "nothing stored" 0 (Cache.length c);
   check_bool "always misses" true (Cache.find c (key ()) = None)
 
+(* Steady-state allocation budget of a cache hit, enforced by
+   measurement: with the sentinel-ring LRU a hit is a hashtable probe
+   plus pointer relinks, so the only allocation is the [Some entry]
+   result box.  The 8-words/hit bound is loose against that but tight
+   against reintroducing option-boxed links or find_opt on the probe
+   (each worth several words per hit). *)
+let test_cache_hit_alloc_budget () =
+  let c = Cache.create ~capacity:4 in
+  let k = key () in
+  Cache.add c k (ent "r");
+  for _ = 1 to 100 do ignore (Cache.find c k) done;
+  let iters = 10_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do ignore (Cache.find c k) done;
+  let per_hit = (Gc.minor_words () -. w0) /. float_of_int iters in
+  check_int "all hits" (100 + iters) (Cache.hits c);
+  check_int "no misses" 0 (Cache.misses c);
+  check_bool
+    (Printf.sprintf "%.1f words/hit within budget" per_hit)
+    true (per_hit <= 8.0)
+
 (* ---------- admission queue ---------- *)
 
 (* Deadline-free interactive pushes: the EDF queue degrades to exactly
@@ -933,6 +954,8 @@ let suite =
     Alcotest.test_case "cache: refresh same key" `Quick
       test_cache_refresh_same_key;
     Alcotest.test_case "cache: capacity 0 disables" `Quick test_cache_disabled;
+    Alcotest.test_case "cache: hit allocation budget" `Quick
+      test_cache_hit_alloc_budget;
     Alcotest.test_case "admission: bound and fifo" `Quick test_admission_bound;
     Alcotest.test_case "admission: close drains" `Quick
       test_admission_close_drains;
