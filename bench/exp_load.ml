@@ -14,10 +14,12 @@
    are stable across runs and machines; only latencies vary. *)
 
 module Histogram = Tlp_util.Histogram
+module Json = Tlp_util.Json_out
 module Server = Tlp_server.Server
 module Workload = Tlp_load.Workload
 module Runner = Tlp_load.Runner
 module Report = Tlp_load.Report
+module Ring = Tlp_route.Ring
 
 let quantiles h =
   Printf.sprintf "p50=%dus p90=%dus p99=%dus"
@@ -35,7 +37,100 @@ let describe label (r : Runner.result) =
      else 0.0)
     (quantiles r.Runner.latency_us)
 
-let run ~max_jobs () =
+(* ---------- cluster scale-out (the `cluster` bench section) ----------
+
+   Shards are real tlp_serve subprocesses — shared-nothing down to the
+   OCaml runtime, exactly what a production deployment runs — found
+   next to this binary in the build tree.  Each prints its ephemeral
+   port on the "listening on" contract line; we parse that rather than
+   picking ports ourselves. *)
+
+let shard_exe () =
+  let root = Filename.dirname (Filename.dirname Sys.executable_name) in
+  Filename.concat (Filename.concat root "bin") "tlp_serve.exe"
+
+type shard_proc = { pid : int; port : int; out : in_channel }
+
+let spawn_shard ~exe ~jobs =
+  let r, w = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process exe
+      [| exe; "serve"; "--port"; "0"; "--jobs"; string_of_int jobs |]
+      Unix.stdin w Unix.stderr
+  in
+  Unix.close w;
+  let out = Unix.in_channel_of_descr r in
+  (* "tlp.rpc/v1 listening on HOST:PORT" *)
+  let line = input_line out in
+  match String.rindex_opt line ':' with
+  | Some i -> (
+      match
+        int_of_string_opt
+          (String.sub line (i + 1) (String.length line - i - 1))
+      with
+      | Some port -> { pid; port; out }
+      | None -> failwith ("unparseable listening line: " ^ line))
+  | None -> failwith ("unparseable listening line: " ^ line)
+
+let kill_shard s =
+  (try Unix.kill s.pid Sys.sigterm with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] s.pid);
+  try close_in s.out with Sys_error _ -> ()
+
+let run_cluster_section ~jobs ~plan =
+  let exe = shard_exe () in
+  if not (Sys.file_exists exe) then begin
+    (* `dune exec bench/main.exe` builds only the bench tree; say so
+       instead of silently writing a report without the section. *)
+    Printf.printf "  cluster  skipped: %s not built (run dune build first)\n"
+      exe;
+    None
+  end
+  else begin
+    (* Baseline: ONE subprocess shard, so the comparison is subprocess
+       vs subprocess — never in-process server vs subprocess. *)
+    let solo_shard = spawn_shard ~exe ~jobs in
+    let solo = Runner.run ~port:solo_shard.port plan in
+    kill_shard solo_shard;
+    describe "1-shard" solo;
+    let shards = Array.init 3 (fun _ -> spawn_shard ~exe ~jobs) in
+    let ring =
+      Ring.create ~seed:42
+        (Array.mapi
+           (fun i (s : shard_proc) ->
+             {
+               Ring.name = Printf.sprintf "shard%d" i;
+               host = "127.0.0.1";
+               port = s.port;
+             })
+           shards)
+    in
+    let clustered = Runner.run_cluster ~ring plan in
+    Array.iter kill_shard shards;
+    describe "3-shard" clustered;
+    let rps (r : Runner.result) =
+      if r.Runner.duration_s > 0.0 then
+        float_of_int (Runner.total r.Runner.counts) /. r.Runner.duration_s
+      else 0.0
+    in
+    let speedup = if rps solo > 0.0 then rps clustered /. rps solo else 0.0 in
+    Printf.printf "  scaleout %.2fx (%.1f -> %.1f req/s, %d cores)\n" speedup
+      (rps solo) (rps clustered)
+      (Domain.recommended_domain_count ());
+    Some
+      ( "cluster",
+        Json.Obj
+          [
+            ("shards", Json.Int 3);
+            ("jobs_per_shard", Json.Int jobs);
+            ("cores", Json.Int (Domain.recommended_domain_count ()));
+            ("speedup", Json.Float speedup);
+            ("baseline", Report.to_json solo);
+            ("clustered", Report.to_json clustered);
+          ] )
+  end
+
+let run ?(cluster = false) ~max_jobs () =
   print_endline "== load: tlp_load workload against the daemon ==";
   let jobs = Stdlib.min max_jobs 4 in
   let config =
@@ -70,10 +165,18 @@ let run ~max_jobs () =
       (Workload.plan { base with Workload.proto = Tlp_client.Client.V2 })
   in
   describe "v2" closed_v2;
-  Report.write ~path:"BENCH_load.json"
-    ~extra:[ ("v2", Report.to_json closed_v2) ]
-    closed;
-  print_endline "  wrote BENCH_load.json (v1 + v2 closed runs)";
+  (* --- cluster scale-out: 1 subprocess shard vs 3 on a ring --- *)
+  let cluster_extra =
+    if cluster then run_cluster_section ~jobs ~plan:(Workload.plan base)
+    else None
+  in
+  let extra =
+    ("v2", Report.to_json closed_v2)
+    :: (match cluster_extra with Some kv -> [ kv ] | None -> [])
+  in
+  Report.write ~path:"BENCH_load.json" ~extra closed;
+  Printf.printf "  wrote BENCH_load.json (v1 + v2 closed runs%s)\n"
+    (match cluster_extra with Some _ -> " + cluster" | None -> "");
   (* --- open loop: same corpus, paced arrivals --- *)
   let rate = 400.0 in
   let fixed =

@@ -210,6 +210,7 @@ let run ~max_jobs () =
     match
       Handler.handle ~state:alloc_state
         ~queue_depth:(fun () -> 0)
+        ~cluster:(Handler.solo_cluster_doc ~host:"127.0.0.1" ~port:0)
         ~debug:false ~rng:alloc_rng ~metrics:alloc_metrics request
     with
     | Ok payload -> payload

@@ -15,6 +15,7 @@
      engine    batch/K-sweep engine -> BENCH_engine.json
      server    tlp.rpc/v1 daemon loopback -> BENCH_server.json
      load      tlp_load workload vs daemon -> BENCH_load.json
+     cluster   load section + 1-vs-3-shard scale-out -> BENCH_load.json
 
    Run all sections:        dune exec bench/main.exe
    Run selected sections:   dune exec bench/main.exe -- figure2 timing
@@ -37,6 +38,7 @@ let sections =
     ("engine", fun () -> Exp_engine.run ~max_jobs:!max_jobs ());
     ("server", fun () -> Exp_server.run ~max_jobs:!max_jobs ());
     ("load", fun () -> Exp_load.run ~max_jobs:!max_jobs ());
+    ("cluster", fun () -> Exp_load.run ~cluster:true ~max_jobs:!max_jobs ());
   ]
 
 let () =

@@ -9,6 +9,36 @@ open Cmdliner
 module Workload = Tlp_load.Workload
 module Runner = Tlp_load.Runner
 module Report = Tlp_load.Report
+module Ring = Tlp_route.Ring
+
+(* --cluster HOST:PORT,HOST:PORT,... — members named shard0..N-1 in
+   list order, matching the names a tlp_route front tier gives
+   unnamed --shard flags, so both compute the same placement. *)
+let parse_cluster ~vnodes ~ring_seed text =
+  let parse_member index spec =
+    match String.rindex_opt spec ':' with
+    | None -> Error (Printf.sprintf "cluster member %S: expected HOST:PORT" spec)
+    | Some i -> (
+        let host = String.sub spec 0 i in
+        let port_s = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match int_of_string_opt port_s with
+        | Some port when port > 0 && port < 65536 && host <> "" ->
+            Ok { Ring.name = Printf.sprintf "shard%d" index; host; port }
+        | _ -> Error (Printf.sprintf "cluster member %S: bad HOST:PORT" spec))
+  in
+  let rec go index acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | spec :: rest -> (
+        match parse_member index (String.trim spec) with
+        | Ok s -> go (index + 1) (s :: acc) rest
+        | Error _ as e -> e)
+  in
+  match go 0 [] (String.split_on_char ',' text) with
+  | Ok shards -> (
+      match Ring.create ~vnodes ~seed:ring_seed shards with
+      | ring -> Ok ring
+      | exception Invalid_argument msg -> Error msg)
+  | Error _ as e -> e
 
 let parse_mix text =
   match String.split_on_char ':' text with
@@ -23,9 +53,9 @@ let parse_mix text =
       | _ -> None)
   | _ -> None
 
-let run host port seed workers requests rate poisson mix corpus chain_n
-    max_weight timeout_ms deadline_ms trace_every batch_every proto out
-    expect_clean plan_only =
+let run host port cluster vnodes ring_seed seed workers requests rate poisson
+    mix corpus chain_n max_weight timeout_ms deadline_ms trace_every
+    batch_every proto out expect_clean plan_only =
   let arrival =
     match rate with
     | None -> Workload.Closed
@@ -73,7 +103,19 @@ let run host port seed workers requests rate poisson mix corpus chain_n
       (Workload.class_counts plan)
   end
   else begin
-    let result = Runner.run ~host ~deadline_ms ~port plan in
+    let result =
+      match (cluster, port) with
+      | Some text, _ -> (
+          match parse_cluster ~vnodes ~ring_seed text with
+          | Ok ring -> Runner.run_cluster ~deadline_ms ~ring plan
+          | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              exit 1)
+      | None, Some port -> Runner.run ~host ~deadline_ms ~port plan
+      | None, None ->
+          prerr_endline "error: one of --port or --cluster is required";
+          exit 1
+    in
     print_string (Report.summary result);
     List.iter
       (fun (seq, msg) -> Printf.eprintf "failure: request %d: %s\n" seq msg)
@@ -102,9 +144,36 @@ let cmd =
   in
   let port =
     Arg.(
-      required
+      value
       & opt (some int) None
-      & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Server TCP port.")
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"Server TCP port (single-target mode; exclusive with \
+                $(b,--cluster)).")
+  in
+  let cluster =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cluster" ] ~docv:"HOST:PORT,..."
+          ~doc:"Comma-separated shard addresses.  Workers route each \
+                request by its instance digest on a consistent-hash \
+                ring over these members (named shard0..N-1 in order), \
+                the same placement a tlp_route front tier computes — \
+                but with no proxy in the path, so this measures raw \
+                aggregate shard capacity (PROTOCOL.md §8).")
+  in
+  let vnodes =
+    Arg.(
+      value & opt int 64
+      & info [ "vnodes" ] ~docv:"N"
+          ~doc:"Ring points per shard for $(b,--cluster).")
+  in
+  let ring_seed =
+    Arg.(
+      value & opt int 42
+      & info [ "ring-seed" ] ~docv:"SEED"
+          ~doc:"Ring placement seed for $(b,--cluster); match the \
+                router's value to reproduce its placement.")
   in
   let seed =
     Arg.(
@@ -229,8 +298,9 @@ let cmd =
        ~doc:"Deterministic open/closed-loop load generator for the \
              tlp.rpc/v1 partition service")
     Term.(
-      const run $ host $ port $ seed $ workers $ requests $ rate $ poisson
-      $ mix $ corpus $ chain_n $ max_weight $ timeout_ms $ deadline_ms
-      $ trace_every $ batch_every $ proto $ out $ expect_clean $ plan_only)
+      const run $ host $ port $ cluster $ vnodes $ ring_seed $ seed $ workers
+      $ requests $ rate $ poisson $ mix $ corpus $ chain_n $ max_weight
+      $ timeout_ms $ deadline_ms $ trace_every $ batch_every $ proto $ out
+      $ expect_clean $ plan_only)
 
 let () = exit (Cmd.eval cmd)

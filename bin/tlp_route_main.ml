@@ -1,0 +1,164 @@
+(* tlp_route: consistent-hash front tier over tlp_serve shards
+   (PROTOCOL.md §8, DESIGN.md §9).
+
+   Speaks both tlp.rpc framings, routes each request to the shard
+   owning its instance digest, hedges slow primaries against the next
+   replica on the ring, and answers stats/health/cluster itself.
+   SIGTERM/SIGINT drain gracefully, like tlp_serve. *)
+
+open Cmdliner
+module Router = Tlp_route.Router
+module Ring = Tlp_route.Ring
+
+(* "name=host:port" or "host:port" (name defaults to shardN by
+   position).  Names anchor ring placement, so explicit names let an
+   operator replace a shard's address without reshuffling keys. *)
+let parse_shard ~index spec =
+  let name, addr =
+    match String.index_opt spec '=' with
+    | Some i ->
+        ( String.sub spec 0 i,
+          String.sub spec (i + 1) (String.length spec - i - 1) )
+    | None -> (Printf.sprintf "shard%d" index, spec)
+  in
+  match String.rindex_opt addr ':' with
+  | None -> Error (Printf.sprintf "shard %S: expected HOST:PORT" spec)
+  | Some i -> (
+      let host = String.sub addr 0 i in
+      let port_s = String.sub addr (i + 1) (String.length addr - i - 1) in
+      match int_of_string_opt port_s with
+      | Some port when port > 0 && port < 65536 && host <> "" ->
+          Ok { Ring.name; host; port }
+      | _ -> Error (Printf.sprintf "shard %S: bad HOST:PORT" spec))
+
+let parse_shards specs =
+  let rec go index acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | spec :: rest -> (
+        match parse_shard ~index spec with
+        | Ok s -> go (index + 1) (s :: acc) rest
+        | Error _ as e -> e)
+  in
+  go 0 [] specs
+
+let route host port shards vnodes ring_seed ring_epoch hedge_ms
+    shard_deadline_ms pool_capacity =
+  match parse_shards shards with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | Ok [||] ->
+      prerr_endline "error: at least one --shard is required";
+      exit 1
+  | Ok shards -> (
+      let config =
+        {
+          Router.default_config with
+          Router.host;
+          port;
+          vnodes;
+          ring_seed;
+          ring_epoch;
+          hedge_ms;
+          shard_deadline_ms;
+          pool_capacity;
+        }
+      in
+      match Router.run config shards with
+      | t ->
+          (* Same startup contract as tlp_serve: scripts parse this
+             line for the (possibly ephemeral) port. *)
+          Printf.printf "%s router listening on %s:%d (%d shards)\n%!"
+            Tlp_server.Protocol.schema host (Router.port t)
+            (Array.length shards);
+          Router.wait t;
+          prerr_endline "tlp_route: drained, exiting"
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "error: cannot listen on %s:%d: %s\n" host port
+            (Unix.error_message e);
+          exit 1
+      | exception Invalid_argument msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1)
+
+let main () =
+  let host =
+    Arg.(
+      value
+      & opt string Router.default_config.Router.host
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt int Router.default_config.Router.port
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"TCP port; 0 picks an ephemeral port and prints it on \
+                the listening line.")
+  in
+  let shards =
+    Arg.(
+      value & opt_all string []
+      & info [ "shard" ] ~docv:"[NAME=]HOST:PORT"
+          ~doc:"A backend tlp_serve shard; repeatable, order defines \
+                default names shard0, shard1, ...  Names anchor ring \
+                placement (PROTOCOL.md §8).")
+  in
+  let vnodes =
+    Arg.(
+      value
+      & opt int Router.default_config.Router.vnodes
+      & info [ "vnodes" ] ~docv:"N"
+          ~doc:"Virtual ring points per shard.")
+  in
+  let ring_seed =
+    Arg.(
+      value
+      & opt int Router.default_config.Router.ring_seed
+      & info [ "ring-seed" ] ~docv:"SEED"
+          ~doc:"Ring placement seed; every router for a cluster must \
+                use the same value.")
+  in
+  let ring_epoch =
+    Arg.(
+      value
+      & opt int Router.default_config.Router.ring_epoch
+      & info [ "ring-epoch" ] ~docv:"N"
+          ~doc:"Membership generation advertised by the $(b,cluster) \
+                method.")
+  in
+  let hedge_ms =
+    Arg.(
+      value
+      & opt int Router.default_config.Router.hedge_ms
+      & info [ "hedge-ms" ] ~docv:"MS"
+          ~doc:"Hedge delay before the replica shard is tried; capped \
+                per request at half its timeout_ms.")
+  in
+  let shard_deadline =
+    Arg.(
+      value
+      & opt int Router.default_config.Router.shard_deadline_ms
+      & info [ "shard-deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-shard-call deadline for requests without their own \
+                timeout_ms.")
+  in
+  let pool =
+    Arg.(
+      value
+      & opt int Router.default_config.Router.pool_capacity
+      & info [ "pool-capacity" ] ~docv:"N"
+          ~doc:"Idle pooled connections kept per shard and framing.")
+  in
+  let info =
+    Cmd.info "tlp_route" ~version:"%%VERSION%%"
+      ~doc:"Consistent-hash routing tier for tlp_serve shards"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(
+            const route $ host $ port $ shards $ vnodes $ ring_seed
+            $ ring_epoch $ hedge_ms $ shard_deadline $ pool)))
+
+let () = main ()

@@ -10,6 +10,7 @@ type error =
   | Overloaded of string
   | Timeout of string
   | Transport of string
+  | Routing_stale of string
   | Bad_response of string
   | Rpc_error of { code : string; message : string }
 
@@ -17,12 +18,13 @@ let error_to_string = function
   | Overloaded m -> "overloaded: " ^ m
   | Timeout m -> "timeout: " ^ m
   | Transport m -> "transport: " ^ m
+  | Routing_stale m -> "routing stale: " ^ m
   | Bad_response m -> "bad response: " ^ m
   | Rpc_error { code; message } -> code ^ ": " ^ message
 
 let retryable = function
   | Overloaded _ | Transport _ -> true
-  | Timeout _ | Bad_response _ | Rpc_error _ -> false
+  | Timeout _ | Routing_stale _ | Bad_response _ | Rpc_error _ -> false
 
 type response = {
   id : Json.t;
@@ -286,17 +288,32 @@ let classify_payload raw =
   | Ok (Frame.Rpc_err { code; message; _ }) -> Error (Rpc_error { code; message })
 
 let retry_loop t ~deadline ~classify payload =
-  Backoff.run t.policy ~rng:t.rng ~now:Timer.now
-    ~sleep:(fun s -> if s > 0.0 then Unix.sleepf s)
-    ?deadline ~retryable
-    ~on_deadline:(fun e ->
-      Timeout
-        (Printf.sprintf "deadline expired during retry backoff (last: %s)"
-           (error_to_string e)))
-    (fun ~attempt:_ ->
-      match attempt t ~deadline payload with
-      | Ok raw -> classify raw
-      | Error _ as e -> e)
+  match
+    Backoff.run t.policy ~rng:t.rng ~now:Timer.now
+      ~sleep:(fun s -> if s > 0.0 then Unix.sleepf s)
+      ?deadline ~retryable
+      ~on_deadline:(fun e ->
+        Timeout
+          (Printf.sprintf "deadline expired during retry backoff (last: %s)"
+             (error_to_string e)))
+      (fun ~attempt:_ ->
+        match attempt t ~deadline payload with
+        | Ok raw -> classify raw
+        | Error _ as e -> e)
+  with
+  | Error (Transport m) ->
+      (* [Transport] is always retryable, so a [Transport] that comes
+         back from the driver burned the whole attempt budget without
+         ever reaching a live peer: the address itself is suspect.  The
+         reclassification is what a routing tier keys on — re-learn the
+         ring via [cluster] instead of hammering a dead shard — and it
+         is deliberately non-{!retryable} so naive callers stop too.
+         Single attempts ([round_trip]) keep plain [Transport]. *)
+      Error
+        (Routing_stale
+           (Printf.sprintf "%s:%d unreachable after %d attempts: %s" t.host
+              t.port t.policy.Backoff.max_attempts m))
+  | outcome -> outcome
 
 let call_line t ?deadline_ms line =
   let deadline = deadline_of t deadline_ms in

@@ -35,6 +35,16 @@ type error =
       (** socket-level failure: connect refused, reset, unexpected EOF.
           The connection is closed; the next call re-dials.  Retrying
           may re-execute a request the server already started. *)
+  | Routing_stale of string
+      (** every attempt of a retried call ({!call_line}/{!call_frame})
+          failed at the transport layer: the address never produced a
+          response across the whole backoff budget, so the client's
+          picture of {e where} the service lives is suspect — a shard
+          died or the ring moved.  Cluster-aware callers should
+          re-learn the ring (the [cluster] RPC, PROTOCOL.md §8) and
+          re-route rather than retry this address; accordingly it is
+          not {!retryable}.  Single-attempt calls ({!round_trip})
+          report plain [Transport]. *)
   | Bad_response of string
       (** the server's bytes violate the protocol (unparseable JSON,
           wrong schema, missing fields).  Never retried: a peer that
@@ -47,7 +57,10 @@ val error_to_string : error -> string
 (** One-line rendering for logs and CLI diagnostics. *)
 
 val retryable : error -> bool
-(** [true] exactly for [Overloaded _] and [Transport _]. *)
+(** [true] exactly for [Overloaded _] and [Transport _].
+    [Routing_stale] is the post-budget classification of transport
+    failures — retrying it on the same address is exactly what it says
+    not to do. *)
 
 type response = {
   id : Tlp_util.Json_out.t;  (** echoed request id *)
@@ -130,7 +143,9 @@ val call_line : t -> ?deadline_ms:int -> string -> (response, error) result
     reconnect after transport faults) until the budget or the deadline
     runs out.  The deadline covers all attempts and sleeps.  The
     request bytes are rendered once and reused verbatim across every
-    retry.  [V1] clients only. *)
+    retry.  A budget exhausted entirely on transport faults comes back
+    as [Routing_stale], not [Transport] (see {!error}).  [V1] clients
+    only. *)
 
 val call_frame : t -> ?deadline_ms:int -> string -> (response, error) result
 (** {!call_line} for a [V2] client: send one pre-encoded frame with

@@ -132,6 +132,7 @@ let encode_request ?(id = Json.Null) ?timeout_ms ?priority ?(trace = false)
       | "stats" -> 4
       | "health" -> 5
       | "sleep" -> 6
+      | "cluster" -> 7
       | other ->
           fail "unknown method %S (partition | sweep | verify | stats | health)"
             other);
@@ -239,6 +240,7 @@ let decode_response body =
             | 2 -> "overloaded"
             | 3 -> "timeout"
             | 4 -> "internal"
+            | 5 -> "unavailable"
             | tag -> fail "bad error code tag %d" tag
           in
           let message = R.bytes r (R.varint r) in

@@ -73,6 +73,7 @@ let to_json ?(extra = []) (r : Runner.result) =
             ("overloaded", Json.Int c.overloaded);
             ("timeout", Json.Int c.timeout);
             ("transport", Json.Int c.transport);
+            ("routing_stale", Json.Int c.routing_stale);
             ("bad_response", Json.Int c.bad_response);
             ("rpc_error", Json.Int c.rpc_error);
           ] );
@@ -90,6 +91,31 @@ let to_json ?(extra = []) (r : Runner.result) =
                Json.Obj
                  [ ("class", Json.String p); ("latency_us", hist_json h) ])
              r.per_class) );
+    ]
+    (* The shards section only exists for cluster runs, so solo
+       reports keep their pre-cluster shape byte for byte. *)
+    @ (match r.per_shard with
+      | [] -> []
+      | shards ->
+          [
+            ( "shards",
+              Json.List
+                (List.map
+                   (fun (name, h) ->
+                     Json.Obj
+                       [
+                         ("shard", Json.String name);
+                         ( "throughput_rps",
+                           Json.Float
+                             (if r.duration_s > 0.0 then
+                                float_of_int (Histogram.count h)
+                                /. r.duration_s
+                              else 0.0) );
+                         ("latency_us", hist_json h);
+                       ])
+                   shards) );
+          ])
+    @ [
       ( "failures",
         Json.List
           (List.map
@@ -116,9 +142,11 @@ let summary (r : Runner.result) =
   let c = r.counts in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "digest      %s" (Workload.sequence_digest r.plan);
-  line "requests    %d ok=%d overloaded=%d timeout=%d transport=%d bad=%d rpc=%d"
-    (Runner.total c) c.ok c.overloaded c.timeout c.transport c.bad_response
-    c.rpc_error;
+  line
+    "requests    %d ok=%d overloaded=%d timeout=%d transport=%d stale=%d \
+     bad=%d rpc=%d"
+    (Runner.total c) c.ok c.overloaded c.timeout c.transport c.routing_stale
+    c.bad_response c.rpc_error;
   line "duration    %.3f s  (%.1f req/s)" r.duration_s
     (if r.duration_s > 0.0 then float_of_int (Runner.total c) /. r.duration_s
      else 0.0);
@@ -143,4 +171,15 @@ let summary (r : Runner.result) =
           (Histogram.quantile h 0.99)
           (Histogram.max_value h))
     r.per_class;
+  List.iter
+    (fun (name, h) ->
+      if Histogram.count h > 0 then
+        line "%-11s n=%d (%.1f req/s) p50=%dus p99=%dus" name
+          (Histogram.count h)
+          (if r.duration_s > 0.0 then
+             float_of_int (Histogram.count h) /. r.duration_s
+           else 0.0)
+          (Histogram.quantile h 0.5)
+          (Histogram.quantile h 0.99))
+    r.per_shard;
   Buffer.contents b

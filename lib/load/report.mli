@@ -17,7 +17,9 @@ val to_json :
 (** The full report tree.  [extra] fields are appended to the
     top-level object — additive per PROTOCOL.md §5, so consumers of
     the fixed fields are unaffected (e.g. a companion v2 run embedded
-    next to the primary report). *)
+    next to the primary report).  Cluster runs ([result.per_shard]
+    non-empty) additionally carry a [shards] array with per-member
+    [throughput_rps] and latency quantiles (EXPERIMENTS.md §Cluster). *)
 
 val render :
   ?extra:(string * Tlp_util.Json_out.t) list -> Runner.result -> string

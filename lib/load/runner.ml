@@ -4,12 +4,14 @@ module Timer = Tlp_util.Timer
 module Backoff = Tlp_client.Backoff
 module Client = Tlp_client.Client
 module Pool = Tlp_engine.Pool
+module Ring = Tlp_route.Ring
 
 type counts = {
   ok : int;
   overloaded : int;
   timeout : int;
   transport : int;
+  routing_stale : int;
   bad_response : int;
   rpc_error : int;
 }
@@ -20,12 +22,14 @@ let zero_counts =
     overloaded = 0;
     timeout = 0;
     transport = 0;
+    routing_stale = 0;
     bad_response = 0;
     rpc_error = 0;
   }
 
 let total c =
-  c.ok + c.overloaded + c.timeout + c.transport + c.bad_response + c.rpc_error
+  c.ok + c.overloaded + c.timeout + c.transport + c.routing_stale
+  + c.bad_response + c.rpc_error
 
 let add_counts a b =
   {
@@ -33,6 +37,7 @@ let add_counts a b =
     overloaded = a.overloaded + b.overloaded;
     timeout = a.timeout + b.timeout;
     transport = a.transport + b.transport;
+    routing_stale = a.routing_stale + b.routing_stale;
     bad_response = a.bad_response + b.bad_response;
     rpc_error = a.rpc_error + b.rpc_error;
   }
@@ -44,6 +49,7 @@ type result = {
   latency_us : Histogram.t;
   per_method : (string * Histogram.t) list;
   per_class : (string * Histogram.t) list;
+  per_shard : (string * Histogram.t) list;
   connections : int;
   traced : int;
   failures : (int * string) list;
@@ -54,13 +60,14 @@ type worker_tally = {
   w_latency : Histogram.t;
   w_methods : (string * Histogram.t) list;
   w_classes : (string * Histogram.t) list;
+  w_shards : Histogram.t array;  (** indexed like the target array *)
   mutable w_traced : int;
   mutable w_failures : (int * string) list;  (** newest first *)
 }
 
 let max_failures = 16
 
-let record tally (op : Workload.op) latency_us outcome =
+let record tally (op : Workload.op) ~shard latency_us outcome =
   Histogram.add tally.w_latency latency_us;
   (match List.assoc_opt op.meth tally.w_methods with
   | Some h -> Histogram.add h latency_us
@@ -68,6 +75,7 @@ let record tally (op : Workload.op) latency_us outcome =
   (match List.assoc_opt op.priority tally.w_classes with
   | Some h -> Histogram.add h latency_us
   | None -> ());
+  Histogram.add tally.w_shards.(shard) latency_us;
   let c = tally.w_counts in
   match outcome with
   | Ok (r : Client.response) ->
@@ -79,27 +87,38 @@ let record tally (op : Workload.op) latency_us outcome =
         | Client.Overloaded _ -> { c with overloaded = c.overloaded + 1 }
         | Client.Timeout _ -> { c with timeout = c.timeout + 1 }
         | Client.Transport _ -> { c with transport = c.transport + 1 }
+        | Client.Routing_stale _ ->
+            { c with routing_stale = c.routing_stale + 1 }
         | Client.Bad_response _ -> { c with bad_response = c.bad_response + 1 }
         | Client.Rpc_error _ -> { c with rpc_error = c.rpc_error + 1 });
       if List.length tally.w_failures < max_failures then
         tally.w_failures <-
           (op.seq, Client.error_to_string e) :: tally.w_failures
 
-let run ?(policy = Backoff.default) ?(host = "127.0.0.1")
-    ?(deadline_ms = 30_000) ~port plan =
+(* The single-target and cluster runs are one code path: a target
+   array plus a routing function from op to target index.  The solo
+   run is the degenerate ring — one target, constant route. *)
+let run_targets ~policy ~deadline_ms ~targets ~route plan =
   let config = plan.Workload.config in
   (* Jitter streams: decorrelated from the plan's streams (which hang
-     off [seed] directly) by folding in a fixed salt. *)
+     off [seed] directly) by folding in a fixed salt.  Each worker
+     splits its stream once per target so cluster runs stay
+     deterministic regardless of shard count. *)
   let jitter_rngs =
     Rng.split_n (Rng.create (config.seed lxor 0x6c6f6164)) config.workers
   in
   let methods = List.map fst (Workload.method_counts plan) in
   let classes = List.map fst (Workload.class_counts plan) in
+  let n_targets = Array.length targets in
   let t0 = Timer.now () in
   let work w =
-    let client =
-      Client.create ~host ~port ~proto:config.proto ~policy
-        ~rng:jitter_rngs.(w) ()
+    let client_rngs = Rng.split_n jitter_rngs.(w) n_targets in
+    let clients =
+      Array.mapi
+        (fun i (_, host, port) ->
+          Client.create ~host ~port ~proto:config.proto ~policy
+            ~rng:client_rngs.(i) ())
+        targets
     in
     let tally =
       {
@@ -107,6 +126,7 @@ let run ?(policy = Backoff.default) ?(host = "127.0.0.1")
         w_latency = Histogram.create ();
         w_methods = List.map (fun m -> (m, Histogram.create ())) methods;
         w_classes = List.map (fun p -> (p, Histogram.create ())) classes;
+        w_shards = Array.init n_targets (fun _ -> Histogram.create ());
         w_traced = 0;
         w_failures = [];
       }
@@ -116,6 +136,8 @@ let run ?(policy = Backoff.default) ?(host = "127.0.0.1")
         (if op.at_s > 0.0 then
            let wait = t0 +. op.at_s -. Timer.now () in
            if wait > 0.0 then Unix.sleepf wait);
+        let shard = route op in
+        let client = clients.(shard) in
         let t_send = Timer.now () in
         let outcome =
           match config.proto with
@@ -125,10 +147,12 @@ let run ?(policy = Backoff.default) ?(host = "127.0.0.1")
         let latency_us =
           int_of_float ((Timer.now () -. t_send) *. 1_000_000.0)
         in
-        record tally op latency_us outcome)
+        record tally op ~shard latency_us outcome)
       plan.Workload.per_worker.(w);
-    let connections = Client.connections client in
-    Client.close client;
+    let connections =
+      Array.fold_left (fun acc c -> acc + Client.connections c) 0 clients
+    in
+    Array.iter Client.close clients;
     (tally, connections)
   in
   let tallies =
@@ -169,6 +193,15 @@ let run ?(policy = Backoff.default) ?(host = "127.0.0.1")
                 ~default:(Histogram.create ())) ))
       classes
   in
+  (* Only meaningful with real shards; the solo run reports none so
+     its JSON shape is unchanged from pre-cluster releases. *)
+  let per_shard =
+    if n_targets < 2 then []
+    else
+      List.init n_targets (fun i ->
+          let name, _, _ = targets.(i) in
+          (name, merge_field (fun t -> t.w_shards.(i))))
+  in
   let connections = Array.fold_left (fun acc (_, c) -> acc + c) 0 tallies in
   let traced = Array.fold_left (fun acc (t, _) -> acc + t.w_traced) 0 tallies in
   let failures =
@@ -184,7 +217,25 @@ let run ?(policy = Backoff.default) ?(host = "127.0.0.1")
     latency_us;
     per_method;
     per_class;
+    per_shard;
     connections;
     traced;
     failures;
   }
+
+let run ?(policy = Backoff.default) ?(host = "127.0.0.1")
+    ?(deadline_ms = 30_000) ~port plan =
+  run_targets ~policy ~deadline_ms
+    ~targets:[| ("self", host, port) |]
+    ~route:(fun _ -> 0)
+    plan
+
+let run_cluster ?(policy = Backoff.default) ?(deadline_ms = 30_000) ~ring plan =
+  let targets =
+    Array.map
+      (fun (s : Ring.shard) -> (s.Ring.name, s.Ring.host, s.Ring.port))
+      (Ring.shards ring)
+  in
+  run_targets ~policy ~deadline_ms ~targets
+    ~route:(fun (op : Workload.op) -> Ring.shard_of ring op.route_key)
+    plan

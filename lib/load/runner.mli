@@ -12,6 +12,10 @@ type counts = {
   overloaded : int;  (** [overloaded] wire errors that survived retries *)
   timeout : int;  (** server or client deadline expiries *)
   transport : int;  (** socket-level failures that survived retries *)
+  routing_stale : int;
+      (** retry budgets burned entirely on transport faults — the
+          client-side signal that a shard address is dead and the ring
+          should be re-learned (see {!Tlp_client.Client.error}) *)
   bad_response : int;  (** protocol violations in server bytes *)
   rpc_error : int;  (** other structured wire errors *)
 }
@@ -29,6 +33,9 @@ type result = {
   per_class : (string * Tlp_util.Histogram.t) list;
       (** latency split by admission class, in {!Workload.class_counts}
           order — how much the EDF queue favors interactive traffic *)
+  per_shard : (string * Tlp_util.Histogram.t) list;
+      (** latency split by routed shard, in ring member order;
+          [[]] for single-target runs ({!run}) *)
   connections : int;  (** dials summed over workers; healthy = workers *)
   traced : int;  (** ok responses that carried a [trace] object *)
   failures : (int * string) list;
@@ -48,3 +55,16 @@ val run :
     keeps a wedged server from hanging a CI job.  Open-loop plans sleep
     each request until its arrival offset from run start; closed-loop
     plans fire back to back. *)
+
+val run_cluster :
+  ?policy:Tlp_client.Backoff.policy ->
+  ?deadline_ms:int ->
+  ring:Tlp_route.Ring.t ->
+  Workload.plan ->
+  result
+(** {!run} against a shard cluster, no router in the path: each worker
+    keeps one client per ring member and sends every op to
+    [Ring.shard_of ring op.route_key] — the same placement a
+    [tlp_route] front tier would compute, so this measures the shards'
+    aggregate capacity with zero proxy overhead.  [result.per_shard]
+    carries the latency split by member. *)

@@ -47,6 +47,7 @@ type op = {
   priority : string;
   line : string;
   frame : string;
+  route_key : string;
   at_s : float;
 }
 
@@ -91,6 +92,14 @@ let chain_params chain =
 let draw_k rng chain =
   Rng.int_in rng (Chain.max_alpha chain) (Chain.total_weight chain)
 
+(* The routing key for an instance-bearing op is the server's own
+   digest of that instance ({!Tlp_server.Protocol.instance_digest}),
+   so client-side ring routing ([tlp_load --cluster]) and the
+   [tlp_route] front tier send the same op to the same shard and the
+   shards' caches stay digest-disjoint. *)
+let chain_digest chain =
+  Tlp_server.Protocol.instance_digest (Tlp_graph.Instance_io.Chain_instance chain)
+
 let draw_params gen mix corpus =
   let pick = Rng.int gen (mix.partition + mix.sweep + mix.verify) in
   if pick < mix.partition then
@@ -104,7 +113,8 @@ let draw_params gen mix corpus =
           ("instance", Json.Obj (chain_params chain));
           ("k", Json.Int (draw_k gen chain));
           ("algorithm", Json.String algorithm);
-        ] )
+        ],
+      Some (chain_digest chain) )
   else if pick < mix.partition + mix.sweep then
     let chain = Rng.choose gen corpus in
     let ks =
@@ -118,14 +128,16 @@ let draw_params gen mix corpus =
           ("instance", Json.Obj (chain_params chain));
           ("k_values", Json.List (List.map (fun k -> Json.Int k) ks));
           ("algorithm", Json.String algorithm);
-        ] )
+        ],
+      Some (chain_digest chain) )
   else
     ( "verify",
       Json.Obj
         [
           ("rounds", Json.Int (Rng.int_in gen 5 25));
           ("seed", Json.Int (Rng.int gen 1_000_000));
-        ] )
+        ],
+      None )
 
 let plan config =
   check config;
@@ -151,7 +163,7 @@ let plan config =
             !t)
   in
   let make seq =
-    let meth, params = draw_params gen config.mix corpus in
+    let meth, params, digest = draw_params gen config.mix corpus in
     let trace = config.trace_every > 0 && seq mod config.trace_every = 0 in
     (* The priority field is only emitted for batch frames, so plans
        with [batch_every = 0] keep their pre-priority byte digests. *)
@@ -177,7 +189,14 @@ let plan config =
           | Error msg -> invalid_arg ("Workload.plan: unencodable op: " ^ msg))
     in
     let priority = if batch then "batch" else "interactive" in
-    { seq; meth; priority; line; frame; at_s = arrivals.(seq) }
+    (* Ops with no instance (verify) route by the digest of their own
+       request line — stable, and spread uniformly across the ring. *)
+    let route_key =
+      match digest with
+      | Some d -> d
+      | None -> Digest.to_hex (Digest.string line)
+    in
+    { seq; meth; priority; line; frame; route_key; at_s = arrivals.(seq) }
   in
   let all = Array.init config.requests make in
   let per_worker =

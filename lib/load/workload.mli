@@ -63,6 +63,12 @@ type op = {
   frame : string;
       (** the pre-encoded v2 binary frame (length prefix included);
           [""] in v1 plans *)
+  route_key : string;
+      (** consistent-hash routing key: the server's
+          {!Tlp_server.Protocol.instance_digest} of the op's instance
+          ([partition]/[sweep]), or the MD5 hex of the request line
+          itself ([verify]) — what {!Runner.run_cluster} feeds to
+          {!Tlp_route.Ring.shard_of} *)
   at_s : float;  (** arrival offset from run start; [0.] in closed loop *)
 }
 

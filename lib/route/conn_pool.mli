@@ -1,0 +1,44 @@
+(** A small thread-safe pool of {!Tlp_client.Client.t} connections to
+    one shard, one pool per (shard, protocol).
+
+    Clients are single-threaded by contract, so the router checks one
+    out per proxied call and returns it afterwards; concurrent calls
+    to the same shard each get their own client (created on demand,
+    kept up to [capacity] when idle).  A client that hit a transport
+    fault is {e still} safe to check in — it tears its connection down
+    on failure and re-dials on next use — but callers that know the
+    connection is poisoned can {!discard} it instead. *)
+
+type t
+
+val create :
+  ?capacity:int ->
+  host:string ->
+  port:int ->
+  proto:Tlp_client.Client.proto ->
+  rng:Tlp_util.Rng.t ->
+  unit ->
+  t
+(** A pool dialing [host:port] with [proto] framing.  [capacity]
+    (default 8) bounds only the {e idle} list — checkout never blocks,
+    it creates a fresh client when the pool is empty.  [rng] is the
+    jitter master stream; each created client gets its own split. *)
+
+val checkout : t -> Tlp_client.Client.t
+(** Pop an idle client or create one.  The caller owns it until
+    {!checkin}/{!discard}. *)
+
+val checkin : t -> Tlp_client.Client.t -> unit
+(** Return a client; closed instead of kept if the idle list is full. *)
+
+val discard : t -> Tlp_client.Client.t -> unit
+(** Close a client without returning it (poisoned connection). *)
+
+val created : t -> int
+(** Total clients created over the pool's lifetime (observability). *)
+
+val idle : t -> int
+(** Currently idle clients. *)
+
+val drain : t -> unit
+(** Close every idle client.  Checked-out clients are unaffected. *)

@@ -1,0 +1,165 @@
+(* A two-way hedged race with a timed trigger.
+
+   The stdlib's [Condition] has no timed wait, and polling a flag
+   would tax every request with the poll period.  Instead each race
+   owns a pipe: completion threads write one byte when they finish,
+   and the coordinator [Unix.select]s on the read end with the hedge
+   delay as the timeout — a wakeup that is prompt for completions and
+   exact for the trigger.  The write side is guarded by the race mutex
+   plus a [pipe_open] flag so a loser finishing after the race settles
+   never writes to a closed descriptor. *)
+
+type outcome = Good | Bad
+
+type 'a verdict = {
+  value : 'a;
+  winner : [ `Primary | `Secondary ];
+  fired : bool;
+  failover : bool;
+  cancelled : int;
+}
+
+type 'a slot = Pending | Done of outcome * 'a
+
+type 'a race = {
+  mutex : Mutex.t;
+  mutable primary : 'a slot;
+  mutable secondary : 'a slot;
+  mutable pipe_open : bool;
+  notify_r : Unix.file_descr;
+  notify_w : Unix.file_descr;
+}
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* One byte per completion: never blocks (a race writes at most two
+   bytes against a pipe buffer of at least 4 KiB). *)
+let signal race =
+  if race.pipe_open then
+    match Unix.write race.notify_w (Bytes.make 1 '!') 0 1 with
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ()
+
+let start_arm race ~secondary thunk =
+  let t =
+    Thread.create
+      (fun () ->
+        let result = thunk () in
+        locked race.mutex (fun () ->
+            (if secondary then race.secondary <- Done (fst result, snd result)
+             else race.primary <- Done (fst result, snd result));
+            signal race))
+      ()
+  in
+  ignore (t : Thread.t)
+
+(* Block until a completion byte arrives or [timeout_s] elapses
+   ([timeout_s < 0.] = wait indefinitely).  Returns [true] on a
+   completion byte. *)
+let await race ~timeout_s =
+  let rec go () =
+    match Unix.select [ race.notify_r ] [] [] timeout_s with
+    | [], _, _ -> false
+    | _ :: _, _, _ -> (
+        let b = Bytes.create 1 in
+        match Unix.read race.notify_r b 0 1 with
+        | _ -> true
+        | exception Unix.Unix_error (EINTR, _, _) -> go ())
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+  in
+  go ()
+
+let close_pipe race =
+  locked race.mutex (fun () ->
+      if race.pipe_open then begin
+        race.pipe_open <- false;
+        (try Unix.close race.notify_r with Unix.Unix_error _ -> ());
+        try Unix.close race.notify_w with Unix.Unix_error _ -> ()
+      end)
+
+let settle race ~fired ~failover ~winner value =
+  let cancelled =
+    locked race.mutex (fun () ->
+        let pending = function Pending -> 1 | Done _ -> 0 in
+        (* Only arms that actually started can be cancelled. *)
+        pending race.primary
+        + if fired || failover then pending race.secondary else 0)
+  in
+  close_pipe race;
+  { value; winner; fired; failover; cancelled }
+
+let race ?secondary ~delay_s primary =
+  let notify_r, notify_w = Unix.pipe ~cloexec:true () in
+  let race =
+    {
+      mutex = Mutex.create ();
+      primary = Pending;
+      secondary = Pending;
+      pipe_open = true;
+      notify_r;
+      notify_w;
+    }
+  in
+  start_arm race ~secondary:false primary;
+  let read_slots () =
+    locked race.mutex (fun () -> (race.primary, race.secondary))
+  in
+  (* Phase 1: primary alone, up to the hedge delay. *)
+  let rec before_delay deadline =
+    match read_slots () with
+    | Done (Good, v), _ -> settle race ~fired:false ~failover:false ~winner:`Primary v
+    | Done (Bad, v), _ -> (
+        (* Primary failed outright: this is failover, not a hedge —
+           fire the secondary immediately (if there is one). *)
+        match secondary with
+        | None -> settle race ~fired:false ~failover:false ~winner:`Primary v
+        | Some s ->
+            start_arm race ~secondary:true s;
+            failover_wait ())
+    | Pending, _ ->
+        let left = deadline -. Tlp_util.Timer.now () in
+        if left <= 0.0 then begin
+          match secondary with
+          | None -> primary_only ()
+          | Some s ->
+              start_arm race ~secondary:true s;
+              hedged_wait ()
+        end
+        else begin
+          ignore (await race ~timeout_s:left : bool);
+          before_delay deadline
+        end
+  (* No secondary exists: just wait the primary out. *)
+  and primary_only () =
+    match read_slots () with
+    | Done (_, v), _ -> settle race ~fired:false ~failover:false ~winner:`Primary v
+    | Pending, _ ->
+        ignore (await race ~timeout_s:(-1.0) : bool);
+        primary_only ()
+  (* Primary already failed; the secondary's answer is the answer. *)
+  and failover_wait () =
+    match read_slots () with
+    | _, Done (_, v) -> settle race ~fired:false ~failover:true ~winner:`Secondary v
+    | _, Pending ->
+        ignore (await race ~timeout_s:(-1.0) : bool);
+        failover_wait ()
+  (* Both arms in flight: first Good settles; a Bad arm defers to the
+     other; both Bad settles on the primary's answer. *)
+  and hedged_wait () =
+    match read_slots () with
+    | Done (Good, v), _ -> settle race ~fired:true ~failover:false ~winner:`Primary v
+    | _, Done (Good, v) -> settle race ~fired:true ~failover:false ~winner:`Secondary v
+    | Done (Bad, v), Done (Bad, _) ->
+        settle race ~fired:true ~failover:false ~winner:`Primary v
+    | _ ->
+        ignore (await race ~timeout_s:(-1.0) : bool);
+        hedged_wait ()
+  in
+  if delay_s <= 0.0 && secondary <> None then begin
+    (* Zero delay: both arms launch together. *)
+    (match secondary with Some s -> start_arm race ~secondary:true s | None -> ());
+    hedged_wait ()
+  end
+  else before_delay (Tlp_util.Timer.now () +. delay_s)

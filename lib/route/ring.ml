@@ -1,0 +1,159 @@
+module Json = Tlp_util.Json_out
+
+type shard = { name : string; host : string; port : int }
+
+type t = {
+  epoch : int;
+  seed : int;
+  vnodes : int;
+  shards : shard array;
+  (* Virtual-node points sorted by hash; [snd] is the shard index.
+     Immutable after [create], so lookups are lock-free. *)
+  points : (int * int) array;
+}
+
+(* First 62 bits of the MD5, as a non-negative OCaml int.  MD5 is
+   already in the tree as the instance-digest hash; reusing it keeps
+   the ring free of new dependencies and gives well-dispersed points
+   from structured inputs ("seed|name|i"). *)
+let hash62 s =
+  let d = Digest.string s in
+  let b = Bytes.unsafe_of_string d in
+  Int64.to_int
+    (Int64.shift_right_logical (Bytes.get_int64_be b 0) 2)
+
+let point_hash ~seed ~name i = hash62 (Printf.sprintf "%d|%s|%d" seed name i)
+
+(* Keys hash without the seed: a key's position on the circle is fixed;
+   the seed only perturbs where the shards' points land.  Instance
+   digests are already uniform MD5 hex, but verify-style keys are
+   arbitrary strings, so they go through MD5 too. *)
+let key_hash key = hash62 key
+
+let create ?(epoch = 1) ?(vnodes = 64) ~seed shards =
+  if Array.length shards = 0 then invalid_arg "Ring.create: no shards";
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes must be >= 1";
+  let names = Hashtbl.create 8 in
+  Array.iter
+    (fun s ->
+      if Hashtbl.mem names s.name then
+        invalid_arg ("Ring.create: duplicate shard name " ^ s.name);
+      Hashtbl.add names s.name ())
+    shards;
+  let points =
+    Array.init
+      (Array.length shards * vnodes)
+      (fun i ->
+        let shard = i / vnodes and vnode = i mod vnodes in
+        (point_hash ~seed ~name:shards.(shard).name vnode, shard))
+  in
+  Array.sort compare points;
+  { epoch; seed; vnodes; shards = Array.copy shards; points }
+
+let epoch t = t.epoch
+let seed t = t.seed
+let vnodes t = t.vnodes
+let shards t = Array.copy t.shards
+let shard t i = t.shards.(i)
+let length t = Array.length t.shards
+
+(* First point clockwise from the key's hash (binary search over the
+   sorted points; wraps to point 0 past the last). *)
+let shard_of t key =
+  let h = key_hash key in
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  snd t.points.(if !lo = n then 0 else !lo)
+
+let replica_of t key =
+  if Array.length t.shards < 2 then None
+  else begin
+    let h = key_hash key in
+    let n = Array.length t.points in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+    done;
+    let start = if !lo = n then 0 else !lo in
+    let primary = snd t.points.(start) in
+    (* Walk clockwise to the first point owned by a different shard;
+       guaranteed to exist because there are >= 2 shards. *)
+    let i = ref ((start + 1) mod n) in
+    while snd t.points.(!i) = primary do
+      i := (!i + 1) mod n
+    done;
+    Some (snd t.points.(!i))
+  end
+
+let to_json t =
+  Json.Obj
+    [
+      ("ring_epoch", Json.Int t.epoch);
+      ("seed", Json.Int t.seed);
+      ("vnodes", Json.Int t.vnodes);
+      ( "shards",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun s ->
+                  Json.Obj
+                    [
+                      ("name", Json.String s.name);
+                      ("host", Json.String s.host);
+                      ("port", Json.Int s.port);
+                    ])
+                t.shards)) );
+    ]
+
+let of_json doc =
+  let ( let* ) r f = Result.bind r f in
+  let field name fields =
+    match List.assoc_opt name fields with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "cluster document missing %S" name)
+  in
+  let as_int name = function
+    | Json.Int i -> Ok i
+    | _ -> Error (Printf.sprintf "field %S must be an integer" name)
+  in
+  let as_string name = function
+    | Json.String s -> Ok s
+    | _ -> Error (Printf.sprintf "field %S must be a string" name)
+  in
+  match doc with
+  | Json.Obj fields -> (
+      let* epoch = Result.bind (field "ring_epoch" fields) (as_int "ring_epoch") in
+      let* seed = Result.bind (field "seed" fields) (as_int "seed") in
+      let* vnodes = Result.bind (field "vnodes" fields) (as_int "vnodes") in
+      let* members =
+        match field "shards" fields with
+        | Ok (Json.List l) -> Ok l
+        | Ok _ -> Error "field \"shards\" must be an array"
+        | Error _ as e -> e
+      in
+      let* shards =
+        List.fold_left
+          (fun acc m ->
+            let* acc = acc in
+            match m with
+            | Json.Obj f ->
+                let* name = Result.bind (field "name" f) (as_string "name") in
+                let* host = Result.bind (field "host" f) (as_string "host") in
+                let* port = Result.bind (field "port" f) (as_int "port") in
+                Ok ({ name; host; port } :: acc)
+            | _ -> Error "shard entries must be objects")
+          (Ok []) members
+      in
+      let shards = Array.of_list (List.rev shards) in
+      (* A lone shard reports vnodes 0 (no real circle); normalize so
+         the parsed ring is usable for routing either way. *)
+      let vnodes = Stdlib.max 1 vnodes in
+      match create ~epoch ~vnodes ~seed shards with
+      | ring -> Ok ring
+      | exception Invalid_argument msg -> Error msg)
+  | _ -> Error "cluster document must be an object"

@@ -1,0 +1,77 @@
+(** Deterministic consistent-hash ring over instance digests.
+
+    The ring places [vnodes] virtual points per shard on a 62-bit hash
+    circle; a key routes to the owner of the first point clockwise from
+    the key's hash.  Point positions depend only on [(seed, shard
+    name, vnode index)] — never on array order or process state — so
+    every router, client, and test that builds a ring from the same
+    member list computes the {e same} placement, and adding or
+    removing one shard moves only ~[1/N] of the keyspace (the
+    rebalance-bound test in [test/test_route.ml] pins this).
+
+    Keys are expected to be {!Tlp_server.Protocol.instance_digest}
+    values (hex MD5 of the canonical instance text), which makes
+    routing cache-affine: a digest lands on one shard, so that shard's
+    LRU accumulates all hits for the instance and the shards' caches
+    stay disjoint (DESIGN.md §9).  Arbitrary strings work too — keys
+    are re-hashed with MD5 regardless.
+
+    A ring is immutable after {!create}; lookups take no locks and are
+    safe from any thread. *)
+
+type shard = { name : string; host : string; port : int }
+(** One cluster member.  [name] is the identity that anchors its
+    virtual points — changing a shard's host/port (a move) keeps its
+    keyspace; changing its name reshuffles it. *)
+
+type t
+
+val create : ?epoch:int -> ?vnodes:int -> seed:int -> shard array -> t
+(** Build a ring.  [seed] perturbs where the shards' points land
+    (keys hash seed-free, see {!shard_of}); [vnodes] (default 64) is
+    the points-per-shard count — more points, smoother balance, linear
+    build cost.  [epoch] (default 1) tags this membership generation
+    for the [cluster] RPC (PROTOCOL.md §8).
+
+    @raise Invalid_argument on an empty member list, duplicate shard
+    names, or [vnodes < 1]. *)
+
+val epoch : t -> int
+(** Membership generation advertised to clients. *)
+
+val seed : t -> int
+
+val vnodes : t -> int
+(** Virtual points per shard. *)
+
+val length : t -> int
+(** Number of shards. *)
+
+val shards : t -> shard array
+(** Members in creation order (a fresh copy each call). *)
+
+val shard : t -> int -> shard
+(** Member by index, as returned by {!shard_of}/{!replica_of}. *)
+
+val shard_of : t -> string -> int
+(** [shard_of t key] is the index of the shard owning [key]: the owner
+    of the first virtual point clockwise from [MD5(key)] on the
+    circle.  The key hash does {e not} mix in the seed, so a key's
+    position is fixed and only shard placement varies per deployment. *)
+
+val replica_of : t -> string -> int option
+(** The hedge target for [key]: the first shard {e other than} its
+    owner encountered clockwise — deterministic, and uniform-ish
+    because it is decided per virtual point, not per shard.  [None]
+    when the ring has a single shard (nothing to hedge to). *)
+
+val to_json : t -> Tlp_util.Json_out.t
+(** The [cluster] RPC result document: [ring_epoch], [seed], [vnodes]
+    and the [shards] array (PROTOCOL.md §8).  Feeding it back through
+    {!of_json} reconstructs an equivalent ring. *)
+
+val of_json : Tlp_util.Json_out.t -> (t, string) result
+(** Parse a [cluster] result document (router or lone-shard form; the
+    [role] field and other extras are ignored).  A lone shard
+    advertises [vnodes = 0] — normalized to 1 so the degenerate ring
+    still routes. *)

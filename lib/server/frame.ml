@@ -104,6 +104,7 @@ let method_tag = function
   | Protocol.Stats -> 4
   | Protocol.Health -> 5
   | Protocol.Sleep _ -> 6
+  | Protocol.Cluster -> 7
 
 let partition_algorithm_tag = function
   | Protocol.Bandwidth -> 1
@@ -169,7 +170,7 @@ let encode_request buf (frame : Protocol.frame) =
   | Protocol.Verify { rounds; seed } ->
       Bytebuf.add_varint buf rounds;
       Bytebuf.add_zigzag buf seed
-  | Protocol.Stats | Protocol.Health -> ()
+  | Protocol.Stats | Protocol.Health | Protocol.Cluster -> ()
   | Protocol.Sleep { ms } -> Bytebuf.add_varint buf ms);
   finish_frame buf p
 
@@ -223,6 +224,7 @@ let read_request_body r meth_tag =
       if ms > Protocol.max_sleep_ms then
         reject "field \"ms\" must be in [0, %d]" Protocol.max_sleep_ms;
       Protocol.Sleep { ms }
+  | 7 -> Protocol.Cluster
   | tag ->
       reject
         "unknown method tag %d (1=partition | 2=sweep | 3=verify | 4=stats | \
@@ -265,6 +267,7 @@ let error_code_tag = function
   | Protocol.Overloaded -> 2
   | Protocol.Timeout -> 3
   | Protocol.Internal -> 4
+  | Protocol.Unavailable -> 5
 
 let[@tlp.hot] encode_ok buf ~id ~result ~trace =
   let p = start_frame buf in

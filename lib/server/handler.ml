@@ -266,7 +266,30 @@ let cached state key compute =
           State.with_lock state (fun () -> Cache.add ~metrics cache key entry);
           Ok (Rendered entry))
 
-let handle ~state ~queue_depth ~debug ~rng ~metrics request =
+(* The degenerate ring a lone shard reports from [cluster]: epoch 0,
+   one member, no virtual nodes — enough for a cluster-aware client to
+   bootstrap (it learns "this address is the whole ring") while a
+   router overrides the whole document with its real ring. *)
+let solo_cluster_doc ~host ~port () =
+  Json.Obj
+    [
+      ("role", Json.String "shard");
+      ("ring_epoch", Json.Int 0);
+      ("seed", Json.Int 0);
+      ("vnodes", Json.Int 0);
+      ( "shards",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("name", Json.String "self");
+                ("host", Json.String host);
+                ("port", Json.Int port);
+              ];
+          ] );
+    ]
+
+let handle ~state ~queue_depth ~cluster ~debug ~rng ~metrics request =
   ignore (rng : Rng.t);
   (* The split stream is reserved for randomized algorithms; every
      built-in method is deterministic (see .mli). *)
@@ -332,6 +355,7 @@ let handle ~state ~queue_depth ~debug ~rng ~metrics request =
                 ( "uptime_s",
                   Json.Float (Timer.now () -. State.started_at state) );
               ]))
+  | Protocol.Cluster -> Ok (Doc (cluster ()))
   | Protocol.Sleep { ms } ->
       if not debug then
         Error

@@ -49,15 +49,26 @@ type payload =
       (** an uncached result tree; the caller renders it for whichever
           protocol the connection speaks *)
 
+val solo_cluster_doc :
+  host:string -> port:int -> unit -> Tlp_util.Json_out.t
+(** The [cluster] document of a lone shard (PROTOCOL.md §8): a
+    degenerate single-member ring — [ring_epoch] 0, no virtual nodes,
+    one shard named ["self"] at [host:port].  The server passes this as
+    {!handle}'s [cluster] thunk; a router substitutes its real ring. *)
+
 val handle :
   state:State.t ->
   queue_depth:(unit -> int) ->
+  cluster:(unit -> Tlp_util.Json_out.t) ->
   debug:bool ->
   rng:Tlp_util.Rng.t ->
   metrics:Tlp_util.Metrics.t ->
   Protocol.request ->
   (payload, Protocol.error) result
-(** Dispatch one request, returning the result {!payload}.  [partition]
+(** Dispatch one request, returning the result {!payload}.  [cluster]
+    supplies the [cluster] method's ring document (see
+    {!solo_cluster_doc}); it is a thunk so the serving tier can report
+    a live epoch without the handler holding routing state.  [partition]
     and [sweep] go through the {!Cache} under the {!State} lock —
     lookup before solving, insert after — while the solve itself runs
     unlocked, so two concurrent identical requests may both compute

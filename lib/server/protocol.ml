@@ -6,7 +6,7 @@ module Tree = Tlp_graph.Tree
 
 let schema = "tlp.rpc/v1"
 
-type error_code = Bad_request | Overloaded | Timeout | Internal
+type error_code = Bad_request | Overloaded | Timeout | Internal | Unavailable
 
 type error = { code : error_code; message : string }
 
@@ -15,11 +15,13 @@ let error_code_string = function
   | Overloaded -> "overloaded"
   | Timeout -> "timeout"
   | Internal -> "internal"
+  | Unavailable -> "unavailable"
 
 let bad_request message = { code = Bad_request; message }
 let overloaded message = { code = Overloaded; message }
 let timeout message = { code = Timeout; message }
 let internal message = { code = Internal; message }
+let unavailable message = { code = Unavailable; message }
 
 type priority = Interactive | Batch
 
@@ -49,6 +51,7 @@ type request =
   | Verify of { rounds : int; seed : int }
   | Stats
   | Health
+  | Cluster
   | Sleep of { ms : int }
 
 type frame = {
@@ -65,6 +68,7 @@ let method_name = function
   | Verify _ -> "verify"
   | Stats -> "stats"
   | Health -> "health"
+  | Cluster -> "cluster"
   | Sleep _ -> "sleep"
 
 (* ---------- parsing ---------- *)
@@ -210,6 +214,7 @@ let parse_request meth params =
       Verify { rounds; seed }
   | "stats" -> Stats
   | "health" -> Health
+  | "cluster" -> Cluster
   | "sleep" ->
       let ms = as_int "ms" (require "ms" params) in
       if ms < 0 || ms > max_sleep_ms then

@@ -13,17 +13,23 @@ val schema : string
 
 (** {1 Errors} *)
 
-type error_code = Bad_request | Overloaded | Timeout | Internal
+type error_code = Bad_request | Overloaded | Timeout | Internal | Unavailable
 
 type error = { code : error_code; message : string }
 
 val error_code_string : error_code -> string
-(** ["bad_request"], ["overloaded"], ["timeout"], ["internal"]. *)
+(** ["bad_request"], ["overloaded"], ["timeout"], ["internal"],
+    ["unavailable"]. *)
 
 val bad_request : string -> error
 val overloaded : string -> error
 val timeout : string -> error
 val internal : string -> error
+
+val unavailable : string -> error
+(** Routing-tier error (PROTOCOL.md §8): every replica of the request's
+    shard failed, so the router answers structurally instead of
+    hanging.  A lone [tlp_serve] never emits it. *)
 
 (** {1 Requests} *)
 
@@ -53,6 +59,12 @@ type request =
   | Verify of { rounds : int; seed : int }
   | Stats
   | Health
+  | Cluster
+      (** Ring discovery (PROTOCOL.md §8): answered inline, like
+          [Stats]/[Health].  A router returns its full consistent-hash
+          ring; a lone shard returns a degenerate single-member ring
+          with [ring_epoch] 0, so cluster-aware clients can bootstrap
+          from any address. *)
   | Sleep of { ms : int }
       (** Debug-only (server must be started with [enable_debug]); makes
           backpressure and deadline tests deterministic. *)

@@ -171,6 +171,9 @@ let finish t job ~t_dispatch ~executed outcome =
    metrics sink is written only on that domain, then merged into the
    server sink after the join — the same single-writer discipline as
    Batch.solve_batch. *)
+let cluster_doc t =
+  Handler.solo_cluster_doc ~host:t.config.host ~port:t.actual_port
+
 let execute t job =
   let t_dispatch = Timer.now () in
   let request_metrics = Metrics.create () in
@@ -180,8 +183,8 @@ let execute t job =
          match
            Handler.handle ~state:t.server_state
              ~queue_depth:(fun () -> Admission.length t.queue)
-             ~debug:t.config.enable_debug ~rng:job.rng ~metrics:request_metrics
-             job.frame.Protocol.request
+             ~cluster:(cluster_doc t) ~debug:t.config.enable_debug ~rng:job.rng
+             ~metrics:request_metrics job.frame.Protocol.request
          with
          | outcome -> outcome
          | exception e ->
@@ -215,7 +218,7 @@ let worker_loop t =
    saturated — that is what they are for. *)
 let control_plane (request : Protocol.request) =
   match request with
-  | Protocol.Stats | Protocol.Health -> true
+  | Protocol.Stats | Protocol.Health | Protocol.Cluster -> true
   | Protocol.Partition _ | Protocol.Sweep _ | Protocol.Verify _
   | Protocol.Sleep _ ->
       false
@@ -343,7 +346,8 @@ let handle_parsed t conn ~t_accept parsed =
           finish t job ~t_dispatch:t_queued ~executed:false
             (Handler.handle ~state:t.server_state
                ~queue_depth:(fun () -> Admission.length t.queue)
-               ~debug:t.config.enable_debug ~rng ~metrics request)
+               ~cluster:(cluster_doc t) ~debug:t.config.enable_debug ~rng
+               ~metrics request)
         end
         else if Atomic.get t.stop_flag then
           send_error t ~reply:(conn_respond conn) ~id:frame.Protocol.id
