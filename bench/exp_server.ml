@@ -14,7 +14,11 @@
    - [alloc]: GC-measured allocation words per request of the full
      in-process serving path (parse/decode -> handle -> render/encode),
      v1 JSON lines against v2 binary frames on the same cache-hot
-     request — the v2 framing's reason to exist.
+     request — the v2 framing's reason to exist;
+   - [drift]: the streaming-session resolve (PROTOCOL.md section 9)
+     under weight drift — p50 of the incremental repair against the
+     from-scratch rescan on the same delta stream, answers asserted
+     identical.  Incremental must win; CI checks the written ratio.
 
    The server runs in-process on an ephemeral port; clients are
    sys-threads doing blocking socket I/O, which is exactly what an
@@ -189,7 +193,8 @@ let run ~max_jobs () =
      The request is a cache hit after warmup, so the numbers isolate
      the wire codec cost, which is exactly what the framing changes. *)
   let alloc_state =
-    State.create ~cache_capacity:64 ~queue_capacity:64 ~seed:0 ()
+    State.create ~cache_capacity:64 ~queue_capacity:64 ~seed:0
+      ~session_ttl_s:0.0 ()
   in
   let alloc_chain = Chain_gen.figure2 (Rng.create 11) ~n:200 ~max_weight:20 in
   let alloc_line =
@@ -301,6 +306,81 @@ let run ~max_jobs () =
     "  deadline: shed %d, overruns(sleep) count=%d max=%.1fms\n" sheds
     sleep_overrun.State.count
     (sleep_overrun.State.max_ns /. 1e6);
+  (* --- drift: incremental session resolve vs from-scratch --- *)
+  (* The streaming-session hot path (PROTOCOL.md section 9), measured
+     in process on the shape incremental repair is built for: a long
+     chain whose periodic heavy spikes keep the prime count small
+     relative to n, so the per-K repair ((window + primes) x log n)
+     beats the O(n) rescan.  Two replicas of one drifting instance
+     receive identical delta batches; one resolves under the production
+     [Auto] plan (which must pick the incremental path every round),
+     the other under [Force_full] (what a session-less server would do
+     from scratch).  Answers are asserted identical each round. *)
+  let module Incremental = Tlp_core.Incremental in
+  let drift_n = 50_000 in
+  let drift_alpha =
+    Array.init drift_n (fun i -> if i mod 100 = 0 then 5_000 else 1)
+  in
+  let drift_beta = Array.make (drift_n - 1) 1 in
+  let drift_chain = Chain.make ~alpha:drift_alpha ~beta:drift_beta in
+  let drift_k = 20_000 in
+  let inc_state = Incremental.create drift_chain in
+  let full_state = Incremental.create drift_chain in
+  (* Warm the per-K workspace so round timings measure repair against
+     an established state, not the first discovery pass. *)
+  (match Incremental.resolve inc_state ~k:drift_k with
+  | Ok _ -> ()
+  | Error _ -> failwith "drift scenario: warmup resolve infeasible");
+  let drift_rng = Rng.create 5 in
+  let drift_rounds = 30 in
+  let inc_times = Array.make drift_rounds 0.0 in
+  let full_times = Array.make drift_rounds 0.0 in
+  let inc_mode_hits = ref 0 in
+  for round = 0 to drift_rounds - 1 do
+    let deltas = ref [] in
+    for _ = 1 to 3 do
+      let i = 1 + Rng.int drift_rng (drift_n - 1) in
+      deltas := Incremental.Vertex (i, 1) :: !deltas
+    done;
+    let deltas = !deltas in
+    (match
+       (Incremental.apply inc_state deltas, Incremental.apply full_state deltas)
+     with
+    | Ok (), Ok () -> ()
+    | _ -> failwith "drift scenario: delta batch rejected");
+    let inc_result, inc_s =
+      wall (fun () -> Incremental.resolve inc_state ~k:drift_k)
+    in
+    let full_result, full_s =
+      wall (fun () ->
+          Incremental.resolve ~plan:Incremental.Force_full full_state
+            ~k:drift_k)
+    in
+    inc_times.(round) <- inc_s;
+    full_times.(round) <- full_s;
+    match (inc_result, full_result) with
+    | Ok (inc_sol, mode), Ok (full_sol, _) ->
+        if mode = Incremental.Incremental then incr inc_mode_hits;
+        assert (
+          inc_sol.Tlp_core.Bandwidth_hitting.cut
+          = full_sol.Tlp_core.Bandwidth_hitting.cut
+          && inc_sol.Tlp_core.Bandwidth_hitting.weight
+             = full_sol.Tlp_core.Bandwidth_hitting.weight)
+    | _ -> failwith "drift scenario: resolve infeasible"
+  done;
+  assert (!inc_mode_hits = drift_rounds);
+  let p50 times =
+    let sorted = Array.copy times in
+    Array.sort Stdlib.compare sorted;
+    sorted.(Array.length sorted / 2)
+  in
+  let inc_p50 = p50 inc_times and full_p50 = p50 full_times in
+  assert (inc_p50 < full_p50);
+  Printf.printf
+    "  drift n=%d rounds=%d: resolve p50 incremental %.3fms, from-scratch \
+     %.3fms (%.1fx)\n"
+    drift_n drift_rounds (inc_p50 *. 1e3) (full_p50 *. 1e3)
+    (full_p50 /. inc_p50);
   let doc =
     Json_out.Obj
       [
@@ -342,6 +422,17 @@ let run ~max_jobs () =
               ("v1_words_per_request", Json_out.Float v1_words);
               ("v2_words_per_request", Json_out.Float v2_words);
               ("reduction", Json_out.Float alloc_reduction);
+            ] );
+        ( "drift",
+          Json_out.Obj
+            [
+              ("n", Json_out.Int drift_n);
+              ("k", Json_out.Int drift_k);
+              ("rounds", Json_out.Int drift_rounds);
+              ("incremental_p50_ms", Json_out.Float (inc_p50 *. 1e3));
+              ("from_scratch_p50_ms", Json_out.Float (full_p50 *. 1e3));
+              ("speedup", Json_out.Float (full_p50 /. inc_p50));
+              ("incremental_rounds", Json_out.Int !inc_mode_hits);
             ] );
         ( "deadline",
           Json_out.Obj

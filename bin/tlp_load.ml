@@ -55,7 +55,7 @@ let parse_mix text =
 
 let run host port cluster vnodes ring_seed seed workers requests rate poisson
     mix corpus chain_n max_weight timeout_ms deadline_ms trace_every
-    batch_every proto out expect_clean plan_only =
+    batch_every proto drift out expect_clean plan_only =
   let arrival =
     match rate with
     | None -> Workload.Closed
@@ -84,6 +84,7 @@ let run host port cluster vnodes ring_seed seed workers requests rate poisson
       trace_every;
       batch_every;
       proto;
+      drift;
     }
   in
   let plan =
@@ -270,6 +271,17 @@ let cmd =
       & info [ "proto" ] ~docv:"v1|v2"
           ~doc:"Wire protocol: newline-delimited JSON (v1, default) or                 length-prefixed binary frames (v2).  The plan digest is                 protocol-independent, so v1 and v2 runs of the same flags                 are directly comparable.")
   in
+  let drift =
+    Arg.(
+      value & opt int 0
+      & info [ "drift" ] ~docv:"ROUNDS"
+          ~doc:"Streaming-session mode: each worker opens one session \
+                over a generated chain, then sends ROUNDS update/resolve \
+                pairs driving a seed-deterministic weight random walk \
+                (PROTOCOL.md section 9).  Overrides $(b,--requests) and \
+                $(b,--mix); closed-loop only.  The printed digest \
+                replays like any other plan.")
+  in
   let out =
     Arg.(
       value
@@ -300,7 +312,7 @@ let cmd =
     Term.(
       const run $ host $ port $ cluster $ vnodes $ ring_seed $ seed $ workers
       $ requests $ rate $ poisson $ mix $ corpus $ chain_n $ max_weight
-      $ timeout_ms $ deadline_ms $ trace_every $ batch_every $ proto $ out
-      $ expect_clean $ plan_only)
+      $ timeout_ms $ deadline_ms $ trace_every $ batch_every $ proto $ drift
+      $ out $ expect_clean $ plan_only)
 
 let () = exit (Cmd.eval cmd)

@@ -24,7 +24,8 @@ let port_arg ~default =
 
 (* ---------- serve ---------- *)
 
-let serve host port jobs queue_capacity cache_capacity timeout_ms debug =
+let serve host port jobs queue_capacity cache_capacity timeout_ms debug
+    session_ttl =
   let config =
     {
       Server.default_config with
@@ -35,6 +36,7 @@ let serve host port jobs queue_capacity cache_capacity timeout_ms debug =
       cache_capacity;
       default_timeout_ms = (if timeout_ms <= 0 then None else Some timeout_ms);
       enable_debug = debug;
+      session_ttl_s = session_ttl;
     }
   in
   match Server.run config with
@@ -82,11 +84,20 @@ let serve_cmd =
       & info [ "debug" ]
           ~doc:"Enable the $(b,sleep) test method (see PROTOCOL.md).")
   in
+  let session_ttl =
+    Arg.(
+      value
+      & opt float Server.default_config.Server.session_ttl_s
+      & info [ "session-ttl" ] ~docv:"SECONDS"
+          ~doc:"Idle-session eviction threshold for the $(b,open) / \
+                $(b,update) / $(b,resolve) session methods (0 disables \
+                eviction; see PROTOCOL.md section 9).")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the tlp.rpc/v1 partition service")
     Term.(
       const serve $ host_arg $ port_arg ~default:Server.default_config.Server.port
-      $ jobs $ queue $ cache $ timeout $ debug)
+      $ jobs $ queue $ cache $ timeout $ debug $ session_ttl)
 
 (* ---------- call ---------- *)
 

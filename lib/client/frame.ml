@@ -133,8 +133,13 @@ let encode_request ?(id = Json.Null) ?timeout_ms ?priority ?(trace = false)
       | "health" -> 5
       | "sleep" -> 6
       | "cluster" -> 7
+      | "open" -> 8
+      | "update" -> 9
+      | "resolve" -> 10
       | other ->
-          fail "unknown method %S (partition | sweep | verify | stats | health)"
+          fail
+            "unknown method %S (partition | sweep | verify | stats | health | \
+             open | update | resolve)"
             other);
     write_id buf id;
     let batch =
@@ -198,6 +203,59 @@ let encode_request ?(id = Json.Null) ?timeout_ms ?priority ?(trace = false)
         in
         Bytebuf.add_zigzag buf seed
     | "sleep" -> add_nonneg buf "ms" (as_int "ms" (require "ms" fields))
+    | "open" ->
+        (match Option.map (as_string "session") (field "session" fields) with
+        | None -> Bytebuf.add_u8 buf 0
+        | Some name ->
+            Bytebuf.add_u8 buf 1;
+            Bytebuf.add_varint buf (String.length name);
+            Bytebuf.add_string buf name);
+        write_instance buf "instance" (require "instance" fields)
+    | "update" ->
+        let session = as_string "session" (require "session" fields) in
+        Bytebuf.add_varint buf (String.length session);
+        Bytebuf.add_string buf session;
+        (* Same positional triples the v1 params carry:
+           ["vertex"|"edge", index, delta]. *)
+        let deltas =
+          match require "deltas" fields with
+          | Json.List items -> items
+          | _ -> fail "field \"deltas\" must be an array"
+        in
+        if deltas = [] then fail "field \"deltas\" must be non-empty";
+        Bytebuf.add_varint buf (List.length deltas);
+        List.iter
+          (function
+            | Json.List [ Json.String kind; Json.Int index; Json.Int delta ]
+              when kind = "vertex" || kind = "edge" ->
+                Bytebuf.add_u8 buf (if kind = "vertex" then 1 else 2);
+                add_nonneg buf "deltas" index;
+                Bytebuf.add_zigzag buf delta
+            | _ ->
+                fail
+                  "field \"deltas\" must be an array of [\"vertex\" | \
+                   \"edge\", index, delta] triples")
+          deltas
+    | "resolve" ->
+        Bytebuf.add_u8 buf
+          (match
+             Option.map (as_string "algorithm") (field "algorithm" fields)
+           with
+          | None | Some "bandwidth" -> 1
+          | Some "bottleneck" -> 2
+          | Some "procmin" -> 3
+          | Some "pipeline" -> 4
+          | Some other ->
+              fail
+                "unknown algorithm %S (bandwidth | bottleneck | procmin | \
+                 pipeline)"
+                other);
+        let k = as_int "k" (require "k" fields) in
+        if k <= 0 then fail "field \"k\" must be positive, got %d" k;
+        Bytebuf.add_varint buf k;
+        let session = as_string "session" (require "session" fields) in
+        Bytebuf.add_varint buf (String.length session);
+        Bytebuf.add_string buf session
     | _ -> ());
     Bytebuf.patch_u32_be buf ~pos:0 (Bytebuf.length buf - 4);
     Bytebuf.contents buf

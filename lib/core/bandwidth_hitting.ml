@@ -133,6 +133,209 @@ let prime_ranges ?workspace chain ~k =
       let p = discover_primes ws chain ~k in
       Ok (Array.init p (fun i -> (ws.Workspace.pa.(i), ws.Workspace.pb.(i))))
 
+(* The TEMP_S dynamic program over an already-discovered prime set.
+   [each_group emit] must call [emit ~rep ~beta_g ~c ~d] once per
+   non-redundant edge group in left-to-right order (coverage ranges
+   [c, d] with both endpoints nondecreasing); [rep] is the group's
+   leftmost cheapest edge and [beta_g] its weight.  Both the one-shot
+   solver (streaming groups off the edge array) and the incremental
+   session resolver (streaming them off maintained prime state) funnel
+   through this single function, which is what makes their answers
+   byte-identical.  Only the [cost]/[ch_*]/[row_*] workspace arrays are
+   touched — [pa]/[pb] are the caller's business. *)
+let dp ?(metrics = Metrics.null) ?(search = Binary) ws ~p ~each_group =
+  if p = 0 then { cut = []; weight = 0; stats = empty_stats }
+  else begin
+    let cost = ws.Workspace.cost in
+    let ch_edge = ws.Workspace.ch_edge and ch_prev = ws.Workspace.ch_prev in
+    let row_l = ws.Workspace.row_l and row_r = ws.Workspace.row_r in
+    let row_w = ws.Workspace.row_w in
+    let row_edge = ws.Workspace.row_edge and row_prev = ws.Workspace.row_prev in
+    (* TEMP_S rows [top..bottom] are live; a row spans primes
+       [row_l, row_r] sharing minimum W-value [row_w], achieved by the
+       partial solution (row_edge, solution of prime row_prev). *)
+    let top = ref 0 and bottom = ref (-1) in
+    let hi = ref (-1) in
+    (* max open prime index *)
+    let search_steps = ref 0 in
+    let len_sum = ref 0 and len_max = ref 0 in
+    let n_groups = ref 0 in
+    let q_sum = ref 0 and q_max = ref 0 in
+    let close_primes_below bound =
+      (* Finalize every open prime with index < bound.  They sit at
+         the top of TEMP_S with their minimum W-value in the covering
+         row. *)
+      let continue = ref true in
+      while !continue && !top <= !bottom do
+        let i = row_l.(!top) in
+        if i < bound then begin
+          cost.(i) <- row_w.(!top);
+          ch_edge.(i) <- row_edge.(!top);
+          ch_prev.(i) <- row_prev.(!top);
+          row_l.(!top) <- i + 1;
+          if row_l.(!top) > row_r.(!top) then incr top
+        end
+        else continue := false
+      done
+    in
+    let binary_search w_g lo0 hi0 =
+      let lo = ref lo0 and hi_s = ref hi0 in
+      while !lo < !hi_s do
+        incr search_steps;
+        Metrics.bump metrics "hitting_search_steps";
+        let mid = (!lo + !hi_s) / 2 in
+        if row_w.(mid) >= w_g then hi_s := mid else lo := mid + 1
+      done;
+      !lo
+    in
+    let process_group ~rep ~beta_g ~c ~d =
+      incr n_groups;
+      let q = d - c + 1 in
+      q_sum := !q_sum + q;
+      if q > !q_max then q_max := q;
+      close_primes_below c;
+      let w_g = beta_g + (if c = 0 then 0 else cost.(c - 1)) in
+      let prev_g = c - 1 in
+      Metrics.bump metrics "hitting_groups";
+      (* Find the first live row with w >= w_g; all rows from there
+         to the bottom are superseded by w_g. *)
+      let s =
+        match search with
+        | Binary -> binary_search w_g !top (!bottom + 1)
+        | Galloping ->
+            (* W-values skew upward, so the superseded suffix is
+               usually short: gallop from the bottom row in doubling
+               steps until a row survives, then binary-search the
+               bracketed window. *)
+            if !bottom < !top then !top
+            else begin
+              incr search_steps;
+              Metrics.bump metrics "hitting_search_steps";
+              if row_w.(!bottom) < w_g then !bottom + 1
+              else begin
+                (* hi_known: smallest index verified to satisfy
+                   w >= w_g; probe walks down in doubling steps. *)
+                let hi_known = ref !bottom in
+                let step = ref 1 in
+                let probe = ref (!bottom - 1) in
+                let stop = ref false in
+                while (not !stop) && !probe >= !top do
+                  incr search_steps;
+                  Metrics.bump metrics "hitting_search_steps";
+                  if row_w.(!probe) >= w_g then begin
+                    hi_known := !probe;
+                    step := !step * 2;
+                    probe := !probe - !step
+                  end
+                  else stop := true
+                done;
+                (* answer in [probe+1, hi_known]; binary returns
+                   hi_known when the half-open range is empty. *)
+                binary_search w_g (Stdlib.max !top (!probe + 1)) !hi_known
+              end
+            end
+      in
+      if s <= !bottom then begin
+        row_r.(s) <- row_r.(!bottom);
+        row_w.(s) <- w_g;
+        row_edge.(s) <- rep;
+        row_prev.(s) <- prev_g;
+        bottom := s
+      end;
+      if d > !hi then begin
+        (* Primes !hi+1 .. d open with this group; their window so
+           far is only group g, so their minimum W-value is w_g. *)
+        if !bottom >= !top && row_w.(!bottom) = w_g then
+          row_r.(!bottom) <- d
+        else begin
+          incr bottom;
+          row_l.(!bottom) <- !hi + 1;
+          row_r.(!bottom) <- d;
+          row_w.(!bottom) <- w_g;
+          row_edge.(!bottom) <- rep;
+          row_prev.(!bottom) <- prev_g
+        end;
+        hi := d
+      end;
+      let len = !bottom - !top + 1 in
+      len_sum := !len_sum + len;
+      if len > !len_max then len_max := len
+    in
+    each_group process_group;
+    close_primes_below p;
+    (* Recover the optimal cut by following the per-prime choice
+       links back from the last prime.  Representative edges strictly
+       decrease along the chain, so consing yields the cut already
+       sorted ascending. *)
+    let cut = ref [] in
+    let i = ref (p - 1) in
+    while !i >= 0 do
+      cut := ch_edge.(!i) :: !cut;
+      i := ch_prev.(!i)
+    done;
+    let r = !n_groups in
+    {
+      cut = !cut;
+      weight = cost.(p - 1);
+      stats =
+        {
+          p;
+          r;
+          q_mean =
+            (if r = 0 then 0.0 else float_of_int !q_sum /. float_of_int r);
+          q_max = !q_max;
+          temps_mean_len =
+            (if r = 0 then 0.0 else float_of_int !len_sum /. float_of_int r);
+          temps_max_len = !len_max;
+          search_steps = !search_steps;
+        };
+    }
+  end
+
+(* Stream the non-redundant edge groups straight off the prime arrays
+   instead of materializing per-edge coverage: edge j is covered by the
+   contiguous prime range [ci, di], and runs of equal (ci, di) form one
+   group represented by their cheapest edge. *)
+let stream_edge_groups ws chain ~p emit =
+  let pa = ws.Workspace.pa and pb = ws.Workspace.pb in
+  let beta = chain.Chain.beta in
+  let n_edges = Chain.n_edges chain in
+  let ci = ref 0 and di = ref (-1) in
+  let cur_valid = ref false in
+  let cur_rep = ref 0 and cur_w = ref 0 in
+  let cur_c = ref 0 and cur_d = ref 0 in
+  let flush () =
+    if !cur_valid then begin
+      emit ~rep:!cur_rep ~beta_g:!cur_w ~c:!cur_c ~d:!cur_d;
+      cur_valid := false
+    end
+  in
+  for j = 0 to n_edges - 1 do
+    while !ci < p && pb.(!ci) < j do
+      incr ci
+    done;
+    while !di + 1 < p && pa.(!di + 1) <= j do
+      incr di
+    done;
+    if !ci < p && !ci <= !di then
+      if !cur_valid && !cur_c = !ci && !cur_d = !di then begin
+        if beta.(j) < !cur_w then begin
+          cur_rep := j;
+          cur_w := beta.(j)
+        end
+      end
+      else begin
+        flush ();
+        cur_rep := j;
+        cur_w := beta.(j);
+        cur_c := !ci;
+        cur_d := !di;
+        cur_valid := true
+      end
+    else flush ()
+  done;
+  flush ()
+
 let solve ?(metrics = Metrics.null) ?(search = Binary) ?workspace chain ~k =
   match Infeasible.check_chain chain ~k with
   | Error e -> Error e
@@ -148,195 +351,6 @@ let solve ?(metrics = Metrics.null) ?(search = Binary) ?workspace chain ~k =
       Metrics.add metrics "prime_scan_vertices" n;
       let p = discover_primes ws chain ~k in
       Metrics.add metrics "primes_found" p;
-      if p = 0 then Ok { cut = []; weight = 0; stats = empty_stats }
-      else begin
-        let pa = ws.Workspace.pa and pb = ws.Workspace.pb in
-        let cost = ws.Workspace.cost in
-        let ch_edge = ws.Workspace.ch_edge and ch_prev = ws.Workspace.ch_prev in
-        let row_l = ws.Workspace.row_l and row_r = ws.Workspace.row_r in
-        let row_w = ws.Workspace.row_w in
-        let row_edge = ws.Workspace.row_edge and row_prev = ws.Workspace.row_prev in
-        let beta = chain.Chain.beta in
-        let n_edges = Chain.n_edges chain in
-        (* TEMP_S rows [top..bottom] are live; a row spans primes
-           [row_l, row_r] sharing minimum W-value [row_w], achieved by the
-           partial solution (row_edge, solution of prime row_prev). *)
-        let top = ref 0 and bottom = ref (-1) in
-        let hi = ref (-1) in
-        (* max open prime index *)
-        let search_steps = ref 0 in
-        let len_sum = ref 0 and len_max = ref 0 in
-        let n_groups = ref 0 in
-        let q_sum = ref 0 and q_max = ref 0 in
-        let close_primes_below bound =
-          (* Finalize every open prime with index < bound.  They sit at
-             the top of TEMP_S with their minimum W-value in the covering
-             row. *)
-          let continue = ref true in
-          while !continue && !top <= !bottom do
-            let i = row_l.(!top) in
-            if i < bound then begin
-              cost.(i) <- row_w.(!top);
-              ch_edge.(i) <- row_edge.(!top);
-              ch_prev.(i) <- row_prev.(!top);
-              row_l.(!top) <- i + 1;
-              if row_l.(!top) > row_r.(!top) then incr top
-            end
-            else continue := false
-          done
-        in
-        let binary_search w_g lo0 hi0 =
-          let lo = ref lo0 and hi_s = ref hi0 in
-          while !lo < !hi_s do
-            incr search_steps;
-            Metrics.bump metrics "hitting_search_steps";
-            let mid = (!lo + !hi_s) / 2 in
-            if row_w.(mid) >= w_g then hi_s := mid else lo := mid + 1
-          done;
-          !lo
-        in
-        let process_group ~rep ~beta_g ~c ~d =
-          incr n_groups;
-          let q = d - c + 1 in
-          q_sum := !q_sum + q;
-          if q > !q_max then q_max := q;
-          close_primes_below c;
-          let w_g = beta_g + (if c = 0 then 0 else cost.(c - 1)) in
-          let prev_g = c - 1 in
-          Metrics.bump metrics "hitting_groups";
-          (* Find the first live row with w >= w_g; all rows from there
-             to the bottom are superseded by w_g. *)
-          let s =
-            match search with
-            | Binary -> binary_search w_g !top (!bottom + 1)
-            | Galloping ->
-                (* W-values skew upward, so the superseded suffix is
-                   usually short: gallop from the bottom row in doubling
-                   steps until a row survives, then binary-search the
-                   bracketed window. *)
-                if !bottom < !top then !top
-                else begin
-                  incr search_steps;
-                  Metrics.bump metrics "hitting_search_steps";
-                  if row_w.(!bottom) < w_g then !bottom + 1
-                  else begin
-                    (* hi_known: smallest index verified to satisfy
-                       w >= w_g; probe walks down in doubling steps. *)
-                    let hi_known = ref !bottom in
-                    let step = ref 1 in
-                    let probe = ref (!bottom - 1) in
-                    let stop = ref false in
-                    while (not !stop) && !probe >= !top do
-                      incr search_steps;
-                      Metrics.bump metrics "hitting_search_steps";
-                      if row_w.(!probe) >= w_g then begin
-                        hi_known := !probe;
-                        step := !step * 2;
-                        probe := !probe - !step
-                      end
-                      else stop := true
-                    done;
-                    (* answer in [probe+1, hi_known]; binary returns
-                       hi_known when the half-open range is empty. *)
-                    binary_search w_g (Stdlib.max !top (!probe + 1)) !hi_known
-                  end
-                end
-          in
-          if s <= !bottom then begin
-            row_r.(s) <- row_r.(!bottom);
-            row_w.(s) <- w_g;
-            row_edge.(s) <- rep;
-            row_prev.(s) <- prev_g;
-            bottom := s
-          end;
-          if d > !hi then begin
-            (* Primes !hi+1 .. d open with this group; their window so
-               far is only group g, so their minimum W-value is w_g. *)
-            if !bottom >= !top && row_w.(!bottom) = w_g then
-              row_r.(!bottom) <- d
-            else begin
-              incr bottom;
-              row_l.(!bottom) <- !hi + 1;
-              row_r.(!bottom) <- d;
-              row_w.(!bottom) <- w_g;
-              row_edge.(!bottom) <- rep;
-              row_prev.(!bottom) <- prev_g
-            end;
-            hi := d
-          end;
-          let len = !bottom - !top + 1 in
-          len_sum := !len_sum + len;
-          if len > !len_max then len_max := len
-        in
-        (* Stream the non-redundant edge groups straight off the prime
-           arrays instead of materializing per-edge coverage: edge j is
-           covered by the contiguous prime range [ci, di], and runs of
-           equal (ci, di) form one group represented by their cheapest
-           edge. *)
-        let ci = ref 0 and di = ref (-1) in
-        let cur_valid = ref false in
-        let cur_rep = ref 0 and cur_w = ref 0 in
-        let cur_c = ref 0 and cur_d = ref 0 in
-        let flush () =
-          if !cur_valid then begin
-            process_group ~rep:!cur_rep ~beta_g:!cur_w ~c:!cur_c ~d:!cur_d;
-            cur_valid := false
-          end
-        in
-        for j = 0 to n_edges - 1 do
-          while !ci < p && pb.(!ci) < j do
-            incr ci
-          done;
-          while !di + 1 < p && pa.(!di + 1) <= j do
-            incr di
-          done;
-          if !ci < p && !ci <= !di then
-            if !cur_valid && !cur_c = !ci && !cur_d = !di then begin
-              if beta.(j) < !cur_w then begin
-                cur_rep := j;
-                cur_w := beta.(j)
-              end
-            end
-            else begin
-              flush ();
-              cur_rep := j;
-              cur_w := beta.(j);
-              cur_c := !ci;
-              cur_d := !di;
-              cur_valid := true
-            end
-          else flush ()
-        done;
-        flush ();
-        close_primes_below p;
-        (* Recover the optimal cut by following the per-prime choice
-           links back from the last prime.  Representative edges strictly
-           decrease along the chain, so consing yields the cut already
-           sorted ascending. *)
-        let cut = ref [] in
-        let i = ref (p - 1) in
-        while !i >= 0 do
-          cut := ch_edge.(!i) :: !cut;
-          i := ch_prev.(!i)
-        done;
-        let r = !n_groups in
-        Ok
-          {
-            cut = !cut;
-            weight = cost.(p - 1);
-            stats =
-              {
-                p;
-                r;
-                q_mean =
-                  (if r = 0 then 0.0
-                   else float_of_int !q_sum /. float_of_int r);
-                q_max = !q_max;
-                temps_mean_len =
-                  (if r = 0 then 0.0
-                   else float_of_int !len_sum /. float_of_int r);
-                temps_max_len = !len_max;
-                search_steps = !search_steps;
-              };
-          }
-      end
+      Ok
+        (dp ~metrics ~search ws ~p
+           ~each_group:(fun emit -> stream_edge_groups ws chain ~p emit))

@@ -49,7 +49,31 @@ module Workspace : sig
   val create : int -> t
   (** [create n] preallocates scratch for chains of up to [n] vertices.
       Solving a larger chain grows the workspace automatically. *)
+
+  val ensure : t -> int -> unit
+  (** [ensure t n] grows [t] to support chains of [n] vertices (no-op
+      when already large enough).  Callers driving {!dp} directly must
+      ensure the workspace before streaming groups into it. *)
 end
+
+val dp :
+  ?metrics:Tlp_util.Metrics.t ->
+  ?search:search ->
+  Workspace.t ->
+  p:int ->
+  each_group:((rep:int -> beta_g:int -> c:int -> d:int -> unit) -> unit) ->
+  solution
+(** The TEMP_S dynamic program over an already-discovered prime set of
+    size [p].  [each_group emit] must call
+    [emit ~rep ~beta_g ~c ~d] once per non-redundant edge group in
+    left-to-right order: [c]/[d] are the inclusive prime-index coverage
+    of the group (both nondecreasing across calls), [rep] the group's
+    leftmost cheapest member edge, [beta_g] that edge's weight.  {!solve}
+    is [dp] fed by an edge-array sweep; the incremental session resolver
+    feeds it from maintained prime state — one DP, so both paths return
+    byte-identical solutions.  The workspace must have been
+    {!Workspace.ensure}d for the underlying chain size; only the cost /
+    choice / TEMP_S row arrays are used. *)
 
 val solve :
   ?metrics:Tlp_util.Metrics.t ->

@@ -1,0 +1,60 @@
+(** Replayed streaming-repartitioning scenario: the update -> resolve ->
+    migrate loop a {!Tlp_session} server runs, driven in-process against
+    {!Tlp_core.Incremental} so the simulator can account for migration
+    churn that the wire protocol never sees.
+
+    Each round perturbs the chain with a small batch of weight deltas
+    (the same positive-weight random walk [tlp_load --drift] sends),
+    re-solves the bandwidth problem at a freshly drawn feasible bound,
+    and then "migrates": every vertex whose component index changed
+    since the previous round's cut counts as one moved task, weighted by
+    its current computation cost.  The whole run is a pure function of
+    the [Rng] seed and the config — {!report.trace_digest} is the replay
+    check, exactly like the load generator's plan digest. *)
+
+type config = {
+  n : int;  (** chain vertices, [>= 2] *)
+  max_weight : int;  (** weight bound of the generated chain, [>= 1] *)
+  rounds : int;  (** update/resolve/migrate iterations, [>= 1] *)
+  batch : int;  (** max deltas per update batch, [>= 1] *)
+  k : int option;
+      (** fixed capacity bound; [None] redraws a feasible bound in
+          [[max_alpha, total]] every round (the drifting weights move
+          the band) *)
+  plan : Tlp_core.Incremental.plan;
+      (** resolve plan; [Auto] mirrors production, [Prefer_incremental]
+          exercises the repair path on small instances *)
+}
+
+val default_config : config
+(** 256 vertices, weights [<= 20], 50 rounds, batches of [<= 3] deltas,
+    redrawn bounds, [Auto] plan. *)
+
+type round = {
+  index : int;  (** 1-based round number *)
+  deltas : int;  (** deltas applied this round *)
+  k : int;  (** bound this round resolved at *)
+  mode : Tlp_core.Incremental.mode;  (** which resolve plan ran *)
+  cut_size : int;
+  bandwidth : int;  (** weight of the optimal cut *)
+  migrated : int;  (** vertices whose component index changed *)
+  migrated_weight : int;  (** total alpha weight of the moved vertices *)
+}
+
+type report = {
+  config : config;
+  rounds : round list;  (** per-round records in order *)
+  resolves_incremental : int;
+  resolves_full : int;
+  total_migrated : int;
+  max_migrated : int;  (** worst single-round churn *)
+  final_bandwidth : int;  (** bandwidth after the last round *)
+  trace_digest : string;  (** hex MD5 over the per-round trace lines *)
+}
+
+val run : Tlp_util.Rng.t -> config -> report
+(** Raises [Invalid_argument] on out-of-range config fields.  The first
+    round migrates every vertex off the implicit all-in-block-0 initial
+    placement, so [total_migrated >= n]. *)
+
+val pp_report : Format.formatter -> report -> unit

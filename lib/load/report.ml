@@ -48,6 +48,7 @@ let config_json (c : Workload.config) =
           (match c.proto with
           | Tlp_client.Client.V1 -> "v1"
           | Tlp_client.Client.V2 -> "v2") );
+      ("drift", Json.Int c.drift);
     ]
 
 let to_json ?(extra = []) (r : Runner.result) =

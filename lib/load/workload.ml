@@ -23,6 +23,7 @@ type config = {
   trace_every : int;
   batch_every : int;
   proto : Client.proto;
+  drift : int;
 }
 
 let default_config =
@@ -39,6 +40,7 @@ let default_config =
     trace_every = 0;
     batch_every = 0;
     proto = Client.V1;
+    drift = 0;
   }
 
 type op = {
@@ -71,6 +73,10 @@ let check config =
     "mix weights must be non-negative with a positive sum";
   require (config.trace_every >= 0) "trace_every must be >= 0";
   require (config.batch_every >= 0) "batch_every must be >= 0";
+  require (config.drift >= 0) "drift must be >= 0";
+  require
+    (config.drift = 0 || config.arrival = Closed)
+    "drift mode is closed-loop only (session updates are ordered)";
   (match config.timeout_ms with
   | Some ms -> require (ms > 0) "timeout_ms must be positive"
   | None -> ());
@@ -139,8 +145,134 @@ let draw_params gen mix corpus =
         ],
       None )
 
+(* Render one op from its wire-level ingredients: the v1 line (always —
+   it is the digest text), the optional v2 frame, and the trace/batch
+   flags derived from the global sequence number. *)
+let render_op config ~seq ~meth ~params ~route ~at_s =
+  let trace = config.trace_every > 0 && seq mod config.trace_every = 0 in
+  (* The priority field is only emitted for batch frames, so plans
+     with [batch_every = 0] keep their pre-priority byte digests. *)
+  let batch = config.batch_every > 0 && seq mod config.batch_every = 0 in
+  let priority_opt = if batch then Some "batch" else None in
+  let line =
+    Client.request_line ~id:(Json.Int seq) ?timeout_ms:config.timeout_ms
+      ?priority:priority_opt ~trace ~meth ~params ()
+  in
+  let frame =
+    match config.proto with
+    | Client.V1 -> ""
+    | Client.V2 -> (
+        match
+          Tlp_client.Frame.encode_request ~id:(Json.Int seq)
+            ?timeout_ms:config.timeout_ms ?priority:priority_opt ~trace ~meth
+            ~params ()
+        with
+        | Ok frame -> frame
+        | Error msg -> invalid_arg ("Workload.plan: unencodable op: " ^ msg))
+  in
+  let priority = if batch then "batch" else "interactive" in
+  (* Ops with no instance (verify) route by the digest of their own
+     request line — stable, and spread uniformly across the ring. *)
+  let route_key =
+    match route with
+    | Some d -> d
+    | None -> Digest.to_hex (Digest.string line)
+  in
+  { seq; meth; priority; line; frame; route_key; at_s }
+
+(* Drift plans: one session per worker, opened once, then [drift]
+   rounds of update -> resolve.  The walk is simulated on plan-side
+   weight copies, so every delta keeps its weight positive and every
+   resolve's K lands in the feasible [max_alpha, total] band — a
+   well-formed drift plan produces only [ok] responses.  All of a
+   worker's ops share the session's routing key (the same
+   ["session:" ^ id] digest the router hashes), so cluster runs pin
+   each session to one shard. *)
+let drift_plan config =
+  let master = Rng.create config.seed in
+  let corpus_rng = Rng.split master in
+  let gens = Array.init config.workers (fun _ -> Rng.split master) in
+  let per_worker =
+    Array.init config.workers (fun w ->
+        let gen = gens.(w) in
+        let chain =
+          Chain_gen.figure2 corpus_rng ~n:config.chain_n
+            ~max_weight:config.max_weight
+        in
+        let alpha = Array.copy chain.Chain.alpha in
+        let beta = Array.copy chain.Chain.beta in
+        let sid = Printf.sprintf "drift%dw%d" config.seed w in
+        let route = Some (Digest.to_hex (Digest.string ("session:" ^ sid))) in
+        let ops = ref [] in
+        let add i meth params =
+          ops :=
+            render_op config
+              ~seq:((i * config.workers) + w)
+              ~meth ~params ~route ~at_s:0.0
+            :: !ops
+        in
+        add 0 "open"
+          (Json.Obj
+             [
+               ("instance", Json.Obj (chain_params chain));
+               ("session", Json.String sid);
+             ]);
+        for round = 1 to config.drift do
+          let batch_len = 1 + Rng.int gen 3 in
+          let deltas = ref [] in
+          for _ = 1 to batch_len do
+            let step () = 1 + Rng.int gen config.max_weight in
+            let signed current mag =
+              if current - mag >= 1 && Rng.int gen 2 = 0 then -mag else mag
+            in
+            let d =
+              if Array.length beta = 0 || Rng.int gen 2 = 0 then begin
+                let i = Rng.int gen (Array.length alpha) in
+                let d = signed alpha.(i) (step ()) in
+                alpha.(i) <- alpha.(i) + d;
+                ("vertex", i, d)
+              end
+              else begin
+                let j = Rng.int gen (Array.length beta) in
+                let d = signed beta.(j) (step ()) in
+                beta.(j) <- beta.(j) + d;
+                ("edge", j, d)
+              end
+            in
+            deltas := d :: !deltas
+          done;
+          add
+            ((2 * round) - 1)
+            "update"
+            (Json.Obj
+               [
+                 ("session", Json.String sid);
+                 ( "deltas",
+                   Json.List
+                     (List.rev_map
+                        (fun (kind, index, d) ->
+                          Json.List
+                            [ Json.String kind; Json.Int index; Json.Int d ])
+                        !deltas) );
+               ]);
+          let max_alpha = Array.fold_left Stdlib.max 1 alpha in
+          let total = Array.fold_left ( + ) 0 alpha in
+          add (2 * round) "resolve"
+            (Json.Obj
+               [
+                 ("session", Json.String sid);
+                 ("k", Json.Int (Rng.int_in gen max_alpha total));
+                 ("algorithm", Json.String "bandwidth");
+               ])
+        done;
+        Array.of_list (List.rev !ops))
+  in
+  { config; per_worker }
+
 let plan config =
   check config;
+  if config.drift > 0 then drift_plan config
+  else
   let master = Rng.create config.seed in
   let corpus_rng = Rng.split master in
   let gen = Rng.split master in
@@ -164,39 +296,7 @@ let plan config =
   in
   let make seq =
     let meth, params, digest = draw_params gen config.mix corpus in
-    let trace = config.trace_every > 0 && seq mod config.trace_every = 0 in
-    (* The priority field is only emitted for batch frames, so plans
-       with [batch_every = 0] keep their pre-priority byte digests. *)
-    let batch = config.batch_every > 0 && seq mod config.batch_every = 0 in
-    let priority_opt = if batch then Some "batch" else None in
-    (* The v1 line is always rendered — it is the canonical plan text
-       {!sequence_digest} hashes, so digests are protocol-independent
-       and a v2 run is comparable to a v1 run of the same config. *)
-    let line =
-      Client.request_line ~id:(Json.Int seq) ?timeout_ms:config.timeout_ms
-        ?priority:priority_opt ~trace ~meth ~params ()
-    in
-    let frame =
-      match config.proto with
-      | Client.V1 -> ""
-      | Client.V2 -> (
-          match
-            Tlp_client.Frame.encode_request ~id:(Json.Int seq)
-              ?timeout_ms:config.timeout_ms ?priority:priority_opt ~trace
-              ~meth ~params ()
-          with
-          | Ok frame -> frame
-          | Error msg -> invalid_arg ("Workload.plan: unencodable op: " ^ msg))
-    in
-    let priority = if batch then "batch" else "interactive" in
-    (* Ops with no instance (verify) route by the digest of their own
-       request line — stable, and spread uniformly across the ring. *)
-    let route_key =
-      match digest with
-      | Some d -> d
-      | None -> Digest.to_hex (Digest.string line)
-    in
-    { seq; meth; priority; line; frame; route_key; at_s = arrivals.(seq) }
+    render_op config ~seq ~meth ~params ~route:digest ~at_s:arrivals.(seq)
   in
   let all = Array.init config.requests make in
   let per_worker =
@@ -234,7 +334,11 @@ let method_counts plan =
           acc worker_ops)
       0 plan.per_worker
   in
-  List.map (fun m -> (m, count m)) [ "partition"; "sweep"; "verify" ]
+  let methods =
+    if plan.config.drift > 0 then [ "open"; "update"; "resolve" ]
+    else [ "partition"; "sweep"; "verify" ]
+  in
+  List.map (fun m -> (m, count m)) methods
 
 let class_counts plan =
   let count p =

@@ -48,6 +48,17 @@ type config = {
       (** wire protocol the runner speaks; planning always renders the
           v1 lines (they are the digest text), a [V2] plan additionally
           pre-encodes each op's binary frame *)
+  drift : int;
+      (** [> 0] switches to drift mode: each worker opens one session
+          over a generated chain (named ["drift<seed>w<w>"]) and then
+          sends [drift] rounds of [update] (a seed-deterministic random
+          weight walk, simulated plan-side so every delta stays valid)
+          followed by [resolve].  [requests] and [mix] are ignored —
+          the plan has exactly [workers x (1 + 2 x drift)] ops — and
+          the arrival mode must be [Closed] (updates to a session are
+          ordered).  All of a worker's ops route by the session id, the
+          same placement the router computes.  [0] (the default) is the
+          normal mixed workload. *)
 }
 
 val default_config : config
@@ -95,7 +106,8 @@ val sequence_digest : plan -> string
     identical bytes from identical workers. *)
 
 val method_counts : plan -> (string * int) list
-(** Requests per method, in [partition], [sweep], [verify] order. *)
+(** Requests per method, in [partition], [sweep], [verify] order — or
+    [open], [update], [resolve] order for drift plans. *)
 
 val class_counts : plan -> (string * int) list
 (** Requests per admission class, in [interactive], [batch] order. *)

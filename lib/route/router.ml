@@ -104,18 +104,37 @@ let shard_call t ~proto ~deadline_ms ~shard payload =
   | Ok raw -> (Hedge.Good, Ok raw)
   | Error e -> (Hedge.Bad, Error (shard, e))
 
+(* Session state lives on exactly one shard, so every method naming a
+   session must land where its [open] did: they all hash the session id.
+   An [open] without a client-chosen name falls through to the raw-bytes
+   key — the generated id is minted by whatever shard it lands on, and
+   the client cannot follow up through the router (PROTOCOL.md §9
+   requires named sessions in cluster mode). *)
+let session_affinity (request : Protocol.request) =
+  match request with
+  | Protocol.Open { session = Some name; _ } -> Some name
+  | Protocol.Update { session; _ } | Protocol.Resolve { session; _ } ->
+      Some session
+  | Protocol.Open { session = None; _ }
+  | Protocol.Partition _ | Protocol.Sweep _ | Protocol.Verify _
+  | Protocol.Sleep _ | Protocol.Stats | Protocol.Health | Protocol.Cluster ->
+      None
+
 (* The request's shard placement: instance-bearing methods route by
    the server's own digest of the instance (cache affinity — every
    replay of the instance lands on the shard whose LRU already holds
-   it), everything else by a digest of the raw request bytes. *)
+   it), session-bearing methods by the session id (state affinity),
+   everything else by a digest of the raw request bytes. *)
 let route_key ~raw (frame : Protocol.frame) =
-  match frame.Protocol.request with
-  | Protocol.Partition { instance; _ } -> Protocol.instance_digest instance
-  | Protocol.Sweep { chain; _ } ->
-      Protocol.instance_digest (Io.Chain_instance chain)
-  | Protocol.Verify _ | Protocol.Sleep _ | Protocol.Stats | Protocol.Health
-  | Protocol.Cluster ->
-      Digest.to_hex (Digest.string raw)
+  match session_affinity frame.Protocol.request with
+  | Some sid -> Digest.to_hex (Digest.string ("session:" ^ sid))
+  | None -> (
+      match frame.Protocol.request with
+      | Protocol.Partition { instance; _ } ->
+          Protocol.instance_digest instance
+      | Protocol.Sweep { chain; _ } ->
+          Protocol.instance_digest (Io.Chain_instance chain)
+      | _ -> Digest.to_hex (Digest.string raw))
 
 (* Deadline-aware hedge delay: never spend more than half the
    request's own budget waiting before the second replica fires, or
@@ -151,8 +170,12 @@ let proxy t ~proto ~raw frame =
   in
   let primary = Ring.shard_of t.ring key in
   let call shard () = shard_call t ~proto ~deadline_ms ~shard raw in
+  (* Never hedge a session method: the replica does not hold the
+     session, and its "unknown session" reply is a well-formed response
+     the race would happily declare the winner. *)
   let secondary =
-    Option.map (fun s -> call s) (Ring.replica_of t.ring key)
+    if Option.is_some (session_affinity frame.Protocol.request) then None
+    else Option.map (fun s -> call s) (Ring.replica_of t.ring key)
   in
   let verdict =
     Hedge.race ?secondary ~delay_s:(hedge_delay_s t frame) (call primary)
@@ -290,7 +313,8 @@ let handle_parsed t conn ~proto ~raw parsed =
       | Protocol.Health -> send_doc conn ~id (health_doc t)
       | Protocol.Cluster -> send_doc conn ~id (cluster_doc t)
       | Protocol.Partition _ | Protocol.Sweep _ | Protocol.Verify _
-      | Protocol.Sleep _ -> (
+      | Protocol.Sleep _ | Protocol.Open _ | Protocol.Update _
+      | Protocol.Resolve _ -> (
           match proxy t ~proto ~raw frame with
           | Ok raw -> send_proxied conn raw
           | Error err -> send_error conn ~id err))

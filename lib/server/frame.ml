@@ -105,6 +105,9 @@ let method_tag = function
   | Protocol.Health -> 5
   | Protocol.Sleep _ -> 6
   | Protocol.Cluster -> 7
+  | Protocol.Open _ -> 8
+  | Protocol.Update _ -> 9
+  | Protocol.Resolve _ -> 10
 
 let partition_algorithm_tag = function
   | Protocol.Bandwidth -> 1
@@ -171,7 +174,36 @@ let encode_request buf (frame : Protocol.frame) =
       Bytebuf.add_varint buf rounds;
       Bytebuf.add_zigzag buf seed
   | Protocol.Stats | Protocol.Health | Protocol.Cluster -> ()
-  | Protocol.Sleep { ms } -> Bytebuf.add_varint buf ms);
+  | Protocol.Sleep { ms } -> Bytebuf.add_varint buf ms
+  | Protocol.Open { instance; session } ->
+      (match session with
+      | None -> Bytebuf.add_u8 buf 0
+      | Some name ->
+          Bytebuf.add_u8 buf 1;
+          Bytebuf.add_varint buf (String.length name);
+          Bytebuf.add_string buf name);
+      write_instance buf instance
+  | Protocol.Update { session; deltas } ->
+      Bytebuf.add_varint buf (String.length session);
+      Bytebuf.add_string buf session;
+      Bytebuf.add_varint buf (List.length deltas);
+      List.iter
+        (fun (d : Tlp_core.Incremental.delta) ->
+          match d with
+          | Tlp_core.Incremental.Vertex (i, d) ->
+              Bytebuf.add_u8 buf 1;
+              Bytebuf.add_varint buf i;
+              Bytebuf.add_zigzag buf d
+          | Tlp_core.Incremental.Edge (j, d) ->
+              Bytebuf.add_u8 buf 2;
+              Bytebuf.add_varint buf j;
+              Bytebuf.add_zigzag buf d)
+        deltas
+  | Protocol.Resolve { session; k; algorithm } ->
+      Bytebuf.add_u8 buf (partition_algorithm_tag algorithm);
+      Bytebuf.add_varint buf k;
+      Bytebuf.add_varint buf (String.length session);
+      Bytebuf.add_string buf session);
   finish_frame buf p
 
 let positive name i =
@@ -225,10 +257,49 @@ let read_request_body r meth_tag =
         reject "field \"ms\" must be in [0, %d]" Protocol.max_sleep_ms;
       Protocol.Sleep { ms }
   | 7 -> Protocol.Cluster
+  | 8 ->
+      let session =
+        match R.u8 r with
+        | 0 -> None
+        | 1 -> Some (R.bytes r (R.varint r))
+        | tag -> reject "bad session-name presence tag %d" tag
+      in
+      let instance = read_instance r in
+      Protocol.Open { instance; session }
+  | 9 ->
+      let session = R.bytes r (R.varint r) in
+      let count = R.varint r in
+      if count = 0 then reject "field \"deltas\" must be non-empty";
+      checked_count r "deltas" count;
+      let deltas = ref [] in
+      for _ = 1 to count do
+        let kind = R.u8 r in
+        if kind <> 1 && kind <> 2 then
+          reject "bad delta kind tag %d (1=vertex | 2=edge)" kind;
+        let index = R.varint r in
+        let delta = R.zigzag r in
+        deltas :=
+          (if kind = 1 then Tlp_core.Incremental.Vertex (index, delta)
+           else Tlp_core.Incremental.Edge (index, delta))
+          :: !deltas
+      done;
+      Protocol.Update { session; deltas = List.rev !deltas }
+  | 10 ->
+      let algorithm =
+        match R.u8 r with
+        | 1 -> Protocol.Bandwidth
+        | 2 -> Protocol.Bottleneck
+        | 3 -> Protocol.Procmin
+        | 4 -> Protocol.Pipeline
+        | tag -> reject "bad partition algorithm tag %d" tag
+      in
+      let k = positive "k" (R.varint r) in
+      let session = R.bytes r (R.varint r) in
+      Protocol.Resolve { session; k; algorithm }
   | tag ->
       reject
         "unknown method tag %d (1=partition | 2=sweep | 3=verify | 4=stats | \
-         5=health)"
+         5=health | 8=open | 9=update | 10=resolve)"
         tag
 
 (* The method tag precedes the id, so the id is recovered for every

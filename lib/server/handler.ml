@@ -15,6 +15,35 @@ let infeasible e =
 
 (* ---------- partition ---------- *)
 
+(* The chain-bandwidth result document, shared by [partition] and the
+   session [resolve] path: both must emit byte-identical JSON for the
+   same solution, so there is exactly one place that shapes it.
+   [component_weights] is passed in because the two callers derive it
+   differently (from the chain vs from the incremental state's Fenwick
+   prefix sums) — same integers, different source. *)
+let bandwidth_chain_doc ~k ~component_weights
+    (s : Tlp_core.Bandwidth_hitting.solution) =
+  Json.Obj
+    [
+      ("algorithm", Json.String "bandwidth (TEMP_S)");
+      ("k", Json.Int k);
+      ("cut", json_cut s.Tlp_core.Bandwidth_hitting.cut);
+      ("weight", Json.Int s.Tlp_core.Bandwidth_hitting.weight);
+      ( "components",
+        Json.Int (List.length s.Tlp_core.Bandwidth_hitting.cut + 1) );
+      ("component_weights", json_ints component_weights);
+      ( "primes",
+        Json.Int s.Tlp_core.Bandwidth_hitting.stats.Tlp_core.Bandwidth_hitting.p
+      );
+      ( "groups",
+        Json.Int s.Tlp_core.Bandwidth_hitting.stats.Tlp_core.Bandwidth_hitting.r
+      );
+      ( "q_mean",
+        Json.Float
+          s.Tlp_core.Bandwidth_hitting.stats.Tlp_core.Bandwidth_hitting.q_mean
+      );
+    ]
+
 (* Result shapes mirror the CLI's [--metrics json] fields, plus the
    request's [k] so responses are self-describing. *)
 let partition_result ?(metrics = Metrics.null) ?workspace instance ~k ~algorithm
@@ -29,20 +58,11 @@ let partition_result ?(metrics = Metrics.null) ?workspace instance ~k ~algorithm
   match (instance, (algorithm : Protocol.partition_algorithm)) with
   | Io.Chain_instance chain, Protocol.Bandwidth -> (
       match Tlp_core.Bandwidth_hitting.solve ~metrics ?workspace chain ~k with
-      | Ok { Tlp_core.Bandwidth_hitting.cut; weight; stats } ->
+      | Ok ({ Tlp_core.Bandwidth_hitting.cut; _ } as sol) ->
           Ok
-            (Json.Obj
-               (common "bandwidth (TEMP_S)" cut
-               @ [
-                   ("weight", Json.Int weight);
-                   ("components", Json.Int (List.length cut + 1));
-                   ( "component_weights",
-                     json_ints (Chain.component_weights chain cut) );
-                   ("primes", Json.Int stats.Tlp_core.Bandwidth_hitting.p);
-                   ("groups", Json.Int stats.Tlp_core.Bandwidth_hitting.r);
-                   ( "q_mean",
-                     Json.Float stats.Tlp_core.Bandwidth_hitting.q_mean );
-                 ]))
+            (bandwidth_chain_doc ~k
+               ~component_weights:(Chain.component_weights chain cut)
+               sol)
       | Error e -> Ok (infeasible e))
   | Io.Chain_instance chain, Protocol.Bottleneck -> (
       match Tlp_core.Chain_bottleneck.solve ~metrics chain ~k with
@@ -244,6 +264,17 @@ let verify_result ~rounds ~seed =
 
 type payload = Rendered of Cache.entry | Doc of Json.t
 
+(* The cache key's solver-identity field, a function of instance shape
+   and requested objective — shared by [partition] and [resolve] so a
+   session result and a one-shot result of the same instance never
+   collide under different solvers. *)
+let algorithm_field ~chain (algorithm : Protocol.partition_algorithm) =
+  match algorithm with
+  | Protocol.Bandwidth -> if chain then "hitting" else "star_knapsack"
+  | Protocol.Bottleneck -> if chain then "chain_bottleneck" else "alg21"
+  | Protocol.Procmin -> if chain then "tree_pipeline" else "alg22"
+  | Protocol.Pipeline -> "tree_pipeline"
+
 (* A miss renders the result for *both* protocols once — the JSON text
    spliced into v1 envelopes and the Binval bytes spliced into v2
    frames — so a hit replays either without re-serialization, and an
@@ -301,15 +332,12 @@ let handle ~state ~queue_depth ~cluster ~debug ~rng ~metrics request =
           k = string_of_int k;
           objective = Protocol.partition_algorithm_string algorithm;
           algorithm =
-            (match (instance, algorithm) with
-            | Io.Chain_instance _, Protocol.Bandwidth -> "hitting"
-            | Io.Chain_instance _, Protocol.Bottleneck -> "chain_bottleneck"
-            | Io.Chain_instance _, (Protocol.Procmin | Protocol.Pipeline) ->
-                "tree_pipeline"
-            | Io.Tree_instance _, Protocol.Bandwidth -> "star_knapsack"
-            | Io.Tree_instance _, Protocol.Bottleneck -> "alg21"
-            | Io.Tree_instance _, Protocol.Procmin -> "alg22"
-            | Io.Tree_instance _, Protocol.Pipeline -> "tree_pipeline");
+            algorithm_field
+              ~chain:
+                (match instance with
+                | Io.Chain_instance _ -> true
+                | Io.Tree_instance _ -> false)
+              algorithm;
         }
       in
       cached state key (fun () ->
@@ -341,9 +369,17 @@ let handle ~state ~queue_depth ~cluster ~debug ~rng ~metrics request =
           Ok (sweep_result ~metrics chain ~ks ~algorithm))
   | Protocol.Verify { rounds; seed } -> Ok (Doc (verify_result ~rounds ~seed))
   | Protocol.Stats ->
+      (* The sessions section is rendered first, outside the state lock:
+         [stats_json] takes the store and per-session locks, which the
+         resolve path acquires before the state lock. *)
+      let sessions =
+        Tlp_session.Session.stats_json (State.sessions state)
+          ~now:(Timer.now ())
+      in
       let doc =
         State.snapshot state ~queue_depth:(queue_depth ())
           ~uptime_s:(Timer.now () -. State.started_at state)
+          ~sessions
       in
       Ok (Doc doc)
   | Protocol.Health ->
@@ -365,3 +401,109 @@ let handle ~state ~queue_depth ~cluster ~debug ~rng ~metrics request =
         Thread.delay (float_of_int ms /. 1000.0);
         Ok (Doc (Json.Obj [ ("slept_ms", Json.Int ms) ]))
       end
+  | Protocol.Open { instance; session } -> (
+      match
+        Tlp_session.Session.open_session (State.sessions state) ?name:session
+          ~instance ~now:(Timer.now ()) ()
+      with
+      | Error msg -> Error (Protocol.bad_request msg)
+      | Ok s ->
+          Ok
+            (Doc
+               (Json.Obj
+                  [
+                    ("session", Json.String (Tlp_session.Session.id s));
+                    ("kind", Json.String (Tlp_session.Session.kind s));
+                    ("n", Json.Int (Tlp_session.Session.size s));
+                    ("version", Json.Int (Tlp_session.Session.version s));
+                  ])))
+  | Protocol.Update { session = sid; deltas } -> (
+      match
+        Tlp_session.Session.find (State.sessions state) ~id:sid
+          ~now:(Timer.now ())
+      with
+      | None ->
+          Error (Protocol.bad_request (Printf.sprintf "unknown session %S" sid))
+      | Some s -> (
+          match Tlp_session.Session.update s deltas with
+          | Error msg -> Error (Protocol.bad_request msg)
+          | Ok version ->
+              Ok
+                (Doc
+                   (Json.Obj
+                      [
+                        ("session", Json.String sid);
+                        ("version", Json.Int version);
+                        ("applied", Json.Int (List.length deltas));
+                      ]))))
+  | Protocol.Resolve { session = sid; k; algorithm } -> (
+      match
+        Tlp_session.Session.find (State.sessions state) ~id:sid
+          ~now:(Timer.now ())
+      with
+      | None ->
+          Error (Protocol.bad_request (Printf.sprintf "unknown session %S" sid))
+      | Some s ->
+          (* The whole resolve runs under the session lock: the version
+             read for the cache key and the solve over the session's
+             weights must see the same state, or a concurrent update
+             could file a pre-update answer under a post-update key.
+             Lock order is session -> state ([cached] takes the state
+             lock inside), the reverse never happens. *)
+          Tlp_session.Session.with_session s (fun () ->
+              let chain =
+                match Tlp_session.Session.view s with
+                | Tlp_session.Session.Chain_view _ -> true
+                | Tlp_session.Session.Tree_view _ -> false
+              in
+              let key =
+                {
+                  Cache.digest = Tlp_session.Session.digest s;
+                  k = string_of_int k;
+                  objective = Protocol.partition_algorithm_string algorithm;
+                  algorithm = algorithm_field ~chain algorithm;
+                }
+              in
+              (* [mode] survives the [cached] call: still [None] on a
+                 cache hit, so the per-session tallies distinguish
+                 replayed answers from actual solves. *)
+              let mode = ref None in
+              let outcome =
+                cached state key (fun () ->
+                    match (Tlp_session.Session.view s, algorithm) with
+                    | ( Tlp_session.Session.Chain_view incr,
+                        Protocol.Bandwidth ) -> (
+                        Workspaces.with_workspace (State.workspaces state)
+                          ~n:(Tlp_core.Incremental.n incr) (fun workspace ->
+                            match
+                              Tlp_core.Incremental.resolve ~metrics ~workspace
+                                incr ~k
+                            with
+                            | Ok (sol, m) ->
+                                mode := Some m;
+                                Ok
+                                  (bandwidth_chain_doc ~k
+                                     ~component_weights:
+                                       (Tlp_core.Incremental.component_weights
+                                          incr
+                                          sol.Tlp_core.Bandwidth_hitting.cut)
+                                     sol)
+                            | Error e -> Ok (infeasible e)))
+                    | _ ->
+                        (* Every other (kind, objective) pair recomputes
+                           from the materialized instance — the same
+                           code path (and bytes) as [partition]. *)
+                        let r =
+                          partition_result ~metrics
+                            (Tlp_session.Session.materialize s)
+                            ~k ~algorithm
+                        in
+                        (match r with
+                        | Ok _ -> mode := Some Tlp_core.Incremental.Full
+                        | Error _ -> ());
+                        r)
+              in
+              (match outcome with
+              | Ok _ -> Tlp_session.Session.note_resolve s !mode
+              | Error _ -> ());
+              outcome))

@@ -53,6 +53,9 @@ type request =
   | Health
   | Cluster
   | Sleep of { ms : int }
+  | Open of { instance : Io.instance; session : string option }
+  | Update of { session : string; deltas : Tlp_core.Incremental.delta list }
+  | Resolve of { session : string; k : int; algorithm : partition_algorithm }
 
 type frame = {
   id : Json.t;
@@ -70,6 +73,9 @@ let method_name = function
   | Health -> "health"
   | Cluster -> "cluster"
   | Sleep _ -> "sleep"
+  | Open _ -> "open"
+  | Update _ -> "update"
+  | Resolve _ -> "resolve"
 
 (* ---------- parsing ---------- *)
 
@@ -164,23 +170,46 @@ let parse_chain fields =
 let max_verify_rounds = 10_000
 let max_sleep_ms = 60_000
 
+let parse_partition_algorithm params =
+  match Option.map (as_string "algorithm") (field "algorithm" params) with
+  | None | Some "bandwidth" -> Bandwidth
+  | Some "bottleneck" -> Bottleneck
+  | Some "procmin" -> Procmin
+  | Some "pipeline" -> Pipeline
+  | Some other ->
+      reject "unknown algorithm %S (bandwidth | bottleneck | procmin | pipeline)"
+        other
+
+(* Weight deltas arrive as ["vertex"|"edge", index, delta] triples —
+   positional, so the v1 and v2 framings carry the same information per
+   delta.  Range and positivity are checked at apply time against the
+   session's current weights, not here. *)
+let parse_deltas params =
+  match require "deltas" params with
+  | Json.List items ->
+      let deltas =
+        List.map
+          (function
+            | Json.List [ Json.String "vertex"; Json.Int i; Json.Int d ] ->
+                Tlp_core.Incremental.Vertex (i, d)
+            | Json.List [ Json.String "edge"; Json.Int j; Json.Int d ] ->
+                Tlp_core.Incremental.Edge (j, d)
+            | _ ->
+                reject
+                  "field \"deltas\" must be an array of [\"vertex\" | \
+                   \"edge\", index, delta] triples")
+          items
+      in
+      if deltas = [] then reject "field \"deltas\" must be non-empty";
+      deltas
+  | _ -> reject "field \"deltas\" must be an array"
+
 let parse_request meth params =
   match meth with
   | "partition" ->
       let instance = parse_instance (require "instance" params) in
       let k = positive "k" (as_int "k" (require "k" params)) in
-      let algorithm =
-        match Option.map (as_string "algorithm") (field "algorithm" params) with
-        | None | Some "bandwidth" -> Bandwidth
-        | Some "bottleneck" -> Bottleneck
-        | Some "procmin" -> Procmin
-        | Some "pipeline" -> Pipeline
-        | Some other ->
-            reject
-              "unknown algorithm %S (bandwidth | bottleneck | procmin | \
-               pipeline)"
-              other
-      in
+      let algorithm = parse_partition_algorithm params in
       Partition { instance; k; algorithm }
   | "sweep" ->
       let chain = parse_chain params in
@@ -220,9 +249,24 @@ let parse_request meth params =
       if ms < 0 || ms > max_sleep_ms then
         reject "field \"ms\" must be in [0, %d]" max_sleep_ms;
       Sleep { ms }
+  | "open" ->
+      let instance = parse_instance (require "instance" params) in
+      let session =
+        Option.map (as_string "session") (field "session" params)
+      in
+      Open { instance; session }
+  | "update" ->
+      let session = as_string "session" (require "session" params) in
+      Update { session; deltas = parse_deltas params }
+  | "resolve" ->
+      let session = as_string "session" (require "session" params) in
+      let k = positive "k" (as_int "k" (require "k" params)) in
+      Resolve { session; k; algorithm = parse_partition_algorithm params }
   | other ->
       reject
-        "unknown method %S (partition | sweep | verify | stats | health)" other
+        "unknown method %S (partition | sweep | verify | stats | health | \
+         open | update | resolve)"
+        other
 
 let parse_frame line =
   match Json.parse line with

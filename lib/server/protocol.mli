@@ -68,6 +68,22 @@ type request =
   | Sleep of { ms : int }
       (** Debug-only (server must be started with [enable_debug]); makes
           backpressure and deadline tests deterministic. *)
+  | Open of {
+      instance : Tlp_graph.Instance_io.instance;
+      session : string option;
+    }
+      (** Register a long-lived session holding the instance
+          (PROTOCOL.md §9).  [session] lets the client pick a replayable
+          name; omitted, the server generates one. *)
+  | Update of { session : string; deltas : Tlp_core.Incremental.delta list }
+      (** Apply one atomic batch of weight deltas to an open session,
+          bumping its version (and thereby re-keying its cache
+          entries). *)
+  | Resolve of { session : string; k : int; algorithm : partition_algorithm }
+      (** Partition the session's current instance.  The result document
+          is byte-identical to a [partition] of the materialized
+          instance; chain sessions under [Bandwidth] re-solve
+          incrementally when profitable. *)
 
 type frame = {
   id : Tlp_util.Json_out.t;

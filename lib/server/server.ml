@@ -14,6 +14,7 @@ type config = {
   max_frame_bytes : int;
   seed : int;
   enable_debug : bool;
+  session_ttl_s : float;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     max_frame_bytes = 4 * 1024 * 1024;
     seed = 0;
     enable_debug = false;
+    session_ttl_s = Tlp_session.Session.default_ttl_s;
   }
 
 (* A fully-formed response, rendered by the reply writer for whichever
@@ -220,7 +222,8 @@ let control_plane (request : Protocol.request) =
   match request with
   | Protocol.Stats | Protocol.Health | Protocol.Cluster -> true
   | Protocol.Partition _ | Protocol.Sweep _ | Protocol.Verify _
-  | Protocol.Sleep _ ->
+  | Protocol.Sleep _ | Protocol.Open _ | Protocol.Update _
+  | Protocol.Resolve _ ->
       false
 
 (* The framing a connection speaks, decided by its first byte: 0xf2
@@ -634,7 +637,8 @@ let start config =
       actual_port;
       server_state =
         State.create ~cache_capacity:config.cache_capacity
-          ~queue_capacity:config.queue_capacity ~seed:config.seed ();
+          ~queue_capacity:config.queue_capacity ~seed:config.seed
+          ~session_ttl_s:config.session_ttl_s ();
       queue = Admission.create ~capacity:config.queue_capacity ();
       pool = Pool.create ~jobs;
       stop_flag = Atomic.make false;

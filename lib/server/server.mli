@@ -36,11 +36,14 @@ type config = {
   max_frame_bytes : int;  (** reject longer unterminated frames *)
   seed : int;  (** roots the per-request RNG streams *)
   enable_debug : bool;  (** expose the [sleep] test method *)
+  session_ttl_s : float;
+      (** idle-session eviction threshold (PROTOCOL.md §9); [<= 0.0]
+          disables eviction *)
 }
 
 val default_config : config
 (** [127.0.0.1:7171], 4 jobs, queue 64, cache 256, 30s default timeout,
-    4 MiB frames, seed 0, debug off. *)
+    4 MiB frames, seed 0, debug off, 600s session TTL. *)
 
 type t
 

@@ -36,11 +36,12 @@ type t = {
   slow_ring : trace_entry Queue.t;  (* last <= 16 traced requests *)
   estimator : Estimator.t;  (* per-method service-time EWMA, ns *)
   workspaces : Workspaces.t;  (* pooled solver scratch, own mutex *)
+  sessions : Tlp_session.Session.t;  (* open sessions, own mutex *)
   overruns : (string, overrun_stat) Hashtbl.t;  (* wire method -> tally *)
   mutable shed : int;  (* doomed requests answered [overloaded] unqueued *)
 }
 
-let create ~cache_capacity ~queue_capacity ~seed () =
+let create ~cache_capacity ~queue_capacity ~seed ~session_ttl_s () =
   {
     mutex = Mutex.create ();
     cache = Cache.create ~capacity:cache_capacity;
@@ -54,6 +55,7 @@ let create ~cache_capacity ~queue_capacity ~seed () =
     slow_ring = Queue.create ();
     estimator = Estimator.create ();
     workspaces = Workspaces.create ();
+    sessions = Tlp_session.Session.create ~ttl_s:session_ttl_s ();
     overruns = Hashtbl.create 8;
     shed = 0;
   }
@@ -64,6 +66,7 @@ let with_lock t f =
 
 let cache t = t.cache
 let workspaces t = t.workspaces
+let sessions t = t.sessions
 let metrics t = t.metrics
 let started_at t = t.started_at
 let queue_capacity t = t.queue_capacity
@@ -135,7 +138,11 @@ let trace_entry_json e =
           ] );
     ]
 
-let snapshot t ~queue_depth ~uptime_s =
+(* [sessions] arrives pre-rendered: [Session.stats_json] takes the
+   store and per-session locks, and resolve paths acquire those before
+   the state lock — rendering it here, under [with_lock], would invert
+   that order and deadlock against an in-flight resolve. *)
+let snapshot t ~queue_depth ~uptime_s ~sessions =
   with_lock t (fun () ->
       let requests = sorted_counts t.requests in
       let total = List.fold_left (fun acc (_, c) -> acc + c) 0 requests in
@@ -169,6 +176,7 @@ let snapshot t ~queue_depth ~uptime_s =
           (* Deprecated duplicate of queue.depth; kept emitted for one
              release (see PROTOCOL.md §2.5). *)
           ("queue_depth", Json.Int queue_depth);
+          ("sessions", sessions);
           ( "overruns",
             Json.Obj
               (List.map

@@ -43,9 +43,16 @@ val slow_ring_capacity : int
     traced requests (16). *)
 
 val create :
-  cache_capacity:int -> queue_capacity:int -> seed:int -> unit -> t
+  cache_capacity:int ->
+  queue_capacity:int ->
+  seed:int ->
+  session_ttl_s:float ->
+  unit ->
+  t
 (** Fresh state; [seed] roots the per-request RNG streams handed to
-    {!next_rng}.  [queue_capacity] is recorded for [stats] reporting. *)
+    {!next_rng}.  [queue_capacity] is recorded for [stats] reporting.
+    [session_ttl_s] is the idle-eviction threshold of the session store
+    ([<= 0.0] disables eviction). *)
 
 val with_lock : t -> (unit -> 'a) -> 'a
 (** Run a critical section under the state mutex (released on raise).
@@ -59,6 +66,11 @@ val workspaces : t -> Workspaces.t
 (** Pooled solver scratch.  The pool carries its own mutex, so checkout
     does {e not} require {!with_lock} — solves must never run under the
     state lock. *)
+
+val sessions : t -> Tlp_session.Session.t
+(** Open partitioning sessions (PROTOCOL.md §9).  The store carries its
+    own mutex; never touch it under {!with_lock} — session locks are
+    acquired {e before} the state lock on the resolve path. *)
 
 val metrics : t -> Tlp_util.Metrics.t
 val started_at : t -> float
@@ -118,6 +130,9 @@ val snapshot :
   t ->
   queue_depth:int ->
   uptime_s:float ->
+  sessions:Tlp_util.Json_out.t ->
   Tlp_util.Json_out.t
 (** The [stats] result document (see PROTOCOL.md).  Takes the lock
-    itself; do not call under {!with_lock}. *)
+    itself; do not call under {!with_lock}.  [sessions] is the
+    pre-rendered [Session.stats_json] section — rendered by the caller
+    so the session locks are never taken under the state lock. *)

@@ -1,0 +1,290 @@
+module Json = Tlp_util.Json_out
+module Incr = Tlp_core.Incremental
+module Chain = Tlp_graph.Chain
+module Tree = Tlp_graph.Tree
+module Io = Tlp_graph.Instance_io
+
+(* A chain session owns an incremental solver state; a tree session
+   owns plain mutable weight arrays (every tree resolve recomputes from
+   scratch — the incremental machinery is chain-only, see DESIGN.md
+   §10).  Tree edges are stored exactly as [Tree.make] wants them so
+   materialization is one array copy. *)
+type instance_state =
+  | Chain_state of Incr.t
+  | Tree_state of { weights : int array; edges : (int * int * int) array }
+
+type session = {
+  id : string;
+  serial : int;  (* store-wide open serial; part of the cache digest *)
+  state : instance_state;
+  lock : Mutex.t;  (* serializes update/resolve on this session *)
+  mutable version : int;  (* bumped once per accepted update batch *)
+  mutable updates : int;
+  mutable resolves : int;
+  mutable resolves_incremental : int;
+  mutable resolves_full : int;
+  mutable last_used : float;
+}
+
+type t = {
+  mutex : Mutex.t;
+  sessions : (string, session) Hashtbl.t;
+  ttl_s : float;
+  max_sessions : int;
+  mutable next_serial : int;
+  mutable opened : int;
+  mutable evicted : int;
+}
+
+let default_ttl_s = 600.0
+let default_max_sessions = 256
+
+let create ?(ttl_s = default_ttl_s) ?(max_sessions = default_max_sessions) ()
+    =
+  {
+    mutex = Mutex.create ();
+    sessions = Hashtbl.create 16;
+    ttl_s;
+    max_sessions;
+    next_serial = 0;
+    opened = 0;
+    evicted = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Idle eviction runs inline on every store operation: O(open sessions)
+   per call, which the [max_sessions] bound keeps trivial.  A session
+   mid-operation can be evicted — the in-flight call completes on the
+   detached record; the next lookup of that id fails. *)
+let sweep_locked t ~now =
+  if t.ttl_s > 0.0 then begin
+    let stale =
+      Hashtbl.fold
+        (fun id s acc -> if now -. s.last_used > t.ttl_s then id :: acc else acc)
+        t.sessions []
+    in
+    List.iter
+      (fun id ->
+        Hashtbl.remove t.sessions id;
+        t.evicted <- t.evicted + 1)
+      stale
+  end
+
+let ttl_s t = t.ttl_s
+let count t = locked t (fun () -> Hashtbl.length t.sessions)
+
+let valid_id id =
+  let n = String.length id in
+  n >= 1 && n <= 64
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
+         | _ -> false)
+       id
+
+let open_session t ?name ~instance ~now () =
+  locked t (fun () ->
+      sweep_locked t ~now;
+      (* Generated ids scan forward from the serial so a client-chosen
+         name like "s3" can never wedge generation. *)
+      let rec generated k =
+        let id = Printf.sprintf "s%d" k in
+        if Hashtbl.mem t.sessions id then generated (k + 1) else id
+      in
+      let id =
+        match name with
+        | Some id -> id
+        | None -> generated (t.next_serial + 1)
+      in
+      match id with
+      | id when not (valid_id id) ->
+          Error
+            (Printf.sprintf
+               "bad session name %S (1-64 chars from [A-Za-z0-9._-])" id)
+      | id when Hashtbl.mem t.sessions id ->
+          Error (Printf.sprintf "session %S is already open" id)
+      | _ when Hashtbl.length t.sessions >= t.max_sessions ->
+          Error
+            (Printf.sprintf "session table full (%d open)"
+               (Hashtbl.length t.sessions))
+      | id ->
+          t.next_serial <- t.next_serial + 1;
+          t.opened <- t.opened + 1;
+          let state =
+            match (instance : Io.instance) with
+            | Io.Chain_instance chain -> Chain_state (Incr.create chain)
+            | Io.Tree_instance tree ->
+                Tree_state
+                  {
+                    weights = Array.copy tree.Tree.weights;
+                    edges = Array.copy tree.Tree.edges;
+                  }
+          in
+          let s =
+            {
+              id;
+              serial = t.next_serial;
+              state;
+              lock = Mutex.create ();
+              version = 0;
+              updates = 0;
+              resolves = 0;
+              resolves_incremental = 0;
+              resolves_full = 0;
+              last_used = now;
+            }
+          in
+          Hashtbl.replace t.sessions id s;
+          Ok s)
+
+let find t ~id ~now =
+  locked t (fun () ->
+      sweep_locked t ~now;
+      match Hashtbl.find_opt t.sessions id with
+      | None -> None
+      | Some s ->
+          s.last_used <- now;
+          Some s)
+
+let with_session s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+let id s = s.id
+let version s = s.version
+
+let digest s = Printf.sprintf "session:%d:%s:v%d" s.serial s.id s.version
+
+let kind s =
+  match s.state with Chain_state _ -> "chain" | Tree_state _ -> "tree"
+
+let size s =
+  match s.state with
+  | Chain_state incr -> Incr.n incr
+  | Tree_state { weights; _ } -> Array.length weights
+
+type view = Chain_view of Incr.t | Tree_view of Tree.t
+
+let tree_of ~weights ~edges =
+  Tree.make ~weights:(Array.copy weights) ~edges:(Array.to_list edges)
+
+let view s =
+  match s.state with
+  | Chain_state incr -> Chain_view incr
+  | Tree_state { weights; edges } -> Tree_view (tree_of ~weights ~edges)
+
+let materialize s =
+  match s.state with
+  | Chain_state incr -> Io.Chain_instance (Incr.chain incr)
+  | Tree_state { weights; edges } -> Io.Tree_instance (tree_of ~weights ~edges)
+
+(* Tree deltas mirror [Incremental.apply]'s contract: applied in order,
+   every step keeps the touched weight positive and in range, and the
+   applied prefix is rolled back on the first offender — same error
+   spellings, so the wire behavior is kind-independent. *)
+let apply_tree_deltas ~weights ~(edges : (int * int * int) array) deltas =
+  let n = Array.length weights in
+  let rec go applied = function
+    | [] -> Ok ()
+    | Incr.Vertex (i, d) :: rest ->
+        if i < 0 || i >= n then
+          Error (applied, Printf.sprintf "vertex %d out of range [0, %d)" i n)
+        else if weights.(i) + d <= 0 then
+          Error
+            ( applied,
+              Printf.sprintf "vertex %d: weight %d%+d must stay positive" i
+                weights.(i) d )
+        else begin
+          weights.(i) <- weights.(i) + d;
+          go (Incr.Vertex (i, d) :: applied) rest
+        end
+    | Incr.Edge (j, d) :: rest ->
+        if j < 0 || j >= Array.length edges then
+          Error
+            ( applied,
+              Printf.sprintf "edge %d out of range [0, %d)" j
+                (Array.length edges) )
+        else
+          let u, v, w = edges.(j) in
+          if w + d <= 0 then
+            Error
+              ( applied,
+                Printf.sprintf "edge %d: weight %d%+d must stay positive" j w d
+              )
+          else begin
+            edges.(j) <- (u, v, w + d);
+            go (Incr.Edge (j, d) :: applied) rest
+          end
+  in
+  match go [] deltas with
+  | Ok () -> Ok ()
+  | Error (applied, msg) ->
+      List.iter
+        (function
+          | Incr.Vertex (i, d) -> weights.(i) <- weights.(i) - d
+          | Incr.Edge (j, d) ->
+              let u, v, w = edges.(j) in
+              edges.(j) <- (u, v, w - d))
+        applied;
+      Error msg
+
+let update s deltas =
+  with_session s (fun () ->
+      let outcome =
+        match s.state with
+        | Chain_state incr -> Incr.apply incr deltas
+        | Tree_state { weights; edges } ->
+            apply_tree_deltas ~weights ~edges deltas
+      in
+      match outcome with
+      | Ok () ->
+          s.version <- s.version + 1;
+          s.updates <- s.updates + 1;
+          Ok s.version
+      | Error _ as e -> e)
+
+let note_resolve s mode =
+  s.resolves <- s.resolves + 1;
+  match mode with
+  | Some Incr.Incremental ->
+      s.resolves_incremental <- s.resolves_incremental + 1
+  | Some Incr.Full -> s.resolves_full <- s.resolves_full + 1
+  | None -> ()
+
+let session_json s =
+  (* Tallies are mutated under the session lock, so the stats snapshot
+     takes it too — never while holding the store lock of another
+     session's operation, so the store -> session order is acyclic. *)
+  with_session s (fun () ->
+      Json.Obj
+        [
+          ("session", Json.String s.id);
+          ("kind", Json.String (kind s));
+          ("n", Json.Int (size s));
+          ("version", Json.Int s.version);
+          ("updates", Json.Int s.updates);
+          ("resolves", Json.Int s.resolves);
+          ("resolves_incremental", Json.Int s.resolves_incremental);
+          ("resolves_full", Json.Int s.resolves_full);
+        ])
+
+let stats_json t ~now =
+  let open_sessions, opened, evicted =
+    locked t (fun () ->
+        sweep_locked t ~now;
+        let ss = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
+        let ss = List.sort (fun a b -> compare a.id b.id) ss in
+        (ss, t.opened, t.evicted))
+  in
+  Json.Obj
+    [
+      ("open", Json.Int (List.length open_sessions));
+      ("opened", Json.Int opened);
+      ("evicted", Json.Int evicted);
+      ( "ttl_s",
+        if t.ttl_s > 0.0 then Json.Float t.ttl_s else Json.Int 0 );
+      ("list", Json.List (List.map session_json open_sessions));
+    ]

@@ -1,0 +1,100 @@
+(** Long-lived partitioning sessions — the server-side state behind
+    the [open] / [update] / [resolve] RPCs (PROTOCOL.md §9).
+
+    A session pins one instance in memory so weight drift arrives as
+    cheap point deltas instead of re-shipped instances.  Chain sessions
+    hold a {!Tlp_core.Incremental} solver state, so [resolve] repairs
+    the maintained prime subpaths under the accumulated updates instead
+    of recomputing from scratch (falling back past the staleness
+    threshold — see that module).  Tree sessions hold plain mutable
+    weights and recompute every resolve; the wire contract is the same.
+
+    {b Identity and caching.}  Every accepted update batch bumps the
+    session's version, and {!digest} — ["session:<serial>:<id>:v<ver>"]
+    — is the result-cache digest the server keys [resolve] responses
+    under.  The open serial is store-unique, so re-opening a name after
+    eviction can never collide with stale cache entries, and the version
+    bump re-keys the dual-rendering LRU without materializing the
+    instance: a post-update resolve can not hit a pre-update entry.
+
+    {b Concurrency.}  The store has one mutex for the table and
+    counters; each session carries its own lock serializing
+    update/resolve (concurrent updates to one session are applied in
+    arrival order, each batch atomic).  Idle sessions past the TTL are
+    evicted inline on every store operation. *)
+
+type t
+(** The session store. *)
+
+type session
+(** One open session (alive even if evicted mid-operation; subsequent
+    lookups of its id fail). *)
+
+val default_ttl_s : float
+(** 600 seconds. *)
+
+val default_max_sessions : int
+(** 256. *)
+
+val create : ?ttl_s:float -> ?max_sessions:int -> unit -> t
+(** [ttl_s <= 0.0] disables idle eviction. *)
+
+val ttl_s : t -> float
+val count : t -> int
+(** Open sessions right now (takes the store lock). *)
+
+val open_session :
+  t ->
+  ?name:string ->
+  instance:Tlp_graph.Instance_io.instance ->
+  now:float ->
+  unit ->
+  (session, string) result
+(** Register an instance.  [name] (1-64 chars from [A-Za-z0-9._-]) lets
+    clients pick replayable ids; omitted, the store generates one.
+    [Error] on a duplicate name, a bad name, or a full table. *)
+
+val find : t -> id:string -> now:float -> session option
+(** Look up an open session, refreshing its idle clock. *)
+
+val with_session : session -> (unit -> 'a) -> 'a
+(** Run under the session's lock (update/resolve serialization). *)
+
+val id : session -> string
+val version : session -> int
+val kind : session -> string
+(** ["chain"] | ["tree"]. *)
+
+val size : session -> int
+(** Vertex count of the held instance. *)
+
+val digest : session -> string
+(** The cache-key digest at the current version (see above).  Read it
+    under {!with_session} when racing updates matter. *)
+
+type view =
+  | Chain_view of Tlp_core.Incremental.t
+  | Tree_view of Tlp_graph.Tree.t
+
+val view : session -> view
+(** The held state: chain sessions expose the live incremental solver
+    (mutate only via {!update}); tree sessions materialize a fresh
+    tree. *)
+
+val materialize : session -> Tlp_graph.Instance_io.instance
+(** Current instance as a value (O(n) copy) — the full-recompute path
+    and differential tests. *)
+
+val update :
+  session -> Tlp_core.Incremental.delta list -> (int, string) result
+(** Apply one delta batch atomically (all-or-nothing, same contract and
+    error spellings as [Incremental.apply] for both kinds) and bump the
+    version.  Returns the new version.  Takes the session lock. *)
+
+val note_resolve : session -> Tlp_core.Incremental.mode option -> unit
+(** Tally one resolve ([None]: served without a solve, e.g. a cache
+    hit or an infeasible answer).  Call under {!with_session}. *)
+
+val stats_json : t -> now:float -> Tlp_util.Json_out.t
+(** The [stats] response's [sessions] section: open/opened/evicted
+    counts, the TTL, and per-session tallies sorted by id. *)

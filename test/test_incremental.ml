@@ -1,0 +1,274 @@
+(* Incremental re-solving (lib/core/incremental.ml): the repaired prime
+   state and the prime-event-swept DP must be indistinguishable from a
+   from-scratch solve on the materialized chain — cut, weight, and
+   every stats field — across random delta streams, both plans, and
+   the lifecycle edges (log wrap, rejected batches, infeasibility). *)
+
+open Helpers
+module Incr = Tlp_core.Incremental
+module BH = Tlp_core.Bandwidth_hitting
+module Infeasible = Tlp_core.Infeasible
+module Rng = Tlp_util.Rng
+
+let stats_testable : BH.stats Alcotest.testable =
+  Alcotest.testable
+    (fun ppf (s : BH.stats) ->
+      Format.fprintf ppf "{p=%d; r=%d; q_mean=%f; q_max=%d; len=%f/%d; steps=%d}"
+        s.p s.r s.q_mean s.q_max s.temps_mean_len s.temps_max_len
+        s.search_steps)
+    ( = )
+
+let check_matches_scratch ~msg incr ~k ~plan =
+  let scratch = BH.solve (Incr.chain incr) ~k in
+  match (Incr.resolve ~plan incr ~k, scratch) with
+  | Ok (sol, _mode), Ok expect ->
+      Alcotest.check cut_testable (msg ^ ": cut") expect.BH.cut sol.BH.cut;
+      check_int (msg ^ ": weight") expect.BH.weight sol.BH.weight;
+      Alcotest.check stats_testable (msg ^ ": stats") expect.BH.stats
+        sol.BH.stats
+  | Error e, Error e' ->
+      if e <> e' then
+        Alcotest.failf "%s: infeasibility mismatch: %s vs %s" msg
+          (Infeasible.to_string e) (Infeasible.to_string e')
+  | Ok _, Error e ->
+      Alcotest.failf "%s: incremental Ok but scratch infeasible (%s)" msg
+        (Infeasible.to_string e)
+  | Error e, Ok _ ->
+      Alcotest.failf "%s: incremental infeasible (%s) but scratch Ok" msg
+        (Infeasible.to_string e)
+
+(* A drift step over a live instance: mostly vertex deltas, some edge
+   deltas, magnitudes small enough that most batches are accepted but
+   occasional rejections exercise the rollback. *)
+let random_batch rng incr =
+  let n = Incr.n incr in
+  let len = 1 + Rng.int rng 4 in
+  List.init len (fun _ ->
+      if n > 1 && Rng.int rng 4 = 0 then
+        Incr.Edge (Rng.int rng (n - 1), Rng.int_in rng (-3) 5)
+      else Incr.Vertex (Rng.int rng n, Rng.int_in rng (-3) 5))
+
+let prop_differential =
+  (* The tentpole acceptance test at the core layer: >= 200 random
+     (instance, delta stream, K) triples, each replayed as a session
+     would — update, resolve (forced incremental), compare against a
+     from-scratch solve of the materialized instance. *)
+  qcheck ~count:220 "incremental resolve == from-scratch solve"
+    QCheck2.Gen.(
+      tup3 small_chain_gen (int_range 0 1_000_000) (int_range 2 8))
+    (fun ((c, k), seed, steps) ->
+      let incr = Incr.create c in
+      let rng = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to steps do
+        (match Incr.apply incr (random_batch rng incr) with
+        | Ok () -> ()
+        | Error _ -> ());
+        (* Vary K across the stream too: per-K states repair lazily
+           from different log positions. *)
+        let k' = Stdlib.max 1 (k + Rng.int_in rng (-2) 2) in
+        let scratch = BH.solve (Incr.chain incr) ~k:k' in
+        let inc = Incr.resolve ~plan:Incr.Prefer_incremental incr ~k:k' in
+        (match (inc, scratch) with
+        | Ok (sol, _), Ok expect ->
+            if
+              sol.BH.cut <> expect.BH.cut
+              || sol.BH.weight <> expect.BH.weight
+              || sol.BH.stats <> expect.BH.stats
+            then ok := false
+        | Error e, Error e' -> if e <> e' then ok := false
+        | _ -> ok := false)
+      done;
+      !ok)
+
+let prop_auto_plan_matches =
+  qcheck ~count:100 "auto plan picks a correct mode"
+    QCheck2.Gen.(tup2 small_chain_gen (int_range 0 1_000_000))
+    (fun ((c, k), seed) ->
+      let incr = Incr.create c in
+      let rng = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 3 do
+        (match Incr.apply incr (random_batch rng incr) with
+        | Ok () -> ()
+        | Error _ -> ());
+        match (Incr.resolve incr ~k, BH.solve (Incr.chain incr) ~k) with
+        | Ok (sol, _), Ok expect -> if sol <> expect then ok := false
+        | Error e, Error e' -> if e <> e' then ok := false
+        | _ -> ok := false
+      done;
+      !ok)
+
+let prop_primes_match =
+  qcheck ~count:150 "repaired primes == rediscovered primes"
+    QCheck2.Gen.(tup2 small_chain_gen (int_range 0 1_000_000))
+    (fun ((c, k), seed) ->
+      let incr = Incr.create c in
+      let rng = Rng.create seed in
+      (match Incr.apply incr (random_batch rng incr) with
+      | Ok () -> ()
+      | Error _ -> ());
+      match
+        ( Incr.prime_ranges ~plan:Incr.Prefer_incremental incr ~k,
+          BH.prime_ranges (Incr.chain incr) ~k )
+      with
+      | Ok a, Ok b -> a = b
+      | Error e, Error e' -> e = e'
+      | _ -> false)
+
+let test_known_repair () =
+  (* 4,4,4,4 at K=7 has primes on every adjacent pair.  Bumping v1 to 5
+     keeps the structure; dropping v3 to 1 dissolves the right prime. *)
+  let c = Chain.of_lists [ 4; 4; 4; 4 ] [ 1; 1; 1 ] in
+  let incr = Incr.create c in
+  check_matches_scratch ~msg:"initial" incr ~k:7 ~plan:Incr.Prefer_incremental;
+  (match Incr.apply incr [ Incr.Vertex (1, 1) ] with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  check_matches_scratch ~msg:"bump v1" incr ~k:7 ~plan:Incr.Prefer_incremental;
+  (match Incr.apply incr [ Incr.Vertex (3, -3) ] with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  check_matches_scratch ~msg:"drop v3" incr ~k:7 ~plan:Incr.Prefer_incremental
+
+let test_edge_deltas_reroute_cut () =
+  (* 4,4,4 at K=8: one prime spanning edges {0,1}, hittable by either
+     edge.  Inflating the currently chosen edge must reroute the cut to
+     the other one — purely an edge-delta effect (primes unchanged). *)
+  let c = Chain.of_lists [ 4; 4; 4 ] [ 5; 7 ] in
+  let incr = Incr.create c in
+  (match Incr.resolve ~plan:Incr.Prefer_incremental incr ~k:8 with
+  | Ok (sol, _) ->
+      Alcotest.check cut_testable "initial cut" [ 0 ] sol.BH.cut;
+      check_int "initial weight" 5 sol.BH.weight
+  | Error _ -> Alcotest.fail "unexpected infeasibility");
+  (match Incr.apply incr [ Incr.Edge (0, 50) ] with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (match Incr.resolve ~plan:Incr.Prefer_incremental incr ~k:8 with
+  | Ok (sol, _) ->
+      Alcotest.check cut_testable "rerouted cut" [ 1 ] sol.BH.cut;
+      check_int "rerouted weight" 7 sol.BH.weight
+  | Error _ -> Alcotest.fail "unexpected infeasibility");
+  check_matches_scratch ~msg:"edge 0 heavy" incr ~k:8
+    ~plan:Incr.Prefer_incremental
+
+let test_infeasible_first_offender () =
+  let c = Chain.of_lists [ 2; 3; 2 ] [ 1; 1 ] in
+  let incr = Incr.create c in
+  (match Incr.apply incr [ Incr.Vertex (1, 20); Incr.Vertex (2, 20) ] with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  match Incr.resolve incr ~k:10 with
+  | Error { Infeasible.vertex = 1; weight = 23; bound = 10 } -> ()
+  | Error e -> Alcotest.failf "wrong offender: %s" (Infeasible.to_string e)
+  | Ok _ -> Alcotest.fail "expected infeasible"
+
+let test_rejected_batch_atomic () =
+  let c = Chain.of_lists [ 4; 4; 4; 4 ] [ 1; 1; 1 ] in
+  let incr = Incr.create c in
+  let before =
+    match Incr.resolve incr ~k:7 with
+    | Ok (sol, _) -> sol
+    | Error _ -> Alcotest.fail "unexpected infeasibility"
+  in
+  (* Second delta drives v2 nonpositive: the whole batch must roll
+     back, including the already-applied first delta. *)
+  (match Incr.apply incr [ Incr.Vertex (0, 2); Incr.Vertex (2, -9) ] with
+  | Ok () -> Alcotest.fail "expected rejection"
+  | Error _ -> ());
+  check_int "total weight unchanged" 16 (Incr.total_weight incr);
+  (match Incr.apply incr [ Incr.Vertex (0, 1); Incr.Edge (9, 1) ] with
+  | Ok () -> Alcotest.fail "expected rejection"
+  | Error _ -> ());
+  (match Incr.resolve ~plan:Incr.Prefer_incremental incr ~k:7 with
+  | Ok (sol, _) ->
+      Alcotest.check cut_testable "solution unchanged" before.BH.cut
+        sol.BH.cut
+  | Error _ -> Alcotest.fail "unexpected infeasibility");
+  check_matches_scratch ~msg:"after rollbacks" incr ~k:7
+    ~plan:Incr.Prefer_incremental
+
+let test_log_wrap_falls_back () =
+  (* Hammer one vertex past the log capacity (64 for small chains): the
+     generation bumps, the next resolve must take the Full path and
+     still agree with scratch. *)
+  let c = Chain.of_lists [ 4; 4; 4; 4 ] [ 1; 1; 1 ] in
+  let incr = Incr.create c in
+  (match Incr.resolve incr ~k:7 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "unexpected infeasibility");
+  for _ = 1 to 70 do
+    match Incr.apply incr [ Incr.Vertex (1, 1); Incr.Vertex (1, -1) ] with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  done;
+  (match Incr.resolve ~plan:Incr.Prefer_incremental incr ~k:7 with
+  | Ok (_, Incr.Full) -> ()
+  | Ok (_, Incr.Incremental) ->
+      Alcotest.fail "expected Full after log wrap"
+  | Error _ -> Alcotest.fail "unexpected infeasibility");
+  check_matches_scratch ~msg:"post-wrap" incr ~k:7
+    ~plan:Incr.Prefer_incremental
+
+let test_large_spiky_goes_incremental () =
+  (* A large chain with periodic heavy vertices keeps the prime count
+     and window spans far below n, so Auto must choose the incremental
+     plan after a small drift batch — and still match scratch. *)
+  (* Heavy spikes every 100 vertices dwarf the base weights, so
+     segment ends stall at spikes: the prime count collapses to about
+     n / spacing and update windows stay a few segments wide — the
+     regime the paper's p- and q-dependent bound targets. *)
+  let n = 50_000 in
+  let alpha = Array.init n (fun i -> if i mod 100 = 99 then 5_000 else 1) in
+  let beta = Array.init (n - 1) (fun i -> 1 + (i * 7 mod 97)) in
+  let c = Chain.make ~alpha ~beta in
+  let incr = Incr.create c in
+  let k = 20_000 in
+  (match Incr.resolve incr ~k with
+  | Ok (_, Incr.Full) -> ()
+  | Ok (_, Incr.Incremental) -> Alcotest.fail "first resolve must rescan"
+  | Error _ -> Alcotest.fail "unexpected infeasibility");
+  (match
+     Incr.apply incr
+       [ Incr.Vertex (777, 3); Incr.Vertex (12_399, -400); Incr.Edge (40, 9) ]
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (match Incr.resolve incr ~k with
+  | Ok (_, Incr.Incremental) -> ()
+  | Ok (_, Incr.Full) -> Alcotest.fail "expected the incremental plan"
+  | Error _ -> Alcotest.fail "unexpected infeasibility");
+  check_matches_scratch ~msg:"large spiky" incr ~k ~plan:Incr.Auto
+
+let test_component_weights_match () =
+  let c = Chain.of_lists [ 4; 4; 4; 4; 4 ] [ 1; 2; 3; 4 ] in
+  let incr = Incr.create c in
+  (match Incr.apply incr [ Incr.Vertex (2, 5) ] with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  let cut = [ 1; 3 ] in
+  Alcotest.(check (list int))
+    "component weights via Fenwick"
+    (Chain.component_weights (Incr.chain incr) cut)
+    (Incr.component_weights incr cut)
+
+let suite =
+  [
+    Alcotest.test_case "known repair" `Quick test_known_repair;
+    Alcotest.test_case "edge deltas reroute cut" `Quick
+      test_edge_deltas_reroute_cut;
+    Alcotest.test_case "infeasible first offender" `Quick
+      test_infeasible_first_offender;
+    Alcotest.test_case "rejected batch is atomic" `Quick
+      test_rejected_batch_atomic;
+    Alcotest.test_case "log wrap falls back to full" `Quick
+      test_log_wrap_falls_back;
+    Alcotest.test_case "large spiky instance goes incremental" `Quick
+      test_large_spiky_goes_incremental;
+    Alcotest.test_case "component weights match" `Quick
+      test_component_weights_match;
+    prop_differential;
+    prop_auto_plan_matches;
+    prop_primes_match;
+  ]
